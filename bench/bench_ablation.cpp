@@ -1,0 +1,109 @@
+// Ablation studies on the design choices DESIGN.md calls out: M3D tier
+// count, metallic-CNT removal quality, sub-array geometry, yield model,
+// refresh/retention sensitivity, and per-workload Table II rows.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ppatc/carbon/embodied.hpp"
+#include "ppatc/carbon/flows.hpp"
+#include "ppatc/carbon/wafer.hpp"
+#include "ppatc/carbon/yield.hpp"
+#include "ppatc/core/system.hpp"
+#include "ppatc/memsys/edram.hpp"
+
+int main() {
+  using namespace ppatc;
+  using namespace ppatc::units;
+  namespace cb = ppatc::carbon;
+
+  bench::title("Ablations");
+
+  bench::section("A1: M3D tier count vs per-wafer embodied carbon (U.S. grid)");
+  std::printf("  %-28s %12s %12s\n", "stack", "EPA kWh", "kgCO2e/wafer");
+  for (int cnt_tiers = 0; cnt_tiers <= 4; ++cnt_tiers) {
+    cb::M3dFlowOptions opt;
+    opt.cnfet_tiers = cnt_tiers;
+    const cb::EmbodiedModel m{cb::m3d_igzo_cnfet_flow(opt)};
+    std::printf("  %d CNFET + 1 IGZO tiers        %12.1f %12.1f\n", cnt_tiers,
+                in_kilowatt_hours(m.energy_per_wafer()),
+                in_kilograms_co2e(m.carbon_per_wafer(cb::grids::us())));
+  }
+
+  bench::section("A2: metallic-CNT removal quality vs read-stack leakage");
+  std::printf("  %-14s %14s %12s\n", "fraction left", "I_OFF A/um", "Ion/Ioff");
+  for (const double f : {0.0, 1e-6, 1e-4, 1e-2, 1.0 / 3.0}) {
+    device::CnfetOptions o;
+    o.metallic_fraction = f;
+    const device::VirtualSourceFet fet{device::cnfet(device::Polarity::kNmos, o), 1.0};
+    const double ioff = in_amperes(fet.off_current(volts(0.7)));
+    std::printf("  %-14.2e %14.3e %12.2e\n", f, ioff,
+                in_amperes(fet.on_current(volts(0.7))) / ioff);
+  }
+
+  bench::section("A3: sub-array geometry (all-Si bank, energy and timing)");
+  std::printf("  %-12s %12s %12s %14s\n", "rows x cols", "read pJ", "delay ps", "500 MHz ok?");
+  for (const int dim : {64, 128, 256}) {
+    memsys::BankConfig cfg = memsys::si_bank_config();
+    cfg.subarray.rows = dim;
+    cfg.subarray.cols = dim;
+    const memsys::EdramBank bank{cfg};
+    std::printf("  %4dx%-7d %12.3f %12.1f %14s\n", dim, dim,
+                in_picojoules(bank.subarray().read_energy),
+                in_picoseconds(bank.access_delay()),
+                bank.meets_timing(megahertz(500)) ? "yes" : "NO");
+  }
+
+  bench::section("A4: yield model vs embodied carbon per good die (M3D die, U.S. grid)");
+  const auto m3d_model = cb::m3d_embodied_model();
+  const Carbon per_wafer = m3d_model.carbon_per_wafer(cb::grids::us());
+  const cb::DieSpec die{micrometres(334.0), micrometres(159.0)};
+  const double dpw = static_cast<double>(cb::dies_per_wafer_formula(die));
+  const Area die_area = micrometres(334.0) * micrometres(159.0);
+  struct {
+    const char* name;
+    cb::YieldModel model;
+  } models[] = {
+      {"fixed 50% (paper)", cb::fixed_yield(0.50)},
+      {"Poisson D0=0.1/cm2", cb::poisson_yield(0.1)},
+      {"Murphy D0=0.1/cm2", cb::murphy_yield(0.1)},
+      {"stacked 3 tiers, each Poisson D0=0.3", cb::stacked_yield({cb::poisson_yield(0.3),
+                                                                  cb::poisson_yield(0.3),
+                                                                  cb::poisson_yield(0.3)})},
+  };
+  std::printf("  %-40s %10s %14s\n", "yield model", "yield", "gCO2e/good die");
+  for (const auto& m : models) {
+    const double y = m.model(die_area);
+    std::printf("  %-40s %9.1f%% %14.3f\n", m.name, 100.0 * y,
+                in_grams_co2e(per_wafer) / (dpw * y));
+  }
+
+  bench::section("A5: Si cell retention vs refresh share of memory energy");
+  std::printf("  %-16s %14s %16s\n", "retention", "refresh mW", "share of 18 pJ/c");
+  {
+    const memsys::EdramBank bank{memsys::si_bank_config()};
+    const double nominal_ret = in_seconds(bank.cell().retention);
+    for (const double scale : {0.1, 1.0, 10.0}) {
+      // Refresh power scales as 1/retention.
+      const double p_mw = in_milliwatts(bank.refresh_power()) / scale;
+      std::printf("  %13.1f us %14.4f %15.2f%%\n", nominal_ret * scale * 1e6, p_mw,
+                  100.0 * (p_mw * 1e-3 / 500e6) / 18e-12);
+    }
+  }
+
+  bench::section("A6: Table II memory energies across the Embench-style suite");
+  std::printf("  %-14s %12s %12s %14s %14s\n", "workload", "cycles", "acc/cycle", "Si pJ/c",
+              "M3D pJ/c");
+  const memsys::EdramBank si_bank{memsys::si_bank_config()};
+  const memsys::EdramBank m3d_bank{memsys::m3d_bank_config()};
+  for (const auto& w : workloads::embench_suite()) {
+    const auto run = workloads::run_workload(w);
+    const auto e_si = memsys::memory_energy(si_bank, run.stats, run.cycles, megahertz(500));
+    const auto e_m3d = memsys::memory_energy(m3d_bank, run.stats, run.cycles, megahertz(500));
+    std::printf("  %-14s %12llu %12.3f %14.2f %14.2f\n", w.name.c_str(),
+                static_cast<unsigned long long>(run.cycles),
+                static_cast<double>(run.stats.total_memory_accesses()) /
+                    static_cast<double>(run.cycles),
+                in_picojoules(e_si.per_cycle), in_picojoules(e_m3d.per_cycle));
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extensions the paper's conclusion names but does not evaluate: cost and
+// water accounting for both processes, and CORDOBA-style carbon-efficient
+// design-space optimization over (technology x VT x clock).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ppatc/carbon/flows.hpp"
+#include "ppatc/carbon/resources.hpp"
+#include "ppatc/core/optimize.hpp"
+
+int main() {
+  using namespace ppatc;
+  using namespace ppatc::units;
+  namespace cb = ppatc::carbon;
+
+  bench::title("Extensions — cost, water, and carbon-efficient design optimization");
+
+  const auto water = cb::WaterTable::typical();
+  const auto cost = cb::CostTable::typical();
+  const auto si_flow = cb::all_si_7nm_flow();
+  const auto m3d_flow = cb::m3d_igzo_cnfet_flow();
+
+  bench::section("E1: ultrapure water (paper conclusion: 'water consumption')");
+  std::printf("  %-24s %14s %16s\n", "process", "litres/wafer", "litres/good die");
+  std::printf("  %-24s %14.0f %16.4f\n", "all-Si",
+              cb::water_litres_per_wafer(si_flow, water),
+              cb::water_litres_per_good_die(si_flow, water, 299127, 0.9));
+  std::printf("  %-24s %14.0f %16.4f\n", "M3D IGZO/CNFET/Si",
+              cb::water_litres_per_wafer(m3d_flow, water),
+              cb::water_litres_per_good_die(m3d_flow, water, 606238, 0.5));
+
+  bench::section("E2: wafer cost (paper conclusion: 'cost'; the C of PPACE)");
+  std::printf("  %-24s %14s %16s\n", "process", "$/wafer", "$/good die");
+  std::printf("  %-24s %14.0f %16.4f\n", "all-Si", cb::cost_dollars_per_wafer(si_flow, cost),
+              cb::cost_dollars_per_good_die(si_flow, cost, 299127, 0.9));
+  std::printf("  %-24s %14.0f %16.4f\n", "M3D IGZO/CNFET/Si",
+              cb::cost_dollars_per_wafer(m3d_flow, cost),
+              cb::cost_dollars_per_good_die(m3d_flow, cost, 606238, 0.5));
+
+  bench::section("E3: carbon-efficient design-space optimization (crc32 workload, 24 months)");
+  core::OptimizationGoal goal;
+  goal.max_execution_time = units::milliseconds(6.0);
+  const auto result = core::optimize(core::DesignSpace{}, workloads::crc32(48), goal);
+  int feasible = 0;
+  for (const auto& p : result.all_points) feasible += p.feasible ? 1 : 0;
+  std::printf("  explored %zu points (%d close timing); deadline 6 ms per run\n",
+              result.all_points.size(), feasible);
+  std::printf("  top designs by tCDP:\n");
+  std::printf("  %-30s %-5s %8s %12s %12s %12s\n", "technology", "VT", "f MHz", "exec ms",
+              "tC g", "tCDP g.s");
+  for (std::size_t i = 0; i < result.ranked.size() && i < 6; ++i) {
+    const auto& p = result.ranked[i];
+    std::printf("  %-30s %-5s %8.0f %12.3f %12.3f %12.5f\n",
+                core::to_string(p.spec.tech), device::to_string(p.spec.vt),
+                in_megahertz(p.spec.fclk), 1e3 * in_seconds(p.evaluation.execution_time),
+                in_grams_co2e(p.total_carbon), p.tcdp);
+  }
+  std::printf("  (execution time, total carbon) Pareto front:\n");
+  for (const auto& p : result.pareto) {
+    std::printf("    %-30s %-5s %8.0f MHz: %8.3f ms, %8.3f g\n",
+                core::to_string(p.spec.tech), device::to_string(p.spec.vt),
+                in_megahertz(p.spec.fclk), 1e3 * in_seconds(p.evaluation.execution_time),
+                in_grams_co2e(p.total_carbon));
+  }
+  return 0;
+}

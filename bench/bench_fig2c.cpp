@@ -1,0 +1,56 @@
+// Reproduces Fig. 2c: embodied carbon per 300 mm wafer for the all-Si and
+// M3D processes across four electricity grids, with the MPA/GPA/EPA
+// breakdown and the paper's 1.31x average-ratio headline.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ppatc/carbon/embodied.hpp"
+#include "ppatc/carbon/flows.hpp"
+
+int main() {
+  using namespace ppatc;
+  using namespace ppatc::units;
+  namespace cb = ppatc::carbon;
+
+  bench::title("Figure 2c — embodied carbon per wafer (all-Si vs M3D IGZO/CNFET/Si)");
+
+  const cb::EmbodiedModel si = cb::all_si_embodied_model();
+  const cb::EmbodiedModel m3d = cb::m3d_embodied_model();
+
+  bench::section("fabrication energy (EPA)");
+  bench::compare_row("all-Si EPA", in_kilowatt_hours(si.energy_per_wafer()),
+                     0.79 * in_kilowatt_hours(cb::in7_reference_energy_per_wafer()), "kWh/wafer");
+  bench::compare_row("M3D EPA", in_kilowatt_hours(m3d.energy_per_wafer()),
+                     1.22 * in_kilowatt_hours(cb::in7_reference_energy_per_wafer()), "kWh/wafer");
+  bench::compare_row("all-Si / iN7-EUV ratio",
+                     si.energy_per_wafer() / cb::in7_reference_energy_per_wafer(), 0.79, "x");
+  bench::compare_row("M3D / iN7-EUV ratio",
+                     m3d.energy_per_wafer() / cb::in7_reference_energy_per_wafer(), 1.22, "x");
+
+  bench::section("per-wafer embodied carbon by grid (kgCO2e)");
+  std::printf("  %-10s %8s %14s %14s %8s\n", "grid", "gCO2/kWh", "all-Si", "M3D", "ratio");
+  const double paper_si[] = {837.0, 1267.0, 512.0, 1016.0};
+  const double paper_m3d[] = {1100.0, 1765.0, 598.0, 1377.0};
+  double ratio_sum = 0.0;
+  int i = 0;
+  for (const auto& grid : cb::grids::figure2c()) {
+    const double cs = in_kilograms_co2e(si.carbon_per_wafer(grid));
+    const double cm = in_kilograms_co2e(m3d.carbon_per_wafer(grid));
+    ratio_sum += cm / cs;
+    std::printf("  %-10s %8.0f %7.1f (%5.0f) %7.1f (%5.0f) %7.3fx\n", grid.name.c_str(),
+                in_grams_per_kilowatt_hour(grid.intensity), cs, paper_si[i], cm, paper_m3d[i],
+                cm / cs);
+    ++i;
+  }
+  bench::compare_row("average M3D/all-Si ratio (headline)", ratio_sum / 4.0, 1.31, "x");
+
+  bench::section("U.S.-grid breakdown (kgCO2e/wafer)");
+  for (const auto* model : {&si, &m3d}) {
+    const auto b = model->per_wafer(cb::grids::us());
+    std::printf("  %-28s MPA %7.1f  GPA %7.1f  fab-energy %7.1f  total %7.1f\n",
+                model->flow().name().c_str(), in_kilograms_co2e(b.materials),
+                in_kilograms_co2e(b.gases), in_kilograms_co2e(b.fab_energy),
+                in_kilograms_co2e(b.total()));
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Fig. 2d: steps in EUV metal-layer fabrication and the per-
+// process-area energies, including the paper's worked example (deposition:
+// 3 steps, 4 kWh total -> 1.33 kWh/step), plus the full flow inventories.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ppatc/carbon/flows.hpp"
+#include "ppatc/carbon/process_flow.hpp"
+
+int main() {
+  using namespace ppatc;
+  using namespace ppatc::units;
+  namespace cb = ppatc::carbon;
+
+  bench::title("Figure 2d — EUV metal-layer step inventory and per-area energies");
+
+  const auto table = cb::StepEnergyTable::calibrated();
+
+  cb::ProcessFlow one_layer{"one 36 nm EUV metal/via pair"};
+  one_layer.add_metal_via_pair(cb::MetalPitch::k36nm, "M1");
+  const auto counts = one_layer.step_count_by_area();
+  const auto energies = one_layer.energy_by_area(table);
+
+  std::printf("  %-16s %6s %14s %16s\n", "process area", "steps", "total (kWh)", "per step (kWh)");
+  for (std::size_t a = 0; a < cb::kProcessAreaCount; ++a) {
+    const double n = counts[a];
+    const double e = in_kilowatt_hours(energies[a]);
+    std::printf("  %-16s %6.0f %14.2f %16.3f\n",
+                cb::to_string(static_cast<cb::ProcessArea>(a)), n, e, n > 0 ? e / n : 0.0);
+  }
+  bench::compare_row("deposition kWh/step (paper's worked example)",
+                     in_kilowatt_hours(table.step_energy(cb::ProcessArea::kDeposition)),
+                     4.0 / 3.0, "kWh");
+  bench::value_row("total, one 36 nm pair", in_kilowatt_hours(one_layer.energy_per_wafer(table)),
+                   "kWh/wafer");
+
+  bench::section("metal/via-pair energy vs pitch class");
+  for (const auto pitch : {cb::MetalPitch::k36nm, cb::MetalPitch::k48nm, cb::MetalPitch::k64nm,
+                           cb::MetalPitch::k80nm}) {
+    cb::ProcessFlow f{"pair"};
+    f.add_metal_via_pair(pitch, "M");
+    std::printf("  %-8s (%-18s) %8.2f kWh/wafer\n", cb::to_string(pitch),
+                cb::to_string(cb::litho_for(pitch)), in_kilowatt_hours(f.energy_per_wafer(table)));
+  }
+
+  bench::section("full-flow step inventory (Eq. 4 count columns)");
+  std::printf("  %-16s %10s %10s\n", "process area", "all-Si", "M3D");
+  const auto si_counts = cb::all_si_7nm_flow().step_count_by_area();
+  const auto m3d_counts = cb::m3d_igzo_cnfet_flow().step_count_by_area();
+  for (std::size_t a = 0; a < cb::kProcessAreaCount; ++a) {
+    std::printf("  %-16s %10.0f %10.0f\n", cb::to_string(static_cast<cb::ProcessArea>(a)),
+                si_counts[a], m3d_counts[a]);
+  }
+
+  bench::section("BEOL device-tier energies");
+  {
+    cb::ProcessFlow cnt{"one CNFET tier"};
+    cb::append_cnfet_tier(cnt, 1);
+    cb::ProcessFlow igzo{"one IGZO tier"};
+    cb::append_igzo_tier(igzo, 1);
+    bench::value_row("CNFET tier (device steps only)",
+                     in_kilowatt_hours(cnt.energy_per_wafer(table)), "kWh/wafer");
+    bench::value_row("IGZO tier (device steps only)",
+                     in_kilowatt_hours(igzo.energy_per_wafer(table)), "kWh/wafer");
+    bench::value_row("FEOL+MOL (lumped, iN7-equivalent)",
+                     in_kilowatt_hours(cb::feol_mol_energy_per_wafer()), "kWh/wafer");
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Fig. 4: Cortex-M0 average energy per cycle vs clock frequency
+// for the four ASAP7 VT flavors (matmul-int workload scaling). Points where
+// synthesis fails timing are printed as "----", exactly the holes in the
+// paper's scatter.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ppatc/synth/m0.hpp"
+
+int main() {
+  using namespace ppatc;
+  using namespace ppatc::units;
+  namespace sy = ppatc::synth;
+
+  bench::title("Figure 4 — M0 energy per cycle vs f_CLK, by VT flavor");
+
+  const auto sweep = sy::figure4_sweep();
+
+  std::printf("  %-8s", "f (MHz)");
+  for (const auto vt : {device::VtFlavor::kHvt, device::VtFlavor::kRvt, device::VtFlavor::kLvt,
+                        device::VtFlavor::kSlvt}) {
+    std::printf(" %10s", device::to_string(vt));
+  }
+  std::printf("   (pJ/cycle)\n");
+
+  for (int f = 100; f <= 1000; f += 100) {
+    std::printf("  %-8d", f);
+    for (const auto vt : {device::VtFlavor::kHvt, device::VtFlavor::kRvt, device::VtFlavor::kLvt,
+                          device::VtFlavor::kSlvt}) {
+      bool printed = false;
+      for (const auto& p : sweep) {
+        if (p.vt == vt && std::abs(in_megahertz(p.fclk) - f) < 1e-6) {
+          if (p.result) {
+            std::printf(" %10.3f", in_picojoules(p.result->energy_per_cycle));
+          } else {
+            std::printf(" %10s", "----");
+          }
+          printed = true;
+        }
+      }
+      if (!printed) std::printf(" %10s", "?");
+    }
+    std::printf("\n");
+  }
+
+  bench::section("anchors and model properties");
+  sy::M0Options rvt;
+  rvt.vt = device::VtFlavor::kRvt;
+  const auto s500 = sy::M0Model{rvt}.synthesize(megahertz(500));
+  bench::compare_row("RVT @ 500 MHz energy/cycle (Table II)",
+                     in_picojoules(s500.energy_per_cycle), 1.42, "pJ");
+  for (const auto vt : {device::VtFlavor::kHvt, device::VtFlavor::kRvt, device::VtFlavor::kLvt,
+                        device::VtFlavor::kSlvt}) {
+    sy::M0Options o;
+    o.vt = vt;
+    const sy::M0Model m{o};
+    std::printf("  %-6s FO4 %6.2f ps   fmax %7.1f MHz   leakage %9.3f uW\n",
+                device::to_string(vt), in_picoseconds(m.fo4_delay()), in_megahertz(m.fmax()),
+                in_microwatts(m.leakage_power()));
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-performance benchmarks (google-benchmark) for the heavy kernels:
+// ISS dispatch, assembly, MNA transient steps, flow evaluation, die counting,
+// isoline extraction, and Monte-Carlo sampling.
+#include <benchmark/benchmark.h>
+
+#include "ppatc/carbon/embodied.hpp"
+#include "ppatc/carbon/flows.hpp"
+#include "ppatc/carbon/isoline.hpp"
+#include "ppatc/carbon/uncertainty.hpp"
+#include "ppatc/carbon/wafer.hpp"
+#include "ppatc/isa/assembler.hpp"
+#include "ppatc/memsys/bitcell.hpp"
+#include "ppatc/isa/cpu.hpp"
+#include "ppatc/spice/simulator.hpp"
+#include "ppatc/workloads/workload.hpp"
+
+namespace {
+
+using namespace ppatc;
+using namespace ppatc::units;
+
+void BM_IssDispatch(benchmark::State& state) {
+  const auto w = workloads::crc32(1);
+  const isa::Program p = isa::assemble(w.assembly);
+  for (auto _ : state) {
+    isa::Bus bus;
+    bus.load_program(0, p.bytes);
+    isa::Cpu cpu{bus};
+    cpu.reset(p.entry, isa::kDataBase + isa::kDataSize - 16);
+    const auto r = cpu.run(1'000'000'000);
+    benchmark::DoNotOptimize(r.cycles);
+    state.counters["insn/s"] = benchmark::Counter(static_cast<double>(r.instructions),
+                                                  benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_IssDispatch)->Unit(benchmark::kMillisecond);
+
+void BM_Assemble(benchmark::State& state) {
+  const auto w = workloads::matmult_int(1);
+  for (auto _ : state) {
+    const isa::Program p = isa::assemble(w.assembly);
+    benchmark::DoNotOptimize(p.bytes.data());
+  }
+}
+BENCHMARK(BM_Assemble)->Unit(benchmark::kMicrosecond);
+
+void BM_SpiceTransientRc(benchmark::State& state) {
+  spice::Circuit c;
+  c.add_vsource("vin", "in", "0",
+                spice::Stimulus::pwl({{seconds(0.0), volts(0.0)}, {seconds(1e-9), volts(1.0)}}));
+  c.add_resistor("in", "out", 1000.0);
+  c.add_capacitor("out", "0", femtofarads(10.0));
+  const spice::Simulator sim{c};
+  for (auto _ : state) {
+    const auto tr = sim.transient(nanoseconds(100.0), picoseconds(10.0));
+    benchmark::DoNotOptimize(tr->sample_count());
+  }
+}
+BENCHMARK(BM_SpiceTransientRc)->Unit(benchmark::kMillisecond);
+
+void BM_CellCharacterization(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto cc = memsys::characterize(memsys::all_si_cell());
+    benchmark::DoNotOptimize(cc.read_delay);
+  }
+}
+BENCHMARK(BM_CellCharacterization)->Unit(benchmark::kMillisecond);
+
+void BM_FlowEpa(benchmark::State& state) {
+  const auto table = carbon::StepEnergyTable::calibrated();
+  const auto flow = carbon::m3d_igzo_cnfet_flow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.energy_per_wafer(table));
+  }
+}
+BENCHMARK(BM_FlowEpa);
+
+void BM_DiesPerWaferGrid(benchmark::State& state) {
+  const carbon::DieSpec die{micrometres(515.0), micrometres(270.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(carbon::dies_per_wafer_grid(die));
+  }
+}
+BENCHMARK(BM_DiesPerWaferGrid)->Unit(benchmark::kMillisecond);
+
+void BM_Isoline(benchmark::State& state) {
+  carbon::SystemCarbonProfile m3d{"m3d", grams_co2e(3.63), milliwatts(8.46), watts(0.0),
+                                  milliseconds(40.0)};
+  carbon::SystemCarbonProfile si{"si", grams_co2e(3.11), milliwatts(9.71), watts(0.0),
+                                 milliseconds(40.0)};
+  carbon::OperationalScenario scen;
+  for (auto _ : state) {
+    const auto line = carbon::tcdp_isoline(m3d, si, scen, months(24.0));
+    benchmark::DoNotOptimize(line.size());
+  }
+}
+BENCHMARK(BM_Isoline)->Unit(benchmark::kMicrosecond);
+
+void BM_MonteCarlo(benchmark::State& state) {
+  carbon::UncertainProfile c;
+  c.embodied_per_good_die_g = carbon::Interval::factor(3.63, 1.2);
+  c.operational_power_w = carbon::Interval::point(8.46e-3);
+  c.execution_time_s = 0.040;
+  carbon::UncertainProfile b;
+  b.embodied_per_good_die_g = carbon::Interval::factor(3.11, 1.2);
+  b.operational_power_w = carbon::Interval::point(9.71e-3);
+  b.execution_time_s = 0.040;
+  carbon::UncertainScenario s;
+  s.ci_use_g_per_kwh = carbon::Interval::factor(380.0, 3.0);
+  s.lifetime_months = carbon::Interval::plus_minus(24.0, 6.0);
+  for (auto _ : state) {
+    const auto mc = carbon::monte_carlo_tcdp_ratio(c, b, s, 10000, 42);
+    benchmark::DoNotOptimize(mc.mean);
+  }
+}
+BENCHMARK(BM_MonteCarlo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Quantifies Table I: the benefit/challenge matrix of the three FET
+// families (I_EFF, I_OFF, BEOL compatibility), evaluated from the
+// virtual-source compact models at VDD = 0.7 V.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ppatc/device/library.hpp"
+
+int main() {
+  using namespace ppatc;
+  using namespace ppatc::units;
+  namespace dv = ppatc::device;
+
+  bench::title("Table I — FET benefits and challenges, quantified (VDD = 0.7 V, per um width)");
+
+  const Voltage vdd = volts(0.7);
+  struct Row {
+    const char* name;
+    dv::VsParams card;
+  };
+  const Row rows[] = {
+      {"Si FinFET (RVT)", dv::silicon_finfet(dv::Polarity::kNmos, dv::VtFlavor::kRvt)},
+      {"Si FinFET (HVT)", dv::silicon_finfet(dv::Polarity::kNmos, dv::VtFlavor::kHvt)},
+      {"CNFET (metallic removed)", dv::cnfet(dv::Polarity::kNmos)},
+      {"CNFET (0.1% metallic)", [] {
+         dv::CnfetOptions o;
+         o.metallic_fraction = 1e-3;
+         return dv::cnfet(dv::Polarity::kNmos, o);
+       }()},
+      {"IGZO FET", dv::igzo_fet()},
+  };
+
+  std::printf("  %-26s %12s %14s %10s %12s %6s\n", "device", "I_EFF uA/um", "I_OFF A/um",
+              "Ion/Ioff", "proc. temp C", "BEOL?");
+  for (const auto& row : rows) {
+    const dv::VirtualSourceFet fet{row.card, 1.0};
+    const double ieff = in_amperes(fet.effective_current(vdd)) * 1e6;
+    const double ioff = in_amperes(fet.off_current(vdd));
+    const double ion = in_amperes(fet.on_current(vdd));
+    std::printf("  %-26s %12.1f %14.3e %10.2e %12.0f %6s\n", row.name, ieff, ioff, ion / ioff,
+                in_kelvin(dv::process_temperature(row.card)) - 273.15,
+                dv::beol_compatible(row.card) ? "yes" : "no");
+  }
+
+  bench::section("Table I orderings (must all hold)");
+  const dv::VirtualSourceFet si{dv::silicon_finfet(dv::Polarity::kNmos, dv::VtFlavor::kRvt), 1.0};
+  const dv::VirtualSourceFet cn{dv::cnfet(dv::Polarity::kNmos), 1.0};
+  const dv::VirtualSourceFet igzo{dv::igzo_fet(), 1.0};
+  bench::text_row("CNFET I_EFF > Si I_EFF (high performance)",
+                  cn.effective_current(vdd) > si.effective_current(vdd) ? "OK" : "VIOLATED");
+  bench::text_row("IGZO I_EFF < Si I_EFF (low mobility)",
+                  igzo.effective_current(vdd) < si.effective_current(vdd) ? "OK" : "VIOLATED");
+  bench::text_row("IGZO I_OFF ultra-low (< 1e-3 x Si HVT)",
+                  in_amperes(igzo.off_current(vdd)) <
+                          1e-3 * in_amperes(dv::VirtualSourceFet{dv::silicon_finfet(
+                                                                     dv::Polarity::kNmos,
+                                                                     dv::VtFlavor::kHvt),
+                                                                 1.0}
+                                                .off_current(vdd))
+                      ? "OK"
+                      : "VIOLATED");
+  bench::text_row("Si bottom-tier only (>300 C processing)",
+                  !dv::beol_compatible(dv::silicon_finfet(dv::Polarity::kNmos, dv::VtFlavor::kRvt))
+                      ? "OK"
+                      : "VIOLATED");
+
+  bench::section("metallic-CNT fraction sweep (the Table I CNFET challenge)");
+  std::printf("  %-14s %14s %12s\n", "fraction", "I_OFF A/um", "Ion/Ioff");
+  for (const double f : {0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}) {
+    dv::CnfetOptions o;
+    o.metallic_fraction = f;
+    const dv::VirtualSourceFet fet{dv::cnfet(dv::Polarity::kNmos, o), 1.0};
+    std::printf("  %-14.1e %14.3e %12.2e\n", f, in_amperes(fet.off_current(vdd)),
+                in_amperes(fet.on_current(vdd)) / in_amperes(fet.off_current(vdd)));
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Table II: the full PPAtC summary of the case-study system in
+// both technologies, row by row against the paper's values.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ppatc/core/system.hpp"
+
+int main() {
+  using namespace ppatc;
+  using namespace ppatc::units;
+
+  bench::title("Table II — PPAtC summary (M0 + eDRAM, matmult-int @ 500 MHz, U.S. grid)");
+
+  const auto t2 = core::table2(workloads::matmult_int());
+
+  struct PaperColumn {
+    double m0_pj, mem_pj, cycles, mem_mm2, tot_mm2, h_um, w_um, emb_kg, dpw, emb_gd;
+  };
+  const PaperColumn paper_si{1.42, 18.0, 20047348, 0.068, 0.139, 270, 515, 837, 299127, 3.11};
+  const PaperColumn paper_m3d{1.42, 15.5, 20047348, 0.025, 0.053, 159, 334, 1100, 606238, 3.63};
+
+  const auto print_column = [](const core::SystemEvaluation& e, const PaperColumn& p) {
+    bench::section(e.system_name);
+    bench::text_row("clock frequency", "500 MHz (paper: 500 MHz)");
+    bench::compare_row("M0 dynamic energy per cycle", in_picojoules(e.m0_energy_per_cycle),
+                       p.m0_pj, "pJ");
+    bench::compare_row("average memory energy per cycle",
+                       in_picojoules(e.memory_energy_per_cycle), p.mem_pj, "pJ");
+    bench::compare_row("clock cycles to run matmult-int", static_cast<double>(e.cycles), p.cycles,
+                       "cycles");
+    bench::compare_row("64 kB memory area footprint", in_square_millimetres(e.memory_area),
+                       p.mem_mm2, "mm^2");
+    bench::compare_row("total area footprint (memory + M0)", in_square_millimetres(e.total_area),
+                       p.tot_mm2, "mm^2");
+    bench::compare_row("die height", in_micrometres(e.die_height), p.h_um, "um");
+    bench::compare_row("die width", in_micrometres(e.die_width), p.w_um, "um");
+    bench::compare_row("embodied carbon per wafer (U.S. grid)",
+                       in_kilograms_co2e(e.embodied_per_wafer), p.emb_kg, "kgCO2e");
+    bench::compare_row("total die count per 300 mm wafer",
+                       static_cast<double>(e.dies_per_wafer), p.dpw, "dies");
+    bench::value_row("yield (paper's demonstration value)", e.yield * 100.0, "%");
+    bench::compare_row("embodied carbon per good die",
+                       in_grams_co2e(e.embodied_per_good_die), p.emb_gd, "gCO2e");
+    bench::value_row("operational power while running",
+                     in_milliwatts(e.operational_power), "mW");
+  };
+  print_column(t2.all_si, paper_si);
+  print_column(t2.m3d, paper_m3d);
+
+  bench::section("Sec. III-C derived ratios");
+  bench::compare_row("all-Si / M3D die area", t2.all_si.total_area / t2.m3d.total_area, 2.72, "x");
+  const double good_si = static_cast<double>(t2.all_si.dies_per_wafer) * t2.all_si.yield;
+  const double good_m3d = static_cast<double>(t2.m3d.dies_per_wafer) * t2.m3d.yield;
+  bench::compare_row("good-die ratio (M3D / all-Si)", good_m3d / good_si, 1.13, "x");
+  bench::compare_row("embodied per good die (M3D / all-Si)",
+                     t2.m3d.embodied_per_good_die / t2.all_si.embodied_per_good_die, 1.17, "x");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared formatting helpers for the reproduction benches. Each bench binary
+// regenerates one table or figure of the paper and, where the paper states a
+// number, prints it next to the measured value.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ppatc::bench {
+
+inline void title(const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& what) { std::printf("\n--- %s ---\n", what.c_str()); }
+
+/// Prints a measured-vs-paper row with the relative deviation.
+inline void compare_row(const std::string& label, double measured, double paper,
+                        const std::string& unit) {
+  const double dev = paper != 0.0 ? (measured / paper - 1.0) * 100.0 : 0.0;
+  std::printf("  %-44s %12.4g %-10s (paper: %.4g, %+.1f%%)\n", label.c_str(), measured,
+              unit.c_str(), paper, dev);
+}
+
+inline void value_row(const std::string& label, double value, const std::string& unit) {
+  std::printf("  %-44s %12.4g %-10s\n", label.c_str(), value, unit.c_str());
+}
+
+inline void text_row(const std::string& label, const std::string& value) {
+  std::printf("  %-44s %s\n", label.c_str(), value.c_str());
+}
+
+}  // namespace ppatc::bench

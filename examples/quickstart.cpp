@@ -1,0 +1,62 @@
+// ppatc quickstart: compute the total carbon footprint of the paper's
+// case-study embedded system in both technologies and decide which is more
+// carbon-efficient for your deployment.
+//
+//   $ ./quickstart [lifetime_months]
+//
+// Walks through the whole public API in ~60 lines: evaluate a system,
+// inspect its PPAtC numbers, and compare lifetime carbon.
+#include <cstdio>
+#include <cstdlib>
+
+#include "ppatc/carbon/tcdp.hpp"
+#include "ppatc/core/system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppatc;
+  using namespace ppatc::units;
+
+  const double lifetime_months = argc > 1 ? std::atof(argv[1]) : 24.0;
+
+  // 1) Pick a workload — the paper's Table II uses Embench's matmult-int.
+  const workloads::Workload workload = workloads::matmult_int();
+
+  // 2) Evaluate the system in both technologies. This runs the workload on
+  //    the ARMv6-M ISS, characterizes the eDRAM with the built-in SPICE
+  //    engine, synthesizes the M0, floorplans the die, and applies the
+  //    embodied-carbon process models.
+  const core::SystemEvaluation si = core::evaluate(core::SystemSpec::all_si(), workload);
+  const core::SystemEvaluation m3d = core::evaluate(core::SystemSpec::m3d(), workload);
+
+  for (const auto* ev : {&si, &m3d}) {
+    std::printf("%s\n", ev->system_name.c_str());
+    std::printf("  performance : %llu cycles at 500 MHz -> %.1f ms per run\n",
+                static_cast<unsigned long long>(ev->cycles),
+                1e3 * in_seconds(ev->execution_time));
+    std::printf("  power       : %.2f mW while running (M0 %.2f + memory %.1f pJ/cycle)\n",
+                in_milliwatts(ev->operational_power), in_picojoules(ev->m0_energy_per_cycle),
+                in_picojoules(ev->memory_energy_per_cycle));
+    std::printf("  area        : %.3f mm^2 die (%.0f x %.0f um)\n",
+                in_square_millimetres(ev->total_area), in_micrometres(ev->die_height),
+                in_micrometres(ev->die_width));
+    std::printf("  carbon      : %.2f gCO2e embodied per good die (%.0f kg/wafer, %lld dies, %.0f%% yield)\n\n",
+                in_grams_co2e(ev->embodied_per_good_die),
+                in_kilograms_co2e(ev->embodied_per_wafer),
+                static_cast<long long>(ev->dies_per_wafer), 100.0 * ev->yield);
+  }
+
+  // 3) Compare total carbon over the deployment (2 h/day on the U.S. grid).
+  carbon::OperationalScenario scenario;  // defaults: U.S. grid, 20:00-22:00
+  const Duration life = months(lifetime_months);
+  const Carbon tc_si = carbon::total_carbon(si.carbon_profile(), scenario, life);
+  const Carbon tc_m3d = carbon::total_carbon(m3d.carbon_profile(), scenario, life);
+  const double tcdp_ratio =
+      carbon::tcdp_ratio(si.carbon_profile(), m3d.carbon_profile(), scenario, life);
+
+  std::printf("over %.0f months at 2 h/day (U.S. grid):\n", lifetime_months);
+  std::printf("  total carbon: all-Si %.2f gCO2e vs M3D %.2f gCO2e\n", in_grams_co2e(tc_si),
+              in_grams_co2e(tc_m3d));
+  std::printf("  tCDP ratio (all-Si / M3D): %.3fx -> %s is more carbon-efficient\n", tcdp_ratio,
+              tcdp_ratio > 1.0 ? "the M3D design" : "the all-Si design");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// technology_explorer: "should we develop this technology?" — the paper's
+// Fig. 6 workflow as a tool. Given a hypothetical emerging-technology design
+// point (how much more embodied carbon it costs, how much operational energy
+// it saves), report whether it beats the all-Si baseline, how robust that
+// verdict is to uncertainty, and what the Monte-Carlo odds are.
+//
+//   $ ./technology_explorer [embodied_scale] [energy_scale]
+//
+// e.g. `./technology_explorer 2.0 0.5` asks about a technology with 2x the
+// M3D design's embodied carbon but half its operational energy.
+#include <cstdio>
+#include <cstdlib>
+
+#include "ppatc/carbon/isoline.hpp"
+#include "ppatc/carbon/uncertainty.hpp"
+#include "ppatc/core/system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppatc;
+  using namespace ppatc::units;
+  namespace cb = ppatc::carbon;
+
+  const double emb_scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const double eng_scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  const auto t2 = core::table2(workloads::matmult_int());
+  const auto baseline = t2.all_si.carbon_profile();
+  const auto candidate = cb::scaled_profile(t2.m3d.carbon_profile(), emb_scale, eng_scale);
+
+  cb::OperationalScenario scen;
+  const Duration life = months(24.0);
+
+  std::printf("candidate: M3D design scaled by %.2fx embodied, %.2fx operational energy\n",
+              emb_scale, eng_scale);
+  std::printf("  embodied per good die : %.2f gCO2e (baseline %.2f)\n",
+              in_grams_co2e(candidate.embodied_per_good_die),
+              in_grams_co2e(baseline.embodied_per_good_die));
+  std::printf("  operational power     : %.2f mW (baseline %.2f)\n",
+              in_milliwatts(candidate.operational_power),
+              in_milliwatts(baseline.operational_power));
+
+  const double ratio = cb::tcdp_ratio(candidate, baseline, scen, life);
+  std::printf("\n24-month tCDP ratio (candidate/baseline): %.3f -> %s\n", ratio,
+              ratio < 1.0 ? "candidate IS more carbon-efficient"
+                          : "candidate is NOT more carbon-efficient");
+
+  // Where does this point sit relative to the isoline?
+  const auto iso_y = cb::isoline_energy_scale(t2.m3d.carbon_profile(), baseline, scen, life,
+                                              emb_scale);
+  if (iso_y) {
+    std::printf("isoline at x=%.2f passes through y=%.3f; margin to parity: %+.3f in y\n",
+                emb_scale, *iso_y, *iso_y - eng_scale);
+  }
+
+  // Robustness: +/-20% embodied, 3x CI, +/-6 months lifetime.
+  cb::UncertainProfile uc;
+  uc.embodied_per_good_die_g =
+      cb::Interval::factor(in_grams_co2e(candidate.embodied_per_good_die), 1.2);
+  uc.operational_power_w = cb::Interval::point(in_watts(candidate.operational_power));
+  uc.execution_time_s = in_seconds(candidate.execution_time);
+  cb::UncertainProfile ub;
+  ub.embodied_per_good_die_g =
+      cb::Interval::factor(in_grams_co2e(baseline.embodied_per_good_die), 1.2);
+  ub.operational_power_w = cb::Interval::point(in_watts(baseline.operational_power));
+  ub.execution_time_s = in_seconds(baseline.execution_time);
+  cb::UncertainScenario us;
+  us.ci_use_g_per_kwh = cb::Interval::factor(380.0, 3.0);
+  us.lifetime_months = cb::Interval::plus_minus(24.0, 6.0);
+
+  const cb::Interval r = cb::tcdp_ratio_interval(uc, ub, us);
+  std::printf("\nunder uncertainty (+/-20%% embodied, x/÷3 CI, +/-6 months):\n");
+  std::printf("  guaranteed ratio interval: [%.3f, %.3f]\n", r.lo, r.hi);
+  switch (cb::robust_compare(uc, ub, us)) {
+    case cb::RobustVerdict::kCandidateAlwaysWins:
+      std::printf("  verdict: candidate wins for EVERY parameter combination\n");
+      break;
+    case cb::RobustVerdict::kBaselineAlwaysWins:
+      std::printf("  verdict: baseline wins for EVERY parameter combination\n");
+      break;
+    case cb::RobustVerdict::kIndeterminate: {
+      const auto mc = cb::monte_carlo_tcdp_ratio(uc, ub, us, 20000, 7);
+      std::printf("  verdict: depends on the parameters; P(candidate wins) = %.1f%%\n",
+                  100.0 * mc.probability_candidate_wins);
+      std::printf("  ratio quantiles: p05 %.3f / p50 %.3f / p95 %.3f\n", mc.p05, mc.p50, mc.p95);
+      break;
+    }
+  }
+  return 0;
+}

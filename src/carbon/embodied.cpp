@@ -1,0 +1,54 @@
+#include "ppatc/carbon/embodied.hpp"
+
+#include <numbers>
+
+#include "ppatc/carbon/flows.hpp"
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+Area wafer_300mm_area() {
+  constexpr double radius_cm = 15.0;
+  return units::square_centimetres(std::numbers::pi * radius_cm * radius_cm);
+}
+
+CarbonPerArea in7_reference_gpa() { return units::grams_per_square_centimetre(200.0); }
+
+EmbodiedModel::EmbodiedModel(ProcessFlow flow, StepEnergyTable table, CarbonPerArea extra_mpa)
+    : flow_{std::move(flow)}, table_{table}, extra_mpa_{extra_mpa} {
+  PPATC_EXPECT(extra_mpa_.is_nonnegative(), "extra MPA cannot be negative");
+}
+
+Energy EmbodiedModel::energy_per_wafer() const { return flow_.energy_per_wafer(table_); }
+
+EnergyPerArea EmbodiedModel::epa() const { return energy_per_wafer() / wafer_300mm_area(); }
+
+CarbonPerArea EmbodiedModel::gpa() const {
+  const double ratio = energy_per_wafer() / in7_reference_energy_per_wafer();
+  return in7_reference_gpa() * ratio;
+}
+
+CarbonPerArea EmbodiedModel::mpa() const { return silicon_wafer_mpa() + extra_mpa_; }
+
+EmbodiedBreakdown EmbodiedModel::per_wafer(const Grid& fab_grid) const {
+  const Area area = wafer_300mm_area();
+  EmbodiedBreakdown b;
+  b.materials = mpa() * area;
+  b.gases = gpa() * area;
+  b.fab_energy = fab_grid.intensity * (energy_per_wafer() * kFacilityOverhead);
+  return b;
+}
+
+Carbon EmbodiedModel::carbon_per_wafer(const Grid& fab_grid) const {
+  return per_wafer(fab_grid).total();
+}
+
+EmbodiedModel all_si_embodied_model() { return EmbodiedModel{all_si_7nm_flow()}; }
+
+EmbodiedModel m3d_embodied_model() {
+  const Area wafer = wafer_300mm_area();
+  const CarbonPerArea extra = cnt_mpa(CntFilmSpec{}, wafer) + igzo_mpa(IgzoFilmSpec{});
+  return EmbodiedModel{m3d_igzo_cnfet_flow(), StepEnergyTable::calibrated(), extra};
+}
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,99 @@
+#include "ppatc/carbon/flows.hpp"
+
+#include <string>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+Energy feol_mol_energy_per_wafer() { return units::kilowatt_hours(436.0); }
+
+Energy in7_reference_energy_per_wafer() { return units::kilowatt_hours(884.7); }
+
+ProcessFlow all_si_7nm_flow() {
+  ProcessFlow flow{"all-Si 7nm"};
+  flow.add_lumped(feol_mol_energy_per_wafer(), "Si FinFET FEOL + MOL (iN7-equivalent)");
+  // ASAP7 metal stack: M1–M3 @ 36 nm, M4–M5 @ 48 nm, M6–M7 @ 64 nm,
+  // M8–M9 @ 80 nm (each level fabricated as a metal/via pair).
+  for (int m = 1; m <= 3; ++m) flow.add_metal_via_pair(MetalPitch::k36nm, "M" + std::to_string(m));
+  for (int m = 4; m <= 5; ++m) flow.add_metal_via_pair(MetalPitch::k48nm, "M" + std::to_string(m));
+  for (int m = 6; m <= 7; ++m) flow.add_metal_via_pair(MetalPitch::k64nm, "M" + std::to_string(m));
+  for (int m = 8; m <= 9; ++m) flow.add_metal_via_pair(MetalPitch::k80nm, "M" + std::to_string(m));
+  return flow;
+}
+
+void append_cnfet_tier(ProcessFlow& flow, int tier_index) {
+  const std::string t = "CNFET tier " + std::to_string(tier_index);
+  flow.add_step(ProcessArea::kDeposition, 1, t + ": isolation oxide deposition");
+  flow.add_step(ProcessArea::kDeposition, 1, t + ": CNT deposition (wet incubation, ~2 nm)");
+  flow.add_step(ProcessArea::kLithography, 1, t + ": active-region exposure", LithoClass::kEuv36nm);
+  flow.add_step(ProcessArea::kDryEtch, 1, t + ": active-region O2 plasma etch");
+  flow.add_step(ProcessArea::kLithography, 1, t + ": source/drain exposure", LithoClass::kEuv36nm);
+  flow.add_step(ProcessArea::kMetallization, 1, t + ": source/drain metal deposition (40 nm)");
+  flow.add_step(ProcessArea::kWetEtch, 1, t + ": source/drain lift-off");
+  flow.add_step(ProcessArea::kDeposition, 1, t + ": high-k gate dielectric deposition (2 nm)");
+  flow.add_step(ProcessArea::kLithography, 1, t + ": gate exposure (30 nm Lg)", LithoClass::kEuv36nm);
+  flow.add_step(ProcessArea::kMetallization, 1, t + ": gate metal deposition");
+  flow.add_step(ProcessArea::kDryEtch, 1, t + ": gate etch");
+  flow.add_step(ProcessArea::kWetEtch, 1, t + ": source/drain expose wet etch");
+  flow.add_step(ProcessArea::kWetEtch, 1, t + ": post-tier clean");
+  flow.add_step(ProcessArea::kMetrology, 3, t + ": inline inspection");
+}
+
+void append_igzo_tier(ProcessFlow& flow, int tier_index) {
+  const std::string t = "IGZO tier " + std::to_string(tier_index);
+  flow.add_step(ProcessArea::kDeposition, 1, t + ": IGZO RF sputter deposition (10 nm)");
+  flow.add_step(ProcessArea::kLithography, 1, t + ": active-region exposure", LithoClass::kEuv36nm);
+  flow.add_step(ProcessArea::kWetEtch, 1, t + ": active-region wet etch");
+  flow.add_step(ProcessArea::kDeposition, 1, t + ": high-k gate dielectric deposition");
+  flow.add_step(ProcessArea::kLithography, 1, t + ": gate exposure", LithoClass::kEuv36nm);
+  flow.add_step(ProcessArea::kMetallization, 1, t + ": gate metal deposition");
+  flow.add_step(ProcessArea::kDryEtch, 1, t + ": gate etch");
+  flow.add_step(ProcessArea::kWetEtch, 1, t + ": post-tier clean");
+  flow.add_step(ProcessArea::kMetrology, 2, t + ": inline inspection");
+}
+
+ProcessFlow m3d_igzo_cnfet_flow(const M3dFlowOptions& options) {
+  PPATC_EXPECT(options.cnfet_tiers >= 0 && options.igzo_tiers >= 0, "tier counts must be >= 0");
+  ProcessFlow flow{"M3D IGZO/CNFET/Si 7nm"};
+  flow.add_lumped(feol_mol_energy_per_wafer(), "Si FinFET FEOL + MOL (iN7-equivalent)");
+
+  // Identical to the all-Si process through M4.
+  for (int m = 1; m <= 3; ++m) flow.add_metal_via_pair(MetalPitch::k36nm, "M" + std::to_string(m));
+  flow.add_metal_via_pair(MetalPitch::k48nm, "M4");
+
+  int metal = 5;
+  // CNFET tiers: each tier is followed by its contact level (a 36 nm
+  // metal/via pair, e.g. M5+VCNT1), then an inter-tier routing level (36 nm
+  // pair) plus the standalone via that lands on the next tier (e.g. V6).
+  for (int tier = 1; tier <= options.cnfet_tiers; ++tier) {
+    append_cnfet_tier(flow, tier);
+    flow.add_metal_via_pair(MetalPitch::k36nm,
+                            "M" + std::to_string(metal) + "+VCNT" + std::to_string(tier));
+    ++metal;
+    flow.add_metal_via_pair(MetalPitch::k36nm, "M" + std::to_string(metal) + " (inter-tier)");
+    flow.add_via_only(MetalPitch::k36nm, "V" + std::to_string(metal) + " (tier landing)");
+    ++metal;
+  }
+
+  // IGZO tiers: source/drain + landing via modeled as a 36 nm pair (paper:
+  // "IGZO source/drain and V8"), then two 36 nm routing levels (M9–M10).
+  for (int tier = 1; tier <= options.igzo_tiers; ++tier) {
+    append_igzo_tier(flow, tier);
+    flow.add_metal_via_pair(MetalPitch::k36nm, "IGZO S/D + V" + std::to_string(metal + 3));
+    flow.add_metal_via_pair(MetalPitch::k36nm, "M" + std::to_string(metal));
+    ++metal;
+    flow.add_metal_via_pair(MetalPitch::k36nm, "M" + std::to_string(metal));
+    ++metal;
+  }
+
+  // Top-of-stack routing at the all-Si M5–M9 dimensions: 48, 64, 64, 80, 80.
+  flow.add_metal_via_pair(MetalPitch::k48nm, "M" + std::to_string(metal++));
+  flow.add_metal_via_pair(MetalPitch::k64nm, "M" + std::to_string(metal++));
+  flow.add_metal_via_pair(MetalPitch::k64nm, "M" + std::to_string(metal++));
+  flow.add_metal_via_pair(MetalPitch::k80nm, "M" + std::to_string(metal++));
+  flow.add_metal_via_pair(MetalPitch::k80nm, "M" + std::to_string(metal++));
+  return flow;
+}
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,71 @@
+#include "ppatc/carbon/grid.hpp"
+
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+namespace grids {
+
+Grid us() { return {"U.S.", units::grams_per_kilowatt_hour(380.0)}; }
+Grid coal() { return {"coal", units::grams_per_kilowatt_hour(820.0)}; }
+Grid solar() { return {"solar", units::grams_per_kilowatt_hour(48.0)}; }
+Grid taiwan() { return {"Taiwan", units::grams_per_kilowatt_hour(563.0)}; }
+
+std::vector<Grid> figure2c() { return {us(), coal(), solar(), taiwan()}; }
+
+}  // namespace grids
+
+DiurnalIntensity DiurnalIntensity::flat(CarbonIntensity ci) {
+  PPATC_EXPECT(ci.is_nonnegative(), "carbon intensity cannot be negative");
+  DiurnalIntensity d;
+  d.hourly_.fill(ci);
+  return d;
+}
+
+DiurnalIntensity DiurnalIntensity::hourly(std::array<CarbonIntensity, 24> values) {
+  for (const auto& v : values) PPATC_EXPECT(v.is_nonnegative(), "carbon intensity cannot be negative");
+  DiurnalIntensity d;
+  d.hourly_ = values;
+  return d;
+}
+
+DiurnalIntensity DiurnalIntensity::with_evening_peak(CarbonIntensity base, double peak_fraction) {
+  PPATC_EXPECT(peak_fraction >= -1.0, "peak fraction below -1 would make CI negative");
+  DiurnalIntensity d;
+  for (int h = 0; h < 24; ++h) {
+    // Gaussian bump centred at 20:00 with ~3 h half-width, wrapped circularly.
+    double dist = std::abs(h + 0.5 - 20.0);
+    dist = std::min(dist, 24.0 - dist);
+    const double bump = std::exp(-(dist * dist) / (2.0 * 3.0 * 3.0));
+    d.hourly_[h] = base * (1.0 + peak_fraction * bump);
+  }
+  return d;
+}
+
+CarbonIntensity DiurnalIntensity::at_hour(double h) const {
+  PPATC_EXPECT(h >= 0.0 && h < 24.0, "hour of day must be in [0, 24)");
+  return hourly_[static_cast<std::size_t>(h)];
+}
+
+CarbonIntensity DiurnalIntensity::mean_over_window(double start_hour, double end_hour) const {
+  PPATC_EXPECT(start_hour >= 0.0 && start_hour < 24.0, "window start must be in [0, 24)");
+  PPATC_EXPECT(end_hour > start_hour && end_hour <= 24.0,
+               "window end must be after start and within the day");
+  // Integrate the piecewise-constant profile over [start, end).
+  double total_gj = 0.0;  // gCO2e/J * hours
+  double width = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    const double lo = std::max(start_hour, static_cast<double>(h));
+    const double hi = std::min(end_hour, static_cast<double>(h + 1));
+    if (hi <= lo) continue;
+    total_gj += hourly_[h].base() * (hi - lo);
+    width += hi - lo;
+  }
+  return CarbonIntensity::from_base(total_gj / width);
+}
+
+CarbonIntensity DiurnalIntensity::daily_mean() const { return mean_over_window(0.0, 24.0); }
+
+}  // namespace ppatc::carbon

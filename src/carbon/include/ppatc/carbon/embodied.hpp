@@ -1,0 +1,69 @@
+// ppatc: embodied carbon of a fabrication process (the paper's Eq. 2-4).
+//
+//   C_embodied = (MPA + GPA + CI_fab * EPA_f) * Area,   EPA_f = 1.4 * EPA
+//
+// MPA: materials procurement per area (Si wafer + emerging-material adders).
+// GPA: abated high-GWP process-gas emissions per area, scaled from the imec
+//      iN7-EUV value by the EPA ratio (Eq. 3).
+// EPA: electrical fabrication energy per area from the process-flow model
+//      (Eq. 4), with a 40% facility overhead (2015 ITRS).
+#pragma once
+
+#include "ppatc/carbon/grid.hpp"
+#include "ppatc/carbon/materials.hpp"
+#include "ppatc/carbon/process_flow.hpp"
+
+namespace ppatc::carbon {
+
+/// Standard 300 mm wafer area (706.86 cm^2).
+[[nodiscard]] Area wafer_300mm_area();
+
+/// GPA of the imec iN7-EUV reference: 0.20 kgCO2e/cm^2 [4].
+[[nodiscard]] CarbonPerArea in7_reference_gpa();
+
+/// Facility (HVAC, abatement, sub-fab) energy overhead factor from the 2015
+/// ITRS ESH chapter: EPA_f = 1.4 * EPA.
+inline constexpr double kFacilityOverhead = 1.4;
+
+/// Per-wafer embodied-carbon breakdown.
+struct EmbodiedBreakdown {
+  Carbon materials;    ///< MPA * area
+  Carbon gases;        ///< GPA * area
+  Carbon fab_energy;   ///< CI_fab * EPA_f * area
+  [[nodiscard]] Carbon total() const { return materials + gases + fab_energy; }
+};
+
+/// Embodied-carbon model for one fabrication process.
+class EmbodiedModel {
+ public:
+  /// `extra_mpa` carries emerging-material adders (CNT/IGZO synthesis).
+  EmbodiedModel(ProcessFlow flow, StepEnergyTable table = StepEnergyTable::calibrated(),
+                CarbonPerArea extra_mpa = CarbonPerArea{});
+
+  [[nodiscard]] const ProcessFlow& flow() const { return flow_; }
+
+  /// EPA: fabrication energy per wafer area (before facility overhead).
+  [[nodiscard]] EnergyPerArea epa() const;
+  /// Fabrication energy per 300 mm wafer (before facility overhead).
+  [[nodiscard]] Energy energy_per_wafer() const;
+  /// GPA via Eq. 3: GPA_iN7 * EPA_process / EPA_iN7.
+  [[nodiscard]] CarbonPerArea gpa() const;
+  /// MPA: Si wafer baseline + extra adders.
+  [[nodiscard]] CarbonPerArea mpa() const;
+
+  /// Eq. 2 evaluated per 300 mm wafer with the given fabrication grid.
+  [[nodiscard]] EmbodiedBreakdown per_wafer(const Grid& fab_grid) const;
+  [[nodiscard]] Carbon carbon_per_wafer(const Grid& fab_grid) const;
+
+ private:
+  ProcessFlow flow_;
+  StepEnergyTable table_;
+  CarbonPerArea extra_mpa_;
+};
+
+/// Convenience: the paper's two processes as ready-made embodied models (the
+/// M3D model includes the CNT + IGZO materials adders).
+[[nodiscard]] EmbodiedModel all_si_embodied_model();
+[[nodiscard]] EmbodiedModel m3d_embodied_model();
+
+}  // namespace ppatc::carbon

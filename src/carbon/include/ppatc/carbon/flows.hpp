@@ -1,0 +1,43 @@
+// ppatc: the two fabrication flows analyzed by the paper (Fig. 2a/b).
+//
+//  * all-Si 7 nm (ASAP7-style): Si FinFET FEOL/MOL + 9-layer BEOL
+//    (M1–M3 @ 36 nm, M4–M5 @ 48 nm, M6–M7 @ 64 nm, M8–M9 @ 80 nm).
+//  * M3D IGZO/CNFET/Si: identical through M4, then two CNFET tiers and one
+//    IGZO-FET tier interleaved with 36 nm-pitch metal levels (M5–M10), topped
+//    by five metal layers (M11–M15) at the all-Si M5–M9 dimensions.
+//
+// Both flows lump their FEOL+MOL at the imec iN7-EUV value (436 kWh/wafer),
+// exactly as the paper does.
+#pragma once
+
+#include "ppatc/carbon/process_flow.hpp"
+
+namespace ppatc::carbon {
+
+/// FEOL + MOL electrical energy, equated to the imec iN7-EUV front end [4].
+[[nodiscard]] Energy feol_mol_energy_per_wafer();
+
+/// Full-flow electrical energy of the imec iN7-EUV reference node, used as
+/// the denominator of the paper's Eq. 3 GPA scaling. Back-solved from the
+/// paper's Table II embodied-carbon anchors (see DESIGN.md).
+[[nodiscard]] Energy in7_reference_energy_per_wafer();
+
+/// Options for the M3D flow construction.
+struct M3dFlowOptions {
+  int cnfet_tiers = 2;
+  int igzo_tiers = 1;
+};
+
+/// The baseline all-Si 7 nm process flow (Fig. 2a).
+[[nodiscard]] ProcessFlow all_si_7nm_flow();
+
+/// The monolithic-3D IGZO/CNFET/Si process flow (Fig. 2b).
+[[nodiscard]] ProcessFlow m3d_igzo_cnfet_flow(const M3dFlowOptions& options = {});
+
+/// Step sequence of one BEOL CNFET device tier (appended in place).
+void append_cnfet_tier(ProcessFlow& flow, int tier_index);
+
+/// Step sequence of one BEOL IGZO-FET device tier (appended in place).
+void append_igzo_tier(ProcessFlow& flow, int tier_index);
+
+}  // namespace ppatc::carbon

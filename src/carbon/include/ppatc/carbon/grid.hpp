@@ -1,0 +1,65 @@
+// ppatc: electricity carbon-intensity data.
+//
+// Carbon intensity (CI) converts electrical energy into equivalent CO2
+// emissions. The paper uses one CI for fabrication (CI_fab, set by the
+// foundry's grid) and one for operation (CI_use, set by where the device is
+// used, potentially varying by time of day — Eq. 1/6-8). This header provides
+// the four grids of Fig. 2c plus a diurnal profile type for CI_use(t).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ppatc/common/units.hpp"
+
+namespace ppatc::carbon {
+
+/// A named grid with a (flat) average carbon intensity.
+struct Grid {
+  std::string name;
+  CarbonIntensity intensity;
+};
+
+namespace grids {
+/// U.S. average grid: 380 gCO2e/kWh [4], [20].
+[[nodiscard]] Grid us();
+/// Coal-dominated grid: 820 gCO2e/kWh.
+[[nodiscard]] Grid coal();
+/// Solar generation: 48 gCO2e/kWh (lifecycle).
+[[nodiscard]] Grid solar();
+/// Taiwanese grid: 563 gCO2e/kWh.
+[[nodiscard]] Grid taiwan();
+/// The four grids of the paper's Fig. 2c, in its order.
+[[nodiscard]] std::vector<Grid> figure2c();
+}  // namespace grids
+
+/// CI_use(t) as 24 hourly values (local time), repeating daily. A flat
+/// profile models a constant-CI grid; a shaped profile captures e.g. the
+/// evening ramp when solar generation drops.
+class DiurnalIntensity {
+ public:
+  /// Flat profile at the grid's average intensity.
+  [[nodiscard]] static DiurnalIntensity flat(CarbonIntensity ci);
+  /// Explicit 24 hourly values.
+  [[nodiscard]] static DiurnalIntensity hourly(std::array<CarbonIntensity, 24> values);
+  /// Flat profile scaled by a smooth evening peak: value(h) =
+  /// base * (1 + peak_fraction * bump(h)), bump centred at 20:00.
+  [[nodiscard]] static DiurnalIntensity with_evening_peak(CarbonIntensity base,
+                                                          double peak_fraction);
+
+  /// CI at hour-of-day h in [0, 24).
+  [[nodiscard]] CarbonIntensity at_hour(double h) const;
+
+  /// Mean CI over the daily window [start_hour, end_hour) — the paper's
+  /// \bar{CI}_{use,8to10pm} for start=20, end=22.
+  [[nodiscard]] CarbonIntensity mean_over_window(double start_hour, double end_hour) const;
+
+  /// Mean over the full day.
+  [[nodiscard]] CarbonIntensity daily_mean() const;
+
+ private:
+  std::array<CarbonIntensity, 24> hourly_{};
+};
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,91 @@
+// ppatc: tCDP trade-space maps and isolines (the paper's Fig. 6).
+//
+// The design question "when is M3D more carbon-efficient than all-Si?" is
+// visualized over a 2-D space: the x-axis scales the M3D design's embodied
+// carbon and the y-axis scales its operational energy. Each grid point holds
+// the tCDP ratio of the scaled M3D design versus the unscaled baseline; the
+// tCDP isoline is the ratio=1 boundary. Scenario perturbations (lifetime,
+// CI_use, yield — Fig. 6b) shift the isoline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ppatc/carbon/tcdp.hpp"
+
+namespace ppatc::carbon {
+
+/// Axis specification: `samples` points from lo to hi inclusive.
+struct AxisSpec {
+  double lo = 0.25;
+  double hi = 4.0;
+  int samples = 16;  ///< default grid steps by 0.25, so x = 1.0 is sampled
+
+  [[nodiscard]] double at(int i) const;
+};
+
+/// A candidate profile with its embodied carbon scaled by x and operational
+/// (and standby) power scaled by y.
+[[nodiscard]] SystemCarbonProfile scaled_profile(const SystemCarbonProfile& profile,
+                                                 double embodied_scale, double energy_scale);
+
+/// The Fig. 6a colormap: ratio[yi][xi] = tCDP(scaled candidate) /
+/// tCDP(baseline). Values < 1 mean the candidate (M3D) is more
+/// carbon-efficient at that point.
+struct TcdpMap {
+  AxisSpec embodied_axis;  ///< x: C_embodied scale of the candidate
+  AxisSpec energy_axis;    ///< y: E_operational scale of the candidate
+  std::vector<std::vector<double>> ratio;  ///< [y index][x index]
+};
+
+[[nodiscard]] TcdpMap tcdp_map(const SystemCarbonProfile& candidate,
+                               const SystemCarbonProfile& baseline,
+                               const OperationalScenario& scenario, Duration lifetime,
+                               AxisSpec embodied_axis = {}, AxisSpec energy_axis = {});
+
+/// One isoline point: at embodied scale x, the energy scale y where the tCDP
+/// ratio is exactly 1. nullopt where no y in [y_lo_bound, y_hi_bound] reaches
+/// parity (the candidate wins or loses for every y).
+[[nodiscard]] std::optional<double> isoline_energy_scale(const SystemCarbonProfile& candidate,
+                                                         const SystemCarbonProfile& baseline,
+                                                         const OperationalScenario& scenario,
+                                                         Duration lifetime, double embodied_scale,
+                                                         double y_lo_bound = 1e-4,
+                                                         double y_hi_bound = 1e4);
+
+/// The full isoline sampled over the embodied axis.
+struct IsolinePoint {
+  double embodied_scale;
+  std::optional<double> energy_scale;
+};
+
+[[nodiscard]] std::vector<IsolinePoint> tcdp_isoline(const SystemCarbonProfile& candidate,
+                                                     const SystemCarbonProfile& baseline,
+                                                     const OperationalScenario& scenario,
+                                                     Duration lifetime, AxisSpec embodied_axis = {});
+
+/// Fig. 6b: a named scenario perturbation and its isoline.
+struct IsolineVariant {
+  std::string label;
+  std::vector<IsolinePoint> isoline;
+};
+
+/// Inputs for the Fig. 6b variants, applied to the *candidate* profile /
+/// scenario as in the paper: lifetime +/- delta, CI_use x/÷ factor, and
+/// candidate yield set to given values (which rescale its embodied carbon).
+struct VariantSpec {
+  Duration lifetime_delta = units::months(6.0);
+  double ci_factor = 3.0;
+  double yield_low = 0.10;
+  double yield_high = 0.90;
+  double yield_nominal = 0.50;
+};
+
+[[nodiscard]] std::vector<IsolineVariant> isoline_variants(const SystemCarbonProfile& candidate,
+                                                           const SystemCarbonProfile& baseline,
+                                                           const OperationalScenario& scenario,
+                                                           Duration lifetime,
+                                                           const VariantSpec& spec = {},
+                                                           AxisSpec embodied_axis = {});
+
+}  // namespace ppatc::carbon

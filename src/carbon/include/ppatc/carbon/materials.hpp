@@ -1,0 +1,50 @@
+// ppatc: materials-procurement carbon (the MPA term of Eq. 2).
+//
+// The paper sets MPA = 500 gCO2e/cm^2 for the Si wafer (3.5e5 gCO2e per
+// 300 mm wafer, from semiconductor LCAs [30]) and adds the footprint of any
+// emerging-material synthesis: for CNTs, ~14 kgCO2e per gram of CNT averaged
+// across synthesis methods [31], applied to the (picogram-scale) CNT mass a
+// wafer actually carries. The same accounting hook exists for IGZO targets.
+#pragma once
+
+#include "ppatc/common/units.hpp"
+
+namespace ppatc::carbon {
+
+/// Baseline Si-wafer materials footprint per area: 500 gCO2e/cm^2 [30].
+[[nodiscard]] CarbonPerArea silicon_wafer_mpa();
+
+/// CNT synthesis footprint per mass: ~14 kgCO2e/g (LCA average) [31].
+[[nodiscard]] Carbon cnt_synthesis_carbon_per_gram();
+
+/// Geometry of the deposited CNT films, to compute per-wafer CNT mass.
+struct CntFilmSpec {
+  double cnts_per_um = 200.0;        ///< CNT areal density
+  double diameter_nm = 1.4;          ///< target CNT diameter (1–2 nm)
+  double coverage_fraction = 0.35;   ///< fraction of wafer area under CNT film
+  int tiers = 2;                     ///< number of CNFET tiers in the stack
+};
+
+/// Total CNT mass on one 300 mm wafer for the given film spec. SWCNT linear
+/// mass density scales with diameter: ~(d/1 nm) * 1.95e-21 kg/nm of tube.
+[[nodiscard]] Mass cnt_mass_per_wafer(const CntFilmSpec& spec, Area wafer_area);
+
+/// MPA contribution of the CNTs (carbon per wafer area).
+[[nodiscard]] CarbonPerArea cnt_mpa(const CntFilmSpec& spec, Area wafer_area);
+
+/// IGZO sputter-target materials footprint per area. Modeled as a thin-film
+/// mass times an indium-dominated embodied factor (~200 gCO2e per gram of
+/// target material); like the CNT term this is negligible next to the Si
+/// wafer but is accounted explicitly.
+struct IgzoFilmSpec {
+  double thickness_nm = 10.0;
+  double coverage_fraction = 0.35;
+  int tiers = 1;
+  double density_g_per_cm3 = 6.1;
+  double carbon_per_gram_g = 200.0;
+  double deposition_yield = 0.3;  ///< fraction of sputtered target mass landing on wafer
+};
+
+[[nodiscard]] CarbonPerArea igzo_mpa(const IgzoFilmSpec& spec);
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,53 @@
+// ppatc: operational carbon (the paper's Eq. 1 and its Eq. 6-8 reduction).
+//
+// The general form is C_operational = integral of CI_use(t) * P(t) dt over
+// the system lifetime (Eq. 1). For the paper's usage pattern — the device
+// runs its application during a fixed daily window (8-10 pm) and is otherwise
+// off — P(t) = P_operational * indicator(window), and the integral reduces to
+//
+//   C_op = mean(CI_use over window) * P_operational * t_life * (window/24 h)
+//
+// (Eq. 8). Both forms are implemented; tests verify they agree.
+#pragma once
+
+#include <functional>
+
+#include "ppatc/carbon/grid.hpp"
+#include "ppatc/common/units.hpp"
+
+namespace ppatc::carbon {
+
+/// Daily usage window, local time. The paper uses 20:00-22:00 (2 h/day).
+struct UsageWindow {
+  double start_hour = 20.0;
+  double end_hour = 22.0;
+
+  [[nodiscard]] double hours_per_day() const { return end_hour - start_hour; }
+  [[nodiscard]] double duty_cycle() const { return hours_per_day() / 24.0; }
+};
+
+/// Operational-carbon scenario: where the device runs and when.
+struct OperationalScenario {
+  DiurnalIntensity use_intensity = DiurnalIntensity::flat(grids::us().intensity);
+  UsageWindow window{};
+};
+
+/// Eq. 8: closed-form operational carbon for power `p` drawn only during the
+/// daily window, over `lifetime`.
+[[nodiscard]] Carbon operational_carbon(const OperationalScenario& scenario, Power p,
+                                        Duration lifetime);
+
+/// Always-on contribution (e.g. retention refresh while idle): power drawn
+/// 24 h/day at the profile's daily-mean CI.
+[[nodiscard]] Carbon standby_carbon(const OperationalScenario& scenario, Power p,
+                                    Duration lifetime);
+
+/// Eq. 1 evaluated numerically: integrates CI_use(t) * P(t) over the lifetime
+/// with per-`step` trapezoids, where `power_at` gives P as a function of the
+/// hour of day in [0, 24). Used to validate the Eq. 8 reduction and to model
+/// arbitrary usage patterns.
+[[nodiscard]] Carbon operational_carbon_integral(const DiurnalIntensity& ci,
+                                                 const std::function<Power(double hour)>& power_at,
+                                                 Duration lifetime, Duration step);
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,79 @@
+// ppatc: process flows — ordered step inventories with energy accounting.
+//
+// A ProcessFlow is the N^(flow)_step column of the paper's Eq. 4: how many
+// times each process step is used in a full wafer flow. EPA is the inner
+// product of that column with the per-step energy table, plus any lumped
+// front-end contribution (the paper equates FEOL+MOL energy of both processes
+// to the imec iN7 value, 436 kWh/wafer).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ppatc/carbon/process_step.hpp"
+#include "ppatc/common/units.hpp"
+
+namespace ppatc::carbon {
+
+/// Interconnect pitch classes used by the paper's metal stacks (ASAP7).
+enum class MetalPitch {
+  k36nm,  ///< M1–M3 class, EUV single exposure
+  k48nm,  ///< modeled with the 42 nm-pitch EUV layer energy (paper Sec. II-C)
+  k64nm,  ///< 193i single exposure
+  k80nm,  ///< 193i single exposure
+};
+
+[[nodiscard]] const char* to_string(MetalPitch pitch);
+[[nodiscard]] LithoClass litho_for(MetalPitch pitch);
+
+class ProcessFlow {
+ public:
+  explicit ProcessFlow(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Appends `count` repetitions of one step.
+  ProcessFlow& add_step(ProcessArea area, double count, std::string label,
+                        LithoClass litho = LithoClass::kNone);
+
+  /// Appends the canonical step sequence of one metal layer + its landing via
+  /// at the given pitch: 1 exposure, 4 dry etches, 3 depositions,
+  /// 2 metallization steps, 2 wet cleans, 5 metrology passes.
+  ProcessFlow& add_metal_via_pair(MetalPitch pitch, std::string label);
+
+  /// Appends a standalone via level (no metal line): 1 exposure, 1 dry etch,
+  /// 1 metallization, 1 metrology.
+  ProcessFlow& add_via_only(MetalPitch pitch, std::string label);
+
+  /// Adds a lumped energy contribution that is not decomposed into steps
+  /// (e.g. the imec iN7 FEOL+MOL block).
+  ProcessFlow& add_lumped(Energy per_wafer, std::string label);
+
+  [[nodiscard]] const std::vector<ProcessStep>& steps() const { return steps_; }
+
+  /// Total step count per process area (the Eq. 4 column vector).
+  [[nodiscard]] std::array<double, kProcessAreaCount> step_count_by_area() const;
+
+  /// Electrical fabrication energy per wafer (EPA * wafer area), i.e. the
+  /// Eq. 4 matrix product evaluated for this flow.
+  [[nodiscard]] Energy energy_per_wafer(const StepEnergyTable& table) const;
+
+  /// Energy of the decomposed steps only (excluding lumped blocks).
+  [[nodiscard]] Energy step_energy_per_wafer(const StepEnergyTable& table) const;
+
+  /// Lumped contributions only.
+  [[nodiscard]] Energy lumped_energy_per_wafer() const;
+
+  /// Per-area energy breakdown of the decomposed steps (for Fig. 2d-style
+  /// reporting).
+  [[nodiscard]] std::array<Energy, kProcessAreaCount> energy_by_area(
+      const StepEnergyTable& table) const;
+
+ private:
+  std::string name_;
+  std::vector<ProcessStep> steps_;
+  std::vector<std::pair<Energy, std::string>> lumped_;
+};
+
+}  // namespace ppatc::carbon

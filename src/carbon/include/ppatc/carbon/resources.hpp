@@ -1,0 +1,76 @@
+// ppatc: water and cost accounting for fabrication flows.
+//
+// The paper's conclusion names cost and water consumption as the natural
+// extensions of its carbon methodology ("this type of analysis can be
+// extended to consider factors such as cost, ... water consumption, and
+// more"). This module implements both with the same machinery as EPA: a
+// per-step table applied to the Eq. 4 step inventories, plus lumped FEOL
+// and materials terms.
+//
+//  * Water: ultrapure-water (UPW) usage per step, dominated by wet cleans
+//    and CMP; full-flow totals land in the several-m^3-per-wafer range
+//    reported by semiconductor LCAs (Boyd 2011).
+//  * Cost: per-step processing cost (EUV exposures dominate) plus wafer
+//    materials — the "C" of the PPACE methodology the paper builds on
+//    (Bardon et al., IEDM 2020).
+#pragma once
+
+#include "ppatc/carbon/process_flow.hpp"
+#include "ppatc/carbon/yield.hpp"
+
+namespace ppatc::carbon {
+
+/// Litres of ultrapure water per wafer per step, by process area /
+/// exposure class.
+class WaterTable {
+ public:
+  [[nodiscard]] static WaterTable typical();
+
+  /// Litres for one step.
+  [[nodiscard]] double litres(ProcessArea area, LithoClass litho) const;
+  void set_litres(ProcessArea area, double litres_per_step);
+
+  /// Lumped FEOL+MOL water (litres/wafer).
+  [[nodiscard]] double feol_litres() const { return feol_litres_; }
+  void set_feol_litres(double litres) { feol_litres_ = litres; }
+
+ private:
+  std::array<double, kProcessAreaCount> area_litres_{};
+  double litho_litres_ = 0.0;  // develop/rinse, class-independent
+  double feol_litres_ = 0.0;
+};
+
+/// Total UPW per wafer for a flow.
+[[nodiscard]] double water_litres_per_wafer(const ProcessFlow& flow, const WaterTable& table);
+
+/// UPW per good die (same accounting shape as Eq. 5).
+[[nodiscard]] double water_litres_per_good_die(const ProcessFlow& flow, const WaterTable& table,
+                                               std::int64_t dies_per_wafer, double yield);
+
+/// U.S. dollars per wafer per step, by process area / exposure class.
+class CostTable {
+ public:
+  [[nodiscard]] static CostTable typical();
+
+  [[nodiscard]] double dollars(ProcessArea area, LithoClass litho) const;
+  void set_dollars(ProcessArea area, double dollars_per_step);
+  void set_litho_dollars(LithoClass litho, double dollars_per_exposure);
+
+  [[nodiscard]] double feol_dollars() const { return feol_dollars_; }
+  void set_feol_dollars(double d) { feol_dollars_ = d; }
+  [[nodiscard]] double wafer_materials_dollars() const { return materials_dollars_; }
+  void set_wafer_materials_dollars(double d) { materials_dollars_ = d; }
+
+ private:
+  std::array<double, kProcessAreaCount> area_dollars_{};
+  std::array<double, kLithoClassCount> litho_dollars_{};
+  double feol_dollars_ = 0.0;
+  double materials_dollars_ = 0.0;
+};
+
+[[nodiscard]] double cost_dollars_per_wafer(const ProcessFlow& flow, const CostTable& table);
+
+[[nodiscard]] double cost_dollars_per_good_die(const ProcessFlow& flow, const CostTable& table,
+                                               std::int64_t dies_per_wafer, double yield);
+
+}  // namespace ppatc::carbon

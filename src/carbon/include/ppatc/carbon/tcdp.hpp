@@ -1,0 +1,81 @@
+// ppatc: total carbon, carbon-delay product, and lifetime analyses (Fig. 5).
+//
+// tC(t_life) = C_embodied(per good die) + C_operational(t_life); the paper's
+// carbon-efficiency metric is tCDP = tC * (application execution time)
+// [Elgamal et al., CORDOBA]. Because both case-study designs run at the same
+// f_CLK with the same cycle count, their tCDP ratio equals their tC ratio —
+// but the API keeps execution time explicit so designs with different
+// performance compare correctly, and the ratio converges to the energy-delay
+// product ratio as C_operational dominates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ppatc/carbon/operational.hpp"
+#include "ppatc/common/units.hpp"
+
+namespace ppatc::carbon {
+
+/// Everything the lifetime analyses need to know about one realized system.
+struct SystemCarbonProfile {
+  std::string name;
+  Carbon embodied_per_good_die;  ///< Eq. 5 output
+  Power operational_power;       ///< P_operational of Eq. 6-8 (active window only)
+  Power standby_power{};         ///< always-on draw (0 in the paper's setup)
+  Duration execution_time;       ///< one application run: N_cycles * T_clk
+};
+
+/// C_operational(t_life) for a profile under a scenario.
+[[nodiscard]] Carbon operational_carbon(const SystemCarbonProfile& profile,
+                                        const OperationalScenario& scenario, Duration lifetime);
+
+/// tC(t_life) = C_embodied + C_operational(t_life).
+[[nodiscard]] Carbon total_carbon(const SystemCarbonProfile& profile,
+                                  const OperationalScenario& scenario, Duration lifetime);
+
+/// tCDP(t_life): total carbon times execution time, in gCO2e.s (equivalently
+/// the paper's gCO2e/Hz).
+[[nodiscard]] double tcdp(const SystemCarbonProfile& profile, const OperationalScenario& scenario,
+                          Duration lifetime);
+
+/// One row of the Fig. 5 series.
+struct LifetimePoint {
+  Duration lifetime;
+  Carbon embodied;
+  Carbon operational;
+  Carbon total;
+  double tcdp;  ///< gCO2e.s
+};
+
+/// Fig. 5 series: per-month samples from 1..months.
+[[nodiscard]] std::vector<LifetimePoint> lifetime_series(const SystemCarbonProfile& profile,
+                                                         const OperationalScenario& scenario,
+                                                         int months);
+
+/// Lifetime at which C_operational first equals C_embodied ("embodied
+/// dominates until ..."); nullopt if it never does within `horizon`.
+[[nodiscard]] std::optional<Duration> embodied_dominance_end(const SystemCarbonProfile& profile,
+                                                             const OperationalScenario& scenario,
+                                                             Duration horizon);
+
+/// Lifetime at which profiles a and b swap total-carbon ordering; nullopt if
+/// they never cross within `horizon`.
+[[nodiscard]] std::optional<Duration> total_carbon_crossover(const SystemCarbonProfile& a,
+                                                             const SystemCarbonProfile& b,
+                                                             const OperationalScenario& scenario,
+                                                             Duration horizon);
+
+/// tCDP(a) / tCDP(b) at a given lifetime (>1 means b is more carbon-efficient).
+[[nodiscard]] double tcdp_ratio(const SystemCarbonProfile& a, const SystemCarbonProfile& b,
+                                const OperationalScenario& scenario, Duration lifetime);
+
+/// Limit of tcdp_ratio as lifetime -> infinity: the energy-delay-product
+/// ratio (weighted by CI, which cancels for a shared scenario; the scenario
+/// is needed to weight standby vs active power).
+[[nodiscard]] double asymptotic_edp_ratio(const SystemCarbonProfile& a,
+                                          const SystemCarbonProfile& b,
+                                          const OperationalScenario& scenario);
+
+}  // namespace ppatc::carbon

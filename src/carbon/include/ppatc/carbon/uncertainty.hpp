@@ -1,0 +1,102 @@
+// ppatc: uncertainty quantification for carbon accounting (Sec. III-D).
+//
+// Carbon accounting inputs — C_embodied, lifetime, CI_use, yield — carry
+// substantial uncertainty. Two complementary tools are provided:
+//
+//  * Interval: conservative interval arithmetic. Propagating input intervals
+//    through tC/tCDP gives guaranteed bounds: if the tCDP-ratio interval's
+//    upper bound is below 1, the candidate wins for EVERY parameter
+//    combination in the box (the paper's "robust comparison").
+//  * Monte Carlo sampling (seeded, reproducible) for distributional output
+//    (quantiles of the tCDP ratio, probability the candidate wins).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppatc/carbon/tcdp.hpp"
+
+namespace ppatc::carbon {
+
+/// Closed interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] static Interval point(double v) { return {v, v}; }
+  /// Interval v * [1/f, f] (multiplicative uncertainty, f >= 1).
+  [[nodiscard]] static Interval factor(double v, double f);
+  /// Interval [v - d, v + d].
+  [[nodiscard]] static Interval plus_minus(double v, double d) { return {v - d, v + d}; }
+
+  [[nodiscard]] double width() const { return hi - lo; }
+  [[nodiscard]] double mid() const { return 0.5 * (lo + hi); }
+  [[nodiscard]] bool contains(double v) const { return v >= lo && v <= hi; }
+  [[nodiscard]] bool entirely_below(double v) const { return hi < v; }
+  [[nodiscard]] bool entirely_above(double v) const { return lo > v; }
+};
+
+[[nodiscard]] Interval operator+(Interval a, Interval b);
+[[nodiscard]] Interval operator-(Interval a, Interval b);
+[[nodiscard]] Interval operator*(Interval a, Interval b);
+[[nodiscard]] Interval operator/(Interval a, Interval b);
+[[nodiscard]] Interval operator*(double s, Interval a);
+
+/// Uncertain inputs for one design under comparison. Yields divide embodied
+/// carbon; CI and lifetime are shared scenario knobs (see TcdpComparison).
+struct UncertainProfile {
+  Interval embodied_per_good_die_g;  ///< gCO2e at nominal yield
+  Interval operational_power_w;
+  Interval standby_power_w{0.0, 0.0};
+  double execution_time_s = 0.0;
+};
+
+/// Shared scenario uncertainty.
+struct UncertainScenario {
+  Interval ci_use_g_per_kwh;  ///< mean CI over the usage window
+  Interval lifetime_months;
+  double duty_cycle = 2.0 / 24.0;
+};
+
+/// Interval of tC (grams) for a profile under the scenario box.
+[[nodiscard]] Interval total_carbon_interval(const UncertainProfile& p,
+                                             const UncertainScenario& s);
+
+/// Interval of tCDP(candidate)/tCDP(baseline). Note: lifetime and CI are
+/// correlated between the two designs (same deployment), so the ratio is
+/// evaluated at the box corners of the SHARED knobs with per-design interval
+/// arithmetic inside — tighter than naive independent division.
+[[nodiscard]] Interval tcdp_ratio_interval(const UncertainProfile& candidate,
+                                           const UncertainProfile& baseline,
+                                           const UncertainScenario& scenario);
+
+/// Verdict of a robust comparison.
+enum class RobustVerdict {
+  kCandidateAlwaysWins,   ///< ratio interval entirely below 1
+  kBaselineAlwaysWins,    ///< ratio interval entirely above 1
+  kIndeterminate,         ///< interval straddles 1
+};
+
+[[nodiscard]] RobustVerdict robust_compare(const UncertainProfile& candidate,
+                                           const UncertainProfile& baseline,
+                                           const UncertainScenario& scenario);
+
+/// Monte Carlo summary of the tCDP ratio distribution.
+struct MonteCarloSummary {
+  double mean = 0.0;
+  double p05 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double probability_candidate_wins = 0.0;  ///< P(ratio < 1)
+  std::size_t samples = 0;
+};
+
+/// Uniform sampling within all input intervals (independent draws except the
+/// shared scenario knobs, which are drawn once per sample). Deterministic for
+/// a given seed.
+[[nodiscard]] MonteCarloSummary monte_carlo_tcdp_ratio(const UncertainProfile& candidate,
+                                                       const UncertainProfile& baseline,
+                                                       const UncertainScenario& scenario,
+                                                       std::size_t samples, std::uint64_t seed);
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,39 @@
+// ppatc: die yield models (Eq. 5's Yield term).
+//
+// The paper demonstrates with fixed yields (90% Si eDRAM, 50% M3D-eDRAM) but
+// notes "designers can choose arbitrary yield models"; this header provides
+// the standard defect-density families plus a stacked-tier composition rule
+// for M3D processes (a die is good only if every tier yields).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ppatc/common/units.hpp"
+
+namespace ppatc::carbon {
+
+/// A yield model maps die area to the probability a die is functional.
+using YieldModel = std::function<double(Area die_area)>;
+
+/// Area-independent yield (the paper's demonstration values).
+[[nodiscard]] YieldModel fixed_yield(double yield);
+
+/// Poisson: Y = exp(-A * D0), D0 in defects/cm^2.
+[[nodiscard]] YieldModel poisson_yield(double defects_per_cm2);
+
+/// Murphy: Y = ((1 - exp(-A*D0)) / (A*D0))^2.
+[[nodiscard]] YieldModel murphy_yield(double defects_per_cm2);
+
+/// Seeds (Bose-Einstein with n=1): Y = 1 / (1 + A*D0).
+[[nodiscard]] YieldModel seeds_yield(double defects_per_cm2);
+
+/// Stacked-tier yield: the product of per-tier yields (each evaluated at the
+/// same die footprint — M3D tiers share the footprint).
+[[nodiscard]] YieldModel stacked_yield(std::vector<YieldModel> tiers);
+
+/// The paper's demonstration values.
+[[nodiscard]] YieldModel paper_si_yield();   ///< fixed 90%
+[[nodiscard]] YieldModel paper_m3d_yield();  ///< fixed 50%
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,129 @@
+#include "ppatc/carbon/isoline.hpp"
+
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+double AxisSpec::at(int i) const {
+  PPATC_EXPECT(i >= 0 && i < samples, "axis index out of range");
+  PPATC_EXPECT(samples >= 2 && hi > lo, "axis needs at least two increasing samples");
+  return lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(samples - 1);
+}
+
+SystemCarbonProfile scaled_profile(const SystemCarbonProfile& profile, double embodied_scale,
+                                   double energy_scale) {
+  PPATC_EXPECT(embodied_scale >= 0.0 && energy_scale >= 0.0, "scales cannot be negative");
+  SystemCarbonProfile s = profile;
+  s.embodied_per_good_die = profile.embodied_per_good_die * embodied_scale;
+  s.operational_power = profile.operational_power * energy_scale;
+  s.standby_power = profile.standby_power * energy_scale;
+  return s;
+}
+
+TcdpMap tcdp_map(const SystemCarbonProfile& candidate, const SystemCarbonProfile& baseline,
+                 const OperationalScenario& scenario, Duration lifetime, AxisSpec embodied_axis,
+                 AxisSpec energy_axis) {
+  TcdpMap map;
+  map.embodied_axis = embodied_axis;
+  map.energy_axis = energy_axis;
+  const double base = tcdp(baseline, scenario, lifetime);
+  map.ratio.resize(static_cast<std::size_t>(energy_axis.samples));
+  for (int yi = 0; yi < energy_axis.samples; ++yi) {
+    auto& row = map.ratio[static_cast<std::size_t>(yi)];
+    row.resize(static_cast<std::size_t>(embodied_axis.samples));
+    for (int xi = 0; xi < embodied_axis.samples; ++xi) {
+      const auto scaled = scaled_profile(candidate, embodied_axis.at(xi), energy_axis.at(yi));
+      row[static_cast<std::size_t>(xi)] = tcdp(scaled, scenario, lifetime) / base;
+    }
+  }
+  return map;
+}
+
+std::optional<double> isoline_energy_scale(const SystemCarbonProfile& candidate,
+                                           const SystemCarbonProfile& baseline,
+                                           const OperationalScenario& scenario, Duration lifetime,
+                                           double embodied_scale, double y_lo_bound,
+                                           double y_hi_bound) {
+  PPATC_EXPECT(y_lo_bound > 0.0 && y_hi_bound > y_lo_bound, "invalid y bounds");
+  const double base = tcdp(baseline, scenario, lifetime);
+  auto ratio_at = [&](double y) {
+    return tcdp(scaled_profile(candidate, embodied_scale, y), scenario, lifetime) / base;
+  };
+  // tCDP of the candidate is strictly increasing in y (operational power
+  // scale), so parity has at most one root.
+  const double lo_r = ratio_at(y_lo_bound);
+  const double hi_r = ratio_at(y_hi_bound);
+  if (lo_r > 1.0 || hi_r < 1.0) return std::nullopt;
+  double lo = y_lo_bound;
+  double hi = y_hi_bound;
+  for (int i = 0; i < 100 && (hi - lo) > 1e-9 * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (ratio_at(mid) < 1.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<IsolinePoint> tcdp_isoline(const SystemCarbonProfile& candidate,
+                                       const SystemCarbonProfile& baseline,
+                                       const OperationalScenario& scenario, Duration lifetime,
+                                       AxisSpec embodied_axis) {
+  std::vector<IsolinePoint> line;
+  line.reserve(static_cast<std::size_t>(embodied_axis.samples));
+  for (int xi = 0; xi < embodied_axis.samples; ++xi) {
+    const double x = embodied_axis.at(xi);
+    line.push_back({x, isoline_energy_scale(candidate, baseline, scenario, lifetime, x)});
+  }
+  return line;
+}
+
+namespace {
+DiurnalIntensity scaled_intensity(const DiurnalIntensity& base, double factor) {
+  std::array<CarbonIntensity, 24> h{};
+  for (int i = 0; i < 24; ++i) h[static_cast<std::size_t>(i)] = base.at_hour(i + 0.5) * factor;
+  return DiurnalIntensity::hourly(h);
+}
+}  // namespace
+
+std::vector<IsolineVariant> isoline_variants(const SystemCarbonProfile& candidate,
+                                             const SystemCarbonProfile& baseline,
+                                             const OperationalScenario& scenario, Duration lifetime,
+                                             const VariantSpec& spec, AxisSpec embodied_axis) {
+  std::vector<IsolineVariant> out;
+  auto add = [&](std::string label, const SystemCarbonProfile& cand,
+                 const OperationalScenario& scen, Duration life) {
+    out.push_back({std::move(label), tcdp_isoline(cand, baseline, scen, life, embodied_axis)});
+  };
+
+  add("nominal", candidate, scenario, lifetime);
+
+  add("lifetime +" + std::to_string(static_cast<int>(units::in_months(spec.lifetime_delta))) + "mo",
+      candidate, scenario, lifetime + spec.lifetime_delta);
+  add("lifetime -" + std::to_string(static_cast<int>(units::in_months(spec.lifetime_delta))) + "mo",
+      candidate, scenario, lifetime - spec.lifetime_delta);
+
+  OperationalScenario ci_up = scenario;
+  ci_up.use_intensity = scaled_intensity(scenario.use_intensity, spec.ci_factor);
+  add("CI_use x" + std::to_string(static_cast<int>(spec.ci_factor)), candidate, ci_up, lifetime);
+  OperationalScenario ci_down = scenario;
+  ci_down.use_intensity = scaled_intensity(scenario.use_intensity, 1.0 / spec.ci_factor);
+  add("CI_use /" + std::to_string(static_cast<int>(spec.ci_factor)), candidate, ci_down, lifetime);
+
+  // Yield variants rescale the candidate's embodied carbon per good die:
+  // C / (N * Y) so halving yield doubles embodied carbon.
+  SystemCarbonProfile y_low = candidate;
+  y_low.embodied_per_good_die =
+      candidate.embodied_per_good_die * (spec.yield_nominal / spec.yield_low);
+  add("yield " + std::to_string(static_cast<int>(spec.yield_low * 100)) + "%", y_low, scenario,
+      lifetime);
+  SystemCarbonProfile y_high = candidate;
+  y_high.embodied_per_good_die =
+      candidate.embodied_per_good_die * (spec.yield_nominal / spec.yield_high);
+  add("yield " + std::to_string(static_cast<int>(spec.yield_high * 100)) + "%", y_high, scenario,
+      lifetime);
+
+  return out;
+}
+
+}  // namespace ppatc::carbon

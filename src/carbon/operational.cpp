@@ -1,0 +1,45 @@
+#include "ppatc/carbon/operational.hpp"
+
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+Carbon operational_carbon(const OperationalScenario& scenario, Power p, Duration lifetime) {
+  PPATC_EXPECT(p.is_nonnegative(), "operational power cannot be negative");
+  PPATC_EXPECT(lifetime.is_nonnegative(), "lifetime cannot be negative");
+  const CarbonIntensity ci =
+      scenario.use_intensity.mean_over_window(scenario.window.start_hour, scenario.window.end_hour);
+  const Energy e = p * lifetime * scenario.window.duty_cycle();
+  return ci * e;
+}
+
+Carbon standby_carbon(const OperationalScenario& scenario, Power p, Duration lifetime) {
+  PPATC_EXPECT(p.is_nonnegative(), "standby power cannot be negative");
+  PPATC_EXPECT(lifetime.is_nonnegative(), "lifetime cannot be negative");
+  return scenario.use_intensity.daily_mean() * (p * lifetime);
+}
+
+Carbon operational_carbon_integral(const DiurnalIntensity& ci,
+                                   const std::function<Power(double hour)>& power_at,
+                                   Duration lifetime, Duration step) {
+  PPATC_EXPECT(step.base() > 0, "integration step must be positive");
+  PPATC_EXPECT(lifetime.is_nonnegative(), "lifetime cannot be negative");
+  const double t_end = units::in_seconds(lifetime);
+  const double dt = units::in_seconds(step);
+  auto integrand = [&](double t_s) {
+    const double hour = std::fmod(t_s / 3600.0, 24.0);
+    return ci.at_hour(hour).base() * units::in_watts(power_at(hour));
+  };
+  double acc = 0.0;
+  double t = 0.0;
+  while (t < t_end) {
+    const double h = std::min(dt, t_end - t);
+    acc += 0.5 * (integrand(t) + integrand(t + h)) * h;
+    t += h;
+  }
+  return units::grams_co2e(acc);
+}
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,97 @@
+#include "ppatc/carbon/process_flow.hpp"
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+const char* to_string(MetalPitch pitch) {
+  switch (pitch) {
+    case MetalPitch::k36nm: return "36 nm";
+    case MetalPitch::k48nm: return "48 nm";
+    case MetalPitch::k64nm: return "64 nm";
+    case MetalPitch::k80nm: return "80 nm";
+  }
+  return "?";
+}
+
+LithoClass litho_for(MetalPitch pitch) {
+  switch (pitch) {
+    case MetalPitch::k36nm: return LithoClass::kEuv36nm;
+    case MetalPitch::k48nm: return LithoClass::kEuv42nm;
+    case MetalPitch::k64nm: return LithoClass::kDuv193i64nm;
+    case MetalPitch::k80nm: return LithoClass::kDuv193i80nm;
+  }
+  return LithoClass::kNone;
+}
+
+ProcessFlow::ProcessFlow(std::string name) : name_{std::move(name)} {}
+
+ProcessFlow& ProcessFlow::add_step(ProcessArea area, double count, std::string label,
+                                   LithoClass litho) {
+  PPATC_EXPECT(count > 0.0, "step count must be positive");
+  PPATC_EXPECT((area == ProcessArea::kLithography) == (litho != LithoClass::kNone),
+               "lithography steps (and only those) must carry an exposure class");
+  steps_.push_back({area, litho, count, std::move(label)});
+  return *this;
+}
+
+ProcessFlow& ProcessFlow::add_metal_via_pair(MetalPitch pitch, std::string label) {
+  const LithoClass m = litho_for(pitch);
+  const std::string p = std::string{to_string(pitch)} + " " + label;
+  add_step(ProcessArea::kLithography, 1, p + ": exposure", m);
+  add_step(ProcessArea::kDryEtch, 4, p + ": trench/via etch");
+  add_step(ProcessArea::kDeposition, 3, p + ": liner/barrier/dielectric deposition");
+  add_step(ProcessArea::kMetallization, 2, p + ": fill + CMP");
+  add_step(ProcessArea::kWetEtch, 2, p + ": wet clean");
+  add_step(ProcessArea::kMetrology, 5, p + ": inspection");
+  return *this;
+}
+
+ProcessFlow& ProcessFlow::add_via_only(MetalPitch pitch, std::string label) {
+  const LithoClass m = litho_for(pitch);
+  const std::string p = std::string{to_string(pitch)} + " " + label;
+  add_step(ProcessArea::kLithography, 1, p + ": exposure", m);
+  add_step(ProcessArea::kDryEtch, 1, p + ": via etch");
+  add_step(ProcessArea::kMetallization, 1, p + ": fill + CMP");
+  add_step(ProcessArea::kMetrology, 1, p + ": inspection");
+  return *this;
+}
+
+ProcessFlow& ProcessFlow::add_lumped(Energy per_wafer, std::string label) {
+  PPATC_EXPECT(per_wafer.is_nonnegative(), "lumped energy cannot be negative");
+  lumped_.emplace_back(per_wafer, std::move(label));
+  return *this;
+}
+
+std::array<double, kProcessAreaCount> ProcessFlow::step_count_by_area() const {
+  std::array<double, kProcessAreaCount> counts{};
+  for (const auto& s : steps_) counts[static_cast<std::size_t>(s.area)] += s.count;
+  return counts;
+}
+
+Energy ProcessFlow::step_energy_per_wafer(const StepEnergyTable& table) const {
+  Energy total{};
+  for (const auto& s : steps_) total += table.energy(s.area, s.litho) * s.count;
+  return total;
+}
+
+Energy ProcessFlow::lumped_energy_per_wafer() const {
+  Energy total{};
+  for (const auto& [e, label] : lumped_) total += e;
+  return total;
+}
+
+Energy ProcessFlow::energy_per_wafer(const StepEnergyTable& table) const {
+  return step_energy_per_wafer(table) + lumped_energy_per_wafer();
+}
+
+std::array<Energy, kProcessAreaCount> ProcessFlow::energy_by_area(
+    const StepEnergyTable& table) const {
+  std::array<Energy, kProcessAreaCount> by_area{};
+  for (const auto& s : steps_) {
+    by_area[static_cast<std::size_t>(s.area)] += table.energy(s.area, s.litho) * s.count;
+  }
+  return by_area;
+}
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,80 @@
+#include "ppatc/carbon/process_step.hpp"
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+const char* to_string(ProcessArea area) {
+  switch (area) {
+    case ProcessArea::kDryEtch: return "dry etch";
+    case ProcessArea::kLithography: return "lithography";
+    case ProcessArea::kMetallization: return "metallization";
+    case ProcessArea::kMetrology: return "metrology";
+    case ProcessArea::kWetEtch: return "wet etch";
+    case ProcessArea::kDeposition: return "deposition";
+  }
+  return "?";
+}
+
+const char* to_string(LithoClass litho) {
+  switch (litho) {
+    case LithoClass::kNone: return "none";
+    case LithoClass::kEuv36nm: return "EUV (36 nm class)";
+    case LithoClass::kEuv42nm: return "EUV (42 nm class)";
+    case LithoClass::kDuv193i64nm: return "193i (64 nm class)";
+    case LithoClass::kDuv193i80nm: return "193i (80 nm class)";
+  }
+  return "?";
+}
+
+StepEnergyTable StepEnergyTable::calibrated() {
+  StepEnergyTable t;
+  // kWh per 300 mm wafer per step; adapted from the per-process-area totals
+  // for metal-layer fabrication in Bardon et al. [4] (the paper's Fig. 2d).
+  // The deposition value reproduces the paper's worked example exactly
+  // (4 kWh over 3 steps -> 1.333 kWh/step).
+  t.area_kwh_[static_cast<std::size_t>(ProcessArea::kDryEtch)] = 1.5;
+  t.area_kwh_[static_cast<std::size_t>(ProcessArea::kMetallization)] = 2.2;
+  t.area_kwh_[static_cast<std::size_t>(ProcessArea::kMetrology)] = 0.1;
+  t.area_kwh_[static_cast<std::size_t>(ProcessArea::kWetEtch)] = 0.55;
+  t.area_kwh_[static_cast<std::size_t>(ProcessArea::kDeposition)] = 4.0 / 3.0;
+  // Exposure energies by class. Together with the non-litho pair steps these
+  // give metal/via-pair energies of 29.32 / 29.27 / 29.10 / 29.10 kWh for the
+  // 36/48/64/80 nm-pitch classes — nearly pitch-independent, consistent with
+  // [4] where etch/deposition/CMP dominate per-layer energy. These values pin
+  // the full-flow EPA ratios to the paper's 0.79x (all-Si) and 1.22x (M3D).
+  t.litho_kwh_[static_cast<std::size_t>(LithoClass::kEuv36nm)] = 13.32;
+  t.litho_kwh_[static_cast<std::size_t>(LithoClass::kEuv42nm)] = 13.27;
+  t.litho_kwh_[static_cast<std::size_t>(LithoClass::kDuv193i64nm)] = 13.10;
+  t.litho_kwh_[static_cast<std::size_t>(LithoClass::kDuv193i80nm)] = 13.10;
+  return t;
+}
+
+Energy StepEnergyTable::step_energy(ProcessArea area) const {
+  PPATC_EXPECT(area != ProcessArea::kLithography,
+               "lithography energy depends on the exposure class; use litho_energy()");
+  return units::kilowatt_hours(area_kwh_[static_cast<std::size_t>(area)]);
+}
+
+Energy StepEnergyTable::litho_energy(LithoClass litho) const {
+  PPATC_EXPECT(litho != LithoClass::kNone, "lithography step requires an exposure class");
+  return units::kilowatt_hours(litho_kwh_[static_cast<std::size_t>(litho)]);
+}
+
+Energy StepEnergyTable::energy(ProcessArea area, LithoClass litho) const {
+  return area == ProcessArea::kLithography ? litho_energy(litho) : step_energy(area);
+}
+
+void StepEnergyTable::set_step_energy(ProcessArea area, Energy e) {
+  PPATC_EXPECT(area != ProcessArea::kLithography, "use set_litho_energy for lithography");
+  PPATC_EXPECT(e.is_nonnegative(), "step energy cannot be negative");
+  area_kwh_[static_cast<std::size_t>(area)] = units::in_kilowatt_hours(e);
+}
+
+void StepEnergyTable::set_litho_energy(LithoClass litho, Energy e) {
+  PPATC_EXPECT(litho != LithoClass::kNone, "cannot set energy for LithoClass::kNone");
+  PPATC_EXPECT(e.is_nonnegative(), "step energy cannot be negative");
+  litho_kwh_[static_cast<std::size_t>(litho)] = units::in_kilowatt_hours(e);
+}
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,102 @@
+#include "ppatc/carbon/resources.hpp"
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+WaterTable WaterTable::typical() {
+  WaterTable t;
+  // Litres UPW per 300 mm wafer per step. Wet cleans and CMP dominate;
+  // values chosen so the full all-Si flow lands in the LCA-reported
+  // several-m^3-per-wafer range (Boyd 2011).
+  t.area_litres_[static_cast<std::size_t>(ProcessArea::kDryEtch)] = 8.0;    // chamber rinse
+  t.area_litres_[static_cast<std::size_t>(ProcessArea::kMetallization)] = 45.0;  // CMP slurry+rinse
+  t.area_litres_[static_cast<std::size_t>(ProcessArea::kMetrology)] = 1.0;
+  t.area_litres_[static_cast<std::size_t>(ProcessArea::kWetEtch)] = 80.0;   // bath + cascade rinse
+  t.area_litres_[static_cast<std::size_t>(ProcessArea::kDeposition)] = 6.0;
+  t.litho_litres_ = 25.0;  // develop + post-exposure rinse
+  t.feol_litres_ = 4200.0;
+  return t;
+}
+
+double WaterTable::litres(ProcessArea area, LithoClass litho) const {
+  if (area == ProcessArea::kLithography) {
+    PPATC_EXPECT(litho != LithoClass::kNone, "lithography step requires an exposure class");
+    return litho_litres_;
+  }
+  return area_litres_[static_cast<std::size_t>(area)];
+}
+
+void WaterTable::set_litres(ProcessArea area, double litres_per_step) {
+  PPATC_EXPECT(litres_per_step >= 0.0, "water usage cannot be negative");
+  if (area == ProcessArea::kLithography) {
+    litho_litres_ = litres_per_step;
+  } else {
+    area_litres_[static_cast<std::size_t>(area)] = litres_per_step;
+  }
+}
+
+double water_litres_per_wafer(const ProcessFlow& flow, const WaterTable& table) {
+  double total = table.feol_litres();
+  for (const auto& s : flow.steps()) total += table.litres(s.area, s.litho) * s.count;
+  return total;
+}
+
+double water_litres_per_good_die(const ProcessFlow& flow, const WaterTable& table,
+                                 std::int64_t dies_per_wafer, double yield) {
+  PPATC_EXPECT(dies_per_wafer > 0, "dies per wafer must be positive");
+  PPATC_EXPECT(yield > 0.0 && yield <= 1.0, "yield must be in (0, 1]");
+  return water_litres_per_wafer(flow, table) / (static_cast<double>(dies_per_wafer) * yield);
+}
+
+CostTable CostTable::typical() {
+  CostTable t;
+  // Dollars per 300 mm wafer per step; EUV exposures dominate BEOL cost.
+  t.area_dollars_[static_cast<std::size_t>(ProcessArea::kDryEtch)] = 14.0;
+  t.area_dollars_[static_cast<std::size_t>(ProcessArea::kMetallization)] = 18.0;
+  t.area_dollars_[static_cast<std::size_t>(ProcessArea::kMetrology)] = 4.0;
+  t.area_dollars_[static_cast<std::size_t>(ProcessArea::kWetEtch)] = 6.0;
+  t.area_dollars_[static_cast<std::size_t>(ProcessArea::kDeposition)] = 12.0;
+  t.litho_dollars_[static_cast<std::size_t>(LithoClass::kEuv36nm)] = 110.0;
+  t.litho_dollars_[static_cast<std::size_t>(LithoClass::kEuv42nm)] = 100.0;
+  t.litho_dollars_[static_cast<std::size_t>(LithoClass::kDuv193i64nm)] = 35.0;
+  t.litho_dollars_[static_cast<std::size_t>(LithoClass::kDuv193i80nm)] = 35.0;
+  t.feol_dollars_ = 3400.0;
+  t.materials_dollars_ = 550.0;
+  return t;
+}
+
+double CostTable::dollars(ProcessArea area, LithoClass litho) const {
+  if (area == ProcessArea::kLithography) {
+    PPATC_EXPECT(litho != LithoClass::kNone, "lithography step requires an exposure class");
+    return litho_dollars_[static_cast<std::size_t>(litho)];
+  }
+  return area_dollars_[static_cast<std::size_t>(area)];
+}
+
+void CostTable::set_dollars(ProcessArea area, double dollars_per_step) {
+  PPATC_EXPECT(area != ProcessArea::kLithography, "use set_litho_dollars for lithography");
+  PPATC_EXPECT(dollars_per_step >= 0.0, "cost cannot be negative");
+  area_dollars_[static_cast<std::size_t>(area)] = dollars_per_step;
+}
+
+void CostTable::set_litho_dollars(LithoClass litho, double dollars_per_exposure) {
+  PPATC_EXPECT(litho != LithoClass::kNone, "cannot set cost for LithoClass::kNone");
+  PPATC_EXPECT(dollars_per_exposure >= 0.0, "cost cannot be negative");
+  litho_dollars_[static_cast<std::size_t>(litho)] = dollars_per_exposure;
+}
+
+double cost_dollars_per_wafer(const ProcessFlow& flow, const CostTable& table) {
+  double total = table.feol_dollars() + table.wafer_materials_dollars();
+  for (const auto& s : flow.steps()) total += table.dollars(s.area, s.litho) * s.count;
+  return total;
+}
+
+double cost_dollars_per_good_die(const ProcessFlow& flow, const CostTable& table,
+                                 std::int64_t dies_per_wafer, double yield) {
+  PPATC_EXPECT(dies_per_wafer > 0, "dies per wafer must be positive");
+  PPATC_EXPECT(yield > 0.0 && yield <= 1.0, "yield must be in (0, 1]");
+  return cost_dollars_per_wafer(flow, table) / (static_cast<double>(dies_per_wafer) * yield);
+}
+
+}  // namespace ppatc::carbon

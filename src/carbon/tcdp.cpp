@@ -1,0 +1,111 @@
+#include "ppatc/carbon/tcdp.hpp"
+
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+namespace {
+
+// Bisection for the smallest t in (0, horizon] with f(t) >= 0, given f is
+// continuous and f(0) < 0. Returns nullopt if f stays negative.
+std::optional<Duration> first_nonnegative(const std::function<double(Duration)>& f,
+                                          Duration horizon) {
+  const double t_end = units::in_seconds(horizon);
+  if (f(horizon) < 0.0) return std::nullopt;
+  double lo = 0.0;
+  double hi = t_end;
+  for (int i = 0; i < 200 && (hi - lo) > 1.0; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (f(units::seconds(mid)) < 0.0 ? lo : hi) = mid;
+  }
+  return units::seconds(hi);
+}
+
+}  // namespace
+
+Carbon operational_carbon(const SystemCarbonProfile& profile, const OperationalScenario& scenario,
+                          Duration lifetime) {
+  return operational_carbon(scenario, profile.operational_power, lifetime) +
+         standby_carbon(scenario, profile.standby_power, lifetime);
+}
+
+Carbon total_carbon(const SystemCarbonProfile& profile, const OperationalScenario& scenario,
+                    Duration lifetime) {
+  return profile.embodied_per_good_die + operational_carbon(profile, scenario, lifetime);
+}
+
+double tcdp(const SystemCarbonProfile& profile, const OperationalScenario& scenario,
+            Duration lifetime) {
+  PPATC_EXPECT(profile.execution_time.base() > 0, "execution time must be positive");
+  return units::in_grams_co2e(total_carbon(profile, scenario, lifetime)) *
+         units::in_seconds(profile.execution_time);
+}
+
+std::vector<LifetimePoint> lifetime_series(const SystemCarbonProfile& profile,
+                                           const OperationalScenario& scenario, int months) {
+  PPATC_EXPECT(months >= 1, "series needs at least one month");
+  std::vector<LifetimePoint> series;
+  series.reserve(static_cast<std::size_t>(months));
+  for (int m = 1; m <= months; ++m) {
+    const Duration t = units::months(m);
+    LifetimePoint p;
+    p.lifetime = t;
+    p.embodied = profile.embodied_per_good_die;
+    p.operational = operational_carbon(profile, scenario, t);
+    p.total = p.embodied + p.operational;
+    p.tcdp = tcdp(profile, scenario, t);
+    series.push_back(p);
+  }
+  return series;
+}
+
+std::optional<Duration> embodied_dominance_end(const SystemCarbonProfile& profile,
+                                               const OperationalScenario& scenario,
+                                               Duration horizon) {
+  return first_nonnegative(
+      [&](Duration t) {
+        return units::in_grams_co2e(operational_carbon(profile, scenario, t)) -
+               units::in_grams_co2e(profile.embodied_per_good_die);
+      },
+      horizon);
+}
+
+std::optional<Duration> total_carbon_crossover(const SystemCarbonProfile& a,
+                                               const SystemCarbonProfile& b,
+                                               const OperationalScenario& scenario,
+                                               Duration horizon) {
+  const double at_zero = units::in_grams_co2e(a.embodied_per_good_die) -
+                         units::in_grams_co2e(b.embodied_per_good_die);
+  if (at_zero == 0.0) return units::seconds(0.0);
+  // Normalize so the difference starts negative.
+  const double sign = at_zero < 0.0 ? 1.0 : -1.0;
+  return first_nonnegative(
+      [&](Duration t) {
+        return sign * (units::in_grams_co2e(total_carbon(a, scenario, t)) -
+                       units::in_grams_co2e(total_carbon(b, scenario, t)));
+      },
+      horizon);
+}
+
+double tcdp_ratio(const SystemCarbonProfile& a, const SystemCarbonProfile& b,
+                  const OperationalScenario& scenario, Duration lifetime) {
+  return tcdp(a, scenario, lifetime) / tcdp(b, scenario, lifetime);
+}
+
+double asymptotic_edp_ratio(const SystemCarbonProfile& a, const SystemCarbonProfile& b,
+                            const OperationalScenario& scenario) {
+  // For long lifetimes tC -> C_op ~ CI * P_effective * t, so the tCDP ratio
+  // tends to (P_a * T_a) / (P_b * T_b): the energy-delay-product ratio.
+  // Standby power runs 24 h/day, so it is weighted up by 1/duty relative to
+  // the window-gated operational power.
+  const double inv_duty = 1.0 / scenario.window.duty_cycle();
+  const double pa =
+      units::in_watts(a.operational_power) + units::in_watts(a.standby_power) * inv_duty;
+  const double pb =
+      units::in_watts(b.operational_power) + units::in_watts(b.standby_power) * inv_duty;
+  return (pa * units::in_seconds(a.execution_time)) / (pb * units::in_seconds(b.execution_time));
+}
+
+}  // namespace ppatc::carbon

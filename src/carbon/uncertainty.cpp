@@ -1,0 +1,133 @@
+#include "ppatc/carbon/uncertainty.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+Interval Interval::factor(double v, double f) {
+  PPATC_EXPECT(f >= 1.0, "multiplicative uncertainty factor must be >= 1");
+  return {v / f, v * f};
+}
+
+Interval operator+(Interval a, Interval b) { return {a.lo + b.lo, a.hi + b.hi}; }
+Interval operator-(Interval a, Interval b) { return {a.lo - b.hi, a.hi - b.lo}; }
+
+Interval operator*(Interval a, Interval b) {
+  const double c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval operator/(Interval a, Interval b) {
+  PPATC_EXPECT(!(b.lo <= 0.0 && b.hi >= 0.0), "interval division by an interval containing zero");
+  return a * Interval{1.0 / b.hi, 1.0 / b.lo};
+}
+
+Interval operator*(double s, Interval a) {
+  return s >= 0 ? Interval{s * a.lo, s * a.hi} : Interval{s * a.hi, s * a.lo};
+}
+
+namespace {
+
+// tC in grams for scalar inputs.
+double tc_scalar(double embodied_g, double p_op_w, double p_sb_w, double ci_g_per_kwh,
+                 double months, double duty) {
+  const double seconds = months * (365.0 / 12.0) * 86400.0;
+  const double ci_g_per_j = ci_g_per_kwh / 3.6e6;
+  return embodied_g + ci_g_per_j * (p_op_w * duty + p_sb_w) * seconds;
+}
+
+}  // namespace
+
+Interval total_carbon_interval(const UncertainProfile& p, const UncertainScenario& s) {
+  const Interval ci_g_per_j = (1.0 / 3.6e6) * s.ci_use_g_per_kwh;
+  const Interval seconds = ((365.0 / 12.0) * 86400.0) * s.lifetime_months;
+  const Interval power = s.duty_cycle * p.operational_power_w + p.standby_power_w;
+  return p.embodied_per_good_die_g + ci_g_per_j * power * seconds;
+}
+
+Interval tcdp_ratio_interval(const UncertainProfile& candidate, const UncertainProfile& baseline,
+                             const UncertainScenario& scenario) {
+  PPATC_EXPECT(candidate.execution_time_s > 0 && baseline.execution_time_s > 0,
+               "execution times must be positive");
+  // The shared knobs (CI, lifetime) are perfectly correlated between the two
+  // designs. Evaluate the ratio at the 4 corners of the shared box with
+  // per-design interval arithmetic inside, and take the envelope.
+  Interval envelope{std::numeric_limits<double>::infinity(),
+                    -std::numeric_limits<double>::infinity()};
+  for (const double ci : {scenario.ci_use_g_per_kwh.lo, scenario.ci_use_g_per_kwh.hi}) {
+    for (const double months : {scenario.lifetime_months.lo, scenario.lifetime_months.hi}) {
+      UncertainScenario pinned = scenario;
+      pinned.ci_use_g_per_kwh = Interval::point(ci);
+      pinned.lifetime_months = Interval::point(months);
+      const Interval tc_c = total_carbon_interval(candidate, pinned);
+      const Interval tc_b = total_carbon_interval(baseline, pinned);
+      const Interval r = (candidate.execution_time_s / baseline.execution_time_s) * (tc_c / tc_b);
+      envelope.lo = std::min(envelope.lo, r.lo);
+      envelope.hi = std::max(envelope.hi, r.hi);
+    }
+  }
+  return envelope;
+}
+
+RobustVerdict robust_compare(const UncertainProfile& candidate, const UncertainProfile& baseline,
+                             const UncertainScenario& scenario) {
+  const Interval r = tcdp_ratio_interval(candidate, baseline, scenario);
+  if (r.entirely_below(1.0)) return RobustVerdict::kCandidateAlwaysWins;
+  if (r.entirely_above(1.0)) return RobustVerdict::kBaselineAlwaysWins;
+  return RobustVerdict::kIndeterminate;
+}
+
+MonteCarloSummary monte_carlo_tcdp_ratio(const UncertainProfile& candidate,
+                                         const UncertainProfile& baseline,
+                                         const UncertainScenario& scenario, std::size_t samples,
+                                         std::uint64_t seed) {
+  PPATC_EXPECT(samples >= 2, "need at least two samples");
+  std::mt19937_64 rng{seed};
+  auto draw = [&](Interval iv) {
+    if (iv.width() <= 0.0) return iv.lo;
+    std::uniform_real_distribution<double> d{iv.lo, iv.hi};
+    return d(rng);
+  };
+
+  std::vector<double> ratios;
+  ratios.reserve(samples);
+  double sum = 0.0;
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double ci = draw(scenario.ci_use_g_per_kwh);
+    const double months = draw(scenario.lifetime_months);
+    const double tc_c =
+        tc_scalar(draw(candidate.embodied_per_good_die_g), draw(candidate.operational_power_w),
+                  draw(candidate.standby_power_w), ci, months, scenario.duty_cycle);
+    const double tc_b =
+        tc_scalar(draw(baseline.embodied_per_good_die_g), draw(baseline.operational_power_w),
+                  draw(baseline.standby_power_w), ci, months, scenario.duty_cycle);
+    const double r =
+        (tc_c * candidate.execution_time_s) / (tc_b * baseline.execution_time_s);
+    ratios.push_back(r);
+    sum += r;
+    if (r < 1.0) ++wins;
+  }
+  std::sort(ratios.begin(), ratios.end());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(ratios.size() - 1);
+    const auto i = static_cast<std::size_t>(pos);
+    const double f = pos - static_cast<double>(i);
+    return i + 1 < ratios.size() ? ratios[i] * (1 - f) + ratios[i + 1] * f : ratios.back();
+  };
+
+  MonteCarloSummary s;
+  s.samples = samples;
+  s.mean = sum / static_cast<double>(samples);
+  s.p05 = quantile(0.05);
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.probability_candidate_wins = static_cast<double>(wins) / static_cast<double>(samples);
+  return s;
+}
+
+}  // namespace ppatc::carbon

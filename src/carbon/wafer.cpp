@@ -1,0 +1,66 @@
+#include "ppatc/carbon/wafer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+namespace {
+void check(const DieSpec& die, const WaferSpec& wafer) {
+  PPATC_EXPECT(units::in_millimetres(die.width) > 0 && units::in_millimetres(die.height) > 0,
+               "die dimensions must be positive");
+  PPATC_EXPECT(units::in_millimetres(wafer.diameter) > 0, "wafer diameter must be positive");
+  PPATC_EXPECT(wafer.edge_clearance.is_nonnegative() && wafer.die_spacing.is_nonnegative() &&
+                   wafer.flat_height.is_nonnegative(),
+               "wafer margins cannot be negative");
+  PPATC_EXPECT(units::in_millimetres(die.width) <
+                   units::in_millimetres(wafer.diameter) - 2 * units::in_millimetres(wafer.edge_clearance),
+               "die does not fit on the wafer");
+}
+}  // namespace
+
+std::int64_t dies_per_wafer_formula(const DieSpec& die, const WaferSpec& wafer) {
+  check(die, wafer);
+  const double d_eff =
+      units::in_millimetres(wafer.diameter) - units::in_millimetres(wafer.edge_clearance);
+  const double s = (units::in_millimetres(die.width) + units::in_millimetres(wafer.die_spacing)) *
+                   (units::in_millimetres(die.height) + units::in_millimetres(wafer.die_spacing));
+  const double gross = std::numbers::pi * d_eff * d_eff / (4.0 * s);
+  const double perimeter_loss = std::numbers::pi * d_eff / std::sqrt(2.0 * s);
+  const double dpw = gross - perimeter_loss;
+  return dpw > 0 ? static_cast<std::int64_t>(dpw) : 0;
+}
+
+std::int64_t dies_per_wafer_grid(const DieSpec& die, const WaferSpec& wafer) {
+  check(die, wafer);
+  const double r =
+      units::in_millimetres(wafer.diameter) / 2.0 - units::in_millimetres(wafer.edge_clearance);
+  const double sx = units::in_millimetres(die.width) + units::in_millimetres(wafer.die_spacing);
+  const double sy = units::in_millimetres(die.height) + units::in_millimetres(wafer.die_spacing);
+  // Flat/notch: dies whose lowest edge dips below y = -(r - flat_height)
+  // are excluded (flat height measured from the wafer edge inward).
+  const double flat_y = -(r - units::in_millimetres(wafer.flat_height) / 2.0);
+
+  const auto inside = [&](double x, double y) { return x * x + y * y <= r * r; };
+
+  std::int64_t count = 0;
+  const auto cols = static_cast<std::int64_t>(std::ceil(2.0 * r / sx));
+  const auto rows = static_cast<std::int64_t>(std::ceil(2.0 * r / sy));
+  // Grid centred on the wafer centre (standard stepper layout).
+  for (std::int64_t i = -cols / 2 - 1; i <= cols / 2 + 1; ++i) {
+    for (std::int64_t j = -rows / 2 - 1; j <= rows / 2 + 1; ++j) {
+      const double x0 = static_cast<double>(i) * sx - sx / 2.0;
+      const double y0 = static_cast<double>(j) * sy - sy / 2.0;
+      const double x1 = x0 + sx;
+      const double y1 = y0 + sy;
+      if (y0 < flat_y) continue;
+      if (inside(x0, y0) && inside(x0, y1) && inside(x1, y0) && inside(x1, y1)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace ppatc::carbon

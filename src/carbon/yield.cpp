@@ -1,0 +1,50 @@
+#include "ppatc/carbon/yield.hpp"
+
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+
+YieldModel fixed_yield(double yield) {
+  PPATC_EXPECT(yield > 0.0 && yield <= 1.0, "yield must be in (0, 1]");
+  return [yield](Area) { return yield; };
+}
+
+YieldModel poisson_yield(double defects_per_cm2) {
+  PPATC_EXPECT(defects_per_cm2 >= 0.0, "defect density cannot be negative");
+  return [defects_per_cm2](Area a) {
+    return std::exp(-units::in_square_centimetres(a) * defects_per_cm2);
+  };
+}
+
+YieldModel murphy_yield(double defects_per_cm2) {
+  PPATC_EXPECT(defects_per_cm2 >= 0.0, "defect density cannot be negative");
+  return [defects_per_cm2](Area a) {
+    const double ad = units::in_square_centimetres(a) * defects_per_cm2;
+    if (ad < 1e-12) return 1.0;
+    const double f = (1.0 - std::exp(-ad)) / ad;
+    return f * f;
+  };
+}
+
+YieldModel seeds_yield(double defects_per_cm2) {
+  PPATC_EXPECT(defects_per_cm2 >= 0.0, "defect density cannot be negative");
+  return [defects_per_cm2](Area a) {
+    return 1.0 / (1.0 + units::in_square_centimetres(a) * defects_per_cm2);
+  };
+}
+
+YieldModel stacked_yield(std::vector<YieldModel> tiers) {
+  PPATC_EXPECT(!tiers.empty(), "stacked yield needs at least one tier");
+  return [tiers = std::move(tiers)](Area a) {
+    double y = 1.0;
+    for (const auto& t : tiers) y *= t(a);
+    return y;
+  };
+}
+
+YieldModel paper_si_yield() { return fixed_yield(0.90); }
+YieldModel paper_m3d_yield() { return fixed_yield(0.50); }
+
+}  // namespace ppatc::carbon

@@ -1,0 +1,40 @@
+// ppatc: contract checking.
+//
+// PPATC_EXPECT / PPATC_ENSURE guard preconditions and postconditions on the
+// public API. Violations throw ContractViolation (they indicate a programming
+// error by the caller, not an environmental failure), so tests can assert on
+// them and library users get an actionable message instead of UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ppatc {
+
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace ppatc
+
+#define PPATC_EXPECT(cond, msg)                                                      \
+  do {                                                                               \
+    if (!(cond)) ::ppatc::detail::contract_fail("precondition", #cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define PPATC_ENSURE(cond, msg)                                                      \
+  do {                                                                               \
+    if (!(cond)) ::ppatc::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

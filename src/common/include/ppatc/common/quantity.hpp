@@ -1,0 +1,87 @@
+// ppatc: strong-typed physical quantities.
+//
+// Every physical value that crosses a module boundary in ppatc is carried by a
+// dimensioned wrapper around `double` so that, e.g., an energy can never be
+// accidentally passed where a carbon mass is expected, and unit conversions
+// (kWh vs J, months vs seconds) happen exactly once, at construction.
+//
+// Quantity<Tag> is a CRTP-free value wrapper: same-dimension quantities
+// support the usual affine arithmetic (+, -, scalar *, /, comparisons, and
+// same-dimension division yielding a dimensionless double). Cross-dimension
+// products (Power * Time = Energy, CarbonIntensity * Energy = Carbon, ...)
+// are declared explicitly in units.hpp so the dimensional algebra stays
+// auditable.
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace ppatc {
+
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+
+  /// Named raw constructor; prefer the unit-named factories on each alias.
+  [[nodiscard]] static constexpr Quantity from_base(double base_value) {
+    return Quantity{base_value};
+  }
+
+  /// Value in the dimension's base unit (documented per alias in units.hpp).
+  [[nodiscard]] constexpr double base() const { return value_; }
+
+  [[nodiscard]] constexpr Quantity operator-() const { return Quantity{-value_}; }
+
+  constexpr Quantity& operator+=(Quantity rhs) {
+    value_ += rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity rhs) {
+    value_ -= rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.value_ + b.value_}; }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.value_ - b.value_}; }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity{a.value_ * s}; }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity{a.value_ * s}; }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity{a.value_ / s}; }
+  /// Ratio of two same-dimension quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) { return a.value_ / b.value_; }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(value_); }
+  [[nodiscard]] constexpr bool is_nonnegative() const { return value_ >= 0.0; }
+
+ private:
+  constexpr explicit Quantity(double v) : value_{v} {}
+  double value_{0.0};
+};
+
+/// abs() for quantities (useful in tolerance checks).
+template <typename Tag>
+[[nodiscard]] constexpr Quantity<Tag> abs(Quantity<Tag> q) {
+  return q.base() < 0 ? -q : q;
+}
+
+/// min/max for quantities.
+template <typename Tag>
+[[nodiscard]] constexpr Quantity<Tag> min(Quantity<Tag> a, Quantity<Tag> b) {
+  return a < b ? a : b;
+}
+template <typename Tag>
+[[nodiscard]] constexpr Quantity<Tag> max(Quantity<Tag> a, Quantity<Tag> b) {
+  return a < b ? b : a;
+}
+
+}  // namespace ppatc

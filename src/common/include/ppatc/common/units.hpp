@@ -1,0 +1,246 @@
+// ppatc: concrete unit aliases and the cross-dimension algebra.
+//
+// Base units (the value stored inside each Quantity):
+//   Energy           joule (J)
+//   Power            watt (W)
+//   Duration         second (s)
+//   Area             square centimetre (cm^2)
+//   Length           metre (m)
+//   Carbon           gram CO2-equivalent (gCO2e)
+//   CarbonIntensity  gCO2e per joule
+//   CarbonPerArea    gCO2e per cm^2
+//   EnergyPerArea    joule per cm^2
+//   Voltage          volt; Current ampere; Capacitance farad; Charge coulomb
+//   Frequency        hertz; Mass gram; Temperature kelvin
+#pragma once
+
+#include "ppatc/common/quantity.hpp"
+
+namespace ppatc {
+
+namespace tag {
+struct Energy {};
+struct Power {};
+struct Duration {};
+struct Area {};
+struct Length {};
+struct Carbon {};
+struct CarbonIntensity {};
+struct CarbonPerArea {};
+struct EnergyPerArea {};
+struct Voltage {};
+struct Current {};
+struct Capacitance {};
+struct Charge {};
+struct Frequency {};
+struct Mass {};
+struct Temperature {};
+struct CarbonPerEnergyTime {};  // tCDP integrand helper (unused placeholder)
+}  // namespace tag
+
+using Energy = Quantity<tag::Energy>;
+using Power = Quantity<tag::Power>;
+using Duration = Quantity<tag::Duration>;
+using Area = Quantity<tag::Area>;
+using Length = Quantity<tag::Length>;
+using Carbon = Quantity<tag::Carbon>;
+using CarbonIntensity = Quantity<tag::CarbonIntensity>;
+using CarbonPerArea = Quantity<tag::CarbonPerArea>;
+using EnergyPerArea = Quantity<tag::EnergyPerArea>;
+using Voltage = Quantity<tag::Voltage>;
+using Current = Quantity<tag::Current>;
+using Capacitance = Quantity<tag::Capacitance>;
+using Charge = Quantity<tag::Charge>;
+using Frequency = Quantity<tag::Frequency>;
+using Mass = Quantity<tag::Mass>;
+using Temperature = Quantity<tag::Temperature>;
+
+// ---- Named factories & accessors -------------------------------------------
+
+namespace units {
+
+// Energy
+[[nodiscard]] constexpr Energy joules(double v) { return Energy::from_base(v); }
+[[nodiscard]] constexpr Energy kilowatt_hours(double v) { return Energy::from_base(v * 3.6e6); }
+[[nodiscard]] constexpr Energy watt_hours(double v) { return Energy::from_base(v * 3.6e3); }
+[[nodiscard]] constexpr Energy picojoules(double v) { return Energy::from_base(v * 1e-12); }
+[[nodiscard]] constexpr Energy femtojoules(double v) { return Energy::from_base(v * 1e-15); }
+[[nodiscard]] constexpr double in_joules(Energy e) { return e.base(); }
+[[nodiscard]] constexpr double in_kilowatt_hours(Energy e) { return e.base() / 3.6e6; }
+[[nodiscard]] constexpr double in_picojoules(Energy e) { return e.base() / 1e-12; }
+[[nodiscard]] constexpr double in_femtojoules(Energy e) { return e.base() / 1e-15; }
+
+// Power
+[[nodiscard]] constexpr Power watts(double v) { return Power::from_base(v); }
+[[nodiscard]] constexpr Power milliwatts(double v) { return Power::from_base(v * 1e-3); }
+[[nodiscard]] constexpr Power microwatts(double v) { return Power::from_base(v * 1e-6); }
+[[nodiscard]] constexpr Power nanowatts(double v) { return Power::from_base(v * 1e-9); }
+[[nodiscard]] constexpr double in_watts(Power p) { return p.base(); }
+[[nodiscard]] constexpr double in_milliwatts(Power p) { return p.base() / 1e-3; }
+[[nodiscard]] constexpr double in_microwatts(Power p) { return p.base() / 1e-6; }
+
+// Duration
+[[nodiscard]] constexpr Duration seconds(double v) { return Duration::from_base(v); }
+[[nodiscard]] constexpr Duration nanoseconds(double v) { return Duration::from_base(v * 1e-9); }
+[[nodiscard]] constexpr Duration picoseconds(double v) { return Duration::from_base(v * 1e-12); }
+[[nodiscard]] constexpr Duration microseconds(double v) { return Duration::from_base(v * 1e-6); }
+[[nodiscard]] constexpr Duration milliseconds(double v) { return Duration::from_base(v * 1e-3); }
+[[nodiscard]] constexpr Duration hours(double v) { return Duration::from_base(v * 3600.0); }
+[[nodiscard]] constexpr Duration days(double v) { return Duration::from_base(v * 86400.0); }
+/// A "month" in lifetime accounting is 1/12 of a 365-day year (30.417 days),
+/// matching typical lifetime LCA conventions.
+[[nodiscard]] constexpr Duration months(double v) { return Duration::from_base(v * (365.0 / 12.0) * 86400.0); }
+[[nodiscard]] constexpr double in_seconds(Duration d) { return d.base(); }
+[[nodiscard]] constexpr double in_nanoseconds(Duration d) { return d.base() / 1e-9; }
+[[nodiscard]] constexpr double in_picoseconds(Duration d) { return d.base() / 1e-12; }
+[[nodiscard]] constexpr double in_hours(Duration d) { return d.base() / 3600.0; }
+[[nodiscard]] constexpr double in_days(Duration d) { return d.base() / 86400.0; }
+[[nodiscard]] constexpr double in_months(Duration d) { return d.base() / ((365.0 / 12.0) * 86400.0); }
+
+// Area
+[[nodiscard]] constexpr Area square_centimetres(double v) { return Area::from_base(v); }
+[[nodiscard]] constexpr Area square_millimetres(double v) { return Area::from_base(v * 1e-2); }
+[[nodiscard]] constexpr Area square_micrometres(double v) { return Area::from_base(v * 1e-8); }
+[[nodiscard]] constexpr double in_square_centimetres(Area a) { return a.base(); }
+[[nodiscard]] constexpr double in_square_millimetres(Area a) { return a.base() / 1e-2; }
+[[nodiscard]] constexpr double in_square_micrometres(Area a) { return a.base() / 1e-8; }
+
+// Length
+[[nodiscard]] constexpr Length metres(double v) { return Length::from_base(v); }
+[[nodiscard]] constexpr Length millimetres(double v) { return Length::from_base(v * 1e-3); }
+[[nodiscard]] constexpr Length micrometres(double v) { return Length::from_base(v * 1e-6); }
+[[nodiscard]] constexpr Length nanometres(double v) { return Length::from_base(v * 1e-9); }
+[[nodiscard]] constexpr double in_metres(Length l) { return l.base(); }
+[[nodiscard]] constexpr double in_millimetres(Length l) { return l.base() / 1e-3; }
+[[nodiscard]] constexpr double in_micrometres(Length l) { return l.base() / 1e-6; }
+[[nodiscard]] constexpr double in_nanometres(Length l) { return l.base() / 1e-9; }
+
+// Carbon
+[[nodiscard]] constexpr Carbon grams_co2e(double v) { return Carbon::from_base(v); }
+[[nodiscard]] constexpr Carbon kilograms_co2e(double v) { return Carbon::from_base(v * 1e3); }
+[[nodiscard]] constexpr double in_grams_co2e(Carbon c) { return c.base(); }
+[[nodiscard]] constexpr double in_kilograms_co2e(Carbon c) { return c.base() / 1e3; }
+
+// Carbon intensity (base: gCO2e/J)
+[[nodiscard]] constexpr CarbonIntensity grams_per_kilowatt_hour(double v) {
+  return CarbonIntensity::from_base(v / 3.6e6);
+}
+[[nodiscard]] constexpr double in_grams_per_kilowatt_hour(CarbonIntensity ci) { return ci.base() * 3.6e6; }
+
+// Carbon per area (base: gCO2e/cm^2)
+[[nodiscard]] constexpr CarbonPerArea grams_per_square_centimetre(double v) {
+  return CarbonPerArea::from_base(v);
+}
+[[nodiscard]] constexpr CarbonPerArea kilograms_per_square_centimetre(double v) {
+  return CarbonPerArea::from_base(v * 1e3);
+}
+[[nodiscard]] constexpr double in_grams_per_square_centimetre(CarbonPerArea c) { return c.base(); }
+
+// Energy per area (base: J/cm^2)
+[[nodiscard]] constexpr EnergyPerArea joules_per_square_centimetre(double v) {
+  return EnergyPerArea::from_base(v);
+}
+[[nodiscard]] constexpr EnergyPerArea kilowatt_hours_per_square_centimetre(double v) {
+  return EnergyPerArea::from_base(v * 3.6e6);
+}
+[[nodiscard]] constexpr double in_kilowatt_hours_per_square_centimetre(EnergyPerArea e) {
+  return e.base() / 3.6e6;
+}
+
+// Electrical
+[[nodiscard]] constexpr Voltage volts(double v) { return Voltage::from_base(v); }
+[[nodiscard]] constexpr double in_volts(Voltage v) { return v.base(); }
+[[nodiscard]] constexpr Current amperes(double v) { return Current::from_base(v); }
+[[nodiscard]] constexpr Current microamperes(double v) { return Current::from_base(v * 1e-6); }
+[[nodiscard]] constexpr Current nanoamperes(double v) { return Current::from_base(v * 1e-9); }
+[[nodiscard]] constexpr double in_amperes(Current i) { return i.base(); }
+[[nodiscard]] constexpr double in_microamperes(Current i) { return i.base() / 1e-6; }
+[[nodiscard]] constexpr Capacitance farads(double v) { return Capacitance::from_base(v); }
+[[nodiscard]] constexpr Capacitance femtofarads(double v) { return Capacitance::from_base(v * 1e-15); }
+[[nodiscard]] constexpr Capacitance attofarads(double v) { return Capacitance::from_base(v * 1e-18); }
+[[nodiscard]] constexpr double in_farads(Capacitance c) { return c.base(); }
+[[nodiscard]] constexpr double in_femtofarads(Capacitance c) { return c.base() / 1e-15; }
+[[nodiscard]] constexpr Charge coulombs(double v) { return Charge::from_base(v); }
+[[nodiscard]] constexpr double in_coulombs(Charge q) { return q.base(); }
+
+// Frequency
+[[nodiscard]] constexpr Frequency hertz(double v) { return Frequency::from_base(v); }
+[[nodiscard]] constexpr Frequency megahertz(double v) { return Frequency::from_base(v * 1e6); }
+[[nodiscard]] constexpr Frequency gigahertz(double v) { return Frequency::from_base(v * 1e9); }
+[[nodiscard]] constexpr double in_hertz(Frequency f) { return f.base(); }
+[[nodiscard]] constexpr double in_megahertz(Frequency f) { return f.base() / 1e6; }
+
+// Mass
+[[nodiscard]] constexpr Mass grams(double v) { return Mass::from_base(v); }
+[[nodiscard]] constexpr Mass picograms(double v) { return Mass::from_base(v * 1e-12); }
+[[nodiscard]] constexpr double in_grams(Mass m) { return m.base(); }
+
+// Temperature
+[[nodiscard]] constexpr Temperature kelvin(double v) { return Temperature::from_base(v); }
+[[nodiscard]] constexpr double in_kelvin(Temperature t) { return t.base(); }
+[[nodiscard]] constexpr Temperature celsius(double v) { return Temperature::from_base(v + 273.15); }
+
+}  // namespace units
+
+// ---- Cross-dimension algebra ------------------------------------------------
+
+[[nodiscard]] constexpr Energy operator*(Power p, Duration t) {
+  return Energy::from_base(p.base() * t.base());
+}
+[[nodiscard]] constexpr Energy operator*(Duration t, Power p) { return p * t; }
+[[nodiscard]] constexpr Power operator/(Energy e, Duration t) {
+  return Power::from_base(e.base() / t.base());
+}
+[[nodiscard]] constexpr Duration operator/(Energy e, Power p) {
+  return Duration::from_base(e.base() / p.base());
+}
+
+[[nodiscard]] constexpr Carbon operator*(CarbonIntensity ci, Energy e) {
+  return Carbon::from_base(ci.base() * e.base());
+}
+[[nodiscard]] constexpr Carbon operator*(Energy e, CarbonIntensity ci) { return ci * e; }
+
+[[nodiscard]] constexpr Carbon operator*(CarbonPerArea cpa, Area a) {
+  return Carbon::from_base(cpa.base() * a.base());
+}
+[[nodiscard]] constexpr Carbon operator*(Area a, CarbonPerArea cpa) { return cpa * a; }
+
+[[nodiscard]] constexpr Energy operator*(EnergyPerArea epa, Area a) {
+  return Energy::from_base(epa.base() * a.base());
+}
+[[nodiscard]] constexpr Energy operator*(Area a, EnergyPerArea epa) { return epa * a; }
+
+[[nodiscard]] constexpr EnergyPerArea operator/(Energy e, Area a) {
+  return EnergyPerArea::from_base(e.base() / a.base());
+}
+[[nodiscard]] constexpr CarbonPerArea operator/(Carbon c, Area a) {
+  return CarbonPerArea::from_base(c.base() / a.base());
+}
+
+[[nodiscard]] constexpr Power operator*(Voltage v, Current i) {
+  return Power::from_base(v.base() * i.base());
+}
+[[nodiscard]] constexpr Power operator*(Current i, Voltage v) { return v * i; }
+
+[[nodiscard]] constexpr Charge operator*(Capacitance c, Voltage v) {
+  return Charge::from_base(c.base() * v.base());
+}
+[[nodiscard]] constexpr Charge operator*(Current i, Duration t) {
+  return Charge::from_base(i.base() * t.base());
+}
+[[nodiscard]] constexpr Energy operator*(Charge q, Voltage v) {
+  return Energy::from_base(q.base() * v.base());
+}
+[[nodiscard]] constexpr Energy operator*(Voltage v, Charge q) { return q * v; }
+
+[[nodiscard]] constexpr Duration operator/(double cycles, Frequency f) {
+  return Duration::from_base(cycles / f.base());
+}
+[[nodiscard]] constexpr Duration period(Frequency f) { return Duration::from_base(1.0 / f.base()); }
+
+[[nodiscard]] constexpr Area operator*(Length a, Length b) {
+  // lengths are stored in metres; area base unit is cm^2 (1 m^2 = 1e4 cm^2)
+  return Area::from_base(a.base() * b.base() * 1e4);
+}
+
+}  // namespace ppatc

@@ -1,0 +1,58 @@
+// ppatc: carbon-efficient design-space exploration (CORDOBA-flavored).
+//
+// The paper evaluates two fixed design points; its cited companion work
+// (Elgamal et al., "CORDOBA") optimizes designs for carbon efficiency. This
+// module closes the loop: enumerate the case-study design space
+// (technology x VT flavor x clock frequency), keep the points that close
+// timing and meet a performance constraint, and rank them by tCDP over the
+// deployment scenario — plus the tCDP-vs-delay Pareto front.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ppatc/core/system.hpp"
+
+namespace ppatc::core {
+
+struct DesignSpace {
+  std::vector<Technology> technologies{Technology::kAllSi, Technology::kM3dIgzoCnfetSi};
+  std::vector<device::VtFlavor> vt_flavors{device::VtFlavor::kHvt, device::VtFlavor::kRvt,
+                                           device::VtFlavor::kLvt, device::VtFlavor::kSlvt};
+  std::vector<Frequency> clocks{units::megahertz(200), units::megahertz(300),
+                                units::megahertz(400), units::megahertz(500),
+                                units::megahertz(600), units::megahertz(700),
+                                units::megahertz(800)};
+};
+
+struct OptimizationGoal {
+  /// Each application run must finish within this budget (latency target);
+  /// nullopt = unconstrained.
+  std::optional<Duration> max_execution_time;
+  carbon::OperationalScenario scenario{};
+  Duration lifetime = units::months(24.0);
+};
+
+struct DesignPoint {
+  SystemSpec spec;
+  SystemEvaluation evaluation;
+  double tcdp = 0.0;  ///< gCO2e.s over the goal's lifetime
+  Carbon total_carbon;
+  bool feasible = false;     ///< timing closed (M0 + memory)
+  bool meets_deadline = false;
+};
+
+struct OptimizationResult {
+  std::vector<DesignPoint> all_points;   ///< every enumerated point
+  std::vector<DesignPoint> ranked;       ///< feasible + deadline, best tCDP first
+  std::vector<DesignPoint> pareto;       ///< (execution time, total carbon) front
+};
+
+/// Explores `space` for `workload` under `goal`. Infeasible points (timing
+/// failures) are kept in all_points with feasible=false for reporting.
+[[nodiscard]] OptimizationResult optimize(const DesignSpace& space,
+                                          const workloads::Workload& workload,
+                                          const OptimizationGoal& goal,
+                                          const carbon::Grid& fab_grid = carbon::grids::us());
+
+}  // namespace ppatc::core

@@ -1,0 +1,102 @@
+// ppatc: the top-level PPAtC framework (paper Sec. III).
+//
+// A SystemSpec describes one realization of the case-study embedded system
+// (Cortex-M0 + 64 kB eDRAM): which technology implements the memory, the
+// clock target, VT flavor, floorplan style, and yield. `evaluate` runs the
+// full design flow — ISS workload execution (Step 1/4), memory
+// characterization (Step 2), synthesis (Step 3), die/floorplan and carbon
+// accounting (Step 5) — and returns every Table II row plus the carbon
+// profile consumed by the Fig. 5/6 lifetime analyses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ppatc/carbon/embodied.hpp"
+#include "ppatc/carbon/tcdp.hpp"
+#include "ppatc/carbon/wafer.hpp"
+#include "ppatc/carbon/yield.hpp"
+#include "ppatc/memsys/edram.hpp"
+#include "ppatc/synth/m0.hpp"
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::core {
+
+enum class Technology { kAllSi, kM3dIgzoCnfetSi };
+
+[[nodiscard]] const char* to_string(Technology tech);
+
+struct SystemSpec {
+  Technology tech = Technology::kAllSi;
+  Frequency fclk = units::megahertz(500);
+  device::VtFlavor vt = device::VtFlavor::kRvt;
+  /// 2D floorplans place the memory beside the M0 and pay routing overhead;
+  /// 3D floorplans stack the memory above the M0 (Fig. 1b) and pay only a
+  /// small halo. Calibrated to the Table II total areas.
+  double floorplan_overhead_2d = 1.1749;
+  double floorplan_overhead_3d = 1.0495;
+  /// Die aspect ratio (height / width), from the paper's reported H x W.
+  double aspect_ratio = 270.0 / 515.0;
+  /// Demonstration yields from the paper (90% Si / 50% M3D) unless replaced.
+  double yield = 0.90;
+
+  [[nodiscard]] static SystemSpec all_si();
+  [[nodiscard]] static SystemSpec m3d();
+};
+
+/// Everything Table II reports for one system, plus the Fig. 5/6 inputs.
+struct SystemEvaluation {
+  std::string system_name;
+  std::string workload_name;
+
+  // Performance.
+  std::uint64_t cycles = 0;
+  Duration execution_time;
+  bool memory_timing_met = false;
+  bool m0_timing_met = false;
+
+  // Power / energy.
+  Energy m0_energy_per_cycle;      ///< Table II "M0 dynamic energy per cycle"
+  Energy memory_energy_per_cycle;  ///< Table II "average memory energy per cycle"
+  Power operational_power;         ///< P_operational of Eq. 6
+
+  // Area.
+  Area memory_area;   ///< Table II "64 kB memory area footprint"
+  Area total_area;    ///< Table II "total area footprint (memory + M0)"
+  Length die_height;
+  Length die_width;
+
+  // Carbon.
+  Carbon embodied_per_wafer;       ///< at the chosen fabrication grid
+  std::int64_t dies_per_wafer = 0;
+  double yield = 0.0;
+  Carbon embodied_per_good_die;    ///< Eq. 5
+
+  /// Profile for the Fig. 5/6 lifetime and isoline analyses.
+  [[nodiscard]] carbon::SystemCarbonProfile carbon_profile() const;
+};
+
+/// Runs the full design/analysis flow for `spec` on `workload`, with
+/// C_embodied computed at `fab_grid`.
+[[nodiscard]] SystemEvaluation evaluate(const SystemSpec& spec,
+                                        const workloads::Workload& workload,
+                                        const carbon::Grid& fab_grid = carbon::grids::us());
+
+/// Same flow, reusing an already-executed workload run (the ISS outcome is
+/// hardware-independent, so design-space sweeps execute the program once).
+[[nodiscard]] SystemEvaluation evaluate_with_outcome(const SystemSpec& spec,
+                                                     const std::string& workload_name,
+                                                     const workloads::RunOutcome& run,
+                                                     const carbon::Grid& fab_grid =
+                                                         carbon::grids::us());
+
+/// Both Table II columns at once (same workload and grid).
+struct Table2 {
+  SystemEvaluation all_si;
+  SystemEvaluation m3d;
+};
+
+[[nodiscard]] Table2 table2(const workloads::Workload& workload,
+                            const carbon::Grid& fab_grid = carbon::grids::us());
+
+}  // namespace ppatc::core

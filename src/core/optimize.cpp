@@ -1,0 +1,82 @@
+#include "ppatc/core/optimize.hpp"
+
+#include <algorithm>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::core {
+
+OptimizationResult optimize(const DesignSpace& space, const workloads::Workload& workload,
+                            const OptimizationGoal& goal, const carbon::Grid& fab_grid) {
+  PPATC_EXPECT(!space.technologies.empty() && !space.vt_flavors.empty() && !space.clocks.empty(),
+               "design space must be non-empty");
+
+  // The ISS outcome is hardware-independent: execute once, evaluate many.
+  const workloads::RunOutcome run = workloads::run_workload(workload);
+  PPATC_ENSURE(run.halted && run.checksum_ok, "workload failed verification: " + workload.name);
+
+  OptimizationResult result;
+  for (const Technology tech : space.technologies) {
+    for (const device::VtFlavor vt : space.vt_flavors) {
+      for (const Frequency fclk : space.clocks) {
+        SystemSpec spec =
+            tech == Technology::kAllSi ? SystemSpec::all_si() : SystemSpec::m3d();
+        spec.vt = vt;
+        spec.fclk = fclk;
+
+        DesignPoint point;
+        point.spec = spec;
+        try {
+          point.evaluation = evaluate_with_outcome(spec, workload.name, run, fab_grid);
+          point.feasible = point.evaluation.memory_timing_met && point.evaluation.m0_timing_met;
+        } catch (const ContractViolation&) {
+          point.feasible = false;  // M0 synthesis failed timing at this clock
+        }
+        if (point.feasible) {
+          point.meets_deadline = !goal.max_execution_time.has_value() ||
+                                 point.evaluation.execution_time <= *goal.max_execution_time;
+          point.tcdp =
+              carbon::tcdp(point.evaluation.carbon_profile(), goal.scenario, goal.lifetime);
+          point.total_carbon = carbon::total_carbon(point.evaluation.carbon_profile(),
+                                                    goal.scenario, goal.lifetime);
+        }
+        result.all_points.push_back(std::move(point));
+      }
+    }
+  }
+
+  for (const auto& p : result.all_points) {
+    if (p.feasible && p.meets_deadline) result.ranked.push_back(p);
+  }
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const DesignPoint& a, const DesignPoint& b) { return a.tcdp < b.tcdp; });
+
+  // Pareto front over (execution time, total carbon). tCDP itself already
+  // multiplies the two objectives, so the front is taken over the raw axes:
+  // slower clocks buy lower lifetime carbon (less sizing energy, less
+  // leakage-per-second at the lower supply activity), faster clocks buy
+  // latency.
+  for (const auto& p : result.all_points) {
+    if (!p.feasible) continue;
+    bool dominated = false;
+    for (const auto& q : result.all_points) {
+      if (!q.feasible || &q == &p) continue;
+      const bool no_worse = q.evaluation.execution_time <= p.evaluation.execution_time &&
+                            q.total_carbon <= p.total_carbon;
+      const bool strictly_better = q.evaluation.execution_time < p.evaluation.execution_time ||
+                                   q.total_carbon < p.total_carbon;
+      if (no_worse && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.pareto.push_back(p);
+  }
+  std::sort(result.pareto.begin(), result.pareto.end(), [](const DesignPoint& a,
+                                                           const DesignPoint& b) {
+    return a.evaluation.execution_time < b.evaluation.execution_time;
+  });
+  return result;
+}
+
+}  // namespace ppatc::core

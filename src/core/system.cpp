@@ -1,0 +1,115 @@
+#include "ppatc/core/system.hpp"
+
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::core {
+
+const char* to_string(Technology tech) {
+  switch (tech) {
+    case Technology::kAllSi: return "M0 + Si eDRAM";
+    case Technology::kM3dIgzoCnfetSi: return "M0 + IGZO/CNT/Si M3D-eDRAM";
+  }
+  return "?";
+}
+
+SystemSpec SystemSpec::all_si() {
+  SystemSpec s;
+  s.tech = Technology::kAllSi;
+  s.yield = 0.90;
+  s.aspect_ratio = 270.0 / 515.0;
+  return s;
+}
+
+SystemSpec SystemSpec::m3d() {
+  SystemSpec s;
+  s.tech = Technology::kM3dIgzoCnfetSi;
+  s.yield = 0.50;
+  s.aspect_ratio = 159.0 / 334.0;
+  return s;
+}
+
+carbon::SystemCarbonProfile SystemEvaluation::carbon_profile() const {
+  carbon::SystemCarbonProfile p;
+  p.name = system_name;
+  p.embodied_per_good_die = embodied_per_good_die;
+  p.operational_power = operational_power;
+  p.standby_power = units::watts(0.0);  // Eq. 6 gates all power by the usage window
+  p.execution_time = execution_time;
+  return p;
+}
+
+SystemEvaluation evaluate(const SystemSpec& spec, const workloads::Workload& workload,
+                          const carbon::Grid& fab_grid) {
+  // ---- Step 1/4: run the workload, count cycles and memory accesses.
+  const workloads::RunOutcome run = workloads::run_workload(workload);
+  PPATC_ENSURE(run.halted, "workload did not terminate: " + workload.name);
+  PPATC_ENSURE(run.checksum_ok, "workload checksum mismatch: " + workload.name);
+  return evaluate_with_outcome(spec, workload.name, run, fab_grid);
+}
+
+SystemEvaluation evaluate_with_outcome(const SystemSpec& spec, const std::string& workload_name,
+                                       const workloads::RunOutcome& run,
+                                       const carbon::Grid& fab_grid) {
+  PPATC_EXPECT(spec.yield > 0.0 && spec.yield <= 1.0, "yield must be in (0, 1]");
+  PPATC_EXPECT(run.halted && run.checksum_ok, "run outcome must be a verified execution");
+  SystemEvaluation ev;
+  ev.system_name = to_string(spec.tech);
+  ev.workload_name = workload_name;
+  ev.cycles = run.cycles;
+  ev.execution_time = period(spec.fclk) * static_cast<double>(run.cycles);
+
+  // ---- Step 2: memory design + characterization.
+  const memsys::BankConfig bank_cfg = spec.tech == Technology::kAllSi
+                                          ? memsys::si_bank_config()
+                                          : memsys::m3d_bank_config();
+  const memsys::EdramBank bank{bank_cfg};
+  ev.memory_timing_met = bank.meets_timing(spec.fclk);
+  const memsys::MemoryEnergyReport mem =
+      memsys::memory_energy(bank, run.stats, run.cycles, spec.fclk);
+  ev.memory_energy_per_cycle = mem.per_cycle;
+  ev.memory_area = bank.area();
+
+  // ---- Step 3: M0 synthesis at the target clock (Si CMOS in both designs).
+  synth::M0Options m0_opt;
+  m0_opt.vt = spec.vt;
+  const synth::M0Model m0{m0_opt};
+  const synth::M0Synthesis syn = m0.synthesize(spec.fclk);
+  ev.m0_timing_met = syn.timing_met;
+  PPATC_ENSURE(syn.timing_met, "M0 fails timing at the target clock");
+  ev.m0_energy_per_cycle = syn.energy_per_cycle;
+
+  // ---- Floorplan.
+  if (spec.tech == Technology::kAllSi) {
+    ev.total_area = (m0.area() + bank.area()) * spec.floorplan_overhead_2d;
+  } else {
+    ev.total_area = max(m0.area(), bank.area()) * spec.floorplan_overhead_3d;
+  }
+  const double area_mm2 = units::in_square_millimetres(ev.total_area);
+  ev.die_height = units::millimetres(std::sqrt(area_mm2 * spec.aspect_ratio));
+  ev.die_width = units::millimetres(std::sqrt(area_mm2 / spec.aspect_ratio));
+
+  // ---- Step 5: carbon.
+  const carbon::EmbodiedModel embodied = spec.tech == Technology::kAllSi
+                                             ? carbon::all_si_embodied_model()
+                                             : carbon::m3d_embodied_model();
+  ev.embodied_per_wafer = embodied.carbon_per_wafer(fab_grid);
+  ev.dies_per_wafer =
+      carbon::dies_per_wafer_formula(carbon::DieSpec{ev.die_width, ev.die_height});
+  ev.yield = spec.yield;
+  ev.embodied_per_good_die =
+      ev.embodied_per_wafer / (static_cast<double>(ev.dies_per_wafer) * spec.yield);
+
+  // Operational power: everything (M0 + memory) drawn while running (Eq. 6).
+  ev.operational_power =
+      (ev.m0_energy_per_cycle + ev.memory_energy_per_cycle) / period(spec.fclk);
+  return ev;
+}
+
+Table2 table2(const workloads::Workload& workload, const carbon::Grid& fab_grid) {
+  return Table2{evaluate(SystemSpec::all_si(), workload, fab_grid),
+                evaluate(SystemSpec::m3d(), workload, fab_grid)};
+}
+
+}  // namespace ppatc::core

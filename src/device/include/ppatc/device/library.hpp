@@ -1,0 +1,50 @@
+// ppatc: technology cards for the three FET families of the paper (Table I).
+//
+//  * Si FinFET @ 7 nm (ASAP7-style), four threshold flavors (HVT, RVT, LVT,
+//    SLVT) for both polarities — bottom-tier only (requires >1000 C anneals).
+//  * CNFET (VS-CNFET, Lee et al. TED 2015): high I_EFF, BEOL-compatible,
+//    subject to metallic-CNT leakage unless removed.
+//  * IGZO FET (virtual-source card, Samanta VLSI 2020 / Belmonte IEDM 2021):
+//    low mobility (1 cm^2/V.s), SS = 90 mV/dec, ultra-low I_OFF, NMOS only,
+//    BEOL-compatible.
+//
+// Cards are returned by value so callers may tweak individual parameters
+// (e.g. metallic-CNT fraction sweeps in the ablation bench).
+#pragma once
+
+#include "ppatc/device/vs_model.hpp"
+
+namespace ppatc::device {
+
+/// ASAP7-style threshold-voltage flavor.
+enum class VtFlavor { kHvt, kRvt, kLvt, kSlvt };
+
+[[nodiscard]] const char* to_string(VtFlavor flavor);
+
+/// 7 nm Si FinFET card. DIBL/SS/velocity chosen to land I_ON, I_OFF in the
+/// ranges of the ASAP7 PDK documentation at VDD = 0.7 V.
+[[nodiscard]] VsParams silicon_finfet(Polarity polarity, VtFlavor flavor);
+
+/// Options controlling CNFET non-idealities.
+struct CnfetOptions {
+  double cnts_per_um = 200.0;          ///< CNT areal density under the gate.
+  double metallic_fraction = 1e-6;     ///< Fraction of metallic CNTs remaining
+                                       ///< after removal (1/3 as-grown).
+  double metallic_conductance_us = 20.0;  ///< On-conductance per metallic CNT (uS).
+};
+
+/// BEOL-compatible CNFET card (high I_EFF; I_OFF degraded by metallic CNTs).
+[[nodiscard]] VsParams cnfet(Polarity polarity, const CnfetOptions& options = {});
+
+/// BEOL-compatible IGZO FET card (NMOS only — IGZO is an n-type oxide
+/// semiconductor; the paper's bit cell uses it solely as the write transistor).
+[[nodiscard]] VsParams igzo_fet();
+
+/// Maximum processing temperature of each card's fabrication flow; used by
+/// the process-flow model to check BEOL compatibility (< 300 C).
+[[nodiscard]] Temperature process_temperature(const VsParams& params);
+
+/// True if the card can be fabricated in upper (BEOL) tiers of an M3D stack.
+[[nodiscard]] bool beol_compatible(const VsParams& params);
+
+}  // namespace ppatc::device

@@ -1,0 +1,84 @@
+// ppatc: virtual-source (VS) FET compact model.
+//
+// Implements the semi-empirical short-channel MOSFET model of Khakifirooz et
+// al. (IEEE TED 2009), the same model family the paper uses for its SPICE
+// simulations: ASAP7 Si FinFETs, VS-CNFET (Lee et al., TED 2015), and an
+// IGZO FET virtual-source card with experimentally measured mobility
+// (1 cm^2/V.s) and sub-threshold slope (90 mV/dec) [Samanta, VLSI 2020].
+//
+// The model is charge-based: the drain current per unit width is
+//     Id/W = Q_ix0 * v_x0 * F_sat(Vds)
+// where Q_ix0 is the virtual-source charge (empirical smooth function of Vgs
+// spanning sub-threshold to strong inversion), v_x0 the injection velocity,
+// and F_sat a saturation blending function. Metallic-CNT leakage (for CNFETs
+// before/after imperfect metallic-CNT removal) is modeled as an additional
+// ohmic shunt conductance proportional to the metallic fraction.
+#pragma once
+
+#include <string>
+
+#include "ppatc/common/units.hpp"
+
+namespace ppatc::device {
+
+enum class Polarity { kNmos, kPmos };
+
+/// Parameters for the virtual-source model. All per-width quantities are
+/// normalized to A/um, F/um etc. so that a transistor instance is
+/// (params, width_um).
+struct VsParams {
+  std::string name;                 ///< Human-readable technology card name.
+  Polarity polarity = Polarity::kNmos;
+  double vt_volts = 0.25;           ///< Saturation threshold voltage (magnitude).
+  double ss_mv_per_decade = 65.0;   ///< Sub-threshold slope at 300 K.
+  double vx0_cm_per_s = 1.0e7;      ///< Virtual-source injection velocity.
+  double mobility_cm2_per_vs = 250; ///< Low-field apparent mobility.
+  double gate_length_nm = 21.0;     ///< Effective channel length.
+  double cinv_ff_per_um2 = 25.0;    ///< Inversion gate capacitance density (fF/um^2).
+  double cpar_ff_per_um = 0.18;     ///< Parasitic (fringe+overlap) cap per um width.
+  double alpha = 3.5;               ///< Empirical VT shift between sat/lin.
+  double beta = 1.8;                ///< Saturation-blend exponent.
+  double rs_ohm_um = 100.0;         ///< Source access resistance (ohm.um).
+  double dibl_mv_per_v = 30.0;      ///< Drain-induced barrier lowering.
+  double shunt_siemens_per_um = 0.0;///< Ohmic shunt (metallic CNTs); 0 for MOS.
+  double temperature_k = 300.0;
+};
+
+/// One FET instance: a technology card plus a drawn width.
+class VirtualSourceFet {
+ public:
+  VirtualSourceFet(VsParams params, double width_um);
+
+  [[nodiscard]] const VsParams& params() const { return params_; }
+  [[nodiscard]] double width_um() const { return width_um_; }
+
+  /// Drain current for terminal voltages (polarity handled internally: for
+  /// PMOS pass actual signed voltages; the model mirrors them).
+  [[nodiscard]] Current drain_current(Voltage vgs, Voltage vds) const;
+
+  /// Per-width drain current in A/um for NMOS-normalized (positive) biases.
+  [[nodiscard]] double drain_current_per_um(double vgs, double vds) const;
+
+  /// I_OFF: |Id| at Vgs = 0, |Vds| = Vdd.
+  [[nodiscard]] Current off_current(Voltage vdd) const;
+  /// I_ON: |Id| at |Vgs| = |Vds| = Vdd.
+  [[nodiscard]] Current on_current(Voltage vdd) const;
+  /// Effective drive current I_EFF = (I_H + I_L) / 2 with
+  /// I_H = Id(Vgs=Vdd, Vds=Vdd/2), I_L = Id(Vgs=Vdd/2, Vds=Vdd).
+  [[nodiscard]] Current effective_current(Voltage vdd) const;
+
+  /// Total gate capacitance (intrinsic inversion + parasitic).
+  [[nodiscard]] Capacitance gate_capacitance() const;
+
+  /// Sub-threshold ideality factor n = SS / (kT/q * ln 10).
+  [[nodiscard]] double ideality() const;
+
+  /// Thermal voltage kT/q in volts.
+  [[nodiscard]] double thermal_voltage() const;
+
+ private:
+  VsParams params_;
+  double width_um_;
+};
+
+}  // namespace ppatc::device

@@ -1,0 +1,112 @@
+#include "ppatc/device/library.hpp"
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::device {
+
+const char* to_string(VtFlavor flavor) {
+  switch (flavor) {
+    case VtFlavor::kHvt: return "HVT";
+    case VtFlavor::kRvt: return "RVT";
+    case VtFlavor::kLvt: return "LVT";
+    case VtFlavor::kSlvt: return "SLVT";
+  }
+  return "?";
+}
+
+VsParams silicon_finfet(Polarity polarity, VtFlavor flavor) {
+  VsParams p;
+  p.polarity = polarity;
+  p.gate_length_nm = 21.0;  // ASAP7 drawn 20 nm, effective ~21 nm
+  p.cinv_ff_per_um2 = 20.0;
+  p.cpar_ff_per_um = 0.18;
+  p.alpha = 3.5;
+  p.beta = 1.8;
+  p.dibl_mv_per_v = 30.0;
+  if (polarity == Polarity::kNmos) {
+    p.vx0_cm_per_s = 0.85e7;
+    p.mobility_cm2_per_vs = 200.0;
+    p.ss_mv_per_decade = 65.0;
+    p.rs_ohm_um = 90.0;
+  } else {
+    p.vx0_cm_per_s = 0.70e7;
+    p.mobility_cm2_per_vs = 150.0;
+    p.ss_mv_per_decade = 70.0;
+    p.rs_ohm_um = 110.0;
+  }
+  // VT values place I_OFF in the ASAP7 documentation ranges (HVT ~0.1 nA/um
+  // ... SLVT ~20 nA/um at 0.7 V) given this model's sub-threshold shape.
+  switch (flavor) {
+    case VtFlavor::kHvt: p.vt_volts = 0.48; break;
+    case VtFlavor::kRvt: p.vt_volts = 0.42; break;
+    case VtFlavor::kLvt: p.vt_volts = 0.37; break;
+    case VtFlavor::kSlvt: p.vt_volts = 0.32; break;
+  }
+  p.name = std::string{"si7_"} + (polarity == Polarity::kNmos ? "n" : "p") + "_" + to_string(flavor);
+  return p;
+}
+
+VsParams cnfet(Polarity polarity, const CnfetOptions& options) {
+  PPATC_EXPECT(options.metallic_fraction >= 0.0 && options.metallic_fraction <= 1.0 / 3.0,
+               "metallic fraction must be in [0, 1/3] (1/3 is as-grown)");
+  PPATC_EXPECT(options.cnts_per_um > 0.0, "CNT density must be positive");
+  VsParams p;
+  p.polarity = polarity;
+  p.gate_length_nm = 30.0;  // paper: 30 nm CNFET gate length
+  // Quantum-capacitance-limited gate stack: lower Cinv than Si FinFET, but
+  // much higher injection velocity -> higher I_EFF per width.
+  p.cinv_ff_per_um2 = 11.0;
+  p.cpar_ff_per_um = 0.12;
+  p.vx0_cm_per_s = 3.3e7;
+  p.mobility_cm2_per_vs = 1500.0;
+  // Small-bandgap CNTs (0.43..0.85 eV) leak more: softer slope + band-to-band
+  // contribution folded into SS, plus the metallic-CNT ohmic shunt.
+  p.ss_mv_per_decade = 78.0;
+  p.dibl_mv_per_v = 45.0;
+  p.rs_ohm_um = 180.0;
+  p.vt_volts = 0.32;
+  p.alpha = 3.5;
+  p.beta = 1.6;
+  p.shunt_siemens_per_um =
+      options.metallic_fraction * options.cnts_per_um * options.metallic_conductance_us * 1e-6;
+  p.name = std::string{"cnfet_"} + (polarity == Polarity::kNmos ? "n" : "p");
+  return p;
+}
+
+VsParams igzo_fet() {
+  VsParams p;
+  p.polarity = Polarity::kNmos;
+  p.name = "igzo_n";
+  p.gate_length_nm = 44.0;  // Samanta VLSI 2020 measured card
+  p.mobility_cm2_per_vs = 1.0;
+  p.ss_mv_per_decade = 90.0;
+  // Low mobility makes the device drift-limited: modest injection velocity.
+  p.vx0_cm_per_s = 2.5e5;
+  p.cinv_ff_per_um2 = 15.0;
+  p.cpar_ff_per_um = 0.10;
+  // Enhancement-mode, high VT: with Eg ~ 3.5 eV there is no band-to-band or
+  // GIDL floor, so sub-threshold extrapolation holds for many decades and
+  // I_OFF at the hold bias reaches the attoampere regime (Belmonte 2023).
+  p.vt_volts = 0.80;
+  p.dibl_mv_per_v = 15.0;
+  p.rs_ohm_um = 500.0;
+  p.alpha = 3.5;
+  p.beta = 1.8;
+  return p;
+}
+
+Temperature process_temperature(const VsParams& params) {
+  // Si FinFETs need dopant activation anneals; CNT deposition is a
+  // room-temperature wet process (solution incubation) followed by <=200 C
+  // bakes; IGZO is RF-sputtered below 300 C.
+  if (params.name.rfind("si7_", 0) == 0) return units::celsius(1050.0);
+  if (params.name.rfind("cnfet_", 0) == 0) return units::celsius(200.0);
+  if (params.name.rfind("igzo_", 0) == 0) return units::celsius(250.0);
+  return units::celsius(400.0);
+}
+
+bool beol_compatible(const VsParams& params) {
+  return process_temperature(params) < units::celsius(300.0);
+}
+
+}  // namespace ppatc::device

@@ -1,0 +1,123 @@
+#include "ppatc/device/vs_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::device {
+
+namespace {
+constexpr double kBoltzmannOverQ = 8.617333262e-5;  // V/K
+constexpr double kLn10 = 2.302585092994046;
+}  // namespace
+
+VirtualSourceFet::VirtualSourceFet(VsParams params, double width_um)
+    : params_{std::move(params)}, width_um_{width_um} {
+  PPATC_EXPECT(width_um_ > 0.0, "FET width must be positive");
+  PPATC_EXPECT(params_.vt_volts > 0.0, "|VT| must be positive");
+  PPATC_EXPECT(params_.ss_mv_per_decade >= 59.0,
+               "sub-threshold slope cannot beat the thermionic limit at 300 K");
+  PPATC_EXPECT(params_.vx0_cm_per_s > 0.0 && params_.mobility_cm2_per_vs > 0.0,
+               "transport parameters must be positive");
+  PPATC_EXPECT(params_.gate_length_nm > 0.0, "gate length must be positive");
+}
+
+double VirtualSourceFet::thermal_voltage() const {
+  return kBoltzmannOverQ * params_.temperature_k;
+}
+
+double VirtualSourceFet::ideality() const {
+  return params_.ss_mv_per_decade * 1e-3 / (thermal_voltage() * kLn10);
+}
+
+double VirtualSourceFet::drain_current_per_um(double vgs, double vds) const {
+  // NMOS-normalized evaluation; vds may be negative (symmetric conduction is
+  // approximated by source/drain swap).
+  bool swapped = false;
+  if (vds < 0.0) {
+    // Swap source and drain: Vgs' = Vgs - Vds, Vds' = -Vds.
+    vgs = vgs - vds;
+    vds = -vds;
+    swapped = true;
+  }
+
+  const double vt_therm = thermal_voltage();
+  const double n = ideality();
+  const double phi_t_n = n * vt_therm;
+
+  // DIBL-corrected threshold.
+  const double vt_eff = params_.vt_volts - params_.dibl_mv_per_v * 1e-3 * vds;
+
+  // Inversion-transition function Ff: ~1 in sub-threshold, ~0 in strong inv.
+  const double alpha_vt = params_.alpha * vt_therm;
+  const double ff = 1.0 / (1.0 + std::exp(std::clamp((vgs - (vt_eff - alpha_vt / 2.0)) / alpha_vt, -60.0, 60.0)));
+
+  // Virtual-source charge (F/um^2 * V -> C/um^2). Cinv given in fF/um^2.
+  const double cinv = params_.cinv_ff_per_um2 * 1e-15 * 1e8;  // F/cm^2
+  const double eta = std::clamp((vgs - (vt_eff - params_.alpha * vt_therm * ff)) / phi_t_n, -60.0, 60.0);
+  const double q_ix0 = cinv * phi_t_n * std::log1p(std::exp(eta));  // C/cm^2
+
+  // Saturation voltage: drift-limited in strong inversion, thermal-limited in
+  // sub-threshold; Ff blends the two.
+  const double leff_cm = params_.gate_length_nm * 1e-7;
+  const double vdsat_strong = params_.vx0_cm_per_s * leff_cm / params_.mobility_cm2_per_vs;
+  const double vdsat = vdsat_strong * (1.0 - ff) + vt_therm * ff;
+  const double x = vds / std::max(vdsat, 1e-9);
+  const double fsat = x / std::pow(1.0 + std::pow(x, params_.beta), 1.0 / params_.beta);
+
+  // Current per width: Q * v. Convert to A/um (1 cm = 1e4 um).
+  double id = q_ix0 * params_.vx0_cm_per_s * fsat / 1e4;  // A/um
+
+  // First-order source-resistance degradation: one fixed-point iteration of
+  // Vgs_int = Vgs - Id*Rs (Rs is in ohm.um, Id in A/um, so Id*Rs is volts).
+  if (params_.rs_ohm_um > 0.0 && id > 0.0) {
+    const double vgs_int = vgs - id * params_.rs_ohm_um;
+    const double eta2 = std::clamp((vgs_int - (vt_eff - params_.alpha * vt_therm * ff)) / phi_t_n, -60.0, 60.0);
+    const double q2 = cinv * phi_t_n * std::log1p(std::exp(eta2));
+    id = q2 * params_.vx0_cm_per_s * fsat / 1e4;
+  }
+
+  // Metallic-CNT (or generic) ohmic shunt.
+  id += params_.shunt_siemens_per_um * vds;
+
+  return swapped ? -id : id;
+}
+
+Current VirtualSourceFet::drain_current(Voltage vgs, Voltage vds) const {
+  double g = units::in_volts(vgs);
+  double d = units::in_volts(vds);
+  if (params_.polarity == Polarity::kPmos) {
+    // Mirror into NMOS space.
+    g = -g;
+    d = -d;
+    return units::amperes(-drain_current_per_um(g, d) * width_um_);
+  }
+  return units::amperes(drain_current_per_um(g, d) * width_um_);
+}
+
+Current VirtualSourceFet::off_current(Voltage vdd) const {
+  const double v = std::abs(units::in_volts(vdd));
+  return units::amperes(std::abs(drain_current_per_um(0.0, v)) * width_um_);
+}
+
+Current VirtualSourceFet::on_current(Voltage vdd) const {
+  const double v = std::abs(units::in_volts(vdd));
+  return units::amperes(std::abs(drain_current_per_um(v, v)) * width_um_);
+}
+
+Current VirtualSourceFet::effective_current(Voltage vdd) const {
+  const double v = std::abs(units::in_volts(vdd));
+  const double ih = drain_current_per_um(v, v / 2.0);
+  const double il = drain_current_per_um(v / 2.0, v);
+  return units::amperes(0.5 * (ih + il) * width_um_);
+}
+
+Capacitance VirtualSourceFet::gate_capacitance() const {
+  const double lg_um = params_.gate_length_nm * 1e-3;
+  const double c_int_ff = params_.cinv_ff_per_um2 * lg_um * width_um_;
+  const double c_par_ff = params_.cpar_ff_per_um * width_um_;
+  return units::femtofarads(c_int_ff + c_par_ff);
+}
+
+}  // namespace ppatc::device

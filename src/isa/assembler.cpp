@@ -1,0 +1,726 @@
+#include "ppatc/isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+namespace ppatc::isa {
+
+std::uint32_t Program::symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  if (it == symbols.end()) throw std::out_of_range("unknown symbol: " + name);
+  return it->second;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- lexing ----
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string remove_comment(const std::string& line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '@' || c == ';') return line.substr(0, i);
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') return line.substr(0, i);
+  }
+  return line;
+}
+
+// Splits operands on commas, keeping {...} and [...] groups intact.
+std::vector<std::string> split_operands(const std::string& s, int line) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!strip(cur).empty()) out.push_back(strip(cur));
+  if (depth != 0) throw AsmError(line, "unbalanced brackets in operands");
+  return out;
+}
+
+// ------------------------------------------------------------ structures ----
+
+enum class ItemKind { kInsn, kWord, kSpace, kAlign, kPool };
+
+struct Item {
+  ItemKind kind = ItemKind::kInsn;
+  int line = 0;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  std::vector<std::string> words;   // .word values
+  std::uint32_t space = 0;          // .space size
+  std::uint32_t align = 0;          // .align boundary
+  std::uint32_t addr = 0;
+  std::uint32_t size = 0;
+  int literal_id = -1;              // for `ldr rd, =expr`
+};
+
+struct Literal {
+  std::string expr;
+  int line = 0;
+  std::uint32_t addr = 0;
+};
+
+struct Context {
+  std::map<std::string, std::uint32_t> symbols;  // labels + .equ
+  std::vector<Literal> literals;
+};
+
+// --------------------------------------------------------- value parsing ----
+
+bool is_register(const std::string& t) {
+  const std::string s = lower(t);
+  if (s == "sp" || s == "lr" || s == "pc") return true;
+  if (s.size() >= 2 && s[0] == 'r') {
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(s[i])) == 0) return false;
+    }
+    const int n = std::stoi(s.substr(1));
+    return n >= 0 && n <= 15;
+  }
+  return false;
+}
+
+int parse_register(const std::string& t, int line) {
+  const std::string s = lower(strip(t));
+  if (s == "sp") return 13;
+  if (s == "lr") return 14;
+  if (s == "pc") return 15;
+  if (!is_register(s)) throw AsmError(line, "expected register, got '" + t + "'");
+  return std::stoi(s.substr(1));
+}
+
+std::optional<std::int64_t> parse_integer(const std::string& t) {
+  std::string s = strip(t);
+  if (s.empty()) return std::nullopt;
+  bool negative = false;
+  if (s[0] == '-' || s[0] == '+') {
+    negative = s[0] == '-';
+    s = s.substr(1);
+    if (s.empty()) return std::nullopt;
+  }
+  if (s.size() == 3 && s.front() == '\'' && s.back() == '\'') {
+    const std::int64_t v = static_cast<unsigned char>(s[1]);
+    return negative ? -v : v;
+  }
+  std::int64_t value = 0;
+  std::size_t pos = 0;
+  try {
+    value = std::stoll(s, &pos, 0);  // handles 0x, 0, decimal
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (pos != s.size()) return std::nullopt;
+  return negative ? -value : value;
+}
+
+// expr := integer | symbol | symbol ('+'|'-') integer
+std::int64_t eval_expr(const std::string& expr, const Context& ctx, int line) {
+  const std::string s = strip(expr);
+  if (const auto v = parse_integer(s)) return *v;
+  std::size_t op = std::string::npos;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i] == '+' || s[i] == '-') {
+      op = i;
+      break;
+    }
+  }
+  const std::string base = strip(op == std::string::npos ? s : s.substr(0, op));
+  const auto it = ctx.symbols.find(base);
+  if (it == ctx.symbols.end()) throw AsmError(line, "unknown symbol '" + base + "'");
+  std::int64_t value = it->second;
+  if (op != std::string::npos) {
+    const auto rhs = parse_integer(s.substr(op + 1));
+    if (!rhs) throw AsmError(line, "bad expression '" + expr + "'");
+    value += (s[op] == '+') ? *rhs : -*rhs;
+  }
+  return value;
+}
+
+std::int64_t parse_immediate(const std::string& t, const Context& ctx, int line) {
+  std::string s = strip(t);
+  if (!s.empty() && s[0] == '#') s = s.substr(1);
+  return eval_expr(s, ctx, line);
+}
+
+// reglist := { r0, r2-r5, lr, pc }
+struct RegList {
+  std::uint32_t low_mask = 0;  // r0..r7
+  bool lr = false;
+  bool pc = false;
+};
+
+RegList parse_reglist(const std::string& t, int line) {
+  std::string s = strip(t);
+  if (s.size() < 2 || s.front() != '{' || s.back() != '}') {
+    throw AsmError(line, "expected register list, got '" + t + "'");
+  }
+  s = s.substr(1, s.size() - 2);
+  RegList out;
+  std::istringstream is{s};
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    part = strip(part);
+    if (part.empty()) throw AsmError(line, "empty entry in register list");
+    const std::size_t dash = part.find('-');
+    if (dash != std::string::npos) {
+      const int a = parse_register(part.substr(0, dash), line);
+      const int b = parse_register(part.substr(dash + 1), line);
+      if (a > b || b > 7) throw AsmError(line, "bad register range '" + part + "'");
+      for (int r = a; r <= b; ++r) out.low_mask |= 1u << r;
+    } else {
+      const int r = parse_register(part, line);
+      if (r <= 7) {
+        out.low_mask |= 1u << r;
+      } else if (r == 14) {
+        out.lr = true;
+      } else if (r == 15) {
+        out.pc = true;
+      } else {
+        throw AsmError(line, "register '" + part + "' not allowed in list");
+      }
+    }
+  }
+  return out;
+}
+
+// Memory operand: [rn] | [rn, #imm] | [rn, rm]
+struct MemOperand {
+  int rn = 0;
+  bool reg_offset = false;
+  int rm = 0;
+  std::int64_t imm = 0;
+};
+
+MemOperand parse_mem(const std::string& t, const Context& ctx, int line) {
+  std::string s = strip(t);
+  if (s.size() < 2 || s.front() != '[' || s.back() != ']') {
+    throw AsmError(line, "expected memory operand, got '" + t + "'");
+  }
+  s = s.substr(1, s.size() - 2);
+  const auto parts = split_operands(s, line);
+  if (parts.empty() || parts.size() > 2) throw AsmError(line, "bad memory operand '" + t + "'");
+  MemOperand m;
+  m.rn = parse_register(parts[0], line);
+  if (parts.size() == 2) {
+    if (!parts[1].empty() && parts[1][0] == '#') {
+      m.imm = parse_immediate(parts[1], ctx, line);
+    } else if (is_register(parts[1])) {
+      m.reg_offset = true;
+      m.rm = parse_register(parts[1], line);
+    } else {
+      m.imm = parse_immediate(parts[1], ctx, line);
+    }
+  }
+  return m;
+}
+
+// ------------------------------------------------------------- encoding ----
+
+void require(bool cond, int line, const std::string& message) {
+  if (!cond) throw AsmError(line, message);
+}
+
+std::uint16_t low3(int r, int line) {
+  require(r >= 0 && r <= 7, line, "register must be r0-r7 for this encoding");
+  return static_cast<std::uint16_t>(r);
+}
+
+const std::map<std::string, unsigned>& condition_codes() {
+  static const std::map<std::string, unsigned> kCodes = {
+      {"eq", 0x0}, {"ne", 0x1}, {"cs", 0x2}, {"hs", 0x2}, {"cc", 0x3}, {"lo", 0x3},
+      {"mi", 0x4}, {"pl", 0x5}, {"vs", 0x6}, {"vc", 0x7}, {"hi", 0x8}, {"ls", 0x9},
+      {"ge", 0xA}, {"lt", 0xB}, {"gt", 0xC}, {"le", 0xD},
+  };
+  return kCodes;
+}
+
+// Data-processing register ops (format 4).
+const std::map<std::string, unsigned>& dp_ops() {
+  static const std::map<std::string, unsigned> kOps = {
+      {"ands", 0x0}, {"eors", 0x1}, {"lsls", 0x2}, {"lsrs", 0x3}, {"asrs", 0x4},
+      {"adcs", 0x5}, {"sbcs", 0x6}, {"rors", 0x7}, {"tst", 0x8},  {"rsbs", 0x9},
+      {"negs", 0x9}, {"cmp", 0xA},  {"cmn", 0xB},  {"orrs", 0xC}, {"muls", 0xD},
+      {"bics", 0xE}, {"mvns", 0xF},
+  };
+  return kOps;
+}
+
+class Encoder {
+ public:
+  Encoder(const Context& ctx, const std::vector<Literal>& literals)
+      : ctx_{ctx}, literals_{literals} {}
+
+  // Encodes one instruction item into 16-bit units.
+  std::vector<std::uint16_t> encode(const Item& item) const {
+    const auto& m = item.mnemonic;
+    const auto& ops = item.operands;
+    const int line = item.line;
+    const std::uint32_t pc = item.addr;
+
+    auto imm = [&](const std::string& t) { return parse_immediate(t, ctx_, line); };
+    auto reg = [&](const std::string& t) { return parse_register(t, line); };
+
+    // --- branches -----------------------------------------------------
+    if (m == "b") {
+      require(ops.size() == 1, line, "b needs one operand");
+      const std::int64_t target = eval_expr(ops[0], ctx_, line);
+      const std::int64_t off = target - (static_cast<std::int64_t>(pc) + 4);
+      require(off % 2 == 0 && off >= -2048 && off <= 2046, line, "b target out of range");
+      return {static_cast<std::uint16_t>(0xE000u | ((off >> 1) & 0x7FFu))};
+    }
+    if (m.size() == 3 && m[0] == 'b' && condition_codes().contains(m.substr(1))) {
+      require(ops.size() == 1, line, m + " needs one operand");
+      const unsigned cond = condition_codes().at(m.substr(1));
+      const std::int64_t target = eval_expr(ops[0], ctx_, line);
+      const std::int64_t off = target - (static_cast<std::int64_t>(pc) + 4);
+      require(off % 2 == 0 && off >= -256 && off <= 254, line,
+              m + " target out of range (" + std::to_string(off) + ")");
+      return {static_cast<std::uint16_t>(0xD000u | (cond << 8) | ((off >> 1) & 0xFFu))};
+    }
+    if (m == "bl") {
+      require(ops.size() == 1, line, "bl needs one operand");
+      const std::int64_t target = eval_expr(ops[0], ctx_, line);
+      const std::int64_t off = target - (static_cast<std::int64_t>(pc) + 4);
+      require(off % 2 == 0 && off >= -(1 << 24) && off < (1 << 24), line, "bl target out of range");
+      const auto v = static_cast<std::uint32_t>(off);
+      const std::uint32_t s = (v >> 24) & 1u;
+      const std::uint32_t i1 = (v >> 23) & 1u;
+      const std::uint32_t i2 = (v >> 22) & 1u;
+      const std::uint32_t imm10 = (v >> 12) & 0x3FFu;
+      const std::uint32_t imm11 = (v >> 1) & 0x7FFu;
+      const std::uint32_t j1 = (~(i1 ^ s)) & 1u;
+      const std::uint32_t j2 = (~(i2 ^ s)) & 1u;
+      return {static_cast<std::uint16_t>(0xF000u | (s << 10) | imm10),
+              static_cast<std::uint16_t>(0xD000u | (j1 << 13) | (j2 << 11) | imm11)};
+    }
+    if (m == "bx" || m == "blx") {
+      require(ops.size() == 1, line, m + " needs one register");
+      const int rm = reg(ops[0]);
+      const std::uint16_t base = m == "bx" ? 0x4700u : 0x4780u;
+      return {static_cast<std::uint16_t>(base | (rm << 3))};
+    }
+
+    // --- moves & arithmetic --------------------------------------------
+    if (m == "movs") {
+      require(ops.size() == 2, line, "movs needs two operands");
+      const int rd = reg(ops[0]);
+      if (is_register(ops[1])) {
+        // MOVS rd, rm == LSLS rd, rm, #0
+        return {static_cast<std::uint16_t>(0x0000u | (low3(reg(ops[1]), line) << 3) |
+                                           low3(rd, line))};
+      }
+      const std::int64_t v = imm(ops[1]);
+      require(v >= 0 && v <= 255, line, "movs immediate must be 0-255");
+      return {static_cast<std::uint16_t>(0x2000u | (low3(rd, line) << 8) | (v & 0xFF))};
+    }
+    if (m == "mov") {
+      require(ops.size() == 2 && is_register(ops[1]), line, "mov needs rd, rm");
+      const int rd = reg(ops[0]);
+      const int rm = reg(ops[1]);
+      return {static_cast<std::uint16_t>(0x4600u | ((rd & 8) << 4) | (rm << 3) | (rd & 7))};
+    }
+    if (m == "adds" || m == "subs") {
+      const bool sub = m == "subs";
+      if (ops.size() == 3) {
+        const int rd = low3(reg(ops[0]), line);
+        const int rn = low3(reg(ops[1]), line);
+        if (is_register(ops[2])) {
+          const int rm = low3(reg(ops[2]), line);
+          return {static_cast<std::uint16_t>((sub ? 0x1A00u : 0x1800u) | (rm << 6) | (rn << 3) | rd)};
+        }
+        const std::int64_t v = imm(ops[2]);
+        require(v >= 0 && v <= 7, line, "3-operand immediate must be 0-7");
+        return {static_cast<std::uint16_t>((sub ? 0x1E00u : 0x1C00u) | (v << 6) | (rn << 3) | rd)};
+      }
+      require(ops.size() == 2, line, m + " needs 2 or 3 operands");
+      const int rd = low3(reg(ops[0]), line);
+      const std::int64_t v = imm(ops[1]);
+      require(v >= 0 && v <= 255, line, "immediate must be 0-255");
+      return {static_cast<std::uint16_t>((sub ? 0x3800u : 0x3000u) | (rd << 8) | (v & 0xFF))};
+    }
+    if (m == "add" || m == "sub") {
+      require(ops.size() >= 2, line, m + " needs operands");
+      const int rd = reg(ops[0]);
+      if (rd == 13 && ops.size() == 2) {  // ADD/SUB sp, #imm
+        const std::int64_t v = imm(ops[1]);
+        require(v >= 0 && v <= 508 && v % 4 == 0, line, "sp adjust must be 0-508, multiple of 4");
+        return {static_cast<std::uint16_t>(0xB000u | (m == "sub" ? 0x80u : 0u) | (v / 4))};
+      }
+      if (ops.size() == 3 && lower(strip(ops[1])) == "sp") {  // ADD rd, sp, #imm
+        require(m == "add", line, "sub rd, sp, #imm is not encodable");
+        const std::int64_t v = imm(ops[2]);
+        require(v >= 0 && v <= 1020 && v % 4 == 0, line, "offset must be 0-1020, multiple of 4");
+        return {static_cast<std::uint16_t>(0xA800u | (low3(rd, line) << 8) | (v / 4))};
+      }
+      if (ops.size() == 3 && lower(strip(ops[1])) == "pc") {  // ADR-ish
+        require(m == "add", line, "sub rd, pc is not encodable");
+        const std::int64_t v = imm(ops[2]);
+        require(v >= 0 && v <= 1020 && v % 4 == 0, line, "offset must be 0-1020, multiple of 4");
+        return {static_cast<std::uint16_t>(0xA000u | (low3(rd, line) << 8) | (v / 4))};
+      }
+      require(m == "add" && ops.size() == 2 && is_register(ops[1]), line,
+              "expected add rd, rm (hi-register form)");
+      const int rm = reg(ops[1]);
+      return {static_cast<std::uint16_t>(0x4400u | ((rd & 8) << 4) | (rm << 3) | (rd & 7))};
+    }
+    if (m == "cmp") {
+      require(ops.size() == 2, line, "cmp needs two operands");
+      const int rn = reg(ops[0]);
+      if (is_register(ops[1])) {
+        const int rm = reg(ops[1]);
+        if (rn <= 7 && rm <= 7) {
+          return {static_cast<std::uint16_t>(0x4280u | (rm << 3) | rn)};
+        }
+        return {static_cast<std::uint16_t>(0x4500u | ((rn & 8) << 4) | (rm << 3) | (rn & 7))};
+      }
+      const std::int64_t v = imm(ops[1]);
+      require(v >= 0 && v <= 255, line, "cmp immediate must be 0-255");
+      return {static_cast<std::uint16_t>(0x2800u | (low3(rn, line) << 8) | (v & 0xFF))};
+    }
+
+    // --- shifts with immediate -----------------------------------------
+    if ((m == "lsls" || m == "lsrs" || m == "asrs") && ops.size() == 3) {
+      const int rd = low3(reg(ops[0]), line);
+      const int rm = low3(reg(ops[1]), line);
+      const std::int64_t v = imm(ops[2]);
+      require(v >= 0 && v <= 31, line, "shift amount must be 0-31");
+      const std::uint16_t op = m == "lsls" ? 0x0000u : m == "lsrs" ? 0x0800u : 0x1000u;
+      return {static_cast<std::uint16_t>(op | (v << 6) | (rm << 3) | rd)};
+    }
+
+    // --- data-processing register --------------------------------------
+    if (dp_ops().contains(m)) {
+      const unsigned op = dp_ops().at(m);
+      if (m == "rsbs" || m == "negs") {
+        // rsbs rd, rn(, #0) / negs rd, rn
+        require(ops.size() >= 2, line, m + " needs rd, rn");
+        const int rd = low3(reg(ops[0]), line);
+        const int rn = low3(reg(ops[1]), line);
+        return {static_cast<std::uint16_t>(0x4000u | (op << 6) | (rn << 3) | rd)};
+      }
+      require(ops.size() == 2, line, m + " needs two register operands");
+      const int rd = low3(reg(ops[0]), line);
+      const int rm = low3(reg(ops[1]), line);
+      return {static_cast<std::uint16_t>(0x4000u | (op << 6) | (rm << 3) | rd)};
+    }
+
+    // --- extend / reverse ----------------------------------------------
+    if (m == "sxth" || m == "sxtb" || m == "uxth" || m == "uxtb") {
+      require(ops.size() == 2, line, m + " needs two registers");
+      const unsigned op = m == "sxth" ? 0u : m == "sxtb" ? 1u : m == "uxth" ? 2u : 3u;
+      return {static_cast<std::uint16_t>(0xB200u | (op << 6) | (low3(reg(ops[1]), line) << 3) |
+                                         low3(reg(ops[0]), line))};
+    }
+    if (m == "rev" || m == "rev16" || m == "revsh") {
+      require(ops.size() == 2, line, m + " needs two registers");
+      const unsigned op = m == "rev" ? 0u : m == "rev16" ? 1u : 3u;
+      return {static_cast<std::uint16_t>(0xBA00u | (op << 6) | (low3(reg(ops[1]), line) << 3) |
+                                         low3(reg(ops[0]), line))};
+    }
+
+    // --- loads / stores --------------------------------------------------
+    if (m == "ldr" && ops.size() == 2 && !ops[1].empty() && ops[1][0] == '=') {
+      require(item.literal_id >= 0, line, "internal: literal not allocated");
+      const Literal& lit = literals_[static_cast<std::size_t>(item.literal_id)];
+      const std::int64_t off = static_cast<std::int64_t>(lit.addr) - ((pc + 4) & ~3u);
+      require(off >= 0 && off <= 1020 && off % 4 == 0, line,
+              "literal pool out of range (offset " + std::to_string(off) + "); add .ltorg");
+      return {static_cast<std::uint16_t>(0x4800u | (low3(parse_register(ops[0], line), line) << 8) |
+                                         (off / 4))};
+    }
+    if (m == "ldr" || m == "str" || m == "ldrb" || m == "strb" || m == "ldrh" || m == "strh" ||
+        m == "ldrsb" || m == "ldrsh") {
+      require(ops.size() == 2, line, m + " needs rd, [mem]");
+      const int rd = low3(reg(ops[0]), line);
+      const MemOperand mem = parse_mem(ops[1], ctx_, line);
+      if (mem.reg_offset) {
+        static const std::map<std::string, unsigned> kOps = {
+            {"str", 0}, {"strh", 1}, {"strb", 2}, {"ldrsb", 3},
+            {"ldr", 4}, {"ldrh", 5}, {"ldrb", 6}, {"ldrsh", 7}};
+        return {static_cast<std::uint16_t>(0x5000u | (kOps.at(m) << 9) |
+                                           (low3(mem.rm, line) << 6) | (low3(mem.rn, line) << 3) |
+                                           rd)};
+      }
+      require(m != "ldrsb" && m != "ldrsh", line, m + " supports only register offsets");
+      if (mem.rn == 13) {  // SP-relative
+        require(m == "ldr" || m == "str", line, "only word access is SP-relative");
+        require(mem.imm >= 0 && mem.imm <= 1020 && mem.imm % 4 == 0, line,
+                "SP offset must be 0-1020, multiple of 4");
+        const std::uint16_t base = m == "ldr" ? 0x9800u : 0x9000u;
+        return {static_cast<std::uint16_t>(base | (rd << 8) | (mem.imm / 4))};
+      }
+      if (mem.rn == 15) {  // PC-relative literal load
+        require(m == "ldr", line, "only ldr supports PC-relative");
+        require(mem.imm >= 0 && mem.imm <= 1020 && mem.imm % 4 == 0, line,
+                "PC offset must be 0-1020, multiple of 4");
+        return {static_cast<std::uint16_t>(0x4800u | (rd << 8) | (mem.imm / 4))};
+      }
+      const int rn = low3(mem.rn, line);
+      if (m == "ldr" || m == "str") {
+        require(mem.imm >= 0 && mem.imm <= 124 && mem.imm % 4 == 0, line,
+                "word offset must be 0-124, multiple of 4");
+        const std::uint16_t base = m == "ldr" ? 0x6800u : 0x6000u;
+        return {static_cast<std::uint16_t>(base | ((mem.imm / 4) << 6) | (rn << 3) | rd)};
+      }
+      if (m == "ldrb" || m == "strb") {
+        require(mem.imm >= 0 && mem.imm <= 31, line, "byte offset must be 0-31");
+        const std::uint16_t base = m == "ldrb" ? 0x7800u : 0x7000u;
+        return {static_cast<std::uint16_t>(base | (mem.imm << 6) | (rn << 3) | rd)};
+      }
+      require(mem.imm >= 0 && mem.imm <= 62 && mem.imm % 2 == 0, line,
+              "halfword offset must be 0-62, multiple of 2");
+      const std::uint16_t base = m == "ldrh" ? 0x8800u : 0x8000u;
+      return {static_cast<std::uint16_t>(base | ((mem.imm / 2) << 6) | (rn << 3) | rd)};
+    }
+
+    // --- stack & multiple ------------------------------------------------
+    if (m == "push" || m == "pop") {
+      require(ops.size() == 1, line, m + " needs a register list");
+      const RegList list = parse_reglist(ops[0], line);
+      if (m == "push") {
+        require(!list.pc, line, "cannot push pc");
+        return {static_cast<std::uint16_t>(0xB400u | (list.lr ? 0x100u : 0u) | list.low_mask)};
+      }
+      require(!list.lr, line, "cannot pop lr directly; pop pc");
+      return {static_cast<std::uint16_t>(0xBC00u | (list.pc ? 0x100u : 0u) | list.low_mask)};
+    }
+    if (m == "stmia" || m == "stm" || m == "ldmia" || m == "ldm") {
+      require(ops.size() == 2, line, m + " needs rn!, {list}");
+      std::string rn_text = strip(ops[0]);
+      if (!rn_text.empty() && rn_text.back() == '!') rn_text.pop_back();
+      const int rn = low3(parse_register(rn_text, line), line);
+      const RegList list = parse_reglist(ops[1], line);
+      require(!list.lr && !list.pc, line, "only r0-r7 allowed in stm/ldm");
+      const std::uint16_t base = (m[0] == 's') ? 0xC000u : 0xC800u;
+      return {static_cast<std::uint16_t>(base | (rn << 8) | list.low_mask)};
+    }
+
+    // --- misc -------------------------------------------------------------
+    if (m == "nop") return {0xBF00u};
+    if (m == "svc") {
+      require(ops.size() == 1, line, "svc needs an immediate");
+      const std::int64_t v = imm(ops[0]);
+      require(v >= 0 && v <= 255, line, "svc immediate must be 0-255");
+      return {static_cast<std::uint16_t>(0xDF00u | (v & 0xFF))};
+    }
+    if (m == "adr") {
+      require(ops.size() == 2, line, "adr needs rd, label");
+      const std::int64_t target = eval_expr(ops[1], ctx_, line);
+      const std::int64_t off = target - ((pc + 4) & ~3);
+      require(off >= 0 && off <= 1020 && off % 4 == 0, line, "adr target out of range");
+      return {static_cast<std::uint16_t>(0xA000u | (low3(reg(ops[0]), line) << 8) | (off / 4))};
+    }
+
+    throw AsmError(line, "unknown mnemonic '" + m + "'");
+  }
+
+ private:
+  const Context& ctx_;
+  const std::vector<Literal>& literals_;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  Context ctx;
+  std::vector<Item> items;
+  std::vector<std::pair<std::string, std::size_t>> pending_labels;  // label -> item index
+
+  // ---- parse ----
+  {
+    std::istringstream in{source};
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      std::string line = strip(remove_comment(raw));
+      // Labels (possibly several) at line start.
+      while (true) {
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) break;
+        const std::string head = strip(line.substr(0, colon));
+        bool is_label = !head.empty();
+        for (const char c : head) {
+          if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' && c != '.') {
+            is_label = false;
+            break;
+          }
+        }
+        if (!is_label) break;
+        pending_labels.emplace_back(head, items.size());
+        line = strip(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+
+      Item item;
+      item.line = line_no;
+      const std::size_t sp = line.find_first_of(" \t");
+      const std::string head = lower(sp == std::string::npos ? line : line.substr(0, sp));
+      const std::string rest = sp == std::string::npos ? "" : strip(line.substr(sp));
+
+      if (head == ".align") {
+        item.kind = ItemKind::kAlign;
+        const auto v = parse_integer(rest);
+        if (!v || *v <= 0 || (*v & (*v - 1)) != 0) throw AsmError(line_no, ".align needs a power of two");
+        item.align = static_cast<std::uint32_t>(*v);
+      } else if (head == ".word") {
+        item.kind = ItemKind::kWord;
+        item.words = split_operands(rest, line_no);
+        if (item.words.empty()) throw AsmError(line_no, ".word needs at least one value");
+      } else if (head == ".space") {
+        item.kind = ItemKind::kSpace;
+        const auto v = parse_integer(rest);
+        if (!v || *v < 0) throw AsmError(line_no, ".space needs a non-negative size");
+        item.space = static_cast<std::uint32_t>(*v);
+      } else if (head == ".ltorg" || head == ".pool") {
+        item.kind = ItemKind::kPool;
+      } else if (head == ".equ" || head == ".set") {
+        const auto parts = split_operands(rest, line_no);
+        if (parts.size() != 2) throw AsmError(line_no, ".equ needs name, value");
+        const auto v = parse_integer(parts[1]);
+        if (!v) throw AsmError(line_no, ".equ value must be an integer");
+        ctx.symbols[parts[0]] = static_cast<std::uint32_t>(*v);
+        continue;
+      } else if (head.starts_with(".")) {
+        throw AsmError(line_no, "unknown directive '" + head + "'");
+      } else {
+        item.kind = ItemKind::kInsn;
+        item.mnemonic = head;
+        item.operands = split_operands(rest, line_no);
+      }
+      items.push_back(std::move(item));
+    }
+    // Terminal implicit pool.
+    Item pool;
+    pool.kind = ItemKind::kPool;
+    pool.line = line_no;
+    items.push_back(pool);
+  }
+
+  // ---- pass 1: addresses, pool layout, labels ----
+  std::uint32_t addr = 0;
+  std::vector<int> pending_literals;  // literal ids waiting for a pool
+  for (auto& item : items) {
+    // Attach labels pointing at this item.
+    switch (item.kind) {
+      case ItemKind::kAlign:
+        item.addr = addr;
+        item.size = (addr % item.align == 0) ? 0 : item.align - (addr % item.align);
+        break;
+      case ItemKind::kWord:
+        item.addr = addr;
+        item.size = static_cast<std::uint32_t>(4 * item.words.size());
+        break;
+      case ItemKind::kSpace:
+        item.addr = addr;
+        item.size = item.space;
+        break;
+      case ItemKind::kPool: {
+        std::uint32_t pool_addr = addr;
+        if (!pending_literals.empty() && pool_addr % 4 != 0) pool_addr += 4 - pool_addr % 4;
+        item.addr = addr;
+        for (const int id : pending_literals) {
+          ctx.literals[static_cast<std::size_t>(id)].addr = pool_addr;
+          pool_addr += 4;
+        }
+        item.size = pool_addr - addr;
+        pending_literals.clear();
+        break;
+      }
+      case ItemKind::kInsn: {
+        item.addr = addr;
+        item.size = (item.mnemonic == "bl") ? 4u : 2u;
+        if (item.mnemonic == "ldr" && item.operands.size() == 2 && !item.operands[1].empty() &&
+            item.operands[1][0] == '=') {
+          Literal lit;
+          lit.expr = strip(item.operands[1].substr(1));
+          lit.line = item.line;
+          item.literal_id = static_cast<int>(ctx.literals.size());
+          ctx.literals.push_back(lit);
+          pending_literals.push_back(item.literal_id);
+        }
+        break;
+      }
+    }
+    addr += item.size;
+  }
+  for (const auto& [label, index] : pending_labels) {
+    const std::uint32_t value =
+        index < items.size() ? items[index].addr : addr;
+    if (ctx.symbols.contains(label)) {
+      throw AsmError(items[std::min(index, items.size() - 1)].line,
+                     "duplicate label '" + label + "'");
+    }
+    ctx.symbols[label] = value;
+  }
+
+  // ---- pass 2: encode ----
+  Program program;
+  program.bytes.assign(addr, 0);
+  const Encoder encoder{ctx, ctx.literals};
+  auto put16 = [&](std::uint32_t at, std::uint16_t v) {
+    program.bytes[at] = static_cast<std::uint8_t>(v);
+    program.bytes[at + 1] = static_cast<std::uint8_t>(v >> 8);
+  };
+  auto put32 = [&](std::uint32_t at, std::uint32_t v) {
+    put16(at, static_cast<std::uint16_t>(v));
+    put16(at + 2, static_cast<std::uint16_t>(v >> 16));
+  };
+
+  for (const auto& item : items) {
+    switch (item.kind) {
+      case ItemKind::kAlign:
+      case ItemKind::kSpace:
+        break;  // zero-filled
+      case ItemKind::kWord:
+        for (std::size_t i = 0; i < item.words.size(); ++i) {
+          put32(item.addr + static_cast<std::uint32_t>(4 * i),
+                static_cast<std::uint32_t>(eval_expr(item.words[i], ctx, item.line)));
+        }
+        break;
+      case ItemKind::kPool:
+        break;  // literal values written below
+      case ItemKind::kInsn: {
+        const auto units = encoder.encode(item);
+        for (std::size_t i = 0; i < units.size(); ++i) {
+          put16(item.addr + static_cast<std::uint32_t>(2 * i), units[i]);
+        }
+        break;
+      }
+    }
+  }
+  for (const auto& lit : ctx.literals) {
+    put32(lit.addr, static_cast<std::uint32_t>(eval_expr(lit.expr, ctx, lit.line)));
+  }
+
+  program.symbols = ctx.symbols;
+  if (const auto it = ctx.symbols.find("_start"); it != ctx.symbols.end()) {
+    program.entry = it->second;
+  }
+  return program;
+}
+
+}  // namespace ppatc::isa

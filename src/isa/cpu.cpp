@@ -1,0 +1,550 @@
+#include "ppatc/isa/cpu.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace ppatc::isa {
+
+namespace {
+std::string hex(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+}  // namespace
+
+Cpu::Cpu(Bus& bus, CycleModel cycles) : bus_{bus}, cyc_{cycles} {}
+
+void Cpu::reset(std::uint32_t pc, std::uint32_t sp) {
+  PPATC_EXPECT(pc % 2 == 0, "PC must be halfword aligned");
+  PPATC_EXPECT(sp % 4 == 0, "SP must be word aligned");
+  regs_.fill(0);
+  regs_[13] = sp;
+  pc_ = pc;
+  n_ = z_ = c_ = v_ = false;
+  cycles_ = 0;
+  instructions_ = 0;
+  branched_ = false;
+}
+
+std::uint32_t Cpu::reg(int index) const {
+  PPATC_EXPECT(index >= 0 && index < 16, "register index out of range");
+  if (index == 15) return pc_ + 4;
+  return regs_[static_cast<std::size_t>(index)];
+}
+
+void Cpu::set_reg(int index, std::uint32_t value) {
+  PPATC_EXPECT(index >= 0 && index < 15, "cannot set PC via set_reg; use reset");
+  regs_[static_cast<std::size_t>(index)] = value;
+}
+
+std::uint32_t Cpu::read_reg_pc_adjusted(int index) const {
+  return index == 15 ? pc_ + 4 : regs_[static_cast<std::size_t>(index)];
+}
+
+void Cpu::branch_to(std::uint32_t target) {
+  pc_ = target & ~1u;  // Thumb bit stripped
+  branched_ = true;
+}
+
+void Cpu::write_reg_branch_aware(int index, std::uint32_t value) {
+  if (index == 15) {
+    branch_to(value);
+  } else {
+    regs_[static_cast<std::size_t>(index)] = value;
+  }
+}
+
+void Cpu::set_nz(std::uint32_t result) {
+  n_ = (result >> 31) != 0;
+  z_ = result == 0;
+}
+
+std::uint32_t Cpu::add_with_carry(std::uint32_t a, std::uint32_t b, bool carry_in,
+                                  bool set_flags) {
+  const std::uint64_t usum =
+      static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b) + (carry_in ? 1u : 0u);
+  const std::int64_t ssum = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) +
+                            static_cast<std::int64_t>(static_cast<std::int32_t>(b)) +
+                            (carry_in ? 1 : 0);
+  const auto result = static_cast<std::uint32_t>(usum);
+  if (set_flags) {
+    set_nz(result);
+    c_ = usum > 0xFFFF'FFFFull;
+    v_ = ssum != static_cast<std::int64_t>(static_cast<std::int32_t>(result));
+  }
+  return result;
+}
+
+bool Cpu::condition_passed(unsigned cond) const {
+  switch (cond) {
+    case 0x0: return z_;                    // EQ
+    case 0x1: return !z_;                   // NE
+    case 0x2: return c_;                    // CS/HS
+    case 0x3: return !c_;                   // CC/LO
+    case 0x4: return n_;                    // MI
+    case 0x5: return !n_;                   // PL
+    case 0x6: return v_;                    // VS
+    case 0x7: return !v_;                   // VC
+    case 0x8: return c_ && !z_;             // HI
+    case 0x9: return !c_ || z_;             // LS
+    case 0xA: return n_ == v_;              // GE
+    case 0xB: return n_ != v_;              // LT
+    case 0xC: return !z_ && (n_ == v_);     // GT
+    case 0xD: return z_ || (n_ != v_);      // LE
+    case 0xE: return true;                  // AL
+    default: return true;
+  }
+}
+
+bool Cpu::step() {
+  if (bus_.halted()) return false;
+  const std::uint16_t insn = bus_.fetch16(pc_);
+  branched_ = false;
+  if ((insn & 0xF800u) >= 0xE800u) {
+    // 32-bit encoding (BL and system instructions).
+    const std::uint16_t lo = bus_.fetch16(pc_ + 2);
+    execute32(insn, lo);
+    if (!branched_) pc_ += 4;
+  } else {
+    execute16(insn);
+    if (!branched_) pc_ += 2;
+  }
+  ++instructions_;
+  return !bus_.halted();
+}
+
+Cpu::RunResult Cpu::run(std::uint64_t max_instructions) {
+  RunResult r;
+  const std::uint64_t start_insn = instructions_;
+  const std::uint64_t start_cyc = cycles_;
+  while (instructions_ - start_insn < max_instructions) {
+    if (!step()) break;
+  }
+  r.instructions = instructions_ - start_insn;
+  r.cycles = cycles_ - start_cyc;
+  r.halted = bus_.halted();
+  return r;
+}
+
+void Cpu::execute32(std::uint16_t hi, std::uint16_t lo) {
+  // BL: 11110 S imm10 : 11 J1 1 J2 imm11
+  if ((hi & 0xF800u) == 0xF000u && (lo & 0xD000u) == 0xD000u) {
+    const std::uint32_t s = (hi >> 10) & 1u;
+    const std::uint32_t imm10 = hi & 0x3FFu;
+    const std::uint32_t j1 = (lo >> 13) & 1u;
+    const std::uint32_t j2 = (lo >> 11) & 1u;
+    const std::uint32_t imm11 = lo & 0x7FFu;
+    const std::uint32_t i1 = (~(j1 ^ s)) & 1u;
+    const std::uint32_t i2 = (~(j2 ^ s)) & 1u;
+    std::uint32_t imm = (s << 24) | (i1 << 23) | (i2 << 22) | (imm10 << 12) | (imm11 << 1);
+    if (s != 0) imm |= 0xFE00'0000u;  // sign extend from bit 24
+    regs_[14] = (pc_ + 4) | 1u;       // return address with Thumb bit
+    branch_to(pc_ + 4 + imm);
+    cycles_ += cyc_.bl;
+    return;
+  }
+  // DSB/DMB/ISB and MSR/MRS: treated as architectural NOPs in the ISS.
+  if ((hi & 0xFFF0u) == 0xF3B0u || (hi & 0xFFE0u) == 0xF3E0u || (hi & 0xFFE0u) == 0xF380u) {
+    cycles_ += cyc_.alu;
+    return;
+  }
+  throw UndefinedInstruction("unsupported 32-bit encoding " + hex(hi) + " " + hex(lo) + " at " +
+                             hex(pc_));
+}
+
+void Cpu::execute16(std::uint16_t insn) {
+  const auto rd0 = static_cast<int>(insn & 7u);          // bits 2:0
+  const auto rn3 = static_cast<int>((insn >> 3) & 7u);   // bits 5:3
+  const auto rm6 = static_cast<int>((insn >> 6) & 7u);   // bits 8:6
+  const auto rd8 = static_cast<int>((insn >> 8) & 7u);   // bits 10:8
+
+  switch (insn >> 12) {
+    case 0x0:
+    case 0x1: {
+      const unsigned op = (insn >> 11) & 3u;
+      if (op != 3) {
+        // LSL/LSR/ASR immediate.
+        const unsigned imm5 = (insn >> 6) & 31u;
+        const std::uint32_t v = regs_[static_cast<std::size_t>(rn3)];
+        std::uint32_t r = 0;
+        if (op == 0) {  // LSL
+          r = imm5 == 0 ? v : v << imm5;
+          if (imm5 != 0) c_ = ((v >> (32 - imm5)) & 1u) != 0;
+        } else if (op == 1) {  // LSR
+          const unsigned sh = imm5 == 0 ? 32 : imm5;
+          c_ = ((sh <= 32) && ((v >> (sh - 1)) & 1u)) != 0;
+          r = sh == 32 ? 0 : v >> sh;
+        } else {  // ASR
+          const unsigned sh = imm5 == 0 ? 32 : imm5;
+          const auto sv = static_cast<std::int32_t>(v);
+          c_ = ((sv >> (sh - 1)) & 1) != 0;
+          r = static_cast<std::uint32_t>(sh >= 32 ? (sv >> 31) : (sv >> sh));
+        }
+        set_nz(r);
+        regs_[static_cast<std::size_t>(rd0)] = r;
+        cycles_ += cyc_.alu;
+      } else {
+        // ADD/SUB register or 3-bit immediate.
+        const bool imm_form = ((insn >> 10) & 1u) != 0;
+        const bool subtract = ((insn >> 9) & 1u) != 0;
+        const std::uint32_t a = regs_[static_cast<std::size_t>(rn3)];
+        const std::uint32_t b =
+            imm_form ? static_cast<std::uint32_t>(rm6) : regs_[static_cast<std::size_t>(rm6)];
+        const std::uint32_t r =
+            subtract ? add_with_carry(a, ~b, true, true) : add_with_carry(a, b, false, true);
+        regs_[static_cast<std::size_t>(rd0)] = r;
+        cycles_ += cyc_.alu;
+      }
+      return;
+    }
+    case 0x2:
+    case 0x3: {
+      // MOV/CMP/ADD/SUB immediate 8.
+      const unsigned op = (insn >> 11) & 3u;
+      const std::uint32_t imm8 = insn & 0xFFu;
+      std::uint32_t& rd = regs_[static_cast<std::size_t>(rd8)];
+      switch (op) {
+        case 0: rd = imm8; set_nz(rd); break;                              // MOV
+        case 1: add_with_carry(rd, ~imm8, true, true); break;              // CMP
+        case 2: rd = add_with_carry(rd, imm8, false, true); break;         // ADD
+        case 3: rd = add_with_carry(rd, ~imm8, true, true); break;         // SUB
+      }
+      cycles_ += cyc_.alu;
+      return;
+    }
+    case 0x4: {
+      if ((insn & 0xFC00u) == 0x4000u) {
+        // Data-processing register.
+        const unsigned op = (insn >> 6) & 0xFu;
+        std::uint32_t& rd = regs_[static_cast<std::size_t>(rd0)];
+        const std::uint32_t rm = regs_[static_cast<std::size_t>(rn3)];
+        switch (op) {
+          case 0x0: rd &= rm; set_nz(rd); cycles_ += cyc_.alu; break;             // AND
+          case 0x1: rd ^= rm; set_nz(rd); cycles_ += cyc_.alu; break;             // EOR
+          case 0x2: {                                                             // LSL reg
+            const unsigned sh = rm & 0xFFu;
+            if (sh != 0) {
+              c_ = sh <= 32 && ((sh == 32 ? rd & 1u : (rd >> (32 - sh)) & 1u) != 0);
+              rd = sh >= 32 ? 0 : rd << sh;
+            }
+            set_nz(rd);
+            cycles_ += cyc_.alu;
+            break;
+          }
+          case 0x3: {                                                             // LSR reg
+            const unsigned sh = rm & 0xFFu;
+            if (sh != 0) {
+              c_ = sh <= 32 && (((sh == 32 ? rd >> 31 : rd >> (sh - 1)) & 1u) != 0);
+              rd = sh >= 32 ? 0 : rd >> sh;
+            }
+            set_nz(rd);
+            cycles_ += cyc_.alu;
+            break;
+          }
+          case 0x4: {                                                             // ASR reg
+            const unsigned sh = rm & 0xFFu;
+            if (sh != 0) {
+              const auto sv = static_cast<std::int32_t>(rd);
+              const unsigned eff = sh >= 32 ? 31 : sh - 1;
+              c_ = ((sv >> eff) & 1) != 0;
+              rd = static_cast<std::uint32_t>(sh >= 32 ? sv >> 31 : sv >> sh);
+            }
+            set_nz(rd);
+            cycles_ += cyc_.alu;
+            break;
+          }
+          case 0x5: rd = add_with_carry(rd, rm, c_, true); cycles_ += cyc_.alu; break;   // ADC
+          case 0x6: rd = add_with_carry(rd, ~rm, c_, true); cycles_ += cyc_.alu; break;  // SBC
+          case 0x7: {                                                             // ROR reg
+            const unsigned sh = rm & 0xFFu;
+            if (sh != 0) {
+              const unsigned r = sh & 31u;
+              if (r != 0) rd = (rd >> r) | (rd << (32 - r));
+              c_ = (rd >> 31) != 0;
+            }
+            set_nz(rd);
+            cycles_ += cyc_.alu;
+            break;
+          }
+          case 0x8: set_nz(rd & rm); cycles_ += cyc_.alu; break;                  // TST
+          case 0x9: rd = add_with_carry(0, ~rm, true, true); cycles_ += cyc_.alu; break;  // RSB #0
+          case 0xA: add_with_carry(rd, ~rm, true, true); cycles_ += cyc_.alu; break;      // CMP
+          case 0xB: add_with_carry(rd, rm, false, true); cycles_ += cyc_.alu; break;      // CMN
+          case 0xC: rd |= rm; set_nz(rd); cycles_ += cyc_.alu; break;             // ORR
+          case 0xD: rd *= rm; set_nz(rd); cycles_ += cyc_.mul; break;             // MUL
+          case 0xE: rd &= ~rm; set_nz(rd); cycles_ += cyc_.alu; break;            // BIC
+          case 0xF: rd = ~rm; set_nz(rd); cycles_ += cyc_.alu; break;             // MVN
+        }
+        return;
+      }
+      if ((insn & 0xFC00u) == 0x4400u) {
+        // Hi-register ADD/CMP/MOV and BX/BLX.
+        const unsigned op = (insn >> 8) & 3u;
+        const int rm = static_cast<int>((insn >> 3) & 0xFu);
+        const int rd = static_cast<int>((insn & 7u) | ((insn >> 4) & 8u));
+        const std::uint32_t vm = read_reg_pc_adjusted(rm);
+        switch (op) {
+          case 0: {  // ADD (no flags)
+            const std::uint32_t r = read_reg_pc_adjusted(rd) + vm;
+            write_reg_branch_aware(rd, r);
+            cycles_ += branched_ ? cyc_.branch_taken : cyc_.alu;
+            return;
+          }
+          case 1:  // CMP
+            add_with_carry(read_reg_pc_adjusted(rd), ~vm, true, true);
+            cycles_ += cyc_.alu;
+            return;
+          case 2:  // MOV (no flags)
+            write_reg_branch_aware(rd, vm);
+            cycles_ += branched_ ? cyc_.branch_taken : cyc_.alu;
+            return;
+          case 3:  // BX / BLX register
+            if (((insn >> 7) & 1u) != 0) regs_[14] = (pc_ + 2) | 1u;  // BLX
+            branch_to(vm);
+            cycles_ += cyc_.bx;
+            return;
+        }
+        return;
+      }
+      // LDR literal: Rd = mem[Align(PC+4, 4) + imm8*4].
+      const std::uint32_t imm8 = insn & 0xFFu;
+      const std::uint32_t base = (pc_ + 4) & ~3u;
+      regs_[static_cast<std::size_t>(rd8)] = bus_.read32(base + imm8 * 4);
+      cycles_ += cyc_.load;
+      return;
+    }
+    case 0x5: {
+      // Load/store register offset.
+      const unsigned op = (insn >> 9) & 7u;
+      const std::uint32_t addr =
+          regs_[static_cast<std::size_t>(rn3)] + regs_[static_cast<std::size_t>(rm6)];
+      std::uint32_t& rd = regs_[static_cast<std::size_t>(rd0)];
+      switch (op) {
+        case 0: bus_.write32(addr, rd); cycles_ += cyc_.store; break;   // STR
+        case 1: bus_.write16(addr, static_cast<std::uint16_t>(rd)); cycles_ += cyc_.store; break;
+        case 2: bus_.write8(addr, static_cast<std::uint8_t>(rd)); cycles_ += cyc_.store; break;
+        case 3:  // LDRSB
+          rd = static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int8_t>(bus_.read8(addr))));
+          cycles_ += cyc_.load;
+          break;
+        case 4: rd = bus_.read32(addr); cycles_ += cyc_.load; break;    // LDR
+        case 5: rd = bus_.read16(addr); cycles_ += cyc_.load; break;    // LDRH
+        case 6: rd = bus_.read8(addr); cycles_ += cyc_.load; break;     // LDRB
+        case 7:  // LDRSH
+          rd = static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int16_t>(bus_.read16(addr))));
+          cycles_ += cyc_.load;
+          break;
+      }
+      return;
+    }
+    case 0x6: {
+      // STR/LDR word, imm5*4.
+      const std::uint32_t imm5 = (insn >> 6) & 31u;
+      const std::uint32_t addr = regs_[static_cast<std::size_t>(rn3)] + imm5 * 4;
+      if (((insn >> 11) & 1u) == 0) {
+        bus_.write32(addr, regs_[static_cast<std::size_t>(rd0)]);
+        cycles_ += cyc_.store;
+      } else {
+        regs_[static_cast<std::size_t>(rd0)] = bus_.read32(addr);
+        cycles_ += cyc_.load;
+      }
+      return;
+    }
+    case 0x7: {
+      // STRB/LDRB imm5.
+      const std::uint32_t imm5 = (insn >> 6) & 31u;
+      const std::uint32_t addr = regs_[static_cast<std::size_t>(rn3)] + imm5;
+      if (((insn >> 11) & 1u) == 0) {
+        bus_.write8(addr, static_cast<std::uint8_t>(regs_[static_cast<std::size_t>(rd0)]));
+        cycles_ += cyc_.store;
+      } else {
+        regs_[static_cast<std::size_t>(rd0)] = bus_.read8(addr);
+        cycles_ += cyc_.load;
+      }
+      return;
+    }
+    case 0x8: {
+      // STRH/LDRH imm5*2.
+      const std::uint32_t imm5 = (insn >> 6) & 31u;
+      const std::uint32_t addr = regs_[static_cast<std::size_t>(rn3)] + imm5 * 2;
+      if (((insn >> 11) & 1u) == 0) {
+        bus_.write16(addr, static_cast<std::uint16_t>(regs_[static_cast<std::size_t>(rd0)]));
+        cycles_ += cyc_.store;
+      } else {
+        regs_[static_cast<std::size_t>(rd0)] = bus_.read16(addr);
+        cycles_ += cyc_.load;
+      }
+      return;
+    }
+    case 0x9: {
+      // STR/LDR SP-relative, imm8*4.
+      const std::uint32_t imm8 = insn & 0xFFu;
+      const std::uint32_t addr = regs_[13] + imm8 * 4;
+      if (((insn >> 11) & 1u) == 0) {
+        bus_.write32(addr, regs_[static_cast<std::size_t>(rd8)]);
+        cycles_ += cyc_.store;
+      } else {
+        regs_[static_cast<std::size_t>(rd8)] = bus_.read32(addr);
+        cycles_ += cyc_.load;
+      }
+      return;
+    }
+    case 0xA: {
+      // ADR / ADD Rd, SP, imm8*4.
+      const std::uint32_t imm8 = insn & 0xFFu;
+      const bool from_sp = ((insn >> 11) & 1u) != 0;
+      const std::uint32_t base = from_sp ? regs_[13] : ((pc_ + 4) & ~3u);
+      regs_[static_cast<std::size_t>(rd8)] = base + imm8 * 4;
+      cycles_ += cyc_.alu;
+      return;
+    }
+    case 0xB: {
+      if ((insn & 0xFF00u) == 0xB000u) {
+        // ADD/SUB SP, imm7*4.
+        const std::uint32_t imm7 = (insn & 0x7Fu) * 4;
+        if (((insn >> 7) & 1u) == 0) {
+          regs_[13] += imm7;
+        } else {
+          regs_[13] -= imm7;
+        }
+        cycles_ += cyc_.alu;
+        return;
+      }
+      if ((insn & 0xF600u) == 0xB400u) {
+        // PUSH/POP.
+        const bool load = ((insn >> 11) & 1u) != 0;
+        const bool r_bit = ((insn >> 8) & 1u) != 0;
+        const std::uint32_t list = insn & 0xFFu;
+        unsigned count = static_cast<unsigned>(std::popcount(list)) + (r_bit ? 1u : 0u);
+        if (count == 0) throw UndefinedInstruction("empty register list at " + hex(pc_));
+        if (!load) {
+          std::uint32_t addr = regs_[13] - 4 * count;
+          regs_[13] = addr;
+          for (int r = 0; r < 8; ++r) {
+            if ((list >> r) & 1u) {
+              bus_.write32(addr, regs_[static_cast<std::size_t>(r)]);
+              addr += 4;
+            }
+          }
+          if (r_bit) bus_.write32(addr, regs_[14]);  // push LR
+          cycles_ += cyc_.ldm_base + count;
+        } else {
+          std::uint32_t addr = regs_[13];
+          for (int r = 0; r < 8; ++r) {
+            if ((list >> r) & 1u) {
+              regs_[static_cast<std::size_t>(r)] = bus_.read32(addr);
+              addr += 4;
+            }
+          }
+          bool to_pc = false;
+          if (r_bit) {
+            branch_to(bus_.read32(addr));
+            addr += 4;
+            to_pc = true;
+          }
+          regs_[13] = addr;
+          cycles_ += cyc_.ldm_base + count + (to_pc ? cyc_.pop_pc_extra : 0);
+        }
+        return;
+      }
+      if ((insn & 0xFF00u) == 0xB200u) {
+        // SXTH/SXTB/UXTH/UXTB.
+        const unsigned op = (insn >> 6) & 3u;
+        const std::uint32_t v = regs_[static_cast<std::size_t>(rn3)];
+        std::uint32_t r = 0;
+        switch (op) {
+          case 0: r = static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int16_t>(v))); break;
+          case 1: r = static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int8_t>(v))); break;
+          case 2: r = v & 0xFFFFu; break;
+          case 3: r = v & 0xFFu; break;
+        }
+        regs_[static_cast<std::size_t>(rd0)] = r;
+        cycles_ += cyc_.alu;
+        return;
+      }
+      if ((insn & 0xFF00u) == 0xBA00u) {
+        // REV/REV16/REVSH.
+        const unsigned op = (insn >> 6) & 3u;
+        const std::uint32_t v = regs_[static_cast<std::size_t>(rn3)];
+        std::uint32_t r = 0;
+        if (op == 0) {
+          r = __builtin_bswap32(v);
+        } else if (op == 1) {
+          r = ((v & 0x00FF'00FFu) << 8) | ((v & 0xFF00'FF00u) >> 8);
+        } else if (op == 3) {
+          const auto h = static_cast<std::uint16_t>(__builtin_bswap16(static_cast<std::uint16_t>(v)));
+          r = static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int16_t>(h)));
+        } else {
+          throw UndefinedInstruction("REV variant 2 undefined at " + hex(pc_));
+        }
+        regs_[static_cast<std::size_t>(rd0)] = r;
+        cycles_ += cyc_.alu;
+        return;
+      }
+      if ((insn & 0xFF00u) == 0xBF00u) {
+        // Hints: NOP/SEV/WFE/WFI/YIELD all retire as NOPs here.
+        cycles_ += cyc_.alu;
+        return;
+      }
+      if ((insn & 0xFF00u) == 0xBE00u) {
+        throw UndefinedInstruction("BKPT reached at " + hex(pc_));
+      }
+      if ((insn & 0xFFE8u) == 0xB660u) {
+        cycles_ += cyc_.alu;  // CPS: no interrupts in the ISS
+        return;
+      }
+      throw UndefinedInstruction("unsupported misc encoding " + hex(insn) + " at " + hex(pc_));
+    }
+    case 0xC: {
+      // STM/LDM (always writeback on M0's STMIA; LDM writeback unless Rn in list).
+      const bool load = ((insn >> 11) & 1u) != 0;
+      const std::uint32_t list = insn & 0xFFu;
+      const unsigned count = static_cast<unsigned>(std::popcount(list));
+      if (count == 0) throw UndefinedInstruction("empty register list at " + hex(pc_));
+      std::uint32_t addr = regs_[static_cast<std::size_t>(rd8)];
+      for (int r = 0; r < 8; ++r) {
+        if (((list >> r) & 1u) == 0) continue;
+        if (load) {
+          regs_[static_cast<std::size_t>(r)] = bus_.read32(addr);
+        } else {
+          bus_.write32(addr, regs_[static_cast<std::size_t>(r)]);
+        }
+        addr += 4;
+      }
+      if (!load || ((list >> rd8) & 1u) == 0) regs_[static_cast<std::size_t>(rd8)] = addr;
+      cycles_ += cyc_.ldm_base + count;
+      return;
+    }
+    case 0xD: {
+      const unsigned cond = (insn >> 8) & 0xFu;
+      if (cond == 0xF) {
+        // SVC: the ISS maps SVC #0 to "halt with r0 as exit code".
+        bus_.write32(kMmioExit, regs_[0]);
+        cycles_ += cyc_.branch_taken;
+        return;
+      }
+      if (cond == 0xE) throw UndefinedInstruction("UDF at " + hex(pc_));
+      const auto off = static_cast<std::int32_t>(static_cast<std::int8_t>(insn & 0xFFu)) * 2;
+      if (condition_passed(cond)) {
+        branch_to(static_cast<std::uint32_t>(static_cast<std::int64_t>(pc_) + 4 + off));
+        cycles_ += cyc_.branch_taken;
+      } else {
+        cycles_ += cyc_.branch_not_taken;
+      }
+      return;
+    }
+    case 0xE: {
+      // Unconditional B, offset11*2.
+      std::int32_t off = static_cast<std::int32_t>(insn & 0x7FFu);
+      if (off & 0x400) off -= 0x800;
+      branch_to(static_cast<std::uint32_t>(static_cast<std::int64_t>(pc_) + 4 + off * 2));
+      cycles_ += cyc_.branch_taken;
+      return;
+    }
+    default:
+      throw UndefinedInstruction("unsupported encoding " + hex(insn) + " at " + hex(pc_));
+  }
+}
+
+}  // namespace ppatc::isa

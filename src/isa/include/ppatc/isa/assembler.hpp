@@ -1,0 +1,49 @@
+// ppatc: two-pass Thumb (ARMv6-M) assembler.
+//
+// Assembles the workload kernels for the ISS from a compact GNU-as-like
+// syntax. Supported, per line:
+//
+//   label:                     ; labels (also on the same line as code)
+//   .align N                   ; pad to N-byte boundary (N power of two)
+//   .word  v, v, ...           ; 32-bit values (integers or labels)
+//   .space N                   ; N zero bytes
+//   .ltorg                     ; flush the pending literal pool here
+//   .equ  name, value          ; constant definition
+//   <mnemonic> operands        ; the ARMv6-M Thumb instruction set
+//
+// `ldr rX, =value_or_label` places the constant in the nearest following
+// literal pool (.ltorg or end of program) and encodes a PC-relative load.
+// Comments start with '@', ';', or '//'. Mnemonics follow UAL: flag-setting
+// forms use the trailing 's' (movs/adds/lsls/...), as the M0 requires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ppatc::isa {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_{line} {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct Program {
+  std::vector<std::uint8_t> bytes;              ///< program-memory image (base 0)
+  std::map<std::string, std::uint32_t> symbols; ///< label -> address
+  std::uint32_t entry = 0;                      ///< address of `_start` if defined, else 0
+
+  [[nodiscard]] std::uint32_t symbol(const std::string& name) const;
+};
+
+/// Assembles `source`; throws AsmError on any syntax/range problem.
+[[nodiscard]] Program assemble(const std::string& source);
+
+}  // namespace ppatc::isa

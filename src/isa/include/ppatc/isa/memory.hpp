@@ -1,0 +1,105 @@
+// ppatc: memory system of the simulated embedded platform.
+//
+// The case-study system (paper Fig. 1) has a Cortex-M0 with two single-cycle
+// on-chip eDRAM memories: a 64 kB program memory and a 64 kB data memory.
+// This bus model maps them at fixed addresses, keeps per-region access
+// statistics (the counts the paper extracts from RTL .vcd waveforms: fetches,
+// reads, writes), and exposes a small MMIO block for test I/O.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::isa {
+
+inline constexpr std::uint32_t kProgramBase = 0x0000'0000u;
+inline constexpr std::uint32_t kProgramSize = 64u * 1024u;
+inline constexpr std::uint32_t kDataBase = 0x2000'0000u;
+inline constexpr std::uint32_t kDataSize = 64u * 1024u;
+inline constexpr std::uint32_t kMmioBase = 0x4000'0000u;
+
+/// MMIO registers (word access only).
+inline constexpr std::uint32_t kMmioExit = kMmioBase + 0x0;      ///< write -> halt, value = exit code
+inline constexpr std::uint32_t kMmioPutChar = kMmioBase + 0x4;   ///< write -> append to console
+inline constexpr std::uint32_t kMmioPutWord = kMmioBase + 0x8;   ///< write -> record word output
+
+/// Which physical memory an access touched.
+enum class Region { kProgram, kData, kMmio };
+
+/// Access statistics per region — the inputs to the eDRAM energy model.
+struct AccessStats {
+  std::uint64_t fetches = 0;      ///< instruction fetches from program memory
+  std::uint64_t data_reads = 0;   ///< data-side reads (either memory)
+  std::uint64_t data_writes = 0;  ///< data-side writes
+  std::uint64_t program_reads = 0;   ///< data-side reads hitting program memory (literals)
+  std::uint64_t data_mem_reads = 0;  ///< data-side reads hitting data memory
+  std::uint64_t data_mem_writes = 0;
+
+  [[nodiscard]] std::uint64_t total_memory_accesses() const {
+    return fetches + data_reads + data_writes;
+  }
+};
+
+/// Thrown on access outside the mapped regions or misaligned word access —
+/// on real hardware this is a HardFault; in the ISS it indicates a bad
+/// program and aborts the run.
+class BusFault : public std::runtime_error {
+ public:
+  explicit BusFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Bus {
+ public:
+  Bus();
+
+  /// Loads `bytes` into program memory starting at `addr` (program space).
+  void load_program(std::uint32_t addr, const std::vector<std::uint8_t>& bytes);
+  /// Initializes data memory starting at `addr` (data space).
+  void load_data(std::uint32_t addr, const std::vector<std::uint8_t>& bytes);
+
+  // Data-side accesses (update statistics).
+  [[nodiscard]] std::uint32_t read32(std::uint32_t addr);
+  [[nodiscard]] std::uint16_t read16(std::uint32_t addr);
+  [[nodiscard]] std::uint8_t read8(std::uint32_t addr);
+  void write32(std::uint32_t addr, std::uint32_t value);
+  void write16(std::uint32_t addr, std::uint16_t value);
+  void write8(std::uint32_t addr, std::uint8_t value);
+
+  /// Instruction fetch (16-bit halfword, program memory only).
+  [[nodiscard]] std::uint16_t fetch16(std::uint32_t addr);
+
+  // Debug access (no statistics, no MMIO side effects).
+  [[nodiscard]] std::uint32_t peek32(std::uint32_t addr) const;
+  void poke32(std::uint32_t addr, std::uint32_t value);
+  [[nodiscard]] std::uint8_t peek8(std::uint32_t addr) const;
+
+  [[nodiscard]] const AccessStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] std::uint32_t exit_code() const { return exit_code_; }
+  [[nodiscard]] const std::string& console() const { return console_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& word_log() const { return word_log_; }
+
+ private:
+  struct Target {
+    Region region;
+    std::uint32_t offset;
+  };
+  [[nodiscard]] Target decode(std::uint32_t addr, unsigned size) const;
+  void mmio_write(std::uint32_t addr, std::uint32_t value);
+
+  std::array<std::uint8_t, kProgramSize> program_{};
+  std::array<std::uint8_t, kDataSize> data_{};
+  AccessStats stats_;
+  bool halted_ = false;
+  std::uint32_t exit_code_ = 0;
+  std::string console_;
+  std::vector<std::uint32_t> word_log_;
+};
+
+}  // namespace ppatc::isa

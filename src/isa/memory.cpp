@@ -1,0 +1,179 @@
+#include "ppatc/isa/memory.hpp"
+
+#include <sstream>
+
+namespace ppatc::isa {
+
+namespace {
+std::string hex(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+}  // namespace
+
+Bus::Bus() = default;
+
+void Bus::load_program(std::uint32_t addr, const std::vector<std::uint8_t>& bytes) {
+  PPATC_EXPECT(addr >= kProgramBase && addr - kProgramBase + bytes.size() <= kProgramSize,
+               "program image does not fit in program memory");
+  std::copy(bytes.begin(), bytes.end(), program_.begin() + (addr - kProgramBase));
+}
+
+void Bus::load_data(std::uint32_t addr, const std::vector<std::uint8_t>& bytes) {
+  PPATC_EXPECT(addr >= kDataBase && addr - kDataBase + bytes.size() <= kDataSize,
+               "data image does not fit in data memory");
+  std::copy(bytes.begin(), bytes.end(), data_.begin() + (addr - kDataBase));
+}
+
+Bus::Target Bus::decode(std::uint32_t addr, unsigned size) const {
+  if (addr % size != 0) throw BusFault("misaligned " + std::to_string(size) + "-byte access at " + hex(addr));
+  if (addr >= kProgramBase && addr + size <= kProgramBase + kProgramSize) {
+    return {Region::kProgram, addr - kProgramBase};
+  }
+  if (addr >= kDataBase && addr + size <= kDataBase + kDataSize) {
+    return {Region::kData, addr - kDataBase};
+  }
+  if (addr >= kMmioBase && addr + size <= kMmioBase + 0x10 && size == 4) {
+    return {Region::kMmio, addr - kMmioBase};
+  }
+  throw BusFault("bus fault: unmapped access at " + hex(addr));
+}
+
+std::uint32_t Bus::read32(std::uint32_t addr) {
+  const Target t = decode(addr, 4);
+  ++stats_.data_reads;
+  const std::uint8_t* p = nullptr;
+  if (t.region == Region::kProgram) {
+    ++stats_.program_reads;
+    p = program_.data() + t.offset;
+  } else if (t.region == Region::kData) {
+    ++stats_.data_mem_reads;
+    p = data_.data() + t.offset;
+  } else {
+    throw BusFault("MMIO read not supported at " + hex(addr));
+  }
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t Bus::read16(std::uint32_t addr) {
+  const Target t = decode(addr, 2);
+  ++stats_.data_reads;
+  const std::uint8_t* p = nullptr;
+  if (t.region == Region::kProgram) {
+    ++stats_.program_reads;
+    p = program_.data() + t.offset;
+  } else if (t.region == Region::kData) {
+    ++stats_.data_mem_reads;
+    p = data_.data() + t.offset;
+  } else {
+    throw BusFault("MMIO halfword access at " + hex(addr));
+  }
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint8_t Bus::read8(std::uint32_t addr) {
+  const Target t = decode(addr, 1);
+  ++stats_.data_reads;
+  if (t.region == Region::kProgram) {
+    ++stats_.program_reads;
+    return program_[t.offset];
+  }
+  if (t.region == Region::kData) {
+    ++stats_.data_mem_reads;
+    return data_[t.offset];
+  }
+  throw BusFault("MMIO byte access at " + hex(addr));
+}
+
+void Bus::write32(std::uint32_t addr, std::uint32_t value) {
+  const Target t = decode(addr, 4);
+  ++stats_.data_writes;
+  if (t.region == Region::kMmio) {
+    mmio_write(addr, value);
+    return;
+  }
+  if (t.region == Region::kProgram) throw BusFault("write to program memory at " + hex(addr));
+  ++stats_.data_mem_writes;
+  std::uint8_t* p = data_.data() + t.offset;
+  p[0] = static_cast<std::uint8_t>(value);
+  p[1] = static_cast<std::uint8_t>(value >> 8);
+  p[2] = static_cast<std::uint8_t>(value >> 16);
+  p[3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+void Bus::write16(std::uint32_t addr, std::uint16_t value) {
+  const Target t = decode(addr, 2);
+  ++stats_.data_writes;
+  if (t.region != Region::kData) throw BusFault("halfword write outside data memory at " + hex(addr));
+  ++stats_.data_mem_writes;
+  data_[t.offset] = static_cast<std::uint8_t>(value);
+  data_[t.offset + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void Bus::write8(std::uint32_t addr, std::uint8_t value) {
+  const Target t = decode(addr, 1);
+  ++stats_.data_writes;
+  if (t.region != Region::kData) throw BusFault("byte write outside data memory at " + hex(addr));
+  ++stats_.data_mem_writes;
+  data_[t.offset] = value;
+}
+
+std::uint16_t Bus::fetch16(std::uint32_t addr) {
+  if (addr % 2 != 0) throw BusFault("misaligned fetch at " + hex(addr));
+  if (addr < kProgramBase || addr + 2 > kProgramBase + kProgramSize) {
+    throw BusFault("fetch outside program memory at " + hex(addr));
+  }
+  ++stats_.fetches;
+  const std::uint32_t off = addr - kProgramBase;
+  return static_cast<std::uint16_t>(program_[off] | (program_[off + 1] << 8));
+}
+
+std::uint32_t Bus::peek32(std::uint32_t addr) const {
+  const Target t = decode(addr, 4);
+  const std::uint8_t* p = t.region == Region::kProgram ? program_.data() + t.offset
+                          : t.region == Region::kData  ? data_.data() + t.offset
+                                                       : nullptr;
+  if (p == nullptr) throw BusFault("peek at MMIO " + hex(addr));
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void Bus::poke32(std::uint32_t addr, std::uint32_t value) {
+  const Target t = decode(addr, 4);
+  std::uint8_t* p = t.region == Region::kProgram ? program_.data() + t.offset
+                    : t.region == Region::kData  ? data_.data() + t.offset
+                                                 : nullptr;
+  if (p == nullptr) throw BusFault("poke at MMIO " + hex(addr));
+  p[0] = static_cast<std::uint8_t>(value);
+  p[1] = static_cast<std::uint8_t>(value >> 8);
+  p[2] = static_cast<std::uint8_t>(value >> 16);
+  p[3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+std::uint8_t Bus::peek8(std::uint32_t addr) const {
+  const Target t = decode(addr, 1);
+  if (t.region == Region::kProgram) return program_[t.offset];
+  if (t.region == Region::kData) return data_[t.offset];
+  throw BusFault("peek at MMIO " + hex(addr));
+}
+
+void Bus::mmio_write(std::uint32_t addr, std::uint32_t value) {
+  switch (addr) {
+    case kMmioExit:
+      halted_ = true;
+      exit_code_ = value;
+      return;
+    case kMmioPutChar:
+      console_.push_back(static_cast<char>(value & 0xFF));
+      return;
+    case kMmioPutWord:
+      word_log_.push_back(value);
+      return;
+    default:
+      throw BusFault("write to unknown MMIO register " + hex(addr));
+  }
+}
+
+}  // namespace ppatc::isa

@@ -1,0 +1,122 @@
+#include "ppatc/memsys/bitcell.hpp"
+
+#include "ppatc/common/contract.hpp"
+#include "ppatc/device/library.hpp"
+#include "ppatc/spice/circuit.hpp"
+#include "ppatc/spice/simulator.hpp"
+
+namespace ppatc::memsys {
+
+CellSpec m3d_igzo_cnfet_cell() {
+  CellSpec c;
+  c.name = "m3d-igzo-cnfet-3t";
+  c.write_fet = device::igzo_fet();
+  // The paper's Step 2 adjusts the VT of each bit-cell FET: the IGZO write
+  // device is tuned down so the boosted WWL (1.3 V) completes a write within
+  // the 500 MHz cycle, while the -0.4 V hold level keeps it many decades
+  // below threshold for retention.
+  c.write_fet.vt_volts = 0.42;
+  c.write_width_um = 0.120;
+  // "V_GS significantly below V_T" (paper Sec. II-A): a negative WWL hold
+  // rail puts the write FET ~13 decades below threshold.
+  c.vhold = units::volts(-0.8);
+  c.read_fet = device::cnfet(device::Polarity::kNmos);
+  c.select_fet = device::cnfet(device::Polarity::kNmos);
+  // BEOL oxide channel: no junction, no GIDL — leakage is set by the
+  // (ultra-low) sub-threshold current alone.
+  c.leak_floor = units::amperes(1e-19);
+  // M3D: write FET on the IGZO tier, read stack on the CNFET tiers, cells
+  // directly above the Si periphery. Per-bit footprint is set by the densest
+  // tier, not the sum of all three.
+  c.footprint = units::square_micrometres(0.0476);
+  c.stacked_over_periphery = true;
+  return c;
+}
+
+CellSpec all_si_cell() {
+  CellSpec c;
+  c.name = "all-si-3t";
+  // HVT write FET for the lowest available leakage; RVT read stack for speed.
+  c.write_fet = device::silicon_finfet(device::Polarity::kNmos, device::VtFlavor::kHvt);
+  c.read_fet = device::silicon_finfet(device::Polarity::kNmos, device::VtFlavor::kRvt);
+  c.select_fet = device::silicon_finfet(device::Polarity::kNmos, device::VtFlavor::kRvt);
+  // Planar 3T layout next to (not above) the periphery.
+  c.footprint = units::square_micrometres(0.098);
+  c.stacked_over_periphery = false;
+  return c;
+}
+
+CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
+  PPATC_EXPECT(units::in_volts(sense_margin) > 0, "sense margin must be positive");
+  CellCharacteristics out;
+  const double vdd = units::in_volts(cell.vdd);
+
+  // ---- write delay: WWL pulses to VWWL, WBL holds VDD, SN charges from 0.
+  {
+    spice::Circuit ckt;
+    ckt.add_vsource("vwbl", "wbl", "0", spice::Stimulus::dc(cell.vdd));
+    ckt.add_vsource("vwwl", "wwl", "0",
+                    spice::Stimulus::pwl({{units::picoseconds(0), cell.vhold},
+                                          {units::picoseconds(20), cell.vwwl}}));
+    ckt.add_fet("mw", cell.write_fet, cell.write_width_um, "wbl", "wwl", "sn");
+    ckt.add_capacitor_ic("sn", "0", cell.storage_cap, units::volts(0.0));
+    // The read FET gate loads SN.
+    const device::VirtualSourceFet read_fet{cell.read_fet, cell.read_width_um};
+    ckt.add_capacitor("sn", "0", read_fet.gate_capacitance());
+
+    // Pick a horizon long enough for slow (IGZO) writes.
+    const spice::Simulator sim{ckt};
+    const Duration stop = units::nanoseconds(8.0);
+    const auto tr = sim.transient(stop, units::picoseconds(5.0), /*from_ics=*/true);
+    PPATC_ENSURE(tr.has_value(), "write-delay transient failed to converge");
+    const auto sn = tr->node("sn");
+    const Duration t90 = spice::cross_time(sn, 0.9 * vdd, spice::Edge::kRise);
+    PPATC_ENSURE(t90.base() > 0, "storage node never reached 90% of VDD during write");
+    out.write_delay = t90 - units::picoseconds(20);
+    out.write_energy = tr->source_energy("vwbl") + tr->source_energy("vwwl");
+  }
+
+  // ---- read delay: SN holds VDD, RBL (pre-charged to VDD) discharges
+  //      through the read stack once RWL asserts.
+  {
+    spice::Circuit ckt;
+    ckt.add_vsource("vsn", "sn", "0", spice::Stimulus::dc(cell.vdd));
+    ckt.add_vsource("vrwl", "rwl", "0",
+                    spice::Stimulus::pwl({{units::picoseconds(0), units::volts(0)},
+                                          {units::picoseconds(20), cell.vdd}}));
+    // Read stack: RBL -> read FET (gate = SN) -> mid -> select FET (gate = RWL) -> GND.
+    ckt.add_fet("mr", cell.read_fet, cell.read_width_um, "rbl", "sn", "mid");
+    ckt.add_fet("ms", cell.select_fet, cell.select_width_um, "mid", "rwl", "0");
+    ckt.add_capacitor_ic("rbl", "0", cell.rbl_cap, cell.vdd);
+    ckt.add_capacitor("mid", "0", units::attofarads(80.0));
+
+    const spice::Simulator sim{ckt};
+    const auto tr = sim.transient(units::nanoseconds(2.0), units::picoseconds(2.0),
+                                  /*from_ics=*/true);
+    PPATC_ENSURE(tr.has_value(), "read-delay transient failed to converge");
+    const auto rbl = tr->node("rbl");
+    const Duration t50 = spice::cross_time(rbl, 0.5 * vdd, spice::Edge::kFall);
+    PPATC_ENSURE(t50.base() > 0, "read bitline never discharged to VDD/2");
+    out.read_delay = t50 - units::picoseconds(20);
+  }
+
+  // ---- retention: analytic decay from the DC off-current at the hold bias.
+  //      SN sits at VDD, WBL at 0 (worst case), WWL at the hold level:
+  //      Vgs = vhold - 0 relative to the WBL side acting as source.
+  {
+    const device::VirtualSourceFet wfet{cell.write_fet, cell.write_width_um};
+    // Conservative: evaluate leakage at the start of the decay (largest Vds).
+    // SN (at VDD) is the drain, WBL (at 0) the source, WWL at the hold level.
+    const Current leak = abs(wfet.drain_current(cell.vhold, cell.vdd)) + cell.leak_floor;
+    out.hold_leakage = leak;
+    const double amps = units::in_amperes(leak);
+    PPATC_ENSURE(amps > 0, "off-current must be positive");
+    const double dq =
+        units::in_farads(cell.storage_cap) * units::in_volts(sense_margin);
+    out.retention = units::seconds(dq / amps);
+  }
+
+  return out;
+}
+
+}  // namespace ppatc::memsys

@@ -1,0 +1,110 @@
+#include "ppatc/memsys/edram.hpp"
+
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::memsys {
+
+EdramBank::EdramBank(BankConfig config, Voltage sense_margin)
+    : config_{std::move(config)},
+      cell_{characterize(config_.cell, sense_margin)},
+      sub_{characterize_subarray(config_.subarray, config_.cell, cell_)} {
+  PPATC_EXPECT(config_.capacity_bytes % (sub_.bits / 8) == 0,
+               "capacity must be a whole number of sub-arrays");
+}
+
+int EdramBank::subarray_count() const {
+  return static_cast<int>(config_.capacity_bytes / (sub_.bits / 8));
+}
+
+std::uint64_t EdramBank::total_rows() const {
+  return static_cast<std::uint64_t>(subarray_count()) * config_.subarray.rows;
+}
+
+Area EdramBank::area() const {
+  const Area array = sub_.array_area * subarray_count();
+  const Area periphery = array * config_.periphery_area_fraction;
+  if (config_.cell.stacked_over_periphery) {
+    // Cells live on the BEOL tiers directly above the Si periphery: the die
+    // footprint is whichever is larger.
+    return max(array, periphery);
+  }
+  return array + periphery;
+}
+
+Length EdramBank::side() const {
+  return units::millimetres(std::sqrt(units::in_square_millimetres(area())));
+}
+
+namespace {
+Energy bus_energy(const BankConfig& cfg, Length side) {
+  const double len_um = units::in_micrometres(side) * cfg.bus_route_factor;
+  const double cap_f = cfg.bus_bits * units::in_farads(cfg.subarray.wire_cap_per_um) * len_um;
+  const double vdd = units::in_volts(cfg.cell.vdd);
+  return units::joules(cfg.bus_activity * cap_f * vdd * vdd);
+}
+}  // namespace
+
+Energy EdramBank::read_access_energy() const {
+  return sub_.read_energy + bus_energy(config_, side());
+}
+
+Energy EdramBank::write_access_energy() const {
+  return sub_.write_energy + bus_energy(config_, side());
+}
+
+Power EdramBank::refresh_power() const {
+  const double rows_per_second =
+      static_cast<double>(total_rows()) / units::in_seconds(cell_.retention);
+  return units::watts(units::in_joules(sub_.refresh_row_energy) * rows_per_second);
+}
+
+Power EdramBank::static_power() const {
+  const Power periph = config_.periph_static_per_subarray * subarray_count();
+  const Power repeaters =
+      config_.repeater_leak_per_mm * (units::in_millimetres(side()) * config_.bus_route_factor);
+  return periph + repeaters;
+}
+
+Duration EdramBank::access_delay() const {
+  // Sub-array access plus one global bus traversal (repeatered wire,
+  // ~80 ps/mm at this pitch) plus decoder depth (~7 gate delays, ~15 ps each).
+  const double bus_ps = 80.0 * units::in_millimetres(side()) * config_.bus_route_factor;
+  return sub_.access_delay + units::picoseconds(bus_ps + 7 * 15.0);
+}
+
+bool EdramBank::meets_timing(Frequency fclk) const { return access_delay() < period(fclk); }
+
+BankConfig si_bank_config() {
+  BankConfig cfg;
+  cfg.cell = all_si_cell();
+  return cfg;
+}
+
+BankConfig m3d_bank_config() {
+  BankConfig cfg;
+  cfg.cell = m3d_igzo_cnfet_cell();
+  return cfg;
+}
+
+MemoryEnergyReport memory_energy(const EdramBank& bank, const isa::AccessStats& stats,
+                                 std::uint64_t cycles, Frequency fclk) {
+  PPATC_EXPECT(cycles > 0, "cycle count must be positive");
+  MemoryEnergyReport r;
+  // All accesses (fetches, data reads, data writes) are charged to the bank
+  // model; Table II accounts the memory as one 64 kB block.
+  const std::uint64_t reads = stats.fetches + stats.data_reads;
+  const std::uint64_t writes = stats.data_writes;
+  r.access_energy =
+      bank.read_access_energy() * static_cast<double>(reads) +
+      bank.write_access_energy() * static_cast<double>(writes);
+  const Duration runtime = period(fclk) * static_cast<double>(cycles);
+  r.refresh_energy = bank.refresh_power() * runtime;
+  r.static_energy = bank.static_power() * runtime;
+  r.total = r.access_energy + r.refresh_energy + r.static_energy;
+  r.per_cycle = r.total / static_cast<double>(cycles);
+  return r;
+}
+
+}  // namespace ppatc::memsys

@@ -1,0 +1,65 @@
+// ppatc: the 3-transistor eDRAM bit cell (paper Fig. 3a) and its SPICE
+// characterization.
+//
+// Topology: a write transistor couples the write bitline (WBL) onto the
+// storage node (SN) when the write wordline (WWL) is asserted; SN gates a
+// read transistor in series with a read-select transistor, discharging the
+// pre-charged read bitline (RBL) when a '1' is stored and the read wordline
+// (RWL) is asserted.
+//
+// Two technology variants are analyzed:
+//  * M3D cell — IGZO write FET (ultra-low I_OFF -> long retention) + two
+//    CNFET read FETs (high I_EFF -> fast reads), stacked over Si periphery.
+//  * all-Si cell — Si FETs throughout (fast writes, but orders of magnitude
+//    shorter retention -> frequent refresh).
+//
+// Write/read delays are measured with transient SPICE runs on the in-repo
+// simulator; retention is computed analytically from the DC off-current at
+// the hold bias (the decay is far too slow to simulate — up to 1000+ s).
+#pragma once
+
+#include "ppatc/common/units.hpp"
+#include "ppatc/device/vs_model.hpp"
+
+namespace ppatc::memsys {
+
+/// One 3T bit-cell design.
+struct CellSpec {
+  std::string name;
+  device::VsParams write_fet;   ///< WBL -> SN pass transistor
+  device::VsParams read_fet;    ///< SN-gated pull-down
+  device::VsParams select_fet;  ///< RWL-gated series select
+  double write_width_um = 0.054;
+  double read_width_um = 0.054;
+  double select_width_um = 0.054;
+  Voltage vdd = units::volts(0.7);
+  Voltage vwwl = units::volts(1.3);       ///< boosted write wordline (paper Step 2)
+  Voltage vhold = units::volts(-0.4);     ///< WWL hold level (below VT for low leak)
+  Capacitance storage_cap = units::femtofarads(1.0);
+  Capacitance rbl_cap = units::femtofarads(18.0);  ///< read bitline loading (128 rows)
+  /// Leakage floor the compact model cannot see: junction/GIDL leakage for a
+  /// Si access FET (~pA), essentially absent for a BEOL oxide channel.
+  Current leak_floor = units::amperes(5e-12);
+  Area footprint = units::square_micrometres(0.098);  ///< layout footprint per bit
+  bool stacked_over_periphery = false;  ///< M3D: cells above the Si periphery
+};
+
+/// Results of characterizing a cell.
+struct CellCharacteristics {
+  Duration write_delay;    ///< WBL=VDD -> SN reaching 90% of its final level
+  Duration read_delay;     ///< RWL assert -> RBL falling to VDD/2 (reading '1')
+  Duration retention;      ///< SN decay to the sensing margin at hold bias
+  Current hold_leakage;    ///< write-FET off-current at the hold bias
+  Energy write_energy;     ///< energy drawn from WBL+WWL drivers for one write
+};
+
+/// The paper's two cell designs.
+[[nodiscard]] CellSpec m3d_igzo_cnfet_cell();
+[[nodiscard]] CellSpec all_si_cell();
+
+/// Characterizes `cell` with SPICE transients + analytic retention.
+/// `sense_margin` is the SN voltage loss that still senses correctly.
+[[nodiscard]] CellCharacteristics characterize(const CellSpec& cell,
+                                               Voltage sense_margin = units::volts(0.2));
+
+}  // namespace ppatc::memsys

@@ -1,0 +1,103 @@
+// ppatc: 64 kB eDRAM bank model (the paper's program/data memories).
+//
+// A bank is 32 x 2 kB sub-arrays plus periphery: row/column decoders, sense
+// amplifiers, write drivers, a refresh controller, and the global bus that
+// connects sub-arrays to the CPU interface. The model composes the SPICE-
+// characterized cell and sub-array numbers with bank-level contributions:
+//
+//   * global bus switching energy, proportional to the bank's linear size;
+//   * peripheral static power (decoders/SAs/drivers are Si CMOS at 0.7 V in
+//     BOTH designs — the M3D advantage enters through smaller area, hence
+//     shorter, less-buffered global wires);
+//   * retention-driven refresh (the Si cell retains ~tens of us and needs
+//     continuous refresh; the IGZO cell retains >1000 s and effectively
+//     never refreshes during the 2 h/day usage window).
+//
+// The two free coefficients (per-sub-array static power, per-mm repeater
+// leakage) are calibrated once so the matmult-int workload reproduces the
+// paper's Table II average memory energies (18.0 / 15.5 pJ per cycle).
+#pragma once
+
+#include <cstdint>
+
+#include "ppatc/isa/memory.hpp"
+#include "ppatc/memsys/subarray.hpp"
+
+namespace ppatc::memsys {
+
+struct BankConfig {
+  CellSpec cell;
+  SubArraySpec subarray;
+  std::uint32_t capacity_bytes = 64 * 1024;
+  int bus_bits = 50;  ///< address + data + control wires to the CPU interface
+  /// Switching activity of the global bus per access.
+  double bus_activity = 0.5;
+  /// Routing detour factor for the global bus (layout is never a straight line).
+  double bus_route_factor = 2.0;
+  /// Calibrated: static power of one sub-array's periphery slice.
+  Power periph_static_per_subarray = units::microwatts(177.7);
+  /// Calibrated: leakage of global-bus repeaters/buffers per mm of bus.
+  Power repeater_leak_per_mm = units::milliwatts(5.074);
+  /// Peripheral (decoder/SA/driver) area as a fraction of the cell-array
+  /// area for a side-by-side (2D) floorplan.
+  double periphery_area_fraction = 0.32;
+};
+
+/// Fully characterized bank.
+class EdramBank {
+ public:
+  EdramBank(BankConfig config, Voltage sense_margin = units::volts(0.2));
+
+  [[nodiscard]] const BankConfig& config() const { return config_; }
+  [[nodiscard]] const CellCharacteristics& cell() const { return cell_; }
+  [[nodiscard]] const SubArrayCharacteristics& subarray() const { return sub_; }
+
+  [[nodiscard]] int subarray_count() const;
+  [[nodiscard]] std::uint64_t total_rows() const;
+
+  /// Die area of the bank. For a stacked (M3D) cell the footprint is the
+  /// larger of the cell array and the periphery beneath it; for a planar
+  /// cell the two add.
+  [[nodiscard]] Area area() const;
+  /// Linear size used for global bus length (sqrt of area).
+  [[nodiscard]] Length side() const;
+
+  /// Energy of one read / write access including the global bus.
+  [[nodiscard]] Energy read_access_energy() const;
+  [[nodiscard]] Energy write_access_energy() const;
+
+  /// Continuous refresh power demanded by the cell's retention (all rows
+  /// refreshed once per retention period).
+  [[nodiscard]] Power refresh_power() const;
+
+  /// Static power of periphery + bus repeaters.
+  [[nodiscard]] Power static_power() const;
+
+  /// Single-cycle access feasibility at the target clock.
+  [[nodiscard]] bool meets_timing(Frequency fclk) const;
+  [[nodiscard]] Duration access_delay() const;
+
+ private:
+  BankConfig config_;
+  CellCharacteristics cell_;
+  SubArrayCharacteristics sub_;
+};
+
+/// The paper's two memory designs.
+[[nodiscard]] BankConfig si_bank_config();
+[[nodiscard]] BankConfig m3d_bank_config();
+
+/// Energy accounting for the full memory system (program + data banks, both
+/// built from the same BankConfig) running a workload.
+struct MemoryEnergyReport {
+  Energy access_energy;    ///< reads + writes + fetches
+  Energy refresh_energy;   ///< over the run
+  Energy static_energy;    ///< periphery + repeaters over the run
+  Energy total;
+  Energy per_cycle;        ///< total / cycles — the Table II row
+};
+
+[[nodiscard]] MemoryEnergyReport memory_energy(const EdramBank& bank, const isa::AccessStats& stats,
+                                               std::uint64_t cycles, Frequency fclk);
+
+}  // namespace ppatc::memsys

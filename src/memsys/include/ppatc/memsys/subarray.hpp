@@ -1,0 +1,41 @@
+// ppatc: eDRAM sub-array model.
+//
+// The paper partitions each 64 kB memory into 2 kB sub-arrays (512 32-bit
+// words) to keep word/bitline loading — and therefore access time — small
+// enough for single-cycle access at 500 MHz (Step 2 of the design flow).
+// This model derives per-access energies and delays from the cell
+// characterization plus explicit wire/gate capacitance accounting.
+#pragma once
+
+#include "ppatc/memsys/bitcell.hpp"
+
+namespace ppatc::memsys {
+
+struct SubArraySpec {
+  int rows = 128;
+  int cols = 128;             ///< bits per row (4:1 column mux for 32-bit words)
+  int word_bits = 32;
+  Length cell_width = units::nanometres(260);   ///< along the wordline
+  Length cell_height = units::nanometres(175);  ///< along the bitline
+  Capacitance wire_cap_per_um = units::attofarads(200);  ///< M1-class wire
+  Capacitance sense_amp_cap = units::femtofarads(2.0);   ///< per sensed column
+  Capacitance driver_cap = units::femtofarads(4.0);      ///< per driven line
+};
+
+/// Derived electrical properties of one sub-array built from `cell`s.
+struct SubArrayCharacteristics {
+  Capacitance wordline_cap;   ///< gates + wire across one row
+  Capacitance bitline_cap;    ///< drains + wire down one column
+  Energy read_energy;         ///< one 32-bit word read
+  Energy write_energy;        ///< one 32-bit word write
+  Energy refresh_row_energy;  ///< read + write-back of one full row
+  Duration access_delay;      ///< cell read delay + RC of the lines
+  Area array_area;            ///< cells only
+  std::uint64_t bits = 0;
+};
+
+[[nodiscard]] SubArrayCharacteristics characterize_subarray(const SubArraySpec& spec,
+                                                            const CellSpec& cell,
+                                                            const CellCharacteristics& cc);
+
+}  // namespace ppatc::memsys

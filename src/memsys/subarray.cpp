@@ -1,0 +1,70 @@
+#include "ppatc/memsys/subarray.hpp"
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::memsys {
+
+SubArrayCharacteristics characterize_subarray(const SubArraySpec& spec, const CellSpec& cell,
+                                              const CellCharacteristics& cc) {
+  PPATC_EXPECT(spec.rows > 0 && spec.cols > 0 && spec.word_bits > 0, "geometry must be positive");
+  PPATC_EXPECT(spec.cols % spec.word_bits == 0, "columns must be a multiple of the word width");
+
+  SubArrayCharacteristics out;
+  out.bits = static_cast<std::uint64_t>(spec.rows) * spec.cols;
+
+  const double vdd = units::in_volts(cell.vdd);
+  const double vwwl = units::in_volts(cell.vwwl);
+
+  // Gate/drain loading per cell on the lines.
+  const device::VirtualSourceFet wfet{cell.write_fet, cell.write_width_um};
+  const device::VirtualSourceFet sfet{cell.select_fet, cell.select_width_um};
+  const double gate_f = units::in_farads(wfet.gate_capacitance());
+  const double sel_gate_f = units::in_farads(sfet.gate_capacitance());
+  // Junction/contact cap per cell on a bitline: approximated as 40% of the
+  // access-device gate cap (fringe-dominated at these dimensions).
+  const double drain_f = 0.4 * gate_f;
+
+  const double wl_len_um = spec.cols * units::in_micrometres(spec.cell_width);
+  const double bl_len_um = spec.rows * units::in_micrometres(spec.cell_height);
+  const double wire_f_per_um = units::in_farads(spec.wire_cap_per_um) * 1e0;
+
+  const double wwl_f = spec.cols * gate_f + wl_len_um * wire_f_per_um;
+  const double rwl_f = spec.cols * sel_gate_f + wl_len_um * wire_f_per_um;
+  const double bl_f = spec.rows * drain_f + bl_len_um * wire_f_per_um;
+
+  out.wordline_cap = units::farads(wwl_f);
+  out.bitline_cap = units::farads(bl_f);
+
+  const double driver_f = units::in_farads(spec.driver_cap);
+  const double sa_f = units::in_farads(spec.sense_amp_cap);
+
+  // Read: fire RWL (full swing), pre-charge/discharge all bitlines in the
+  // row's column group by ~VDD/2 average, sense `word_bits` columns.
+  const double e_read = (rwl_f + driver_f) * vdd * vdd +
+                        spec.cols * (bl_f * vdd * (0.5 * vdd)) +
+                        spec.word_bits * sa_f * vdd * vdd;
+  // Write: fire WWL at the boosted level, drive `word_bits` write bitlines
+  // full swing (worst case), plus the cell storage charge itself.
+  const double e_write = (wwl_f + driver_f) * vwwl * vwwl +
+                         spec.word_bits * ((bl_f + driver_f) * vdd * vdd) +
+                         spec.word_bits * units::in_farads(cell.storage_cap) * vdd * vdd;
+  // Refresh: read the full row then write it back (all columns).
+  const double e_refresh = (rwl_f + wwl_f + 2 * driver_f) * vdd * vdd +
+                           spec.cols * (bl_f * vdd * vdd) +
+                           spec.cols * units::in_farads(cell.storage_cap) * vdd * vdd;
+
+  out.read_energy = units::joules(e_read);
+  out.write_energy = units::joules(e_write);
+  out.refresh_row_energy = units::joules(e_refresh);
+
+  // Access delay: cell read delay (characterized with the bitline load) plus
+  // a wordline RC term (wire resistance ~ 40 ohm/um at this pitch).
+  const double r_wl = 40.0 * wl_len_um;
+  const double wl_rc = 0.69 * r_wl * wwl_f;
+  out.access_delay = cc.read_delay + units::seconds(wl_rc);
+
+  out.array_area = cell.footprint * static_cast<double>(out.bits);
+  return out;
+}
+
+}  // namespace ppatc::memsys

@@ -1,0 +1,72 @@
+#include "ppatc/spice/circuit.hpp"
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::spice {
+
+Circuit::Circuit() {
+  names_.push_back("0");
+  ids_.emplace("0", kGroundNode);
+  ids_.emplace("gnd", kGroundNode);
+}
+
+NodeId Circuit::node(const std::string& name) {
+  if (const auto it = ids_.find(name); it != ids_.end()) return it->second;
+  const NodeId id = names_.size();
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  const auto it = ids_.find(name);
+  PPATC_EXPECT(it != ids_.end(), "unknown node: " + name);
+  return it->second;
+}
+
+bool Circuit::has_node(const std::string& name) const { return ids_.contains(name); }
+
+const std::string& Circuit::node_name(NodeId id) const {
+  PPATC_EXPECT(id < names_.size(), "node id out of range");
+  return names_[id];
+}
+
+void Circuit::add_resistor(const std::string& a, const std::string& b, double ohms) {
+  PPATC_EXPECT(ohms > 0.0, "resistance must be positive");
+  resistors_.push_back({node(a), node(b), ohms});
+}
+
+void Circuit::add_capacitor(const std::string& a, const std::string& b, Capacitance c) {
+  PPATC_EXPECT(units::in_farads(c) > 0.0, "capacitance must be positive");
+  capacitors_.push_back({node(a), node(b), units::in_farads(c), 0.0, false});
+}
+
+void Circuit::add_capacitor_ic(const std::string& a, const std::string& b, Capacitance c,
+                               Voltage initial) {
+  PPATC_EXPECT(units::in_farads(c) > 0.0, "capacitance must be positive");
+  capacitors_.push_back({node(a), node(b), units::in_farads(c), units::in_volts(initial), true});
+}
+
+std::size_t Circuit::add_vsource(const std::string& name, const std::string& pos,
+                                 const std::string& neg, Stimulus stimulus) {
+  for (const auto& v : vsources_) {
+    PPATC_EXPECT(v.name != name, "duplicate voltage source name: " + name);
+  }
+  vsources_.push_back({name, node(pos), node(neg), std::move(stimulus)});
+  return vsources_.size() - 1;
+}
+
+void Circuit::add_fet(const std::string& name, const device::VsParams& card, double width_um,
+                      const std::string& drain, const std::string& gate, const std::string& source) {
+  fets_.push_back({name, device::VirtualSourceFet{card, width_um}, node(drain), node(gate), node(source)});
+}
+
+std::size_t Circuit::vsource_index(const std::string& name) const {
+  for (std::size_t i = 0; i < vsources_.size(); ++i) {
+    if (vsources_[i].name == name) return i;
+  }
+  PPATC_EXPECT(false, "unknown voltage source: " + name);
+  return 0;  // unreachable
+}
+
+}  // namespace ppatc::spice

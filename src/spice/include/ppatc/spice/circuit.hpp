@@ -1,0 +1,84 @@
+// ppatc: circuit netlist.
+//
+// A Circuit is a flat netlist of resistors, capacitors, independent voltage
+// sources, and virtual-source FETs, over named nodes. Node "0" (alias "gnd")
+// is ground. The netlist is immutable once handed to the Simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ppatc/common/units.hpp"
+#include "ppatc/device/vs_model.hpp"
+#include "ppatc/spice/waveform.hpp"
+
+namespace ppatc::spice {
+
+/// Index of a circuit node; kGroundNode is ground.
+using NodeId = std::size_t;
+inline constexpr NodeId kGroundNode = 0;
+
+struct ResistorElem {
+  NodeId a, b;
+  double ohms;
+};
+
+struct CapacitorElem {
+  NodeId a, b;
+  double farads;
+  double initial_volts = 0.0;  ///< used when the transient starts from ICs
+  bool has_initial = false;
+};
+
+struct VSourceElem {
+  std::string name;
+  NodeId pos, neg;
+  Stimulus stimulus;
+};
+
+struct FetElem {
+  std::string name;
+  device::VirtualSourceFet fet;
+  NodeId drain, gate, source;
+};
+
+class Circuit {
+ public:
+  Circuit();
+
+  /// Returns the node id for `name`, creating it on first use.
+  NodeId node(const std::string& name);
+  /// Looks up an existing node; throws ContractViolation if absent.
+  [[nodiscard]] NodeId find_node(const std::string& name) const;
+  [[nodiscard]] bool has_node(const std::string& name) const;
+  [[nodiscard]] std::size_t node_count() const { return names_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+  void add_resistor(const std::string& a, const std::string& b, double ohms);
+  void add_capacitor(const std::string& a, const std::string& b, Capacitance c);
+  void add_capacitor_ic(const std::string& a, const std::string& b, Capacitance c, Voltage initial);
+  /// Returns the source index (for reading its branch current later).
+  std::size_t add_vsource(const std::string& name, const std::string& pos, const std::string& neg,
+                          Stimulus stimulus);
+  void add_fet(const std::string& name, const device::VsParams& card, double width_um,
+               const std::string& drain, const std::string& gate, const std::string& source);
+
+  [[nodiscard]] const std::vector<ResistorElem>& resistors() const { return resistors_; }
+  [[nodiscard]] const std::vector<CapacitorElem>& capacitors() const { return capacitors_; }
+  [[nodiscard]] const std::vector<VSourceElem>& vsources() const { return vsources_; }
+  [[nodiscard]] const std::vector<FetElem>& fets() const { return fets_; }
+
+  [[nodiscard]] std::size_t vsource_index(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> ids_;
+  std::vector<ResistorElem> resistors_;
+  std::vector<CapacitorElem> capacitors_;
+  std::vector<VSourceElem> vsources_;
+  std::vector<FetElem> fets_;
+};
+
+}  // namespace ppatc::spice

@@ -1,0 +1,76 @@
+// ppatc: modified-nodal-analysis (MNA) simulator.
+//
+// Solves DC operating points and fixed-step backward-Euler transients with
+// Newton–Raphson linearization of the FET elements. The system unknowns are
+// the non-ground node voltages followed by one branch current per independent
+// voltage source. The Jacobian is assembled densely and factored with
+// partially-pivoted LU — the eDRAM characterization circuits in this repo are
+// tens of nodes, far below the crossover where sparse methods pay off.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ppatc/spice/circuit.hpp"
+
+namespace ppatc::spice {
+
+struct SimOptions {
+  double abstol = 1e-12;       ///< residual current tolerance (A)
+  double reltol = 1e-6;        ///< Newton voltage-update tolerance (V)
+  int max_newton_iterations = 200;
+  double gmin = 1e-12;         ///< conductance to ground on every node (S)
+  int gmin_steps = 8;          ///< gmin-stepping ladder length for hard DC points
+};
+
+/// DC operating point: node voltages + source branch currents.
+struct DcResult {
+  std::vector<double> node_volts;       ///< indexed by NodeId (ground = 0 V)
+  std::vector<double> source_currents;  ///< indexed by vsource order (A, out of +)
+  int newton_iterations = 0;
+};
+
+/// Transient run: per-node and per-source sampled waveforms.
+class TransientResult {
+ public:
+  TransientResult(const Circuit& circuit, std::vector<Duration> time,
+                  std::vector<std::vector<double>> node_volts,
+                  std::vector<std::vector<double>> source_currents);
+
+  [[nodiscard]] Waveform node(const std::string& name) const;
+  [[nodiscard]] Waveform source_current(const std::string& vsource_name) const;
+  /// Energy delivered by a source over the run: integral of V(t)*I(t) dt.
+  [[nodiscard]] Energy source_energy(const std::string& vsource_name) const;
+  [[nodiscard]] std::size_t sample_count() const { return time_.size(); }
+  [[nodiscard]] const std::vector<Duration>& time() const { return time_; }
+
+ private:
+  const Circuit* circuit_;
+  std::vector<Duration> time_;
+  std::vector<std::vector<double>> node_volts_;       // [sample][node]
+  std::vector<std::vector<double>> source_currents_;  // [sample][source]
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Circuit& circuit, SimOptions options = {});
+
+  /// DC operating point at t = 0 stimulus values. Uses gmin stepping when the
+  /// plain Newton solve fails. Returns nullopt only if every continuation
+  /// strategy diverges.
+  [[nodiscard]] std::optional<DcResult> dc_operating_point() const;
+
+  /// Fixed-step backward-Euler transient from 0 to `stop`. If `from_ics` is
+  /// true, capacitors with declared ICs start from them and all other state
+  /// starts from the DC operating point of the remaining network; otherwise
+  /// the run starts from the full DC operating point.
+  [[nodiscard]] std::optional<TransientResult> transient(Duration stop, Duration step,
+                                                         bool from_ics = false) const;
+
+ private:
+  const Circuit& circuit_;
+  SimOptions options_;
+};
+
+}  // namespace ppatc::spice

@@ -1,0 +1,62 @@
+// ppatc: source stimulus descriptions and sampled waveforms.
+#pragma once
+
+#include <vector>
+
+#include "ppatc/common/units.hpp"
+
+namespace ppatc::spice {
+
+/// Stimulus for an independent voltage source: DC, piecewise-linear, or a
+/// periodic pulse (mirroring SPICE's PULSE card).
+class Stimulus {
+ public:
+  /// Constant value for all time.
+  [[nodiscard]] static Stimulus dc(Voltage level);
+
+  /// Piecewise-linear; values are held flat before the first and after the
+  /// last breakpoint. Breakpoints must be strictly increasing in time.
+  [[nodiscard]] static Stimulus pwl(std::vector<std::pair<Duration, Voltage>> points);
+
+  /// SPICE-style PULSE(v0 v1 delay rise fall width period).
+  [[nodiscard]] static Stimulus pulse(Voltage v0, Voltage v1, Duration delay, Duration rise,
+                                      Duration fall, Duration width, Duration period);
+
+  [[nodiscard]] Voltage at(Duration t) const;
+
+  /// Value at t -> infinity for DC operating point (pulse sources report v0,
+  /// PWL sources report their first value — SPICE convention: the t=0 value).
+  [[nodiscard]] Voltage dc_value() const;
+
+ private:
+  enum class Kind { kDc, kPwl, kPulse };
+  Kind kind_ = Kind::kDc;
+  Voltage dc_{};
+  std::vector<std::pair<Duration, Voltage>> points_;
+  Voltage v0_{}, v1_{};
+  Duration delay_{}, rise_{}, fall_{}, width_{}, period_{};
+};
+
+/// A sampled waveform (one node or branch over a transient run).
+struct Waveform {
+  std::vector<Duration> time;
+  std::vector<double> value;  ///< volts (node) or amperes (branch)
+
+  [[nodiscard]] double at(Duration t) const;  ///< linear interpolation
+  [[nodiscard]] double final() const;
+  [[nodiscard]] double minimum() const;
+  [[nodiscard]] double maximum() const;
+};
+
+enum class Edge { kRise, kFall, kEither };
+
+/// Time at which the waveform crosses `threshold` (volts) for the n-th time
+/// (1-based) with the given edge direction; returns negative duration if the
+/// crossing never happens.
+[[nodiscard]] Duration cross_time(const Waveform& w, double threshold, Edge edge, int occurrence = 1);
+
+/// Trapezoidal integral of value over time (e.g. charge from a current
+/// waveform).
+[[nodiscard]] double integrate(const Waveform& w);
+
+}  // namespace ppatc::spice

@@ -1,0 +1,409 @@
+#include "ppatc/spice/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::spice {
+
+namespace {
+
+// Dense row-major matrix with partially-pivoted LU solve; the characterization
+// circuits are O(10..100) unknowns, well below the sparse crossover.
+class DenseMatrix {
+ public:
+  explicit DenseMatrix(std::size_t n) : n_{n}, a_(n * n, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return a_[r * n_ + c]; }
+  void clear() { std::fill(a_.begin(), a_.end(), 0.0); }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Solves A x = b in place; returns false if the matrix is singular.
+  bool solve(std::vector<double>& b) {
+    std::vector<std::size_t> perm(n_);
+    for (std::size_t i = 0; i < n_; ++i) perm[i] = i;
+    for (std::size_t k = 0; k < n_; ++k) {
+      // partial pivot
+      std::size_t piv = k;
+      double best = std::abs(at(k, k));
+      for (std::size_t r = k + 1; r < n_; ++r) {
+        if (std::abs(at(r, k)) > best) {
+          best = std::abs(at(r, k));
+          piv = r;
+        }
+      }
+      if (best < 1e-300) return false;
+      if (piv != k) {
+        for (std::size_t c = 0; c < n_; ++c) std::swap(at(k, c), at(piv, c));
+        std::swap(b[k], b[piv]);
+      }
+      const double d = at(k, k);
+      for (std::size_t r = k + 1; r < n_; ++r) {
+        const double m = at(r, k) / d;
+        if (m == 0.0) continue;
+        at(r, k) = 0.0;
+        for (std::size_t c = k + 1; c < n_; ++c) at(r, c) -= m * at(k, c);
+        b[r] -= m * b[k];
+      }
+    }
+    for (std::size_t k = n_; k-- > 0;) {
+      double s = b[k];
+      for (std::size_t c = k + 1; c < n_; ++c) s -= at(k, c) * b[c];
+      b[k] = s / at(k, k);
+    }
+    return true;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;
+};
+
+struct AssemblyContext {
+  const Circuit* circuit;
+  SimOptions options;
+  double gmin;                 // current gmin (may be larger during stepping)
+  double source_scale = 1.0;   // source-stepping continuation factor
+  bool include_caps = false;   // transient vs DC
+  double dt = 0.0;
+  double time = 0.0;
+  const std::vector<double>* cap_prev = nullptr;  // per-capacitor V(a)-V(b) at t-dt
+};
+
+// Unknown layout: x[0..N-2] are voltages of nodes 1..N-1; x[N-1..] are source
+// branch currents (current delivered out of the + terminal).
+class System {
+ public:
+  explicit System(const Circuit& c)
+      : circuit_{c},
+        n_nodes_{c.node_count()},
+        n_unknowns_{(c.node_count() - 1) + c.vsources().size()} {}
+
+  [[nodiscard]] std::size_t unknowns() const { return n_unknowns_; }
+  [[nodiscard]] std::size_t voltage_index(NodeId n) const { return n - 1; }
+  [[nodiscard]] std::size_t branch_index(std::size_t src) const { return (n_nodes_ - 1) + src; }
+
+  [[nodiscard]] double volt(const std::vector<double>& x, NodeId n) const {
+    return n == kGroundNode ? 0.0 : x[voltage_index(n)];
+  }
+
+  // Assembles residual f(x) and Jacobian J(x).
+  void assemble(const AssemblyContext& ctx, const std::vector<double>& x, std::vector<double>& f,
+                DenseMatrix& jac) const {
+    std::fill(f.begin(), f.end(), 0.0);
+    jac.clear();
+
+    auto stamp_conductance = [&](NodeId a, NodeId b, double g, double extra_current) {
+      // current a->b: g*(va-vb) + extra_current
+      const double i = g * (volt(x, a) - volt(x, b)) + extra_current;
+      if (a != kGroundNode) {
+        f[voltage_index(a)] += i;
+        jac.at(voltage_index(a), voltage_index(a)) += g;
+        if (b != kGroundNode) jac.at(voltage_index(a), voltage_index(b)) -= g;
+      }
+      if (b != kGroundNode) {
+        f[voltage_index(b)] -= i;
+        jac.at(voltage_index(b), voltage_index(b)) += g;
+        if (a != kGroundNode) jac.at(voltage_index(b), voltage_index(a)) -= g;
+      }
+    };
+
+    for (const auto& r : circuit_.resistors()) stamp_conductance(r.a, r.b, 1.0 / r.ohms, 0.0);
+
+    if (ctx.include_caps) {
+      const auto& caps = circuit_.capacitors();
+      for (std::size_t i = 0; i < caps.size(); ++i) {
+        const auto& c = caps[i];
+        const double g = c.farads / ctx.dt;
+        const double prev = (*ctx.cap_prev)[i];
+        // Backward Euler companion: i = C/dt * (v_ab - v_ab_prev)
+        stamp_conductance(c.a, c.b, g, -g * prev);
+      }
+    }
+
+    // gmin from every non-ground node to ground.
+    for (NodeId n = 1; n < n_nodes_; ++n) {
+      f[voltage_index(n)] += ctx.gmin * volt(x, n);
+      jac.at(voltage_index(n), voltage_index(n)) += ctx.gmin;
+    }
+
+    // FETs: drain current Id flows drain -> source; numerical partials.
+    for (const auto& fe : circuit_.fets()) {
+      const double vd = volt(x, fe.drain);
+      const double vg = volt(x, fe.gate);
+      const double vs = volt(x, fe.source);
+      auto id_at = [&](double d, double g, double s) {
+        return units::in_amperes(
+            fe.fet.drain_current(units::volts(g - s), units::volts(d - s)));
+      };
+      const double id = id_at(vd, vg, vs);
+      constexpr double h = 1e-5;
+      const double did_dvd = (id_at(vd + h, vg, vs) - id_at(vd - h, vg, vs)) / (2 * h);
+      const double did_dvg = (id_at(vd, vg + h, vs) - id_at(vd, vg - h, vs)) / (2 * h);
+      const double did_dvs = (id_at(vd, vg, vs + h) - id_at(vd, vg, vs - h)) / (2 * h);
+
+      auto add_row = [&](NodeId node, double sign) {
+        if (node == kGroundNode) return;
+        const std::size_t r = voltage_index(node);
+        f[r] += sign * id;
+        if (fe.drain != kGroundNode) jac.at(r, voltage_index(fe.drain)) += sign * did_dvd;
+        if (fe.gate != kGroundNode) jac.at(r, voltage_index(fe.gate)) += sign * did_dvg;
+        if (fe.source != kGroundNode) jac.at(r, voltage_index(fe.source)) += sign * did_dvs;
+      };
+      add_row(fe.drain, +1.0);
+      add_row(fe.source, -1.0);
+    }
+
+    // Voltage sources: unknown branch current i (delivered out of +).
+    const auto& sources = circuit_.vsources();
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const auto& src = sources[s];
+      const std::size_t bi = branch_index(s);
+      const double i = x[bi];
+      if (src.pos != kGroundNode) {
+        f[voltage_index(src.pos)] -= i;  // injected into node
+        jac.at(voltage_index(src.pos), bi) -= 1.0;
+      }
+      if (src.neg != kGroundNode) {
+        f[voltage_index(src.neg)] += i;
+        jac.at(voltage_index(src.neg), bi) += 1.0;
+      }
+      const double target =
+          ctx.source_scale * units::in_volts(src.stimulus.at(units::seconds(ctx.time)));
+      f[bi] = volt(x, src.pos) - volt(x, src.neg) - target;
+      if (src.pos != kGroundNode) jac.at(bi, voltage_index(src.pos)) += 1.0;
+      if (src.neg != kGroundNode) jac.at(bi, voltage_index(src.neg)) -= 1.0;
+    }
+  }
+
+  /// Newton–Raphson from the given initial guess; returns iterations used or
+  /// -1 on divergence. x is updated in place.
+  int newton(const AssemblyContext& ctx, std::vector<double>& x) const {
+    std::vector<double> f(n_unknowns_);
+    DenseMatrix jac(n_unknowns_);
+    const std::size_t nv = n_nodes_ - 1;
+    for (int it = 1; it <= ctx.options.max_newton_iterations; ++it) {
+      assemble(ctx, x, f, jac);
+      std::vector<double> dx = f;  // solve J dx = f, then x -= dx
+      if (!jac.solve(dx)) return -1;
+      // Damp voltage updates to aid FET convergence.
+      double vmax = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) vmax = std::max(vmax, std::abs(dx[i]));
+      const double damp = vmax > 0.4 ? 0.4 / vmax : 1.0;
+      for (std::size_t i = 0; i < n_unknowns_; ++i) x[i] -= damp * dx[i];
+      if (!std::all_of(x.begin(), x.end(), [](double v) { return std::isfinite(v); })) return -1;
+      double dv = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) dv = std::max(dv, std::abs(dx[i]));
+      double res = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) res = std::max(res, std::abs(f[i]));
+      if (damp == 1.0 && dv < ctx.options.reltol && res < ctx.options.abstol * 1e3) return it;
+    }
+    return -1;
+  }
+
+ private:
+  const Circuit& circuit_;
+  std::size_t n_nodes_;
+  std::size_t n_unknowns_;
+};
+
+}  // namespace
+
+TransientResult::TransientResult(const Circuit& circuit, std::vector<Duration> time,
+                                 std::vector<std::vector<double>> node_volts,
+                                 std::vector<std::vector<double>> source_currents)
+    : circuit_{&circuit},
+      time_{std::move(time)},
+      node_volts_{std::move(node_volts)},
+      source_currents_{std::move(source_currents)} {}
+
+Waveform TransientResult::node(const std::string& name) const {
+  const NodeId id = circuit_->find_node(name);
+  Waveform w;
+  w.time = time_;
+  w.value.reserve(time_.size());
+  for (const auto& sample : node_volts_) w.value.push_back(id == kGroundNode ? 0.0 : sample[id - 1]);
+  return w;
+}
+
+Waveform TransientResult::source_current(const std::string& vsource_name) const {
+  const std::size_t idx = circuit_->vsource_index(vsource_name);
+  Waveform w;
+  w.time = time_;
+  w.value.reserve(time_.size());
+  for (const auto& sample : source_currents_) w.value.push_back(sample[idx]);
+  return w;
+}
+
+Energy TransientResult::source_energy(const std::string& vsource_name) const {
+  const std::size_t idx = circuit_->vsource_index(vsource_name);
+  const auto& src = circuit_->vsources()[idx];
+  double acc = 0.0;
+  for (std::size_t i = 1; i < time_.size(); ++i) {
+    auto power_at = [&](std::size_t k) {
+      const double vp = src.pos == kGroundNode ? 0.0 : node_volts_[k][src.pos - 1];
+      const double vn = src.neg == kGroundNode ? 0.0 : node_volts_[k][src.neg - 1];
+      return (vp - vn) * source_currents_[k][idx];
+    };
+    acc += 0.5 * (power_at(i) + power_at(i - 1)) * (time_[i].base() - time_[i - 1].base());
+  }
+  return units::joules(acc);
+}
+
+Simulator::Simulator(const Circuit& circuit, SimOptions options)
+    : circuit_{circuit}, options_{options} {
+  PPATC_EXPECT(circuit.node_count() >= 2, "circuit needs at least one non-ground node");
+}
+
+std::optional<DcResult> Simulator::dc_operating_point() const {
+  System sys{circuit_};
+  std::vector<double> x(sys.unknowns(), 0.0);
+
+  AssemblyContext ctx;
+  ctx.circuit = &circuit_;
+  ctx.options = options_;
+  ctx.gmin = options_.gmin;
+  ctx.include_caps = false;
+  ctx.time = 0.0;
+
+  int iters = sys.newton(ctx, x);
+  if (iters < 0) {
+    // gmin stepping: start with a heavy gmin and relax it geometrically.
+    std::fill(x.begin(), x.end(), 0.0);
+    double g = 1e-2;
+    bool ok = true;
+    for (int step = 0; step <= options_.gmin_steps; ++step) {
+      ctx.gmin = std::max(g, options_.gmin);
+      if (sys.newton(ctx, x) < 0) {
+        ok = false;
+        break;
+      }
+      g /= 10.0;
+    }
+    if (ok) {
+      ctx.gmin = options_.gmin;
+      iters = sys.newton(ctx, x);
+    }
+    if (!ok || iters < 0) {
+      // Source stepping: ramp all sources from zero.
+      std::fill(x.begin(), x.end(), 0.0);
+      ctx.gmin = options_.gmin;
+      for (int step = 1; step <= 10; ++step) {
+        ctx.source_scale = static_cast<double>(step) / 10.0;
+        if (sys.newton(ctx, x) < 0) return std::nullopt;
+      }
+      ctx.source_scale = 1.0;
+      iters = sys.newton(ctx, x);
+      if (iters < 0) return std::nullopt;
+    }
+  }
+
+  DcResult result;
+  result.newton_iterations = iters;
+  result.node_volts.assign(circuit_.node_count(), 0.0);
+  for (NodeId n = 1; n < circuit_.node_count(); ++n) result.node_volts[n] = x[n - 1];
+  result.source_currents.resize(circuit_.vsources().size());
+  for (std::size_t s = 0; s < circuit_.vsources().size(); ++s) {
+    result.source_currents[s] = x[sys.branch_index(s)];
+  }
+  return result;
+}
+
+std::optional<TransientResult> Simulator::transient(Duration stop, Duration step,
+                                                    bool from_ics) const {
+  PPATC_EXPECT(stop.base() > 0 && step.base() > 0, "transient needs positive stop and step");
+  PPATC_EXPECT(step < stop, "step must be smaller than stop time");
+
+  const auto dc = dc_operating_point();
+  if (!dc) return std::nullopt;
+
+  System sys{circuit_};
+  std::vector<double> x(sys.unknowns(), 0.0);
+  for (NodeId n = 1; n < circuit_.node_count(); ++n) x[n - 1] = dc->node_volts[n];
+  for (std::size_t s = 0; s < circuit_.vsources().size(); ++s) {
+    x[sys.branch_index(s)] = dc->source_currents[s];
+  }
+
+  // Per-capacitor state: V(a)-V(b) at the previous accepted time point.
+  std::vector<double> cap_prev(circuit_.capacitors().size());
+  for (std::size_t i = 0; i < circuit_.capacitors().size(); ++i) {
+    const auto& c = circuit_.capacitors()[i];
+    if (from_ics && c.has_initial) {
+      cap_prev[i] = c.initial_volts;
+    } else {
+      cap_prev[i] = dc->node_volts[c.a] - dc->node_volts[c.b];
+    }
+  }
+
+  AssemblyContext ctx;
+  ctx.circuit = &circuit_;
+  ctx.options = options_;
+  ctx.gmin = options_.gmin;
+  ctx.include_caps = true;
+  ctx.dt = step.base();
+  ctx.cap_prev = &cap_prev;
+
+  const std::size_t steps = static_cast<std::size_t>(std::ceil(stop.base() / step.base()));
+  std::vector<Duration> time;
+  std::vector<std::vector<double>> volts;
+  std::vector<std::vector<double>> currents;
+  time.reserve(steps + 1);
+  volts.reserve(steps + 1);
+  currents.reserve(steps + 1);
+
+  auto record = [&](double t) {
+    time.push_back(units::seconds(t));
+    std::vector<double> v(circuit_.node_count() - 1);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = x[i];
+    volts.push_back(std::move(v));
+    std::vector<double> c(circuit_.vsources().size());
+    for (std::size_t s = 0; s < c.size(); ++s) c[s] = x[sys.branch_index(s)];
+    currents.push_back(std::move(c));
+  };
+
+  record(0.0);
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const double t = std::min(static_cast<double>(k) * step.base(), stop.base());
+    ctx.time = t;
+    ctx.dt = t - time.back().base();
+    // Guard against a floating-point residue step at the stop time: a dt many
+    // orders below the nominal step would give the capacitor companions
+    // conductances ~1e9 S and wreck the Jacobian conditioning.
+    if (ctx.dt < 1e-6 * step.base()) break;
+    if (sys.newton(ctx, x) < 0) {
+      if (getenv("PPATC_SPICE_DEBUG")) fprintf(stderr, "newton fail at t=%g dt=%g\n", ctx.time, ctx.dt);
+      // One retry with two half steps (handles sharp source edges).
+      bool ok = true;
+      const double t_mid = time.back().base() + ctx.dt / 2.0;
+      for (const double tt : {t_mid, t}) {
+        ctx.time = tt;
+        ctx.dt = tt - (tt == t_mid ? time.back().base() : t_mid);
+        if (sys.newton(ctx, x) < 0) {
+          ok = false;
+          break;
+        }
+        if (tt == t_mid) {
+          for (std::size_t i = 0; i < cap_prev.size(); ++i) {
+            const auto& c = circuit_.capacitors()[i];
+            cap_prev[i] = sys.volt(x, c.a) - sys.volt(x, c.b);
+          }
+        }
+      }
+      if (!ok) return std::nullopt;
+    }
+    for (std::size_t i = 0; i < cap_prev.size(); ++i) {
+      const auto& c = circuit_.capacitors()[i];
+      cap_prev[i] = sys.volt(x, c.a) - sys.volt(x, c.b);
+    }
+    record(t);
+  }
+
+  return TransientResult{circuit_, std::move(time), std::move(volts), std::move(currents)};
+}
+
+}  // namespace ppatc::spice

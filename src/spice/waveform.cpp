@@ -1,0 +1,148 @@
+#include "ppatc/spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::spice {
+
+Stimulus Stimulus::dc(Voltage level) {
+  Stimulus s;
+  s.kind_ = Kind::kDc;
+  s.dc_ = level;
+  return s;
+}
+
+Stimulus Stimulus::pwl(std::vector<std::pair<Duration, Voltage>> points) {
+  PPATC_EXPECT(!points.empty(), "PWL stimulus needs at least one breakpoint");
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    PPATC_EXPECT(points[i - 1].first < points[i].first, "PWL breakpoints must be strictly increasing");
+  }
+  Stimulus s;
+  s.kind_ = Kind::kPwl;
+  s.points_ = std::move(points);
+  return s;
+}
+
+Stimulus Stimulus::pulse(Voltage v0, Voltage v1, Duration delay, Duration rise, Duration fall,
+                         Duration width, Duration period) {
+  PPATC_EXPECT(rise.base() >= 0 && fall.base() >= 0 && width.base() >= 0, "pulse edges must be non-negative");
+  PPATC_EXPECT(period.base() > 0, "pulse period must be positive");
+  PPATC_EXPECT(rise.base() + fall.base() + width.base() <= period.base(),
+               "pulse shape must fit within one period");
+  Stimulus s;
+  s.kind_ = Kind::kPulse;
+  s.v0_ = v0;
+  s.v1_ = v1;
+  s.delay_ = delay;
+  s.rise_ = rise;
+  s.fall_ = fall;
+  s.width_ = width;
+  s.period_ = period;
+  return s;
+}
+
+Voltage Stimulus::at(Duration t) const {
+  switch (kind_) {
+    case Kind::kDc:
+      return dc_;
+    case Kind::kPwl: {
+      if (t <= points_.front().first) return points_.front().second;
+      if (t >= points_.back().first) return points_.back().second;
+      for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].first) {
+          const double t0 = points_[i - 1].first.base();
+          const double t1 = points_[i].first.base();
+          const double v0 = points_[i - 1].second.base();
+          const double v1 = points_[i].second.base();
+          const double f = (t.base() - t0) / (t1 - t0);
+          return units::volts(v0 + f * (v1 - v0));
+        }
+      }
+      return points_.back().second;
+    }
+    case Kind::kPulse: {
+      const double tt = t.base() - delay_.base();
+      if (tt < 0) return v0_;
+      const double tp = std::fmod(tt, period_.base());
+      const double r = rise_.base();
+      const double w = width_.base();
+      const double f = fall_.base();
+      const double lo = v0_.base();
+      const double hi = v1_.base();
+      if (tp < r) return units::volts(lo + (hi - lo) * (r > 0 ? tp / r : 1.0));
+      if (tp < r + w) return v1_;
+      if (tp < r + w + f) return units::volts(hi - (hi - lo) * (f > 0 ? (tp - r - w) / f : 1.0));
+      return v0_;
+    }
+  }
+  return dc_;
+}
+
+Voltage Stimulus::dc_value() const {
+  switch (kind_) {
+    case Kind::kDc: return dc_;
+    case Kind::kPwl: return points_.front().second;
+    case Kind::kPulse: return v0_;
+  }
+  return dc_;
+}
+
+double Waveform::at(Duration t) const {
+  PPATC_EXPECT(!time.empty(), "empty waveform");
+  if (t <= time.front()) return value.front();
+  if (t >= time.back()) return value.back();
+  const auto it = std::lower_bound(time.begin(), time.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - time.begin());
+  const double t0 = time[i - 1].base();
+  const double t1 = time[i].base();
+  const double f = (t.base() - t0) / (t1 - t0);
+  return value[i - 1] + f * (value[i] - value[i - 1]);
+}
+
+double Waveform::final() const {
+  PPATC_EXPECT(!value.empty(), "empty waveform");
+  return value.back();
+}
+
+double Waveform::minimum() const {
+  PPATC_EXPECT(!value.empty(), "empty waveform");
+  return *std::min_element(value.begin(), value.end());
+}
+
+double Waveform::maximum() const {
+  PPATC_EXPECT(!value.empty(), "empty waveform");
+  return *std::max_element(value.begin(), value.end());
+}
+
+Duration cross_time(const Waveform& w, double threshold, Edge edge, int occurrence) {
+  PPATC_EXPECT(occurrence >= 1, "occurrence is 1-based");
+  int seen = 0;
+  for (std::size_t i = 1; i < w.value.size(); ++i) {
+    const double a = w.value[i - 1];
+    const double b = w.value[i];
+    const bool rising = a < threshold && b >= threshold;
+    const bool falling = a > threshold && b <= threshold;
+    const bool hit = (edge == Edge::kRise && rising) || (edge == Edge::kFall && falling) ||
+                     (edge == Edge::kEither && (rising || falling));
+    if (!hit) continue;
+    if (++seen == occurrence) {
+      const double f = (threshold - a) / (b - a);
+      const double t0 = w.time[i - 1].base();
+      const double t1 = w.time[i].base();
+      return units::seconds(t0 + f * (t1 - t0));
+    }
+  }
+  return units::seconds(-1.0);
+}
+
+double integrate(const Waveform& w) {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < w.value.size(); ++i) {
+    acc += 0.5 * (w.value[i] + w.value[i - 1]) * (w.time[i].base() - w.time[i - 1].base());
+  }
+  return acc;
+}
+
+}  // namespace ppatc::spice

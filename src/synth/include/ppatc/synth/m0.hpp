@@ -1,0 +1,89 @@
+// ppatc: analytic synthesis/place-and-route model of the Cortex-M0 block.
+//
+// The paper obtains the M0's energy per cycle and critical path from Cadence
+// Genus/Innovus runs over a sweep of target clock frequencies (100 MHz..1 GHz)
+// and ASAP7 VT flavors (Fig. 4). This substrate reproduces the same surface
+// analytically:
+//
+//   * gate delay per VT flavor from the virtual-source device models (FO4
+//     delay ~ C_load * VDD / I_EFF), with a fixed logic depth for the M0's
+//     critical path;
+//   * timing closure: a target clock is met only below f_max(VT); as the
+//     target approaches f_max the synthesizer upsizes gates and inserts
+//     buffers, raising switched capacitance — modeled with the standard
+//     sizing curve s(f) = 1 + k * x/(1-x), x = f/f_max;
+//   * leakage per VT from the device I_OFF, charged per cycle as P_leak/f.
+//
+// Calibration: the RVT point at 500 MHz reproduces the paper's 1.42 pJ/cycle
+// (Table II), and the block footprint reproduces the Table II die areas.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ppatc/common/units.hpp"
+#include "ppatc/device/library.hpp"
+
+namespace ppatc::synth {
+
+struct M0Options {
+  device::VtFlavor vt = device::VtFlavor::kRvt;
+  Voltage vdd = units::volts(0.7);
+  double logic_depth_fo4 = 83.0;     ///< critical path incl. single-cycle eDRAM round trip
+  double gate_count = 14000.0;        ///< synthesized gate equivalents
+  double avg_gate_width_um = 0.25;    ///< total transistor width per gate
+  double activity = 0.12;             ///< average switching activity
+  double sizing_strength = 0.35;      ///< k in s(f) = 1 + k x/(1-x)
+  /// Switched capacitance per gate equivalent (fF); calibrated so RVT at
+  /// 500 MHz lands on Table II's 1.42 pJ/cycle.
+  double switched_cap_per_gate_ff = 1.272;
+  /// Block footprint per gate equivalent (um^2), including bus fabric, clock
+  /// tree and whitespace; calibrated to the Table II die areas.
+  double area_per_gate_um2 = 3.607;
+};
+
+/// One synthesis run at a target clock.
+struct M0Synthesis {
+  bool timing_met = false;
+  Frequency fmax;                 ///< highest closable clock for this VT
+  Duration critical_path;         ///< at the target clock (after sizing)
+  Energy dynamic_energy_per_cycle;
+  Power leakage_power;
+  Energy energy_per_cycle;        ///< dynamic + leakage/f (the Fig. 4 y-axis)
+  Area area;
+};
+
+class M0Model {
+ public:
+  explicit M0Model(M0Options options = {});
+
+  [[nodiscard]] const M0Options& options() const { return options_; }
+
+  /// FO4 inverter delay for this VT flavor (from the device models).
+  [[nodiscard]] Duration fo4_delay() const;
+  /// Highest clock at which timing closes.
+  [[nodiscard]] Frequency fmax() const;
+  /// Synthesis at `target`; timing_met=false (with zeroed energies) above fmax.
+  [[nodiscard]] M0Synthesis synthesize(Frequency target) const;
+  /// Block footprint (VT-independent).
+  [[nodiscard]] Area area() const;
+  /// Leakage power of the block for this VT flavor.
+  [[nodiscard]] Power leakage_power() const;
+
+ private:
+  M0Options options_;
+};
+
+/// One point of the Fig. 4 sweep.
+struct SweepPoint {
+  device::VtFlavor vt;
+  Frequency fclk;
+  std::optional<M0Synthesis> result;  ///< nullopt if timing failed
+};
+
+/// The paper's Fig. 4 sweep: f from `lo` to `hi` in `step`, all VT flavors.
+[[nodiscard]] std::vector<SweepPoint> figure4_sweep(Frequency lo = units::megahertz(100),
+                                                    Frequency hi = units::megahertz(1000),
+                                                    Frequency step = units::megahertz(100));
+
+}  // namespace ppatc::synth

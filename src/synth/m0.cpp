@@ -1,0 +1,99 @@
+#include "ppatc/synth/m0.hpp"
+
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::synth {
+
+M0Model::M0Model(M0Options options) : options_{options} {
+  PPATC_EXPECT(options_.logic_depth_fo4 > 0 && options_.gate_count > 0, "model sizes must be positive");
+  PPATC_EXPECT(options_.activity > 0 && options_.activity <= 1.0, "activity must be in (0,1]");
+}
+
+Duration M0Model::fo4_delay() const {
+  // Fanout-of-4 inverter: the load is 4x the input gate capacitance plus a
+  // local-wire allowance; the drive is the N/P-averaged effective current.
+  const double w_um = 0.10;  // reference inverter width per device
+  const device::VirtualSourceFet n{device::silicon_finfet(device::Polarity::kNmos, options_.vt), w_um};
+  const device::VirtualSourceFet p{device::silicon_finfet(device::Polarity::kPmos, options_.vt),
+                                   1.3 * w_um};
+  const double c_in = units::in_farads(n.gate_capacitance()) + units::in_farads(p.gate_capacitance());
+  const double c_wire = 0.10e-15;  // 0.1 fF local wire
+  const double c_load = 4.0 * c_in + c_wire;
+  const double ieff =
+      0.5 * (units::in_amperes(n.effective_current(options_.vdd)) +
+             units::in_amperes(p.effective_current(options_.vdd)));
+  const double vdd = units::in_volts(options_.vdd);
+  // Average of rise/fall: t = C V / (2 I_eff) per edge, ~1.1x for slope.
+  return units::seconds(1.1 * c_load * vdd / (2.0 * ieff));
+}
+
+Frequency M0Model::fmax() const {
+  const double tmin = options_.logic_depth_fo4 * units::in_seconds(fo4_delay());
+  // 8% hold/setup/clock-uncertainty derate.
+  return units::hertz(1.0 / (tmin * 1.08));
+}
+
+Area M0Model::area() const {
+  return units::square_micrometres(options_.gate_count * options_.area_per_gate_um2);
+}
+
+Power M0Model::leakage_power() const {
+  const device::VirtualSourceFet n{
+      device::silicon_finfet(device::Polarity::kNmos, options_.vt), 1.0};
+  const device::VirtualSourceFet p{
+      device::silicon_finfet(device::Polarity::kPmos, options_.vt), 1.0};
+  const double ioff_per_um = 0.5 * (units::in_amperes(n.off_current(options_.vdd)) +
+                                    units::in_amperes(p.off_current(options_.vdd)));
+  const double total_w = options_.gate_count * options_.avg_gate_width_um;
+  // Half of the width leaks at any input state.
+  return units::watts(0.5 * total_w * ioff_per_um * units::in_volts(options_.vdd));
+}
+
+M0Synthesis M0Model::synthesize(Frequency target) const {
+  PPATC_EXPECT(units::in_hertz(target) > 0, "target clock must be positive");
+  M0Synthesis r;
+  r.fmax = fmax();
+  r.area = area();
+  const double x = target / r.fmax;
+  if (x >= 1.0) {
+    r.timing_met = false;
+    return r;
+  }
+  r.timing_met = true;
+  // After sizing, synthesis leaves ~4% slack at the target.
+  r.critical_path = period(target) * 0.96;
+
+  const double sizing = 1.0 + options_.sizing_strength * x / (1.0 - x);
+  const double vdd = units::in_volts(options_.vdd);
+  const double cap_f = options_.gate_count * options_.switched_cap_per_gate_ff * 1e-15;
+  r.dynamic_energy_per_cycle =
+      units::joules(options_.activity * cap_f * vdd * vdd * sizing);
+  r.leakage_power = leakage_power() * sizing;  // upsized gates leak more
+  r.energy_per_cycle = r.dynamic_energy_per_cycle + r.leakage_power * period(target);
+  return r;
+}
+
+std::vector<SweepPoint> figure4_sweep(Frequency lo, Frequency hi, Frequency step) {
+  PPATC_EXPECT(lo <= hi && units::in_hertz(step) > 0, "invalid sweep range");
+  std::vector<SweepPoint> out;
+  using device::VtFlavor;
+  for (const VtFlavor vt : {VtFlavor::kHvt, VtFlavor::kRvt, VtFlavor::kLvt, VtFlavor::kSlvt}) {
+    M0Options opt;
+    opt.vt = vt;
+    const M0Model model{opt};
+    for (double f = units::in_hertz(lo); f <= units::in_hertz(hi) * (1 + 1e-9);
+         f += units::in_hertz(step)) {
+      SweepPoint p;
+      p.vt = vt;
+      p.fclk = units::hertz(f);
+      const M0Synthesis s = model.synthesize(p.fclk);
+      if (s.timing_met) p.result = s;
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace ppatc::synth

@@ -1,0 +1,91 @@
+// ppatc: Embench-style workload kernels for the ISS.
+//
+// The paper's case study runs applications from the Embench-IoT suite on the
+// Cortex-M0 and extracts cycle counts and eDRAM access counts from RTL
+// simulation. Here each workload is re-implemented as a self-contained Thumb
+// assembly program (same algorithm and working-set scale as its Embench
+// counterpart, self-initializing via a deterministic LCG) together with a
+// native C++ reference model. The ISS result must match the reference
+// checksum exactly, which the test suite enforces — the access statistics
+// that feed the carbon model are therefore produced by verified executions.
+//
+// Absolute cycle counts differ from the paper (different compiler, hand
+// assembly): EXPERIMENTS.md reports paper-vs-measured for each.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ppatc/isa/cpu.hpp"
+
+namespace ppatc::workloads {
+
+struct Workload {
+  std::string name;          ///< Embench-style name, e.g. "matmult-int"
+  std::string description;
+  std::string assembly;      ///< Thumb source for ppatc::isa::assemble
+  std::uint32_t expected_checksum = 0;  ///< from the native reference model
+  std::uint64_t instruction_budget = 200'000'000;  ///< runaway guard
+};
+
+/// Outcome of executing a workload on the ISS.
+struct RunOutcome {
+  bool halted = false;
+  std::uint32_t checksum = 0;       ///< the program's MMIO exit value
+  bool checksum_ok = false;         ///< checksum == workload.expected_checksum
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  isa::AccessStats stats;           ///< memory accesses for the energy model
+};
+
+/// Assembles and runs a workload on a fresh system.
+[[nodiscard]] RunOutcome run_workload(const Workload& workload);
+
+// ---- the suite -------------------------------------------------------------
+
+/// Dense integer matrix multiply (Embench "matmult-int"): 20x20 int32,
+/// `repeats` passes. repeats=208 lands near the paper's ~20M-cycle scale.
+[[nodiscard]] Workload matmult_int(int repeats = 208);
+
+/// Table-driven CRC-32 over a 4 kB buffer (Embench "crc32").
+[[nodiscard]] Workload crc32(int repeats = 48);
+
+/// Vector multiply-accumulate / dot-product kernels (Embench "edn" core).
+[[nodiscard]] Workload edn(int repeats = 40);
+
+/// Integer LU decomposition with software division (Embench "ud").
+[[nodiscard]] Workload ud(int repeats = 120);
+
+/// Montgomery modular multiplication, 32-bit adaptation of Embench
+/// "aha-mont64" (the M0 has no 64-bit multiplier; a software mulhi is used).
+[[nodiscard]] Workload aha_mont(int repeats = 2200);
+
+/// Linked-list insertion sort + traversal (Embench "sglib-combined" flavor).
+[[nodiscard]] Workload sglib_list(int repeats = 28);
+
+/// Table-driven state machine (Embench "statemate" flavor).
+[[nodiscard]] Workload statemate(int repeats = 30);
+
+/// Sieve of Eratosthenes prime counting (Embench "primecount").
+[[nodiscard]] Workload primecount(int repeats = 40);
+
+/// Recursive quicksort of 256 uint32 (Embench "wikisort" flavor) — deep
+/// recursion and stack traffic.
+[[nodiscard]] Workload qsort_ints(int repeats = 24);
+
+/// Tiny recursive Fibonacci — not part of Embench; used by tests and docs.
+[[nodiscard]] Workload fib(int n = 15);
+
+/// All Embench-style workloads at their default scales (excludes fib).
+[[nodiscard]] std::vector<Workload> embench_suite();
+
+// ---- shared helpers (used by the reference models and generators) ----------
+
+/// The deterministic data generator both the assembly and reference use:
+/// x <- x * 1664525 + 1013904223.
+[[nodiscard]] constexpr std::uint32_t lcg_next(std::uint32_t x) {
+  return x * 1664525u + 1013904223u;
+}
+
+}  // namespace ppatc::workloads

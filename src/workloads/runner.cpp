@@ -1,0 +1,26 @@
+#include "ppatc/workloads/workload.hpp"
+
+#include "ppatc/isa/assembler.hpp"
+
+namespace ppatc::workloads {
+
+RunOutcome run_workload(const Workload& workload) {
+  const isa::Program program = isa::assemble(workload.assembly);
+  isa::Bus bus;
+  bus.load_program(0, program.bytes);
+  isa::Cpu cpu{bus};
+  // Stack at the top of data memory, growing down.
+  cpu.reset(program.entry, isa::kDataBase + isa::kDataSize - 16);
+  const auto run = cpu.run(workload.instruction_budget);
+
+  RunOutcome out;
+  out.halted = run.halted;
+  out.checksum = bus.exit_code();
+  out.checksum_ok = run.halted && out.checksum == workload.expected_checksum;
+  out.instructions = run.instructions;
+  out.cycles = run.cycles;
+  out.stats = bus.stats();
+  return out;
+}
+
+}  // namespace ppatc::workloads

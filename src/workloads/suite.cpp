@@ -1,0 +1,10 @@
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+std::vector<Workload> embench_suite() {
+  return {matmult_int(), crc32(),      edn(),        ud(),    aha_mont(),
+          sglib_list(),  statemate(), primecount(), qsort_ints()};
+}
+
+}  // namespace ppatc::workloads

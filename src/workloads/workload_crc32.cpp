@@ -1,0 +1,121 @@
+// Embench "crc32": table-driven CRC-32 over a 4 kB buffer.
+#include <array>
+#include <cstdint>
+
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB8'8320u;
+constexpr std::uint32_t kSeed = 0xC0FFEEu;
+constexpr int kBufWords = 1024;  // 4 kB
+
+std::uint32_t reference_checksum(int repeats) {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? kPoly ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  std::array<std::uint8_t, kBufWords * 4> buf{};
+  std::uint32_t x = kSeed;
+  for (int w = 0; w < kBufWords; ++w) {
+    x = lcg_next(x);
+    buf[4 * w + 0] = static_cast<std::uint8_t>(x);
+    buf[4 * w + 1] = static_cast<std::uint8_t>(x >> 8);
+    buf[4 * w + 2] = static_cast<std::uint8_t>(x >> 16);
+    buf[4 * w + 3] = static_cast<std::uint8_t>(x >> 24);
+  }
+  std::uint32_t crc = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    crc = 0xFFFF'FFFFu;
+    for (const std::uint8_t b : buf) crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+    crc ^= 0xFFFF'FFFFu;
+  }
+  return crc;
+}
+
+}  // namespace
+
+Workload crc32(int repeats) {
+  Workload w;
+  w.name = "crc32";
+  w.description = "table-driven CRC-32 over 4 kB, " + std::to_string(repeats) + " repeats";
+  w.expected_checksum = reference_checksum(repeats);
+  const std::string reps = std::to_string(repeats);
+  w.assembly = R"(
+.equ TABLE, 0x20000000        @ 256 words
+.equ BUF,   0x20000400        @ 4096 bytes
+.equ BUFEND,0x20001400
+.equ EXIT,  0x40000000
+
+_start:
+    sub sp, #8                @ [0]=reps
+    @ ---- build the CRC table ----
+    ldr r0, =TABLE
+    movs r1, #0               @ i
+tbl_i:
+    movs r2, r1               @ c = i
+    movs r3, #8
+    ldr r4, =0xEDB88320
+tbl_k:
+    movs r5, #1
+    ands r5, r2               @ c & 1
+    lsrs r2, r2, #1
+    cmp r5, #0
+    beq tbl_noxor
+    eors r2, r4
+tbl_noxor:
+    subs r3, r3, #1
+    bne tbl_k
+    stm r0!, {r2}
+    adds r1, r1, #1
+    cmp r1, #255
+    bls tbl_i
+
+    @ ---- fill the buffer with LCG words ----
+    ldr r0, =BUF
+    ldr r1, =0xC0FFEE
+    ldr r2, =1664525
+    ldr r3, =1013904223
+    ldr r4, =1024
+fill:
+    muls r1, r2
+    adds r1, r1, r3
+    stm r0!, {r1}
+    subs r4, r4, #1
+    bne fill
+
+    ldr r0, =)" + reps + R"(
+    str r0, [sp, #0]
+rep_loop:
+    ldr r0, =0xFFFFFFFF       @ crc
+    ldr r1, =BUF              @ ptr
+    ldr r2, =BUFEND
+    ldr r3, =TABLE
+byte_loop:
+    ldrb r4, [r1, #0]
+    adds r1, r1, #1
+    eors r4, r0               @ crc ^ byte
+    uxtb r4, r4
+    lsls r4, r4, #2
+    ldr r4, [r3, r4]          @ table entry
+    lsrs r0, r0, #8
+    eors r0, r4
+    cmp r1, r2
+    blo byte_loop
+    mvns r0, r0               @ crc ^= ~0
+    ldr r1, [sp, #0]
+    subs r1, r1, #1
+    str r1, [sp, #0]
+    bne rep_loop
+
+    ldr r1, =EXIT
+    str r0, [r1, #0]
+)";
+  return w;
+}
+
+}  // namespace ppatc::workloads

@@ -1,0 +1,123 @@
+// Embench "edn" flavor: int16 signal-processing kernels (dot product and
+// scaled vector multiply), exercising ldrsh/strh and the MAC pattern.
+#include <array>
+#include <cstdint>
+
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+namespace {
+
+constexpr int kLen = 256;
+constexpr std::uint32_t kSeed = 777;
+
+std::uint32_t reference_checksum(int repeats) {
+  std::array<std::int16_t, kLen> xs{};
+  std::array<std::int16_t, kLen> ys{};
+  std::uint32_t x = kSeed;
+  for (auto& v : xs) {
+    x = lcg_next(x);
+    v = static_cast<std::int16_t>(x & 0xFFFFu);
+  }
+  for (auto& v : ys) {
+    x = lcg_next(x);
+    v = static_cast<std::int16_t>(x & 0xFFFFu);
+  }
+  std::uint32_t checksum = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    // dot product
+    std::uint32_t dot = 0;
+    for (int i = 0; i < kLen; ++i) {
+      dot += static_cast<std::uint32_t>(static_cast<std::int32_t>(xs[i]) *
+                                        static_cast<std::int32_t>(ys[i]));
+    }
+    checksum += dot;
+    // vec_mpy: y[i] += (x[i] * 13) >> 4 (stored back as int16)
+    for (int i = 0; i < kLen; ++i) {
+      const std::int32_t t = (static_cast<std::int32_t>(xs[i]) * 13) >> 4;
+      ys[i] = static_cast<std::int16_t>(static_cast<std::int32_t>(ys[i]) + t);
+    }
+  }
+  return checksum;
+}
+
+}  // namespace
+
+Workload edn(int repeats) {
+  Workload w;
+  w.name = "edn";
+  w.description = "int16 dot-product + vec_mpy kernels, " + std::to_string(repeats) + " repeats";
+  w.expected_checksum = reference_checksum(repeats);
+  const std::string reps = std::to_string(repeats);
+  w.assembly = R"(
+.equ XS,   0x20000000         @ 256 int16
+.equ YS,   0x20000200
+.equ YEND, 0x20000400
+.equ EXIT, 0x40000000
+
+_start:
+    sub sp, #8                @ [0]=reps
+    @ ---- fill xs and ys (512 halfwords) ----
+    ldr r0, =XS
+    ldr r1, =777
+    ldr r2, =1664525
+    ldr r3, =1013904223
+    ldr r4, =512
+fill:
+    muls r1, r2
+    adds r1, r1, r3
+    strh r1, [r0, #0]
+    adds r0, #2
+    subs r4, r4, #1
+    bne fill
+
+    ldr r0, =)" + reps + R"(
+    str r0, [sp, #0]
+    movs r7, #0               @ checksum
+rep_loop:
+    @ ---- dot product ----
+    ldr r0, =XS
+    ldr r1, =YS
+    movs r2, #0               @ offset
+    movs r3, #0               @ acc
+dot_loop:
+    ldrsh r4, [r0, r2]
+    ldrsh r5, [r1, r2]
+    muls r4, r5
+    adds r3, r3, r4
+    adds r2, r2, #2
+    ldr r6, =512
+    cmp r2, r6
+    blo dot_loop
+    adds r7, r7, r3           @ checksum += dot
+
+    @ ---- vec_mpy: ys[i] += (xs[i] * 13) >> 4 ----
+    ldr r0, =XS
+    ldr r1, =YS
+    movs r2, #0
+vm_loop:
+    ldrsh r4, [r0, r2]
+    movs r5, #13
+    muls r4, r5
+    asrs r4, r4, #4
+    ldrsh r5, [r1, r2]
+    adds r5, r5, r4
+    strh r5, [r1, r2]         @ needs reg-offset store
+    adds r2, r2, #2
+    ldr r6, =512
+    cmp r2, r6
+    blo vm_loop
+
+    ldr r0, [sp, #0]
+    subs r0, r0, #1
+    str r0, [sp, #0]
+    bne rep_loop
+
+    ldr r1, =EXIT
+    str r7, [r1, #0]
+)";
+  return w;
+}
+
+}  // namespace ppatc::workloads

@@ -1,0 +1,47 @@
+// Recursive Fibonacci — exercises BL/BX, PUSH/POP and deep call stacks.
+#include <cstdint>
+
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+namespace {
+std::uint32_t fib_ref(std::uint32_t n) { return n < 2 ? n : fib_ref(n - 1) + fib_ref(n - 2); }
+}  // namespace
+
+Workload fib(int n) {
+  Workload w;
+  w.name = "fib";
+  w.description = "recursive fibonacci(" + std::to_string(n) + ")";
+  w.expected_checksum = fib_ref(static_cast<std::uint32_t>(n));
+  w.assembly = R"(
+.equ EXIT, 0x40000000
+
+_start:
+    movs r0, #)" + std::to_string(n) + R"(
+    bl fib
+    ldr r1, =EXIT
+    str r0, [r1, #0]
+
+@ uint32 fib(uint32 n) — recursive
+fib:
+    cmp r0, #2
+    bhs fib_rec
+    bx lr                     @ fib(0)=0, fib(1)=1
+fib_rec:
+    push {r4, lr}
+    movs r4, r0
+    subs r0, r0, #1
+    bl fib
+    movs r1, r0               @ save fib(n-1)
+    push {r1}
+    subs r0, r4, #2
+    bl fib
+    pop {r1}
+    adds r0, r0, r1
+    pop {r4, pc}
+)";
+  return w;
+}
+
+}  // namespace ppatc::workloads

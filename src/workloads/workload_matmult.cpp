@@ -1,0 +1,123 @@
+// Embench "matmult-int": dense 20x20 int32 matrix multiplication.
+#include <array>
+#include <cstdint>
+
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+namespace {
+
+constexpr int kN = 20;
+constexpr std::uint32_t kSeed = 12345;
+
+// Native reference model: identical data generation and arithmetic (uint32
+// wraparound) to the assembly program.
+std::uint32_t reference_checksum(int repeats) {
+  std::array<std::uint32_t, kN * kN> a{};
+  std::array<std::uint32_t, kN * kN> b{};
+  std::uint32_t x = kSeed;
+  for (auto& v : a) {
+    x = lcg_next(x);
+    v = x;
+  }
+  for (auto& v : b) {
+    x = lcg_next(x);
+    v = x;
+  }
+  std::uint32_t checksum = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (int i = 0; i < kN; ++i) {
+      for (int j = 0; j < kN; ++j) {
+        std::uint32_t acc = 0;
+        for (int k = 0; k < kN; ++k) acc += a[i * kN + k] * b[k * kN + j];
+        checksum += acc;
+      }
+    }
+  }
+  return checksum;
+}
+
+}  // namespace
+
+Workload matmult_int(int repeats) {
+  Workload w;
+  w.name = "matmult-int";
+  w.description = "20x20 int32 matrix multiply, " + std::to_string(repeats) + " repeats";
+  w.expected_checksum = reference_checksum(repeats);
+  const std::string reps = std::to_string(repeats);
+  w.assembly = R"(
+.equ DATA,   0x20000000       @ A at +0, B at +1600, C at +3200
+.equ BBASE,  0x20000640
+.equ CBASE,  0x20000C80
+.equ AEND,   0x20000640
+.equ EXIT,   0x40000000
+
+_start:
+    sub sp, #16               @ [0]=reps [4]=aRow [8]=bcol [12]=jn
+    @ ---- fill A and B (800 words) with the LCG ----
+    ldr r0, =DATA
+    ldr r1, =12345
+    ldr r2, =1664525
+    ldr r3, =1013904223
+    ldr r4, =800
+init:
+    muls r1, r2
+    adds r1, r1, r3
+    stm r0!, {r1}
+    subs r4, r4, #1
+    bne init
+
+    ldr r0, =)" + reps + R"(
+    str r0, [sp, #0]
+    movs r7, #0               @ checksum
+rep_loop:
+    ldr r4, =CBASE            @ C write pointer (row-major)
+    ldr r0, =DATA
+    str r0, [sp, #4]          @ aRow = &A[0][0]
+i_loop:
+    ldr r0, =BBASE
+    str r0, [sp, #8]          @ bcol = &B[0][j=0]
+    movs r0, #20
+    str r0, [sp, #12]         @ jn = N
+j_loop:
+    movs r0, #0               @ acc
+    ldr r1, [sp, #4]          @ aptr = aRow
+    ldr r2, [sp, #8]          @ bptr = bcol
+    movs r3, #20              @ k
+inner:
+    ldm r1!, {r5}             @ a[i][k]
+    ldr r6, [r2, #0]          @ b[k][j]
+    muls r5, r6
+    adds r0, r0, r5
+    adds r2, #80              @ bptr += N*4
+    subs r3, r3, #1
+    bne inner
+    stm r4!, {r0}             @ C[i][j] = acc
+    adds r7, r7, r0           @ checksum += acc
+    ldr r0, [sp, #8]
+    adds r0, #4
+    str r0, [sp, #8]          @ bcol += 4
+    ldr r0, [sp, #12]
+    subs r0, r0, #1
+    str r0, [sp, #12]
+    bne j_loop
+    ldr r0, [sp, #4]
+    adds r0, #80
+    str r0, [sp, #4]          @ aRow += N*4
+    ldr r1, =AEND
+    cmp r0, r1
+    blo i_loop
+    ldr r0, [sp, #0]
+    subs r0, r0, #1
+    str r0, [sp, #0]
+    bne rep_loop
+
+    ldr r1, =EXIT
+    str r7, [r1, #0]          @ exit(checksum)
+.ltorg
+)";
+  return w;
+}
+
+}  // namespace ppatc::workloads

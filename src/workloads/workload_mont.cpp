@@ -1,0 +1,139 @@
+// Embench "aha-mont64" flavor: Montgomery modular multiplication. The M0 has
+// only a 32x32->32 multiplier, so a software umul64 (four 16x16 partials with
+// carry propagation) provides the wide product — mirroring the __aeabi_lmul
+// helper calls in real Embench builds. Word size is 32 bits (documented
+// adaptation; the arithmetic structure is identical).
+#include <cstdint>
+
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+namespace {
+
+constexpr std::uint32_t kModulus = 0x3B9A'CA07u;  // odd, < 2^31 (final subtract stays in range)
+constexpr std::uint32_t kX0 = 0x0123'4567u % kModulus;
+constexpr std::uint32_t kY0 = 0x89AB'CDEFu % kModulus;
+
+// nprime = -n^{-1} mod 2^32 via Newton iteration.
+constexpr std::uint32_t nprime() {
+  std::uint32_t inv = kModulus;  // correct to 3 bits for odd n
+  for (int i = 0; i < 5; ++i) inv *= 2u - kModulus * inv;
+  return ~inv + 1u;  // -inv
+}
+
+std::uint32_t montmul_ref(std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t t = static_cast<std::uint64_t>(a) * b;
+  const std::uint32_t m = static_cast<std::uint32_t>(t) * nprime();
+  const std::uint64_t mn = static_cast<std::uint64_t>(m) * kModulus;
+  const std::uint64_t low_sum = static_cast<std::uint64_t>(static_cast<std::uint32_t>(t)) +
+                                static_cast<std::uint32_t>(mn);
+  std::uint64_t u = (t >> 32) + (mn >> 32) + (low_sum >> 32);
+  if (u >= kModulus) u -= kModulus;
+  return static_cast<std::uint32_t>(u);
+}
+
+std::uint32_t reference_checksum(int repeats) {
+  std::uint32_t x = kX0;
+  std::uint32_t y = kY0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    x = montmul_ref(x, y);
+    y = montmul_ref(y, x);
+  }
+  return x + y;
+}
+
+}  // namespace
+
+Workload aha_mont(int repeats) {
+  Workload w;
+  w.name = "aha-mont";
+  w.description = "Montgomery modular multiplication chain (32-bit adaptation of aha-mont64), " +
+                  std::to_string(repeats) + " repeats";
+  w.expected_checksum = reference_checksum(repeats);
+  const std::string reps = std::to_string(repeats);
+  const std::string n_str = std::to_string(kModulus);
+  const std::string np_str = std::to_string(nprime());
+  const std::string x0_str = std::to_string(kX0);
+  const std::string y0_str = std::to_string(kY0);
+  w.assembly = R"(
+.equ EXIT, 0x40000000
+
+_start:
+    sub sp, #16               @ [0]=reps [4]=x [8]=y
+    ldr r0, =)" + reps + R"(
+    str r0, [sp, #0]
+    ldr r0, =)" + x0_str + R"(
+    str r0, [sp, #4]
+    ldr r0, =)" + y0_str + R"(
+    str r0, [sp, #8]
+rep_loop:
+    ldr r0, [sp, #4]
+    ldr r1, [sp, #8]
+    bl montmul
+    str r0, [sp, #4]          @ x = montmul(x, y)
+    ldr r1, [sp, #4]
+    ldr r0, [sp, #8]
+    bl montmul
+    str r0, [sp, #8]          @ y = montmul(y, x)
+    ldr r0, [sp, #0]
+    subs r0, r0, #1
+    str r0, [sp, #0]
+    bne rep_loop
+    ldr r0, [sp, #4]
+    ldr r1, [sp, #8]
+    adds r0, r0, r1
+    ldr r1, =EXIT
+    str r0, [r1, #0]
+.ltorg
+
+@ montmul(r0 = a, r1 = b) -> r0 = a*b*R^-1 mod n. Clobbers r1-r6.
+montmul:
+    push {r4, r5, r6, r7, lr}
+    bl umul64                 @ r0 = t_lo, r1 = t_hi
+    movs r7, r1               @ t_hi (umul64 leaves r7 untouched)
+    push {r0}                 @ save t_lo
+    ldr r1, =)" + np_str + R"(
+    muls r0, r1               @ m = t_lo * nprime (mod 2^32)
+    ldr r1, =)" + n_str + R"(
+    bl umul64                 @ r0 = mn_lo, r1 = mn_hi
+    pop {r2}                  @ t_lo
+    adds r0, r0, r2           @ low halves; carry out
+    adcs r1, r7               @ u = mn_hi + t_hi + carry
+    movs r0, r1
+    ldr r1, =)" + n_str + R"(
+    cmp r0, r1
+    blo montmul_done
+    subs r0, r0, r1
+montmul_done:
+    pop {r4, r5, r6, r7, pc}
+.ltorg
+
+@ umul64(r0 = a, r1 = b) -> r0 = lo, r1 = hi. Clobbers r2-r6.
+umul64:
+    uxth r2, r0               @ al
+    lsrs r3, r0, #16          @ ah
+    uxth r4, r1               @ bl
+    lsrs r5, r1, #16          @ bh
+    movs r6, r2
+    muls r6, r4               @ ll = al*bl
+    muls r2, r5               @ lh = al*bh
+    muls r4, r3               @ hl = ah*bl
+    muls r3, r5               @ hh = ah*bh
+    adds r2, r2, r4           @ mid = lh + hl (carry -> hh += 1<<16)
+    bcc umul_nc
+    movs r4, #1
+    lsls r4, r4, #16
+    adds r3, r3, r4
+umul_nc:
+    lsls r4, r2, #16          @ mid << 16
+    lsrs r5, r2, #16          @ mid >> 16
+    adds r0, r6, r4           @ lo = ll + (mid<<16); carry out
+    adcs r5, r3               @ hi = hh + (mid>>16) + carry
+    movs r1, r5
+    bx lr
+)";
+  return w;
+}
+
+}  // namespace ppatc::workloads

@@ -1,0 +1,94 @@
+// Embench "primecount": sieve of Eratosthenes over [2, 4096), counting
+// primes — byte-array marking with quadratic inner strides.
+#include <array>
+#include <cstdint>
+
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+namespace {
+
+constexpr int kLimit = 4096;
+
+std::uint32_t reference_checksum(int repeats) {
+  std::uint32_t checksum = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::array<std::uint8_t, kLimit> composite{};
+    std::uint32_t count = 0;
+    for (std::uint32_t i = 2; i < kLimit; ++i) {
+      if (composite[i]) continue;
+      ++count;
+      for (std::uint32_t j = i * i; j < kLimit; j += i) composite[j] = 1;
+    }
+    checksum += count;
+  }
+  return checksum;
+}
+
+}  // namespace
+
+Workload primecount(int repeats) {
+  Workload w;
+  w.name = "primecount";
+  w.description = "sieve of Eratosthenes to 4096, " + std::to_string(repeats) + " repeats";
+  w.expected_checksum = reference_checksum(repeats);
+  const std::string reps = std::to_string(repeats);
+  w.assembly = R"(
+.equ SIEVE, 0x20000000        @ 4096 flag bytes
+.equ LIMIT, 4096
+.equ EXIT,  0x40000000
+
+_start:
+    sub sp, #8                @ [0]=reps
+    ldr r0, =)" + reps + R"(
+    str r0, [sp, #0]
+    movs r7, #0               @ checksum
+rep_loop:
+    @ ---- clear the sieve (1024 words) ----
+    ldr r0, =SIEVE
+    ldr r1, =1024
+    movs r2, #0
+clear:
+    stm r0!, {r2}
+    subs r1, r1, #1
+    bne clear
+
+    ldr r6, =SIEVE
+    movs r4, #0               @ count
+    movs r0, #2               @ i
+i_loop:
+    ldrb r1, [r6, r0]
+    cmp r1, #0
+    bne not_prime
+    adds r4, r4, #1           @ ++count
+    @ j = i*i; mark every multiple
+    movs r1, r0
+    muls r1, r0               @ j = i*i
+    ldr r3, =LIMIT
+    movs r5, #1
+mark:
+    cmp r1, r3
+    bhs not_prime
+    strb r5, [r6, r1]
+    adds r1, r1, r0           @ j += i
+    b mark
+not_prime:
+    adds r0, r0, #1
+    ldr r3, =LIMIT
+    cmp r0, r3
+    blo i_loop
+
+    adds r7, r7, r4           @ checksum += count
+    ldr r0, [sp, #0]
+    subs r0, r0, #1
+    str r0, [sp, #0]
+    bne rep_loop
+
+    ldr r1, =EXIT
+    str r7, [r1, #0]
+)";
+  return w;
+}
+
+}  // namespace ppatc::workloads

@@ -1,0 +1,144 @@
+// Embench "wikisort"-flavor kernel: recursive quicksort (Lomuto partition)
+// of 256 uint32 values — deep recursion, data-dependent branches, heavy
+// stack traffic.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+namespace {
+
+constexpr int kCount = 256;
+constexpr std::uint32_t kSeed = 97531;
+
+std::uint32_t reference_checksum(int repeats) {
+  std::uint32_t checksum = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::array<std::uint32_t, kCount> a{};
+    std::uint32_t x = kSeed;
+    for (auto& v : a) {
+      x = lcg_next(x);
+      v = x;
+    }
+    std::sort(a.begin(), a.end());  // values only; any correct sort matches
+    for (int i = 0; i < kCount; ++i) checksum += a[i] ^ static_cast<std::uint32_t>(i);
+  }
+  return checksum;
+}
+
+}  // namespace
+
+Workload qsort_ints(int repeats) {
+  Workload w;
+  w.name = "qsort";
+  w.description = "recursive quicksort of 256 uint32, " + std::to_string(repeats) + " repeats";
+  w.expected_checksum = reference_checksum(repeats);
+  const std::string reps = std::to_string(repeats);
+  w.assembly = R"(
+.equ DATA, 0x20000000         @ 256 words
+.equ DEND, 0x20000400
+.equ EXIT, 0x40000000
+
+_start:
+    sub sp, #8                @ [0]=reps
+    ldr r0, =)" + reps + R"(
+    str r0, [sp, #0]
+    movs r7, #0               @ checksum
+rep_loop:
+    @ ---- fill with LCG ----
+    ldr r0, =DATA
+    ldr r1, =97531
+    ldr r2, =1664525
+    ldr r3, =1013904223
+    movs r4, #0
+fill:
+    muls r1, r2
+    adds r1, r1, r3
+    stm r0!, {r1}
+    adds r4, r4, #1
+    cmp r4, #255
+    bls fill
+
+    @ ---- sort ----
+    ldr r0, =DATA
+    ldr r1, =DEND-4           @ inclusive last element
+    bl qsort
+
+    @ ---- order-sensitive checksum ----
+    ldr r0, =DATA
+    movs r4, #0               @ index
+sum:
+    ldm r0!, {r5}
+    eors r5, r4
+    adds r7, r7, r5
+    adds r4, r4, #1
+    cmp r4, #255
+    bls sum
+
+    ldr r0, [sp, #0]
+    subs r0, r0, #1
+    str r0, [sp, #0]
+    beq done
+    b rep_loop
+done:
+    ldr r1, =EXIT
+    str r7, [r1, #0]
+.ltorg
+
+@ qsort(r0 = lo ptr, r1 = hi ptr, both inclusive). Clobbers r2-r6.
+qsort:
+    cmp r0, r1
+    blo qs_go
+    bx lr
+qs_go:
+    push {r4, r5, r6, lr}
+    sub sp, #12               @ [0]=lo [4]=hi [8]=p
+    str r0, [sp, #0]
+    str r1, [sp, #4]
+    @ Lomuto partition with pivot = *hi
+    ldr r4, [r1, #0]          @ pivot value
+    movs r2, r0               @ store pointer (p)
+    movs r3, r0               @ scan pointer
+part_loop:
+    cmp r3, r1
+    bhs part_done
+    ldr r5, [r3, #0]
+    cmp r5, r4
+    bhs part_next             @ keep elements >= pivot on the right
+    ldr r6, [r2, #0]
+    str r5, [r2, #0]
+    str r6, [r3, #0]
+    adds r2, #4
+part_next:
+    adds r3, #4
+    b part_loop
+part_done:
+    ldr r5, [r2, #0]          @ swap *p <-> *hi (pivot into place)
+    str r4, [r2, #0]
+    str r5, [r1, #0]
+    str r2, [sp, #8]
+    @ left half: qsort(lo, p-4) when p > lo
+    ldr r0, [sp, #0]
+    ldr r1, [sp, #8]
+    cmp r1, r0
+    bls qs_right
+    subs r1, r1, #4
+    bl qsort
+qs_right:
+    ldr r0, [sp, #8]
+    adds r0, r0, #4
+    ldr r1, [sp, #4]
+    cmp r0, r1
+    bhi qs_out                @ p+4 > hi: nothing on the right
+    bl qsort
+qs_out:
+    add sp, #12
+    pop {r4, r5, r6, pc}
+)";
+  return w;
+}
+
+}  // namespace ppatc::workloads

@@ -1,0 +1,141 @@
+// Embench "sglib-combined" flavor: singly-linked-list insertion sort plus an
+// order-sensitive traversal checksum — pointer chasing with irregular access.
+#include <array>
+#include <cstdint>
+
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+namespace {
+
+constexpr int kNodes = 64;
+constexpr std::uint32_t kSeed = 31337;
+
+std::uint32_t reference_checksum(int repeats) {
+  // Node i: value at DATA + 8i, next pointer at DATA + 8i + 4 (address or 0).
+  std::array<std::uint32_t, kNodes> value{};
+  std::array<int, kNodes> next{};  // index or -1
+  std::uint32_t x = kSeed;
+  for (auto& v : value) {
+    x = lcg_next(x);
+    v = x;
+  }
+  std::uint32_t checksum = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    int head = -1;
+    for (int node = 0; node < kNodes; ++node) {
+      // Insert preserving non-decreasing order (unsigned compare).
+      int prev = -1;
+      int cur = head;
+      while (cur != -1 && value[cur] < value[node]) {
+        prev = cur;
+        cur = next[cur];
+      }
+      next[node] = cur;
+      if (prev == -1) {
+        head = node;
+      } else {
+        next[prev] = node;
+      }
+    }
+    std::uint32_t position = 0;
+    for (int cur = head; cur != -1; cur = next[cur]) {
+      checksum += value[cur] ^ position;
+      ++position;
+    }
+  }
+  return checksum;
+}
+
+}  // namespace
+
+Workload sglib_list(int repeats) {
+  Workload w;
+  w.name = "sglib-list";
+  w.description = "linked-list insertion sort + traversal (64 nodes), " +
+                  std::to_string(repeats) + " repeats";
+  w.expected_checksum = reference_checksum(repeats);
+  const std::string reps = std::to_string(repeats);
+  w.assembly = R"(
+.equ NODES, 0x20000000        @ 64 nodes x 8 bytes: value, next (0 = null)
+.equ NEND,  0x20000200
+.equ EXIT,  0x40000000
+
+_start:
+    sub sp, #8                @ [0]=reps [4]=head
+    @ ---- fill node values ----
+    ldr r0, =NODES
+    ldr r1, =31337
+    ldr r2, =1664525
+    ldr r3, =1013904223
+    movs r4, #64
+fillv:
+    muls r1, r2
+    adds r1, r1, r3
+    str r1, [r0, #0]
+    adds r0, #8
+    subs r4, r4, #1
+    bne fillv
+
+    ldr r0, =)" + reps + R"(
+    str r0, [sp, #0]
+    movs r7, #0               @ checksum
+rep_loop:
+    movs r0, #0
+    str r0, [sp, #4]          @ head = null
+    ldr r6, =NODES            @ node = first
+insert_loop:
+    @ walk: prev (r2) = 0, cur (r3) = head
+    movs r2, #0
+    ldr r3, [sp, #4]
+    ldr r4, [r6, #0]          @ value[node]
+walk:
+    cmp r3, #0
+    beq place
+    ldr r5, [r3, #0]          @ value[cur]
+    cmp r5, r4
+    bhs place                 @ stop at first value >= node's
+    movs r2, r3               @ prev = cur
+    ldr r3, [r3, #4]          @ cur = next[cur]
+    b walk
+place:
+    str r3, [r6, #4]          @ next[node] = cur
+    cmp r2, #0
+    bne link_prev
+    str r6, [sp, #4]          @ head = node
+    b placed
+link_prev:
+    str r6, [r2, #4]          @ next[prev] = node
+placed:
+    adds r6, #8               @ ++node
+    ldr r0, =NEND
+    cmp r6, r0
+    blo insert_loop
+
+    @ ---- traversal checksum ----
+    ldr r3, [sp, #4]          @ cur = head
+    movs r4, #0               @ position
+trav:
+    cmp r3, #0
+    beq trav_done
+    ldr r5, [r3, #0]
+    eors r5, r4
+    adds r7, r7, r5
+    adds r4, r4, #1
+    ldr r3, [r3, #4]
+    b trav
+trav_done:
+    ldr r0, [sp, #0]
+    subs r0, r0, #1
+    str r0, [sp, #0]
+    beq done
+    b rep_loop
+done:
+    ldr r1, =EXIT
+    str r7, [r1, #0]
+)";
+  return w;
+}
+
+}  // namespace ppatc::workloads

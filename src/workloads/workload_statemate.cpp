@@ -1,0 +1,106 @@
+// Embench "statemate" flavor: table-driven finite state machine with a
+// data-dependent, branch-free dispatch — dominated by dependent byte loads.
+#include <array>
+#include <cstdint>
+
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+namespace {
+
+constexpr int kStates = 64;
+constexpr int kInputs = 16;
+constexpr int kSteps = 4096;
+constexpr std::uint32_t kTableSeed = 909090;
+constexpr std::uint32_t kInputSeed = 606060;
+
+std::uint32_t reference_checksum(int repeats) {
+  std::array<std::uint8_t, kStates * kInputs> table{};
+  std::uint32_t x = kTableSeed;
+  for (auto& t : table) {
+    x = lcg_next(x);
+    t = static_cast<std::uint8_t>((x >> 16) & (kStates - 1));
+  }
+  std::uint32_t checksum = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::uint32_t state = 0;
+    std::uint32_t in = kInputSeed;
+    for (int s = 0; s < kSteps; ++s) {
+      in = lcg_next(in);
+      const std::uint32_t input = (in >> 8) & (kInputs - 1);
+      state = table[state * kInputs + input];
+      checksum += state;
+    }
+  }
+  return checksum;
+}
+
+}  // namespace
+
+Workload statemate(int repeats) {
+  Workload w;
+  w.name = "statemate";
+  w.description = "table-driven FSM (64 states x 16 inputs, 4096 steps), " +
+                  std::to_string(repeats) + " repeats";
+  w.expected_checksum = reference_checksum(repeats);
+  const std::string reps = std::to_string(repeats);
+  w.assembly = R"(
+.equ TABLE, 0x20000000        @ 1024 bytes
+.equ EXIT,  0x40000000
+
+_start:
+    sub sp, #8                @ [0]=reps
+    @ ---- fill the transition table ----
+    ldr r0, =TABLE
+    ldr r1, =909090
+    ldr r2, =1664525
+    ldr r3, =1013904223
+    ldr r4, =1024
+fillt:
+    muls r1, r2
+    adds r1, r1, r3
+    lsrs r5, r1, #16
+    movs r6, #63
+    ands r5, r6
+    strb r5, [r0, #0]
+    adds r0, #1
+    subs r4, r4, #1
+    bne fillt
+
+    ldr r0, =)" + reps + R"(
+    str r0, [sp, #0]
+    movs r7, #0               @ checksum
+rep_loop:
+    movs r0, #0               @ state
+    ldr r1, =606060           @ input LCG
+    ldr r2, =1664525
+    ldr r3, =1013904223
+    ldr r4, =4096             @ steps
+    ldr r6, =TABLE
+step_loop:
+    muls r1, r2
+    adds r1, r1, r3
+    lsrs r5, r1, #8
+    @ input = r5 & 15; index = state*16 + input
+    lsls r0, r0, #4
+    @ keep only the low 4 bits of r5 via shifts (r2/r3 hold LCG constants)
+    lsls r5, r5, #28
+    lsrs r5, r5, #28
+    adds r5, r5, r0
+    ldrb r0, [r6, r5]         @ state = table[index]
+    adds r7, r7, r0           @ checksum += state
+    subs r4, r4, #1
+    bne step_loop
+    ldr r0, [sp, #0]
+    subs r0, r0, #1
+    str r0, [sp, #0]
+    bne rep_loop
+
+    ldr r1, =EXIT
+    str r7, [r1, #0]
+)";
+  return w;
+}
+
+}  // namespace ppatc::workloads

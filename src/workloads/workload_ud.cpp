@@ -1,0 +1,188 @@
+// Embench "ud" flavor: in-place integer LU elimination on a 10x10 matrix,
+// using a software restoring divider (the M0 has no divide instruction; real
+// Embench builds call __aeabi_uidiv).
+#include <array>
+#include <cstdint>
+
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+
+namespace {
+
+constexpr int kN = 10;
+constexpr std::uint32_t kSeed = 4242;
+
+// Division semantics shared by the ISS program and the reference: x/0 yields
+// all-ones (the ISS routine returns 0xFFFFFFFF on zero divisors).
+std::uint32_t udiv(std::uint32_t a, std::uint32_t b) { return b == 0 ? 0xFFFF'FFFFu : a / b; }
+
+std::uint32_t reference_checksum(int repeats) {
+  std::array<std::uint32_t, kN * kN> m{};
+  std::uint32_t checksum = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::uint32_t x = kSeed;
+    for (auto& v : m) {
+      x = lcg_next(x);
+      v = x & 0xFFu;
+    }
+    for (int k = 0; k < kN; ++k) {
+      const std::uint32_t pivot = m[k * kN + k];
+      for (int i = k + 1; i < kN; ++i) {
+        const std::uint32_t f = udiv(m[i * kN + k], pivot);
+        for (int j = k; j < kN; ++j) m[i * kN + j] -= f * m[k * kN + j];
+      }
+    }
+    for (const auto v : m) checksum += v;
+  }
+  return checksum;
+}
+
+}  // namespace
+
+Workload ud(int repeats) {
+  Workload w;
+  w.name = "ud";
+  w.description = "10x10 integer LU elimination with software divide, " +
+                  std::to_string(repeats) + " repeats";
+  w.expected_checksum = reference_checksum(repeats);
+  const std::string reps = std::to_string(repeats);
+  w.assembly = R"(
+.equ MAT,  0x20000000          @ 10x10 uint32, row stride 40
+.equ MEND, 0x20000190
+.equ EXIT, 0x40000000
+
+_start:
+    sub sp, #16               @ [0]=reps [4]=k [8]=i [12]=pivot
+    ldr r0, =)" + reps + R"(
+    str r0, [sp, #0]
+    movs r7, #0               @ checksum
+
+rep_loop:
+    @ ---- (re)fill the matrix: 100 words of LCG & 0xFF ----
+    ldr r0, =MAT
+    ldr r1, =4242
+    ldr r2, =1664525
+    ldr r3, =1013904223
+    movs r4, #100
+fill:
+    muls r1, r2
+    adds r1, r1, r3
+    movs r5, #255
+    ands r5, r1
+    stm r0!, {r5}
+    subs r4, r4, #1
+    bne fill
+
+    @ ---- LU elimination ----
+    movs r0, #0
+    str r0, [sp, #4]          @ k = 0
+k_loop:
+    @ pivot = M[k][k]
+    ldr r0, [sp, #4]
+    movs r1, #44              @ k*44 = k*40 + k*4
+    muls r1, r0
+    ldr r2, =MAT
+    adds r2, r2, r1
+    ldr r3, [r2, #0]
+    str r3, [sp, #12]         @ pivot
+    @ i = k + 1
+    adds r0, r0, #1
+    str r0, [sp, #8]
+i_loop:
+    ldr r0, [sp, #8]
+    cmp r0, #10
+    bhs i_done
+    @ f = udiv(M[i][k], pivot)
+    movs r1, #40
+    muls r1, r0               @ i*40
+    ldr r2, [sp, #4]
+    lsls r3, r2, #2           @ k*4
+    adds r1, r1, r3
+    ldr r2, =MAT
+    adds r2, r2, r1           @ &M[i][k]
+    movs r6, r2               @ save row cursor
+    ldr r0, [r2, #0]
+    ldr r1, [sp, #12]
+    bl udiv32                 @ r0 = quotient, clobbers r1-r3
+    movs r4, r0               @ f
+    @ row update: for j = k..9: M[i][j] -= f * M[k][j]
+    movs r1, r6               @ pij = &M[i][k]
+    ldr r0, [sp, #4]
+    movs r2, #44
+    muls r2, r0
+    ldr r3, =MAT
+    adds r0, r3, r2           @ pkj = &M[k][k]
+    @ row k end = &M[k][0] + 40
+    ldr r2, [sp, #4]
+    movs r3, #40
+    muls r3, r2
+    ldr r2, =MAT
+    adds r2, r2, r3
+    adds r2, #40              @ end of row k
+j_loop:
+    ldr r3, [r0, #0]          @ M[k][j]
+    muls r3, r4
+    ldr r5, [r1, #0]          @ M[i][j]
+    subs r5, r5, r3
+    str r5, [r1, #0]
+    adds r0, #4
+    adds r1, #4
+    cmp r0, r2
+    blo j_loop
+    @ ++i
+    ldr r0, [sp, #8]
+    adds r0, r0, #1
+    str r0, [sp, #8]
+    b i_loop
+i_done:
+    ldr r0, [sp, #4]
+    adds r0, r0, #1
+    str r0, [sp, #4]
+    cmp r0, #10
+    blo k_loop
+
+    @ ---- checksum += sum of matrix ----
+    ldr r0, =MAT
+    ldr r1, =MEND
+sum_loop:
+    ldm r0!, {r2}
+    adds r7, r7, r2
+    cmp r0, r1
+    blo sum_loop
+
+    ldr r0, [sp, #0]
+    subs r0, r0, #1
+    str r0, [sp, #0]
+    beq done
+    b rep_loop
+done:
+    ldr r1, =EXIT
+    str r7, [r1, #0]
+.ltorg
+
+@ uint32 udiv32(r0 dividend, r1 divisor) -> r0 quotient; clobbers r2, r3.
+udiv32:
+    cmp r1, #0
+    bne udiv_ok
+    ldr r0, =0xFFFFFFFF
+    bx lr
+udiv_ok:
+    movs r2, #0               @ remainder
+    movs r3, #32
+udiv_loop:
+    adds r0, r0, r0           @ carry <- top bit of dividend/quotient
+    adcs r2, r2               @ remainder = remainder*2 + carry
+    cmp r2, r1
+    blo udiv_skip
+    subs r2, r2, r1
+    adds r0, r0, #1
+udiv_skip:
+    subs r3, r3, #1
+    bne udiv_loop
+    bx lr
+)";
+  return w;
+}
+
+}  // namespace ppatc::workloads

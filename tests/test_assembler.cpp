@@ -1,0 +1,276 @@
+// Tests for the two-pass Thumb assembler: exact encodings against
+// hand-assembled reference bytes, directives, literal pools, and diagnostics.
+#include <gtest/gtest.h>
+
+#include "ppatc/isa/assembler.hpp"
+
+namespace ppatc::isa {
+namespace {
+
+// Assembles a single instruction at address 0 and returns its first 16-bit
+// unit (little-endian).
+std::uint16_t encode_one(const std::string& insn) {
+  const Program p = assemble(insn + "\n");
+  EXPECT_GE(p.bytes.size(), 2u);
+  return static_cast<std::uint16_t>(p.bytes[0] | (p.bytes[1] << 8));
+}
+
+TEST(Encode, MovsImmediate) {
+  EXPECT_EQ(encode_one("movs r3, #7"), 0x2307u);
+  EXPECT_EQ(encode_one("movs r0, #255"), 0x20FFu);
+}
+
+TEST(Encode, CmpImmediate) { EXPECT_EQ(encode_one("cmp r1, #16"), 0x2910u); }
+
+TEST(Encode, AddSubImmediate8) {
+  EXPECT_EQ(encode_one("adds r2, #100"), 0x3264u);
+  EXPECT_EQ(encode_one("subs r5, #1"), 0x3D01u);
+}
+
+TEST(Encode, AddSubThreeOperand) {
+  EXPECT_EQ(encode_one("adds r0, r1, r2"), 0x1888u);
+  EXPECT_EQ(encode_one("subs r0, r1, r2"), 0x1A88u);
+  EXPECT_EQ(encode_one("adds r0, r1, #3"), 0x1CC8u);
+  EXPECT_EQ(encode_one("subs r0, r1, #3"), 0x1EC8u);
+}
+
+TEST(Encode, ShiftImmediates) {
+  EXPECT_EQ(encode_one("lsls r0, r1, #4"), 0x0108u);
+  EXPECT_EQ(encode_one("lsrs r2, r3, #12"), 0x0B1Au);
+  EXPECT_EQ(encode_one("asrs r4, r5, #31"), 0x17ECu);
+}
+
+TEST(Encode, DataProcessingRegister) {
+  EXPECT_EQ(encode_one("ands r0, r1"), 0x4008u);
+  EXPECT_EQ(encode_one("eors r0, r1"), 0x4048u);
+  EXPECT_EQ(encode_one("adcs r2, r3"), 0x415Au);
+  EXPECT_EQ(encode_one("sbcs r2, r3"), 0x419Au);
+  EXPECT_EQ(encode_one("rors r2, r3"), 0x41DAu);
+  EXPECT_EQ(encode_one("tst r0, r7"), 0x4238u);
+  EXPECT_EQ(encode_one("negs r0, r1"), 0x4248u);
+  EXPECT_EQ(encode_one("cmp r0, r1"), 0x4288u);
+  EXPECT_EQ(encode_one("cmn r0, r1"), 0x42C8u);
+  EXPECT_EQ(encode_one("orrs r0, r1"), 0x4308u);
+  EXPECT_EQ(encode_one("muls r0, r1"), 0x4348u);
+  EXPECT_EQ(encode_one("bics r0, r1"), 0x4388u);
+  EXPECT_EQ(encode_one("mvns r0, r1"), 0x43C8u);
+}
+
+TEST(Encode, HiRegisterOps) {
+  EXPECT_EQ(encode_one("mov r8, r1"), 0x4688u);   // rd=8 (H1), rm=1
+  EXPECT_EQ(encode_one("mov r1, r8"), 0x4641u);   // rm=8
+  EXPECT_EQ(encode_one("add r0, r8"), 0x4440u);
+  EXPECT_EQ(encode_one("bx lr"), 0x4770u);
+  EXPECT_EQ(encode_one("blx r3"), 0x4798u);
+}
+
+TEST(Encode, MovsRegisterIsLslsZero) { EXPECT_EQ(encode_one("movs r0, r1"), 0x0008u); }
+
+TEST(Encode, LoadStoreImmediate) {
+  EXPECT_EQ(encode_one("str r0, [r1, #4]"), 0x6048u);
+  EXPECT_EQ(encode_one("ldr r0, [r1, #4]"), 0x6848u);
+  EXPECT_EQ(encode_one("strb r2, [r3, #5]"), 0x715Au);
+  EXPECT_EQ(encode_one("ldrb r2, [r3, #5]"), 0x795Au);
+  EXPECT_EQ(encode_one("strh r4, [r5, #6]"), 0x80ECu);
+  EXPECT_EQ(encode_one("ldrh r4, [r5, #6]"), 0x88ECu);
+}
+
+TEST(Encode, LoadStoreRegisterOffset) {
+  EXPECT_EQ(encode_one("str r0, [r1, r2]"), 0x5088u);
+  EXPECT_EQ(encode_one("strh r0, [r1, r2]"), 0x5288u);
+  EXPECT_EQ(encode_one("strb r0, [r1, r2]"), 0x5488u);
+  EXPECT_EQ(encode_one("ldrsb r0, [r1, r2]"), 0x5688u);
+  EXPECT_EQ(encode_one("ldr r0, [r1, r2]"), 0x5888u);
+  EXPECT_EQ(encode_one("ldrh r0, [r1, r2]"), 0x5A88u);
+  EXPECT_EQ(encode_one("ldrb r0, [r1, r2]"), 0x5C88u);
+  EXPECT_EQ(encode_one("ldrsh r0, [r1, r2]"), 0x5E88u);
+}
+
+TEST(Encode, SpRelative) {
+  EXPECT_EQ(encode_one("str r1, [sp, #8]"), 0x9102u);
+  EXPECT_EQ(encode_one("ldr r1, [sp, #8]"), 0x9902u);
+  EXPECT_EQ(encode_one("add r1, sp, #16"), 0xA904u);
+  EXPECT_EQ(encode_one("add sp, #24"), 0xB006u);
+  EXPECT_EQ(encode_one("sub sp, #24"), 0xB086u);
+}
+
+TEST(Encode, PushPop) {
+  EXPECT_EQ(encode_one("push {r0, r1, r2}"), 0xB407u);
+  EXPECT_EQ(encode_one("push {r4-r7, lr}"), 0xB5F0u);
+  EXPECT_EQ(encode_one("pop {r0, r1, r2}"), 0xBC07u);
+  EXPECT_EQ(encode_one("pop {r4-r7, pc}"), 0xBDF0u);
+}
+
+TEST(Encode, StmLdm) {
+  EXPECT_EQ(encode_one("stm r0!, {r1, r2}"), 0xC006u);
+  EXPECT_EQ(encode_one("ldm r3!, {r0, r7}"), 0xCB81u);
+}
+
+TEST(Encode, ExtendAndReverse) {
+  EXPECT_EQ(encode_one("sxth r0, r1"), 0xB208u);
+  EXPECT_EQ(encode_one("sxtb r0, r1"), 0xB248u);
+  EXPECT_EQ(encode_one("uxth r0, r1"), 0xB288u);
+  EXPECT_EQ(encode_one("uxtb r0, r1"), 0xB2C8u);
+  EXPECT_EQ(encode_one("rev r0, r1"), 0xBA08u);
+  EXPECT_EQ(encode_one("rev16 r0, r1"), 0xBA48u);
+  EXPECT_EQ(encode_one("revsh r0, r1"), 0xBAC8u);
+}
+
+TEST(Encode, Misc) {
+  EXPECT_EQ(encode_one("nop"), 0xBF00u);
+  EXPECT_EQ(encode_one("svc 0"), 0xDF00u);
+  EXPECT_EQ(encode_one("svc 15"), 0xDF0Fu);
+}
+
+TEST(Encode, BranchOffsets) {
+  // b to itself: offset = -4 -> imm11 = 0x7FE.
+  const Program p = assemble("loop: b loop\n");
+  EXPECT_EQ(static_cast<std::uint16_t>(p.bytes[0] | (p.bytes[1] << 8)), 0xE7FEu);
+  // beq forward over one instruction: target = PC+4, offset 0 -> imm8 = 0.
+  const Program q = assemble("beq skip\nnop\nskip: nop\n");
+  EXPECT_EQ(static_cast<std::uint16_t>(q.bytes[0] | (q.bytes[1] << 8)), 0xD000u);
+  // ... and over two instructions: offset +2 -> imm8 = 1.
+  const Program r = assemble("beq skip\nnop\nnop\nskip: nop\n");
+  EXPECT_EQ(static_cast<std::uint16_t>(r.bytes[0] | (r.bytes[1] << 8)), 0xD001u);
+}
+
+TEST(Encode, BlPair) {
+  // bl to the next halfword pair: offset 0 from PC+4 means target = addr 4.
+  const Program p = assemble("bl next\nnext: nop\n");
+  const std::uint16_t hi = static_cast<std::uint16_t>(p.bytes[0] | (p.bytes[1] << 8));
+  const std::uint16_t lo = static_cast<std::uint16_t>(p.bytes[2] | (p.bytes[3] << 8));
+  EXPECT_EQ(hi, 0xF000u);
+  EXPECT_EQ(lo, 0xF800u);  // S=0 -> J1=J2=1, imm=0
+}
+
+TEST(Directives, WordAndSymbols) {
+  const Program p = assemble(R"(
+.equ MAGIC, 0x1234
+data:
+    .word MAGIC, 7, data
+)");
+  EXPECT_EQ(p.symbol("data"), 0u);
+  EXPECT_EQ(p.bytes[0] | (p.bytes[1] << 8), 0x1234);
+  EXPECT_EQ(p.bytes[4], 7);
+  EXPECT_EQ(p.bytes[8], 0);  // address of `data`
+}
+
+TEST(Directives, AlignPadsToBoundary) {
+  const Program p = assemble("nop\n.align 8\nlabel: nop\n");
+  EXPECT_EQ(p.symbol("label"), 8u);
+  EXPECT_EQ(p.bytes.size(), 10u);
+}
+
+TEST(Directives, SpaceReserves) {
+  const Program p = assemble("buf: .space 10\nafter: nop\n");
+  EXPECT_EQ(p.symbol("after"), 10u);
+}
+
+TEST(Directives, EntrySymbol) {
+  const Program p = assemble("nop\n_start: nop\n");
+  EXPECT_EQ(p.entry, 2u);
+  const Program q = assemble("nop\n");
+  EXPECT_EQ(q.entry, 0u);  // default when _start is absent
+}
+
+TEST(Literals, PoolPlacedAtLtorg) {
+  const Program p = assemble(R"(
+    ldr r0, =0xCAFEBABE
+    b over
+.ltorg
+over:
+    nop
+)");
+  // Layout: ldr(2) + b(2) -> pool at 4.
+  EXPECT_EQ(p.bytes[4] | (p.bytes[5] << 8) | (p.bytes[6] << 16)
+            | (static_cast<std::uint32_t>(p.bytes[7]) << 24), 0xCAFEBABEu);
+  // The ldr encodes offset (4 - Align(0+4,4))/4 = 0.
+  EXPECT_EQ(static_cast<std::uint16_t>(p.bytes[0] | (p.bytes[1] << 8)), 0x4800u);
+}
+
+TEST(Literals, ImplicitEndPool) {
+  const Program p = assemble("ldr r5, =1000000\n");
+  ASSERT_EQ(p.bytes.size(), 8u);  // insn + 2 pad + literal
+  EXPECT_EQ(p.bytes[4] | (p.bytes[5] << 8) | (p.bytes[6] << 16), 1000000);
+}
+
+TEST(Literals, SymbolLiterals) {
+  const Program p = assemble(R"(
+_start:
+    ldr r0, =target
+    nop
+target:
+    nop
+)");
+  // Literal holds the address of `target` (4).
+  EXPECT_EQ(p.bytes[8], 4);
+}
+
+TEST(Errors, ReportLineNumbers) {
+  try {
+    assemble("nop\nbogus r0, r1\n");
+    FAIL() << "should have thrown";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string{e.what()}.find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Errors, RangeChecks) {
+  EXPECT_THROW(assemble("movs r0, #256\n"), AsmError);
+  EXPECT_THROW(assemble("adds r0, r1, #8\n"), AsmError);
+  EXPECT_THROW(assemble("lsls r0, r1, #32\n"), AsmError);
+  EXPECT_THROW(assemble("str r0, [r1, #3]\n"), AsmError);     // unaligned word offset
+  EXPECT_THROW(assemble("str r0, [r1, #128]\n"), AsmError);   // too far
+  EXPECT_THROW(assemble("ldr r0, [sp, #1022]\n"), AsmError);  // not multiple of 4
+}
+
+TEST(Errors, BranchOutOfRange) {
+  std::string src = "beq far\n";
+  for (int i = 0; i < 200; ++i) src += "nop\n";
+  src += "far: nop\n";
+  EXPECT_THROW(assemble(src), AsmError);  // conditional range is +/-256
+}
+
+TEST(Errors, UnknownSymbol) { EXPECT_THROW(assemble("b nowhere\n"), AsmError); }
+
+TEST(Errors, DuplicateLabel) { EXPECT_THROW(assemble("a: nop\na: nop\n"), AsmError); }
+
+TEST(Errors, HighRegisterInLowEncoding) {
+  EXPECT_THROW(assemble("adds r8, r1, r2\n"), AsmError);
+  EXPECT_THROW(assemble("muls r0, r9\n"), AsmError);
+}
+
+TEST(Errors, BadRegisterLists) {
+  EXPECT_THROW(assemble("push {pc}\n"), AsmError);
+  EXPECT_THROW(assemble("pop {lr}\n"), AsmError);
+  EXPECT_THROW(assemble("stm r0!, {lr}\n"), AsmError);
+  EXPECT_THROW(assemble("push {r5-r2}\n"), AsmError);
+}
+
+TEST(Errors, UnknownDirective) { EXPECT_THROW(assemble(".bogus 4\n"), AsmError); }
+
+TEST(Syntax, CommentsAndLabelsOnSameLine) {
+  const Program p = assemble(R"(
+start: movs r0, #1   @ comment
+next:  movs r1, #2   ; another
+       movs r2, #3   // and another
+)");
+  EXPECT_EQ(p.symbol("start"), 0u);
+  EXPECT_EQ(p.symbol("next"), 2u);
+  EXPECT_EQ(p.bytes.size(), 6u);
+}
+
+TEST(Syntax, CaseInsensitiveMnemonicsAndRegisters) {
+  EXPECT_EQ(encode_one("MOVS R3, #7"), 0x2307u);
+  EXPECT_EQ(encode_one("PUSH {R0, LR}"), 0xB501u);
+}
+
+TEST(Syntax, NumericBases) {
+  EXPECT_EQ(encode_one("movs r0, #0x2A"), 0x202Au);
+  EXPECT_EQ(encode_one("movs r0, #052"), 0x202Au);  // octal
+  EXPECT_EQ(encode_one("movs r0, #'*'"), 0x202Au);
+}
+
+}  // namespace
+}  // namespace ppatc::isa

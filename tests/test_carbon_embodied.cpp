@@ -1,0 +1,195 @@
+// Tests for grids, materials (MPA), and the embodied-carbon model (Eq. 2-3),
+// pinned to the paper's Fig. 2c / Table II anchors.
+#include <gtest/gtest.h>
+
+#include "ppatc/carbon/embodied.hpp"
+#include "ppatc/carbon/flows.hpp"
+#include "ppatc/carbon/grid.hpp"
+#include "ppatc/carbon/materials.hpp"
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+namespace {
+
+using namespace ppatc::units;
+
+TEST(Grids, Figure2cValues) {
+  EXPECT_DOUBLE_EQ(in_grams_per_kilowatt_hour(grids::us().intensity), 380.0);
+  EXPECT_DOUBLE_EQ(in_grams_per_kilowatt_hour(grids::coal().intensity), 820.0);
+  EXPECT_DOUBLE_EQ(in_grams_per_kilowatt_hour(grids::solar().intensity), 48.0);
+  EXPECT_DOUBLE_EQ(in_grams_per_kilowatt_hour(grids::taiwan().intensity), 563.0);
+  EXPECT_EQ(grids::figure2c().size(), 4u);
+}
+
+TEST(Diurnal, FlatProfileIsFlat) {
+  const auto d = DiurnalIntensity::flat(grams_per_kilowatt_hour(380.0));
+  EXPECT_DOUBLE_EQ(in_grams_per_kilowatt_hour(d.at_hour(3.0)), 380.0);
+  EXPECT_DOUBLE_EQ(in_grams_per_kilowatt_hour(d.mean_over_window(20.0, 22.0)), 380.0);
+  EXPECT_DOUBLE_EQ(in_grams_per_kilowatt_hour(d.daily_mean()), 380.0);
+}
+
+TEST(Diurnal, EveningPeakRaisesWindowMean) {
+  const auto d = DiurnalIntensity::with_evening_peak(grams_per_kilowatt_hour(380.0), 0.3);
+  const double evening = in_grams_per_kilowatt_hour(d.mean_over_window(20.0, 22.0));
+  const double morning = in_grams_per_kilowatt_hour(d.mean_over_window(4.0, 6.0));
+  EXPECT_GT(evening, morning);
+  EXPECT_GT(evening, 380.0);
+  // Mean over the whole day sits between the two.
+  const double daily = in_grams_per_kilowatt_hour(d.daily_mean());
+  EXPECT_GT(daily, morning);
+  EXPECT_LT(daily, evening);
+}
+
+TEST(Diurnal, WindowValidation) {
+  const auto d = DiurnalIntensity::flat(grams_per_kilowatt_hour(380.0));
+  EXPECT_THROW((void)d.mean_over_window(-1.0, 5.0), ContractViolation);
+  EXPECT_THROW((void)d.mean_over_window(5.0, 5.0), ContractViolation);
+  EXPECT_THROW((void)d.mean_over_window(5.0, 25.0), ContractViolation);
+  EXPECT_THROW((void)d.at_hour(24.0), ContractViolation);
+}
+
+TEST(Diurnal, HourlyProfileExact) {
+  std::array<CarbonIntensity, 24> h{};
+  for (int i = 0; i < 24; ++i) h[i] = grams_per_kilowatt_hour(100.0 + i);
+  const auto d = DiurnalIntensity::hourly(h);
+  EXPECT_DOUBLE_EQ(in_grams_per_kilowatt_hour(d.at_hour(5.5)), 105.0);
+  EXPECT_DOUBLE_EQ(in_grams_per_kilowatt_hour(d.mean_over_window(20.0, 22.0)), 120.5);
+}
+
+TEST(Materials, SiWaferMpaMatchesPaper) {
+  // 500 gCO2e/cm^2 -> ~3.5e5 g per 300 mm wafer.
+  const Carbon per_wafer = silicon_wafer_mpa() * wafer_300mm_area();
+  EXPECT_NEAR(in_grams_co2e(per_wafer), 3.5e5, 0.05e5);
+}
+
+TEST(Materials, CntMassIsPicogramScalePerDie) {
+  // Paper: "total CNT mass per wafer in our design is on the order of
+  // picograms" per die-scale area; per wafer it is nanogram scale.
+  const Mass m = cnt_mass_per_wafer(CntFilmSpec{}, wafer_300mm_area());
+  EXPECT_GT(in_grams(m), 0.0);
+  EXPECT_LT(in_grams(m), 1e-3);  // far below a milligram per wafer
+}
+
+TEST(Materials, CntMpaNegligibleVsWafer) {
+  const CarbonPerArea cnt = cnt_mpa(CntFilmSpec{}, wafer_300mm_area());
+  EXPECT_LT(in_grams_per_square_centimetre(cnt),
+            1e-3 * in_grams_per_square_centimetre(silicon_wafer_mpa()));
+}
+
+TEST(Materials, CntMassScalesWithTiersAndDensity) {
+  CntFilmSpec one;
+  one.tiers = 1;
+  CntFilmSpec two;
+  two.tiers = 2;
+  const Area w = wafer_300mm_area();
+  EXPECT_NEAR(2.0 * in_grams(cnt_mass_per_wafer(one, w)), in_grams(cnt_mass_per_wafer(two, w)),
+              1e-18);
+  CntFilmSpec dense;
+  dense.cnts_per_um = 400.0;
+  EXPECT_NEAR(in_grams(cnt_mass_per_wafer(dense, w)),
+              2.0 * in_grams(cnt_mass_per_wafer(CntFilmSpec{}, w)), 1e-18);
+}
+
+TEST(Materials, IgzoMpaSmall) {
+  const CarbonPerArea igzo = igzo_mpa(IgzoFilmSpec{});
+  EXPECT_GT(in_grams_per_square_centimetre(igzo), 0.0);
+  EXPECT_LT(in_grams_per_square_centimetre(igzo),
+            0.01 * in_grams_per_square_centimetre(silicon_wafer_mpa()));
+}
+
+TEST(Materials, SpecValidation) {
+  CntFilmSpec bad;
+  bad.coverage_fraction = 1.5;
+  EXPECT_THROW((void)cnt_mass_per_wafer(bad, wafer_300mm_area()), ContractViolation);
+  IgzoFilmSpec bad2;
+  bad2.deposition_yield = 0.0;
+  EXPECT_THROW((void)igzo_mpa(bad2), ContractViolation);
+}
+
+TEST(Embodied, WaferAreaIs706cm2) {
+  EXPECT_NEAR(in_square_centimetres(wafer_300mm_area()), 706.86, 0.01);
+}
+
+TEST(Embodied, GpaScalesWithEpaRatio) {
+  // Eq. 3: GPA = GPA_iN7 * EPA/EPA_iN7.
+  const auto si = all_si_embodied_model();
+  const double epa_ratio = si.energy_per_wafer() / in7_reference_energy_per_wafer();
+  EXPECT_NEAR(in_grams_per_square_centimetre(si.gpa()),
+              200.0 * epa_ratio, 0.2);
+}
+
+TEST(Embodied, PerWaferAnchorsUsGrid) {
+  // Table II: 837 kg (all-Si), 1100 kg (M3D) on the U.S. grid.
+  const auto si = all_si_embodied_model();
+  const auto m3d = m3d_embodied_model();
+  EXPECT_NEAR(in_kilograms_co2e(si.carbon_per_wafer(grids::us())), 837.0, 4.0);
+  EXPECT_NEAR(in_kilograms_co2e(m3d.carbon_per_wafer(grids::us())), 1100.0, 5.0);
+}
+
+TEST(Embodied, Figure2cAllGrids) {
+  const auto si = all_si_embodied_model();
+  const auto m3d = m3d_embodied_model();
+  const struct {
+    Grid grid;
+    double si_kg, m3d_kg;
+  } expected[] = {
+      {grids::us(), 837.0, 1100.0},
+      {grids::coal(), 1267.0, 1765.0},
+      {grids::solar(), 512.0, 598.0},
+      {grids::taiwan(), 1016.0, 1377.0},
+  };
+  for (const auto& e : expected) {
+    EXPECT_NEAR(in_kilograms_co2e(si.carbon_per_wafer(e.grid)), e.si_kg, 6.0) << e.grid.name;
+    EXPECT_NEAR(in_kilograms_co2e(m3d.carbon_per_wafer(e.grid)), e.m3d_kg, 8.0) << e.grid.name;
+  }
+}
+
+TEST(Embodied, AverageRatioIs1p31) {
+  // The paper's headline: 1.31x higher per wafer on average across grids.
+  const auto si = all_si_embodied_model();
+  const auto m3d = m3d_embodied_model();
+  double sum = 0.0;
+  for (const auto& g : grids::figure2c()) {
+    sum += m3d.carbon_per_wafer(g) / si.carbon_per_wafer(g);
+  }
+  EXPECT_NEAR(sum / 4.0, 1.31, 0.01);
+}
+
+TEST(Embodied, BreakdownSumsToTotal) {
+  const auto m3d = m3d_embodied_model();
+  const auto b = m3d.per_wafer(grids::us());
+  EXPECT_NEAR(in_grams_co2e(b.total()),
+              in_grams_co2e(b.materials + b.gases + b.fab_energy), 1e-6);
+  EXPECT_GT(b.materials, Carbon{});
+  EXPECT_GT(b.gases, Carbon{});
+  EXPECT_GT(b.fab_energy, Carbon{});
+}
+
+TEST(Embodied, FabEnergyTermIncludesFacilityOverhead) {
+  const auto si = all_si_embodied_model();
+  const auto b = si.per_wafer(grids::us());
+  const Carbon raw = grids::us().intensity * si.energy_per_wafer();
+  EXPECT_NEAR(in_grams_co2e(b.fab_energy), kFacilityOverhead * in_grams_co2e(raw), 1.0);
+}
+
+TEST(Embodied, SolarGridMinimizesFabEnergyShare) {
+  const auto m3d = m3d_embodied_model();
+  const auto solar = m3d.per_wafer(grids::solar());
+  const auto coal = m3d.per_wafer(grids::coal());
+  // Materials+gases are grid-independent; only fab energy moves.
+  EXPECT_DOUBLE_EQ(in_grams_co2e(solar.materials), in_grams_co2e(coal.materials));
+  EXPECT_DOUBLE_EQ(in_grams_co2e(solar.gases), in_grams_co2e(coal.gases));
+  EXPECT_LT(solar.fab_energy, coal.fab_energy);
+}
+
+TEST(Embodied, M3dMpaIncludesEmergingMaterialAdders) {
+  const auto si = all_si_embodied_model();
+  const auto m3d = m3d_embodied_model();
+  EXPECT_GT(m3d.mpa(), si.mpa());
+  // ... but the adder is tiny (picogram CNT masses).
+  EXPECT_LT(in_grams_per_square_centimetre(m3d.mpa() - si.mpa()),
+            0.01 * in_grams_per_square_centimetre(si.mpa()));
+}
+
+}  // namespace
+}  // namespace ppatc::carbon

@@ -1,0 +1,193 @@
+// Tests for the process-step taxonomy, step-energy table, and the two
+// fabrication flows (paper Sec. II-C / Eq. 4).
+#include <gtest/gtest.h>
+
+#include "ppatc/carbon/flows.hpp"
+#include "ppatc/carbon/process_flow.hpp"
+#include "ppatc/carbon/process_step.hpp"
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+namespace {
+
+using namespace ppatc::units;
+
+TEST(StepEnergyTable, PaperWorkedExampleDepositionStep) {
+  // Paper: 3 deposition steps totalling 4 kWh -> 1.33 kWh/step.
+  const auto t = StepEnergyTable::calibrated();
+  EXPECT_NEAR(in_kilowatt_hours(t.step_energy(ProcessArea::kDeposition)), 4.0 / 3.0, 1e-9);
+}
+
+TEST(StepEnergyTable, LithographyRequiresClass) {
+  const auto t = StepEnergyTable::calibrated();
+  EXPECT_THROW((void)t.step_energy(ProcessArea::kLithography), ContractViolation);
+  EXPECT_THROW((void)t.litho_energy(LithoClass::kNone), ContractViolation);
+  EXPECT_GT(in_kilowatt_hours(t.litho_energy(LithoClass::kEuv36nm)), 0.0);
+}
+
+TEST(StepEnergyTable, FinerPitchCostsMoreExposure) {
+  const auto t = StepEnergyTable::calibrated();
+  EXPECT_GE(t.litho_energy(LithoClass::kEuv36nm), t.litho_energy(LithoClass::kEuv42nm));
+  EXPECT_GE(t.litho_energy(LithoClass::kEuv42nm), t.litho_energy(LithoClass::kDuv193i64nm));
+  EXPECT_GE(t.litho_energy(LithoClass::kDuv193i64nm), t.litho_energy(LithoClass::kDuv193i80nm));
+}
+
+TEST(StepEnergyTable, SettersRoundTrip) {
+  auto t = StepEnergyTable::calibrated();
+  t.set_step_energy(ProcessArea::kDryEtch, kilowatt_hours(2.5));
+  EXPECT_DOUBLE_EQ(in_kilowatt_hours(t.step_energy(ProcessArea::kDryEtch)), 2.5);
+  t.set_litho_energy(LithoClass::kEuv36nm, kilowatt_hours(20.0));
+  EXPECT_DOUBLE_EQ(in_kilowatt_hours(t.litho_energy(LithoClass::kEuv36nm)), 20.0);
+  EXPECT_THROW(t.set_step_energy(ProcessArea::kLithography, kilowatt_hours(1.0)),
+               ContractViolation);
+  EXPECT_THROW(t.set_litho_energy(LithoClass::kNone, kilowatt_hours(1.0)), ContractViolation);
+  EXPECT_THROW(t.set_step_energy(ProcessArea::kDryEtch, kilowatt_hours(-1.0)), ContractViolation);
+}
+
+TEST(ProcessFlow, StepValidation) {
+  ProcessFlow f{"t"};
+  EXPECT_THROW(f.add_step(ProcessArea::kDryEtch, 0, "zero"), ContractViolation);
+  EXPECT_THROW(f.add_step(ProcessArea::kDryEtch, 1, "has litho", LithoClass::kEuv36nm),
+               ContractViolation);
+  EXPECT_THROW(f.add_step(ProcessArea::kLithography, 1, "missing litho"), ContractViolation);
+}
+
+TEST(ProcessFlow, MetalViaPairComposition) {
+  ProcessFlow f{"t"};
+  f.add_metal_via_pair(MetalPitch::k36nm, "M1");
+  const auto counts = f.step_count_by_area();
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kLithography)], 1);
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kDryEtch)], 4);
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kDeposition)], 3);
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kMetallization)], 2);
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kWetEtch)], 2);
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kMetrology)], 5);
+}
+
+TEST(ProcessFlow, PairEnergiesByPitch) {
+  const auto t = StepEnergyTable::calibrated();
+  const auto pair_energy = [&](MetalPitch p) {
+    ProcessFlow f{"t"};
+    f.add_metal_via_pair(p, "M");
+    return in_kilowatt_hours(f.energy_per_wafer(t));
+  };
+  EXPECT_NEAR(pair_energy(MetalPitch::k36nm), 29.32, 0.01);
+  EXPECT_NEAR(pair_energy(MetalPitch::k48nm), 29.27, 0.01);
+  EXPECT_NEAR(pair_energy(MetalPitch::k64nm), 29.10, 0.01);
+  EXPECT_NEAR(pair_energy(MetalPitch::k80nm), 29.10, 0.01);
+}
+
+TEST(ProcessFlow, LumpedEnergyAdds) {
+  ProcessFlow f{"t"};
+  f.add_lumped(kilowatt_hours(100.0), "FEOL");
+  f.add_lumped(kilowatt_hours(36.0), "extra");
+  const auto t = StepEnergyTable::calibrated();
+  EXPECT_NEAR(in_kilowatt_hours(f.energy_per_wafer(t)), 136.0, 1e-9);
+  EXPECT_NEAR(in_kilowatt_hours(f.lumped_energy_per_wafer()), 136.0, 1e-9);
+  EXPECT_NEAR(in_kilowatt_hours(f.step_energy_per_wafer(t)), 0.0, 1e-12);
+}
+
+TEST(ProcessFlow, EnergyByAreaSumsToStepEnergy) {
+  const ProcessFlow f = all_si_7nm_flow();
+  const auto t = StepEnergyTable::calibrated();
+  const auto by_area = f.energy_by_area(t);
+  Energy sum{};
+  for (const auto& e : by_area) sum += e;
+  EXPECT_NEAR(in_kilowatt_hours(sum), in_kilowatt_hours(f.step_energy_per_wafer(t)), 1e-9);
+}
+
+TEST(Flows, FeolMatchesImecIn7) {
+  EXPECT_DOUBLE_EQ(in_kilowatt_hours(feol_mol_energy_per_wafer()), 436.0);
+}
+
+TEST(Flows, AllSiHasNineMetalLayers) {
+  const ProcessFlow f = all_si_7nm_flow();
+  // 9 metal/via pairs, each with exactly one exposure.
+  const auto counts = f.step_count_by_area();
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kLithography)], 9);
+}
+
+TEST(Flows, AllSiEpaRatioMatchesPaper) {
+  const ProcessFlow f = all_si_7nm_flow();
+  const double ratio =
+      f.energy_per_wafer(StepEnergyTable::calibrated()) / in7_reference_energy_per_wafer();
+  EXPECT_NEAR(ratio, 0.79, 0.002);  // paper: 0.79x
+}
+
+TEST(Flows, M3dEpaRatioMatchesPaper) {
+  const ProcessFlow f = m3d_igzo_cnfet_flow();
+  const double ratio =
+      f.energy_per_wafer(StepEnergyTable::calibrated()) / in7_reference_energy_per_wafer();
+  EXPECT_NEAR(ratio, 1.22, 0.002);  // paper: 1.22x
+}
+
+TEST(Flows, M3dHasFifteenMetalLayerExposuresPlusTiers) {
+  const ProcessFlow f = m3d_igzo_cnfet_flow();
+  const auto counts = f.step_count_by_area();
+  // 16 metal/via pair-equivalents (M1-M15 plus the IGZO S/D+V level) +
+  // 2 standalone vias + 2 CNFET tiers (3 exposures each) + 1 IGZO tier
+  // (2 exposures) = 26 exposures.
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kLithography)], 26);
+}
+
+TEST(Flows, M3dTierCountsScale) {
+  M3dFlowOptions one_tier;
+  one_tier.cnfet_tiers = 1;
+  const auto t = StepEnergyTable::calibrated();
+  const Energy base = m3d_igzo_cnfet_flow().energy_per_wafer(t);
+  const Energy fewer = m3d_igzo_cnfet_flow(one_tier).energy_per_wafer(t);
+  EXPECT_LT(fewer, base);
+
+  M3dFlowOptions more;
+  more.cnfet_tiers = 4;
+  EXPECT_GT(m3d_igzo_cnfet_flow(more).energy_per_wafer(t), base);
+}
+
+TEST(Flows, CnfetTierStepInventory) {
+  ProcessFlow f{"t"};
+  append_cnfet_tier(f, 1);
+  const auto counts = f.step_count_by_area();
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kLithography)], 3);  // active, S/D, gate
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kDeposition)], 3);   // oxide, CNT, HKD
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kMetallization)], 2);
+}
+
+TEST(Flows, IgzoTierStepInventory) {
+  ProcessFlow f{"t"};
+  append_igzo_tier(f, 1);
+  const auto counts = f.step_count_by_area();
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kLithography)], 2);  // active, gate
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProcessArea::kDeposition)], 2);   // IGZO, HKD
+  // IGZO active is patterned with a WET etch (RIE-free), per the paper.
+  EXPECT_GE(counts[static_cast<std::size_t>(ProcessArea::kWetEtch)], 2);
+}
+
+TEST(Flows, M3dSharesBaseWithAllSiThroughM4) {
+  // The M3D flow's first four metal levels are the same pitches as all-Si.
+  const ProcessFlow m3d = m3d_igzo_cnfet_flow();
+  const ProcessFlow si = all_si_7nm_flow();
+  // Compare the first 4 pair-blocks (6 step kinds each) by label prefix.
+  for (int i = 0; i < 6 * 4; ++i) {
+    EXPECT_EQ(m3d.steps()[i].area, si.steps()[i].area) << "step " << i;
+    EXPECT_EQ(m3d.steps()[i].count, si.steps()[i].count) << "step " << i;
+  }
+}
+
+TEST(Flows, ToStringCoverage) {
+  EXPECT_STREQ(to_string(ProcessArea::kDryEtch), "dry etch");
+  EXPECT_STREQ(to_string(ProcessArea::kLithography), "lithography");
+  EXPECT_STREQ(to_string(ProcessArea::kDeposition), "deposition");
+  EXPECT_STREQ(to_string(MetalPitch::k36nm), "36 nm");
+  EXPECT_STREQ(to_string(MetalPitch::k80nm), "80 nm");
+  EXPECT_STREQ(to_string(LithoClass::kEuv36nm), "EUV (36 nm class)");
+}
+
+TEST(Flows, LithoForPitchMapping) {
+  EXPECT_EQ(litho_for(MetalPitch::k36nm), LithoClass::kEuv36nm);
+  EXPECT_EQ(litho_for(MetalPitch::k48nm), LithoClass::kEuv42nm);  // paper: use 42 nm energy
+  EXPECT_EQ(litho_for(MetalPitch::k64nm), LithoClass::kDuv193i64nm);
+  EXPECT_EQ(litho_for(MetalPitch::k80nm), LithoClass::kDuv193i80nm);
+}
+
+}  // namespace
+}  // namespace ppatc::carbon

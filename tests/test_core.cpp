@@ -1,0 +1,158 @@
+// End-to-end tests for the PPAtC framework: Table II anchors and the system
+// evaluation plumbing.
+#include <gtest/gtest.h>
+
+#include "ppatc/core/system.hpp"
+
+namespace ppatc::core {
+namespace {
+
+using namespace ppatc::units;
+
+// The full evaluation runs the 20M-cycle matmult plus SPICE; do it once.
+const Table2& t2() {
+  static const Table2 table = table2(workloads::matmult_int());
+  return table;
+}
+
+TEST(TableII, ClockAndCycles) {
+  EXPECT_EQ(t2().all_si.cycles, t2().m3d.cycles);  // same binary, same core
+  // Paper: 20,047,348 cycles; ours within 1%.
+  EXPECT_NEAR(static_cast<double>(t2().all_si.cycles), 20047348.0, 2e5);
+  EXPECT_NEAR(in_seconds(t2().all_si.execution_time),
+              static_cast<double>(t2().all_si.cycles) / 500e6, 1e-9);
+}
+
+TEST(TableII, M0EnergyPerCycle) {
+  // Paper: 1.42 pJ (identical for both designs — the M0 is Si CMOS in both).
+  EXPECT_NEAR(in_picojoules(t2().all_si.m0_energy_per_cycle), 1.42, 0.02);
+  EXPECT_DOUBLE_EQ(in_picojoules(t2().all_si.m0_energy_per_cycle),
+                   in_picojoules(t2().m3d.m0_energy_per_cycle));
+}
+
+TEST(TableII, MemoryEnergyPerCycle) {
+  EXPECT_NEAR(in_picojoules(t2().all_si.memory_energy_per_cycle), 18.0, 0.15);
+  EXPECT_NEAR(in_picojoules(t2().m3d.memory_energy_per_cycle), 15.5, 0.15);
+}
+
+TEST(TableII, MemoryAreas) {
+  EXPECT_NEAR(in_square_millimetres(t2().all_si.memory_area), 0.068, 0.001);
+  EXPECT_NEAR(in_square_millimetres(t2().m3d.memory_area), 0.025, 0.001);
+}
+
+TEST(TableII, TotalAreasAndDieDimensions) {
+  EXPECT_NEAR(in_square_millimetres(t2().all_si.total_area), 0.139, 0.002);
+  EXPECT_NEAR(in_square_millimetres(t2().m3d.total_area), 0.053, 0.001);
+  EXPECT_NEAR(in_micrometres(t2().all_si.die_height), 270.0, 4.0);
+  EXPECT_NEAR(in_micrometres(t2().all_si.die_width), 515.0, 7.0);
+  EXPECT_NEAR(in_micrometres(t2().m3d.die_height), 159.0, 3.0);
+  EXPECT_NEAR(in_micrometres(t2().m3d.die_width), 334.0, 5.0);
+}
+
+TEST(TableII, AreaRatioMatchesPaperText) {
+  // Paper Sec. III-C: the all-Si die is 2.72x larger than the M3D die.
+  const double ratio = t2().all_si.total_area / t2().m3d.total_area;
+  EXPECT_NEAR(ratio, 2.72, 0.1);
+}
+
+TEST(TableII, EmbodiedPerWafer) {
+  EXPECT_NEAR(in_kilograms_co2e(t2().all_si.embodied_per_wafer), 837.0, 4.0);
+  EXPECT_NEAR(in_kilograms_co2e(t2().m3d.embodied_per_wafer), 1100.0, 5.0);
+}
+
+TEST(TableII, DiesPerWafer) {
+  EXPECT_NEAR(static_cast<double>(t2().all_si.dies_per_wafer), 299127.0, 3000.0);
+  EXPECT_NEAR(static_cast<double>(t2().m3d.dies_per_wafer), 606238.0, 6000.0);
+}
+
+TEST(TableII, EmbodiedPerGoodDie) {
+  EXPECT_NEAR(in_grams_co2e(t2().all_si.embodied_per_good_die), 3.11, 0.05);
+  EXPECT_NEAR(in_grams_co2e(t2().m3d.embodied_per_good_die), 3.63, 0.05);
+  // Paper Sec. III-C: 1.17x higher embodied per good die for M3D.
+  const double ratio = t2().m3d.embodied_per_good_die / t2().all_si.embodied_per_good_die;
+  EXPECT_NEAR(ratio, 1.17, 0.02);
+}
+
+TEST(TableII, GoodDieRatioFavorsM3d) {
+  // 1.13x more good dies per wafer for the M3D design: its 2.03x die-count
+  // advantage outweighs the 50% vs 90% yield handicap. (This direction is
+  // the one consistent with the paper's own per-good-die carbon numbers.)
+  const double good_si = static_cast<double>(t2().all_si.dies_per_wafer) * t2().all_si.yield;
+  const double good_m3d = static_cast<double>(t2().m3d.dies_per_wafer) * t2().m3d.yield;
+  EXPECT_NEAR(good_m3d / good_si, 1.13, 0.02);
+}
+
+TEST(TableII, TimingClosesEverywhere) {
+  EXPECT_TRUE(t2().all_si.memory_timing_met);
+  EXPECT_TRUE(t2().m3d.memory_timing_met);
+  EXPECT_TRUE(t2().all_si.m0_timing_met);
+  EXPECT_TRUE(t2().m3d.m0_timing_met);
+}
+
+TEST(TableII, OperationalPowerComposition) {
+  const double expected_mw =
+      (in_picojoules(t2().all_si.m0_energy_per_cycle) +
+       in_picojoules(t2().all_si.memory_energy_per_cycle)) *
+      500e6 * 1e-12 * 1e3;
+  EXPECT_NEAR(in_milliwatts(t2().all_si.operational_power), expected_mw, 1e-6);
+  // M3D burns less power (memory efficiency).
+  EXPECT_LT(in_milliwatts(t2().m3d.operational_power),
+            in_milliwatts(t2().all_si.operational_power));
+}
+
+TEST(Evaluate, CarbonProfileWiring) {
+  const auto p = t2().m3d.carbon_profile();
+  EXPECT_EQ(p.name, t2().m3d.system_name);
+  EXPECT_DOUBLE_EQ(in_grams_co2e(p.embodied_per_good_die),
+                   in_grams_co2e(t2().m3d.embodied_per_good_die));
+  EXPECT_DOUBLE_EQ(in_watts(p.operational_power), in_watts(t2().m3d.operational_power));
+  EXPECT_DOUBLE_EQ(in_seconds(p.execution_time), in_seconds(t2().m3d.execution_time));
+  EXPECT_DOUBLE_EQ(in_watts(p.standby_power), 0.0);
+}
+
+TEST(Evaluate, GridChangesOnlyEmbodied) {
+  const auto coal = evaluate(SystemSpec::m3d(), workloads::fib(12), carbon::grids::coal());
+  const auto solar = evaluate(SystemSpec::m3d(), workloads::fib(12), carbon::grids::solar());
+  EXPECT_GT(coal.embodied_per_wafer, solar.embodied_per_wafer);
+  EXPECT_DOUBLE_EQ(in_milliwatts(coal.operational_power),
+                   in_milliwatts(solar.operational_power));
+  EXPECT_EQ(coal.dies_per_wafer, solar.dies_per_wafer);
+}
+
+TEST(Evaluate, YieldScalesEmbodiedPerGoodDie) {
+  SystemSpec half = SystemSpec::m3d();
+  half.yield = 0.25;  // half the paper's 50%
+  const auto low = evaluate(half, workloads::fib(12));
+  const auto nominal = evaluate(SystemSpec::m3d(), workloads::fib(12));
+  EXPECT_NEAR(in_grams_co2e(low.embodied_per_good_die),
+              2.0 * in_grams_co2e(nominal.embodied_per_good_die), 1e-9);
+}
+
+TEST(Evaluate, RejectsBadSpec) {
+  SystemSpec bad = SystemSpec::all_si();
+  bad.yield = 0.0;
+  EXPECT_THROW((void)evaluate(bad, workloads::fib(10)), ContractViolation);
+  SystemSpec too_fast = SystemSpec::all_si();
+  too_fast.fclk = gigahertz(3.0);
+  EXPECT_THROW((void)evaluate(too_fast, workloads::fib(10)), ContractViolation);
+}
+
+TEST(Evaluate, WorkloadIndependentHardwareMetrics) {
+  // Different workload, same hardware: areas and embodied carbon identical.
+  const auto fib_eval = evaluate(SystemSpec::all_si(), workloads::fib(12));
+  EXPECT_DOUBLE_EQ(in_square_millimetres(fib_eval.total_area),
+                   in_square_millimetres(t2().all_si.total_area));
+  EXPECT_DOUBLE_EQ(in_grams_co2e(fib_eval.embodied_per_good_die),
+                   in_grams_co2e(t2().all_si.embodied_per_good_die));
+  // ... but per-cycle memory energy differs with the access mix.
+  EXPECT_NE(in_picojoules(fib_eval.memory_energy_per_cycle),
+            in_picojoules(t2().all_si.memory_energy_per_cycle));
+}
+
+TEST(Evaluate, Names) {
+  EXPECT_STREQ(to_string(Technology::kAllSi), "M0 + Si eDRAM");
+  EXPECT_STREQ(to_string(Technology::kM3dIgzoCnfetSi), "M0 + IGZO/CNT/Si M3D-eDRAM");
+}
+
+}  // namespace
+}  // namespace ppatc::core

@@ -1,0 +1,233 @@
+// Unit + property tests for the virtual-source FET models and technology
+// cards (paper Table I: I_EFF / I_OFF / BEOL-compatibility ordering).
+#include <gtest/gtest.h>
+
+#include "ppatc/common/contract.hpp"
+#include "ppatc/device/library.hpp"
+#include "ppatc/device/vs_model.hpp"
+
+namespace ppatc::device {
+namespace {
+
+using ppatc::units::amperes;
+using ppatc::units::in_amperes;
+using ppatc::units::in_femtofarads;
+using ppatc::units::volts;
+
+const Voltage kVdd = volts(0.7);
+
+TEST(VsModel, RejectsNonPositiveWidth) {
+  EXPECT_THROW(VirtualSourceFet(silicon_finfet(Polarity::kNmos, VtFlavor::kRvt), 0.0),
+               ContractViolation);
+  EXPECT_THROW(VirtualSourceFet(silicon_finfet(Polarity::kNmos, VtFlavor::kRvt), -1.0),
+               ContractViolation);
+}
+
+TEST(VsModel, RejectsSubThermionicSlope) {
+  VsParams p = silicon_finfet(Polarity::kNmos, VtFlavor::kRvt);
+  p.ss_mv_per_decade = 45.0;  // below the 59 mV/dec limit at 300 K
+  EXPECT_THROW(VirtualSourceFet(p, 1.0), ContractViolation);
+}
+
+TEST(VsModel, CurrentScalesLinearlyWithWidth) {
+  const VsParams card = silicon_finfet(Polarity::kNmos, VtFlavor::kRvt);
+  const VirtualSourceFet narrow{card, 1.0};
+  const VirtualSourceFet wide{card, 3.0};
+  EXPECT_NEAR(in_amperes(wide.on_current(kVdd)), 3.0 * in_amperes(narrow.on_current(kVdd)), 1e-12);
+}
+
+TEST(VsModel, DrainCurrentMonotonicInVgs) {
+  const VirtualSourceFet fet{silicon_finfet(Polarity::kNmos, VtFlavor::kRvt), 1.0};
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 0.9; vgs += 0.05) {
+    const double id = in_amperes(fet.drain_current(volts(vgs), kVdd));
+    EXPECT_GT(id, prev) << "Id must increase with Vgs at vgs=" << vgs;
+    prev = id;
+  }
+}
+
+TEST(VsModel, DrainCurrentMonotonicInVds) {
+  const VirtualSourceFet fet{silicon_finfet(Polarity::kNmos, VtFlavor::kRvt), 1.0};
+  double prev = -1.0;
+  for (double vds = 0.01; vds <= 0.9; vds += 0.05) {
+    const double id = in_amperes(fet.drain_current(kVdd, volts(vds)));
+    EXPECT_GE(id, prev) << "Id must not decrease with Vds at vds=" << vds;
+    prev = id;
+  }
+}
+
+TEST(VsModel, ZeroVdsGivesZeroCurrent) {
+  const VirtualSourceFet fet{silicon_finfet(Polarity::kNmos, VtFlavor::kRvt), 1.0};
+  EXPECT_NEAR(in_amperes(fet.drain_current(kVdd, volts(0.0))), 0.0, 1e-15);
+}
+
+TEST(VsModel, ReverseVdsGivesReverseCurrent) {
+  const VirtualSourceFet fet{silicon_finfet(Polarity::kNmos, VtFlavor::kRvt), 1.0};
+  const double fwd = in_amperes(fet.drain_current(volts(0.7), volts(0.3)));
+  const double rev = in_amperes(fet.drain_current(volts(0.7 - 0.3 + 0.7 - 0.7), volts(-0.3)));
+  // Source/drain swap: Id(vgs, -vds) = -Id(vgs + vds, vds) evaluated w.r.t.
+  // the swapped terminal. Just require the sign to flip and magnitude > 0.
+  EXPECT_GT(fwd, 0.0);
+  EXPECT_LT(rev, 0.0);
+}
+
+TEST(VsModel, PmosMirrorsNmos) {
+  const VirtualSourceFet p{silicon_finfet(Polarity::kPmos, VtFlavor::kRvt), 1.0};
+  // Conducting PMOS: negative Vgs/Vds -> negative drain current.
+  EXPECT_LT(in_amperes(p.drain_current(volts(-0.7), volts(-0.7))), 0.0);
+  // Off PMOS at Vgs=0: tiny current.
+  EXPECT_LT(in_amperes(p.off_current(kVdd)), 1e-6);
+  EXPECT_GT(in_amperes(p.on_current(kVdd)), 1e-5);
+}
+
+TEST(VsModel, IeffBetweenIlAndIh) {
+  const VirtualSourceFet fet{silicon_finfet(Polarity::kNmos, VtFlavor::kRvt), 1.0};
+  const double ih = in_amperes(fet.drain_current(volts(0.7), volts(0.35)));
+  const double il = in_amperes(fet.drain_current(volts(0.35), volts(0.7)));
+  const double ieff = in_amperes(fet.effective_current(kVdd));
+  EXPECT_NEAR(ieff, 0.5 * (ih + il), 1e-12);
+  EXPECT_LT(ieff, in_amperes(fet.on_current(kVdd)));
+}
+
+TEST(VsModel, SubthresholdSlopeMatchesParameter) {
+  VsParams card = silicon_finfet(Polarity::kNmos, VtFlavor::kRvt);
+  card.rs_ohm_um = 0.0;  // isolate the exponential region
+  const VirtualSourceFet fet{card, 1.0};
+  const double i1 = in_amperes(fet.drain_current(volts(0.00), kVdd));
+  const double i2 = in_amperes(fet.drain_current(volts(0.10), kVdd));
+  const double decades = std::log10(i2 / i1);
+  const double ss_measured = 100.0 / decades;  // mV per decade over 100 mV
+  // The alpha-blend VT shift softens the slope slightly vs the ideal value.
+  EXPECT_NEAR(ss_measured, card.ss_mv_per_decade, 4.0);
+}
+
+TEST(VsModel, GateCapacitanceScalesWithWidth) {
+  const VsParams card = silicon_finfet(Polarity::kNmos, VtFlavor::kRvt);
+  const VirtualSourceFet a{card, 1.0};
+  const VirtualSourceFet b{card, 2.0};
+  EXPECT_NEAR(2.0 * in_femtofarads(a.gate_capacitance()), in_femtofarads(b.gate_capacitance()),
+              1e-9);
+}
+
+TEST(VsModel, IdealityFromSlope) {
+  const VirtualSourceFet fet{silicon_finfet(Polarity::kNmos, VtFlavor::kRvt), 1.0};
+  // n = SS / (kT/q ln10) = 65 / 59.6 at 300 K.
+  EXPECT_NEAR(fet.ideality(), 65.0 / 59.6, 0.01);
+  EXPECT_NEAR(fet.thermal_voltage(), 0.02585, 1e-4);
+}
+
+// ---- VT flavor ordering (parameterized over polarity) ----------------------
+
+class VtOrdering : public ::testing::TestWithParam<Polarity> {};
+
+TEST_P(VtOrdering, IoffIncreasesFromHvtToSlvt) {
+  const Polarity pol = GetParam();
+  double prev = 0.0;
+  for (const auto vt : {VtFlavor::kHvt, VtFlavor::kRvt, VtFlavor::kLvt, VtFlavor::kSlvt}) {
+    const VirtualSourceFet fet{silicon_finfet(pol, vt), 1.0};
+    const double ioff = in_amperes(fet.off_current(kVdd));
+    EXPECT_GT(ioff, prev) << to_string(vt);
+    prev = ioff;
+  }
+}
+
+TEST_P(VtOrdering, IeffIncreasesFromHvtToSlvt) {
+  const Polarity pol = GetParam();
+  double prev = 0.0;
+  for (const auto vt : {VtFlavor::kHvt, VtFlavor::kRvt, VtFlavor::kLvt, VtFlavor::kSlvt}) {
+    const VirtualSourceFet fet{silicon_finfet(pol, vt), 1.0};
+    const double ieff = in_amperes(fet.effective_current(kVdd));
+    EXPECT_GT(ieff, prev) << to_string(vt);
+    prev = ieff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolarities, VtOrdering,
+                         ::testing::Values(Polarity::kNmos, Polarity::kPmos));
+
+// ---- Table I orderings ------------------------------------------------------
+
+TEST(TableI, SiIoffInAsap7Range) {
+  // HVT ~0.1 nA/um ... SLVT ~tens of nA/um at 0.7 V.
+  const VirtualSourceFet hvt{silicon_finfet(Polarity::kNmos, VtFlavor::kHvt), 1.0};
+  const VirtualSourceFet slvt{silicon_finfet(Polarity::kNmos, VtFlavor::kSlvt), 1.0};
+  EXPECT_LT(in_amperes(hvt.off_current(kVdd)), 1e-9);
+  EXPECT_GT(in_amperes(hvt.off_current(kVdd)), 1e-12);
+  EXPECT_LT(in_amperes(slvt.off_current(kVdd)), 1e-7);
+  EXPECT_GT(in_amperes(slvt.off_current(kVdd)), 1e-9);
+}
+
+TEST(TableI, CnfetHasHigherIeffThanSi) {
+  const VirtualSourceFet cn{cnfet(Polarity::kNmos), 1.0};
+  const VirtualSourceFet si{silicon_finfet(Polarity::kNmos, VtFlavor::kRvt), 1.0};
+  EXPECT_GT(in_amperes(cn.effective_current(kVdd)), in_amperes(si.effective_current(kVdd)));
+}
+
+TEST(TableI, IgzoHasLowestIeff) {
+  const VirtualSourceFet igzo{igzo_fet(), 1.0};
+  const VirtualSourceFet si{silicon_finfet(Polarity::kNmos, VtFlavor::kHvt), 1.0};
+  EXPECT_LT(in_amperes(igzo.effective_current(kVdd)), in_amperes(si.effective_current(kVdd)));
+}
+
+TEST(TableI, IgzoHasUltraLowIoff) {
+  const VirtualSourceFet igzo{igzo_fet(), 1.0};
+  const VirtualSourceFet si_hvt{silicon_finfet(Polarity::kNmos, VtFlavor::kHvt), 1.0};
+  EXPECT_LT(in_amperes(igzo.off_current(kVdd)), 1e-3 * in_amperes(si_hvt.off_current(kVdd)));
+}
+
+TEST(TableI, MetallicCntsDegradeIoff) {
+  CnfetOptions clean;
+  clean.metallic_fraction = 0.0;
+  CnfetOptions dirty;
+  dirty.metallic_fraction = 1e-3;
+  const VirtualSourceFet fc{cnfet(Polarity::kNmos, clean), 1.0};
+  const VirtualSourceFet fd{cnfet(Polarity::kNmos, dirty), 1.0};
+  EXPECT_GT(in_amperes(fd.off_current(kVdd)), 10.0 * in_amperes(fc.off_current(kVdd)));
+  // On-current barely changes.
+  EXPECT_NEAR(in_amperes(fd.on_current(kVdd)) / in_amperes(fc.on_current(kVdd)), 1.0, 0.02);
+}
+
+TEST(TableI, AsGrownMetallicFractionIsWorstAllowed) {
+  CnfetOptions as_grown;
+  as_grown.metallic_fraction = 1.0 / 3.0;
+  EXPECT_NO_THROW(cnfet(Polarity::kNmos, as_grown));
+  CnfetOptions invalid;
+  invalid.metallic_fraction = 0.5;
+  EXPECT_THROW(cnfet(Polarity::kNmos, invalid), ContractViolation);
+}
+
+TEST(TableI, BeolCompatibility) {
+  EXPECT_FALSE(beol_compatible(silicon_finfet(Polarity::kNmos, VtFlavor::kRvt)));
+  EXPECT_TRUE(beol_compatible(cnfet(Polarity::kNmos)));
+  EXPECT_TRUE(beol_compatible(igzo_fet()));
+}
+
+TEST(TableI, ProcessTemperatures) {
+  using ppatc::units::in_kelvin;
+  EXPECT_GT(in_kelvin(process_temperature(silicon_finfet(Polarity::kNmos, VtFlavor::kRvt))),
+            273.15 + 1000.0);
+  EXPECT_LT(in_kelvin(process_temperature(cnfet(Polarity::kNmos))), 273.15 + 300.0);
+  EXPECT_LT(in_kelvin(process_temperature(igzo_fet())), 273.15 + 300.0);
+}
+
+TEST(Library, FlavorNames) {
+  EXPECT_STREQ(to_string(VtFlavor::kHvt), "HVT");
+  EXPECT_STREQ(to_string(VtFlavor::kRvt), "RVT");
+  EXPECT_STREQ(to_string(VtFlavor::kLvt), "LVT");
+  EXPECT_STREQ(to_string(VtFlavor::kSlvt), "SLVT");
+}
+
+TEST(Library, IgzoMatchesMeasuredCard) {
+  const VsParams p = igzo_fet();
+  EXPECT_DOUBLE_EQ(p.mobility_cm2_per_vs, 1.0);   // paper: 1 cm^2/V.s
+  EXPECT_DOUBLE_EQ(p.ss_mv_per_decade, 90.0);     // paper: 90 mV/dec
+  EXPECT_DOUBLE_EQ(p.gate_length_nm, 44.0);       // paper: 44 nm gate length
+  EXPECT_EQ(p.polarity, Polarity::kNmos);         // IGZO is n-type only
+}
+
+TEST(Library, CnfetGateLengthMatchesPaper) {
+  EXPECT_DOUBLE_EQ(cnfet(Polarity::kNmos).gate_length_nm, 30.0);
+}
+
+}  // namespace
+}  // namespace ppatc::device

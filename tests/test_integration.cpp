@@ -1,0 +1,177 @@
+// Cross-module integration tests: the paper's headline results, end to end.
+#include <gtest/gtest.h>
+
+#include "ppatc/carbon/isoline.hpp"
+#include "ppatc/carbon/uncertainty.hpp"
+#include "ppatc/core/system.hpp"
+
+namespace ppatc {
+namespace {
+
+using namespace ppatc::units;
+
+const core::Table2& t2() {
+  static const core::Table2 table = core::table2(workloads::matmult_int());
+  return table;
+}
+
+carbon::OperationalScenario us_scenario() {
+  carbon::OperationalScenario s;
+  s.use_intensity = carbon::DiurnalIntensity::flat(carbon::grids::us().intensity);
+  return s;
+}
+
+TEST(Headline, M3dIs1p02xMoreCarbonEfficientAt24Months) {
+  // The paper's abstract: tCDP(all-Si) / tCDP(M3D) = 1.02x at 24 months.
+  const double ratio = carbon::tcdp_ratio(t2().all_si.carbon_profile(),
+                                          t2().m3d.carbon_profile(), us_scenario(),
+                                          units::months(24.0));
+  EXPECT_NEAR(ratio, 1.02, 0.01);
+}
+
+TEST(Headline, EmbodiedDominatesUntil14And19Months) {
+  // Paper Fig. 5: C_embodied dominates until ~14 months (all-Si) and
+  // ~19 months (M3D).
+  const auto si_end = carbon::embodied_dominance_end(t2().all_si.carbon_profile(), us_scenario(),
+                                                     units::months(48.0));
+  const auto m3d_end = carbon::embodied_dominance_end(t2().m3d.carbon_profile(), us_scenario(),
+                                                      units::months(48.0));
+  ASSERT_TRUE(si_end.has_value());
+  ASSERT_TRUE(m3d_end.has_value());
+  EXPECT_NEAR(in_months(*si_end), 14.0, 1.0);
+  EXPECT_NEAR(in_months(*m3d_end), 19.0, 1.0);
+}
+
+TEST(Headline, TotalCarbonCrossoverExists) {
+  // M3D starts with more total carbon (embodied) and ends with less
+  // (operational savings); the designs cross within the product horizon.
+  const auto cross =
+      carbon::total_carbon_crossover(t2().m3d.carbon_profile(), t2().all_si.carbon_profile(),
+                                     us_scenario(), units::months(36.0));
+  ASSERT_TRUE(cross.has_value());
+  // Our calibrated models cross at ~18 months. (The paper's prose says 11
+  // months, which is inconsistent with its own Table II rows — from 3.63 g vs
+  // 3.11 g embodied and a 1.25 mW power delta the crossover algebraically
+  // falls at ~18 months; see EXPERIMENTS.md.)
+  EXPECT_GT(in_months(*cross), 12.0);
+  EXPECT_LT(in_months(*cross), 24.0);
+}
+
+TEST(Headline, TcdpRatioSeriesMatchesFig5Shape) {
+  const auto si = t2().all_si.carbon_profile();
+  const auto m3d = t2().m3d.carbon_profile();
+  const auto s = us_scenario();
+  // Month 1: M3D worse (embodied-dominated). Month 24: M3D better.
+  EXPECT_GT(carbon::tcdp_ratio(m3d, si, s, units::months(1.0)), 1.10);
+  EXPECT_LT(carbon::tcdp_ratio(m3d, si, s, units::months(24.0)), 1.0);
+  // The ratio falls monotonically toward the EDP limit.
+  double prev = 10.0;
+  for (int m = 1; m <= 48; m += 3) {
+    const double r = carbon::tcdp_ratio(m3d, si, s, units::months(m));
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+  const double edp_limit = carbon::asymptotic_edp_ratio(m3d, si, s);
+  EXPECT_GT(prev, edp_limit);
+  EXPECT_NEAR(carbon::tcdp_ratio(m3d, si, s, units::months(600.0)), edp_limit, 0.01);
+}
+
+TEST(Fig6, NominalIsolinePassesNearUnitScales) {
+  // At 24 months the unscaled M3D design has tCDP ratio just below 1, so the
+  // isoline at x=1 must sit slightly above y=1.
+  const auto y = carbon::isoline_energy_scale(t2().m3d.carbon_profile(),
+                                              t2().all_si.carbon_profile(), us_scenario(),
+                                              units::months(24.0), 1.0);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_GT(*y, 1.0);
+  EXPECT_LT(*y, 1.2);
+}
+
+TEST(Fig6, VariantsBracketTheNominalIsoline) {
+  const auto variants =
+      carbon::isoline_variants(t2().m3d.carbon_profile(), t2().all_si.carbon_profile(),
+                               us_scenario(), units::months(24.0));
+  ASSERT_EQ(variants.size(), 7u);
+  // All variants produce at least some isoline points in the plotted box.
+  for (const auto& v : variants) {
+    int defined = 0;
+    for (const auto& pt : v.isoline) {
+      if (pt.energy_scale) ++defined;
+    }
+    EXPECT_GT(defined, 0) << v.label;
+  }
+}
+
+TEST(Uncertainty, RobustVerdictOnTheCaseStudy) {
+  // With +/-20% embodied uncertainty, +/-6 months lifetime and +/-3x CI the
+  // 24-month comparison is indeterminate — exactly the paper's point about
+  // needing robust regions rather than point estimates.
+  carbon::UncertainProfile m3d;
+  m3d.embodied_per_good_die_g =
+      carbon::Interval::factor(in_grams_co2e(t2().m3d.embodied_per_good_die), 1.2);
+  m3d.operational_power_w = carbon::Interval::point(in_watts(t2().m3d.operational_power));
+  m3d.execution_time_s = in_seconds(t2().m3d.execution_time);
+  carbon::UncertainProfile si;
+  si.embodied_per_good_die_g =
+      carbon::Interval::factor(in_grams_co2e(t2().all_si.embodied_per_good_die), 1.2);
+  si.operational_power_w = carbon::Interval::point(in_watts(t2().all_si.operational_power));
+  si.execution_time_s = in_seconds(t2().all_si.execution_time);
+  carbon::UncertainScenario scen;
+  scen.ci_use_g_per_kwh = carbon::Interval::factor(380.0, 3.0);
+  scen.lifetime_months = carbon::Interval::plus_minus(24.0, 6.0);
+
+  EXPECT_EQ(carbon::robust_compare(m3d, si, scen), carbon::RobustVerdict::kIndeterminate);
+
+  // Monte Carlo still quantifies the odds.
+  const auto mc = carbon::monte_carlo_tcdp_ratio(m3d, si, scen, 4000, 2026);
+  EXPECT_GT(mc.probability_candidate_wins, 0.05);
+  EXPECT_LT(mc.probability_candidate_wins, 0.95);
+}
+
+TEST(Uncertainty, LongLifetimeMakesM3dRobustWinner) {
+  // At 5x the lifetime, the operational savings dominate every corner of a
+  // modest uncertainty box.
+  carbon::UncertainProfile m3d;
+  m3d.embodied_per_good_die_g =
+      carbon::Interval::factor(in_grams_co2e(t2().m3d.embodied_per_good_die), 1.1);
+  m3d.operational_power_w = carbon::Interval::point(in_watts(t2().m3d.operational_power));
+  m3d.execution_time_s = in_seconds(t2().m3d.execution_time);
+  carbon::UncertainProfile si;
+  si.embodied_per_good_die_g =
+      carbon::Interval::factor(in_grams_co2e(t2().all_si.embodied_per_good_die), 1.1);
+  si.operational_power_w = carbon::Interval::point(in_watts(t2().all_si.operational_power));
+  si.execution_time_s = in_seconds(t2().all_si.execution_time);
+  carbon::UncertainScenario scen;
+  scen.ci_use_g_per_kwh = carbon::Interval::factor(380.0, 1.5);
+  scen.lifetime_months = carbon::Interval::plus_minus(120.0, 12.0);
+
+  EXPECT_EQ(carbon::robust_compare(m3d, si, scen),
+            carbon::RobustVerdict::kCandidateAlwaysWins);
+}
+
+TEST(CrossWorkload, AllKernelsFlowThroughTheFullPipeline) {
+  // Every Embench-style kernel (at reduced scale) runs through evaluate()
+  // and produces self-consistent PPAtC numbers.
+  const workloads::Workload kernels[] = {workloads::crc32(2), workloads::edn(2),
+                                         workloads::ud(2),    workloads::aha_mont(16),
+                                         workloads::sglib_list(2), workloads::statemate(2)};
+  for (const auto& w : kernels) {
+    const auto ev = core::evaluate(core::SystemSpec::m3d(), w);
+    EXPECT_GT(ev.cycles, 0u) << w.name;
+    EXPECT_GT(in_picojoules(ev.memory_energy_per_cycle), 1.0) << w.name;
+    EXPECT_LT(in_picojoules(ev.memory_energy_per_cycle), 100.0) << w.name;
+    EXPECT_GT(in_milliwatts(ev.operational_power), 1.0) << w.name;
+  }
+}
+
+TEST(CrossWorkload, MemoryBoundKernelsBurnMoreMemoryEnergyPerCycle) {
+  // matmult (heavy loads) vs aha-mont (register-dominated): the memory
+  // energy per cycle must reflect the access density.
+  const auto mem_heavy = core::evaluate(core::SystemSpec::all_si(), workloads::matmult_int(2));
+  const auto reg_heavy = core::evaluate(core::SystemSpec::all_si(), workloads::aha_mont(64));
+  EXPECT_GT(in_picojoules(mem_heavy.memory_energy_per_cycle),
+            in_picojoules(reg_heavy.memory_energy_per_cycle));
+}
+
+}  // namespace
+}  // namespace ppatc

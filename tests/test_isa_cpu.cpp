@@ -1,0 +1,551 @@
+// Instruction-level tests for the ARMv6-M ISS: semantics, flags, memory,
+// cycle model, and fault behaviour. Programs are assembled from source, so
+// these are also end-to-end assembler+CPU tests; raw-encoding checks live in
+// test_assembler.cpp.
+#include <gtest/gtest.h>
+
+#include "ppatc/isa/assembler.hpp"
+#include "ppatc/isa/cpu.hpp"
+#include "ppatc/isa/memory.hpp"
+
+namespace ppatc::isa {
+namespace {
+
+// Assembles and runs a program to completion (it must halt via `svc 0`,
+// which exits with r0, or an MMIO exit store).
+class AsmRun {
+ public:
+  explicit AsmRun(const std::string& body, std::uint64_t max_instructions = 1'000'000)
+      : cpu_{bus_} {
+    const Program p = assemble(body);
+    bus_.load_program(0, p.bytes);
+    cpu_.reset(p.entry, kDataBase + kDataSize - 16);
+    result_ = cpu_.run(max_instructions);
+  }
+
+  [[nodiscard]] bool halted() const { return result_.halted; }
+  [[nodiscard]] std::uint32_t exit_code() const { return bus_.exit_code(); }
+  [[nodiscard]] std::uint32_t reg(int r) const { return cpu_.reg(r); }
+  [[nodiscard]] std::uint64_t cycles() const { return result_.cycles; }
+  [[nodiscard]] std::uint64_t instructions() const { return result_.instructions; }
+  [[nodiscard]] Bus& bus() { return bus_; }
+  [[nodiscard]] Cpu& cpu() { return cpu_; }
+
+ private:
+  Bus bus_;
+  Cpu cpu_;
+  Cpu::RunResult result_;
+};
+
+// Runs a snippet that leaves its result in r0 and falls into `svc 0`.
+std::uint32_t result_of(const std::string& snippet) {
+  AsmRun run{"_start:\n" + snippet + "\n    svc 0\n"};
+  EXPECT_TRUE(run.halted());
+  return run.exit_code();
+}
+
+TEST(Alu, MovsImmediate) { EXPECT_EQ(result_of("movs r0, #42"), 42u); }
+
+TEST(Alu, MovsRegisterSetsFlags) {
+  EXPECT_EQ(result_of("movs r1, #7\n movs r0, r1"), 7u);
+}
+
+TEST(Alu, AddsThreeRegister) {
+  EXPECT_EQ(result_of("movs r1, #20\n movs r2, #22\n adds r0, r1, r2"), 42u);
+}
+
+TEST(Alu, AddsSmallImmediate) {
+  EXPECT_EQ(result_of("movs r1, #40\n adds r0, r1, #2"), 42u);
+}
+
+TEST(Alu, AddsByteImmediateWraps) {
+  EXPECT_EQ(result_of("movs r0, #200\n adds r0, #200"), 400u);
+}
+
+TEST(Alu, SubsProducesTwosComplement) {
+  EXPECT_EQ(result_of("movs r1, #5\n movs r2, #7\n subs r0, r1, r2"), 0xFFFFFFFEu);
+}
+
+TEST(Alu, CarryFlagFromAddition) {
+  // 0xFFFFFFFF + 1 -> carry set; ADC then adds it.
+  EXPECT_EQ(result_of(R"(
+    movs r1, #0
+    mvns r1, r1          @ r1 = 0xFFFFFFFF
+    movs r2, #1
+    adds r1, r1, r2      @ carry out
+    movs r0, #0
+    adcs r0, r2          @ r0 = 0 + 1 + carry = 2
+)"),
+            2u);
+}
+
+TEST(Alu, SbcSubtractsBorrow) {
+  // 5 - 3 with carry set (no borrow) = 2; with carry clear = 1.
+  EXPECT_EQ(result_of(R"(
+    movs r1, #1
+    movs r2, #1
+    adds r3, r1, r2      @ sets carry = 0 (no overflow), actually clears carry
+    movs r0, #5
+    movs r4, #3
+    sbcs r0, r4          @ 5 - 3 - !carry = 1
+)"),
+            1u);
+}
+
+TEST(Alu, NegsIsZeroMinus) {
+  EXPECT_EQ(result_of("movs r1, #5\n negs r0, r1"), 0xFFFFFFFBu);
+  EXPECT_EQ(result_of("movs r1, #5\n rsbs r0, r1"), 0xFFFFFFFBu);
+}
+
+TEST(Alu, LogicalOps) {
+  EXPECT_EQ(result_of("movs r0, #0xF0\n movs r1, #0x3C\n ands r0, r1"), 0x30u);
+  EXPECT_EQ(result_of("movs r0, #0xF0\n movs r1, #0x3C\n orrs r0, r1"), 0xFCu);
+  EXPECT_EQ(result_of("movs r0, #0xF0\n movs r1, #0x3C\n eors r0, r1"), 0xCCu);
+  EXPECT_EQ(result_of("movs r0, #0xF0\n movs r1, #0x3C\n bics r0, r1"), 0xC0u);
+  EXPECT_EQ(result_of("movs r1, #0\n mvns r0, r1"), 0xFFFFFFFFu);
+}
+
+TEST(Alu, Multiply) {
+  EXPECT_EQ(result_of("movs r0, #7\n movs r1, #6\n muls r0, r1"), 42u);
+  // Wraparound semantics.
+  EXPECT_EQ(result_of(R"(
+    ldr r0, =65537
+    ldr r1, =65537
+    muls r0, r1
+)"),
+            131073u);  // (2^16+1)^2 mod 2^32 = 2^32 + 2^17 + 1 -> 2^17+1
+}
+
+TEST(Shift, LslImmediate) {
+  EXPECT_EQ(result_of("movs r1, #1\n lsls r0, r1, #4"), 16u);
+}
+
+TEST(Shift, LsrImmediate) {
+  EXPECT_EQ(result_of("movs r1, #16\n lsrs r0, r1, #4"), 1u);
+}
+
+TEST(Shift, AsrSignExtends) {
+  EXPECT_EQ(result_of(R"(
+    movs r1, #1
+    lsls r1, r1, #31     @ r1 = 0x80000000
+    asrs r0, r1, #4      @ arithmetic -> 0xF8000000
+)"),
+            0xF8000000u);
+}
+
+TEST(Shift, RegisterShiftByMoreThan32) {
+  EXPECT_EQ(result_of("movs r0, #1\n movs r1, #40\n lsls r0, r1"), 0u);
+  EXPECT_EQ(result_of("movs r0, #255\n movs r1, #40\n lsrs r0, r1"), 0u);
+}
+
+TEST(Shift, RorRotates) {
+  EXPECT_EQ(result_of("movs r0, #1\n movs r1, #1\n rors r0, r1"), 0x80000000u);
+  EXPECT_EQ(result_of("movs r0, #0x81\n movs r1, #4\n rors r0, r1"), 0x10000008u);
+}
+
+TEST(Extend, ByteAndHalfword) {
+  EXPECT_EQ(result_of("ldr r1, =0x1234FF80\n sxtb r0, r1"), 0xFFFFFF80u);
+  EXPECT_EQ(result_of("ldr r1, =0x1234FF80\n uxtb r0, r1"), 0x80u);
+  EXPECT_EQ(result_of("ldr r1, =0x1234F234\n sxth r0, r1"), 0xFFFFF234u);
+  EXPECT_EQ(result_of("ldr r1, =0x1234F234\n uxth r0, r1"), 0xF234u);
+}
+
+TEST(Extend, ReverseOps) {
+  EXPECT_EQ(result_of("ldr r1, =0x12345678\n rev r0, r1"), 0x78563412u);
+  EXPECT_EQ(result_of("ldr r1, =0x12345678\n rev16 r0, r1"), 0x34127856u);
+  EXPECT_EQ(result_of("ldr r1, =0x00008034\n revsh r0, r1"), 0x00003480u);
+  EXPECT_EQ(result_of("ldr r1, =0x00003480\n revsh r0, r1"), 0xFFFF8034u);
+}
+
+TEST(HiReg, MovAndAddWithHighRegisters) {
+  EXPECT_EQ(result_of(R"(
+    movs r1, #21
+    mov r8, r1
+    movs r2, #21
+    mov r0, r8
+    add r0, r2
+)"),
+            42u);
+}
+
+TEST(Memory, WordStoreLoadRoundTrip) {
+  EXPECT_EQ(result_of(R"(
+    ldr r1, =0x20000100
+    ldr r2, =0xDEADBEEF
+    str r2, [r1, #4]
+    ldr r0, [r1, #4]
+)"),
+            0xDEADBEEFu);
+}
+
+TEST(Memory, ByteAndHalfAccess) {
+  EXPECT_EQ(result_of(R"(
+    ldr r1, =0x20000100
+    ldr r2, =0x11223344
+    str r2, [r1, #0]
+    ldrb r0, [r1, #1]    @ little endian -> 0x33
+)"),
+            0x33u);
+  EXPECT_EQ(result_of(R"(
+    ldr r1, =0x20000100
+    ldr r2, =0x11223344
+    str r2, [r1, #0]
+    ldrh r0, [r1, #2]    @ -> 0x1122
+)"),
+            0x1122u);
+}
+
+TEST(Memory, SignedLoads) {
+  EXPECT_EQ(result_of(R"(
+    ldr r1, =0x20000100
+    movs r2, #0x80
+    strb r2, [r1, #0]
+    movs r3, #0
+    ldrsb r0, [r1, r3]
+)"),
+            0xFFFFFF80u);
+  EXPECT_EQ(result_of(R"(
+    ldr r1, =0x20000100
+    ldr r2, =0x8001
+    strh r2, [r1, #0]
+    movs r3, #0
+    ldrsh r0, [r1, r3]
+)"),
+            0xFFFF8001u);
+}
+
+TEST(Memory, RegisterOffsetAddressing) {
+  EXPECT_EQ(result_of(R"(
+    ldr r1, =0x20000100
+    movs r2, #8
+    movs r3, #99
+    str r3, [r1, r2]
+    ldr r0, [r1, r2]
+)"),
+            99u);
+}
+
+TEST(Memory, SpRelativeStoreLoad) {
+  EXPECT_EQ(result_of(R"(
+    sub sp, #16
+    movs r1, #77
+    str r1, [sp, #8]
+    ldr r0, [sp, #8]
+    add sp, #16
+)"),
+            77u);
+}
+
+TEST(Memory, StmLdmWritebackAndOrder) {
+  EXPECT_EQ(result_of(R"(
+    ldr r0, =0x20000100
+    movs r1, #1
+    movs r2, #2
+    movs r3, #3
+    stm r0!, {r1, r2, r3}       @ ascending order, writeback +12
+    ldr r4, =0x2000010C
+    cmp r0, r4
+    bne fail
+    ldr r5, =0x20000104
+    ldr r0, [r5, #0]            @ second slot = r2
+    svc 0
+fail:
+    movs r0, #0
+)"),
+            2u);
+}
+
+TEST(Memory, LdmWithBaseInListSkipsWriteback) {
+  EXPECT_EQ(result_of(R"(
+    ldr r0, =0x20000100
+    movs r1, #11
+    movs r2, #22
+    stm r0!, {r1, r2}
+    ldr r0, =0x20000100
+    ldm r0!, {r0, r3}           @ r0 in list: loaded value wins, no writeback
+)"),
+            11u);
+}
+
+TEST(Stack, PushPopRoundTrip) {
+  EXPECT_EQ(result_of(R"(
+    movs r1, #10
+    movs r2, #20
+    push {r1, r2}
+    movs r1, #0
+    movs r2, #0
+    pop {r1, r2}
+    adds r0, r1, r2
+)"),
+            30u);
+}
+
+TEST(Stack, PopPcReturns) {
+  AsmRun run{R"(
+_start:
+    bl func
+    movs r0, #1
+    svc 0
+func:
+    push {r4, lr}
+    movs r4, #0
+    pop {r4, pc}
+)"};
+  EXPECT_TRUE(run.halted());
+  EXPECT_EQ(run.exit_code(), 1u);
+}
+
+TEST(Branch, CallAndReturn) {
+  EXPECT_EQ(result_of(R"(
+    movs r0, #1
+    bl double_it
+    bl double_it
+    b done
+double_it:
+    adds r0, r0, r0
+    bx lr
+done:
+)"),
+            4u);
+}
+
+TEST(Branch, BlxRegister) {
+  EXPECT_EQ(result_of(R"(
+    ldr r1, =target+1          @ thumb bit
+    movs r0, #5
+    blx r1
+    b done
+target:
+    adds r0, #37
+    bx lr
+done:
+)"),
+            42u);
+}
+
+TEST(Branch, BackwardLoop) {
+  EXPECT_EQ(result_of(R"(
+    movs r0, #0
+    movs r1, #5
+loop:
+    adds r0, r0, r1
+    subs r1, r1, #1
+    bne loop
+)"),
+            15u);
+}
+
+struct CondCase {
+  const char* cond;
+  std::uint32_t a, b;  // cmp a, b
+  bool taken;
+};
+
+class ConditionBranch : public ::testing::TestWithParam<CondCase> {};
+
+TEST_P(ConditionBranch, TakenMatchesSemantics) {
+  const CondCase& c = GetParam();
+  const std::string src = std::string{"    ldr r1, ="} + std::to_string(c.a) + "\n" +
+                          "    ldr r2, =" + std::to_string(c.b) + "\n" +
+                          "    cmp r1, r2\n    b" + c.cond + " taken\n    movs r0, #0\n" +
+                          "    svc 0\ntaken:\n    movs r0, #1\n";
+  EXPECT_EQ(result_of(src), c.taken ? 1u : 0u) << c.cond << " " << c.a << "," << c.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConditions, ConditionBranch,
+    ::testing::Values(
+        CondCase{"eq", 5, 5, true}, CondCase{"eq", 5, 6, false},
+        CondCase{"ne", 5, 6, true}, CondCase{"ne", 5, 5, false},
+        CondCase{"hs", 6, 5, true}, CondCase{"hs", 5, 5, true}, CondCase{"hs", 4, 5, false},
+        CondCase{"lo", 4, 5, true}, CondCase{"lo", 5, 5, false},
+        CondCase{"mi", 3, 5, true}, CondCase{"mi", 5, 3, false},
+        CondCase{"pl", 5, 3, true}, CondCase{"pl", 3, 5, false},
+        CondCase{"hi", 6, 5, true}, CondCase{"hi", 5, 5, false},
+        CondCase{"ls", 5, 5, true}, CondCase{"ls", 4, 5, true}, CondCase{"ls", 6, 5, false},
+        CondCase{"ge", 5, 5, true}, CondCase{"ge", 0xFFFFFFFF, 1, false},  // -1 < 1 signed
+        CondCase{"lt", 0xFFFFFFFF, 1, true}, CondCase{"lt", 1, 0xFFFFFFFF, false},
+        CondCase{"gt", 2, 1, true}, CondCase{"gt", 1, 1, false},
+        CondCase{"le", 1, 1, true}, CondCase{"le", 1, 2, true}, CondCase{"le", 2, 1, false}));
+
+TEST(Branch, SignedOverflowConditions) {
+  // 0x7FFFFFFF + 1 overflows: bvs taken.
+  EXPECT_EQ(result_of(R"(
+    ldr r1, =0x7FFFFFFF
+    movs r2, #1
+    adds r1, r1, r2
+    bvs taken
+    movs r0, #0
+    svc 0
+taken:
+    movs r0, #1
+)"),
+            1u);
+}
+
+TEST(Cycles, AluIsOneCycle) {
+  AsmRun run{"_start:\n    movs r0, #1\n    movs r1, #2\n    svc 0\n"};
+  // 2 ALU (1+1) + svc (counted as branch_taken = 3).
+  EXPECT_EQ(run.cycles(), 2u + 3u);
+}
+
+TEST(Cycles, LoadsTakeTwoCycles) {
+  AsmRun run{R"(
+_start:
+    ldr r1, =0x20000000
+    ldr r0, [r1, #0]
+    svc 0
+)"};
+  // 2 loads (2+2) + svc 3.
+  EXPECT_EQ(run.cycles(), 7u);
+}
+
+TEST(Cycles, TakenBranchCostsThree) {
+  AsmRun taken{"_start:\n    movs r0, #0\n    cmp r0, #0\n    beq l\nl:\n    svc 0\n"};
+  AsmRun not_taken{"_start:\n    movs r0, #0\n    cmp r0, #1\n    beq l\nl:\n    svc 0\n"};
+  EXPECT_EQ(taken.cycles() - not_taken.cycles(), 2u);  // 3 vs 1
+}
+
+TEST(Cycles, PushPopProportionalToCount) {
+  AsmRun one{"_start:\n    push {r1}\n    pop {r1}\n    svc 0\n"};
+  AsmRun four{"_start:\n    push {r1, r2, r3, r4}\n    pop {r1, r2, r3, r4}\n    svc 0\n"};
+  EXPECT_EQ(four.cycles() - one.cycles(), 6u);  // +3 per extra reg, both ways
+}
+
+TEST(Faults, MisalignedWordAccessThrows) {
+  EXPECT_THROW(AsmRun(R"(
+_start:
+    ldr r1, =0x20000001
+    ldr r0, [r1, #0]
+    svc 0
+)"),
+               BusFault);
+}
+
+TEST(Faults, UnmappedAddressThrows) {
+  EXPECT_THROW(AsmRun(R"(
+_start:
+    ldr r1, =0x30000000
+    ldr r0, [r1, #0]
+    svc 0
+)"),
+               BusFault);
+}
+
+TEST(Faults, StoreToProgramMemoryThrows) {
+  EXPECT_THROW(AsmRun(R"(
+_start:
+    movs r1, #0
+    movs r2, #1
+    str r2, [r1, #0]
+    svc 0
+)"),
+               BusFault);
+}
+
+TEST(Faults, UdfThrowsUndefined) {
+  // UDF encodes as the permanently-undefined 0xDExx.
+  Bus bus;
+  bus.load_program(0, {0x00, 0xDE});
+  Cpu cpu{bus};
+  cpu.reset(0, kDataBase + kDataSize - 16);
+  EXPECT_THROW(cpu.step(), UndefinedInstruction);
+}
+
+TEST(Mmio, ConsoleOutput) {
+  AsmRun run{R"(
+_start:
+    ldr r1, =0x40000004
+    movs r0, #'H'
+    str r0, [r1, #0]
+    movs r0, #'i'
+    str r0, [r1, #0]
+    movs r0, #0
+    svc 0
+)"};
+  EXPECT_EQ(run.bus().console(), "Hi");
+}
+
+TEST(Mmio, WordLog) {
+  AsmRun run{R"(
+_start:
+    ldr r1, =0x40000008
+    ldr r0, =123456
+    str r0, [r1, #0]
+    movs r0, #0
+    svc 0
+)"};
+  ASSERT_EQ(run.bus().word_log().size(), 1u);
+  EXPECT_EQ(run.bus().word_log()[0], 123456u);
+}
+
+TEST(Mmio, ExitStopsExecution) {
+  AsmRun run{R"(
+_start:
+    ldr r1, =0x40000000
+    movs r0, #9
+    str r0, [r1, #0]
+    movs r0, #1          @ never executed
+)"};
+  EXPECT_TRUE(run.halted());
+  EXPECT_EQ(run.exit_code(), 9u);
+  EXPECT_EQ(run.reg(0), 9u);  // the later mov never ran
+}
+
+TEST(Cpu, RunRespectsInstructionBudget) {
+  Bus bus;
+  // Infinite loop: b . (0xE7FE).
+  bus.load_program(0, {0xFE, 0xE7});
+  Cpu cpu{bus};
+  cpu.reset(0, kDataBase + kDataSize - 16);
+  const auto r = cpu.run(100);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.instructions, 100u);
+}
+
+TEST(Cpu, ResetValidation) {
+  Bus bus;
+  Cpu cpu{bus};
+  EXPECT_THROW(cpu.reset(1, 0x20000000), ContractViolation);
+  EXPECT_THROW(cpu.reset(0, 0x20000002), ContractViolation);
+}
+
+TEST(Cpu, PcReadsAsCurrentPlus4) {
+  // adr r0, label computes PC+4-relative address.
+  AsmRun run{R"(
+_start:
+    adr r0, word
+    ldr r0, [r0, #0]
+    svc 0
+.align 4
+word:
+    .word 4242
+)"};
+  EXPECT_EQ(run.exit_code(), 4242u);
+}
+
+TEST(Stats, FetchCountMatchesInstructions) {
+  AsmRun run{"_start:\n    movs r0, #1\n    movs r1, #2\n    adds r0, r0, r1\n    svc 0\n"};
+  EXPECT_EQ(run.bus().stats().fetches, run.instructions());
+}
+
+TEST(Stats, DataCountersSeparateReadsWrites) {
+  AsmRun run{R"(
+_start:
+    ldr r1, =0x20000100
+    movs r2, #5
+    str r2, [r1, #0]
+    ldr r3, [r1, #0]
+    movs r0, #0
+    svc 0
+)"};
+  const auto& s = run.bus().stats();
+  EXPECT_EQ(s.data_writes, 2u);  // str + the svc's MMIO exit write
+  EXPECT_EQ(s.data_mem_writes, 1u);
+  EXPECT_EQ(s.data_reads, 2u);  // the literal pool load + the ldr
+  EXPECT_EQ(s.program_reads, 1u);
+  EXPECT_EQ(s.data_mem_reads, 1u);
+}
+
+}  // namespace
+}  // namespace ppatc::isa

@@ -1,0 +1,293 @@
+// Tests for the Fig. 6 trade-space maps/isolines and the uncertainty
+// machinery (interval arithmetic, robust comparison, Monte Carlo).
+#include <gtest/gtest.h>
+
+#include "ppatc/carbon/isoline.hpp"
+#include "ppatc/carbon/uncertainty.hpp"
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+namespace {
+
+using namespace ppatc::units;
+
+OperationalScenario us_scenario() {
+  OperationalScenario s;
+  s.use_intensity = DiurnalIntensity::flat(grids::us().intensity);
+  return s;
+}
+
+SystemCarbonProfile profile(const std::string& name, double emb_g, double p_mw) {
+  SystemCarbonProfile p;
+  p.name = name;
+  p.embodied_per_good_die = grams_co2e(emb_g);
+  p.operational_power = milliwatts(p_mw);
+  p.execution_time = milliseconds(40.0);
+  return p;
+}
+
+TEST(Isoline, ScaledProfileScalesTheRightFields) {
+  const auto p = profile("x", 3.0, 10.0);
+  const auto s = scaled_profile(p, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(in_grams_co2e(s.embodied_per_good_die), 6.0);
+  EXPECT_DOUBLE_EQ(in_milliwatts(s.operational_power), 5.0);
+  EXPECT_EQ(s.execution_time, p.execution_time);
+  EXPECT_THROW((void)scaled_profile(p, -1.0, 1.0), ContractViolation);
+}
+
+TEST(Isoline, AxisSpecSamplesEndpoints) {
+  AxisSpec ax;
+  ax.lo = 0.5;
+  ax.hi = 2.0;
+  ax.samples = 4;
+  EXPECT_DOUBLE_EQ(ax.at(0), 0.5);
+  EXPECT_DOUBLE_EQ(ax.at(3), 2.0);
+  EXPECT_THROW((void)ax.at(4), ContractViolation);
+}
+
+TEST(Isoline, MapRatioIncreasesAlongBothAxes) {
+  const auto cand = profile("m3d", 3.6, 8.5);
+  const auto base = profile("si", 3.1, 9.7);
+  const auto map = tcdp_map(cand, base, us_scenario(), months(24.0));
+  // Ratio must be monotone in both the embodied scale (x) and energy scale (y).
+  for (std::size_t y = 0; y < map.ratio.size(); ++y) {
+    for (std::size_t x = 1; x < map.ratio[y].size(); ++x) {
+      EXPECT_GT(map.ratio[y][x], map.ratio[y][x - 1]);
+    }
+  }
+  for (std::size_t y = 1; y < map.ratio.size(); ++y) {
+    for (std::size_t x = 0; x < map.ratio[y].size(); ++x) {
+      EXPECT_GT(map.ratio[y][x], map.ratio[y - 1][x]);
+    }
+  }
+}
+
+TEST(Isoline, UnitScalesReproducePlainRatio) {
+  const auto cand = profile("m3d", 3.6, 8.5);
+  const auto base = profile("si", 3.1, 9.7);
+  const auto s = us_scenario();
+  const double direct = tcdp_ratio(cand, base, s, months(24.0));
+  AxisSpec ax;
+  ax.lo = 1.0;
+  ax.hi = 2.0;
+  ax.samples = 2;
+  const auto map = tcdp_map(cand, base, s, months(24.0), ax, ax);
+  EXPECT_NEAR(map.ratio[0][0], direct, 1e-12);
+}
+
+TEST(Isoline, PointSitsOnUnitRatio) {
+  const auto cand = profile("m3d", 3.6, 8.5);
+  const auto base = profile("si", 3.1, 9.7);
+  const auto s = us_scenario();
+  const Duration t = months(24.0);
+  for (const double x : {0.5, 1.0, 1.5, 2.0}) {
+    const auto y = isoline_energy_scale(cand, base, s, t, x);
+    ASSERT_TRUE(y.has_value()) << "x=" << x;
+    const double ratio = tcdp_ratio(scaled_profile(cand, x, *y), base, s, t);
+    EXPECT_NEAR(ratio, 1.0, 1e-6) << "x=" << x;
+  }
+}
+
+TEST(Isoline, MatchesClosedForm) {
+  // With equal execution times the isoline solves
+  //   x*E_c + y*O_c(t) = E_b + O_b(t).
+  const auto cand = profile("m3d", 3.6, 8.5);
+  const auto base = profile("si", 3.1, 9.7);
+  const auto s = us_scenario();
+  const Duration t = months(24.0);
+  const double o_c = in_grams_co2e(operational_carbon(cand, s, t));
+  const double tc_b = in_grams_co2e(total_carbon(base, s, t));
+  const double x = 1.3;
+  const double expected_y = (tc_b - x * 3.6) / o_c;
+  const auto y = isoline_energy_scale(cand, base, s, t, x);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_NEAR(*y, expected_y, 1e-6);
+}
+
+TEST(Isoline, SlopesDownward) {
+  const auto cand = profile("m3d", 3.6, 8.5);
+  const auto base = profile("si", 3.1, 9.7);
+  const auto line = tcdp_isoline(cand, base, us_scenario(), months(24.0));
+  double prev = 1e18;
+  for (const auto& pt : line) {
+    if (!pt.energy_scale) continue;
+    EXPECT_LT(*pt.energy_scale, prev);
+    prev = *pt.energy_scale;
+  }
+}
+
+TEST(Isoline, VariantsShiftAsInFig6b) {
+  const auto cand = profile("m3d", 3.6, 8.5);
+  const auto base = profile("si", 3.1, 9.7);
+  const auto variants = isoline_variants(cand, base, us_scenario(), months(24.0));
+  ASSERT_EQ(variants.size(), 7u);  // nominal + 6 perturbations
+  auto y_at = [&](const IsolineVariant& v, double x_target) -> double {
+    for (const auto& pt : v.isoline) {
+      if (std::abs(pt.embodied_scale - x_target) < 1e-9 && pt.energy_scale) {
+        return *pt.energy_scale;
+      }
+    }
+    return -1.0;
+  };
+  const double x = 1.0;
+  const double nominal = y_at(variants[0], x);
+  ASSERT_GT(nominal, 0.0);
+  // Longer lifetime -> operational dominates -> isoline moves up (more room).
+  EXPECT_GT(y_at(variants[1], x), nominal);   // lifetime +6mo
+  EXPECT_LT(y_at(variants[2], x), nominal);   // lifetime -6mo
+  // Higher CI_use scales both designs' operational carbon; the baseline's
+  // total grows, giving the candidate more room.
+  EXPECT_GT(y_at(variants[3], x), 0.0);       // CI x3 exists
+  // Worse candidate yield -> higher embodied -> less room.
+  EXPECT_LT(y_at(variants[5], x), nominal);   // yield 10%
+  EXPECT_GT(y_at(variants[6], x), nominal);   // yield 90%
+}
+
+// ---- intervals --------------------------------------------------------------
+
+TEST(Interval, Constructors) {
+  EXPECT_DOUBLE_EQ(Interval::point(3.0).lo, 3.0);
+  EXPECT_DOUBLE_EQ(Interval::point(3.0).width(), 0.0);
+  const Interval f = Interval::factor(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(f.lo, 5.0);
+  EXPECT_DOUBLE_EQ(f.hi, 20.0);
+  EXPECT_THROW(Interval::factor(10.0, 0.5), ContractViolation);
+  const Interval pm = Interval::plus_minus(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(pm.lo, 7.0);
+  EXPECT_DOUBLE_EQ(pm.hi, 13.0);
+}
+
+TEST(Interval, Arithmetic) {
+  const Interval a{1.0, 2.0};
+  const Interval b{3.0, 5.0};
+  EXPECT_DOUBLE_EQ((a + b).lo, 4.0);
+  EXPECT_DOUBLE_EQ((a + b).hi, 7.0);
+  EXPECT_DOUBLE_EQ((b - a).lo, 1.0);
+  EXPECT_DOUBLE_EQ((b - a).hi, 4.0);
+  EXPECT_DOUBLE_EQ((a * b).lo, 3.0);
+  EXPECT_DOUBLE_EQ((a * b).hi, 10.0);
+  EXPECT_DOUBLE_EQ((b / a).lo, 1.5);
+  EXPECT_DOUBLE_EQ((b / a).hi, 5.0);
+  EXPECT_DOUBLE_EQ((-2.0 * a).lo, -4.0);
+  EXPECT_DOUBLE_EQ((-2.0 * a).hi, -2.0);
+}
+
+TEST(Interval, MultiplicationHandlesSigns) {
+  const Interval a{-2.0, 3.0};
+  const Interval b{-1.0, 4.0};
+  EXPECT_DOUBLE_EQ((a * b).lo, -8.0);  // -2*4
+  EXPECT_DOUBLE_EQ((a * b).hi, 12.0);  // 3*4
+}
+
+TEST(Interval, DivisionByZeroSpanningIntervalThrows) {
+  EXPECT_THROW((void)(Interval{1.0, 2.0} / Interval{-1.0, 1.0}), ContractViolation);
+}
+
+TEST(Interval, Predicates) {
+  const Interval a{0.5, 0.9};
+  EXPECT_TRUE(a.entirely_below(1.0));
+  EXPECT_FALSE(a.entirely_above(1.0));
+  EXPECT_TRUE(a.contains(0.7));
+  EXPECT_FALSE(a.contains(1.1));
+  EXPECT_DOUBLE_EQ(a.mid(), 0.7);
+}
+
+// ---- robust comparison ------------------------------------------------------
+
+UncertainProfile uprofile(double emb_g, double emb_factor, double p_mw) {
+  UncertainProfile p;
+  p.embodied_per_good_die_g = Interval::factor(emb_g, emb_factor);
+  p.operational_power_w = Interval::point(p_mw * 1e-3);
+  p.execution_time_s = 0.040;
+  return p;
+}
+
+UncertainScenario uscenario() {
+  UncertainScenario s;
+  s.ci_use_g_per_kwh = Interval::plus_minus(380.0, 50.0);
+  s.lifetime_months = Interval::plus_minus(24.0, 6.0);
+  return s;
+}
+
+TEST(Robust, IntervalContainsPointRatio) {
+  const auto c = uprofile(3.6, 1.2, 8.5);
+  const auto b = uprofile(3.1, 1.2, 9.7);
+  const Interval r = tcdp_ratio_interval(c, b, uscenario());
+  EXPECT_LT(r.lo, r.hi);
+  // The nominal point ratio (all mid values) must be inside.
+  const double t_s = 24.0 * (365.0 / 12.0) * 86400.0;
+  const double op_c = 380.0 / 3.6e6 * 8.5e-3 * (2.0 / 24.0) * t_s;
+  const double op_b = 380.0 / 3.6e6 * 9.7e-3 * (2.0 / 24.0) * t_s;
+  const double nominal = (3.6 + op_c) / (3.1 + op_b);
+  EXPECT_TRUE(r.contains(nominal));
+}
+
+TEST(Robust, ClearWinnerDetected) {
+  const auto much_better = uprofile(1.0, 1.05, 3.0);
+  const auto baseline = uprofile(3.1, 1.05, 9.7);
+  EXPECT_EQ(robust_compare(much_better, baseline, uscenario()),
+            RobustVerdict::kCandidateAlwaysWins);
+  EXPECT_EQ(robust_compare(baseline, much_better, uscenario()),
+            RobustVerdict::kBaselineAlwaysWins);
+}
+
+TEST(Robust, CloseCallIsIndeterminate) {
+  const auto c = uprofile(3.6, 1.3, 8.5);
+  const auto b = uprofile(3.1, 1.3, 9.7);
+  EXPECT_EQ(robust_compare(c, b, uscenario()), RobustVerdict::kIndeterminate);
+}
+
+TEST(Robust, SharedKnobCorrelationTightensInterval) {
+  // Treating CI as shared (correlated) must give a tighter ratio interval
+  // than full-box division would; at minimum, CI variation alone must not
+  // widen the ratio when both designs have zero embodied carbon (the ratio
+  // is then CI-independent).
+  UncertainProfile c = uprofile(0.0, 1.0, 8.5);
+  c.embodied_per_good_die_g = Interval::point(0.0);
+  UncertainProfile b = uprofile(0.0, 1.0, 9.7);
+  b.embodied_per_good_die_g = Interval::point(0.0);
+  const Interval r = tcdp_ratio_interval(c, b, uscenario());
+  EXPECT_NEAR(r.lo, 8.5 / 9.7, 1e-9);
+  EXPECT_NEAR(r.hi, 8.5 / 9.7, 1e-9);
+}
+
+// ---- Monte Carlo ------------------------------------------------------------
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  const auto c = uprofile(3.6, 1.2, 8.5);
+  const auto b = uprofile(3.1, 1.2, 9.7);
+  const auto s1 = monte_carlo_tcdp_ratio(c, b, uscenario(), 2000, 42);
+  const auto s2 = monte_carlo_tcdp_ratio(c, b, uscenario(), 2000, 42);
+  EXPECT_DOUBLE_EQ(s1.mean, s2.mean);
+  EXPECT_DOUBLE_EQ(s1.p50, s2.p50);
+  const auto s3 = monte_carlo_tcdp_ratio(c, b, uscenario(), 2000, 43);
+  EXPECT_NE(s1.mean, s3.mean);
+}
+
+TEST(MonteCarlo, QuantilesOrderedAndInsideInterval) {
+  const auto c = uprofile(3.6, 1.2, 8.5);
+  const auto b = uprofile(3.1, 1.2, 9.7);
+  const auto mc = monte_carlo_tcdp_ratio(c, b, uscenario(), 5000, 7);
+  EXPECT_LE(mc.p05, mc.p50);
+  EXPECT_LE(mc.p50, mc.p95);
+  const Interval r = tcdp_ratio_interval(c, b, uscenario());
+  EXPECT_GE(mc.p05, r.lo - 1e-9);
+  EXPECT_LE(mc.p95, r.hi + 1e-9);
+  EXPECT_GE(mc.probability_candidate_wins, 0.0);
+  EXPECT_LE(mc.probability_candidate_wins, 1.0);
+}
+
+TEST(MonteCarlo, SureWinnerHasProbabilityOne) {
+  const auto c = uprofile(1.0, 1.05, 3.0);
+  const auto b = uprofile(3.1, 1.05, 9.7);
+  const auto mc = monte_carlo_tcdp_ratio(c, b, uscenario(), 1000, 1);
+  EXPECT_DOUBLE_EQ(mc.probability_candidate_wins, 1.0);
+}
+
+TEST(MonteCarlo, RejectsDegenerateSampleCount) {
+  const auto c = uprofile(3.6, 1.2, 8.5);
+  EXPECT_THROW((void)monte_carlo_tcdp_ratio(c, c, uscenario(), 1, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppatc::carbon

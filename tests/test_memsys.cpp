@@ -1,0 +1,198 @@
+// Tests for the eDRAM models: 3T-cell SPICE characterization, sub-array
+// energy accounting, and the bank-level Table II anchors.
+#include <gtest/gtest.h>
+
+#include "ppatc/common/contract.hpp"
+#include "ppatc/memsys/bitcell.hpp"
+#include "ppatc/memsys/edram.hpp"
+#include "ppatc/memsys/subarray.hpp"
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::memsys {
+namespace {
+
+using namespace ppatc::units;
+
+// Characterization runs SPICE transients; do it once per suite.
+const CellCharacteristics& si_cell_cc() {
+  static const CellCharacteristics cc = characterize(all_si_cell());
+  return cc;
+}
+const CellCharacteristics& m3d_cell_cc() {
+  static const CellCharacteristics cc = characterize(m3d_igzo_cnfet_cell());
+  return cc;
+}
+const EdramBank& si_bank() {
+  static const EdramBank bank{si_bank_config()};
+  return bank;
+}
+const EdramBank& m3d_bank() {
+  static const EdramBank bank{m3d_bank_config()};
+  return bank;
+}
+
+TEST(Cell, SiWritesAreFast) {
+  EXPECT_LT(in_picoseconds(si_cell_cc().write_delay), 100.0);
+}
+
+TEST(Cell, IgzoWritesCompleteWithinCycleDueToBoostedWwl) {
+  // Paper Step 2: VWWL = 1.3 V overdrive makes the IGZO write single-cycle.
+  EXPECT_LT(in_nanoseconds(m3d_cell_cc().write_delay), 2.0);
+  // ... but far slower than a Si write (low mobility).
+  EXPECT_GT(in_picoseconds(m3d_cell_cc().write_delay),
+            10.0 * in_picoseconds(si_cell_cc().write_delay));
+}
+
+TEST(Cell, CnfetReadBeatsSiRead) {
+  // High CNFET I_EFF: the M3D read stack discharges the bitline faster.
+  EXPECT_LT(in_picoseconds(m3d_cell_cc().read_delay), in_picoseconds(si_cell_cc().read_delay));
+}
+
+TEST(Cell, IgzoRetentionExceeds1000Seconds) {
+  // Paper Sec. II-A: >1000 s retention shown experimentally for IGZO eDRAM.
+  EXPECT_GT(in_seconds(m3d_cell_cc().retention), 1000.0);
+}
+
+TEST(Cell, SiRetentionIsMicrosecondScale) {
+  EXPECT_GT(in_seconds(si_cell_cc().retention), 1e-6);
+  EXPECT_LT(in_seconds(si_cell_cc().retention), 1e-3);
+}
+
+TEST(Cell, RetentionRatioIsManyOrdersOfMagnitude) {
+  EXPECT_GT(m3d_cell_cc().retention / si_cell_cc().retention, 1e6);
+}
+
+TEST(Cell, HoldLeakageOrdering) {
+  EXPECT_LT(in_amperes(m3d_cell_cc().hold_leakage), 1e-15);
+  EXPECT_GT(in_amperes(si_cell_cc().hold_leakage), 1e-13);
+}
+
+TEST(Cell, WriteEnergyIsFemtojouleScale) {
+  EXPECT_GT(in_femtojoules(si_cell_cc().write_energy), 0.01);
+  EXPECT_LT(in_femtojoules(si_cell_cc().write_energy), 100.0);
+}
+
+TEST(Cell, SenseMarginScalesRetentionLinearly) {
+  const auto tight = characterize(m3d_igzo_cnfet_cell(), volts(0.1));
+  const auto loose = characterize(m3d_igzo_cnfet_cell(), volts(0.3));
+  EXPECT_NEAR(loose.retention / tight.retention, 3.0, 1e-6);
+}
+
+TEST(SubArray, GeometryValidation) {
+  SubArraySpec bad;
+  bad.cols = 100;  // not a multiple of 32
+  EXPECT_THROW((void)characterize_subarray(bad, all_si_cell(), si_cell_cc()), ContractViolation);
+}
+
+TEST(SubArray, BitCountMatchesGeometry) {
+  const auto sub = characterize_subarray(SubArraySpec{}, all_si_cell(), si_cell_cc());
+  EXPECT_EQ(sub.bits, 128u * 128u);  // 2 kB
+}
+
+TEST(SubArray, RefreshRowCostsMoreThanWordRead) {
+  const auto sub = characterize_subarray(SubArraySpec{}, all_si_cell(), si_cell_cc());
+  EXPECT_GT(sub.refresh_row_energy, sub.read_energy);
+}
+
+TEST(SubArray, EnergiesArePicojouleScale) {
+  const auto sub = characterize_subarray(SubArraySpec{}, all_si_cell(), si_cell_cc());
+  EXPECT_GT(in_picojoules(sub.read_energy), 0.01);
+  EXPECT_LT(in_picojoules(sub.read_energy), 10.0);
+  EXPECT_GT(in_picojoules(sub.write_energy), 0.01);
+  EXPECT_LT(in_picojoules(sub.write_energy), 10.0);
+}
+
+TEST(SubArray, BiggerArraysLoadLinesMore) {
+  SubArraySpec big;
+  big.rows = 256;
+  big.cols = 256;
+  const auto small = characterize_subarray(SubArraySpec{}, all_si_cell(), si_cell_cc());
+  const auto large = characterize_subarray(big, all_si_cell(), si_cell_cc());
+  EXPECT_GT(large.wordline_cap, small.wordline_cap);
+  EXPECT_GT(large.bitline_cap, small.bitline_cap);
+  EXPECT_GT(large.read_energy, small.read_energy);
+  EXPECT_GT(large.access_delay, small.access_delay);
+}
+
+TEST(Bank, SubArrayCountFor64kB) {
+  EXPECT_EQ(si_bank().subarray_count(), 32);
+  EXPECT_EQ(si_bank().total_rows(), 32u * 128u);
+}
+
+TEST(Bank, AreaMatchesTableII) {
+  // Paper: 0.068 mm^2 (Si) vs 0.025 mm^2 (M3D) for 64 kB.
+  EXPECT_NEAR(in_square_millimetres(si_bank().area()), 0.068, 0.001);
+  EXPECT_NEAR(in_square_millimetres(m3d_bank().area()), 0.025, 0.001);
+}
+
+TEST(Bank, M3dStackingShrinksFootprint) {
+  EXPECT_LT(in_square_millimetres(m3d_bank().area()),
+            0.5 * in_square_millimetres(si_bank().area()));
+}
+
+TEST(Bank, BothMeetTimingAt500MHz) {
+  EXPECT_TRUE(si_bank().meets_timing(megahertz(500)));
+  EXPECT_TRUE(m3d_bank().meets_timing(megahertz(500)));
+}
+
+TEST(Bank, NeitherMeets5GHz) {
+  EXPECT_FALSE(si_bank().meets_timing(gigahertz(5.0)));
+  EXPECT_FALSE(m3d_bank().meets_timing(gigahertz(5.0)));
+}
+
+TEST(Bank, SiNeedsRefreshM3dBarely) {
+  EXPECT_GT(in_microwatts(si_bank().refresh_power()), 1.0);
+  EXPECT_LT(in_microwatts(m3d_bank().refresh_power()), 0.01);
+}
+
+TEST(Bank, M3dAccessEnergyIsLower) {
+  // Smaller footprint -> shorter global bus -> lower access energy.
+  EXPECT_LT(in_picojoules(m3d_bank().read_access_energy()),
+            in_picojoules(si_bank().read_access_energy()));
+}
+
+TEST(Bank, MemoryEnergyMatchesTableIIOnMatmult) {
+  const auto run = workloads::run_workload(workloads::matmult_int());
+  ASSERT_TRUE(run.checksum_ok);
+  const auto si = memory_energy(si_bank(), run.stats, run.cycles, megahertz(500));
+  const auto m3d = memory_energy(m3d_bank(), run.stats, run.cycles, megahertz(500));
+  EXPECT_NEAR(in_picojoules(si.per_cycle), 18.0, 0.15);   // Table II: 18.0 pJ
+  EXPECT_NEAR(in_picojoules(m3d.per_cycle), 15.5, 0.15);  // Table II: 15.5 pJ
+}
+
+TEST(Bank, EnergyReportComponentsSum) {
+  const auto run = workloads::run_workload(workloads::crc32(2));
+  const auto rep = memory_energy(si_bank(), run.stats, run.cycles, megahertz(500));
+  EXPECT_NEAR(in_picojoules(rep.total),
+              in_picojoules(rep.access_energy + rep.refresh_energy + rep.static_energy), 1e-6);
+  EXPECT_GT(rep.access_energy, Energy{});
+  EXPECT_GT(rep.static_energy, Energy{});
+}
+
+TEST(Bank, PerCycleEnergyIndependentOfWorkloadLengthForSameMix) {
+  // Same workload at different repeat counts: per-cycle energy converges.
+  const auto r1 = workloads::run_workload(workloads::statemate(4));
+  const auto r2 = workloads::run_workload(workloads::statemate(16));
+  const auto e1 = memory_energy(si_bank(), r1.stats, r1.cycles, megahertz(500));
+  const auto e2 = memory_energy(si_bank(), r2.stats, r2.cycles, megahertz(500));
+  EXPECT_NEAR(in_picojoules(e1.per_cycle), in_picojoules(e2.per_cycle),
+              0.05 * in_picojoules(e1.per_cycle));
+}
+
+TEST(Bank, ConfigValidation) {
+  BankConfig cfg = si_bank_config();
+  cfg.capacity_bytes = 3000;  // not a whole number of sub-arrays
+  EXPECT_THROW(EdramBank{cfg}, ContractViolation);
+}
+
+TEST(Bank, LowerClockReducesAccessShareNotStaticPower) {
+  const auto run = workloads::run_workload(workloads::crc32(2));
+  const auto fast = memory_energy(si_bank(), run.stats, run.cycles, megahertz(500));
+  const auto slow = memory_energy(si_bank(), run.stats, run.cycles, megahertz(250));
+  // Same access energy, double the leakage time -> higher per-cycle energy.
+  EXPECT_NEAR(in_picojoules(fast.access_energy), in_picojoules(slow.access_energy), 1e-6);
+  EXPECT_GT(in_picojoules(slow.per_cycle), in_picojoules(fast.per_cycle));
+}
+
+}  // namespace
+}  // namespace ppatc::memsys

@@ -1,0 +1,194 @@
+// Tests for operational carbon (Eq. 1/6-8) and the tC / tCDP lifetime
+// analytics (Fig. 5).
+#include <gtest/gtest.h>
+
+#include "ppatc/carbon/operational.hpp"
+#include "ppatc/carbon/tcdp.hpp"
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+namespace {
+
+using namespace ppatc::units;
+
+OperationalScenario us_scenario() {
+  OperationalScenario s;
+  s.use_intensity = DiurnalIntensity::flat(grids::us().intensity);
+  return s;
+}
+
+TEST(Operational, Eq8HandComputation) {
+  // 10 mW, 2 h/day, 24 months, 380 g/kWh:
+  // E = 10e-3 W * 24*30.417*2*3600 s = 10e-3 * 730*3600*... compute directly.
+  const OperationalScenario s = us_scenario();
+  const Carbon c = operational_carbon(s, milliwatts(10.0), months(24.0));
+  const double hours = 24.0 * (365.0 / 12.0) * 2.0;  // lifetime days * 2h
+  const double expected_g = 380.0 * (10e-3 * hours / 1000.0);  // g/kWh * kWh
+  EXPECT_NEAR(in_grams_co2e(c), expected_g, 1e-9);
+}
+
+TEST(Operational, LinearInPowerAndLifetime) {
+  const OperationalScenario s = us_scenario();
+  const Carbon base = operational_carbon(s, milliwatts(5.0), months(10.0));
+  EXPECT_NEAR(in_grams_co2e(operational_carbon(s, milliwatts(10.0), months(10.0))),
+              2.0 * in_grams_co2e(base), 1e-12);
+  EXPECT_NEAR(in_grams_co2e(operational_carbon(s, milliwatts(5.0), months(20.0))),
+              2.0 * in_grams_co2e(base), 1e-12);
+}
+
+TEST(Operational, WindowWidthScalesCarbon) {
+  OperationalScenario narrow = us_scenario();
+  OperationalScenario wide = us_scenario();
+  wide.window.start_hour = 18.0;
+  wide.window.end_hour = 22.0;  // 4 h/day
+  const Carbon cn = operational_carbon(narrow, milliwatts(10.0), months(12.0));
+  const Carbon cw = operational_carbon(wide, milliwatts(10.0), months(12.0));
+  EXPECT_NEAR(in_grams_co2e(cw), 2.0 * in_grams_co2e(cn), 1e-9);
+}
+
+TEST(Operational, Eq8MatchesEq1Integral) {
+  // The closed form (Eq. 8) must equal the explicit integral (Eq. 1) for the
+  // windowed power profile, including with a shaped CI_use(t).
+  OperationalScenario s;
+  s.use_intensity = DiurnalIntensity::with_evening_peak(grids::us().intensity, 0.4);
+  const Power p = milliwatts(10.0);
+  const Duration life = days(30.0);
+  const Carbon closed = operational_carbon(s, p, life);
+  const auto power_at = [&](double hour) {
+    return (hour >= 20.0 && hour < 22.0) ? p : watts(0.0);
+  };
+  const Carbon integral =
+      operational_carbon_integral(s.use_intensity, power_at, life, seconds(60.0));
+  EXPECT_NEAR(in_grams_co2e(closed), in_grams_co2e(integral),
+              0.01 * in_grams_co2e(closed));
+}
+
+TEST(Operational, StandbyUsesDailyMean) {
+  OperationalScenario s;
+  s.use_intensity = DiurnalIntensity::with_evening_peak(grids::us().intensity, 0.5);
+  const Carbon c = standby_carbon(s, milliwatts(1.0), days(10.0));
+  const double expected =
+      s.use_intensity.daily_mean().base() * (1e-3 * 10.0 * 86400.0);
+  EXPECT_NEAR(in_grams_co2e(c), expected, 1e-9);
+}
+
+TEST(Operational, RejectsNegativeInputs) {
+  const OperationalScenario s = us_scenario();
+  EXPECT_THROW((void)operational_carbon(s, milliwatts(-1.0), months(1.0)), ContractViolation);
+  EXPECT_THROW((void)operational_carbon(s, milliwatts(1.0), months(-1.0)), ContractViolation);
+}
+
+// ---- tC / tCDP --------------------------------------------------------------
+
+SystemCarbonProfile make_profile(double emb_g, double p_mw, double exec_ms) {
+  SystemCarbonProfile p;
+  p.name = "test";
+  p.embodied_per_good_die = grams_co2e(emb_g);
+  p.operational_power = milliwatts(p_mw);
+  p.execution_time = milliseconds(exec_ms);
+  return p;
+}
+
+TEST(Tcdp, TotalCarbonIsEmbodiedPlusOperational) {
+  const auto p = make_profile(3.0, 10.0, 40.0);
+  const auto s = us_scenario();
+  const Duration t = months(12.0);
+  EXPECT_NEAR(in_grams_co2e(total_carbon(p, s, t)),
+              3.0 + in_grams_co2e(operational_carbon(p, s, t)), 1e-9);
+}
+
+TEST(Tcdp, TcdpIsTotalTimesExecution) {
+  const auto p = make_profile(3.0, 10.0, 40.0);
+  const auto s = us_scenario();
+  const Duration t = months(12.0);
+  EXPECT_NEAR(tcdp(p, s, t), in_grams_co2e(total_carbon(p, s, t)) * 0.040, 1e-9);
+}
+
+TEST(Tcdp, SeriesIsMonotonicWithConstantEmbodied) {
+  const auto p = make_profile(3.0, 10.0, 40.0);
+  const auto series = lifetime_series(p, us_scenario(), 24);
+  ASSERT_EQ(series.size(), 24u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].total, series[i - 1].total);
+    EXPECT_GT(series[i].operational, series[i - 1].operational);
+    EXPECT_EQ(series[i].embodied, series[0].embodied);
+    EXPECT_GT(series[i].tcdp, series[i - 1].tcdp);
+  }
+  EXPECT_NEAR(in_months(series[11].lifetime), 12.0, 1e-9);
+}
+
+TEST(Tcdp, EmbodiedDominanceEndAnalytic) {
+  // C_op(t) = C_emb when t = C_emb / (CI * P * duty).
+  const auto p = make_profile(3.0, 10.0, 40.0);
+  const auto s = us_scenario();
+  const auto end = embodied_dominance_end(p, s, months(60.0));
+  ASSERT_TRUE(end.has_value());
+  const double rate_g_per_s =
+      grids::us().intensity.base() * 10e-3 * (2.0 / 24.0);
+  EXPECT_NEAR(in_seconds(*end), 3.0 / rate_g_per_s, 5.0);
+}
+
+TEST(Tcdp, EmbodiedDominanceNeverWithinHorizon) {
+  const auto p = make_profile(1000.0, 1.0, 40.0);
+  EXPECT_FALSE(embodied_dominance_end(p, us_scenario(), months(12.0)).has_value());
+}
+
+TEST(Tcdp, CrossoverFoundForOpposedProfiles) {
+  // a: low embodied, high power; b: high embodied, low power.
+  const auto a = make_profile(2.0, 12.0, 40.0);
+  const auto b = make_profile(4.0, 6.0, 40.0);
+  const auto s = us_scenario();
+  const auto cross = total_carbon_crossover(a, b, s, months(60.0));
+  ASSERT_TRUE(cross.has_value());
+  // At the crossover the totals agree.
+  EXPECT_NEAR(in_grams_co2e(total_carbon(a, s, *cross)),
+              in_grams_co2e(total_carbon(b, s, *cross)), 1e-3);
+  // Analytic: delta_emb / delta_rate.
+  const double rate = grids::us().intensity.base() * 6e-3 * (2.0 / 24.0);
+  EXPECT_NEAR(in_seconds(*cross), 2.0 / rate, 10.0);
+}
+
+TEST(Tcdp, NoCrossoverWhenOneDominates) {
+  const auto a = make_profile(2.0, 5.0, 40.0);
+  const auto b = make_profile(4.0, 6.0, 40.0);  // worse on both axes
+  EXPECT_FALSE(total_carbon_crossover(a, b, us_scenario(), months(60.0)).has_value());
+}
+
+TEST(Tcdp, RatioConvergesToEdpRatio) {
+  const auto a = make_profile(2.0, 12.0, 40.0);
+  const auto b = make_profile(4.0, 6.0, 40.0);
+  const auto s = us_scenario();
+  const double limit = asymptotic_edp_ratio(a, b, s);
+  EXPECT_NEAR(limit, 2.0, 1e-9);  // same exec time, 2x power
+  const double at_20y = tcdp_ratio(a, b, s, months(1200.0));
+  EXPECT_NEAR(at_20y, limit, 0.1);
+  // Convergence is monotone from below here (a has less embodied).
+  EXPECT_LT(tcdp_ratio(a, b, s, months(12.0)), at_20y);
+}
+
+TEST(Tcdp, ExecutionTimeWeightsRatio) {
+  const auto fast = make_profile(3.0, 10.0, 20.0);
+  const auto slow = make_profile(3.0, 10.0, 40.0);
+  const auto s = us_scenario();
+  EXPECT_NEAR(tcdp_ratio(fast, slow, s, months(12.0)), 0.5, 1e-9);
+}
+
+TEST(Tcdp, StandbyPowerCountsAllDay) {
+  auto p = make_profile(3.0, 0.0, 40.0);
+  p.standby_power = milliwatts(1.0);
+  const auto s = us_scenario();
+  const Carbon c = operational_carbon(p, s, days(1.0));
+  // 1 mW for 24 h at 380 g/kWh = 0.00912 g.
+  EXPECT_NEAR(in_grams_co2e(c), 380.0 * 24e-6, 1e-6);
+}
+
+TEST(Tcdp, SeriesRejectsBadArgs) {
+  const auto p = make_profile(3.0, 10.0, 40.0);
+  EXPECT_THROW((void)lifetime_series(p, us_scenario(), 0), ContractViolation);
+  auto bad = p;
+  bad.execution_time = seconds(0.0);
+  EXPECT_THROW((void)tcdp(bad, us_scenario(), months(1.0)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppatc::carbon

@@ -1,0 +1,232 @@
+// Tests for the MNA circuit simulator: stimuli, DC, transients vs analytic
+// solutions, measurements, and energy accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppatc/common/contract.hpp"
+#include "ppatc/device/library.hpp"
+#include "ppatc/spice/circuit.hpp"
+#include "ppatc/spice/simulator.hpp"
+
+namespace ppatc::spice {
+namespace {
+
+using namespace ppatc::units;
+
+TEST(Stimulus, DcIsConstant) {
+  const Stimulus s = Stimulus::dc(volts(0.7));
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(0.0))), 0.7);
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(100.0))), 0.7);
+  EXPECT_DOUBLE_EQ(in_volts(s.dc_value()), 0.7);
+}
+
+TEST(Stimulus, PwlInterpolatesAndClamps) {
+  const Stimulus s = Stimulus::pwl({{seconds(1.0), volts(0.0)}, {seconds(3.0), volts(1.0)}});
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(0.0))), 0.0);   // clamp before
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(2.0))), 0.5);   // midpoint
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(10.0))), 1.0);  // clamp after
+}
+
+TEST(Stimulus, PwlRejectsNonIncreasingTimes) {
+  EXPECT_THROW(Stimulus::pwl({{seconds(1.0), volts(0.0)}, {seconds(1.0), volts(1.0)}}),
+               ContractViolation);
+  EXPECT_THROW(Stimulus::pwl({}), ContractViolation);
+}
+
+TEST(Stimulus, PulseShape) {
+  const Stimulus s = Stimulus::pulse(volts(0.0), volts(1.0), seconds(1.0), seconds(0.1),
+                                     seconds(0.1), seconds(0.3), seconds(1.0));
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(0.5))), 0.0);    // before delay
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(1.05))), 0.5);   // mid-rise
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(1.2))), 1.0);    // high
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(1.45))), 0.5);   // mid-fall
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(1.9))), 0.0);    // low
+  EXPECT_DOUBLE_EQ(in_volts(s.at(seconds(2.2))), 1.0);    // second period, high
+}
+
+TEST(Stimulus, PulseRejectsOverfullPeriod) {
+  EXPECT_THROW(Stimulus::pulse(volts(0), volts(1), seconds(0), seconds(0.5), seconds(0.5),
+                               seconds(0.5), seconds(1.0)),
+               ContractViolation);
+}
+
+TEST(Waveform, InterpolationAndStats) {
+  Waveform w;
+  w.time = {seconds(0.0), seconds(1.0), seconds(2.0)};
+  w.value = {0.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(w.at(seconds(0.5)), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(seconds(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(w.final(), 1.0);
+  EXPECT_DOUBLE_EQ(w.minimum(), 0.0);
+  EXPECT_DOUBLE_EQ(w.maximum(), 2.0);
+  EXPECT_DOUBLE_EQ(integrate(w), 2.5);  // trapezoids: 1 + 1.5
+}
+
+TEST(Waveform, CrossTimeFindsNthCrossing) {
+  Waveform w;
+  for (int i = 0; i <= 100; ++i) {
+    w.time.push_back(seconds(i * 0.01));
+    w.value.push_back(std::sin(2.0 * M_PI * i * 0.01));  // one full period
+  }
+  const Duration rise = cross_time(w, 0.5, Edge::kRise);
+  EXPECT_NEAR(in_seconds(rise), std::asin(0.5) / (2 * M_PI), 1e-3);
+  const Duration fall = cross_time(w, 0.5, Edge::kFall);
+  EXPECT_GT(fall, rise);
+  EXPECT_LT(in_seconds(cross_time(w, 5.0, Edge::kEither)), 0.0);  // never crosses
+}
+
+TEST(Circuit, NodeManagement) {
+  Circuit c;
+  EXPECT_EQ(c.node("0"), kGroundNode);
+  EXPECT_EQ(c.node("gnd"), kGroundNode);
+  const NodeId a = c.node("a");
+  EXPECT_EQ(c.node("a"), a);  // idempotent
+  EXPECT_TRUE(c.has_node("a"));
+  EXPECT_FALSE(c.has_node("b"));
+  EXPECT_THROW(c.find_node("b"), ContractViolation);
+  EXPECT_EQ(c.node_name(a), "a");
+}
+
+TEST(Circuit, RejectsBadElements) {
+  Circuit c;
+  EXPECT_THROW(c.add_resistor("a", "0", -5.0), ContractViolation);
+  EXPECT_THROW(c.add_capacitor("a", "0", farads(0.0)), ContractViolation);
+  c.add_vsource("v1", "a", "0", Stimulus::dc(volts(1.0)));
+  EXPECT_THROW(c.add_vsource("v1", "b", "0", Stimulus::dc(volts(1.0))), ContractViolation);
+}
+
+TEST(Dc, ResistorDivider) {
+  Circuit c;
+  c.add_vsource("vin", "in", "0", Stimulus::dc(volts(1.0)));
+  c.add_resistor("in", "mid", 1000.0);
+  c.add_resistor("mid", "0", 3000.0);
+  const Simulator sim{c};
+  const auto dc = sim.dc_operating_point();
+  ASSERT_TRUE(dc.has_value());
+  EXPECT_NEAR(dc->node_volts[c.find_node("mid")], 0.75, 1e-9);
+  // Source current: 1 V over 4 kOhm, delivered out of the + terminal
+  // (plus the femtoamp-scale gmin leakage).
+  EXPECT_NEAR(dc->source_currents[0], 1.0 / 4000.0, 1e-10);
+}
+
+TEST(Dc, FloatingNodePulledByGmin) {
+  Circuit c;
+  c.add_vsource("vin", "in", "0", Stimulus::dc(volts(1.0)));
+  c.add_resistor("in", "float", 1e6);
+  const Simulator sim{c};
+  const auto dc = sim.dc_operating_point();
+  ASSERT_TRUE(dc.has_value());
+  // gmin (1e-12 S) to ground forms a divider with the 1 MOhm: ~1.0 V.
+  EXPECT_NEAR(dc->node_volts[c.find_node("float")], 1.0, 1e-3);
+}
+
+TEST(Dc, CmosInverterTransferPoints) {
+  // NMOS + PMOS inverter at VDD = 0.7: input low -> out high; input high -> out low.
+  for (const auto [vin, expect_high] : {std::pair{0.0, true}, std::pair{0.7, false}}) {
+    Circuit c;
+    c.add_vsource("vdd", "vdd", "0", Stimulus::dc(volts(0.7)));
+    c.add_vsource("vin", "in", "0", Stimulus::dc(volts(vin)));
+    c.add_fet("mp", device::silicon_finfet(device::Polarity::kPmos, device::VtFlavor::kRvt), 0.2,
+              "out", "in", "vdd");
+    c.add_fet("mn", device::silicon_finfet(device::Polarity::kNmos, device::VtFlavor::kRvt), 0.1,
+              "out", "in", "0");
+    const Simulator sim{c};
+    const auto dc = sim.dc_operating_point();
+    ASSERT_TRUE(dc.has_value());
+    const double vout = dc->node_volts[c.find_node("out")];
+    if (expect_high) {
+      EXPECT_GT(vout, 0.65);
+    } else {
+      EXPECT_LT(vout, 0.05);
+    }
+  }
+}
+
+TEST(Transient, RcChargeMatchesAnalytic) {
+  // 1 kOhm, 1 uF step from 0 to 1 V: v(t) = 1 - exp(-t/tau), tau = 1 ms.
+  Circuit c;
+  c.add_vsource("vin", "in", "0",
+                Stimulus::pwl({{seconds(0.0), volts(0.0)}, {seconds(1e-6), volts(1.0)}}));
+  c.add_resistor("in", "out", 1000.0);
+  c.add_capacitor("out", "0", farads(1e-6));
+  const Simulator sim{c};
+  const auto tr = sim.transient(seconds(5e-3), seconds(5e-6));
+  ASSERT_TRUE(tr.has_value());
+  const auto out = tr->node("out");
+  for (const double t_ms : {0.5, 1.0, 2.0, 4.0}) {
+    const double expected = 1.0 - std::exp(-t_ms / 1.0);
+    EXPECT_NEAR(out.at(seconds(t_ms * 1e-3)), expected, 0.01) << "at t=" << t_ms << " ms";
+  }
+}
+
+TEST(Transient, InitialConditionHonored) {
+  // Cap starts at 1 V and discharges through R: v(t) = exp(-t/tau).
+  Circuit c;
+  c.add_resistor("out", "0", 1000.0);
+  c.add_capacitor_ic("out", "0", farads(1e-6), volts(1.0));
+  // A dummy source keeps the system well-posed.
+  c.add_vsource("vref", "ref", "0", Stimulus::dc(volts(0.0)));
+  c.add_resistor("ref", "out", 1e9);
+  const Simulator sim{c};
+  const auto tr = sim.transient(seconds(3e-3), seconds(2e-6), /*from_ics=*/true);
+  ASSERT_TRUE(tr.has_value());
+  const auto out = tr->node("out");
+  EXPECT_NEAR(out.at(seconds(1e-3)), std::exp(-1.0), 0.02);
+  EXPECT_NEAR(out.at(seconds(2e-3)), std::exp(-2.0), 0.02);
+}
+
+TEST(Transient, SourceEnergyMatchesCapacitorCharge) {
+  // Charging C to V through R draws E = C V^2 from the source (half stored,
+  // half dissipated), independent of R.
+  Circuit c;
+  c.add_vsource("vin", "in", "0",
+                Stimulus::pwl({{seconds(0.0), volts(0.0)}, {seconds(1e-6), volts(1.0)}}));
+  c.add_resistor("in", "out", 500.0);
+  c.add_capacitor("out", "0", farads(1e-6));
+  const Simulator sim{c};
+  const auto tr = sim.transient(seconds(10e-3), seconds(5e-6));
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_NEAR(in_joules(tr->source_energy("vin")), 1e-6 * 1.0 * 1.0, 5e-8);
+}
+
+TEST(Transient, RejectsBadArguments) {
+  Circuit c;
+  c.add_vsource("v", "a", "0", Stimulus::dc(volts(1.0)));
+  c.add_resistor("a", "0", 100.0);
+  const Simulator sim{c};
+  EXPECT_THROW((void)sim.transient(seconds(0.0), seconds(1.0)), ContractViolation);
+  EXPECT_THROW((void)sim.transient(seconds(1.0), seconds(2.0)), ContractViolation);
+}
+
+TEST(Transient, InverterSwitchesDynamically) {
+  Circuit c;
+  c.add_vsource("vdd", "vdd", "0", Stimulus::dc(volts(0.7)));
+  c.add_vsource("vin", "in", "0",
+                Stimulus::pulse(volts(0.0), volts(0.7), nanoseconds(1.0), picoseconds(20),
+                                picoseconds(20), nanoseconds(2.0), nanoseconds(5.0)));
+  c.add_fet("mp", device::silicon_finfet(device::Polarity::kPmos, device::VtFlavor::kRvt), 0.2,
+            "out", "in", "vdd");
+  c.add_fet("mn", device::silicon_finfet(device::Polarity::kNmos, device::VtFlavor::kRvt), 0.1,
+            "out", "in", "0");
+  c.add_capacitor("out", "0", femtofarads(5.0));
+  const Simulator sim{c};
+  const auto tr = sim.transient(nanoseconds(5.0), picoseconds(5.0));
+  ASSERT_TRUE(tr.has_value());
+  const auto out = tr->node("out");
+  EXPECT_GT(out.at(nanoseconds(0.9)), 0.65);   // input low -> out high
+  EXPECT_LT(out.at(nanoseconds(2.5)), 0.05);   // input high -> out low
+  EXPECT_GT(out.at(nanoseconds(4.8)), 0.6);    // input low again -> out recovers
+  // Propagation delay is positive and sub-ns for this load.
+  const Duration tfall = cross_time(out, 0.35, Edge::kFall);
+  EXPECT_GT(in_picoseconds(tfall), 1000.0);  // after the 1 ns input edge
+  EXPECT_LT(in_picoseconds(tfall), 1200.0);
+}
+
+TEST(Simulator, RequiresNonTrivialCircuit) {
+  Circuit c;
+  EXPECT_THROW(Simulator{c}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppatc::spice

@@ -1,0 +1,136 @@
+// Tests for the M0 synthesis model (Fig. 4 substrate).
+#include <gtest/gtest.h>
+
+#include "ppatc/common/contract.hpp"
+#include "ppatc/synth/m0.hpp"
+
+namespace ppatc::synth {
+namespace {
+
+using namespace ppatc::units;
+using device::VtFlavor;
+
+M0Model model(VtFlavor vt) {
+  M0Options o;
+  o.vt = vt;
+  return M0Model{o};
+}
+
+TEST(M0, Rvt500MHzMatchesTableII) {
+  // Table II: 1.42 pJ/cycle for the M0 at 500 MHz.
+  const auto s = model(VtFlavor::kRvt).synthesize(megahertz(500));
+  ASSERT_TRUE(s.timing_met);
+  EXPECT_NEAR(in_picojoules(s.energy_per_cycle), 1.42, 0.02);
+}
+
+TEST(M0, FmaxOrderingByVt) {
+  const double hvt = in_megahertz(model(VtFlavor::kHvt).fmax());
+  const double rvt = in_megahertz(model(VtFlavor::kRvt).fmax());
+  const double lvt = in_megahertz(model(VtFlavor::kLvt).fmax());
+  const double slvt = in_megahertz(model(VtFlavor::kSlvt).fmax());
+  EXPECT_LT(hvt, rvt);
+  EXPECT_LT(rvt, lvt);
+  EXPECT_LT(lvt, slvt);
+}
+
+TEST(M0, FmaxValuesAreSubGigahertzToGigahertz) {
+  EXPECT_GT(in_megahertz(model(VtFlavor::kHvt).fmax()), 400.0);
+  EXPECT_LT(in_megahertz(model(VtFlavor::kSlvt).fmax()), 3000.0);
+}
+
+TEST(M0, LeakageOrderingByVt) {
+  const auto leak = [&](VtFlavor vt) { return in_microwatts(model(vt).leakage_power()); };
+  EXPECT_LT(leak(VtFlavor::kHvt), leak(VtFlavor::kRvt));
+  EXPECT_LT(leak(VtFlavor::kRvt), leak(VtFlavor::kLvt));
+  EXPECT_LT(leak(VtFlavor::kLvt), leak(VtFlavor::kSlvt));
+}
+
+TEST(M0, TimingFailsAboveFmax) {
+  const auto m = model(VtFlavor::kHvt);
+  const auto s = m.synthesize(units::hertz(in_hertz(m.fmax()) * 1.01));
+  EXPECT_FALSE(s.timing_met);
+  // RVT cannot close 2 GHz either.
+  EXPECT_FALSE(model(VtFlavor::kRvt).synthesize(gigahertz(2.0)).timing_met);
+}
+
+TEST(M0, EnergyRisesTowardFmax) {
+  // Fig. 4 shape: past the leakage-dominated low end, energy/cycle grows as
+  // the target approaches fmax (sizing).
+  const auto m = model(VtFlavor::kRvt);
+  const double e300 = in_picojoules(m.synthesize(megahertz(300)).energy_per_cycle);
+  const double e500 = in_picojoules(m.synthesize(megahertz(500)).energy_per_cycle);
+  const double e800 = in_picojoules(m.synthesize(megahertz(800)).energy_per_cycle);
+  EXPECT_LT(e300, e500);
+  EXPECT_LT(e500, e800);
+}
+
+TEST(M0, SlvtLeakageInflatesLowFrequencyEnergy) {
+  // At 100 MHz, the leaky SLVT flavor pays more leakage-per-cycle than HVT.
+  const double slvt = in_picojoules(model(VtFlavor::kSlvt).synthesize(megahertz(100)).energy_per_cycle);
+  const double hvt = in_picojoules(model(VtFlavor::kHvt).synthesize(megahertz(100)).energy_per_cycle);
+  EXPECT_GT(slvt, hvt);
+}
+
+TEST(M0, CriticalPathLeavesSlack) {
+  const auto s = model(VtFlavor::kRvt).synthesize(megahertz(500));
+  EXPECT_LT(in_nanoseconds(s.critical_path), 2.0);
+  EXPECT_GT(in_nanoseconds(s.critical_path), 1.5);
+}
+
+TEST(M0, Fo4OrderingByVt) {
+  EXPECT_GT(in_picoseconds(model(VtFlavor::kHvt).fo4_delay()),
+            in_picoseconds(model(VtFlavor::kSlvt).fo4_delay()));
+}
+
+TEST(M0, AreaIndependentOfVt) {
+  EXPECT_DOUBLE_EQ(in_square_millimetres(model(VtFlavor::kHvt).area()),
+                   in_square_millimetres(model(VtFlavor::kSlvt).area()));
+  EXPECT_NEAR(in_square_millimetres(model(VtFlavor::kRvt).area()), 0.0505, 0.0005);
+}
+
+TEST(M0, OptionValidation) {
+  M0Options bad;
+  bad.gate_count = 0.0;
+  EXPECT_THROW(M0Model{bad}, ContractViolation);
+  M0Options bad2;
+  bad2.activity = 0.0;
+  EXPECT_THROW(M0Model{bad2}, ContractViolation);
+  const M0Model m{M0Options{}};
+  EXPECT_THROW((void)m.synthesize(units::hertz(0.0)), ContractViolation);
+}
+
+TEST(Sweep, Figure4Structure) {
+  const auto sweep = figure4_sweep();
+  // 4 VT flavors x 10 frequency points.
+  EXPECT_EQ(sweep.size(), 40u);
+  int met = 0;
+  int failed = 0;
+  for (const auto& p : sweep) {
+    if (p.result) {
+      ++met;
+      EXPECT_GT(in_picojoules(p.result->energy_per_cycle), 0.0);
+    } else {
+      ++failed;
+    }
+  }
+  EXPECT_GT(met, 25);     // most points close
+  EXPECT_GT(failed, 0);   // HVT fails the top of the sweep
+}
+
+TEST(Sweep, EveryVtCovers500MHz) {
+  for (const auto& p : figure4_sweep()) {
+    if (std::abs(in_megahertz(p.fclk) - 500.0) < 1e-6) {
+      EXPECT_TRUE(p.result.has_value()) << device::to_string(p.vt);
+    }
+  }
+}
+
+TEST(Sweep, CustomRange) {
+  const auto sweep = figure4_sweep(megahertz(200), megahertz(400), megahertz(100));
+  EXPECT_EQ(sweep.size(), 12u);  // 4 VT x 3 points
+  EXPECT_THROW((void)figure4_sweep(megahertz(400), megahertz(200), megahertz(100)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppatc::synth

@@ -1,0 +1,191 @@
+// Unit tests for the strong-typed quantity system.
+#include <gtest/gtest.h>
+
+#include "ppatc/common/contract.hpp"
+#include "ppatc/common/units.hpp"
+
+namespace ppatc {
+namespace {
+
+using namespace ppatc::units;
+
+TEST(Quantity, DefaultConstructedIsZero) {
+  EXPECT_EQ(Energy{}.base(), 0.0);
+  EXPECT_EQ(in_joules(Energy{}), 0.0);
+}
+
+TEST(Quantity, AdditionAndSubtraction) {
+  const Energy a = joules(3.0);
+  const Energy b = joules(1.5);
+  EXPECT_DOUBLE_EQ(in_joules(a + b), 4.5);
+  EXPECT_DOUBLE_EQ(in_joules(a - b), 1.5);
+}
+
+TEST(Quantity, CompoundAssignment) {
+  Energy e = joules(1.0);
+  e += joules(2.0);
+  EXPECT_DOUBLE_EQ(in_joules(e), 3.0);
+  e -= joules(0.5);
+  EXPECT_DOUBLE_EQ(in_joules(e), 2.5);
+  e *= 4.0;
+  EXPECT_DOUBLE_EQ(in_joules(e), 10.0);
+  e /= 5.0;
+  EXPECT_DOUBLE_EQ(in_joules(e), 2.0);
+}
+
+TEST(Quantity, ScalarMultiplicationCommutes) {
+  const Power p = watts(2.0);
+  EXPECT_DOUBLE_EQ(in_watts(p * 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(in_watts(3.0 * p), 6.0);
+}
+
+TEST(Quantity, SameDimensionRatioIsDimensionless) {
+  const double r = kilowatt_hours(2.0) / kilowatt_hours(0.5);
+  EXPECT_DOUBLE_EQ(r, 4.0);
+}
+
+TEST(Quantity, Comparisons) {
+  EXPECT_LT(joules(1.0), joules(2.0));
+  EXPECT_GT(joules(2.0), joules(1.0));
+  EXPECT_EQ(joules(1.0), joules(1.0));
+  EXPECT_LE(joules(1.0), joules(1.0));
+}
+
+TEST(Quantity, UnaryNegationAndAbs) {
+  const Carbon c = grams_co2e(-3.0);
+  EXPECT_DOUBLE_EQ(in_grams_co2e(-c), 3.0);
+  EXPECT_DOUBLE_EQ(in_grams_co2e(abs(c)), 3.0);
+  EXPECT_DOUBLE_EQ(in_grams_co2e(abs(grams_co2e(3.0))), 3.0);
+}
+
+TEST(Quantity, MinMax) {
+  EXPECT_EQ(min(joules(1.0), joules(2.0)), joules(1.0));
+  EXPECT_EQ(max(joules(1.0), joules(2.0)), joules(2.0));
+}
+
+TEST(Quantity, FiniteAndNonnegativeChecks) {
+  EXPECT_TRUE(joules(1.0).is_finite());
+  EXPECT_TRUE(joules(0.0).is_nonnegative());
+  EXPECT_FALSE(joules(-1.0).is_nonnegative());
+}
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(in_joules(kilowatt_hours(1.0)), 3.6e6);
+  EXPECT_DOUBLE_EQ(in_kilowatt_hours(joules(3.6e6)), 1.0);
+  EXPECT_DOUBLE_EQ(in_picojoules(picojoules(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(in_femtojoules(femtojoules(7.0)), 7.0);
+  EXPECT_DOUBLE_EQ(in_joules(watt_hours(1.0)), 3600.0);
+}
+
+TEST(Units, DurationConversions) {
+  EXPECT_DOUBLE_EQ(in_seconds(hours(2.0)), 7200.0);
+  EXPECT_DOUBLE_EQ(in_hours(days(1.0)), 24.0);
+  EXPECT_DOUBLE_EQ(in_days(months(12.0)), 365.0);
+  EXPECT_DOUBLE_EQ(in_months(months(7.5)), 7.5);
+  EXPECT_DOUBLE_EQ(in_nanoseconds(picoseconds(3000.0)), 3.0);
+}
+
+TEST(Units, AreaConversions) {
+  EXPECT_DOUBLE_EQ(in_square_centimetres(square_millimetres(100.0)), 1.0);
+  EXPECT_DOUBLE_EQ(in_square_millimetres(square_micrometres(1e6)), 1.0);
+  EXPECT_DOUBLE_EQ(in_square_micrometres(square_millimetres(1.0)), 1e6);
+}
+
+TEST(Units, CarbonConversions) {
+  EXPECT_DOUBLE_EQ(in_grams_co2e(kilograms_co2e(2.0)), 2000.0);
+  EXPECT_DOUBLE_EQ(in_kilograms_co2e(grams_co2e(500.0)), 0.5);
+}
+
+TEST(Units, CarbonIntensityConversion) {
+  // 3600 g/kWh == 1 mg/J == 1e-3 g/J.
+  const CarbonIntensity ci = grams_per_kilowatt_hour(3600.0);
+  EXPECT_DOUBLE_EQ(ci.base(), 1e-3);
+  EXPECT_DOUBLE_EQ(in_grams_per_kilowatt_hour(ci), 3600.0);
+}
+
+TEST(Units, TemperatureCelsius) {
+  EXPECT_DOUBLE_EQ(in_kelvin(celsius(0.0)), 273.15);
+  EXPECT_DOUBLE_EQ(in_kelvin(celsius(300.0)), 573.15);
+}
+
+TEST(Algebra, PowerTimesTimeIsEnergy) {
+  const Energy e = watts(10.0) * seconds(5.0);
+  EXPECT_DOUBLE_EQ(in_joules(e), 50.0);
+  EXPECT_DOUBLE_EQ(in_joules(seconds(5.0) * watts(10.0)), 50.0);
+}
+
+TEST(Algebra, EnergyOverTimeIsPower) {
+  EXPECT_DOUBLE_EQ(in_watts(joules(50.0) / seconds(5.0)), 10.0);
+}
+
+TEST(Algebra, EnergyOverPowerIsTime) {
+  EXPECT_DOUBLE_EQ(in_seconds(joules(50.0) / watts(10.0)), 5.0);
+}
+
+TEST(Algebra, IntensityTimesEnergyIsCarbon) {
+  const Carbon c = grams_per_kilowatt_hour(380.0) * kilowatt_hours(2.0);
+  EXPECT_NEAR(in_grams_co2e(c), 760.0, 1e-9);
+  EXPECT_NEAR(in_grams_co2e(kilowatt_hours(2.0) * grams_per_kilowatt_hour(380.0)), 760.0, 1e-9);
+}
+
+TEST(Algebra, CarbonPerAreaTimesArea) {
+  const Carbon c = grams_per_square_centimetre(500.0) * square_centimetres(2.0);
+  EXPECT_DOUBLE_EQ(in_grams_co2e(c), 1000.0);
+}
+
+TEST(Algebra, EnergyPerAreaRoundTrip) {
+  const EnergyPerArea epa = kilowatt_hours(100.0) / square_centimetres(50.0);
+  EXPECT_DOUBLE_EQ(in_kilowatt_hours_per_square_centimetre(epa), 2.0);
+  EXPECT_DOUBLE_EQ(in_kilowatt_hours(epa * square_centimetres(50.0)), 100.0);
+}
+
+TEST(Algebra, ElectricalChain) {
+  // P = V * I; Q = C * V; E = Q * V.
+  EXPECT_DOUBLE_EQ(in_watts(volts(0.7) * amperes(2.0)), 1.4);
+  const Charge q = femtofarads(10.0) * volts(0.7);
+  EXPECT_NEAR(in_coulombs(q), 7e-15, 1e-24);
+  EXPECT_NEAR(in_femtojoules(q * volts(0.7)), 4.9, 1e-9);
+}
+
+TEST(Algebra, ChargeFromCurrentTime) {
+  EXPECT_DOUBLE_EQ(in_coulombs(amperes(2.0) * seconds(3.0)), 6.0);
+}
+
+TEST(Algebra, FrequencyPeriod) {
+  EXPECT_DOUBLE_EQ(in_nanoseconds(period(megahertz(500.0))), 2.0);
+  EXPECT_DOUBLE_EQ(in_seconds(1e6 / megahertz(1.0)), 1.0);
+}
+
+TEST(Algebra, LengthProductIsArea) {
+  const Area a = millimetres(2.0) * millimetres(3.0);
+  EXPECT_NEAR(in_square_millimetres(a), 6.0, 1e-9);
+  const Area b = micrometres(515.0) * micrometres(270.0);
+  EXPECT_NEAR(in_square_millimetres(b), 0.139050, 1e-9);
+}
+
+TEST(Contract, ViolationThrowsWithContext) {
+  try {
+    PPATC_EXPECT(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string{e.what()}.find("the message"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contract, EnsureLabelsPostcondition) {
+  try {
+    PPATC_ENSURE(1 == 2, "bad result");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string{e.what()}.find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contract, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(PPATC_EXPECT(true, ""));
+  EXPECT_NO_THROW(PPATC_ENSURE(true, ""));
+}
+
+}  // namespace
+}  // namespace ppatc

@@ -1,0 +1,175 @@
+// Tests for the die-per-wafer estimators (Eq. 5 / ref [39]) and yield models.
+#include <gtest/gtest.h>
+
+#include "ppatc/carbon/wafer.hpp"
+#include "ppatc/carbon/yield.hpp"
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::carbon {
+namespace {
+
+using namespace ppatc::units;
+
+DieSpec paper_si_die() { return {micrometres(515.0), micrometres(270.0)}; }
+DieSpec paper_m3d_die() { return {micrometres(334.0), micrometres(159.0)}; }
+
+TEST(DiePerWafer, FormulaMatchesPaperAllSi) {
+  // Paper Table II: 299,127 dies for the 270x515 um die.
+  EXPECT_NEAR(static_cast<double>(dies_per_wafer_formula(paper_si_die())), 299127.0, 600.0);
+}
+
+TEST(DiePerWafer, FormulaMatchesPaperM3d) {
+  // Paper Table II: 606,238 dies for the 159x334 um die.
+  EXPECT_NEAR(static_cast<double>(dies_per_wafer_formula(paper_m3d_die())), 606238.0, 1200.0);
+}
+
+TEST(DiePerWafer, GridCountIsConservativeButClose) {
+  for (const auto& die : {paper_si_die(), paper_m3d_die()}) {
+    const auto formula = dies_per_wafer_formula(die);
+    const auto grid = dies_per_wafer_grid(die);
+    EXPECT_LT(grid, formula);
+    EXPECT_GT(static_cast<double>(grid), 0.93 * static_cast<double>(formula));
+  }
+}
+
+TEST(DiePerWafer, SmallerDieMoreDies) {
+  EXPECT_GT(dies_per_wafer_formula(paper_m3d_die()), dies_per_wafer_formula(paper_si_die()));
+}
+
+TEST(DiePerWafer, PaperGoodDieRatio) {
+  // Paper Sec. III-C: 1.13x more good dies per wafer for the M3D design
+  // (its 2.03x die-count advantage outweighs the 50% vs 90% yield).
+  const double good_si = static_cast<double>(dies_per_wafer_formula(paper_si_die())) * 0.90;
+  const double good_m3d = static_cast<double>(dies_per_wafer_formula(paper_m3d_die())) * 0.50;
+  EXPECT_NEAR(good_m3d / good_si, 1.13, 0.02);
+}
+
+TEST(DiePerWafer, ScalesInverselyWithDieArea) {
+  const DieSpec big{millimetres(10.0), millimetres(10.0)};
+  const DieSpec small{millimetres(5.0), millimetres(5.0)};
+  const auto nb = dies_per_wafer_formula(big);
+  const auto ns = dies_per_wafer_formula(small);
+  // Roughly 4x, slightly more than 4x is impossible, slightly less from
+  // perimeter loss... small dies waste less edge, so ratio > 4 is expected.
+  EXPECT_GT(ns, 4 * nb);
+  EXPECT_LT(ns, 5 * nb);
+}
+
+TEST(DiePerWafer, EdgeClearanceReducesCount) {
+  WaferSpec tight;
+  tight.edge_clearance = millimetres(0.0);
+  WaferSpec loose;
+  loose.edge_clearance = millimetres(10.0);
+  EXPECT_GT(dies_per_wafer_formula(paper_si_die(), tight),
+            dies_per_wafer_formula(paper_si_die(), loose));
+}
+
+TEST(DiePerWafer, SpacingReducesCount) {
+  WaferSpec no_scribe;
+  no_scribe.die_spacing = millimetres(0.0);
+  EXPECT_GT(dies_per_wafer_formula(paper_si_die(), no_scribe),
+            dies_per_wafer_formula(paper_si_die()));
+}
+
+TEST(DiePerWafer, HugeDieYieldsZeroOrFails) {
+  // A die that fits geometrically but leaves no room after the perimeter
+  // correction clamps to zero; a die wider than the usable wafer throws.
+  const DieSpec huge{millimetres(200.0), millimetres(200.0)};
+  EXPECT_EQ(dies_per_wafer_formula(huge), 0);
+  const DieSpec too_wide{millimetres(295.0), millimetres(10.0)};
+  EXPECT_THROW((void)dies_per_wafer_formula(too_wide), ContractViolation);
+}
+
+TEST(DiePerWafer, InputValidation) {
+  EXPECT_THROW((void)dies_per_wafer_formula(DieSpec{millimetres(0.0), millimetres(1.0)}),
+               ContractViolation);
+  WaferSpec bad;
+  bad.edge_clearance = millimetres(-1.0);
+  EXPECT_THROW((void)dies_per_wafer_formula(paper_si_die(), bad), ContractViolation);
+}
+
+TEST(DiePerWafer, GridRespectsFlatExclusion) {
+  WaferSpec no_flat;
+  no_flat.flat_height = millimetres(0.0);
+  WaferSpec big_flat;
+  big_flat.flat_height = millimetres(40.0);
+  EXPECT_GT(dies_per_wafer_grid(paper_si_die(), no_flat),
+            dies_per_wafer_grid(paper_si_die(), big_flat));
+}
+
+// ---- yield models -----------------------------------------------------------
+
+TEST(Yield, FixedIgnoresArea) {
+  const auto y = fixed_yield(0.9);
+  EXPECT_DOUBLE_EQ(y(square_millimetres(1.0)), 0.9);
+  EXPECT_DOUBLE_EQ(y(square_millimetres(100.0)), 0.9);
+  EXPECT_THROW(fixed_yield(0.0), ContractViolation);
+  EXPECT_THROW(fixed_yield(1.5), ContractViolation);
+}
+
+TEST(Yield, PaperDemonstrationValues) {
+  EXPECT_DOUBLE_EQ(paper_si_yield()(square_millimetres(0.139)), 0.90);
+  EXPECT_DOUBLE_EQ(paper_m3d_yield()(square_millimetres(0.053)), 0.50);
+}
+
+TEST(Yield, PoissonMatchesClosedForm) {
+  const auto y = poisson_yield(0.1);  // 0.1 defects/cm^2
+  EXPECT_NEAR(y(square_centimetres(1.0)), std::exp(-0.1), 1e-12);
+  EXPECT_NEAR(y(square_centimetres(10.0)), std::exp(-1.0), 1e-12);
+}
+
+TEST(Yield, MurphyAbovePoissonBelowOne) {
+  const auto poisson = poisson_yield(0.5);
+  const auto murphy = murphy_yield(0.5);
+  for (const double a_cm2 : {0.5, 1.0, 4.0}) {
+    const Area a = square_centimetres(a_cm2);
+    EXPECT_GT(murphy(a), poisson(a)) << a_cm2;
+    EXPECT_LT(murphy(a), 1.0);
+  }
+}
+
+TEST(Yield, ModelOrderingAtLargeArea) {
+  // At large A*D0 the classic ordering is Poisson < Murphy < Seeds.
+  const Area a = square_centimetres(8.0);
+  EXPECT_LT(poisson_yield(0.5)(a), murphy_yield(0.5)(a));
+  EXPECT_LT(murphy_yield(0.5)(a), seeds_yield(0.5)(a));
+}
+
+TEST(Yield, AllModelsApproachOneForTinyDies) {
+  for (const auto& model : {poisson_yield(0.3), murphy_yield(0.3), seeds_yield(0.3)}) {
+    EXPECT_NEAR(model(square_micrometres(1.0)), 1.0, 1e-6);
+  }
+}
+
+TEST(Yield, MonotonicallyDecreasingInArea) {
+  for (const auto& model : {poisson_yield(0.2), murphy_yield(0.2), seeds_yield(0.2)}) {
+    double prev = 1.1;
+    for (double a = 0.1; a < 10.0; a *= 2.0) {
+      const double y = model(square_centimetres(a));
+      EXPECT_LT(y, prev);
+      prev = y;
+    }
+  }
+}
+
+TEST(Yield, StackedIsProductOfTiers) {
+  const auto stacked = stacked_yield({fixed_yield(0.9), fixed_yield(0.8), fixed_yield(0.7)});
+  EXPECT_NEAR(stacked(square_millimetres(1.0)), 0.9 * 0.8 * 0.7, 1e-12);
+  EXPECT_THROW(stacked_yield({}), ContractViolation);
+}
+
+TEST(Yield, StackedPoissonEqualsSummedDefectDensity) {
+  const auto stacked = stacked_yield({poisson_yield(0.1), poisson_yield(0.2)});
+  const auto combined = poisson_yield(0.3);
+  const Area a = square_centimetres(2.0);
+  EXPECT_NEAR(stacked(a), combined(a), 1e-12);
+}
+
+TEST(Yield, NegativeDefectDensityRejected) {
+  EXPECT_THROW(poisson_yield(-0.1), ContractViolation);
+  EXPECT_THROW(murphy_yield(-0.1), ContractViolation);
+  EXPECT_THROW(seeds_yield(-0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppatc::carbon

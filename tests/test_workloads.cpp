@@ -1,0 +1,142 @@
+// Tests for the Embench-style workload suite: every kernel's ISS execution
+// must reproduce its native reference checksum exactly, with sane statistics.
+#include <gtest/gtest.h>
+
+#include "ppatc/isa/assembler.hpp"
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::workloads {
+namespace {
+
+// Small scales keep the suite fast; full scales are covered by one test and
+// the benches.
+class WorkloadChecksum : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadChecksum, IssMatchesNativeReference) {
+  const Workload& w = GetParam();
+  const RunOutcome r = run_workload(w);
+  EXPECT_TRUE(r.halted) << w.name;
+  EXPECT_TRUE(r.checksum_ok) << w.name << ": got " << std::hex << r.checksum << ", want "
+                             << w.expected_checksum;
+}
+
+TEST_P(WorkloadChecksum, StatisticsAreConsistent) {
+  const Workload& w = GetParam();
+  const RunOutcome r = run_workload(w);
+  // One fetch per retired 16-bit instruction plus one extra per 32-bit BL.
+  EXPECT_GE(r.stats.fetches, r.instructions) << w.name;
+  EXPECT_LE(r.stats.fetches, 2 * r.instructions) << w.name;
+  // Cycles >= instructions (every instruction costs at least one cycle).
+  EXPECT_GE(r.cycles, r.instructions) << w.name;
+  // Data-side splits add up.
+  EXPECT_EQ(r.stats.data_reads, r.stats.program_reads + r.stats.data_mem_reads) << w.name;
+  // Every workload writes its exit code (1 MMIO write minimum).
+  EXPECT_GE(r.stats.data_writes, r.stats.data_mem_writes + 1) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallScale, WorkloadChecksum,
+                         ::testing::Values(matmult_int(2), crc32(2), edn(2), ud(2), aha_mont(16),
+                                           sglib_list(2), statemate(2), primecount(2),
+                                           qsort_ints(2), fib(10)),
+                         [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Workloads, DeterministicAcrossRuns) {
+  const Workload w = crc32(3);
+  const RunOutcome a = run_workload(w);
+  const RunOutcome b = run_workload(w);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.stats.data_reads, b.stats.data_reads);
+}
+
+TEST(Workloads, CyclesScaleLinearlyWithRepeats) {
+  const RunOutcome r2 = run_workload(edn(2));
+  const RunOutcome r8 = run_workload(edn(8));
+  // Subtract the shared init cost: the incremental cost per repeat is flat.
+  const double per_rep = static_cast<double>(r8.cycles - r2.cycles) / 6.0;
+  const double estimate_r2 = static_cast<double>(r2.cycles) - 2.0 * per_rep;  // init estimate
+  EXPECT_GT(per_rep, 0.0);
+  EXPECT_GE(estimate_r2, 0.0);
+  const RunOutcome r4 = run_workload(edn(4));
+  EXPECT_NEAR(static_cast<double>(r4.cycles), estimate_r2 + 4.0 * per_rep,
+              0.01 * static_cast<double>(r4.cycles));
+}
+
+TEST(Workloads, DefaultMatmultHitsPaperCycleScale) {
+  // The paper's matmult-int run takes 20,047,348 cycles; our default scale
+  // must land within 1%.
+  const RunOutcome r = run_workload(matmult_int());
+  EXPECT_TRUE(r.checksum_ok);
+  EXPECT_NEAR(static_cast<double>(r.cycles), 20047348.0, 0.01 * 20047348.0);
+}
+
+TEST(Workloads, SuiteContainsNineKernels) {
+  const auto suite = embench_suite();
+  EXPECT_EQ(suite.size(), 9u);
+  for (const auto& w : suite) {
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_FALSE(w.assembly.empty());
+    EXPECT_FALSE(w.description.empty());
+  }
+}
+
+TEST(Workloads, FibMatchesClosedForm) {
+  EXPECT_EQ(run_workload(fib(1)).checksum, 1u);
+  EXPECT_EQ(run_workload(fib(2)).checksum, 1u);
+  EXPECT_EQ(run_workload(fib(10)).checksum, 55u);
+  EXPECT_EQ(run_workload(fib(15)).checksum, 610u);
+}
+
+TEST(Workloads, MatmultReadsDominateWrites) {
+  // Matrix multiply reads two operands per MAC but writes once per output:
+  // reads must far exceed writes.
+  const RunOutcome r = run_workload(matmult_int(2));
+  EXPECT_GT(r.stats.data_mem_reads, 5 * r.stats.data_mem_writes);
+}
+
+TEST(Workloads, UdExercisesSoftwareDivision) {
+  // The LU kernel's cycle count per repeat is far above the matrix size
+  // because of the 32-iteration shift-subtract divides.
+  const RunOutcome r = run_workload(ud(1));
+  EXPECT_TRUE(r.checksum_ok);
+  EXPECT_GT(r.cycles, 10000u);  // 10x10 matrix, but heavy on division
+}
+
+TEST(Workloads, QsortProducesSortedMemory) {
+  // Beyond the checksum: the data memory must actually be sorted.
+  const Workload w = qsort_ints(1);
+  const isa::Program p = isa::assemble(w.assembly);
+  isa::Bus bus;
+  bus.load_program(0, p.bytes);
+  isa::Cpu cpu{bus};
+  cpu.reset(p.entry, isa::kDataBase + isa::kDataSize - 16);
+  (void)cpu.run(50'000'000);
+  ASSERT_TRUE(bus.halted());
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    const std::uint32_t v = bus.peek32(0x2000'0000u + 4 * i);
+    EXPECT_GE(v, prev) << "index " << i;
+    prev = v;
+  }
+}
+
+TEST(Workloads, PrimecountMatchesKnownPi) {
+  // pi(4096) = 564 primes below 4096.
+  EXPECT_EQ(run_workload(primecount(1)).checksum, 564u);
+}
+
+TEST(Workloads, LcgMatchesConstants) {
+  // Golden values for the shared generator.
+  std::uint32_t x = 12345;
+  x = lcg_next(x);
+  EXPECT_EQ(x, 12345u * 1664525u + 1013904223u);
+}
+
+}  // namespace
+}  // namespace ppatc::workloads
