@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2d.cpp" "bench/CMakeFiles/bench_fig2d.dir/bench_fig2d.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2d.dir/bench_fig2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/ppatc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ppatc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/ppatc_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/ppatc_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ppatc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ppatc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ppatc_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ppatc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

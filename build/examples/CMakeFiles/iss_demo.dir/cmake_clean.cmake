@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iss_demo.dir/iss_demo.cpp.o"
+  "CMakeFiles/iss_demo.dir/iss_demo.cpp.o.d"
+  "iss_demo"
+  "iss_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iss_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

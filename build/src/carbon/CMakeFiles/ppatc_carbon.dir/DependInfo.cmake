@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/carbon/embodied.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/embodied.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/embodied.cpp.o.d"
+  "/root/repo/src/carbon/flows.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/flows.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/flows.cpp.o.d"
+  "/root/repo/src/carbon/grid.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/grid.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/grid.cpp.o.d"
+  "/root/repo/src/carbon/isoline.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/isoline.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/isoline.cpp.o.d"
+  "/root/repo/src/carbon/materials.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/materials.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/materials.cpp.o.d"
+  "/root/repo/src/carbon/operational.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/operational.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/operational.cpp.o.d"
+  "/root/repo/src/carbon/process_flow.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/process_flow.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/process_flow.cpp.o.d"
+  "/root/repo/src/carbon/process_step.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/process_step.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/process_step.cpp.o.d"
+  "/root/repo/src/carbon/resources.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/resources.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/resources.cpp.o.d"
+  "/root/repo/src/carbon/tcdp.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/tcdp.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/tcdp.cpp.o.d"
+  "/root/repo/src/carbon/uncertainty.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/uncertainty.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/uncertainty.cpp.o.d"
+  "/root/repo/src/carbon/wafer.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/wafer.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/wafer.cpp.o.d"
+  "/root/repo/src/carbon/yield.cpp" "src/carbon/CMakeFiles/ppatc_carbon.dir/yield.cpp.o" "gcc" "src/carbon/CMakeFiles/ppatc_carbon.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

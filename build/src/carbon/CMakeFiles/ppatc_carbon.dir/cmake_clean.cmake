@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppatc_carbon.dir/embodied.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/embodied.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/flows.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/flows.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/grid.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/grid.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/isoline.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/isoline.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/materials.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/materials.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/operational.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/operational.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/process_flow.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/process_flow.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/process_step.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/process_step.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/resources.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/resources.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/tcdp.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/tcdp.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/uncertainty.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/uncertainty.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/wafer.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/wafer.cpp.o.d"
+  "CMakeFiles/ppatc_carbon.dir/yield.cpp.o"
+  "CMakeFiles/ppatc_carbon.dir/yield.cpp.o.d"
+  "libppatc_carbon.a"
+  "libppatc_carbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppatc_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

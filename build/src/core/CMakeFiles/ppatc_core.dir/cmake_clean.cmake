@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppatc_core.dir/optimize.cpp.o"
+  "CMakeFiles/ppatc_core.dir/optimize.cpp.o.d"
+  "CMakeFiles/ppatc_core.dir/system.cpp.o"
+  "CMakeFiles/ppatc_core.dir/system.cpp.o.d"
+  "libppatc_core.a"
+  "libppatc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppatc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppatc_device.dir/library.cpp.o"
+  "CMakeFiles/ppatc_device.dir/library.cpp.o.d"
+  "CMakeFiles/ppatc_device.dir/vs_model.cpp.o"
+  "CMakeFiles/ppatc_device.dir/vs_model.cpp.o.d"
+  "libppatc_device.a"
+  "libppatc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppatc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppatc_isa.dir/assembler.cpp.o"
+  "CMakeFiles/ppatc_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/ppatc_isa.dir/cpu.cpp.o"
+  "CMakeFiles/ppatc_isa.dir/cpu.cpp.o.d"
+  "CMakeFiles/ppatc_isa.dir/memory.cpp.o"
+  "CMakeFiles/ppatc_isa.dir/memory.cpp.o.d"
+  "libppatc_isa.a"
+  "libppatc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppatc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

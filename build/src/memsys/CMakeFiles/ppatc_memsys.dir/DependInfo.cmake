@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/bitcell.cpp" "src/memsys/CMakeFiles/ppatc_memsys.dir/bitcell.cpp.o" "gcc" "src/memsys/CMakeFiles/ppatc_memsys.dir/bitcell.cpp.o.d"
+  "/root/repo/src/memsys/edram.cpp" "src/memsys/CMakeFiles/ppatc_memsys.dir/edram.cpp.o" "gcc" "src/memsys/CMakeFiles/ppatc_memsys.dir/edram.cpp.o.d"
+  "/root/repo/src/memsys/subarray.cpp" "src/memsys/CMakeFiles/ppatc_memsys.dir/subarray.cpp.o" "gcc" "src/memsys/CMakeFiles/ppatc_memsys.dir/subarray.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/ppatc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ppatc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ppatc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

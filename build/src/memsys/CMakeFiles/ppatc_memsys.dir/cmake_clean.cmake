@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppatc_memsys.dir/bitcell.cpp.o"
+  "CMakeFiles/ppatc_memsys.dir/bitcell.cpp.o.d"
+  "CMakeFiles/ppatc_memsys.dir/edram.cpp.o"
+  "CMakeFiles/ppatc_memsys.dir/edram.cpp.o.d"
+  "CMakeFiles/ppatc_memsys.dir/subarray.cpp.o"
+  "CMakeFiles/ppatc_memsys.dir/subarray.cpp.o.d"
+  "libppatc_memsys.a"
+  "libppatc_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppatc_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

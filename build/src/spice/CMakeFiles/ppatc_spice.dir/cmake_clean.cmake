@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppatc_spice.dir/circuit.cpp.o"
+  "CMakeFiles/ppatc_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/ppatc_spice.dir/simulator.cpp.o"
+  "CMakeFiles/ppatc_spice.dir/simulator.cpp.o.d"
+  "CMakeFiles/ppatc_spice.dir/waveform.cpp.o"
+  "CMakeFiles/ppatc_spice.dir/waveform.cpp.o.d"
+  "libppatc_spice.a"
+  "libppatc_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppatc_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppatc_synth.dir/m0.cpp.o"
+  "CMakeFiles/ppatc_synth.dir/m0.cpp.o.d"
+  "libppatc_synth.a"
+  "libppatc_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppatc_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

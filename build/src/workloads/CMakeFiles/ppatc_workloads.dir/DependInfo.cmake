@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/runner.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/runner.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/runner.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/suite.cpp.o.d"
+  "/root/repo/src/workloads/workload_crc32.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_crc32.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_crc32.cpp.o.d"
+  "/root/repo/src/workloads/workload_edn.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_edn.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_edn.cpp.o.d"
+  "/root/repo/src/workloads/workload_fib.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_fib.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_fib.cpp.o.d"
+  "/root/repo/src/workloads/workload_matmult.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_matmult.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_matmult.cpp.o.d"
+  "/root/repo/src/workloads/workload_mont.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_mont.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_mont.cpp.o.d"
+  "/root/repo/src/workloads/workload_primecount.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_primecount.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_primecount.cpp.o.d"
+  "/root/repo/src/workloads/workload_qsort.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_qsort.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_qsort.cpp.o.d"
+  "/root/repo/src/workloads/workload_sglib.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_sglib.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_sglib.cpp.o.d"
+  "/root/repo/src/workloads/workload_statemate.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_statemate.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_statemate.cpp.o.d"
+  "/root/repo/src/workloads/workload_ud.cpp" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_ud.cpp.o" "gcc" "src/workloads/CMakeFiles/ppatc_workloads.dir/workload_ud.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ppatc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

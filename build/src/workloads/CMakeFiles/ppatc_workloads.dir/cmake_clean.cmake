@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppatc_workloads.dir/runner.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/runner.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/suite.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/suite.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/workload_crc32.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/workload_crc32.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/workload_edn.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/workload_edn.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/workload_fib.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/workload_fib.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/workload_matmult.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/workload_matmult.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/workload_mont.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/workload_mont.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/workload_primecount.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/workload_primecount.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/workload_qsort.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/workload_qsort.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/workload_sglib.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/workload_sglib.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/workload_statemate.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/workload_statemate.cpp.o.d"
+  "CMakeFiles/ppatc_workloads.dir/workload_ud.cpp.o"
+  "CMakeFiles/ppatc_workloads.dir/workload_ud.cpp.o.d"
+  "libppatc_workloads.a"
+  "libppatc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppatc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppatc_workloads.a"
+)

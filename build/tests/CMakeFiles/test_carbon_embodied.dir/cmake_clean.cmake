@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_carbon_embodied.dir/test_carbon_embodied.cpp.o"
+  "CMakeFiles/test_carbon_embodied.dir/test_carbon_embodied.cpp.o.d"
+  "test_carbon_embodied"
+  "test_carbon_embodied.pdb"
+  "test_carbon_embodied[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_carbon_embodied.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_carbon_process.dir/test_carbon_process.cpp.o"
+  "CMakeFiles/test_carbon_process.dir/test_carbon_process.cpp.o.d"
+  "test_carbon_process"
+  "test_carbon_process.pdb"
+  "test_carbon_process[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_carbon_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

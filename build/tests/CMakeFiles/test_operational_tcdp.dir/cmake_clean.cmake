@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operational_tcdp.dir/test_operational_tcdp.cpp.o"
+  "CMakeFiles/test_operational_tcdp.dir/test_operational_tcdp.cpp.o.d"
+  "test_operational_tcdp"
+  "test_operational_tcdp.pdb"
+  "test_operational_tcdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operational_tcdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wafer_yield.dir/test_wafer_yield.cpp.o"
+  "CMakeFiles/test_wafer_yield.dir/test_wafer_yield.cpp.o.d"
+  "test_wafer_yield"
+  "test_wafer_yield.pdb"
+  "test_wafer_yield[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wafer_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_units[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_spice[1]_include.cmake")
+include("/root/repo/build/tests/test_carbon_process[1]_include.cmake")
+include("/root/repo/build/tests/test_carbon_embodied[1]_include.cmake")
+include("/root/repo/build/tests/test_wafer_yield[1]_include.cmake")
+include("/root/repo/build/tests/test_operational_tcdp[1]_include.cmake")
+include("/root/repo/build/tests/test_isoline_uncertainty[1]_include.cmake")
+include("/root/repo/build/tests/test_isa_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_memsys[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_resources_optimize[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
