@@ -8,9 +8,11 @@
 #include "ppatc/carbon/isoline.hpp"
 #include "ppatc/carbon/uncertainty.hpp"
 #include "ppatc/carbon/wafer.hpp"
+#include "ppatc/core/optimize.hpp"
 #include "ppatc/isa/assembler.hpp"
 #include "ppatc/memsys/bitcell.hpp"
 #include "ppatc/isa/cpu.hpp"
+#include "ppatc/runtime/parallel.hpp"
 #include "ppatc/spice/simulator.hpp"
 #include "ppatc/workloads/workload.hpp"
 
@@ -114,6 +116,99 @@ void BM_MonteCarlo(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MonteCarlo)->Unit(benchmark::kMillisecond);
+
+// ---- threaded variants ------------------------------------------------------
+// Each benchmark takes the ppatc::runtime pool size as its argument, so one
+// run quantifies the speedup curve (results are bit-identical at every
+// point — see test_runtime.cpp).
+
+carbon::UncertainProfile mc_profile(double emb_g, double p_w) {
+  carbon::UncertainProfile p;
+  p.embodied_per_good_die_g = carbon::Interval::factor(emb_g, 1.2);
+  p.operational_power_w = carbon::Interval::point(p_w);
+  p.execution_time_s = 0.040;
+  return p;
+}
+
+void BM_MonteCarloThreads(benchmark::State& state) {
+  runtime::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  const auto c = mc_profile(3.63, 8.46e-3);
+  const auto b = mc_profile(3.11, 9.71e-3);
+  carbon::UncertainScenario s;
+  s.ci_use_g_per_kwh = carbon::Interval::factor(380.0, 3.0);
+  s.lifetime_months = carbon::Interval::plus_minus(24.0, 6.0);
+  for (auto _ : state) {
+    const auto mc = carbon::monte_carlo_tcdp_ratio(c, b, s, 100000, 42);
+    benchmark::DoNotOptimize(mc.mean);
+  }
+  state.counters["samples/s"] =
+      benchmark::Counter(100000.0, benchmark::Counter::kIsIterationInvariantRate);
+  runtime::set_thread_count(0);
+}
+BENCHMARK(BM_MonteCarloThreads)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond);
+
+void BM_IsolineThreads(benchmark::State& state) {
+  runtime::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  carbon::SystemCarbonProfile m3d{"m3d", grams_co2e(3.63), milliwatts(8.46), watts(0.0),
+                                  milliseconds(40.0)};
+  carbon::SystemCarbonProfile si{"si", grams_co2e(3.11), milliwatts(9.71), watts(0.0),
+                                 milliseconds(40.0)};
+  carbon::OperationalScenario scen;
+  carbon::AxisSpec fine;
+  fine.samples = 128;
+  for (auto _ : state) {
+    const auto line = carbon::tcdp_isoline(m3d, si, scen, months(24.0), fine);
+    benchmark::DoNotOptimize(line.size());
+  }
+  runtime::set_thread_count(0);
+}
+BENCHMARK(BM_IsolineThreads)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond);
+
+void BM_TcdpMapThreads(benchmark::State& state) {
+  runtime::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  carbon::SystemCarbonProfile m3d{"m3d", grams_co2e(3.63), milliwatts(8.46), watts(0.0),
+                                  milliseconds(40.0)};
+  carbon::SystemCarbonProfile si{"si", grams_co2e(3.11), milliwatts(9.71), watts(0.0),
+                                 milliseconds(40.0)};
+  carbon::OperationalScenario scen;
+  carbon::AxisSpec fine;
+  fine.samples = 64;
+  for (auto _ : state) {
+    const auto map = carbon::tcdp_map(m3d, si, scen, months(24.0), fine, fine);
+    benchmark::DoNotOptimize(map.ratio.size());
+  }
+  runtime::set_thread_count(0);
+}
+BENCHMARK(BM_TcdpMapThreads)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond);
+
+void BM_CellCharacterizationBatch(benchmark::State& state) {
+  runtime::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  const std::vector<memsys::CellSpec> cells = {
+      memsys::all_si_cell(), memsys::m3d_igzo_cnfet_cell(), memsys::all_si_cell(),
+      memsys::m3d_igzo_cnfet_cell()};
+  for (auto _ : state) {
+    const auto ccs = memsys::characterize_batch(cells);
+    benchmark::DoNotOptimize(ccs.size());
+  }
+  runtime::set_thread_count(0);
+}
+BENCHMARK(BM_CellCharacterizationBatch)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizeThreads(benchmark::State& state) {
+  runtime::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  core::DesignSpace space;  // full 2 x 4 x 7 grid
+  core::OptimizationGoal goal;
+  const auto workload = workloads::crc32(1);
+  for (auto _ : state) {
+    const auto result = core::optimize(space, workload, goal);
+    benchmark::DoNotOptimize(result.ranked.size());
+  }
+  runtime::set_thread_count(0);
+}
+BENCHMARK(BM_OptimizeThreads)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the perf micro-benchmarks and records a timestamped JSON snapshot
+# (BENCH_<date>.json, gitignored) for before/after comparisons.
+#
+# Usage:
+#   bench/run_perf.sh [extra google-benchmark args...]
+# or via CMake:
+#   cmake --build build --target run_perf
+#
+# Environment:
+#   BENCH_BIN  path to the bench_perf binary (default: build/bench/bench_perf)
+#   BENCH_OUT  output file (default: BENCH_<UTC date>.json in the CWD)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+bin="${BENCH_BIN:-${repo_root}/build/bench/bench_perf}"
+out="${BENCH_OUT:-BENCH_$(date -u +%Y%m%dT%H%M%SZ).json}"
+
+if [[ ! -x "${bin}" ]]; then
+  echo "error: bench_perf not found at ${bin} — build it first:" >&2
+  echo "  cmake -B build -S ${repo_root} && cmake --build build -j --target bench_perf" >&2
+  exit 1
+fi
+
+echo "writing ${out}"
+"${bin}" --benchmark_format=json --benchmark_out="${out}" \
+         --benchmark_out_format=json "$@"

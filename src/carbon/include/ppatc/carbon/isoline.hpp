@@ -43,15 +43,17 @@ struct TcdpMap {
                                const OperationalScenario& scenario, Duration lifetime,
                                AxisSpec embodied_axis = {}, AxisSpec energy_axis = {});
 
+/// Default energy-scale search window for isoline parity bisection.
+inline constexpr double kIsolineYLoBound = 1e-4;
+inline constexpr double kIsolineYHiBound = 1e4;
+
 /// One isoline point: at embodied scale x, the energy scale y where the tCDP
 /// ratio is exactly 1. nullopt where no y in [y_lo_bound, y_hi_bound] reaches
 /// parity (the candidate wins or loses for every y).
-[[nodiscard]] std::optional<double> isoline_energy_scale(const SystemCarbonProfile& candidate,
-                                                         const SystemCarbonProfile& baseline,
-                                                         const OperationalScenario& scenario,
-                                                         Duration lifetime, double embodied_scale,
-                                                         double y_lo_bound = 1e-4,
-                                                         double y_hi_bound = 1e4);
+[[nodiscard]] std::optional<double> isoline_energy_scale(
+    const SystemCarbonProfile& candidate, const SystemCarbonProfile& baseline,
+    const OperationalScenario& scenario, Duration lifetime, double embodied_scale,
+    double y_lo_bound = kIsolineYLoBound, double y_hi_bound = kIsolineYHiBound);
 
 /// The full isoline sampled over the embodied axis.
 struct IsolinePoint {

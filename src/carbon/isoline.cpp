@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/runtime/parallel.hpp"
 
 namespace ppatc::carbon {
 
@@ -30,26 +31,33 @@ TcdpMap tcdp_map(const SystemCarbonProfile& candidate, const SystemCarbonProfile
   map.energy_axis = energy_axis;
   const double base = tcdp(baseline, scenario, lifetime);
   map.ratio.resize(static_cast<std::size_t>(energy_axis.samples));
-  for (int yi = 0; yi < energy_axis.samples; ++yi) {
-    auto& row = map.ratio[static_cast<std::size_t>(yi)];
+  // Rows are independent: each task fills its own pre-allocated row, so the
+  // map is identical for any thread count.
+  runtime::parallel_for(static_cast<std::size_t>(energy_axis.samples), [&](std::size_t yi) {
+    auto& row = map.ratio[yi];
     row.resize(static_cast<std::size_t>(embodied_axis.samples));
     for (int xi = 0; xi < embodied_axis.samples; ++xi) {
-      const auto scaled = scaled_profile(candidate, embodied_axis.at(xi), energy_axis.at(yi));
+      const auto scaled =
+          scaled_profile(candidate, embodied_axis.at(xi), energy_axis.at(static_cast<int>(yi)));
       row[static_cast<std::size_t>(xi)] = tcdp(scaled, scenario, lifetime) / base;
     }
-  }
+  });
   return map;
 }
 
-std::optional<double> isoline_energy_scale(const SystemCarbonProfile& candidate,
-                                           const SystemCarbonProfile& baseline,
-                                           const OperationalScenario& scenario, Duration lifetime,
-                                           double embodied_scale, double y_lo_bound,
-                                           double y_hi_bound) {
+namespace {
+
+// Bisection for the y (energy scale) where the candidate's tCDP equals
+// `base_tcdp`. The baseline tCDP is an invariant of the whole sweep, so
+// callers compute it once and pass it in instead of re-deriving it for
+// every isoline point.
+std::optional<double> energy_scale_at_parity(const SystemCarbonProfile& candidate,
+                                             const OperationalScenario& scenario, Duration lifetime,
+                                             double embodied_scale, double base_tcdp,
+                                             double y_lo_bound, double y_hi_bound) {
   PPATC_EXPECT(y_lo_bound > 0.0 && y_hi_bound > y_lo_bound, "invalid y bounds");
-  const double base = tcdp(baseline, scenario, lifetime);
   auto ratio_at = [&](double y) {
-    return tcdp(scaled_profile(candidate, embodied_scale, y), scenario, lifetime) / base;
+    return tcdp(scaled_profile(candidate, embodied_scale, y), scenario, lifetime) / base_tcdp;
   };
   // tCDP of the candidate is strictly increasing in y (operational power
   // scale), so parity has at most one root.
@@ -65,16 +73,31 @@ std::optional<double> isoline_energy_scale(const SystemCarbonProfile& candidate,
   return 0.5 * (lo + hi);
 }
 
+}  // namespace
+
+std::optional<double> isoline_energy_scale(const SystemCarbonProfile& candidate,
+                                           const SystemCarbonProfile& baseline,
+                                           const OperationalScenario& scenario, Duration lifetime,
+                                           double embodied_scale, double y_lo_bound,
+                                           double y_hi_bound) {
+  const double base = tcdp(baseline, scenario, lifetime);
+  return energy_scale_at_parity(candidate, scenario, lifetime, embodied_scale, base, y_lo_bound,
+                                y_hi_bound);
+}
+
 std::vector<IsolinePoint> tcdp_isoline(const SystemCarbonProfile& candidate,
                                        const SystemCarbonProfile& baseline,
                                        const OperationalScenario& scenario, Duration lifetime,
                                        AxisSpec embodied_axis) {
-  std::vector<IsolinePoint> line;
-  line.reserve(static_cast<std::size_t>(embodied_axis.samples));
-  for (int xi = 0; xi < embodied_axis.samples; ++xi) {
-    const double x = embodied_axis.at(xi);
-    line.push_back({x, isoline_energy_scale(candidate, baseline, scenario, lifetime, x)});
-  }
+  const double base = tcdp(baseline, scenario, lifetime);
+  std::vector<IsolinePoint> line(static_cast<std::size_t>(embodied_axis.samples));
+  // Each point owns one pre-allocated slot and its bisection is independent
+  // of every other point's, so the line is thread-count invariant.
+  runtime::parallel_for(line.size(), [&](std::size_t xi) {
+    const double x = embodied_axis.at(static_cast<int>(xi));
+    line[xi] = {x, energy_scale_at_parity(candidate, scenario, lifetime, x, base,
+                                          kIsolineYLoBound, kIsolineYHiBound)};
+  });
   return line;
 }
 

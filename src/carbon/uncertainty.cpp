@@ -5,6 +5,7 @@
 #include <random>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/runtime/parallel.hpp"
 
 namespace ppatc::carbon {
 
@@ -86,38 +87,66 @@ MonteCarloSummary monte_carlo_tcdp_ratio(const UncertainProfile& candidate,
                                          const UncertainScenario& scenario, std::size_t samples,
                                          std::uint64_t seed) {
   PPATC_EXPECT(samples >= 2, "need at least two samples");
-  std::mt19937_64 rng{seed};
-  auto draw = [&](Interval iv) {
-    if (iv.width() <= 0.0) return iv.lo;
-    std::uniform_real_distribution<double> d{iv.lo, iv.hi};
-    return d(rng);
+  // Counter-based seeding: chunk c always draws from the RNG stream
+  // mt19937_64{splitmix64(seed ^ c)}, and the chunk layout depends only on
+  // (samples, kChunkSamples) — so the full sample set is bit-identical for
+  // any thread count, including the serial fallback.
+  constexpr std::size_t kChunkSamples = 4096;
+  struct Partial {
+    double sum = 0.0;
+    std::size_t wins = 0;
   };
-
-  std::vector<double> ratios;
-  ratios.reserve(samples);
+  std::vector<double> ratios(samples);
+  std::vector<Partial> partials(runtime::chunk_count(samples, kChunkSamples));
+  runtime::parallel_for_chunks(samples, kChunkSamples, [&](const runtime::ChunkRange& chunk) {
+    std::mt19937_64 rng{runtime::chunk_seed(seed, chunk.index)};
+    auto draw = [&](Interval iv) {
+      if (iv.width() <= 0.0) return iv.lo;
+      std::uniform_real_distribution<double> d{iv.lo, iv.hi};
+      return d(rng);
+    };
+    Partial part;
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      const double ci = draw(scenario.ci_use_g_per_kwh);
+      const double months = draw(scenario.lifetime_months);
+      const double tc_c =
+          tc_scalar(draw(candidate.embodied_per_good_die_g), draw(candidate.operational_power_w),
+                    draw(candidate.standby_power_w), ci, months, scenario.duty_cycle);
+      const double tc_b =
+          tc_scalar(draw(baseline.embodied_per_good_die_g), draw(baseline.operational_power_w),
+                    draw(baseline.standby_power_w), ci, months, scenario.duty_cycle);
+      const double r =
+          (tc_c * candidate.execution_time_s) / (tc_b * baseline.execution_time_s);
+      ratios[i] = r;
+      part.sum += r;
+      if (r < 1.0) ++part.wins;
+    }
+    partials[chunk.index] = part;
+  });
   double sum = 0.0;
   std::size_t wins = 0;
-  for (std::size_t i = 0; i < samples; ++i) {
-    const double ci = draw(scenario.ci_use_g_per_kwh);
-    const double months = draw(scenario.lifetime_months);
-    const double tc_c =
-        tc_scalar(draw(candidate.embodied_per_good_die_g), draw(candidate.operational_power_w),
-                  draw(candidate.standby_power_w), ci, months, scenario.duty_cycle);
-    const double tc_b =
-        tc_scalar(draw(baseline.embodied_per_good_die_g), draw(baseline.operational_power_w),
-                  draw(baseline.standby_power_w), ci, months, scenario.duty_cycle);
-    const double r =
-        (tc_c * candidate.execution_time_s) / (tc_b * baseline.execution_time_s);
-    ratios.push_back(r);
-    sum += r;
-    if (r < 1.0) ++wins;
+  for (const Partial& p : partials) {
+    sum += p.sum;
+    wins += p.wins;
   }
-  std::sort(ratios.begin(), ratios.end());
+
+  // Quantiles via nth_element instead of a full sort: each extraction is
+  // O(n), and ascending positions let later selections work on the upper
+  // partition left by earlier ones. Selection yields the same order
+  // statistics a full sort would, so results are unchanged.
+  std::size_t partitioned_from = 0;
   auto quantile = [&](double q) {
     const double pos = q * static_cast<double>(ratios.size() - 1);
     const auto i = static_cast<std::size_t>(pos);
     const double f = pos - static_cast<double>(i);
-    return i + 1 < ratios.size() ? ratios[i] * (1 - f) + ratios[i + 1] * f : ratios.back();
+    const auto begin = ratios.begin() + static_cast<std::ptrdiff_t>(partitioned_from);
+    const auto nth = ratios.begin() + static_cast<std::ptrdiff_t>(i);
+    std::nth_element(begin, nth, ratios.end());
+    partitioned_from = i;
+    if (i + 1 >= ratios.size() || f <= 0.0) return ratios[i];
+    // The interpolation partner is the minimum of the upper partition.
+    const double next = *std::min_element(nth + 1, ratios.end());
+    return ratios[i] * (1 - f) + next * f;
   };
 
   MonteCarloSummary s;

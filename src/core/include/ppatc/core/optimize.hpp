@@ -48,8 +48,16 @@ struct OptimizationResult {
   std::vector<DesignPoint> pareto;       ///< (execution time, total carbon) front
 };
 
+/// Non-dominated subset of `points` over (execution time, total carbon),
+/// minimizing both and considering only feasible points. Exact duplicates on
+/// both axes are mutually non-dominating and all kept. Returned sorted by
+/// execution time (carbon as tie-break). O(n log n).
+[[nodiscard]] std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points);
+
 /// Explores `space` for `workload` under `goal`. Infeasible points (timing
-/// failures) are kept in all_points with feasible=false for reporting.
+/// failures) are kept in all_points with feasible=false for reporting. Grid
+/// points are evaluated concurrently on the ppatc::runtime pool; results are
+/// identical for any thread count.
 [[nodiscard]] OptimizationResult optimize(const DesignSpace& space,
                                           const workloads::Workload& workload,
                                           const OptimizationGoal& goal,

@@ -3,8 +3,58 @@
 #include <algorithm>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/runtime/parallel.hpp"
 
 namespace ppatc::core {
+
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points) {
+  // Non-dominated set over (execution time, total carbon), minimizing both.
+  // A point is dominated iff some feasible point is no worse on both axes
+  // and strictly better on at least one; exact duplicates on both axes are
+  // all kept. Sort-by-time-then-sweep-min-carbon gives O(n log n) with the
+  // same semantics as the quadratic all-pairs scan.
+  std::vector<std::size_t> order;
+  order.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].feasible) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& pa = points[a];
+    const auto& pb = points[b];
+    if (pa.evaluation.execution_time != pb.evaluation.execution_time) {
+      return pa.evaluation.execution_time < pb.evaluation.execution_time;
+    }
+    return pa.total_carbon < pb.total_carbon;
+  });
+
+  std::vector<DesignPoint> front;
+  std::size_t g = 0;
+  bool have_best = false;
+  Carbon best_before{};  // min carbon over all strictly-earlier time groups
+  while (g < order.size()) {
+    // Group of equal execution times; the first entry has the group's
+    // minimum carbon thanks to the secondary sort key.
+    std::size_t g_end = g + 1;
+    while (g_end < order.size() &&
+           points[order[g_end]].evaluation.execution_time ==
+               points[order[g]].evaluation.execution_time) {
+      ++g_end;
+    }
+    const Carbon group_min = points[order[g]].total_carbon;
+    if (!have_best || group_min < best_before) {
+      // Keep every group member tied at the minimum (mutually non-dominating
+      // exact duplicates); higher-carbon members are dominated within the
+      // group.
+      for (std::size_t k = g; k < g_end && points[order[k]].total_carbon == group_min; ++k) {
+        front.push_back(points[order[k]]);
+      }
+      best_before = group_min;
+      have_best = true;
+    }
+    g = g_end;
+  }
+  return front;
+}
 
 OptimizationResult optimize(const DesignSpace& space, const workloads::Workload& workload,
                             const OptimizationGoal& goal, const carbon::Grid& fab_grid) {
@@ -15,35 +65,44 @@ OptimizationResult optimize(const DesignSpace& space, const workloads::Workload&
   const workloads::RunOutcome run = workloads::run_workload(workload);
   PPATC_ENSURE(run.halted && run.checksum_ok, "workload failed verification: " + workload.name);
 
-  OptimizationResult result;
+  // Flatten the tech x VT x clock grid so the points can be evaluated
+  // concurrently; enumeration order (tech-major) is preserved in all_points.
+  std::vector<SystemSpec> specs;
+  specs.reserve(space.technologies.size() * space.vt_flavors.size() * space.clocks.size());
   for (const Technology tech : space.technologies) {
     for (const device::VtFlavor vt : space.vt_flavors) {
       for (const Frequency fclk : space.clocks) {
-        SystemSpec spec =
-            tech == Technology::kAllSi ? SystemSpec::all_si() : SystemSpec::m3d();
+        SystemSpec spec = tech == Technology::kAllSi ? SystemSpec::all_si() : SystemSpec::m3d();
         spec.vt = vt;
         spec.fclk = fclk;
-
-        DesignPoint point;
-        point.spec = spec;
-        try {
-          point.evaluation = evaluate_with_outcome(spec, workload.name, run, fab_grid);
-          point.feasible = point.evaluation.memory_timing_met && point.evaluation.m0_timing_met;
-        } catch (const ContractViolation&) {
-          point.feasible = false;  // M0 synthesis failed timing at this clock
-        }
-        if (point.feasible) {
-          point.meets_deadline = !goal.max_execution_time.has_value() ||
-                                 point.evaluation.execution_time <= *goal.max_execution_time;
-          point.tcdp =
-              carbon::tcdp(point.evaluation.carbon_profile(), goal.scenario, goal.lifetime);
-          point.total_carbon = carbon::total_carbon(point.evaluation.carbon_profile(),
-                                                    goal.scenario, goal.lifetime);
-        }
-        result.all_points.push_back(std::move(point));
+        specs.push_back(spec);
       }
     }
   }
+
+  OptimizationResult result;
+  result.all_points.resize(specs.size());
+  // Every point is independent (SPICE characterization + synthesis + carbon
+  // accounting) and writes only its own slot; contract violations (timing
+  // failures) are captured per point so one infeasible corner cannot abort
+  // the sweep.
+  runtime::parallel_for(specs.size(), [&](std::size_t i) {
+    DesignPoint& point = result.all_points[i];
+    point.spec = specs[i];
+    try {
+      point.evaluation = evaluate_with_outcome(specs[i], workload.name, run, fab_grid);
+      point.feasible = point.evaluation.memory_timing_met && point.evaluation.m0_timing_met;
+    } catch (const ContractViolation&) {
+      point.feasible = false;  // M0 synthesis failed timing at this clock
+    }
+    if (point.feasible) {
+      point.meets_deadline = !goal.max_execution_time.has_value() ||
+                             point.evaluation.execution_time <= *goal.max_execution_time;
+      point.tcdp = carbon::tcdp(point.evaluation.carbon_profile(), goal.scenario, goal.lifetime);
+      point.total_carbon =
+          carbon::total_carbon(point.evaluation.carbon_profile(), goal.scenario, goal.lifetime);
+    }
+  });
 
   for (const auto& p : result.all_points) {
     if (p.feasible && p.meets_deadline) result.ranked.push_back(p);
@@ -56,26 +115,7 @@ OptimizationResult optimize(const DesignSpace& space, const workloads::Workload&
   // slower clocks buy lower lifetime carbon (less sizing energy, less
   // leakage-per-second at the lower supply activity), faster clocks buy
   // latency.
-  for (const auto& p : result.all_points) {
-    if (!p.feasible) continue;
-    bool dominated = false;
-    for (const auto& q : result.all_points) {
-      if (!q.feasible || &q == &p) continue;
-      const bool no_worse = q.evaluation.execution_time <= p.evaluation.execution_time &&
-                            q.total_carbon <= p.total_carbon;
-      const bool strictly_better = q.evaluation.execution_time < p.evaluation.execution_time ||
-                                   q.total_carbon < p.total_carbon;
-      if (no_worse && strictly_better) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) result.pareto.push_back(p);
-  }
-  std::sort(result.pareto.begin(), result.pareto.end(), [](const DesignPoint& a,
-                                                           const DesignPoint& b) {
-    return a.evaluation.execution_time < b.evaluation.execution_time;
-  });
+  result.pareto = pareto_front(result.all_points);
   return result;
 }
 

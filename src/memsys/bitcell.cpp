@@ -2,6 +2,7 @@
 
 #include "ppatc/common/contract.hpp"
 #include "ppatc/device/library.hpp"
+#include "ppatc/runtime/parallel.hpp"
 #include "ppatc/spice/circuit.hpp"
 #include "ppatc/spice/simulator.hpp"
 
@@ -51,8 +52,11 @@ CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
   CellCharacteristics out;
   const double vdd = units::in_volts(cell.vdd);
 
+  // The write-delay and read-delay corners are independent circuits, so the
+  // two SPICE transients run concurrently; each task writes disjoint fields
+  // of `out`.
   // ---- write delay: WWL pulses to VWWL, WBL holds VDD, SN charges from 0.
-  {
+  auto write_corner = [&] {
     spice::Circuit ckt;
     ckt.add_vsource("vwbl", "wbl", "0", spice::Stimulus::dc(cell.vdd));
     ckt.add_vsource("vwwl", "wwl", "0",
@@ -74,11 +78,11 @@ CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
     PPATC_ENSURE(t90.base() > 0, "storage node never reached 90% of VDD during write");
     out.write_delay = t90 - units::picoseconds(20);
     out.write_energy = tr->source_energy("vwbl") + tr->source_energy("vwwl");
-  }
+  };
 
   // ---- read delay: SN holds VDD, RBL (pre-charged to VDD) discharges
   //      through the read stack once RWL asserts.
-  {
+  auto read_corner = [&] {
     spice::Circuit ckt;
     ckt.add_vsource("vsn", "sn", "0", spice::Stimulus::dc(cell.vdd));
     ckt.add_vsource("vrwl", "rwl", "0",
@@ -98,7 +102,9 @@ CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
     const Duration t50 = spice::cross_time(rbl, 0.5 * vdd, spice::Edge::kFall);
     PPATC_ENSURE(t50.base() > 0, "read bitline never discharged to VDD/2");
     out.read_delay = t50 - units::picoseconds(20);
-  }
+  };
+
+  runtime::parallel_invoke(write_corner, read_corner);
 
   // ---- retention: analytic decay from the DC off-current at the hold bias.
   //      SN sits at VDD, WBL at 0 (worst case), WWL at the hold level:
@@ -116,6 +122,16 @@ CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
     out.retention = units::seconds(dq / amps);
   }
 
+  return out;
+}
+
+std::vector<CellCharacteristics> characterize_batch(const std::vector<CellSpec>& cells,
+                                                    Voltage sense_margin) {
+  std::vector<CellCharacteristics> out(cells.size());
+  // Cells are fully independent SPICE decks; each slot is written by exactly
+  // one task (nested corner parallelism inside characterize runs inline).
+  runtime::parallel_for(cells.size(),
+                        [&](std::size_t i) { out[i] = characterize(cells[i], sense_margin); });
   return out;
 }
 

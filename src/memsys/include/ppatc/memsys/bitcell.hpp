@@ -18,6 +18,8 @@
 // the hold bias (the decay is far too slow to simulate — up to 1000+ s).
 #pragma once
 
+#include <vector>
+
 #include "ppatc/common/units.hpp"
 #include "ppatc/device/vs_model.hpp"
 
@@ -59,7 +61,15 @@ struct CellCharacteristics {
 
 /// Characterizes `cell` with SPICE transients + analytic retention.
 /// `sense_margin` is the SN voltage loss that still senses correctly.
+/// The independent write/read corner transients are simulated concurrently
+/// on the ppatc::runtime pool.
 [[nodiscard]] CellCharacteristics characterize(const CellSpec& cell,
                                                Voltage sense_margin = units::volts(0.2));
+
+/// Characterizes a batch of independent cell designs concurrently (SPICE
+/// corner characterization across design variants). out[i] corresponds to
+/// cells[i]; results are identical for any thread count.
+[[nodiscard]] std::vector<CellCharacteristics> characterize_batch(
+    const std::vector<CellSpec>& cells, Voltage sense_margin = units::volts(0.2));
 
 }  // namespace ppatc::memsys

@@ -1,0 +1,153 @@
+// ppatc: deterministic parallel-evaluation runtime.
+//
+// The paper's headline analyses — Monte Carlo tCDP-ratio distributions,
+// isoline/colormap sweeps, and design-space search — are embarrassingly
+// parallel. This layer provides a fixed thread pool with chunked
+// `parallel_for` / `parallel_reduce` primitives designed so that every
+// caller produces BIT-IDENTICAL output regardless of the number of worker
+// threads:
+//
+//  * work is split into chunks whose count depends only on the problem size
+//    and a caller-chosen grain — never on the thread count;
+//  * each chunk writes to pre-allocated, index-addressed output slots (or
+//    owns a counter-seeded RNG stream, see `splitmix64`);
+//  * reductions combine per-chunk partials in ascending chunk order.
+//
+// Pool size defaults to `std::thread::hardware_concurrency()` and can be
+// overridden with the `PPATC_THREADS` environment variable (or
+// `set_thread_count`). A pool of size 1 runs everything inline on the
+// calling thread — the serial fallback. Nested parallel regions (a task that
+// itself calls `parallel_for`) execute inline rather than deadlocking the
+// pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace ppatc::runtime {
+
+/// SplitMix64 mixing step (Steele et al.). Used to derive statistically
+/// independent per-chunk RNG seeds from `master_seed ^ chunk_index`; the
+/// avalanche guarantees nearby counters map to uncorrelated streams.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-chunk seed for counter-based RNG streams: chunk `c` of a run with
+/// master seed `s` always draws from `mt19937_64{splitmix64(s ^ c)}`,
+/// independent of which thread executes it.
+constexpr std::uint64_t chunk_seed(std::uint64_t master_seed, std::uint64_t chunk_index) noexcept {
+  return splitmix64(master_seed ^ chunk_index);
+}
+
+/// Threads the global pool would use if created now: `PPATC_THREADS` if set
+/// to a positive integer, else `std::thread::hardware_concurrency()` (>= 1).
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Size of the global pool (creating it on first use).
+[[nodiscard]] std::size_t thread_count();
+
+/// Rebuilds the global pool with `n` threads (0 = `default_thread_count()`).
+/// Must not be called concurrently with parallel work; intended for tests
+/// and benchmarks that compare thread counts.
+void set_thread_count(std::size_t n);
+
+/// Fixed-size pool of worker threads executing indexed task batches.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Runs `task(i)` for every i in [0, num_tasks), distributing indices over
+  /// the workers plus the calling thread; blocks until all complete. The
+  /// first exception thrown by any task is rethrown here (remaining indices
+  /// are abandoned). Runs inline when the pool has one thread, num_tasks<=1,
+  /// or the caller is itself a pool task (nested region).
+  void run(std::size_t num_tasks, const std::function<void(std::size_t)>& task);
+
+  /// Process-wide pool, lazily built with `default_thread_count()` threads.
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Half-open index range [begin, end) forming chunk `index` of a loop.
+struct ChunkRange {
+  std::size_t index;
+  std::size_t begin;
+  std::size_t end;
+};
+
+/// Number of grain-sized chunks covering n items (thread-count independent).
+[[nodiscard]] constexpr std::size_t chunk_count(std::size_t n, std::size_t grain) noexcept {
+  return grain == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+/// Runs `body(ChunkRange)` over [0, n) split into grain-sized chunks on the
+/// global pool. The chunk decomposition depends only on (n, grain), so any
+/// body that writes chunk-local output slots is thread-count invariant.
+template <class Body>
+void parallel_for_chunks(std::size_t n, std::size_t grain, Body&& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  ThreadPool::global().run(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    body(ChunkRange{c, begin, end});
+  });
+}
+
+/// Element-wise parallel loop: `body(i)` for i in [0, n). `grain` batches
+/// consecutive indices per task to amortize dispatch for cheap bodies.
+template <class Body>
+void parallel_for(std::size_t n, Body&& body, std::size_t grain = 1) {
+  parallel_for_chunks(n, grain, [&](const ChunkRange& r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) body(i);
+  });
+}
+
+/// Deterministic parallel reduction. `map(begin, end)` folds one chunk into
+/// a partial of type T; partials are combined with `combine(acc, partial)`
+/// in ascending chunk order, so floating-point results do not depend on the
+/// thread count (only on `grain`).
+template <class T, class Map, class Combine>
+[[nodiscard]] T parallel_reduce(std::size_t n, std::size_t grain, T init, Map&& map,
+                                Combine&& combine) {
+  if (n == 0) return init;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  std::vector<T> partials(chunks, init);
+  parallel_for_chunks(n, grain,
+                      [&](const ChunkRange& r) { partials[r.index] = map(r.begin, r.end); });
+  T acc = std::move(init);
+  for (std::size_t c = 0; c < chunks; ++c) acc = combine(std::move(acc), std::move(partials[c]));
+  return acc;
+}
+
+namespace detail {
+void invoke_tasks(const std::function<void()>* tasks, std::size_t count);
+}  // namespace detail
+
+/// Runs a fixed set of independent callables concurrently and waits for all
+/// of them (e.g. independent SPICE corner transients).
+template <class... Fns>
+void parallel_invoke(Fns&&... fns) {
+  const std::function<void()> tasks[] = {std::function<void()>(std::forward<Fns>(fns))...};
+  detail::invoke_tasks(tasks, sizeof...(Fns));
+}
+
+}  // namespace ppatc::runtime

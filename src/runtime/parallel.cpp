@@ -1,0 +1,163 @@
+#include "ppatc/runtime/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppatc::runtime {
+
+namespace {
+
+// Set while a thread is executing pool tasks (worker threads permanently,
+// the submitting thread for the duration of its participation). Nested
+// parallel regions detect this and run inline instead of re-entering the
+// pool, which would deadlock the submitting wait.
+thread_local bool t_inside_pool_task = false;
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("PPATC_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+
+  // Current batch. `generation` increments per batch so sleeping workers can
+  // tell a new batch from a spurious wake.
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::size_t num_tasks = 0;
+  std::atomic<std::size_t> next_index{0};
+  std::atomic<bool> cancelled{false};
+  std::size_t workers_active = 0;
+  std::uint64_t generation = 0;
+  bool stopping = false;
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  // Claims indices until the batch is exhausted (or cancelled by a thrown
+  // exception) and records the first error.
+  void drain() {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_tasks) break;
+      try {
+        (*task)(i);
+      } catch (...) {
+        cancelled.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock{error_mutex};
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    t_inside_pool_task = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock{mutex};
+      work_ready.wait(lock, [&] { return stopping || generation != seen; });
+      if (stopping) return;
+      seen = generation;
+      lock.unlock();
+      drain();
+      lock.lock();
+      if (--workers_active == 0) batch_done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_{std::make_unique<Impl>()} {
+  if (threads == 0) threads = 1;
+  // The submitting thread always participates, so a pool of size N keeps
+  // N-1 dedicated workers.
+  impl_->workers.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{impl_->mutex};
+    impl_->stopping = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+}
+
+std::size_t ThreadPool::size() const noexcept { return impl_->workers.size() + 1; }
+
+void ThreadPool::run(std::size_t num_tasks, const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (num_tasks == 1 || impl_->workers.empty() || t_inside_pool_task) {
+    // Serial fallback: same tasks, same order, same thread.
+    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock{impl_->mutex};
+    impl_->task = &task;
+    impl_->num_tasks = num_tasks;
+    impl_->next_index.store(0, std::memory_order_relaxed);
+    impl_->cancelled.store(false, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    impl_->workers_active = impl_->workers.size();
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+  t_inside_pool_task = true;
+  impl_->drain();
+  t_inside_pool_task = false;
+  std::unique_lock<std::mutex> lock{impl_->mutex};
+  impl_->batch_done.wait(lock, [&] { return impl_->workers_active == 0; });
+  impl_->task = nullptr;
+  if (impl_->error) std::rethrow_exception(impl_->error);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+ThreadPool& global_pool(std::size_t requested) {
+  const std::lock_guard<std::mutex> lock{g_pool_mutex};
+  if (!g_pool || (requested != 0 && g_pool->size() != requested)) {
+    g_pool.reset();  // join the old workers before replacing
+    g_pool = std::make_unique<ThreadPool>(requested != 0 ? requested : default_thread_count());
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() { return global_pool(0); }
+
+std::size_t thread_count() { return ThreadPool::global().size(); }
+
+void set_thread_count(std::size_t n) { global_pool(n == 0 ? default_thread_count() : n); }
+
+namespace detail {
+
+void invoke_tasks(const std::function<void()>* tasks, std::size_t count) {
+  ThreadPool::global().run(count, [&](std::size_t i) { tasks[i](); });
+}
+
+}  // namespace detail
+
+}  // namespace ppatc::runtime

@@ -1,0 +1,381 @@
+// Tests for the ppatc::runtime parallel-evaluation layer: pool primitives
+// (parallel_for / parallel_reduce / parallel_invoke, chunking, exceptions)
+// and the thread-count invariance of every ported hot path — Monte Carlo,
+// tcdp_map / isoline, design-space optimize, and batch SPICE
+// characterization must be bit-identical at 1 and N threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "ppatc/carbon/isoline.hpp"
+#include "ppatc/carbon/uncertainty.hpp"
+#include "ppatc/core/optimize.hpp"
+#include "ppatc/memsys/bitcell.hpp"
+#include "ppatc/runtime/parallel.hpp"
+
+namespace ppatc {
+namespace {
+
+using namespace ppatc::units;
+
+TEST(Runtime, SplitMix64MatchesReferenceVectors) {
+  // splitmix64(s) equals the first output of the canonical SplitMix64 stream
+  // seeded with s, so splitmix64(0) and splitmix64(gamma) reproduce the first
+  // two outputs of the stream seeded with 0.
+  EXPECT_EQ(runtime::splitmix64(0), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(runtime::splitmix64(0x9E3779B97F4A7C15ULL), 0x6E789E6AA1B965F4ULL);
+}
+
+TEST(Runtime, ChunkCountCoversRange) {
+  EXPECT_EQ(runtime::chunk_count(0, 4), 0u);
+  EXPECT_EQ(runtime::chunk_count(1, 4), 1u);
+  EXPECT_EQ(runtime::chunk_count(4, 4), 1u);
+  EXPECT_EQ(runtime::chunk_count(5, 4), 2u);
+  EXPECT_EQ(runtime::chunk_count(8, 4), 2u);
+}
+
+TEST(Runtime, ThreadCountRespectsOverride) {
+  runtime::set_thread_count(3);
+  EXPECT_EQ(runtime::thread_count(), 3u);
+  runtime::set_thread_count(1);
+  EXPECT_EQ(runtime::thread_count(), 1u);
+  runtime::set_thread_count(0);  // back to the default
+  EXPECT_GE(runtime::thread_count(), 1u);
+}
+
+TEST(Runtime, ParallelForVisitsEveryIndexExactlyOnce) {
+  runtime::set_thread_count(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  runtime::parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); }, 7);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Runtime, ParallelForEmptyRangeDoesNothing) {
+  runtime::set_thread_count(4);
+  std::atomic<int> calls{0};
+  runtime::parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Runtime, ParallelForFewerItemsThanChunks) {
+  runtime::set_thread_count(8);  // more workers than items
+  std::vector<std::atomic<int>> hits(3);
+  runtime::parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runtime, ParallelForChunksDecompositionIsThreadCountInvariant) {
+  for (const std::size_t threads : {1u, 4u}) {
+    runtime::set_thread_count(threads);
+    std::vector<runtime::ChunkRange> seen(runtime::chunk_count(10, 4));
+    runtime::parallel_for_chunks(10, 4, [&](const runtime::ChunkRange& r) { seen[r.index] = r; });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0].begin, 0u);
+    EXPECT_EQ(seen[0].end, 4u);
+    EXPECT_EQ(seen[1].begin, 4u);
+    EXPECT_EQ(seen[1].end, 8u);
+    EXPECT_EQ(seen[2].begin, 8u);
+    EXPECT_EQ(seen[2].end, 10u);
+  }
+}
+
+TEST(Runtime, ParallelReduceMatchesSerialSum) {
+  runtime::set_thread_count(4);
+  constexpr std::size_t kN = 12345;
+  const double sum = runtime::parallel_reduce(
+      kN, 128, 0.0,
+      [](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t i = begin; i < end; ++i) s += static_cast<double>(i);
+        return s;
+      },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(kN) * (kN - 1) / 2.0);
+}
+
+TEST(Runtime, ParallelReduceEmptyRangeReturnsInit) {
+  const double r = runtime::parallel_reduce(
+      0, 16, 42.0, [](std::size_t, std::size_t) { return 0.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(r, 42.0);
+}
+
+TEST(Runtime, ParallelReduceIsBitIdenticalAcrossThreadCounts) {
+  // Sum of values whose FP addition is order-sensitive; the in-order chunk
+  // combine must make the result depend only on the grain.
+  auto run = [] {
+    return runtime::parallel_reduce(
+        100000, 1024, 0.0,
+        [](std::size_t begin, std::size_t end) {
+          double s = 0.0;
+          for (std::size_t i = begin; i < end; ++i) {
+            s += 1.0 / static_cast<double>(i + 1) * (i % 3 == 0 ? 1e-8 : 1e8);
+          }
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  runtime::set_thread_count(1);
+  const double serial = run();
+  runtime::set_thread_count(4);
+  const double parallel = run();
+  EXPECT_EQ(serial, parallel);  // bitwise, not NEAR
+}
+
+TEST(Runtime, ExceptionPropagatesToCaller) {
+  for (const std::size_t threads : {1u, 4u}) {
+    runtime::set_thread_count(threads);
+    EXPECT_THROW(runtime::parallel_for(100,
+                                       [](std::size_t i) {
+                                         if (i == 37) throw std::runtime_error("boom");
+                                       }),
+                 std::runtime_error);
+  }
+}
+
+TEST(Runtime, PoolSurvivesAnExceptionAndKeepsWorking) {
+  runtime::set_thread_count(4);
+  EXPECT_THROW(runtime::parallel_for(8, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> calls{0};
+  runtime::parallel_for(64, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(Runtime, ParallelInvokeRunsAllTasks) {
+  runtime::set_thread_count(4);
+  std::atomic<int> a{0}, b{0}, c{0};
+  runtime::parallel_invoke([&] { a = 1; }, [&] { b = 2; }, [&] { c = 3; });
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+  EXPECT_EQ(c.load(), 3);
+}
+
+TEST(Runtime, NestedParallelRegionsRunInlineWithoutDeadlock) {
+  runtime::set_thread_count(4);
+  std::atomic<int> inner_total{0};
+  runtime::parallel_for(8, [&](std::size_t) {
+    runtime::parallel_for(8, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+// ---- thread-count invariance of the ported hot paths -----------------------
+
+carbon::UncertainProfile uprofile(double emb_g, double factor, double p_mw) {
+  carbon::UncertainProfile p;
+  p.embodied_per_good_die_g = carbon::Interval::factor(emb_g, factor);
+  p.operational_power_w = carbon::Interval::point(p_mw * 1e-3);
+  p.execution_time_s = 0.040;
+  return p;
+}
+
+carbon::UncertainScenario uscenario() {
+  carbon::UncertainScenario s;
+  s.ci_use_g_per_kwh = carbon::Interval::plus_minus(380.0, 50.0);
+  s.lifetime_months = carbon::Interval::plus_minus(24.0, 6.0);
+  return s;
+}
+
+TEST(RuntimeInvariance, MonteCarloIsBitIdenticalAcrossThreadCounts) {
+  const auto c = uprofile(3.6, 1.2, 8.5);
+  const auto b = uprofile(3.1, 1.2, 9.7);
+  // 10000 samples spans multiple 4096-sample chunks.
+  runtime::set_thread_count(1);
+  const auto serial = carbon::monte_carlo_tcdp_ratio(c, b, uscenario(), 10000, 42);
+  runtime::set_thread_count(4);
+  const auto parallel = carbon::monte_carlo_tcdp_ratio(c, b, uscenario(), 10000, 42);
+  EXPECT_EQ(serial.mean, parallel.mean);
+  EXPECT_EQ(serial.p05, parallel.p05);
+  EXPECT_EQ(serial.p50, parallel.p50);
+  EXPECT_EQ(serial.p95, parallel.p95);
+  EXPECT_EQ(serial.probability_candidate_wins, parallel.probability_candidate_wins);
+}
+
+carbon::SystemCarbonProfile sprofile(const std::string& name, double emb_g, double p_mw) {
+  carbon::SystemCarbonProfile p;
+  p.name = name;
+  p.embodied_per_good_die = grams_co2e(emb_g);
+  p.operational_power = milliwatts(p_mw);
+  p.execution_time = milliseconds(40.0);
+  return p;
+}
+
+TEST(RuntimeInvariance, TcdpMapAndIsolineAreBitIdenticalAcrossThreadCounts) {
+  const auto cand = sprofile("m3d", 3.6, 8.5);
+  const auto base = sprofile("si", 3.1, 9.7);
+  carbon::OperationalScenario scen;
+  scen.use_intensity = carbon::DiurnalIntensity::flat(carbon::grids::us().intensity);
+
+  runtime::set_thread_count(1);
+  const auto map1 = carbon::tcdp_map(cand, base, scen, months(24.0));
+  const auto line1 = carbon::tcdp_isoline(cand, base, scen, months(24.0));
+  runtime::set_thread_count(4);
+  const auto map4 = carbon::tcdp_map(cand, base, scen, months(24.0));
+  const auto line4 = carbon::tcdp_isoline(cand, base, scen, months(24.0));
+
+  ASSERT_EQ(map1.ratio.size(), map4.ratio.size());
+  for (std::size_t y = 0; y < map1.ratio.size(); ++y) {
+    ASSERT_EQ(map1.ratio[y].size(), map4.ratio[y].size());
+    for (std::size_t x = 0; x < map1.ratio[y].size(); ++x) {
+      EXPECT_EQ(map1.ratio[y][x], map4.ratio[y][x]) << "y=" << y << " x=" << x;
+    }
+  }
+  ASSERT_EQ(line1.size(), line4.size());
+  for (std::size_t i = 0; i < line1.size(); ++i) {
+    EXPECT_EQ(line1[i].embodied_scale, line4[i].embodied_scale);
+    ASSERT_EQ(line1[i].energy_scale.has_value(), line4[i].energy_scale.has_value());
+    if (line1[i].energy_scale) EXPECT_EQ(*line1[i].energy_scale, *line4[i].energy_scale);
+  }
+}
+
+TEST(RuntimeInvariance, OptimizeIsBitIdenticalAcrossThreadCounts) {
+  core::DesignSpace space;
+  space.vt_flavors = {device::VtFlavor::kRvt};
+  space.clocks = {megahertz(400), megahertz(500)};
+  core::OptimizationGoal goal;
+  goal.scenario.use_intensity = carbon::DiurnalIntensity::flat(carbon::grids::us().intensity);
+  const auto workload = workloads::crc32(1);
+
+  runtime::set_thread_count(1);
+  const auto serial = core::optimize(space, workload, goal);
+  runtime::set_thread_count(4);
+  const auto parallel = core::optimize(space, workload, goal);
+
+  ASSERT_EQ(serial.all_points.size(), parallel.all_points.size());
+  for (std::size_t i = 0; i < serial.all_points.size(); ++i) {
+    const auto& a = serial.all_points[i];
+    const auto& b = parallel.all_points[i];
+    EXPECT_EQ(a.spec.tech, b.spec.tech);
+    EXPECT_EQ(a.spec.fclk, b.spec.fclk);
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.meets_deadline, b.meets_deadline);
+    EXPECT_EQ(a.tcdp, b.tcdp);
+    EXPECT_EQ(a.total_carbon, b.total_carbon);
+    EXPECT_EQ(a.evaluation.execution_time, b.evaluation.execution_time);
+  }
+  ASSERT_EQ(serial.ranked.size(), parallel.ranked.size());
+  for (std::size_t i = 0; i < serial.ranked.size(); ++i) {
+    EXPECT_EQ(serial.ranked[i].tcdp, parallel.ranked[i].tcdp);
+  }
+  ASSERT_EQ(serial.pareto.size(), parallel.pareto.size());
+  for (std::size_t i = 0; i < serial.pareto.size(); ++i) {
+    EXPECT_EQ(serial.pareto[i].tcdp, parallel.pareto[i].tcdp);
+  }
+}
+
+TEST(RuntimeInvariance, CharacterizeBatchMatchesIndividualRuns) {
+  const std::vector<memsys::CellSpec> cells = {memsys::all_si_cell(), memsys::m3d_igzo_cnfet_cell()};
+  runtime::set_thread_count(1);
+  const auto one_by_one_0 = memsys::characterize(cells[0]);
+  const auto one_by_one_1 = memsys::characterize(cells[1]);
+  runtime::set_thread_count(4);
+  const auto batch = memsys::characterize_batch(cells);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].write_delay, one_by_one_0.write_delay);
+  EXPECT_EQ(batch[0].read_delay, one_by_one_0.read_delay);
+  EXPECT_EQ(batch[0].retention, one_by_one_0.retention);
+  EXPECT_EQ(batch[1].write_delay, one_by_one_1.write_delay);
+  EXPECT_EQ(batch[1].read_delay, one_by_one_1.read_delay);
+  EXPECT_EQ(batch[1].retention, one_by_one_1.retention);
+}
+
+// ---- Pareto front: O(n log n) sweep vs the reference quadratic scan ---------
+
+core::DesignPoint dpoint(double time_s, double carbon_g, bool feasible = true) {
+  core::DesignPoint p;
+  p.evaluation.execution_time = seconds(time_s);
+  p.total_carbon = grams_co2e(carbon_g);
+  p.feasible = feasible;
+  return p;
+}
+
+// The seed implementation's all-pairs dominance scan, kept as the semantic
+// reference for tie handling.
+std::vector<core::DesignPoint> naive_pareto(const std::vector<core::DesignPoint>& points) {
+  std::vector<core::DesignPoint> front;
+  for (const auto& p : points) {
+    if (!p.feasible) continue;
+    bool dominated = false;
+    for (const auto& q : points) {
+      if (!q.feasible || &q == &p) continue;
+      const bool no_worse = q.evaluation.execution_time <= p.evaluation.execution_time &&
+                            q.total_carbon <= p.total_carbon;
+      const bool strictly_better = q.evaluation.execution_time < p.evaluation.execution_time ||
+                                   q.total_carbon < p.total_carbon;
+      if (no_worse && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  std::sort(front.begin(), front.end(), [](const core::DesignPoint& a, const core::DesignPoint& b) {
+    if (a.evaluation.execution_time != b.evaluation.execution_time) {
+      return a.evaluation.execution_time < b.evaluation.execution_time;
+    }
+    return a.total_carbon < b.total_carbon;
+  });
+  return front;
+}
+
+void expect_same_front(const std::vector<core::DesignPoint>& points) {
+  const auto fast = core::pareto_front(points);
+  const auto slow = naive_pareto(points);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].evaluation.execution_time, slow[i].evaluation.execution_time) << i;
+    EXPECT_EQ(fast[i].total_carbon, slow[i].total_carbon) << i;
+  }
+}
+
+TEST(ParetoFront, MatchesNaiveScanOnGeneralSet) {
+  expect_same_front({dpoint(1.0, 9.0), dpoint(2.0, 5.0), dpoint(3.0, 2.0), dpoint(2.5, 6.0),
+                     dpoint(1.5, 9.5), dpoint(4.0, 1.0), dpoint(0.5, 20.0)});
+}
+
+TEST(ParetoFront, KeepsExactDuplicates) {
+  // Identical (time, carbon) pairs do not dominate each other: both stay.
+  expect_same_front({dpoint(1.0, 5.0), dpoint(1.0, 5.0), dpoint(2.0, 1.0)});
+}
+
+TEST(ParetoFront, EqualTimeTiesKeepOnlyMinCarbon) {
+  expect_same_front({dpoint(1.0, 5.0), dpoint(1.0, 4.0), dpoint(1.0, 4.0), dpoint(2.0, 3.0)});
+}
+
+TEST(ParetoFront, EqualCarbonAtLaterTimeIsDominated) {
+  expect_same_front({dpoint(1.0, 5.0), dpoint(2.0, 5.0), dpoint(3.0, 4.0)});
+}
+
+TEST(ParetoFront, SkipsInfeasiblePoints) {
+  expect_same_front({dpoint(1.0, 5.0), dpoint(0.5, 0.5, /*feasible=*/false), dpoint(2.0, 3.0)});
+}
+
+TEST(ParetoFront, EmptyAndSingleton) {
+  expect_same_front({});
+  expect_same_front({dpoint(1.0, 1.0)});
+  expect_same_front({dpoint(1.0, 1.0, /*feasible=*/false)});
+}
+
+TEST(ParetoFront, RandomizedAgreementWithReference) {
+  // Deterministic pseudo-random point clouds with heavy tie density (values
+  // snapped to a coarse lattice) to stress the group handling.
+  std::uint64_t state = 12345;
+  auto next = [&] {
+    state = runtime::splitmix64(state);
+    return static_cast<double>(state % 8) * 0.5 + 0.5;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<core::DesignPoint> points;
+    for (int i = 0; i < 40; ++i) points.push_back(dpoint(next(), next(), next() > 1.0));
+    expect_same_front(points);
+  }
+}
+
+}  // namespace
+}  // namespace ppatc
