@@ -3,6 +3,7 @@
 // isoline extraction, and Monte-Carlo sampling.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "ppatc/carbon/embodied.hpp"
 #include "ppatc/carbon/flows.hpp"
 #include "ppatc/carbon/isoline.hpp"
@@ -212,4 +213,17 @@ BENCHMARK(BM_OptimizeThreads)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run can emit a structured metrics sidecar:
+// when BENCH_METRICS_OUT names a file, the ppatc::obs counters accumulated
+// across all benchmark iterations (Newton iterations, chunks executed, MC
+// samples, ...) are dumped there as JSON next to google-benchmark's own
+// timing output.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ppatc::bench::enable_metrics_sidecar();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ppatc::bench::write_metrics_sidecar();
+  return 0;
+}

@@ -4,9 +4,33 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "ppatc/obs/metrics.hpp"
+
 namespace ppatc::bench {
+
+/// Path of the requested ppatc::obs metrics sidecar (BENCH_METRICS_OUT), or
+/// nullptr when none was requested.
+inline const char* metrics_sidecar_path() {
+  const char* path = std::getenv("BENCH_METRICS_OUT");
+  return (path != nullptr && path[0] != '\0') ? path : nullptr;
+}
+
+/// Enables metrics collection iff a sidecar was requested. Call before the
+/// benchmarked work; pair with write_metrics_sidecar() at the end.
+inline void enable_metrics_sidecar() {
+  if (metrics_sidecar_path() != nullptr) obs::set_metrics_enabled(true);
+}
+
+/// Writes the accumulated obs metrics to the requested sidecar, if any.
+inline void write_metrics_sidecar() {
+  if (const char* path = metrics_sidecar_path()) {
+    obs::write_metrics_json(path);
+    std::fprintf(stderr, "wrote metrics sidecar %s\n", path);
+  }
+}
 
 inline void title(const std::string& what) {
   std::printf("\n================================================================\n");

@@ -8,13 +8,16 @@
 #   cmake --build build --target run_perf
 #
 # Environment:
-#   BENCH_BIN  path to the bench_perf binary (default: build/bench/bench_perf)
-#   BENCH_OUT  output file (default: BENCH_<UTC date>.json in the CWD)
+#   BENCH_BIN          path to the bench_perf binary (default: build/bench/bench_perf)
+#   BENCH_OUT          output file (default: BENCH_<UTC date>.json in the CWD)
+#   BENCH_METRICS_OUT  ppatc::obs metrics sidecar (default: <BENCH_OUT
+#                      stem>.metrics.json; set to empty to disable)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 bin="${BENCH_BIN:-${repo_root}/build/bench/bench_perf}"
 out="${BENCH_OUT:-BENCH_$(date -u +%Y%m%dT%H%M%SZ).json}"
+metrics_out="${BENCH_METRICS_OUT-${out%.json}.metrics.json}"
 
 if [[ ! -x "${bin}" ]]; then
   echo "error: bench_perf not found at ${bin} — build it first:" >&2
@@ -22,6 +25,18 @@ if [[ ! -x "${bin}" ]]; then
   exit 1
 fi
 
-echo "writing ${out}"
-"${bin}" --benchmark_format=json --benchmark_out="${out}" \
-         --benchmark_out_format=json "$@"
+# Provenance: embed the commit and run time into the emitted JSON so a
+# snapshot can always be traced back to the tree that produced it.
+sha="$(git -C "${repo_root}" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+dirty=""
+if [[ "${sha}" != unknown ]] && ! git -C "${repo_root}" diff --quiet HEAD 2>/dev/null; then
+  dirty="-dirty"
+fi
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+echo "writing ${out} (git ${sha}${dirty}, ${stamp})"
+BENCH_METRICS_OUT="${metrics_out}" \
+  "${bin}" --benchmark_format=json --benchmark_out="${out}" \
+           --benchmark_out_format=json \
+           --benchmark_context=git_sha="${sha}${dirty}" \
+           --benchmark_context=timestamp_utc="${stamp}" "$@"

@@ -3,9 +3,18 @@
 #include <cmath>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
 #include "ppatc/runtime/parallel.hpp"
 
 namespace ppatc::carbon {
+
+namespace {
+obs::Counter& bisection_counter() {
+  static obs::Counter& c = obs::counter("carbon.bisection_iterations");
+  return c;
+}
+}  // namespace
 
 double AxisSpec::at(int i) const {
   PPATC_EXPECT(i >= 0 && i < samples, "axis index out of range");
@@ -26,6 +35,7 @@ SystemCarbonProfile scaled_profile(const SystemCarbonProfile& profile, double em
 TcdpMap tcdp_map(const SystemCarbonProfile& candidate, const SystemCarbonProfile& baseline,
                  const OperationalScenario& scenario, Duration lifetime, AxisSpec embodied_axis,
                  AxisSpec energy_axis) {
+  const obs::Span span{"carbon.tcdp_map"};
   TcdpMap map;
   map.embodied_axis = embodied_axis;
   map.energy_axis = energy_axis;
@@ -66,10 +76,13 @@ std::optional<double> energy_scale_at_parity(const SystemCarbonProfile& candidat
   if (lo_r > 1.0 || hi_r < 1.0) return std::nullopt;
   double lo = y_lo_bound;
   double hi = y_hi_bound;
+  std::uint64_t iterations = 0;
   for (int i = 0; i < 100 && (hi - lo) > 1e-9 * hi; ++i) {
     const double mid = 0.5 * (lo + hi);
     (ratio_at(mid) < 1.0 ? lo : hi) = mid;
+    ++iterations;
   }
+  bisection_counter().add(iterations);
   return 0.5 * (lo + hi);
 }
 
@@ -89,6 +102,7 @@ std::vector<IsolinePoint> tcdp_isoline(const SystemCarbonProfile& candidate,
                                        const SystemCarbonProfile& baseline,
                                        const OperationalScenario& scenario, Duration lifetime,
                                        AxisSpec embodied_axis) {
+  const obs::Span span{"carbon.tcdp_isoline"};
   const double base = tcdp(baseline, scenario, lifetime);
   std::vector<IsolinePoint> line(static_cast<std::size_t>(embodied_axis.samples));
   // Each point owns one pre-allocated slot and its bisection is independent

@@ -3,10 +3,18 @@
 #include <cmath>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/obs/metrics.hpp"
 
 namespace ppatc::carbon {
 
 namespace {
+
+// Shared with isoline.cpp: every carbon-side root finder feeds one counter,
+// so a sweep's total bisection work is visible in the metrics report.
+obs::Counter& bisection_counter() {
+  static obs::Counter& c = obs::counter("carbon.bisection_iterations");
+  return c;
+}
 
 // Bisection for the smallest t in (0, horizon] with f(t) >= 0, given f is
 // continuous and f(0) < 0. Returns nullopt if f stays negative.
@@ -16,10 +24,13 @@ std::optional<Duration> first_nonnegative(const std::function<double(Duration)>&
   if (f(horizon) < 0.0) return std::nullopt;
   double lo = 0.0;
   double hi = t_end;
+  std::uint64_t iterations = 0;
   for (int i = 0; i < 200 && (hi - lo) > 1.0; ++i) {
     const double mid = 0.5 * (lo + hi);
     (f(units::seconds(mid)) < 0.0 ? lo : hi) = mid;
+    ++iterations;
   }
+  bisection_counter().add(iterations);
   return units::seconds(hi);
 }
 

@@ -5,6 +5,8 @@
 #include <random>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
 #include "ppatc/runtime/parallel.hpp"
 
 namespace ppatc::carbon {
@@ -87,6 +89,11 @@ MonteCarloSummary monte_carlo_tcdp_ratio(const UncertainProfile& candidate,
                                          const UncertainScenario& scenario, std::size_t samples,
                                          std::uint64_t seed) {
   PPATC_EXPECT(samples >= 2, "need at least two samples");
+  const obs::Span span{"carbon.monte_carlo"};
+  static obs::Counter& samples_counter = obs::counter("carbon.mc_samples");
+  static obs::Gauge& rate_gauge = obs::gauge("carbon.mc_samples_per_sec");
+  const bool timed = obs::metrics_enabled();
+  const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
   // Counter-based seeding: chunk c always draws from the RNG stream
   // mt19937_64{splitmix64(seed ^ c)}, and the chunk layout depends only on
   // (samples, kChunkSamples) — so the full sample set is bit-identical for
@@ -128,6 +135,11 @@ MonteCarloSummary monte_carlo_tcdp_ratio(const UncertainProfile& candidate,
   for (const Partial& p : partials) {
     sum += p.sum;
     wins += p.wins;
+  }
+  samples_counter.add(samples);
+  if (timed) {
+    const double elapsed_s = static_cast<double>(obs::monotonic_ns() - t0) * 1e-9;
+    if (elapsed_s > 0.0) rate_gauge.set(static_cast<double>(samples) / elapsed_s);
   }
 
   // Quantiles via nth_element instead of a full sort: each extraction is

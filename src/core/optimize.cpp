@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
 #include "ppatc/runtime/parallel.hpp"
 
 namespace ppatc::core {
@@ -80,6 +82,10 @@ OptimizationResult optimize(const DesignSpace& space, const workloads::Workload&
     }
   }
 
+  const obs::Span span{"core.optimize"};
+  static obs::Counter& points_counter = obs::counter("core.points_evaluated");
+  static obs::Counter& violations_counter = obs::counter("core.contract_violations");
+
   OptimizationResult result;
   result.all_points.resize(specs.size());
   // Every point is independent (SPICE characterization + synthesis + carbon
@@ -89,11 +95,13 @@ OptimizationResult optimize(const DesignSpace& space, const workloads::Workload&
   runtime::parallel_for(specs.size(), [&](std::size_t i) {
     DesignPoint& point = result.all_points[i];
     point.spec = specs[i];
+    points_counter.increment();
     try {
       point.evaluation = evaluate_with_outcome(specs[i], workload.name, run, fab_grid);
       point.feasible = point.evaluation.memory_timing_met && point.evaluation.m0_timing_met;
     } catch (const ContractViolation&) {
       point.feasible = false;  // M0 synthesis failed timing at this clock
+      violations_counter.increment();
     }
     if (point.feasible) {
       point.meets_deadline = !goal.max_execution_time.has_value() ||

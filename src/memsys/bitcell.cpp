@@ -2,11 +2,41 @@
 
 #include "ppatc/common/contract.hpp"
 #include "ppatc/device/library.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
 #include "ppatc/runtime/parallel.hpp"
 #include "ppatc/spice/circuit.hpp"
 #include "ppatc/spice/simulator.hpp"
 
 namespace ppatc::memsys {
+
+namespace {
+
+// Wall-clock distribution of a single corner SPICE solve, in microseconds.
+// The edges span fast RC-ish decks (tens of us) through pathological
+// Newton-heavy corners (tens of ms); anything slower lands in the overflow
+// bucket.
+obs::Histogram& corner_latency_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "memsys.corner_solve_us",
+      {50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 20000.0, 50000.0});
+  return h;
+}
+
+// Runs one corner under a named span and records its latency. The gate bool
+// is read once so the disabled path costs a branch, not two clock reads.
+template <typename Fn>
+void timed_corner(const char* name, Fn&& fn) {
+  const obs::Span span{name};
+  const bool timed = obs::metrics_enabled();
+  const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
+  fn();
+  if (timed) {
+    corner_latency_histogram().record(static_cast<double>(obs::monotonic_ns() - t0) * 1e-3);
+  }
+}
+
+}  // namespace
 
 CellSpec m3d_igzo_cnfet_cell() {
   CellSpec c;
@@ -49,6 +79,7 @@ CellSpec all_si_cell() {
 
 CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
   PPATC_EXPECT(units::in_volts(sense_margin) > 0, "sense margin must be positive");
+  const obs::Span span{"memsys.characterize"};
   CellCharacteristics out;
   const double vdd = units::in_volts(cell.vdd);
 
@@ -104,7 +135,8 @@ CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
     out.read_delay = t50 - units::picoseconds(20);
   };
 
-  runtime::parallel_invoke(write_corner, read_corner);
+  runtime::parallel_invoke([&] { timed_corner("memsys.write_corner", write_corner); },
+                           [&] { timed_corner("memsys.read_corner", read_corner); });
 
   // ---- retention: analytic decay from the DC off-current at the hold bias.
   //      SN sits at VDD, WBL at 0 (worst case), WWL at the hold level:

@@ -1,0 +1,156 @@
+// ppatc: metrics registry (ppatc::obs).
+//
+// Named counters, gauges, and fixed-bucket histograms for the evaluation
+// pipeline. The design goals, in order:
+//
+//  1. Near-zero cost when disabled: every recording call starts with a branch
+//     on one cached atomic bool — no allocation, no locks, no clock reads.
+//  2. Low contention when enabled: counters and histograms are sharded into
+//     cache-line-sized cells; each thread picks a fixed shard and increments
+//     it with a relaxed atomic add. Shards are summed only when a snapshot is
+//     taken ("merge on report").
+//  3. Determinism where the recorded quantity is deterministic: integer
+//     increments commute, so a counter fed thread-count-invariant values
+//     (Newton iterations, chunks executed, Monte Carlo samples) reads the
+//     same total at any `PPATC_THREADS` — asserted in tests/test_obs.cpp.
+//
+// Metric handles have stable addresses for the life of the process; the
+// intended call-site pattern caches the reference in a function-local static
+// so the registry lock is taken exactly once per site:
+//
+//   static obs::Counter& c = obs::counter("spice.newton_iterations");
+//   c.add(iterations);
+//
+// `PPATC_METRICS=1` enables collection and dumps a text report to stderr at
+// process exit; any other non-empty value is treated as a path that receives
+// the JSON snapshot instead. Tests and benches can drive the same machinery
+// with `set_metrics_enabled` / `metrics_snapshot` / `reset_metrics`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppatc::obs {
+
+namespace detail {
+
+/// Cached global enable flag; read relaxed on every recording call.
+extern std::atomic<bool> g_metrics_enabled;
+
+inline constexpr std::size_t kShards = 16;
+
+/// The calling thread's fixed shard slot in [0, kShards).
+[[nodiscard]] std::size_t shard_index() noexcept;
+
+}  // namespace detail
+
+/// True when metric recording is on (PPATC_METRICS or set_metrics_enabled).
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept;
+
+/// Monotonic counter: sharded relaxed adds, summed on read.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    if (!metrics_enabled()) return;
+    cells_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Sum over all shards (approximate only while writers are mid-add).
+  [[nodiscard]] std::uint64_t value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[detail::kShards];
+};
+
+/// Last-write-wins instantaneous value (rates, pool sizes, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples v with
+/// edges[i-1] < v <= edges[i]; one final overflow bucket counts v > edges
+/// back. Buckets are sharded like Counter cells and merged on snapshot.
+class Histogram {
+ public:
+  void record(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& edges() const noexcept { return edges_; }
+  /// Merged per-bucket counts (size = edges().size() + 1, last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t total_count() const;
+  [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+ private:
+  friend Histogram& histogram(std::string_view, std::vector<double>);
+  explicit Histogram(std::vector<double> edges);
+
+  std::vector<double> edges_;
+  // [shard * n_buckets + bucket]; plain atomics — histogram records are rare
+  // enough (one per SPICE corner, not per sample) that false sharing between
+  // buckets of one shard does not matter.
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<double> sum_{0.0};
+};
+
+/// Finds or creates the named metric. References stay valid for the process
+/// lifetime. Creating an existing histogram under a different edge vector
+/// throws ContractViolation.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name, std::vector<double> edges);
+
+struct HistogramSnapshot {
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;  ///< size = edges.size() + 1 (overflow last)
+  std::uint64_t total = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time merge of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] std::uint64_t counter_or(const std::string& name,
+                                         std::uint64_t fallback = 0) const;
+};
+
+[[nodiscard]] MetricsSnapshot metrics_snapshot();
+
+/// Zeroes every registered metric (names stay registered).
+void reset_metrics();
+
+/// Human-readable dump (the PPATC_METRICS=1 exit report).
+[[nodiscard]] std::string metrics_to_text();
+
+/// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+[[nodiscard]] std::string metrics_to_json();
+
+/// Writes metrics_to_json() to `path` (throws ContractViolation on I/O error).
+void write_metrics_json(const std::string& path);
+
+}  // namespace ppatc::obs

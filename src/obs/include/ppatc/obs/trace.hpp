@@ -1,0 +1,106 @@
+// ppatc: scoped-span tracer (ppatc::obs).
+//
+// Nested RAII spans with thread-local buffers, exported as Chrome
+// trace-event JSON (chrome://tracing / Perfetto "traceEvents" format). Each
+// thread appends completed spans to its own buffer; buffers are only locked
+// for the append itself and for snapshot/export, so tracing never serializes
+// the traced threads against each other.
+//
+// Span identity and parenting: every active span has a process-unique id and
+// records the id of the span that was current on its thread when it started.
+// The `ppatc::runtime` thread pool re-parents its workers to the submitting
+// region for the duration of a batch (see ParentScope), so spans opened
+// inside `parallel_for` chunks on worker threads chain back to the span that
+// submitted the work — the exported trace shows a sweep as one tree even
+// though it ran on N threads.
+//
+// Disabled-mode contract: constructing a Span when tracing is off is a branch
+// on one cached atomic bool and nothing else — no clock read, no allocation,
+// no lock. `PPATC_TRACE=<file>` enables tracing at startup and writes the
+// JSON trace to <file> at process exit; tests and tools can also call
+// `set_tracing_enabled` / `trace_snapshot` / `write_trace` directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppatc::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+[[nodiscard]] inline bool tracing_enabled() noexcept {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) noexcept;
+
+/// Nanoseconds since the process trace epoch (steady clock).
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+/// Id of the innermost span open on the calling thread (0 = none).
+[[nodiscard]] std::uint64_t current_span_id() noexcept;
+
+/// A completed span as stored in the thread buffers / returned by snapshots.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root
+  std::uint32_t tid = 0;     ///< small per-thread index (trace "tid")
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// RAII scoped span. `name` must outlive the span (string literals at the
+/// instrumentation sites).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Nonzero iff tracing was enabled when the span was constructed.
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Temporarily replaces the calling thread's current span with `parent_id`,
+/// restoring the previous value on destruction. The runtime pool wraps each
+/// worker's batch participation in one of these so worker-side spans parent
+/// to the region that submitted the batch.
+class ParentScope {
+ public:
+  explicit ParentScope(std::uint64_t parent_id) noexcept;
+  ~ParentScope();
+  ParentScope(const ParentScope&) = delete;
+  ParentScope& operator=(const ParentScope&) = delete;
+
+ private:
+  std::uint64_t saved_ = 0;
+};
+
+/// All completed spans so far (live thread buffers + buffers of exited
+/// threads), in no particular order.
+[[nodiscard]] std::vector<SpanRecord> trace_snapshot();
+
+/// Drops every buffered span (open spans still complete normally).
+void reset_trace();
+
+/// Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ns"}.
+/// Events are complete-events ("ph":"X") with microsecond timestamps and
+/// {"id","parent"} args carrying the span tree.
+[[nodiscard]] std::string trace_to_json();
+
+/// Writes trace_to_json() to `path` (throws ContractViolation on I/O error).
+void write_trace(const std::string& path);
+
+}  // namespace ppatc::obs

@@ -1,0 +1,245 @@
+#include "ppatc/obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "ppatc/common/contract.hpp"
+
+namespace ppatc::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::reset() noexcept {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_{std::move(edges)}, counts_(detail::kShards * (edges_.size() + 1)) {
+  PPATC_EXPECT(!edges_.empty(), "histogram needs at least one bucket edge");
+  PPATC_EXPECT(std::is_sorted(edges_.begin(), edges_.end()) &&
+                   std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+               "histogram bucket edges must be strictly increasing");
+}
+
+void Histogram::record(double v) noexcept {
+  if (!metrics_enabled()) return;
+  // Bucket b holds edges[b-1] < v <= edges[b]; the final bucket is overflow.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(edges_.begin(), edges_.end(), v) - edges_.begin());
+  const std::size_t n_buckets = edges_.size() + 1;
+  counts_[detail::shard_index() * n_buckets + bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  const std::size_t n_buckets = edges_.size() + 1;
+  std::vector<std::uint64_t> merged(n_buckets, 0);
+  for (std::size_t s = 0; s < detail::kShards; ++s) {
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      merged[b] += counts_[s * n_buckets + b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : counts_) sum += c.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Leaky singleton: metric references are cached in function-local statics
+// all over the library and may be touched by pool threads during static
+// destruction, so the registry is never destroyed.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock{r.mutex};
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters.emplace(std::string{name}, std::unique_ptr<Counter>(new Counter)).first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock{r.mutex};
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end()) {
+    it = r.gauges.emplace(std::string{name}, std::unique_ptr<Gauge>(new Gauge)).first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name, std::vector<double> edges) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock{r.mutex};
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    it = r.histograms.emplace(std::string{name}, std::unique_ptr<Histogram>(new Histogram{std::move(edges)}))
+             .first;
+  } else {
+    PPATC_EXPECT(it->second->edges() == edges,
+                 "histogram re-registered with different bucket edges: " + std::string{name});
+  }
+  return *it->second;
+}
+
+std::uint64_t MetricsSnapshot::counter_or(const std::string& name, std::uint64_t fallback) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+MetricsSnapshot metrics_snapshot() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock{r.mutex};
+  MetricsSnapshot s;
+  for (const auto& [name, c] : r.counters) s.counters[name] = c->value();
+  for (const auto& [name, g] : r.gauges) s.gauges[name] = g->value();
+  for (const auto& [name, h] : r.histograms) {
+    HistogramSnapshot hs;
+    hs.edges = h->edges();
+    hs.counts = h->counts();
+    hs.total = 0;
+    for (const std::uint64_t c : hs.counts) hs.total += c;
+    hs.sum = h->sum();
+    s.histograms[name] = std::move(hs);
+  }
+  return s;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock{r.mutex};
+  for (const auto& [name, c] : r.counters) c->reset();
+  for (const auto& [name, g] : r.gauges) g->reset();
+  for (const auto& [name, h] : r.histograms) h->reset();
+}
+
+std::string metrics_to_text() {
+  const MetricsSnapshot s = metrics_snapshot();
+  std::ostringstream os;
+  os << "== ppatc metrics ==\n";
+  for (const auto& [name, v] : s.counters) os << "counter   " << name << " = " << v << "\n";
+  for (const auto& [name, v] : s.gauges) os << "gauge     " << name << " = " << v << "\n";
+  for (const auto& [name, h] : s.histograms) {
+    os << "histogram " << name << " total=" << h.total << " sum=" << h.sum << " |";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b < h.edges.size()) {
+        os << " le" << h.edges[b] << "=" << h.counts[b];
+      } else {
+        os << " inf=" << h.counts[b];
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string metrics_to_json() {
+  const MetricsSnapshot s = metrics_snapshot();
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    if (!first) os << ",";
+    first = false;
+    append_json_string(os, name);
+    os << ":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    if (!first) os << ",";
+    first = false;
+    append_json_string(os, name);
+    os << ":" << v;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    if (!first) os << ",";
+    first = false;
+    append_json_string(os, name);
+    os << ":{\"edges\":[";
+    for (std::size_t i = 0; i < h.edges.size(); ++i) os << (i ? "," : "") << h.edges[i];
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) os << (i ? "," : "") << h.counts[i];
+    os << "],\"total\":" << h.total << ",\"sum\":" << h.sum << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void write_metrics_json(const std::string& path) {
+  std::ofstream out{path};
+  PPATC_EXPECT(out.good(), "cannot open metrics output file: " + path);
+  out << metrics_to_json() << "\n";
+  out.close();
+  PPATC_ENSURE(out.good(), "failed writing metrics output file: " + path);
+}
+
+}  // namespace ppatc::obs

@@ -1,0 +1,230 @@
+#include "ppatc/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "ppatc/common/contract.hpp"
+#include "ppatc/obs/metrics.hpp"
+
+namespace ppatc::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// Innermost open span on this thread (0 = none). Written by Span/ParentScope,
+// read by current_span_id(); maintained even while tracing is disabled so a
+// ParentScope installed by the runtime costs only a thread-local store.
+thread_local std::uint64_t t_current_span = 0;
+
+struct ThreadBuffer;
+
+// Leaky singleton (see metrics.cpp): pool threads flush their buffers during
+// static destruction, after which the atexit exporter still reads them.
+struct TraceState {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> buffers;      // live threads
+  std::vector<SpanRecord> retired;         // spans of exited threads
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::uint32_t> next_tid{0};
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState;
+  return *s;
+}
+
+// Per-thread span buffer. The mutex is uncontended except while a snapshot
+// is being taken, so appends are effectively a thread-local push_back.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<SpanRecord> records;
+  std::uint32_t tid;
+
+  ThreadBuffer() : tid{state().next_tid.fetch_add(1, std::memory_order_relaxed)} {
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    s.buffers.push_back(this);
+  }
+
+  ~ThreadBuffer() {
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    s.buffers.erase(std::remove(s.buffers.begin(), s.buffers.end(), this), s.buffers.end());
+    const std::lock_guard<std::mutex> self{mutex};
+    s.retired.insert(s.retired.end(), std::make_move_iterator(records.begin()),
+                     std::make_move_iterator(records.end()));
+  }
+};
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool on) noexcept {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - state().epoch)
+                                        .count());
+}
+
+std::uint64_t current_span_id() noexcept { return t_current_span; }
+
+Span::Span(const char* name) noexcept {
+  if (!tracing_enabled()) return;
+  name_ = name;
+  id_ = state().next_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
+  start_ns_ = monotonic_ns();
+}
+
+Span::~Span() {
+  if (id_ == 0) return;
+  const std::uint64_t end_ns = monotonic_ns();
+  t_current_span = parent_;
+  ThreadBuffer& buf = local_buffer();
+  SpanRecord rec;
+  rec.id = id_;
+  rec.parent = parent_;
+  rec.tid = buf.tid;
+  rec.name = name_;
+  rec.start_ns = start_ns_;
+  rec.dur_ns = end_ns - start_ns_;
+  const std::lock_guard<std::mutex> lock{buf.mutex};
+  buf.records.push_back(std::move(rec));
+}
+
+ParentScope::ParentScope(std::uint64_t parent_id) noexcept : saved_{t_current_span} {
+  t_current_span = parent_id;
+}
+
+ParentScope::~ParentScope() { t_current_span = saved_; }
+
+std::vector<SpanRecord> trace_snapshot() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock{s.mutex};
+  std::vector<SpanRecord> out = s.retired;
+  for (ThreadBuffer* buf : s.buffers) {
+    const std::lock_guard<std::mutex> bl{buf->mutex};
+    out.insert(out.end(), buf->records.begin(), buf->records.end());
+  }
+  return out;
+}
+
+void reset_trace() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock{s.mutex};
+  s.retired.clear();
+  for (ThreadBuffer* buf : s.buffers) {
+    const std::lock_guard<std::mutex> bl{buf->mutex};
+    buf->records.clear();
+  }
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& os, const std::string& str) {
+  os << '"';
+  for (const char c : str) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string trace_to_json() {
+  std::vector<SpanRecord> spans = trace_snapshot();
+  std::sort(spans.begin(), spans.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.id < b.id;
+  });
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":";
+    append_json_string(os, r.name);
+    os << ",\"cat\":\"ppatc\",\"ph\":\"X\",\"ts\":" << static_cast<double>(r.start_ns) / 1000.0
+       << ",\"dur\":" << static_cast<double>(r.dur_ns) / 1000.0 << ",\"pid\":1,\"tid\":" << r.tid
+       << ",\"args\":{\"id\":" << r.id << ",\"parent\":" << r.parent << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}";
+  return os.str();
+}
+
+void write_trace(const std::string& path) {
+  std::ofstream out{path};
+  PPATC_EXPECT(out.good(), "cannot open trace output file: " + path);
+  out << trace_to_json() << "\n";
+  out.close();
+  PPATC_ENSURE(out.good(), "failed writing trace output file: " + path);
+}
+
+namespace {
+
+// Startup wiring for the PPATC_TRACE / PPATC_METRICS environment switches.
+// Runs at static initialization of the obs library; the exporters run via
+// atexit, which fires after later-registered static destructors (including
+// the runtime pool join) so worker buffers are already flushed.
+struct EnvInit {
+  EnvInit() {
+    if (const char* path = std::getenv("PPATC_TRACE"); path != nullptr && *path != '\0') {
+      static std::string trace_path;  // outlives the atexit handler
+      trace_path = path;
+      set_tracing_enabled(true);
+      std::atexit([] {
+        try {
+          write_trace(trace_path);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "ppatc::obs: trace export failed: %s\n", e.what());
+        }
+      });
+    }
+    if (const char* flag = std::getenv("PPATC_METRICS"); flag != nullptr && *flag != '\0') {
+      static std::string metrics_path;  // empty = text dump to stderr
+      if (std::string_view{flag} != "1") metrics_path = flag;
+      set_metrics_enabled(true);
+      std::atexit([] {
+        try {
+          if (metrics_path.empty()) {
+            std::fputs(metrics_to_text().c_str(), stderr);
+          } else {
+            write_metrics_json(metrics_path);
+          }
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "ppatc::obs: metrics export failed: %s\n", e.what());
+        }
+      });
+    }
+  }
+};
+
+const EnvInit g_env_init{};
+
+}  // namespace
+
+}  // namespace ppatc::obs

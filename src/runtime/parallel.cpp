@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
+
 namespace ppatc::runtime {
 
 namespace {
@@ -17,6 +20,30 @@ namespace {
 // parallel regions detect this and run inline instead of re-entering the
 // pool, which would deadlock the submitting wait.
 thread_local bool t_inside_pool_task = false;
+
+// Pool metrics. Chunk/batch counts are thread-count invariant (the chunk
+// decomposition is); the *_ns counters measure this run's scheduling and are
+// not expected to be deterministic.
+obs::Counter& chunks_counter() {
+  static obs::Counter& c = obs::counter("runtime.chunks_executed");
+  return c;
+}
+obs::Counter& batches_counter() {
+  static obs::Counter& c = obs::counter("runtime.batches");
+  return c;
+}
+obs::Counter& inline_batches_counter() {
+  static obs::Counter& c = obs::counter("runtime.inline_batches");
+  return c;
+}
+obs::Counter& busy_counter() {
+  static obs::Counter& c = obs::counter("runtime.worker_busy_ns");
+  return c;
+}
+obs::Counter& wait_counter() {
+  static obs::Counter& c = obs::counter("runtime.queue_wait_ns");
+  return c;
+}
 
 }  // namespace
 
@@ -41,6 +68,8 @@ struct ThreadPool::Impl {
   // tell a new batch from a spurious wake.
   const std::function<void(std::size_t)>* task = nullptr;
   std::size_t num_tasks = 0;
+  std::uint64_t submit_span = 0;  // submitting thread's span, for worker parenting
+  std::uint64_t submit_ns = 0;    // batch submit time (0 when metrics are off)
   std::atomic<std::size_t> next_index{0};
   std::atomic<bool> cancelled{false};
   std::size_t workers_active = 0;
@@ -53,17 +82,23 @@ struct ThreadPool::Impl {
   // Claims indices until the batch is exhausted (or cancelled by a thrown
   // exception) and records the first error.
   void drain() {
+    const bool timed = obs::metrics_enabled();
+    const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
+    std::uint64_t executed = 0;
     while (!cancelled.load(std::memory_order_relaxed)) {
       const std::size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_tasks) break;
       try {
         (*task)(i);
+        ++executed;
       } catch (...) {
         cancelled.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock{error_mutex};
         if (!error) error = std::current_exception();
       }
     }
+    if (executed != 0) chunks_counter().add(executed);
+    if (timed) busy_counter().add(obs::monotonic_ns() - t0);
   }
 
   void worker_loop() {
@@ -74,8 +109,17 @@ struct ThreadPool::Impl {
       work_ready.wait(lock, [&] { return stopping || generation != seen; });
       if (stopping) return;
       seen = generation;
+      const std::uint64_t parent_span = submit_span;
+      const std::uint64_t submitted_ns = submit_ns;
       lock.unlock();
-      drain();
+      if (submitted_ns != 0) wait_counter().add(obs::monotonic_ns() - submitted_ns);
+      {
+        // Re-parent this worker to the submitting region so spans opened
+        // inside the tasks chain back to the span that submitted the batch.
+        const obs::ParentScope parent{parent_span};
+        const obs::Span span{"runtime.drain"};
+        drain();
+      }
       lock.lock();
       if (--workers_active == 0) batch_done.notify_all();
     }
@@ -107,9 +151,13 @@ void ThreadPool::run(std::size_t num_tasks, const std::function<void(std::size_t
   if (num_tasks == 0) return;
   if (num_tasks == 1 || impl_->workers.empty() || t_inside_pool_task) {
     // Serial fallback: same tasks, same order, same thread.
+    inline_batches_counter().increment();
     for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    chunks_counter().add(num_tasks);
     return;
   }
+  const obs::Span span{"runtime.batch"};
+  batches_counter().increment();
   {
     const std::lock_guard<std::mutex> lock{impl_->mutex};
     impl_->task = &task;
@@ -118,6 +166,8 @@ void ThreadPool::run(std::size_t num_tasks, const std::function<void(std::size_t
     impl_->cancelled.store(false, std::memory_order_relaxed);
     impl_->error = nullptr;
     impl_->workers_active = impl_->workers.size();
+    impl_->submit_span = obs::current_span_id();
+    impl_->submit_ns = obs::metrics_enabled() ? obs::monotonic_ns() : 0;
     ++impl_->generation;
   }
   impl_->work_ready.notify_all();

@@ -9,12 +9,23 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ppatc/spice/circuit.hpp"
 
 namespace ppatc::spice {
+
+/// Thrown when every continuation strategy (gmin stepping, source stepping,
+/// transient step halving) fails to converge. The message carries the solve
+/// phase, time point, iteration budget, and the node with the worst residual;
+/// the `spice.newton_nonconvergence` metrics counter records each failed
+/// Newton attempt (see ppatc/obs/metrics.hpp).
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct SimOptions {
   double abstol = 1e-12;       ///< residual current tolerance (A)
@@ -57,14 +68,17 @@ class Simulator {
   explicit Simulator(const Circuit& circuit, SimOptions options = {});
 
   /// DC operating point at t = 0 stimulus values. Uses gmin stepping when the
-  /// plain Newton solve fails. Returns nullopt only if every continuation
-  /// strategy diverges.
+  /// plain Newton solve fails. Throws ConvergenceError (with node/iteration
+  /// context) if every continuation strategy diverges; the optional is kept
+  /// for API stability and is always engaged on return.
   [[nodiscard]] std::optional<DcResult> dc_operating_point() const;
 
   /// Fixed-step backward-Euler transient from 0 to `stop`. If `from_ics` is
   /// true, capacitors with declared ICs start from them and all other state
   /// starts from the DC operating point of the remaining network; otherwise
-  /// the run starts from the full DC operating point.
+  /// the run starts from the full DC operating point. Throws ConvergenceError
+  /// (with time/node context) when a step diverges even after halving; the
+  /// optional is kept for API stability and is always engaged on return.
   [[nodiscard]] std::optional<TransientResult> transient(Duration stop, Duration step,
                                                          bool from_ics = false) const;
 

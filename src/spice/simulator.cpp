@@ -4,13 +4,35 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <vector>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
 
 namespace ppatc::spice {
 
 namespace {
+
+// Solver metrics: iteration and step counts are deterministic for a fixed
+// circuit + options, so tests assert their exact values (test_obs.cpp).
+obs::Counter& newton_iterations_counter() {
+  static obs::Counter& c = obs::counter("spice.newton_iterations");
+  return c;
+}
+obs::Counter& newton_solves_counter() {
+  static obs::Counter& c = obs::counter("spice.newton_solves");
+  return c;
+}
+obs::Counter& nonconvergence_counter() {
+  static obs::Counter& c = obs::counter("spice.newton_nonconvergence");
+  return c;
+}
+obs::Counter& transient_steps_counter() {
+  static obs::Counter& c = obs::counter("spice.transient_steps");
+  return c;
+}
 
 // Dense row-major matrix with partially-pivoted LU solve; the characterization
 // circuits are O(10..100) unknowns, well below the sparse crossover.
@@ -181,35 +203,88 @@ class System {
     }
   }
 
+  /// Context of the most recent failed Newton solve, for diagnostics.
+  struct NewtonDiag {
+    int iterations = 0;           ///< iterations executed before giving up
+    double max_residual = 0.0;    ///< max |f| over the voltage rows (A)
+    NodeId worst_node = kGroundNode;  ///< node carrying max_residual
+    const char* reason = "";      ///< "singular Jacobian" / "non-finite solution" / "iteration limit"
+  };
+
+  [[nodiscard]] const NewtonDiag& last_diag() const { return diag_; }
+
+  /// Formats last_diag() with node-name context for a ConvergenceError.
+  [[nodiscard]] std::string diag_message() const {
+    std::ostringstream os;
+    os << diag_.reason << " after " << diag_.iterations << " Newton iteration(s)";
+    if (diag_.worst_node != kGroundNode) {
+      os << "; worst residual " << diag_.max_residual << " A at node '"
+         << circuit_.node_name(diag_.worst_node) << "'";
+    }
+    return os.str();
+  }
+
   /// Newton–Raphson from the given initial guess; returns iterations used or
-  /// -1 on divergence. x is updated in place.
+  /// -1 on divergence (filling last_diag()). x is updated in place.
   int newton(const AssemblyContext& ctx, std::vector<double>& x) const {
     std::vector<double> f(n_unknowns_);
     DenseMatrix jac(n_unknowns_);
     const std::size_t nv = n_nodes_ - 1;
-    for (int it = 1; it <= ctx.options.max_newton_iterations; ++it) {
+    newton_solves_counter().increment();
+    int result = -1;
+    int it = 1;
+    diag_ = NewtonDiag{};
+    for (; it <= ctx.options.max_newton_iterations; ++it) {
       assemble(ctx, x, f, jac);
+      // Record the worst voltage-row residual before the solve mutates f's
+      // copy, so a failure at this iteration reports where the circuit is
+      // furthest from KCL.
+      diag_.max_residual = 0.0;
+      diag_.worst_node = kGroundNode;
+      for (std::size_t i = 0; i < nv; ++i) {
+        if (std::abs(f[i]) > diag_.max_residual) {
+          diag_.max_residual = std::abs(f[i]);
+          diag_.worst_node = i + 1;
+        }
+      }
       std::vector<double> dx = f;  // solve J dx = f, then x -= dx
-      if (!jac.solve(dx)) return -1;
+      if (!jac.solve(dx)) {
+        diag_.reason = "singular Jacobian";
+        break;
+      }
       // Damp voltage updates to aid FET convergence.
       double vmax = 0.0;
       for (std::size_t i = 0; i < nv; ++i) vmax = std::max(vmax, std::abs(dx[i]));
       const double damp = vmax > 0.4 ? 0.4 / vmax : 1.0;
       for (std::size_t i = 0; i < n_unknowns_; ++i) x[i] -= damp * dx[i];
-      if (!std::all_of(x.begin(), x.end(), [](double v) { return std::isfinite(v); })) return -1;
+      if (!std::all_of(x.begin(), x.end(), [](double v) { return std::isfinite(v); })) {
+        diag_.reason = "non-finite solution";
+        break;
+      }
       double dv = 0.0;
       for (std::size_t i = 0; i < nv; ++i) dv = std::max(dv, std::abs(dx[i]));
       double res = 0.0;
       for (std::size_t i = 0; i < nv; ++i) res = std::max(res, std::abs(f[i]));
-      if (damp == 1.0 && dv < ctx.options.reltol && res < ctx.options.abstol * 1e3) return it;
+      if (damp == 1.0 && dv < ctx.options.reltol && res < ctx.options.abstol * 1e3) {
+        result = it;
+        break;
+      }
     }
-    return -1;
+    const int executed = result > 0 ? result : std::min(it, ctx.options.max_newton_iterations);
+    newton_iterations_counter().add(static_cast<std::uint64_t>(std::max(executed, 0)));
+    if (result < 0) {
+      diag_.iterations = std::max(executed, 0);
+      if (*diag_.reason == '\0') diag_.reason = "iteration limit";
+      nonconvergence_counter().increment();
+    }
+    return result;
   }
 
  private:
   const Circuit& circuit_;
   std::size_t n_nodes_;
   std::size_t n_unknowns_;
+  mutable NewtonDiag diag_;
 };
 
 }  // namespace
@@ -261,6 +336,7 @@ Simulator::Simulator(const Circuit& circuit, SimOptions options)
 }
 
 std::optional<DcResult> Simulator::dc_operating_point() const {
+  const obs::Span span{"spice.dc"};
   System sys{circuit_};
   std::vector<double> x(sys.unknowns(), 0.0);
 
@@ -270,6 +346,14 @@ std::optional<DcResult> Simulator::dc_operating_point() const {
   ctx.gmin = options_.gmin;
   ctx.include_caps = false;
   ctx.time = 0.0;
+
+  auto fail = [&](const char* strategy) -> ConvergenceError {
+    std::ostringstream os;
+    os << "DC operating point failed to converge (" << strategy
+       << "; gmin and source stepping exhausted): " << sys.diag_message()
+       << " (limit " << options_.max_newton_iterations << ")";
+    return ConvergenceError{os.str()};
+  };
 
   int iters = sys.newton(ctx, x);
   if (iters < 0) {
@@ -295,11 +379,11 @@ std::optional<DcResult> Simulator::dc_operating_point() const {
       ctx.gmin = options_.gmin;
       for (int step = 1; step <= 10; ++step) {
         ctx.source_scale = static_cast<double>(step) / 10.0;
-        if (sys.newton(ctx, x) < 0) return std::nullopt;
+        if (sys.newton(ctx, x) < 0) throw fail("source stepping");
       }
       ctx.source_scale = 1.0;
       iters = sys.newton(ctx, x);
-      if (iters < 0) return std::nullopt;
+      if (iters < 0) throw fail("final solve after source stepping");
     }
   }
 
@@ -319,6 +403,7 @@ std::optional<TransientResult> Simulator::transient(Duration stop, Duration step
   PPATC_EXPECT(stop.base() > 0 && step.base() > 0, "transient needs positive stop and step");
   PPATC_EXPECT(step < stop, "step must be smaller than stop time");
 
+  const obs::Span span{"spice.transient"};
   const auto dc = dc_operating_point();
   if (!dc) return std::nullopt;
 
@@ -367,6 +452,7 @@ std::optional<TransientResult> Simulator::transient(Duration stop, Duration step
   };
 
   record(0.0);
+  std::uint64_t accepted_steps = 0;
   for (std::size_t k = 1; k <= steps; ++k) {
     const double t = std::min(static_cast<double>(k) * step.base(), stop.base());
     ctx.time = t;
@@ -394,14 +480,22 @@ std::optional<TransientResult> Simulator::transient(Duration stop, Duration step
           }
         }
       }
-      if (!ok) return std::nullopt;
+      if (!ok) {
+        std::ostringstream os;
+        os << "transient Newton failed to converge at t=" << ctx.time << " s (dt=" << ctx.dt
+           << " s, step " << k << "/" << steps << ", half-step retry exhausted): "
+           << sys.diag_message() << " (limit " << options_.max_newton_iterations << ")";
+        throw ConvergenceError{os.str()};
+      }
     }
     for (std::size_t i = 0; i < cap_prev.size(); ++i) {
       const auto& c = circuit_.capacitors()[i];
       cap_prev[i] = sys.volt(x, c.a) - sys.volt(x, c.b);
     }
     record(t);
+    ++accepted_steps;
   }
+  transient_steps_counter().add(accepted_steps);
 
   return TransientResult{circuit_, std::move(time), std::move(volts), std::move(currents)};
 }

@@ -1,0 +1,444 @@
+// Tests for ppatc::obs: metrics registry semantics, scoped-span tracing
+// (including parenting across the runtime pool's worker threads), exported
+// JSON validity, disabled-mode no-ops, and — the load-bearing property —
+// bit-determinism of the pipeline counters across thread counts.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppatc/carbon/uncertainty.hpp"
+#include "ppatc/common/contract.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
+#include "ppatc/runtime/parallel.hpp"
+#include "ppatc/spice/circuit.hpp"
+#include "ppatc/spice/simulator.hpp"
+
+namespace ppatc {
+namespace {
+
+using namespace ppatc::units;
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator (syntax only). Enough to assert
+// the exported traces and metric dumps are well-formed without pulling in a
+// JSON dependency.
+class JsonValidator {
+ public:
+  [[nodiscard]] static bool valid(const std::string& text) {
+    JsonValidator v{text};
+    v.skip_ws();
+    if (!v.value()) return false;
+    v.skip_ws();
+    return v.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(const std::string& text) : text_{text} {}
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) ++pos_;
+  }
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!consume(*p)) return false;
+    }
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof() && peek() != '"') {
+      if (peek() == '\\') {
+        ++pos_;
+        if (eof()) return false;
+        const char e = peek();
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || std::isxdigit(static_cast<unsigned char>(peek())) == 0) return false;
+            ++pos_;
+          }
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' && e != 'r' &&
+            e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return consume('"');
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool value() {
+    skip_ws();
+    if (eof()) return false;
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Fixture: every test starts from a clean, enabled observability state and
+// leaves the process with obs disabled and the pool at its default size, so
+// test order cannot leak state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_metrics_enabled(true);
+    obs::set_tracing_enabled(true);
+    obs::reset_metrics();
+    obs::reset_trace();
+  }
+  void TearDown() override {
+    obs::set_metrics_enabled(false);
+    obs::set_tracing_enabled(false);
+    runtime::set_thread_count(0);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST_F(ObsTest, CounterAccumulatesAcrossThreads) {
+  obs::Counter& c = obs::counter("test.threads");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(obs::metrics_snapshot().counter_or("test.threads"), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableHandles) {
+  obs::Counter& a = obs::counter("test.same");
+  obs::Counter& b = obs::counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(ObsTest, DisabledMetricsAreNoOps) {
+  obs::Counter& c = obs::counter("test.disabled");
+  obs::Gauge& g = obs::gauge("test.disabled_gauge");
+  obs::Histogram& h = obs::histogram("test.disabled_hist", {1.0, 2.0});
+  obs::set_metrics_enabled(false);
+  c.add(5);
+  g.set(7.0);
+  h.record(1.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.total_count(), 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketEdgeSemantics) {
+  // Bucket i counts edges[i-1] < v <= edges[i]; the last bucket is overflow.
+  obs::Histogram& h = obs::histogram("test.hist", {1.0, 2.0, 5.0});
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 3.0, 7.0}) h.record(v);
+  const std::vector<std::uint64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);  // 0.5 and the on-edge 1.0
+  EXPECT_EQ(counts[1], 2u);  // 1.5 and the on-edge 2.0
+  EXPECT_EQ(counts[2], 1u);  // 3.0
+  EXPECT_EQ(counts[3], 1u);  // 7.0 overflows
+  EXPECT_EQ(h.total_count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 7.0);
+}
+
+TEST_F(ObsTest, HistogramReRegistrationWithDifferentEdgesThrows) {
+  (void)obs::histogram("test.hist_edges", {1.0, 2.0});
+  EXPECT_NO_THROW((void)obs::histogram("test.hist_edges", {1.0, 2.0}));
+  EXPECT_THROW((void)obs::histogram("test.hist_edges", {1.0, 3.0}), ContractViolation);
+}
+
+TEST_F(ObsTest, MetricsJsonIsValid) {
+  obs::counter("test.json_counter").add(2);
+  obs::gauge("test.json_gauge").set(1.25);
+  obs::histogram("test.json_hist", {10.0, 20.0}).record(15.0);
+  const std::string json = obs::metrics_to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+TEST_F(ObsTest, SpanNestingSingleThread) {
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    const obs::Span outer{"outer"};
+    outer_id = outer.id();
+    EXPECT_EQ(obs::current_span_id(), outer_id);
+    {
+      const obs::Span inner{"inner"};
+      inner_id = inner.id();
+      EXPECT_EQ(obs::current_span_id(), inner_id);
+    }
+    EXPECT_EQ(obs::current_span_id(), outer_id);
+  }
+  EXPECT_EQ(obs::current_span_id(), 0u);
+
+  const std::vector<obs::SpanRecord> spans = obs::trace_snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  std::map<std::uint64_t, obs::SpanRecord> by_id;
+  for (const auto& s : spans) by_id[s.id] = s;
+  ASSERT_TRUE(by_id.count(outer_id) == 1 && by_id.count(inner_id) == 1);
+  EXPECT_EQ(by_id[outer_id].parent, 0u);
+  EXPECT_EQ(by_id[inner_id].parent, outer_id);
+  EXPECT_GE(by_id[outer_id].dur_ns, by_id[inner_id].dur_ns);
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing) {
+  obs::set_tracing_enabled(false);
+  {
+    const obs::Span s{"ghost"};
+    EXPECT_EQ(s.id(), 0u);
+    EXPECT_EQ(obs::current_span_id(), 0u);
+  }
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+}
+
+// Worker-side spans must chain back to the submitting region regardless of
+// the thread count (inline execution, or via the pool's re-parenting).
+void expect_chunks_parent_to_region(std::size_t threads) {
+  runtime::set_thread_count(threads);
+  obs::reset_trace();
+  std::uint64_t region_id = 0;
+  {
+    const obs::Span region{"region"};
+    region_id = region.id();
+    ASSERT_NE(region_id, 0u);
+    runtime::parallel_for(8, [](std::size_t) { const obs::Span chunk{"chunk"}; });
+  }
+  const std::vector<obs::SpanRecord> spans = obs::trace_snapshot();
+  std::map<std::uint64_t, obs::SpanRecord> by_id;
+  for (const auto& s : spans) by_id[s.id] = s;
+
+  std::size_t chunks = 0;
+  for (const auto& s : spans) {
+    if (s.name != "chunk") continue;
+    ++chunks;
+    // Walk ancestors (chunk -> [runtime.drain ->] runtime.batch -> region on
+    // pooled runs; chunk -> region inline).
+    std::uint64_t id = s.parent;
+    bool reached_region = false;
+    for (int hops = 0; id != 0 && hops < 16; ++hops) {
+      if (id == region_id) {
+        reached_region = true;
+        break;
+      }
+      const auto it = by_id.find(id);
+      ASSERT_NE(it, by_id.end()) << "dangling parent id " << id << " at " << threads << " threads";
+      id = it->second.parent;
+    }
+    EXPECT_TRUE(reached_region) << "chunk span not parented to region at " << threads
+                                << " threads";
+  }
+  EXPECT_EQ(chunks, 8u);
+}
+
+TEST_F(ObsTest, WorkerSpansParentToSubmittingRegionSerial) {
+  expect_chunks_parent_to_region(1);
+}
+
+TEST_F(ObsTest, WorkerSpansParentToSubmittingRegionPooled) {
+  expect_chunks_parent_to_region(4);
+}
+
+TEST_F(ObsTest, TraceJsonIsValidChromeFormat) {
+  {
+    const obs::Span outer{"json_outer"};
+    const obs::Span inner{"json_inner"};
+  }
+  const std::string json = obs::trace_to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"json_inner\""), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "ppatc_trace_roundtrip.json";
+  obs::write_trace(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string from_disk;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) from_disk.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(JsonValidator::valid(from_disk));
+  EXPECT_EQ(from_disk, json + "\n");  // write_trace terminates the file with a newline
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline counters: determinism and coverage.
+
+TEST_F(ObsTest, SpiceCountersAreDeterministicForFixedSolve) {
+  spice::Circuit c;
+  c.add_vsource("vin", "in", "0",
+                spice::Stimulus::pwl({{seconds(0.0), volts(0.0)}, {seconds(1e-9), volts(1.0)}}));
+  c.add_resistor("in", "out", 1000.0);
+  c.add_capacitor("out", "0", femtofarads(10.0));
+  const spice::Simulator sim{c};
+
+  auto run_once = [&] {
+    obs::reset_metrics();
+    const auto tr = sim.transient(nanoseconds(100.0), picoseconds(10.0));
+    ASSERT_TRUE(tr.has_value());
+    return;
+  };
+  run_once();
+  const obs::MetricsSnapshot first = obs::metrics_snapshot();
+  run_once();
+  const obs::MetricsSnapshot second = obs::metrics_snapshot();
+
+  EXPECT_GT(first.counter_or("spice.newton_iterations"), 0u);
+  EXPECT_GT(first.counter_or("spice.newton_solves"), 0u);
+  EXPECT_GT(first.counter_or("spice.transient_steps"), 0u);
+  EXPECT_EQ(first.counter_or("spice.newton_nonconvergence"), 0u);
+  for (const char* key : {"spice.newton_iterations", "spice.newton_solves",
+                          "spice.transient_steps", "spice.newton_nonconvergence"}) {
+    EXPECT_EQ(first.counter_or(key), second.counter_or(key)) << key;
+  }
+}
+
+TEST_F(ObsTest, MonteCarloCountersAreBitDeterministicAcrossThreadCounts) {
+  carbon::UncertainProfile cand;
+  cand.embodied_per_good_die_g = carbon::Interval::factor(9000.0, 1.5);
+  cand.operational_power_w = carbon::Interval::factor(0.8, 1.2);
+  cand.standby_power_w = carbon::Interval::point(0.02);
+  cand.execution_time_s = 0.8;
+  carbon::UncertainProfile base;
+  base.embodied_per_good_die_g = carbon::Interval::factor(12000.0, 1.5);
+  base.operational_power_w = carbon::Interval::factor(1.0, 1.2);
+  base.standby_power_w = carbon::Interval::point(0.05);
+  base.execution_time_s = 1.0;
+  carbon::UncertainScenario scen;
+  scen.ci_use_g_per_kwh = carbon::Interval::factor(300.0, 2.0);
+  scen.lifetime_months = carbon::Interval::plus_minus(36.0, 12.0);
+
+  constexpr std::size_t kSamples = 10'000;
+  auto run_at = [&](std::size_t threads, carbon::MonteCarloSummary* summary) {
+    runtime::set_thread_count(threads);
+    obs::reset_metrics();
+    *summary = carbon::monte_carlo_tcdp_ratio(cand, base, scen, kSamples, 42);
+    return obs::metrics_snapshot();
+  };
+  carbon::MonteCarloSummary s1;
+  carbon::MonteCarloSummary s4;
+  const obs::MetricsSnapshot m1 = run_at(1, &s1);
+  const obs::MetricsSnapshot m4 = run_at(4, &s4);
+
+  // The sampled results themselves are thread-count invariant...
+  EXPECT_EQ(s1.mean, s4.mean);
+  EXPECT_EQ(s1.p50, s4.p50);
+  EXPECT_EQ(s1.probability_candidate_wins, s4.probability_candidate_wins);
+
+  // ...and so is every counter fed by deterministic quantities.
+  EXPECT_EQ(m1.counter_or("carbon.mc_samples"), kSamples);
+  EXPECT_EQ(m4.counter_or("carbon.mc_samples"), kSamples);
+  const std::uint64_t chunks = runtime::chunk_count(kSamples, 4096);
+  EXPECT_EQ(m1.counter_or("runtime.chunks_executed"), chunks);
+  EXPECT_EQ(m4.counter_or("runtime.chunks_executed"), chunks);
+  // A single parallel region runs either pooled or inline depending on the
+  // thread count, but exactly one batch happens either way.
+  EXPECT_EQ(m1.counter_or("runtime.batches") + m1.counter_or("runtime.inline_batches"), 1u);
+  EXPECT_EQ(m4.counter_or("runtime.batches") + m4.counter_or("runtime.inline_batches"), 1u);
+}
+
+TEST_F(ObsTest, NonConvergenceThrowsWithDiagnosticsAndCounts) {
+  spice::Circuit c;
+  c.add_vsource("vin", "in", "0", spice::Stimulus::dc(volts(1.0)));
+  c.add_resistor("in", "out", 1000.0);
+  c.add_resistor("out", "0", 1000.0);
+  spice::SimOptions opts;
+  opts.max_newton_iterations = 0;  // no Newton budget: every strategy must fail
+  const spice::Simulator sim{c, opts};
+  try {
+    (void)sim.dc_operating_point();
+    FAIL() << "expected ConvergenceError";
+  } catch (const spice::ConvergenceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("failed to converge"), std::string::npos) << what;
+    EXPECT_NE(what.find("iteration"), std::string::npos) << what;
+  }
+  EXPECT_GT(obs::metrics_snapshot().counter_or("spice.newton_nonconvergence"), 0u);
+}
+
+}  // namespace
+}  // namespace ppatc
