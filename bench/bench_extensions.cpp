@@ -53,7 +53,7 @@ int main() {
     std::printf("  %-30s %-5s %8.0f %12.3f %12.3f %12.5f\n",
                 core::to_string(p.spec.tech), device::to_string(p.spec.vt),
                 in_megahertz(p.spec.fclk), 1e3 * in_seconds(p.evaluation.execution_time),
-                in_grams_co2e(p.total_carbon), p.tcdp);
+                in_grams_co2e(p.total_carbon), in_gco2e_seconds(p.tcdp));
   }
   std::printf("  (execution time, total carbon) Pareto front:\n");
   for (const auto& p : result.pareto) {

@@ -45,12 +45,12 @@ int main() {
   m3d.embodied_per_good_die_g =
       cb::Interval::factor(in_grams_co2e(t2.m3d.embodied_per_good_die), 1.2);
   m3d.operational_power_w = cb::Interval::point(in_watts(t2.m3d.operational_power));
-  m3d.execution_time_s = in_seconds(t2.m3d.execution_time);
+  m3d.execution_time = t2.m3d.execution_time;
   cb::UncertainProfile si;
   si.embodied_per_good_die_g =
       cb::Interval::factor(in_grams_co2e(t2.all_si.embodied_per_good_die), 1.2);
   si.operational_power_w = cb::Interval::point(in_watts(t2.all_si.operational_power));
-  si.execution_time_s = in_seconds(t2.all_si.execution_time);
+  si.execution_time = t2.all_si.execution_time;
   cb::UncertainScenario uscen;
   uscen.ci_use_g_per_kwh = cb::Interval::factor(380.0, 3.0);
   uscen.lifetime_months = cb::Interval::plus_minus(24.0, 6.0);

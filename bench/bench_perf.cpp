@@ -103,11 +103,11 @@ void BM_MonteCarlo(benchmark::State& state) {
   carbon::UncertainProfile c;
   c.embodied_per_good_die_g = carbon::Interval::factor(3.63, 1.2);
   c.operational_power_w = carbon::Interval::point(8.46e-3);
-  c.execution_time_s = 0.040;
+  c.execution_time = seconds(0.040);
   carbon::UncertainProfile b;
   b.embodied_per_good_die_g = carbon::Interval::factor(3.11, 1.2);
   b.operational_power_w = carbon::Interval::point(9.71e-3);
-  b.execution_time_s = 0.040;
+  b.execution_time = seconds(0.040);
   carbon::UncertainScenario s;
   s.ci_use_g_per_kwh = carbon::Interval::factor(380.0, 3.0);
   s.lifetime_months = carbon::Interval::plus_minus(24.0, 6.0);
@@ -127,7 +127,7 @@ carbon::UncertainProfile mc_profile(double emb_g, double p_w) {
   carbon::UncertainProfile p;
   p.embodied_per_good_die_g = carbon::Interval::factor(emb_g, 1.2);
   p.operational_power_w = carbon::Interval::point(p_w);
-  p.execution_time_s = 0.040;
+  p.execution_time = seconds(0.040);
   return p;
 }
 

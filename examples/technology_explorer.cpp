@@ -57,12 +57,12 @@ int main(int argc, char** argv) {
   uc.embodied_per_good_die_g =
       cb::Interval::factor(in_grams_co2e(candidate.embodied_per_good_die), 1.2);
   uc.operational_power_w = cb::Interval::point(in_watts(candidate.operational_power));
-  uc.execution_time_s = in_seconds(candidate.execution_time);
+  uc.execution_time = candidate.execution_time;
   cb::UncertainProfile ub;
   ub.embodied_per_good_die_g =
       cb::Interval::factor(in_grams_co2e(baseline.embodied_per_good_die), 1.2);
   ub.operational_power_w = cb::Interval::point(in_watts(baseline.operational_power));
-  ub.execution_time_s = in_seconds(baseline.execution_time);
+  ub.execution_time = baseline.execution_time;
   cb::UncertainScenario us;
   us.ci_use_g_per_kwh = cb::Interval::factor(380.0, 3.0);
   us.lifetime_months = cb::Interval::plus_minus(24.0, 6.0);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ppatc/carbon/tcdp.hpp"

@@ -20,7 +20,7 @@ namespace ppatc::carbon {
 /// Geometry of the deposited CNT films, to compute per-wafer CNT mass.
 struct CntFilmSpec {
   double cnts_per_um = 200.0;        ///< CNT areal density
-  double diameter_nm = 1.4;          ///< target CNT diameter (1–2 nm)
+  Length diameter = units::nanometres(1.4);  ///< target CNT diameter (1–2 nm)
   double coverage_fraction = 0.35;   ///< fraction of wafer area under CNT film
   int tiers = 2;                     ///< number of CNFET tiers in the stack
 };
@@ -37,7 +37,7 @@ struct CntFilmSpec {
 /// target material); like the CNT term this is negligible next to the Si
 /// wafer but is accounted explicitly.
 struct IgzoFilmSpec {
-  double thickness_nm = 10.0;
+  Length thickness = units::nanometres(10.0);
   double coverage_fraction = 0.35;
   int tiers = 1;
   double density_g_per_cm3 = 6.1;

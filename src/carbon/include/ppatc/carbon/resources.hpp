@@ -15,6 +15,8 @@
 //    (Bardon et al., IEDM 2020).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include "ppatc/carbon/process_flow.hpp"
 #include "ppatc/carbon/yield.hpp"
 

@@ -35,10 +35,11 @@ struct SystemCarbonProfile {
 [[nodiscard]] Carbon total_carbon(const SystemCarbonProfile& profile,
                                   const OperationalScenario& scenario, Duration lifetime);
 
-/// tCDP(t_life): total carbon times execution time, in gCO2e.s (equivalently
-/// the paper's gCO2e/Hz).
-[[nodiscard]] double tcdp(const SystemCarbonProfile& profile, const OperationalScenario& scenario,
-                          Duration lifetime);
+/// tCDP(t_life): total carbon times execution time, as a dimensioned
+/// CarbonDelay (base gCO2e.s, equivalently the paper's gCO2e/Hz). Use
+/// units::in_gco2e_seconds() where a raw double is needed.
+[[nodiscard]] CarbonDelay tcdp(const SystemCarbonProfile& profile,
+                               const OperationalScenario& scenario, Duration lifetime);
 
 /// One row of the Fig. 5 series.
 struct LifetimePoint {
@@ -46,7 +47,7 @@ struct LifetimePoint {
   Carbon embodied;
   Carbon operational;
   Carbon total;
-  double tcdp;  ///< gCO2e.s
+  CarbonDelay tcdp;
 };
 
 /// Fig. 5 series: per-month samples from 1..months.

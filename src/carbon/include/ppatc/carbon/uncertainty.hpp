@@ -11,6 +11,7 @@
 //    (quantiles of the tCDP ratio, probability the candidate wins).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -48,7 +49,7 @@ struct UncertainProfile {
   Interval embodied_per_good_die_g;  ///< gCO2e at nominal yield
   Interval operational_power_w;
   Interval standby_power_w{0.0, 0.0};
-  double execution_time_s = 0.0;
+  Duration execution_time{};  ///< treated as exact (no interval)
 };
 
 /// Shared scenario uncertainty.

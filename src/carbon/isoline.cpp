@@ -39,7 +39,7 @@ TcdpMap tcdp_map(const SystemCarbonProfile& candidate, const SystemCarbonProfile
   TcdpMap map;
   map.embodied_axis = embodied_axis;
   map.energy_axis = energy_axis;
-  const double base = tcdp(baseline, scenario, lifetime);
+  const CarbonDelay base = tcdp(baseline, scenario, lifetime);
   map.ratio.resize(static_cast<std::size_t>(energy_axis.samples));
   // Rows are independent: each task fills its own pre-allocated row, so the
   // map is identical for any thread count.
@@ -63,7 +63,7 @@ namespace {
 // every isoline point.
 std::optional<double> energy_scale_at_parity(const SystemCarbonProfile& candidate,
                                              const OperationalScenario& scenario, Duration lifetime,
-                                             double embodied_scale, double base_tcdp,
+                                             double embodied_scale, CarbonDelay base_tcdp,
                                              double y_lo_bound, double y_hi_bound) {
   PPATC_EXPECT(y_lo_bound > 0.0 && y_hi_bound > y_lo_bound, "invalid y bounds");
   auto ratio_at = [&](double y) {
@@ -93,7 +93,7 @@ std::optional<double> isoline_energy_scale(const SystemCarbonProfile& candidate,
                                            const OperationalScenario& scenario, Duration lifetime,
                                            double embodied_scale, double y_lo_bound,
                                            double y_hi_bound) {
-  const double base = tcdp(baseline, scenario, lifetime);
+  const CarbonDelay base = tcdp(baseline, scenario, lifetime);
   return energy_scale_at_parity(candidate, scenario, lifetime, embodied_scale, base, y_lo_bound,
                                 y_hi_bound);
 }
@@ -103,7 +103,7 @@ std::vector<IsolinePoint> tcdp_isoline(const SystemCarbonProfile& candidate,
                                        const OperationalScenario& scenario, Duration lifetime,
                                        AxisSpec embodied_axis) {
   const obs::Span span{"carbon.tcdp_isoline"};
-  const double base = tcdp(baseline, scenario, lifetime);
+  const CarbonDelay base = tcdp(baseline, scenario, lifetime);
   std::vector<IsolinePoint> line(static_cast<std::size_t>(embodied_axis.samples));
   // Each point owns one pre-allocated slot and its bisection is independent
   // of every other point's, so the line is thread-count invariant.

@@ -9,13 +9,13 @@ CarbonPerArea silicon_wafer_mpa() { return units::grams_per_square_centimetre(50
 Carbon cnt_synthesis_carbon_per_gram() { return units::kilograms_co2e(14.0); }
 
 Mass cnt_mass_per_wafer(const CntFilmSpec& spec, Area wafer_area) {
-  PPATC_EXPECT(spec.cnts_per_um > 0 && spec.diameter_nm > 0, "CNT film spec must be positive");
+  PPATC_EXPECT(spec.cnts_per_um > 0 && spec.diameter.base() > 0, "CNT film spec must be positive");
   PPATC_EXPECT(spec.coverage_fraction >= 0 && spec.coverage_fraction <= 1.0,
                "coverage fraction must be in [0,1]");
   PPATC_EXPECT(spec.tiers >= 0, "tier count must be >= 0");
   // Linear mass density of a SWCNT scales with diameter:
   // lambda ~= (d / 1 nm) * 1.95e-21 g per nm of tube length.
-  const double lambda_g_per_nm = spec.diameter_nm * 1.95e-21;
+  const double lambda_g_per_nm = units::in_nanometres(spec.diameter) * 1.95e-21;
   // Total tube length per cm^2 of film: density [1/um] * 1 cm of tube per cm
   // of width, i.e. (cnts_per_um * 1e4 per cm) * 1 cm = 1e4*density cm of tube
   // per cm^2 = density * 1e4 * 1e7 nm/cm^2.
@@ -33,11 +33,12 @@ CarbonPerArea cnt_mpa(const CntFilmSpec& spec, Area wafer_area) {
 }
 
 CarbonPerArea igzo_mpa(const IgzoFilmSpec& spec) {
-  PPATC_EXPECT(spec.thickness_nm > 0 && spec.density_g_per_cm3 > 0, "IGZO film spec must be positive");
+  PPATC_EXPECT(spec.thickness.base() > 0 && spec.density_g_per_cm3 > 0,
+               "IGZO film spec must be positive");
   PPATC_EXPECT(spec.deposition_yield > 0 && spec.deposition_yield <= 1.0,
                "deposition yield must be in (0,1]");
   // Film mass per cm^2: thickness [cm] * density, inflated by sputter losses.
-  const double thickness_cm = spec.thickness_nm * 1e-7;
+  const double thickness_cm = units::in_nanometres(spec.thickness) * 1e-7;
   const double mass_g_per_cm2 = thickness_cm * spec.density_g_per_cm3 *
                                 spec.coverage_fraction * spec.tiers / spec.deposition_yield;
   return units::grams_per_square_centimetre(mass_g_per_cm2 * spec.carbon_per_gram_g);

@@ -47,11 +47,10 @@ Carbon total_carbon(const SystemCarbonProfile& profile, const OperationalScenari
   return profile.embodied_per_good_die + operational_carbon(profile, scenario, lifetime);
 }
 
-double tcdp(const SystemCarbonProfile& profile, const OperationalScenario& scenario,
-            Duration lifetime) {
+CarbonDelay tcdp(const SystemCarbonProfile& profile, const OperationalScenario& scenario,
+                 Duration lifetime) {
   PPATC_EXPECT(profile.execution_time.base() > 0, "execution time must be positive");
-  return units::in_grams_co2e(total_carbon(profile, scenario, lifetime)) *
-         units::in_seconds(profile.execution_time);
+  return total_carbon(profile, scenario, lifetime) * profile.execution_time;
 }
 
 std::vector<LifetimePoint> lifetime_series(const SystemCarbonProfile& profile,

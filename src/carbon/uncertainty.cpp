@@ -54,7 +54,7 @@ Interval total_carbon_interval(const UncertainProfile& p, const UncertainScenari
 
 Interval tcdp_ratio_interval(const UncertainProfile& candidate, const UncertainProfile& baseline,
                              const UncertainScenario& scenario) {
-  PPATC_EXPECT(candidate.execution_time_s > 0 && baseline.execution_time_s > 0,
+  PPATC_EXPECT(candidate.execution_time.base() > 0 && baseline.execution_time.base() > 0,
                "execution times must be positive");
   // The shared knobs (CI, lifetime) are perfectly correlated between the two
   // designs. Evaluate the ratio at the 4 corners of the shared box with
@@ -68,7 +68,7 @@ Interval tcdp_ratio_interval(const UncertainProfile& candidate, const UncertainP
       pinned.lifetime_months = Interval::point(months);
       const Interval tc_c = total_carbon_interval(candidate, pinned);
       const Interval tc_b = total_carbon_interval(baseline, pinned);
-      const Interval r = (candidate.execution_time_s / baseline.execution_time_s) * (tc_c / tc_b);
+      const Interval r = (candidate.execution_time / baseline.execution_time) * (tc_c / tc_b);
       envelope.lo = std::min(envelope.lo, r.lo);
       envelope.hi = std::max(envelope.hi, r.hi);
     }
@@ -122,8 +122,8 @@ MonteCarloSummary monte_carlo_tcdp_ratio(const UncertainProfile& candidate,
       const double tc_b =
           tc_scalar(draw(baseline.embodied_per_good_die_g), draw(baseline.operational_power_w),
                     draw(baseline.standby_power_w), ci, months, scenario.duty_cycle);
-      const double r =
-          (tc_c * candidate.execution_time_s) / (tc_b * baseline.execution_time_s);
+      const double r = (tc_c * units::in_seconds(candidate.execution_time)) /
+                       (tc_b * units::in_seconds(baseline.execution_time));
       ratios[i] = r;
       part.sum += r;
       if (r < 1.0) ++part.wins;

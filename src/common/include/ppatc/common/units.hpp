@@ -35,6 +35,7 @@ struct Charge {};
 struct Frequency {};
 struct Mass {};
 struct Temperature {};
+struct CarbonDelay {};  // total carbon x execution time (tCDP), gCO2e.s
 struct CarbonPerEnergyTime {};  // tCDP integrand helper (unused placeholder)
 }  // namespace tag
 
@@ -54,6 +55,7 @@ using Charge = Quantity<tag::Charge>;
 using Frequency = Quantity<tag::Frequency>;
 using Mass = Quantity<tag::Mass>;
 using Temperature = Quantity<tag::Temperature>;
+using CarbonDelay = Quantity<tag::CarbonDelay>;
 
 // ---- Named factories & accessors -------------------------------------------
 
@@ -180,6 +182,10 @@ namespace units {
 [[nodiscard]] constexpr double in_kelvin(Temperature t) { return t.base(); }
 [[nodiscard]] constexpr Temperature celsius(double v) { return Temperature::from_base(v + 273.15); }
 
+// Carbon-delay product (base: gCO2e.s — equivalently the paper's gCO2e/Hz)
+[[nodiscard]] constexpr CarbonDelay gco2e_seconds(double v) { return CarbonDelay::from_base(v); }
+[[nodiscard]] constexpr double in_gco2e_seconds(CarbonDelay cd) { return cd.base(); }
+
 }  // namespace units
 
 // ---- Cross-dimension algebra ------------------------------------------------
@@ -232,6 +238,17 @@ namespace units {
   return Energy::from_base(q.base() * v.base());
 }
 [[nodiscard]] constexpr Energy operator*(Voltage v, Charge q) { return q * v; }
+
+[[nodiscard]] constexpr CarbonDelay operator*(Carbon c, Duration t) {
+  return CarbonDelay::from_base(c.base() * t.base());
+}
+[[nodiscard]] constexpr CarbonDelay operator*(Duration t, Carbon c) { return c * t; }
+[[nodiscard]] constexpr Carbon operator/(CarbonDelay cd, Duration t) {
+  return Carbon::from_base(cd.base() / t.base());
+}
+[[nodiscard]] constexpr Duration operator/(CarbonDelay cd, Carbon c) {
+  return Duration::from_base(cd.base() / c.base());
+}
 
 [[nodiscard]] constexpr Duration operator/(double cycles, Frequency f) {
   return Duration::from_base(cycles / f.base());

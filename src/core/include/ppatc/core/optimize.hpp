@@ -36,7 +36,7 @@ struct OptimizationGoal {
 struct DesignPoint {
   SystemSpec spec;
   SystemEvaluation evaluation;
-  double tcdp = 0.0;  ///< gCO2e.s over the goal's lifetime
+  CarbonDelay tcdp;  ///< tCDP over the goal's lifetime (gCO2e.s base)
   Carbon total_carbon;
   bool feasible = false;     ///< timing closed (M0 + memory)
   bool meets_deadline = false;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 
 #include "ppatc/common/units.hpp"
 
@@ -25,7 +26,7 @@ enum class Polarity { kNmos, kPmos };
 
 /// Parameters for the virtual-source model. All per-width quantities are
 /// normalized to A/um, F/um etc. so that a transistor instance is
-/// (params, width_um).
+/// (params, width).
 struct VsParams {
   std::string name;                 ///< Human-readable technology card name.
   Polarity polarity = Polarity::kNmos;
@@ -33,7 +34,7 @@ struct VsParams {
   double ss_mv_per_decade = 65.0;   ///< Sub-threshold slope at 300 K.
   double vx0_cm_per_s = 1.0e7;      ///< Virtual-source injection velocity.
   double mobility_cm2_per_vs = 250; ///< Low-field apparent mobility.
-  double gate_length_nm = 21.0;     ///< Effective channel length.
+  Length gate_length = units::nanometres(21.0);  ///< Effective channel length.
   double cinv_ff_per_um2 = 25.0;    ///< Inversion gate capacitance density (fF/um^2).
   double cpar_ff_per_um = 0.18;     ///< Parasitic (fringe+overlap) cap per um width.
   double alpha = 3.5;               ///< Empirical VT shift between sat/lin.
@@ -41,15 +42,20 @@ struct VsParams {
   double rs_ohm_um = 100.0;         ///< Source access resistance (ohm.um).
   double dibl_mv_per_v = 30.0;      ///< Drain-induced barrier lowering.
   double shunt_siemens_per_um = 0.0;///< Ohmic shunt (metallic CNTs); 0 for MOS.
-  double temperature_k = 300.0;
+  Temperature temperature = units::kelvin(300.0);
 };
 
 /// One FET instance: a technology card plus a drawn width.
 class VirtualSourceFet {
  public:
-  VirtualSourceFet(VsParams params, double width_um);
+  VirtualSourceFet(VsParams params, Length width);
+  /// Compat shim: drawn width given as raw microns.
+  // ppatc-lint: allow(unit-typed-api) — thin double compat shim for existing call sites
+  VirtualSourceFet(VsParams params, double width_um)
+      : VirtualSourceFet{std::move(params), units::micrometres(width_um)} {}
 
   [[nodiscard]] const VsParams& params() const { return params_; }
+  [[nodiscard]] Length width() const { return units::micrometres(width_um_); }
   [[nodiscard]] double width_um() const { return width_um_; }
 
   /// Drain current for terminal voltages (polarity handled internally: for

@@ -17,7 +17,7 @@ const char* to_string(VtFlavor flavor) {
 VsParams silicon_finfet(Polarity polarity, VtFlavor flavor) {
   VsParams p;
   p.polarity = polarity;
-  p.gate_length_nm = 21.0;  // ASAP7 drawn 20 nm, effective ~21 nm
+  p.gate_length = units::nanometres(21.0);  // ASAP7 drawn 20 nm, effective ~21 nm
   p.cinv_ff_per_um2 = 20.0;
   p.cpar_ff_per_um = 0.18;
   p.alpha = 3.5;
@@ -52,7 +52,7 @@ VsParams cnfet(Polarity polarity, const CnfetOptions& options) {
   PPATC_EXPECT(options.cnts_per_um > 0.0, "CNT density must be positive");
   VsParams p;
   p.polarity = polarity;
-  p.gate_length_nm = 30.0;  // paper: 30 nm CNFET gate length
+  p.gate_length = units::nanometres(30.0);  // paper: 30 nm CNFET gate length
   // Quantum-capacitance-limited gate stack: lower Cinv than Si FinFET, but
   // much higher injection velocity -> higher I_EFF per width.
   p.cinv_ff_per_um2 = 11.0;
@@ -77,7 +77,7 @@ VsParams igzo_fet() {
   VsParams p;
   p.polarity = Polarity::kNmos;
   p.name = "igzo_n";
-  p.gate_length_nm = 44.0;  // Samanta VLSI 2020 measured card
+  p.gate_length = units::nanometres(44.0);  // Samanta VLSI 2020 measured card
   p.mobility_cm2_per_vs = 1.0;
   p.ss_mv_per_decade = 90.0;
   // Low mobility makes the device drift-limited: modest injection velocity.

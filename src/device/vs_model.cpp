@@ -12,19 +12,19 @@ constexpr double kBoltzmannOverQ = 8.617333262e-5;  // V/K
 constexpr double kLn10 = 2.302585092994046;
 }  // namespace
 
-VirtualSourceFet::VirtualSourceFet(VsParams params, double width_um)
-    : params_{std::move(params)}, width_um_{width_um} {
+VirtualSourceFet::VirtualSourceFet(VsParams params, Length width)
+    : params_{std::move(params)}, width_um_{units::in_micrometres(width)} {
   PPATC_EXPECT(width_um_ > 0.0, "FET width must be positive");
   PPATC_EXPECT(params_.vt_volts > 0.0, "|VT| must be positive");
   PPATC_EXPECT(params_.ss_mv_per_decade >= 59.0,
                "sub-threshold slope cannot beat the thermionic limit at 300 K");
   PPATC_EXPECT(params_.vx0_cm_per_s > 0.0 && params_.mobility_cm2_per_vs > 0.0,
                "transport parameters must be positive");
-  PPATC_EXPECT(params_.gate_length_nm > 0.0, "gate length must be positive");
+  PPATC_EXPECT(units::in_nanometres(params_.gate_length) > 0.0, "gate length must be positive");
 }
 
 double VirtualSourceFet::thermal_voltage() const {
-  return kBoltzmannOverQ * params_.temperature_k;
+  return kBoltzmannOverQ * units::in_kelvin(params_.temperature);
 }
 
 double VirtualSourceFet::ideality() const {
@@ -60,7 +60,7 @@ double VirtualSourceFet::drain_current_per_um(double vgs, double vds) const {
 
   // Saturation voltage: drift-limited in strong inversion, thermal-limited in
   // sub-threshold; Ff blends the two.
-  const double leff_cm = params_.gate_length_nm * 1e-7;
+  const double leff_cm = units::in_nanometres(params_.gate_length) * 1e-7;
   const double vdsat_strong = params_.vx0_cm_per_s * leff_cm / params_.mobility_cm2_per_vs;
   const double vdsat = vdsat_strong * (1.0 - ff) + vt_therm * ff;
   const double x = vds / std::max(vdsat, 1e-9);
@@ -114,7 +114,7 @@ Current VirtualSourceFet::effective_current(Voltage vdd) const {
 }
 
 Capacitance VirtualSourceFet::gate_capacitance() const {
-  const double lg_um = params_.gate_length_nm * 1e-3;
+  const double lg_um = units::in_nanometres(params_.gate_length) * 1e-3;
   const double c_int_ff = params_.cinv_ff_per_um2 * lg_um * width_um_;
   const double c_par_ff = params_.cpar_ff_per_um * width_um_;
   return units::femtofarads(c_int_ff + c_par_ff);

@@ -47,7 +47,7 @@ CellSpec m3d_igzo_cnfet_cell() {
   // the 500 MHz cycle, while the -0.4 V hold level keeps it many decades
   // below threshold for retention.
   c.write_fet.vt_volts = 0.42;
-  c.write_width_um = 0.120;
+  c.write_width = units::micrometres(0.120);
   // "V_GS significantly below V_T" (paper Sec. II-A): a negative WWL hold
   // rail puts the write FET ~13 decades below threshold.
   c.vhold = units::volts(-0.8);
@@ -93,10 +93,10 @@ CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
     ckt.add_vsource("vwwl", "wwl", "0",
                     spice::Stimulus::pwl({{units::picoseconds(0), cell.vhold},
                                           {units::picoseconds(20), cell.vwwl}}));
-    ckt.add_fet("mw", cell.write_fet, cell.write_width_um, "wbl", "wwl", "sn");
+    ckt.add_fet("mw", cell.write_fet, cell.write_width, "wbl", "wwl", "sn");
     ckt.add_capacitor_ic("sn", "0", cell.storage_cap, units::volts(0.0));
     // The read FET gate loads SN.
-    const device::VirtualSourceFet read_fet{cell.read_fet, cell.read_width_um};
+    const device::VirtualSourceFet read_fet{cell.read_fet, cell.read_width};
     ckt.add_capacitor("sn", "0", read_fet.gate_capacitance());
 
     // Pick a horizon long enough for slow (IGZO) writes.
@@ -120,8 +120,8 @@ CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
                     spice::Stimulus::pwl({{units::picoseconds(0), units::volts(0)},
                                           {units::picoseconds(20), cell.vdd}}));
     // Read stack: RBL -> read FET (gate = SN) -> mid -> select FET (gate = RWL) -> GND.
-    ckt.add_fet("mr", cell.read_fet, cell.read_width_um, "rbl", "sn", "mid");
-    ckt.add_fet("ms", cell.select_fet, cell.select_width_um, "mid", "rwl", "0");
+    ckt.add_fet("mr", cell.read_fet, cell.read_width, "rbl", "sn", "mid");
+    ckt.add_fet("ms", cell.select_fet, cell.select_width, "mid", "rwl", "0");
     ckt.add_capacitor_ic("rbl", "0", cell.rbl_cap, cell.vdd);
     ckt.add_capacitor("mid", "0", units::attofarads(80.0));
 
@@ -142,7 +142,7 @@ CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
   //      SN sits at VDD, WBL at 0 (worst case), WWL at the hold level:
   //      Vgs = vhold - 0 relative to the WBL side acting as source.
   {
-    const device::VirtualSourceFet wfet{cell.write_fet, cell.write_width_um};
+    const device::VirtualSourceFet wfet{cell.write_fet, cell.write_width};
     // Conservative: evaluate leakage at the start of the decay (largest Vds).
     // SN (at VDD) is the drain, WBL (at 0) the source, WWL at the hold level.
     const Current leak = abs(wfet.drain_current(cell.vhold, cell.vdd)) + cell.leak_floor;

@@ -18,6 +18,7 @@
 // the hold bias (the decay is far too slow to simulate — up to 1000+ s).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "ppatc/common/units.hpp"
@@ -31,9 +32,9 @@ struct CellSpec {
   device::VsParams write_fet;   ///< WBL -> SN pass transistor
   device::VsParams read_fet;    ///< SN-gated pull-down
   device::VsParams select_fet;  ///< RWL-gated series select
-  double write_width_um = 0.054;
-  double read_width_um = 0.054;
-  double select_width_um = 0.054;
+  Length write_width = units::micrometres(0.054);
+  Length read_width = units::micrometres(0.054);
+  Length select_width = units::micrometres(0.054);
   Voltage vdd = units::volts(0.7);
   Voltage vwwl = units::volts(1.3);       ///< boosted write wordline (paper Step 2)
   Voltage vhold = units::volts(-0.4);     ///< WWL hold level (below VT for low leak)

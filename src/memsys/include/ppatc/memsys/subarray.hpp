@@ -7,6 +7,8 @@
 // characterization plus explicit wire/gate capacitance accounting.
 #pragma once
 
+#include <cstdint>
+
 #include "ppatc/memsys/bitcell.hpp"
 
 namespace ppatc::memsys {

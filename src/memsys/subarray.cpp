@@ -16,8 +16,8 @@ SubArrayCharacteristics characterize_subarray(const SubArraySpec& spec, const Ce
   const double vwwl = units::in_volts(cell.vwwl);
 
   // Gate/drain loading per cell on the lines.
-  const device::VirtualSourceFet wfet{cell.write_fet, cell.write_width_um};
-  const device::VirtualSourceFet sfet{cell.select_fet, cell.select_width_um};
+  const device::VirtualSourceFet wfet{cell.write_fet, cell.write_width};
+  const device::VirtualSourceFet sfet{cell.select_fet, cell.select_width};
   const double gate_f = units::in_farads(wfet.gate_capacitance());
   const double sel_gate_f = units::in_farads(sfet.gate_capacitance());
   // Junction/contact cap per cell on a bitline: approximated as 40% of the

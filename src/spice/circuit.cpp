@@ -56,9 +56,9 @@ std::size_t Circuit::add_vsource(const std::string& name, const std::string& pos
   return vsources_.size() - 1;
 }
 
-void Circuit::add_fet(const std::string& name, const device::VsParams& card, double width_um,
+void Circuit::add_fet(const std::string& name, const device::VsParams& card, Length width,
                       const std::string& drain, const std::string& gate, const std::string& source) {
-  fets_.push_back({name, device::VirtualSourceFet{card, width_um}, node(drain), node(gate), node(source)});
+  fets_.push_back({name, device::VirtualSourceFet{card, width}, node(drain), node(gate), node(source)});
 }
 
 std::size_t Circuit::vsource_index(const std::string& name) const {

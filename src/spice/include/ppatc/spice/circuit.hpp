@@ -62,8 +62,14 @@ class Circuit {
   /// Returns the source index (for reading its branch current later).
   std::size_t add_vsource(const std::string& name, const std::string& pos, const std::string& neg,
                           Stimulus stimulus);
-  void add_fet(const std::string& name, const device::VsParams& card, double width_um,
+  void add_fet(const std::string& name, const device::VsParams& card, Length width,
                const std::string& drain, const std::string& gate, const std::string& source);
+  /// Compat shim: drawn width given as raw microns.
+  // ppatc-lint: allow(unit-typed-api) — thin double compat shim for existing call sites
+  void add_fet(const std::string& name, const device::VsParams& card, double width_um,
+               const std::string& drain, const std::string& gate, const std::string& source) {
+    add_fet(name, card, units::micrometres(width_um), drain, gate, source);
+  }
 
   [[nodiscard]] const std::vector<ResistorElem>& resistors() const { return resistors_; }
   [[nodiscard]] const std::vector<CapacitorElem>& capacitors() const { return capacitors_; }

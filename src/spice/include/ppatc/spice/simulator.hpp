@@ -8,6 +8,7 @@
 // tens of nodes, far below the crossover where sparse methods pay off.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <stdexcept>
 #include <string>

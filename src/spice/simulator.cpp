@@ -462,7 +462,6 @@ std::optional<TransientResult> Simulator::transient(Duration stop, Duration step
     // conductances ~1e9 S and wreck the Jacobian conditioning.
     if (ctx.dt < 1e-6 * step.base()) break;
     if (sys.newton(ctx, x) < 0) {
-      if (getenv("PPATC_SPICE_DEBUG")) fprintf(stderr, "newton fail at t=%g dt=%g\n", ctx.time, ctx.dt);
       // One retry with two half steps (handles sharp source edges).
       bool ok = true;
       const double t_mid = time.back().base() + ctx.dt / 2.0;

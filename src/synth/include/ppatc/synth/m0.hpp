@@ -31,7 +31,7 @@ struct M0Options {
   Voltage vdd = units::volts(0.7);
   double logic_depth_fo4 = 83.0;     ///< critical path incl. single-cycle eDRAM round trip
   double gate_count = 14000.0;        ///< synthesized gate equivalents
-  double avg_gate_width_um = 0.25;    ///< total transistor width per gate
+  Length avg_gate_width = units::micrometres(0.25);  ///< total transistor width per gate
   double activity = 0.12;             ///< average switching activity
   double sizing_strength = 0.35;      ///< k in s(f) = 1 + k x/(1-x)
   /// Switched capacitance per gate equivalent (fF); calibrated so RVT at

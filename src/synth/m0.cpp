@@ -46,7 +46,7 @@ Power M0Model::leakage_power() const {
       device::silicon_finfet(device::Polarity::kPmos, options_.vt), 1.0};
   const double ioff_per_um = 0.5 * (units::in_amperes(n.off_current(options_.vdd)) +
                                     units::in_amperes(p.off_current(options_.vdd)));
-  const double total_w = options_.gate_count * options_.avg_gate_width_um;
+  const double total_w = options_.gate_count * units::in_micrometres(options_.avg_gate_width);
   // Half of the width leaks at any input state.
   return units::watts(0.5 * total_w * ioff_per_um * units::in_volts(options_.vdd));
 }

@@ -1,0 +1,17 @@
+// Fixture: source file violating the determinism rule four ways.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace ppatc::demo {
+
+int noisy() {
+  std::srand(static_cast<unsigned>(time(NULL)));          // srand + time seed
+  std::random_device rd;                                  // nondeterministic source
+  auto now = std::chrono::system_clock::now();            // wall clock
+  return std::rand() + static_cast<int>(rd() % 2) +
+         static_cast<int>(now.time_since_epoch().count() % 2);
+}
+
+}  // namespace ppatc::demo

@@ -1,0 +1,8 @@
+// Fixture: environment read outside the blessed allowlist -> env-allowlist.
+#include <cstdlib>
+
+namespace ppatc::demo {
+
+bool debug_enabled() { return std::getenv("PPATC_DEMO_DEBUG") != nullptr; }
+
+}  // namespace ppatc::demo

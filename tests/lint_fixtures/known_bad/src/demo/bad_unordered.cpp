@@ -1,0 +1,14 @@
+// Fixture: range-for over an unordered container -> unordered-iter violation.
+#include <string>
+#include <unordered_map>
+
+namespace ppatc::demo {
+
+double unordered_sum() {
+  std::unordered_map<std::string, double> weights{{"a", 1.0}, {"b", 2.0}};
+  double total = 0.0;
+  for (const auto& [key, w] : weights) total += w;  // order-dependent float sum
+  return total;
+}
+
+}  // namespace ppatc::demo

@@ -1,0 +1,12 @@
+// Fixture: public header violating unit-typed-api twice.
+#pragma once
+
+namespace ppatc::demo {
+
+struct BadSpec {
+  double energy_j = 0.0;  // raw joules field -> should be ppatc::units::Energy
+};
+
+double lifetime_carbon(double area_mm2, int nodes);  // raw mm^2 parameter
+
+}  // namespace ppatc::demo

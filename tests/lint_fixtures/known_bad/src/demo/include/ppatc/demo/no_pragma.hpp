@@ -1,0 +1,9 @@
+// Fixture: public header missing #pragma once -> pragma-once violation.
+#ifndef PPATC_DEMO_NO_PRAGMA_HPP
+#define PPATC_DEMO_NO_PRAGMA_HPP
+
+namespace ppatc::demo {
+inline int answer() { return 42; }
+}  // namespace ppatc::demo
+
+#endif

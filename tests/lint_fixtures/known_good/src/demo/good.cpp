@@ -1,0 +1,36 @@
+// Fixture: a source file that satisfies every ppatc-lint rule.
+//
+// Deterministic randomness (explicit seed), monotonic clock only, ordered
+// containers for accumulation, and no environment reads. Mentions of banned
+// tokens inside comments and string literals must NOT be flagged:
+// rand(), std::random_device, time(NULL), getenv("HOME").
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+
+#include "ppatc/demo/good.hpp"
+
+namespace ppatc::demo {
+
+double in_seconds_like(double value) { return value; }
+
+std::uint64_t seeded_draw(std::uint64_t seed) {
+  std::mt19937_64 rng{seed};  // explicit seed: reproducible
+  return rng();
+}
+
+double ordered_sum(const std::map<std::string, double>& values) {
+  const char* banned_in_string = "rand() time(NULL) std::random_device";
+  double total = static_cast<double>(banned_in_string[0]) * 0.0;
+  for (const auto& [key, v] : values) total += v;  // std::map: ordered, fine
+  return total;
+}
+
+long ticks() {
+  // steady_clock is monotonic and allowed (timing spans, not timestamps).
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace ppatc::demo

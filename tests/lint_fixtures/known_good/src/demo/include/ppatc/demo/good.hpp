@@ -1,0 +1,28 @@
+// Fixture: a public header that satisfies every ppatc-lint rule.
+//
+// Exercises the negative space of unit-typed-api: unit-typed fields,
+// dimensionless doubles, compound-dimension names on the deny list, and one
+// deliberate violation under an allow() comment (suppression must be counted
+// but must not fail the lint).
+#pragma once
+
+#include <string>
+
+namespace ppatc::demo {
+
+struct GoodSpec {
+  double scale = 1.0;            // dimensionless: no suffix, not flagged
+  double cap_ff_per_um = 0.2;    // compound dimension (_per_): deny-listed
+  double rs_ohm_um = 240.0;      // compound dimension (_ohm_): deny-listed
+  int samples = 16;              // not a floating-point type
+  std::string label;
+
+  // ppatc-lint: allow(unit-typed-api) — fixture: suppressed raw-double field
+  double legacy_energy_j = 0.0;
+};
+
+/// Factory-style names keep their double parameter: `(` delimits a function
+/// name, not a declared parameter, so `in_seconds(...)`-shaped shims are legal.
+double in_seconds_like(double value);
+
+}  // namespace ppatc::demo

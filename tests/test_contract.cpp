@@ -1,0 +1,77 @@
+// Contract-macro tests: PPATC_EXPECT / PPATC_ENSURE violation paths.
+//
+// The macros back every precondition in the public API, so their failure
+// behavior is itself API: ContractViolation (a logic_error), with a message
+// carrying the kind, the stringized expression, file:line, and the caller's
+// message. These tests pin that down.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "ppatc/common/contract.hpp"
+
+namespace {
+
+void guarded_sqrt_input(double x) { PPATC_EXPECT(x >= 0.0, "x must be non-negative"); }
+
+double guarded_result(double x) {
+  PPATC_ENSURE(x < 1e6, "result out of plausible range");
+  return x;
+}
+
+}  // namespace
+
+TEST(Contract, PassingConditionsAreSilent) {
+  EXPECT_NO_THROW(guarded_sqrt_input(4.0));
+  EXPECT_NO_THROW(guarded_result(1.0));
+  EXPECT_NO_THROW(PPATC_EXPECT(1 + 1 == 2, ""));
+}
+
+TEST(Contract, ExpectThrowsContractViolation) {
+  EXPECT_THROW(guarded_sqrt_input(-1.0), ppatc::ContractViolation);
+  // ContractViolation is a logic_error: caller bug, not environmental failure.
+  EXPECT_THROW(guarded_sqrt_input(-1.0), std::logic_error);
+}
+
+TEST(Contract, ExpectMessageNamesKindExpressionSiteAndReason) {
+  try {
+    guarded_sqrt_input(-1.0);
+    FAIL() << "expected ContractViolation";
+  } catch (const ppatc::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("x >= 0.0"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contract.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("x must be non-negative"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, EnsureMessageSaysPostcondition) {
+  try {
+    guarded_result(2e6);
+    FAIL() << "expected ContractViolation";
+  } catch (const ppatc::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("postcondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("result out of plausible range"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, EmptyMessageOmitsTrailingSeparator) {
+  try {
+    PPATC_EXPECT(false, "");
+    FAIL() << "expected ContractViolation";
+  } catch (const ppatc::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition failed: (false)"), std::string::npos) << what;
+    // No caller message: the " — " separator must not dangle at the end.
+    EXPECT_EQ(what.find(" — "), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, ConditionIsEvaluatedExactlyOnce) {
+  int evals = 0;
+  PPATC_EXPECT(++evals > 0, "side effect");
+  EXPECT_EQ(evals, 1);
+}

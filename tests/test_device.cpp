@@ -221,12 +221,12 @@ TEST(Library, IgzoMatchesMeasuredCard) {
   const VsParams p = igzo_fet();
   EXPECT_DOUBLE_EQ(p.mobility_cm2_per_vs, 1.0);   // paper: 1 cm^2/V.s
   EXPECT_DOUBLE_EQ(p.ss_mv_per_decade, 90.0);     // paper: 90 mV/dec
-  EXPECT_DOUBLE_EQ(p.gate_length_nm, 44.0);       // paper: 44 nm gate length
+  EXPECT_DOUBLE_EQ(units::in_nanometres(p.gate_length), 44.0);       // paper: 44 nm gate length
   EXPECT_EQ(p.polarity, Polarity::kNmos);         // IGZO is n-type only
 }
 
 TEST(Library, CnfetGateLengthMatchesPaper) {
-  EXPECT_DOUBLE_EQ(cnfet(Polarity::kNmos).gate_length_nm, 30.0);
+  EXPECT_DOUBLE_EQ(units::in_nanometres(cnfet(Polarity::kNmos).gate_length), 30.0);
 }
 
 }  // namespace

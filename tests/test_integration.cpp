@@ -110,12 +110,12 @@ TEST(Uncertainty, RobustVerdictOnTheCaseStudy) {
   m3d.embodied_per_good_die_g =
       carbon::Interval::factor(in_grams_co2e(t2().m3d.embodied_per_good_die), 1.2);
   m3d.operational_power_w = carbon::Interval::point(in_watts(t2().m3d.operational_power));
-  m3d.execution_time_s = in_seconds(t2().m3d.execution_time);
+  m3d.execution_time = t2().m3d.execution_time;
   carbon::UncertainProfile si;
   si.embodied_per_good_die_g =
       carbon::Interval::factor(in_grams_co2e(t2().all_si.embodied_per_good_die), 1.2);
   si.operational_power_w = carbon::Interval::point(in_watts(t2().all_si.operational_power));
-  si.execution_time_s = in_seconds(t2().all_si.execution_time);
+  si.execution_time = t2().all_si.execution_time;
   carbon::UncertainScenario scen;
   scen.ci_use_g_per_kwh = carbon::Interval::factor(380.0, 3.0);
   scen.lifetime_months = carbon::Interval::plus_minus(24.0, 6.0);
@@ -135,12 +135,12 @@ TEST(Uncertainty, LongLifetimeMakesM3dRobustWinner) {
   m3d.embodied_per_good_die_g =
       carbon::Interval::factor(in_grams_co2e(t2().m3d.embodied_per_good_die), 1.1);
   m3d.operational_power_w = carbon::Interval::point(in_watts(t2().m3d.operational_power));
-  m3d.execution_time_s = in_seconds(t2().m3d.execution_time);
+  m3d.execution_time = t2().m3d.execution_time;
   carbon::UncertainProfile si;
   si.embodied_per_good_die_g =
       carbon::Interval::factor(in_grams_co2e(t2().all_si.embodied_per_good_die), 1.1);
   si.operational_power_w = carbon::Interval::point(in_watts(t2().all_si.operational_power));
-  si.execution_time_s = in_seconds(t2().all_si.execution_time);
+  si.execution_time = t2().all_si.execution_time;
   carbon::UncertainScenario scen;
   scen.ci_use_g_per_kwh = carbon::Interval::factor(380.0, 1.5);
   scen.lifetime_months = carbon::Interval::plus_minus(120.0, 12.0);

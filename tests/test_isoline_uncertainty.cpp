@@ -198,7 +198,7 @@ UncertainProfile uprofile(double emb_g, double emb_factor, double p_mw) {
   UncertainProfile p;
   p.embodied_per_good_die_g = Interval::factor(emb_g, emb_factor);
   p.operational_power_w = Interval::point(p_mw * 1e-3);
-  p.execution_time_s = 0.040;
+  p.execution_time = seconds(0.040);
   return p;
 }
 

@@ -1,0 +1,150 @@
+// ppatc-lint self-test.
+//
+// Three layers:
+//  1. Fixture trees (tests/lint_fixtures/): known_good must come back clean
+//     (with the deliberate suppression counted), known_bad must fire every
+//     rule at the expected sites.
+//  2. lint_text unit tests for the subtle cases: comment/string stripping,
+//     same-line vs line-above suppression, the function-name and
+//     compound-dimension escapes of unit-typed-api.
+//  3. The real repository must lint clean — the same invariant the
+//     lint.ppatc_lint ctest enforces, checked here through the library API.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace lint = ppatc::lint;
+
+namespace {
+
+std::vector<lint::Finding> lint_one(const std::string& rel, const std::string& text) {
+  std::vector<lint::Finding> out;
+  lint::lint_text(rel, text, lint::Config{}, out);
+  return out;
+}
+
+bool has_rule(const std::vector<lint::Finding>& findings, const std::string& rule,
+              bool suppressed = false) {
+  return std::any_of(findings.begin(), findings.end(), [&](const lint::Finding& f) {
+    return f.rule == rule && f.suppressed == suppressed;
+  });
+}
+
+}  // namespace
+
+// ---- fixture trees ----------------------------------------------------------
+
+TEST(LintFixtures, KnownGoodIsCleanWithOneCountedSuppression) {
+  const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_good");
+  EXPECT_TRUE(report.clean()) << lint::format_report(report);
+  EXPECT_EQ(report.violation_count(), 0u);
+  // The deliberate allow(unit-typed-api) in good.hpp must be counted, not lost.
+  EXPECT_EQ(report.suppression_count(), 1u);
+  const auto by_rule = report.count_by_rule(/*suppressed=*/true);
+  ASSERT_TRUE(by_rule.contains("unit-typed-api"));
+  EXPECT_EQ(by_rule.at("unit-typed-api"), 1u);
+  EXPECT_EQ(report.files_scanned, 2u);
+}
+
+TEST(LintFixtures, KnownBadFiresEveryRule) {
+  const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_bad");
+  EXPECT_FALSE(report.clean());
+
+  const auto by_rule = report.count_by_rule(/*suppressed=*/false);
+  ASSERT_TRUE(by_rule.contains("unit-typed-api")) << lint::format_report(report);
+  ASSERT_TRUE(by_rule.contains("determinism")) << lint::format_report(report);
+  ASSERT_TRUE(by_rule.contains("unordered-iter")) << lint::format_report(report);
+  ASSERT_TRUE(by_rule.contains("env-allowlist")) << lint::format_report(report);
+  ASSERT_TRUE(by_rule.contains("pragma-once")) << lint::format_report(report);
+
+  // bad_api.hpp: the energy_j field and the area_mm2 parameter.
+  EXPECT_EQ(by_rule.at("unit-typed-api"), 2u);
+  // bad_determinism.cpp: srand, time-seed, random_device, system_clock, rand.
+  EXPECT_EQ(by_rule.at("determinism"), 5u);
+  EXPECT_EQ(by_rule.at("unordered-iter"), 1u);
+  EXPECT_EQ(by_rule.at("env-allowlist"), 1u);
+  EXPECT_EQ(by_rule.at("pragma-once"), 1u);
+  EXPECT_EQ(report.suppression_count(), 0u);
+}
+
+TEST(LintFixtures, FindingsCarryFileAndLine) {
+  const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_bad");
+  const auto it = std::find_if(report.findings.begin(), report.findings.end(),
+                               [](const lint::Finding& f) { return f.rule == "env-allowlist"; });
+  ASSERT_NE(it, report.findings.end());
+  EXPECT_EQ(it->file, "demo/bad_env.cpp");
+  EXPECT_GT(it->line, 0);
+  EXPECT_FALSE(it->message.empty());
+}
+
+// ---- lint_text unit tests ---------------------------------------------------
+
+TEST(LintText, BannedTokensInCommentsAndStringsAreIgnored) {
+  const auto findings = lint_one("demo/x.cpp",
+                                 "// rand() time(NULL) std::random_device\n"
+                                 "const char* s = \"getenv(\\\"HOME\\\") rand()\";\n"
+                                 "/* system_clock */ int x = 0;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintText, SuppressionOnSameLineAndLineAbove) {
+  const auto same_line =
+      lint_one("demo/x.cpp", "int r = rand();  // ppatc-lint: allow(determinism)\n");
+  ASSERT_EQ(same_line.size(), 1u);
+  EXPECT_TRUE(same_line[0].suppressed);
+
+  const auto line_above = lint_one("demo/x.cpp",
+                                   "// ppatc-lint: allow(determinism)\n"
+                                   "int r = rand();\n");
+  ASSERT_EQ(line_above.size(), 1u);
+  EXPECT_TRUE(line_above[0].suppressed);
+
+  // An allow() for a different rule does not cover the site.
+  const auto wrong_rule = lint_one("demo/x.cpp",
+                                   "// ppatc-lint: allow(env-allowlist)\n"
+                                   "int r = rand();\n");
+  ASSERT_EQ(wrong_rule.size(), 1u);
+  EXPECT_FALSE(wrong_rule[0].suppressed);
+}
+
+TEST(LintText, UnitTypedApiOnlyAppliesToPublicHeaders) {
+  const std::string decl = "struct S { double energy_j = 0.0; };\n#pragma once\n";
+  EXPECT_TRUE(has_rule(lint_one("demo/include/ppatc/demo/s.hpp", decl), "unit-typed-api"));
+  // Same text in a .cpp (not a public header): signature rule does not apply.
+  EXPECT_TRUE(lint_one("demo/s.cpp", decl).empty());
+}
+
+TEST(LintText, UnitTypedApiEscapes) {
+  // Function names are delimited by '(' — in_*/factory shims stay legal.
+  EXPECT_FALSE(has_rule(lint_one("demo/include/ppatc/demo/s.hpp",
+                                 "#pragma once\ndouble in_seconds(Duration d);\n"),
+                        "unit-typed-api"));
+  // Compound dimensions (per-length, ohm-length) are deny-listed.
+  EXPECT_FALSE(has_rule(lint_one("demo/include/ppatc/demo/s.hpp",
+                                 "#pragma once\nstruct S { double cpar_ff_per_um = 0.1; "
+                                 "double rs_ohm_um = 240.0; };\n"),
+                        "unit-typed-api"));
+  // Private members with a trailing underscore are not public API surface.
+  EXPECT_FALSE(has_rule(lint_one("demo/include/ppatc/demo/s.hpp",
+                                 "#pragma once\nclass C { double width_um_ = 0.0; };\n"),
+                        "unit-typed-api"));
+}
+
+TEST(LintText, EnvAllowlistBlessesOnlyConfiguredFiles) {
+  const std::string text = "#include <cstdlib>\nbool b = std::getenv(\"PPATC_THREADS\");\n";
+  EXPECT_TRUE(lint_one("runtime/parallel.cpp", text).empty());
+  EXPECT_TRUE(lint_one("obs/trace.cpp", text).empty());
+  EXPECT_TRUE(has_rule(lint_one("carbon/tcdp.cpp", text), "env-allowlist"));
+}
+
+// ---- the real tree ----------------------------------------------------------
+
+TEST(LintRepo, RealTreeLintsClean) {
+  const lint::Report report = lint::run_lint(PPATC_REPO_ROOT);
+  EXPECT_TRUE(report.clean()) << lint::format_report(report);
+  EXPECT_GT(report.files_scanned, 50u);  // sanity: the scan actually found src/
+}

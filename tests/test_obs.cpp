@@ -382,12 +382,12 @@ TEST_F(ObsTest, MonteCarloCountersAreBitDeterministicAcrossThreadCounts) {
   cand.embodied_per_good_die_g = carbon::Interval::factor(9000.0, 1.5);
   cand.operational_power_w = carbon::Interval::factor(0.8, 1.2);
   cand.standby_power_w = carbon::Interval::point(0.02);
-  cand.execution_time_s = 0.8;
+  cand.execution_time = seconds(0.8);
   carbon::UncertainProfile base;
   base.embodied_per_good_die_g = carbon::Interval::factor(12000.0, 1.5);
   base.operational_power_w = carbon::Interval::factor(1.0, 1.2);
   base.standby_power_w = carbon::Interval::point(0.05);
-  base.execution_time_s = 1.0;
+  base.execution_time = seconds(1.0);
   carbon::UncertainScenario scen;
   scen.ci_use_g_per_kwh = carbon::Interval::factor(300.0, 2.0);
   scen.lifetime_months = carbon::Interval::plus_minus(36.0, 12.0);

@@ -101,7 +101,8 @@ TEST(Tcdp, TcdpIsTotalTimesExecution) {
   const auto p = make_profile(3.0, 10.0, 40.0);
   const auto s = us_scenario();
   const Duration t = months(12.0);
-  EXPECT_NEAR(tcdp(p, s, t), in_grams_co2e(total_carbon(p, s, t)) * 0.040, 1e-9);
+  EXPECT_NEAR(in_gco2e_seconds(tcdp(p, s, t)), in_grams_co2e(total_carbon(p, s, t)) * 0.040,
+              1e-9);
 }
 
 TEST(Tcdp, SeriesIsMonotonicWithConstantEmbodied) {

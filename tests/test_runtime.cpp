@@ -171,7 +171,7 @@ carbon::UncertainProfile uprofile(double emb_g, double factor, double p_mw) {
   carbon::UncertainProfile p;
   p.embodied_per_good_die_g = carbon::Interval::factor(emb_g, factor);
   p.operational_power_w = carbon::Interval::point(p_mw * 1e-3);
-  p.execution_time_s = 0.040;
+  p.execution_time = seconds(0.040);
   return p;
 }
 

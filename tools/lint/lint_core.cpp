@@ -1,0 +1,418 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace ppatc::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---- comment / string stripping ---------------------------------------------
+
+// Splits a file into raw lines and "code" lines with comments, string and
+// character literals blanked out (replaced by spaces, so columns line up).
+// Tracks /* */ across lines. Raw string literals are handled approximately
+// (treated like plain strings), which is fine for policy scanning.
+struct FileText {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+FileText split_and_strip(const std::string& contents) {
+  FileText out;
+  std::string line;
+  std::istringstream is{contents};
+  bool in_block_comment = false;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string code = line;
+    bool in_string = false;
+    bool in_char = false;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const char c = code[i];
+      const char next = i + 1 < code.size() ? code[i + 1] : '\0';
+      if (in_block_comment) {
+        if (c == '*' && next == '/') {
+          code[i] = ' ';
+          code[i + 1] = ' ';
+          ++i;
+          in_block_comment = false;
+        } else {
+          code[i] = ' ';
+        }
+      } else if (in_string || in_char) {
+        const char quote = in_string ? '"' : '\'';
+        if (c == '\\') {
+          code[i] = ' ';
+          if (i + 1 < code.size()) code[++i] = ' ';
+        } else if (c == quote) {
+          in_string = in_char = false;
+        } else {
+          code[i] = ' ';
+        }
+      } else if (c == '/' && next == '/') {
+        for (std::size_t j = i; j < code.size(); ++j) code[j] = ' ';
+        break;
+      } else if (c == '/' && next == '*') {
+        code[i] = ' ';
+        code[i + 1] = ' ';
+        ++i;
+        in_block_comment = true;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '\'' && (i == 0 || !is_ident_char(code[i - 1]))) {
+        // Identifier-adjacent apostrophes are digit separators (1'000'000).
+        in_char = true;
+      }
+    }
+    out.raw.push_back(line);
+    out.code.push_back(code);
+  }
+  return out;
+}
+
+// ---- suppression comments ---------------------------------------------------
+
+// Rules allowed on each line via "// ppatc-lint: allow(rule-a, rule-b)".
+std::vector<std::vector<std::string>> allowed_rules_per_line(const std::vector<std::string>& raw) {
+  static const std::regex re{R"(ppatc-lint:\s*allow\(([A-Za-z0-9_, -]+)\))"};
+  std::vector<std::vector<std::string>> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw[i], m, re)) continue;
+    std::string rules = m[1].str();
+    std::replace(rules.begin(), rules.end(), ',', ' ');
+    std::istringstream is{rules};
+    std::string r;
+    while (is >> r) out[i].push_back(r);
+  }
+  return out;
+}
+
+bool is_allowed(const std::vector<std::vector<std::string>>& allowed, std::size_t line_index,
+                const std::string& rule) {
+  const auto has = [&](std::size_t i) {
+    return std::find(allowed[i].begin(), allowed[i].end(), rule) != allowed[i].end();
+  };
+  if (line_index < allowed.size() && has(line_index)) return true;
+  return line_index > 0 && has(line_index - 1);
+}
+
+// ---- rule: unit-typed-api ---------------------------------------------------
+
+struct SuffixUnit {
+  const char* suffix;
+  const char* unit_type;
+};
+
+// Dimension-implying name suffixes that have a ppatc::units strong type.
+constexpr SuffixUnit kSuffixUnits[] = {
+    {"_j", "ppatc::Energy"},         {"_kwh", "ppatc::Energy"},
+    {"_gco2", "ppatc::Carbon"},      {"_gco2e", "ppatc::Carbon"},
+    {"_g", "ppatc::Mass (grams) or ppatc::Carbon (gCO2e)"},
+    {"_s", "ppatc::Duration"},       {"_months", "ppatc::Duration"},
+    {"_hours", "ppatc::Duration"},   {"_w", "ppatc::Power"},
+    {"_mm2", "ppatc::Area"},         {"_cm2", "ppatc::Area"},
+    {"_um2", "ppatc::Area"},         {"_um", "ppatc::Length"},
+    {"_nm", "ppatc::Length"},        {"_mm", "ppatc::Length"},
+    {"_k", "ppatc::Temperature"},
+};
+
+const char* dimension_suffix_unit(const std::string& name) {
+  // Per-something ratios (cm_per_s, ff_per_um, ohm_um, ...) are compound
+  // dimensions with no single units type; skip them.
+  if (name.find("_per_") != std::string::npos || name.find("_ohm_") != std::string::npos) {
+    return nullptr;
+  }
+  const char* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& su : kSuffixUnits) {
+    const std::string suffix{su.suffix};
+    if (name.size() > suffix.size() && name.ends_with(suffix) && suffix.size() > best_len) {
+      best = su.unit_type;
+      best_len = suffix.size();
+    }
+  }
+  return best;
+}
+
+void rule_unit_typed_api(const std::string& rel, const FileText& text,
+                         std::vector<Finding>& out) {
+  // The delimiter is a lookahead so it stays unconsumed: in
+  // `f(double a_mm2, double b_mm2)` the '(' and ',' must still be available
+  // as the leading character of the next match.
+  static const std::regex re{
+      R"((?:^|[^A-Za-z0-9_>])(?:double|float)\s+([A-Za-z_][A-Za-z0-9_]*)(?=\s*([,)=;{(])))"};
+  for (std::size_t i = 0; i < text.code.size(); ++i) {
+    const std::string& line = text.code[i];
+    for (auto it = std::sregex_iterator{line.begin(), line.end(), re};
+         it != std::sregex_iterator{}; ++it) {
+      const std::string name = (*it)[1].str();
+      const std::string delim = (*it)[2].str();
+      if (delim == "(") continue;  // function name (in_* accessors are shims by design)
+      const char* unit = dimension_suffix_unit(name);
+      if (unit == nullptr) continue;
+      out.push_back({"unit-typed-api", rel, static_cast<int>(i + 1),
+                     "'" + name + "' is a raw double carrying a dimension; use " + unit +
+                         " (ppatc/common/units.hpp) so the unit is part of the type",
+                     false});
+    }
+  }
+}
+
+// ---- rule: determinism ------------------------------------------------------
+
+void rule_determinism(const std::string& rel, const FileText& text, std::vector<Finding>& out) {
+  struct BannedToken {
+    const char* needle;
+    bool call_only;  ///< require '(' after the token
+    const char* why;
+  };
+  static constexpr BannedToken kBanned[] = {
+      {"rand", true, "rand() is nondeterministic across runs; use a seeded std::mt19937_64"},
+      {"srand", true, "srand() hides the seed in global state; thread an explicit seed instead"},
+      {"random_device", false,
+       "std::random_device breaks reproducibility; derive streams from an explicit seed"},
+      {"gettimeofday", true, "wall-clock reads make results time-dependent"},
+      {"localtime", true, "wall-clock reads make results time-dependent"},
+      {"gmtime", true, "wall-clock reads make results time-dependent"},
+      {"system_clock", false,
+       "std::chrono::system_clock is wall-clock; use steady_clock (obs::monotonic_ns) for spans"},
+  };
+  static constexpr const char* kTimeSeeds[] = {"time(NULL)", "time(nullptr)", "time(0)",
+                                               "std::time("};
+  for (std::size_t i = 0; i < text.code.size(); ++i) {
+    const std::string& line = text.code[i];
+    for (const auto& b : kBanned) {
+      const std::size_t n = std::string::traits_type::length(b.needle);
+      for (std::size_t pos = line.find(b.needle); pos != std::string::npos;
+           pos = line.find(b.needle, pos + 1)) {
+        // Skip identifier continuations (cross_time, my_rand, ...); qualified
+        // uses (std::rand) still match because ':' is not an identifier char.
+        if (pos > 0 && is_ident_char(line[pos - 1])) continue;
+        if (pos + n < line.size() && is_ident_char(line[pos + n])) continue;
+        if (b.call_only) {
+          std::size_t j = pos + n;
+          while (j < line.size() && line[j] == ' ') ++j;
+          if (j >= line.size() || line[j] != '(') continue;
+        }
+        out.push_back({"determinism", rel, static_cast<int>(i + 1),
+                       std::string{b.needle} + ": " + b.why, false});
+      }
+    }
+    for (const char* seed : kTimeSeeds) {
+      std::string compact;
+      compact.reserve(line.size());
+      for (char c : line) {
+        if (c != ' ' && c != '\t') compact.push_back(c);
+      }
+      if (compact.find(seed) != std::string::npos) {
+        out.push_back({"determinism", rel, static_cast<int>(i + 1),
+                       std::string{seed} + ": wall-clock seeding is nondeterministic; thread an "
+                                           "explicit seed parameter",
+                       false});
+      }
+    }
+  }
+}
+
+// ---- rule: unordered-iter ---------------------------------------------------
+
+// Identifiers declared (anywhere in this file) with an unordered container
+// type. Textual and file-local by design: cheap, deterministic, and exact for
+// the project's code style.
+std::vector<std::string> unordered_identifiers(const FileText& text) {
+  std::vector<std::string> names;
+  for (const std::string& line : text.code) {
+    for (std::size_t pos = line.find("unordered_"); pos != std::string::npos;
+         pos = line.find("unordered_", pos + 1)) {
+      const std::size_t open = line.find('<', pos);
+      if (open == std::string::npos) continue;
+      int depth = 0;
+      std::size_t close = open;
+      for (; close < line.size(); ++close) {
+        if (line[close] == '<') ++depth;
+        if (line[close] == '>' && --depth == 0) break;
+      }
+      if (close >= line.size()) continue;
+      std::size_t j = close + 1;
+      while (j < line.size() && (line[j] == ' ' || line[j] == '&')) ++j;
+      std::size_t k = j;
+      while (k < line.size() && is_ident_char(line[k])) ++k;
+      if (k > j) names.emplace_back(line.substr(j, k - j));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+void rule_unordered_iteration(const std::string& rel, const FileText& text,
+                              std::vector<Finding>& out) {
+  const std::vector<std::string> unordered = unordered_identifiers(text);
+  if (unordered.empty()) return;
+  static const std::regex re{R"(for\s*\([^;)]*:\s*([A-Za-z_][A-Za-z0-9_.>-]*)\s*\))"};
+  for (std::size_t i = 0; i < text.code.size(); ++i) {
+    std::smatch m;
+    const std::string& line = text.code[i];
+    if (!std::regex_search(line, m, re)) continue;
+    std::string target = m[1].str();
+    // Take the last member-access component: obj.map_ / obj->map_ -> map_.
+    const std::size_t dot = target.find_last_of(".>");
+    if (dot != std::string::npos) target = target.substr(dot + 1);
+    if (std::binary_search(unordered.begin(), unordered.end(), target)) {
+      out.push_back({"unordered-iter", rel, static_cast<int>(i + 1),
+                     "range-for over unordered container '" + target +
+                         "': iteration order is implementation-defined, so any fold over it is a "
+                         "nondeterminism leak; iterate a sorted view or an ordered container",
+                     false});
+    }
+  }
+}
+
+// ---- rule: env-allowlist ----------------------------------------------------
+
+void rule_env_allowlist(const std::string& rel, const FileText& text, const Config& config,
+                        std::vector<Finding>& out) {
+  const bool blessed =
+      std::any_of(config.env_allowlist.begin(), config.env_allowlist.end(),
+                  [&](const std::string& entry) { return rel.ends_with(entry); });
+  if (blessed) return;
+  for (std::size_t i = 0; i < text.code.size(); ++i) {
+    const std::string& line = text.code[i];
+    for (std::size_t pos = line.find("getenv"); pos != std::string::npos;
+         pos = line.find("getenv", pos + 1)) {
+      if (pos > 0 && is_ident_char(line[pos - 1])) continue;
+      std::size_t j = pos + 6;
+      while (j < line.size() && line[j] == ' ') ++j;
+      if (j >= line.size() || line[j] != '(') continue;
+      out.push_back({"env-allowlist", rel, static_cast<int>(i + 1),
+                     "getenv outside the blessed runtime/obs configuration sites; model code must "
+                     "not read the environment",
+                     false});
+    }
+  }
+}
+
+// ---- rule: pragma-once ------------------------------------------------------
+
+void rule_pragma_once(const std::string& rel, const FileText& text, std::vector<Finding>& out) {
+  for (const std::string& line : text.code) {
+    std::string trimmed;
+    for (char c : line) {
+      if (c != ' ' && c != '\t') trimmed.push_back(c);
+    }
+    if (trimmed == "#pragmaonce") return;
+  }
+  out.push_back({"pragma-once", rel, 1,
+                 "public header is missing #pragma once (include-guard policy)", false});
+}
+
+}  // namespace
+
+// ---- driver -----------------------------------------------------------------
+
+void lint_text(const std::string& rel, const std::string& contents, const Config& config,
+               std::vector<Finding>& out) {
+  const FileText text = split_and_strip(contents);
+  const auto allowed = allowed_rules_per_line(text.raw);
+  const bool is_header = rel.ends_with(".hpp") || rel.ends_with(".h");
+  const bool is_public_header = is_header && rel.find("include/") != std::string::npos;
+
+  std::vector<Finding> found;
+  if (is_public_header) {
+    rule_unit_typed_api(rel, text, found);
+    rule_pragma_once(rel, text, found);
+  }
+  rule_determinism(rel, text, found);
+  rule_unordered_iteration(rel, text, found);
+  rule_env_allowlist(rel, text, config, found);
+
+  for (Finding& f : found) {
+    f.suppressed = f.line > 0 && is_allowed(allowed, static_cast<std::size_t>(f.line - 1), f.rule);
+    out.push_back(std::move(f));
+  }
+}
+
+Report run_lint(const std::filesystem::path& root, const Config& config) {
+  namespace fs = std::filesystem;
+  fs::path scan_root = root;
+  if (fs::is_directory(root / "src")) scan_root = root / "src";
+
+  std::vector<fs::path> files;
+  const auto skip_dir = [](const std::string& name) {
+    return name.starts_with("build") || name.starts_with(".") || name == "header_tus";
+  };
+  for (auto it = fs::recursive_directory_iterator{scan_root};
+       it != fs::recursive_directory_iterator{}; ++it) {
+    if (it->is_directory()) {
+      if (skip_dir(it->path().filename().string())) it.disable_recursion_pending();
+      continue;
+    }
+    const std::string ext = it->path().extension().string();
+    if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc") files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());
+
+  Report report;
+  for (const fs::path& file : files) {
+    std::ifstream in{file, std::ios::binary};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string rel = fs::relative(file, scan_root).generic_string();
+    lint_text(rel, buf.str(), config, report.findings);
+    ++report.files_scanned;
+  }
+  return report;
+}
+
+std::size_t Report::violation_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const Finding& f) { return !f.suppressed; }));
+}
+
+std::size_t Report::suppression_count() const {
+  return findings.size() - violation_count();
+}
+
+std::map<std::string, std::size_t> Report::count_by_rule(bool suppressed) const {
+  std::map<std::string, std::size_t> counts;
+  for (const Finding& f : findings) {
+    if (f.suppressed == suppressed) ++counts[f.rule];
+  }
+  return counts;
+}
+
+std::string format_report(const Report& report) {
+  std::ostringstream os;
+  os << "ppatc-lint: scanned " << report.files_scanned << " files, "
+     << report.violation_count() << " violations, " << report.suppression_count()
+     << " suppressed\n";
+  const auto violations = report.count_by_rule(false);
+  const auto suppressed = report.count_by_rule(true);
+  for (const auto& [rule, count] : violations) {
+    os << "  " << rule << ": " << count << " violations\n";
+  }
+  for (const auto& [rule, count] : suppressed) {
+    os << "  " << rule << ": " << count << " suppressed\n";
+  }
+  for (const Finding& f : report.findings) {
+    if (f.suppressed) continue;
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  for (const Finding& f : report.findings) {
+    if (!f.suppressed) continue;
+    os << f.file << ":" << f.line << ": [" << f.rule << "] suppressed via allow(" << f.rule
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace ppatc::lint

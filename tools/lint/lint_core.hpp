@@ -1,0 +1,85 @@
+// ppatc-lint: project-policy static analyzer.
+//
+// Walks a source tree and enforces, as machine-checked policy, the invariants
+// the ppatc codebase otherwise upholds only by convention:
+//
+//   unit-typed-api    public headers must not declare raw double parameters /
+//                     aggregate fields whose names imply a physical dimension
+//                     (width_um, energy_j, lifetime_s, ...) when a
+//                     ppatc::units strong type exists for that dimension.
+//   determinism       no wall-clock or nondeterministic-seed sources in src/
+//                     (rand, srand, std::random_device, time(NULL),
+//                     system_clock, gettimeofday, ...): every evaluation path
+//                     must be bit-reproducible for a fixed seed.
+//   unordered-iter    no range-for over std::unordered_{map,set} instances —
+//                     iteration order is implementation-defined, so any
+//                     accumulation over it is a nondeterminism leak.
+//   env-allowlist     std::getenv only in the blessed runtime/observability
+//                     configuration sites; model code must not read the
+//                     environment.
+//   pragma-once       every public header carries #pragma once.
+//
+// A fifth leg — header self-containment — is enforced at build time by
+// compiling one generated TU per public header (see tools/lint/CMakeLists).
+//
+// Every rule is individually suppressible at a site with
+//     // ppatc-lint: allow(<rule>[, <rule>...])
+// on the offending line or the line directly above it. Suppressions are
+// counted and listed in the report so they stay visible.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ppatc::lint {
+
+/// One rule hit at one site.
+struct Finding {
+  std::string rule;
+  std::string file;  ///< path relative to the scan root, '/'-separated
+  int line = 0;      ///< 1-based
+  std::string message;
+  bool suppressed = false;  ///< an allow() comment covers this site
+};
+
+/// Result of linting a tree.
+struct Report {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+
+  [[nodiscard]] std::size_t violation_count() const;
+  [[nodiscard]] std::size_t suppression_count() const;
+  /// Per-rule counts of (un)suppressed findings.
+  [[nodiscard]] std::map<std::string, std::size_t> count_by_rule(bool suppressed) const;
+  [[nodiscard]] bool clean() const { return violation_count() == 0; }
+};
+
+/// Tuning knobs; the defaults encode the ppatc policy.
+struct Config {
+  /// Files (matched by relative-path suffix) where getenv is permitted. The
+  /// three blessed call sites live in these two files: the thread-count
+  /// override (PPATC_THREADS) and the tracing/metrics switches (PPATC_TRACE,
+  /// PPATC_METRICS).
+  std::vector<std::string> env_allowlist{"runtime/parallel.cpp", "obs/trace.cpp"};
+};
+
+/// Lints every .hpp/.cpp under `root`, skipping build*/.git/header_tus
+/// directories. If `root` has a `src/` child, only that subtree is scanned
+/// (so passing a repo root lints exactly the library sources). Paths in the
+/// report are relative to the scanned directory. File order is sorted, so
+/// reports are byte-stable.
+[[nodiscard]] Report run_lint(const std::filesystem::path& root, const Config& config = {});
+
+/// Lints a single file's contents (exposed for the fixture tests).
+/// `rel` is the path used in findings and for the env allowlist /
+/// public-header ("include/" in path) checks.
+void lint_text(const std::string& rel, const std::string& contents, const Config& config,
+               std::vector<Finding>& out);
+
+/// Human-readable report (per-rule totals, then one line per finding).
+[[nodiscard]] std::string format_report(const Report& report);
+
+}  // namespace ppatc::lint

@@ -1,0 +1,37 @@
+// ppatc-lint driver: lints the project tree and exits nonzero on any
+// unsuppressed violation. Registered as the `lint.ppatc_lint` ctest.
+//
+// Usage: ppatc_lint [--root <dir>] [--quiet]
+//   --root   repository root (or any tree); if <dir>/src exists, exactly that
+//            subtree is scanned. Default: current directory.
+//   --quiet  print only the summary line, not per-finding details.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "lint_core.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::cerr << "usage: ppatc_lint [--root <dir>] [--quiet]\n";
+      return 2;
+    }
+  }
+
+  const ppatc::lint::Report report = ppatc::lint::run_lint(root);
+  if (quiet) {
+    std::cout << "ppatc-lint: " << report.files_scanned << " files, "
+              << report.violation_count() << " violations, " << report.suppression_count()
+              << " suppressed\n";
+  } else {
+    std::cout << ppatc::lint::format_report(report);
+  }
+  return report.clean() ? 0 : 1;
+}

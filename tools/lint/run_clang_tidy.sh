@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every src/ TU in
+# the given build directory's compile_commands.json.
+#
+#   usage: run_clang_tidy.sh <build-dir>
+#
+# Exit codes: 0 clean, 1 findings, 2 usage, 77 clang-tidy unavailable (ctest
+# maps 77 to SKIPPED via SKIP_RETURN_CODE).
+set -u
+
+BUILD_DIR=${1:?usage: run_clang_tidy.sh <build-dir>}
+DB="$BUILD_DIR/compile_commands.json"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping" >&2
+  exit 77
+fi
+if [ ! -f "$DB" ]; then
+  echo "run_clang_tidy: $DB not found (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON," >&2
+  echo "e.g. cmake --preset lint)" >&2
+  exit 2
+fi
+
+# Prefer the parallel runner when available.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "$BUILD_DIR" "$(pwd)/src/.*\.cpp$"
+  exit $?
+fi
+
+# Fallback: serial clang-tidy over the src/ entries of the database.
+FILES=$(sed -n 's/^ *"file": *"\(.*\)",*$/\1/p' "$DB" | grep "/src/.*\.cpp$" | sort -u)
+if [ -z "$FILES" ]; then
+  echo "run_clang_tidy: no src/ TUs in $DB" >&2
+  exit 2
+fi
+STATUS=0
+for f in $FILES; do
+  clang-tidy -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+exit $STATUS
