@@ -16,7 +16,9 @@ int main() {
   using namespace ppatc::units;
   namespace cb = ppatc::carbon;
 
+  bench::begin_manifest("ablation");
   bench::title("Ablations");
+  bench::config("grid", "us");
 
   bench::section("A1: M3D tier count vs per-wafer embodied carbon (U.S. grid)");
   std::printf("  %-28s %12s %12s\n", "stack", "EPA kWh", "kgCO2e/wafer");
@@ -27,6 +29,10 @@ int main() {
     std::printf("  %d CNFET + 1 IGZO tiers        %12.1f %12.1f\n", cnt_tiers,
                 in_kilowatt_hours(m.energy_per_wafer()),
                 in_kilograms_co2e(m.carbon_per_wafer(cb::grids::us())));
+    const std::string stack = std::to_string(cnt_tiers) + " CNFET + 1 IGZO tiers";
+    bench::record(stack + " EPA", in_kilowatt_hours(m.energy_per_wafer()), "kWh/wafer");
+    bench::record(stack + " embodied", in_kilograms_co2e(m.carbon_per_wafer(cb::grids::us())),
+                  "kgCO2e/wafer");
   }
 
   bench::section("A2: metallic-CNT removal quality vs read-stack leakage");
@@ -38,6 +44,7 @@ int main() {
     const double ioff = in_amperes(fet.off_current(volts(0.7)));
     std::printf("  %-14.2e %14.3e %12.2e\n", f, ioff,
                 in_amperes(fet.on_current(volts(0.7))) / ioff);
+    bench::record("I_OFF @ fraction " + std::to_string(f), ioff, "A/um");
   }
 
   bench::section("A3: sub-array geometry (all-Si bank, energy and timing)");
@@ -51,6 +58,10 @@ int main() {
                 in_picojoules(bank.subarray().read_energy),
                 in_picoseconds(bank.access_delay()),
                 bank.meets_timing(megahertz(500)) ? "yes" : "NO");
+    const std::string geom = std::to_string(dim) + "x" + std::to_string(dim);
+    bench::record(geom + " read energy", in_picojoules(bank.subarray().read_energy), "pJ");
+    bench::record(geom + " access delay", in_picoseconds(bank.access_delay()), "ps");
+    bench::record_text(geom + " meets 500 MHz", bank.meets_timing(megahertz(500)) ? "yes" : "no");
   }
 
   bench::section("A4: yield model vs embodied carbon per good die (M3D die, U.S. grid)");
@@ -75,6 +86,9 @@ int main() {
     const double y = m.model(die_area);
     std::printf("  %-40s %9.1f%% %14.3f\n", m.name, 100.0 * y,
                 in_grams_co2e(per_wafer) / (dpw * y));
+    bench::record(std::string{m.name} + " yield", 100.0 * y, "%");
+    bench::record(std::string{m.name} + " embodied per good die",
+                  in_grams_co2e(per_wafer) / (dpw * y), "gCO2e");
   }
 
   bench::section("A5: Si cell retention vs refresh share of memory energy");
@@ -87,6 +101,10 @@ int main() {
       const double p_mw = in_milliwatts(bank.refresh_power()) / scale;
       std::printf("  %13.1f us %14.4f %15.2f%%\n", nominal_ret * scale * 1e6, p_mw,
                   100.0 * (p_mw * 1e-3 / 500e6) / 18e-12);
+      char key[48];
+      std::snprintf(key, sizeof key, "refresh power @ %.1f us retention",
+                    nominal_ret * scale * 1e6);
+      bench::record(key, p_mw, "mW");
     }
   }
 
@@ -104,6 +122,9 @@ int main() {
                 static_cast<double>(run.stats.total_memory_accesses()) /
                     static_cast<double>(run.cycles),
                 in_picojoules(e_si.per_cycle), in_picojoules(e_m3d.per_cycle));
+    bench::record(w.name + " cycles", static_cast<double>(run.cycles), "cycles");
+    bench::record(w.name + " Si memory energy", in_picojoules(e_si.per_cycle), "pJ/cycle");
+    bench::record(w.name + " M3D memory energy", in_picojoules(e_m3d.per_cycle), "pJ/cycle");
   }
-  return 0;
+  return bench::finish_manifest();
 }

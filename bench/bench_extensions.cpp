@@ -13,12 +13,14 @@ int main() {
   using namespace ppatc::units;
   namespace cb = ppatc::carbon;
 
+  bench::begin_manifest("extensions");
   bench::title("Extensions — cost, water, and carbon-efficient design optimization");
 
   const auto water = cb::WaterTable::typical();
   const auto cost = cb::CostTable::typical();
   const auto si_flow = cb::all_si_7nm_flow();
   const auto m3d_flow = cb::m3d_igzo_cnfet_flow();
+  bench::config("water/cost tables", "typical");
 
   bench::section("E1: ultrapure water (paper conclusion: 'water consumption')");
   std::printf("  %-24s %14s %16s\n", "process", "litres/wafer", "litres/good die");
@@ -28,6 +30,12 @@ int main() {
   std::printf("  %-24s %14.0f %16.4f\n", "M3D IGZO/CNFET/Si",
               cb::water_litres_per_wafer(m3d_flow, water),
               cb::water_litres_per_good_die(m3d_flow, water, 606238, 0.5));
+  bench::record("all-Si water per wafer", cb::water_litres_per_wafer(si_flow, water), "L");
+  bench::record("all-Si water per good die",
+                cb::water_litres_per_good_die(si_flow, water, 299127, 0.9), "L");
+  bench::record("M3D water per wafer", cb::water_litres_per_wafer(m3d_flow, water), "L");
+  bench::record("M3D water per good die",
+                cb::water_litres_per_good_die(m3d_flow, water, 606238, 0.5), "L");
 
   bench::section("E2: wafer cost (paper conclusion: 'cost'; the C of PPACE)");
   std::printf("  %-24s %14s %16s\n", "process", "$/wafer", "$/good die");
@@ -36,15 +44,25 @@ int main() {
   std::printf("  %-24s %14.0f %16.4f\n", "M3D IGZO/CNFET/Si",
               cb::cost_dollars_per_wafer(m3d_flow, cost),
               cb::cost_dollars_per_good_die(m3d_flow, cost, 606238, 0.5));
+  bench::record("all-Si cost per wafer", cb::cost_dollars_per_wafer(si_flow, cost), "$");
+  bench::record("all-Si cost per good die",
+                cb::cost_dollars_per_good_die(si_flow, cost, 299127, 0.9), "$");
+  bench::record("M3D cost per wafer", cb::cost_dollars_per_wafer(m3d_flow, cost), "$");
+  bench::record("M3D cost per good die",
+                cb::cost_dollars_per_good_die(m3d_flow, cost, 606238, 0.5), "$");
 
   bench::section("E3: carbon-efficient design-space optimization (crc32 workload, 24 months)");
   core::OptimizationGoal goal;
   goal.max_execution_time = units::milliseconds(6.0);
+  bench::config("optimization workload", "crc32(48)");
+  bench::config("deadline", units::milliseconds(6.0));
   const auto result = core::optimize(core::DesignSpace{}, workloads::crc32(48), goal);
   int feasible = 0;
   for (const auto& p : result.all_points) feasible += p.feasible ? 1 : 0;
   std::printf("  explored %zu points (%d close timing); deadline 6 ms per run\n",
               result.all_points.size(), feasible);
+  bench::record("design points explored", static_cast<double>(result.all_points.size()), "points");
+  bench::record("feasible design points", static_cast<double>(feasible), "points");
   std::printf("  top designs by tCDP:\n");
   std::printf("  %-30s %-5s %8s %12s %12s %12s\n", "technology", "VT", "f MHz", "exec ms",
               "tC g", "tCDP g.s");
@@ -54,6 +72,14 @@ int main() {
                 core::to_string(p.spec.tech), device::to_string(p.spec.vt),
                 in_megahertz(p.spec.fclk), 1e3 * in_seconds(p.evaluation.execution_time),
                 in_grams_co2e(p.total_carbon), in_gco2e_seconds(p.tcdp));
+    const std::string rank = "rank " + std::to_string(i + 1);
+    bench::record_text(rank + " design", std::string{core::to_string(p.spec.tech)} + " " +
+                                             device::to_string(p.spec.vt) + " @ " +
+                                             std::to_string(static_cast<int>(
+                                                 in_megahertz(p.spec.fclk))) +
+                                             " MHz");
+    bench::record(rank + " tCDP", in_gco2e_seconds(p.tcdp), "gCO2e.s");
+    bench::record(rank + " total carbon", in_grams_co2e(p.total_carbon), "gCO2e");
   }
   std::printf("  (execution time, total carbon) Pareto front:\n");
   for (const auto& p : result.pareto) {
@@ -62,5 +88,6 @@ int main() {
                 in_megahertz(p.spec.fclk), 1e3 * in_seconds(p.evaluation.execution_time),
                 in_grams_co2e(p.total_carbon));
   }
-  return 0;
+  bench::record("Pareto front size", static_cast<double>(result.pareto.size()), "points");
+  return bench::finish_manifest();
 }

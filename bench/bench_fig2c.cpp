@@ -12,10 +12,13 @@ int main() {
   using namespace ppatc::units;
   namespace cb = ppatc::carbon;
 
+  bench::begin_manifest("fig2c");
   bench::title("Figure 2c — embodied carbon per wafer (all-Si vs M3D IGZO/CNFET/Si)");
 
   const cb::EmbodiedModel si = cb::all_si_embodied_model();
   const cb::EmbodiedModel m3d = cb::m3d_embodied_model();
+  bench::config("wafer", "300 mm");
+  bench::config("iN7 reference fab energy per wafer", cb::in7_reference_energy_per_wafer());
 
   bench::section("fabrication energy (EPA)");
   bench::compare_row("all-Si EPA", in_kilowatt_hours(si.energy_per_wafer()),
@@ -40,6 +43,8 @@ int main() {
     std::printf("  %-10s %8.0f %7.1f (%5.0f) %7.1f (%5.0f) %7.3fx\n", grid.name.c_str(),
                 in_grams_per_kilowatt_hour(grid.intensity), cs, paper_si[i], cm, paper_m3d[i],
                 cm / cs);
+    bench::record_vs_paper(grid.name + " all-Si", cs, paper_si[i], "kgCO2e");
+    bench::record_vs_paper(grid.name + " M3D", cm, paper_m3d[i], "kgCO2e");
     ++i;
   }
   bench::compare_row("average M3D/all-Si ratio (headline)", ratio_sum / 4.0, 1.31, "x");
@@ -51,6 +56,11 @@ int main() {
                 model->flow().name().c_str(), in_kilograms_co2e(b.materials),
                 in_kilograms_co2e(b.gases), in_kilograms_co2e(b.fab_energy),
                 in_kilograms_co2e(b.total()));
+    const std::string flow = model->flow().name();
+    bench::record(flow + " MPA", in_kilograms_co2e(b.materials), "kgCO2e");
+    bench::record(flow + " GPA", in_kilograms_co2e(b.gases), "kgCO2e");
+    bench::record(flow + " fab-energy", in_kilograms_co2e(b.fab_energy), "kgCO2e");
+    bench::record(flow + " total", in_kilograms_co2e(b.total()), "kgCO2e");
   }
-  return 0;
+  return bench::finish_manifest();
 }

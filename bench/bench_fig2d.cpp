@@ -12,9 +12,11 @@ int main() {
   using namespace ppatc::units;
   namespace cb = ppatc::carbon;
 
+  bench::begin_manifest("fig2d");
   bench::title("Figure 2d — EUV metal-layer step inventory and per-area energies");
 
   const auto table = cb::StepEnergyTable::calibrated();
+  bench::config("step-energy table", "calibrated (Fig. 2d worked example)");
 
   cb::ProcessFlow one_layer{"one 36 nm EUV metal/via pair"};
   one_layer.add_metal_via_pair(cb::MetalPitch::k36nm, "M1");
@@ -27,6 +29,9 @@ int main() {
     const double e = in_kilowatt_hours(energies[a]);
     std::printf("  %-16s %6.0f %14.2f %16.3f\n",
                 cb::to_string(static_cast<cb::ProcessArea>(a)), n, e, n > 0 ? e / n : 0.0);
+    const std::string area = cb::to_string(static_cast<cb::ProcessArea>(a));
+    bench::record("one-pair " + area + " steps", n, "steps");
+    bench::record("one-pair " + area + " energy", e, "kWh");
   }
   bench::compare_row("deposition kWh/step (paper's worked example)",
                      in_kilowatt_hours(table.step_energy(cb::ProcessArea::kDeposition)),
@@ -41,6 +46,8 @@ int main() {
     f.add_metal_via_pair(pitch, "M");
     std::printf("  %-8s (%-18s) %8.2f kWh/wafer\n", cb::to_string(pitch),
                 cb::to_string(cb::litho_for(pitch)), in_kilowatt_hours(f.energy_per_wafer(table)));
+    bench::record(std::string{cb::to_string(pitch)} + " pair energy",
+                  in_kilowatt_hours(f.energy_per_wafer(table)), "kWh/wafer");
   }
 
   bench::section("full-flow step inventory (Eq. 4 count columns)");
@@ -50,6 +57,9 @@ int main() {
   for (std::size_t a = 0; a < cb::kProcessAreaCount; ++a) {
     std::printf("  %-16s %10.0f %10.0f\n", cb::to_string(static_cast<cb::ProcessArea>(a)),
                 si_counts[a], m3d_counts[a]);
+    const std::string area = cb::to_string(static_cast<cb::ProcessArea>(a));
+    bench::record(area + " all-Si steps", si_counts[a], "steps");
+    bench::record(area + " M3D steps", m3d_counts[a], "steps");
   }
 
   bench::section("BEOL device-tier energies");
@@ -65,5 +75,5 @@ int main() {
     bench::value_row("FEOL+MOL (lumped, iN7-equivalent)",
                      in_kilowatt_hours(cb::feol_mol_energy_per_wafer()), "kWh/wafer");
   }
-  return 0;
+  return bench::finish_manifest();
 }

@@ -12,8 +12,11 @@ int main() {
   using namespace ppatc::units;
   namespace sy = ppatc::synth;
 
+  bench::begin_manifest("fig4");
   bench::title("Figure 4 — M0 energy per cycle vs f_CLK, by VT flavor");
 
+  bench::config("workload", "matmul-int scaling");
+  bench::config("f_CLK sweep", "100..1000 MHz");
   const auto sweep = sy::figure4_sweep();
 
   std::printf("  %-8s", "f (MHz)");
@@ -30,10 +33,14 @@ int main() {
       bool printed = false;
       for (const auto& p : sweep) {
         if (p.vt == vt && std::abs(in_megahertz(p.fclk) - f) < 1e-6) {
+          const std::string cell =
+              std::string{device::to_string(vt)} + " @ " + std::to_string(f) + " MHz";
           if (p.result) {
             std::printf(" %10.3f", in_picojoules(p.result->energy_per_cycle));
+            bench::record(cell, in_picojoules(p.result->energy_per_cycle), "pJ/cycle");
           } else {
             std::printf(" %10s", "----");
+            bench::record_text(cell, "fails timing");
           }
           printed = true;
         }
@@ -57,6 +64,10 @@ int main() {
     std::printf("  %-6s FO4 %6.2f ps   fmax %7.1f MHz   leakage %9.3f uW\n",
                 device::to_string(vt), in_picoseconds(m.fo4_delay()), in_megahertz(m.fmax()),
                 in_microwatts(m.leakage_power()));
+    const std::string flavor = device::to_string(vt);
+    bench::record(flavor + " FO4 delay", in_picoseconds(m.fo4_delay()), "ps");
+    bench::record(flavor + " fmax", in_megahertz(m.fmax()), "MHz");
+    bench::record(flavor + " leakage", in_microwatts(m.leakage_power()), "uW");
   }
-  return 0;
+  return bench::finish_manifest();
 }

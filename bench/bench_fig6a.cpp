@@ -12,12 +12,16 @@ int main() {
   using namespace ppatc::units;
   namespace cb = ppatc::carbon;
 
+  bench::begin_manifest("fig6a");
   bench::title("Figure 6a — tCDP(M3D, scaled) / tCDP(all-Si) map and isoline (24 months)");
 
   const auto t2 = core::table2(workloads::matmult_int());
   cb::OperationalScenario scen;
   scen.use_intensity = cb::DiurnalIntensity::flat(cb::grids::us().intensity);
   const Duration life = months(24.0);
+  bench::config("grid", "us");
+  bench::config("lifetime", life);
+  bench::config("scale axes", "embodied x energy, 0.25..4.0");
 
   cb::AxisSpec x_axis;  // embodied scale 0.25..4.0
   cb::AxisSpec y_axis;  // energy scale 0.25..4.0
@@ -36,16 +40,29 @@ int main() {
     }
     std::printf("\n");
   }
+  // Pin the map at its corners and center: enough to catch any shift of the
+  // whole surface without recording all samples^2 cells.
+  for (const int yi : {0, y_axis.samples / 2, y_axis.samples - 1}) {
+    for (const int xi : {0, x_axis.samples / 2, x_axis.samples - 1}) {
+      char key[64];
+      std::snprintf(key, sizeof key, "map ratio @ x=%.3f y=%.3f", x_axis.at(xi), y_axis.at(yi));
+      bench::record(key, map.ratio[yi][xi], "x");
+    }
+  }
 
   bench::section("tCDP isoline (ratio = 1 boundary)");
   const auto line =
       cb::tcdp_isoline(t2.m3d.carbon_profile(), t2.all_si.carbon_profile(), scen, life, x_axis);
   std::printf("  %-18s %-18s\n", "embodied scale x", "energy scale y(x)");
   for (const auto& pt : line) {
+    char key[48];
+    std::snprintf(key, sizeof key, "isoline y @ x=%.3f", pt.embodied_scale);
     if (pt.energy_scale) {
       std::printf("  %-18.3f %-18.4f\n", pt.embodied_scale, *pt.energy_scale);
+      bench::record(key, *pt.energy_scale, "x", {.rel_tol = 1e-4});
     } else {
       std::printf("  %-18.3f %-18s\n", pt.embodied_scale, "(outside box)");
+      bench::record_text(key, "outside box");
     }
   }
 
@@ -53,5 +70,5 @@ int main() {
   const double r11 = cb::tcdp_ratio(t2.m3d.carbon_profile(), t2.all_si.carbon_profile(), scen, life);
   bench::value_row("ratio at (1,1) — the actual M3D design", r11, "x");
   bench::text_row("M3D wins at (1,1)?", r11 < 1.0 ? "yes (matches the paper's 1.02x)" : "no");
-  return 0;
+  return bench::finish_manifest();
 }

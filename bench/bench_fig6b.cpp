@@ -13,11 +13,15 @@ int main() {
   using namespace ppatc::units;
   namespace cb = ppatc::carbon;
 
+  bench::begin_manifest("fig6b");
   bench::title("Figure 6b — isoline variation under uncertainty (24-month nominal)");
 
   const auto t2 = core::table2(workloads::matmult_int());
   cb::OperationalScenario scen;
   scen.use_intensity = cb::DiurnalIntensity::flat(cb::grids::us().intensity);
+  bench::config("grid", "us");
+  bench::config("nominal lifetime", months(24.0));
+  bench::config("uncertainty", "lifetime +/-6 months, CI_use x3 / /3, M3D yield 10%/90%");
 
   const auto variants = cb::isoline_variants(t2.m3d.carbon_profile(), t2.all_si.carbon_profile(),
                                              scen, months(24.0));
@@ -31,10 +35,15 @@ int main() {
     std::printf("  %-8.2f", variants.front().isoline[i].embodied_scale);
     for (const auto& v : variants) {
       const auto& pt = v.isoline[i];
+      char key[96];
+      std::snprintf(key, sizeof key, "%s isoline y @ x=%.3f", v.label.c_str(),
+                    pt.embodied_scale);
       if (pt.energy_scale) {
         std::printf(" %14.4f", *pt.energy_scale);
+        bench::record(key, *pt.energy_scale, "x", {.rel_tol = 1e-4});
       } else {
         std::printf(" %14s", "-");
+        bench::record_text(key, "outside box");
       }
     }
     std::printf("\n");
@@ -57,6 +66,8 @@ int main() {
 
   const cb::Interval ratio = cb::tcdp_ratio_interval(m3d, si, uscen);
   std::printf("  tCDP(M3D)/tCDP(all-Si) interval: [%.3f, %.3f]\n", ratio.lo, ratio.hi);
+  bench::record("tCDP ratio interval lo", ratio.lo, "x");
+  bench::record("tCDP ratio interval hi", ratio.hi, "x");
   const auto verdict = cb::robust_compare(m3d, si, uscen);
   bench::text_row("robust verdict",
                   verdict == cb::RobustVerdict::kCandidateAlwaysWins  ? "M3D always wins"
@@ -68,5 +79,11 @@ int main() {
               mc.mean, mc.p05, mc.p50, mc.p95);
   std::printf("  P(M3D more carbon-efficient) = %.1f%%\n",
               100.0 * mc.probability_candidate_wins);
-  return 0;
+  bench::config("Monte Carlo", "n=20000, seed=20251204");
+  bench::record("MC mean tCDP ratio", mc.mean, "x");
+  bench::record("MC p05", mc.p05, "x");
+  bench::record("MC p50", mc.p50, "x");
+  bench::record("MC p95", mc.p95, "x");
+  bench::record("MC P(M3D wins)", mc.probability_candidate_wins, "frac");
+  return bench::finish_manifest();
 }

@@ -218,12 +218,16 @@ BENCHMARK(BM_OptimizeThreads)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::
 // across all benchmark iterations (Newton iterations, chunks executed, MC
 // samples, ...) are dumped there as JSON next to google-benchmark's own
 // timing output.
+// When BENCH_MANIFEST_OUT is also set, a run manifest with the accumulated
+// obs counters and span timings is written there (timings are informational,
+// never drift-gated — see DESIGN.md).
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ppatc::bench::begin_manifest("perf");
   ppatc::bench::enable_metrics_sidecar();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ppatc::bench::write_metrics_sidecar();
-  return 0;
+  return ppatc::bench::finish_manifest();
 }

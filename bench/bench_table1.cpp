@@ -11,9 +11,12 @@ int main() {
   using namespace ppatc::units;
   namespace dv = ppatc::device;
 
+  bench::begin_manifest("table1");
   bench::title("Table I — FET benefits and challenges, quantified (VDD = 0.7 V, per um width)");
 
   const Voltage vdd = volts(0.7);
+  bench::config("VDD", vdd);
+  bench::config("width", "1 um");
   struct Row {
     const char* name;
     dv::VsParams card;
@@ -40,6 +43,11 @@ int main() {
     std::printf("  %-26s %12.1f %14.3e %10.2e %12.0f %6s\n", row.name, ieff, ioff, ion / ioff,
                 in_kelvin(dv::process_temperature(row.card)) - 273.15,
                 dv::beol_compatible(row.card) ? "yes" : "no");
+    const std::string dev = row.name;
+    bench::record(dev + " I_EFF", ieff, "uA/um");
+    bench::record(dev + " I_OFF", ioff, "A/um");
+    bench::record(dev + " Ion/Ioff", ion / ioff, "x");
+    bench::record_text(dev + " BEOL-compatible", dv::beol_compatible(row.card) ? "yes" : "no");
   }
 
   bench::section("Table I orderings (must all hold)");
@@ -72,6 +80,8 @@ int main() {
     const dv::VirtualSourceFet fet{dv::cnfet(dv::Polarity::kNmos, o), 1.0};
     std::printf("  %-14.1e %14.3e %12.2e\n", f, in_amperes(fet.off_current(vdd)),
                 in_amperes(fet.on_current(vdd)) / in_amperes(fet.off_current(vdd)));
+    bench::record("I_OFF @ metallic fraction " + std::to_string(f),
+                  in_amperes(fet.off_current(vdd)), "A/um");
   }
-  return 0;
+  return bench::finish_manifest();
 }

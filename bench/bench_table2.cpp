@@ -9,9 +9,13 @@ int main() {
   using namespace ppatc;
   using namespace ppatc::units;
 
+  bench::begin_manifest("table2");
   bench::title("Table II — PPAtC summary (M0 + eDRAM, matmult-int @ 500 MHz, U.S. grid)");
 
   const auto t2 = core::table2(workloads::matmult_int());
+  bench::config("workload", "matmult-int");
+  bench::config("clock", megahertz(500.0));
+  bench::config("grid", "us");
 
   struct PaperColumn {
     double m0_pj, mem_pj, cycles, mem_mm2, tot_mm2, h_um, w_um, emb_kg, dpw, emb_gd;
@@ -54,5 +58,5 @@ int main() {
   bench::compare_row("good-die ratio (M3D / all-Si)", good_m3d / good_si, 1.13, "x");
   bench::compare_row("embodied per good die (M3D / all-Si)",
                      t2.m3d.embodied_per_good_die / t2.all_si.embodied_per_good_die, 1.17, "x");
-  return 0;
+  return bench::finish_manifest();
 }

@@ -1,21 +1,35 @@
-// Shared formatting helpers for the reproduction benches. Each bench binary
-// regenerates one table or figure of the paper and, where the paper states a
-// number, prints it next to the measured value.
+// Shared helpers for the reproduction benches. Each bench binary regenerates
+// one table or figure of the paper and, where the paper states a number,
+// prints it next to the measured value.
+//
+// Every bench also records what it printed into a ppatc::obs::RunManifest
+// when BENCH_MANIFEST_OUT names an output file: the printing helpers below
+// (compare_row / value_row / text_row / record*) mirror each row into the
+// manifest under a "<section> / <label>" key, and finish_manifest() attaches
+// the final metrics snapshot + span rollup and writes the sorted-key JSON.
+// Committed golden manifests live in bench/golden/; `ppatc-report check`
+// gates every run against them (registered as ctest cases).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/report.hpp"
+#include "ppatc/obs/trace.hpp"
 
 namespace ppatc::bench {
 
 /// Path of the requested ppatc::obs metrics sidecar (BENCH_METRICS_OUT), or
-/// nullptr when none was requested.
+/// nullptr when none was requested ("" and "0" both mean "off").
 inline const char* metrics_sidecar_path() {
   const char* path = std::getenv("BENCH_METRICS_OUT");
-  return (path != nullptr && path[0] != '\0') ? path : nullptr;
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  if (path[0] == '0' && path[1] == '\0') return nullptr;
+  return path;
 }
 
 /// Enables metrics collection iff a sidecar was requested. Call before the
@@ -32,28 +46,127 @@ inline void write_metrics_sidecar() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Run-manifest plumbing (BENCH_MANIFEST_OUT).
+
+namespace detail {
+
+inline std::unique_ptr<obs::RunManifest>& manifest_slot() {
+  static std::unique_ptr<obs::RunManifest> slot;
+  return slot;
+}
+
+inline std::string& manifest_section() {
+  static std::string section;
+  return section;
+}
+
+/// Manifest keys are "<current section> / <label>" so repeated labels in
+/// different sections (e.g. the two Table II columns) stay unique.
+inline std::string manifest_key(const std::string& label) {
+  const std::string& section = manifest_section();
+  return section.empty() ? label : section + " / " + label;
+}
+
+}  // namespace detail
+
+/// The active run manifest, or nullptr when BENCH_MANIFEST_OUT is unset.
+inline obs::RunManifest* manifest() { return detail::manifest_slot().get(); }
+
+/// Starts the run manifest for `artifact` when BENCH_MANIFEST_OUT is set —
+/// call first thing in main(), before the modelled work, because it also
+/// switches metrics and tracing on so the final snapshot covers the whole
+/// run. Provenance (git SHA, UTC timestamp, thread count) is injected by the
+/// caller via BENCH_GIT_SHA / BENCH_TIMESTAMP_UTC / PPATC_THREADS; the
+/// library never reads a wall clock.
+inline void begin_manifest(const std::string& artifact) {
+  if (obs::manifest_out_path() == nullptr) return;
+  detail::manifest_slot() = std::make_unique<obs::RunManifest>(artifact);
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(true);
+  const auto env_or = [](const char* name, const char* fallback) {
+    const char* v = std::getenv(name);
+    return std::string{v != nullptr && v[0] != '\0' ? v : fallback};
+  };
+  obs::RunManifest& m = *detail::manifest_slot();
+  m.set_provenance("git_sha", env_or("BENCH_GIT_SHA", "unknown"));
+  m.set_provenance("timestamp_utc", env_or("BENCH_TIMESTAMP_UTC", "unknown"));
+  m.set_provenance("threads", env_or("PPATC_THREADS", "default"));
+}
+
+/// Captures observability and writes the manifest (no-op without
+/// BENCH_MANIFEST_OUT). Returns 0 so `return bench::finish_manifest();`
+/// closes out a bench main().
+inline int finish_manifest() {
+  if (obs::RunManifest* m = manifest()) {
+    m->capture_observability();
+    const char* path = obs::manifest_out_path();
+    m->write(path);
+    std::fprintf(stderr, "wrote run manifest %s\n", path);
+    detail::manifest_slot().reset();
+  }
+  return 0;
+}
+
+/// Records a units-typed (or pre-rendered) model-configuration input.
+template <typename... Args>
+inline void config(const std::string& key, Args&&... args) {
+  if (obs::RunManifest* m = manifest()) m->set_config(key, std::forward<Args>(args)...);
+}
+
+/// Manifest-only numeric result (for table cells printed via raw printf).
+inline void record(const std::string& label, double value, const std::string& unit,
+                   obs::Tolerance tol = {}) {
+  if (obs::RunManifest* m = manifest()) m->record(detail::manifest_key(label), value, unit, tol);
+}
+
+/// Manifest-only measured-vs-paper result.
+inline void record_vs_paper(const std::string& label, double value, double paper,
+                            const std::string& unit, obs::Tolerance tol = {}) {
+  if (obs::RunManifest* m = manifest()) {
+    m->record_vs_paper(detail::manifest_key(label), value, paper, unit, tol);
+  }
+}
+
+/// Manifest-only textual verdict ("OK"/"VIOLATED"/...).
+inline void record_text(const std::string& label, const std::string& value) {
+  if (obs::RunManifest* m = manifest()) m->record_text(detail::manifest_key(label), value);
+}
+
+// ---------------------------------------------------------------------------
+// Printing helpers (each also records into the active manifest).
+
 inline void title(const std::string& what) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", what.c_str());
   std::printf("================================================================\n");
+  detail::manifest_section().clear();
 }
 
-inline void section(const std::string& what) { std::printf("\n--- %s ---\n", what.c_str()); }
+inline void section(const std::string& what) {
+  std::printf("\n--- %s ---\n", what.c_str());
+  detail::manifest_section() = what;
+}
 
-/// Prints a measured-vs-paper row with the relative deviation.
+/// Prints a measured-vs-paper row with the relative deviation, and records it
+/// (with the paper value pinned) into the manifest.
 inline void compare_row(const std::string& label, double measured, double paper,
-                        const std::string& unit) {
+                        const std::string& unit, obs::Tolerance tol = {}) {
   const double dev = paper != 0.0 ? (measured / paper - 1.0) * 100.0 : 0.0;
   std::printf("  %-44s %12.4g %-10s (paper: %.4g, %+.1f%%)\n", label.c_str(), measured,
               unit.c_str(), paper, dev);
+  record_vs_paper(label, measured, paper, unit, tol);
 }
 
-inline void value_row(const std::string& label, double value, const std::string& unit) {
+inline void value_row(const std::string& label, double value, const std::string& unit,
+                      obs::Tolerance tol = {}) {
   std::printf("  %-44s %12.4g %-10s\n", label.c_str(), value, unit.c_str());
+  record(label, value, unit, tol);
 }
 
 inline void text_row(const std::string& label, const std::string& value) {
   std::printf("  %-44s %s\n", label.c_str(), value.c_str());
+  record_text(label, value);
 }
 
 }  // namespace ppatc::bench

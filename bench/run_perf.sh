@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Runs the perf micro-benchmarks and records a timestamped JSON snapshot
-# (BENCH_<date>.json, gitignored) for before/after comparisons.
+# Runs the perf micro-benchmarks and records a timestamped snapshot directory
+# (bench/perf_<UTC stamp>/, gitignored) for before/after comparisons:
+#   perf.json            google-benchmark timings
+#   perf.metrics.json    ppatc::obs metrics sidecar
+#   bench_<name>.json    one run manifest per figure/table bench (compare
+#                        against bench/golden/ with ppatc-report)
 #
 # Usage:
 #   bench/run_perf.sh [extra google-benchmark args...]
@@ -9,15 +13,13 @@
 #
 # Environment:
 #   BENCH_BIN          path to the bench_perf binary (default: build/bench/bench_perf)
-#   BENCH_OUT          output file (default: BENCH_<UTC date>.json in the CWD)
-#   BENCH_METRICS_OUT  ppatc::obs metrics sidecar (default: <BENCH_OUT
-#                      stem>.metrics.json; set to empty to disable)
+#   BENCH_OUT_DIR      output directory (default: bench/perf_<UTC stamp>)
+#   BENCH_METRICS_OUT  ppatc::obs metrics sidecar (default: perf.metrics.json
+#                      in BENCH_OUT_DIR; set to empty to disable)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 bin="${BENCH_BIN:-${repo_root}/build/bench/bench_perf}"
-out="${BENCH_OUT:-BENCH_$(date -u +%Y%m%dT%H%M%SZ).json}"
-metrics_out="${BENCH_METRICS_OUT-${out%.json}.metrics.json}"
 
 if [[ ! -x "${bin}" ]]; then
   echo "error: bench_perf not found at ${bin} — build it first:" >&2
@@ -25,18 +27,48 @@ if [[ ! -x "${bin}" ]]; then
   exit 1
 fi
 
-# Provenance: embed the commit and run time into the emitted JSON so a
-# snapshot can always be traced back to the tree that produced it.
-sha="$(git -C "${repo_root}" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+# Provenance: embed the commit and run time into every emitted file so a
+# snapshot can always be traced back to the tree that produced it. A snapshot
+# without a SHA is untraceable, so a failing rev-parse (not a git checkout,
+# corrupted .git, ...) aborts the run instead of stamping an empty string.
+if ! sha="$(git -C "${repo_root}" rev-parse --short=12 HEAD 2>/dev/null)"; then
+  echo "error: git rev-parse failed in ${repo_root} — perf snapshots must be" >&2
+  echo "traceable to a commit; run from a git checkout (or fix the repo)." >&2
+  exit 1
+fi
 dirty=""
-if [[ "${sha}" != unknown ]] && ! git -C "${repo_root}" diff --quiet HEAD 2>/dev/null; then
+if ! git -C "${repo_root}" diff --quiet HEAD 2>/dev/null; then
   dirty="-dirty"
 fi
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-echo "writing ${out} (git ${sha}${dirty}, ${stamp})"
+out_dir="${BENCH_OUT_DIR:-${repo_root}/bench/perf_$(date -u +%Y%m%dT%H%M%SZ)}"
+mkdir -p "${out_dir}"
+out="${out_dir}/perf.json"
+metrics_out="${BENCH_METRICS_OUT-${out_dir}/perf.metrics.json}"
+
+echo "writing ${out_dir}/ (git ${sha}${dirty}, ${stamp})"
 BENCH_METRICS_OUT="${metrics_out}" \
+BENCH_MANIFEST_OUT="${out_dir}/bench_perf.json" \
+BENCH_GIT_SHA="${sha}${dirty}" \
+BENCH_TIMESTAMP_UTC="${stamp}" \
   "${bin}" --benchmark_format=json --benchmark_out="${out}" \
            --benchmark_out_format=json \
            --benchmark_context=git_sha="${sha}${dirty}" \
            --benchmark_context=timestamp_utc="${stamp}" "$@"
+
+# Run manifests for the figure/table benches, one file per bench, so the
+# snapshot also pins the model numbers (drift-check them with
+#   ppatc-report check <out_dir>/bench_<name>.json bench/golden/bench_<name>.json).
+bench_dir="$(dirname "${bin}")"
+for b in fig2c fig2d table1 fig4 table2 fig5 fig6a fig6b ablation extensions; do
+  if [[ -x "${bench_dir}/bench_${b}" ]]; then
+    BENCH_MANIFEST_OUT="${out_dir}/bench_${b}.json" \
+    BENCH_GIT_SHA="${sha}${dirty}" \
+    BENCH_TIMESTAMP_UTC="${stamp}" \
+      "${bench_dir}/bench_${b}" > /dev/null
+  else
+    echo "note: skipping bench_${b} (not built)" >&2
+  fi
+done
+echo "wrote $(ls "${out_dir}" | wc -l) files to ${out_dir}/"

@@ -22,9 +22,11 @@
 //   c.add(iterations);
 //
 // `PPATC_METRICS=1` enables collection and dumps a text report to stderr at
-// process exit; any other non-empty value is treated as a path that receives
-// the JSON snapshot instead. Tests and benches can drive the same machinery
-// with `set_metrics_enabled` / `metrics_snapshot` / `reset_metrics`.
+// process exit; `PPATC_METRICS=0` (like an empty or unset variable) leaves
+// collection disabled; any other non-empty value is treated as a path that
+// receives the JSON snapshot instead (see detail::parse_metrics_env). Tests
+// and benches can drive the same machinery with `set_metrics_enabled` /
+// `metrics_snapshot` / `reset_metrics`.
 #pragma once
 
 #include <atomic>
@@ -46,6 +48,15 @@ inline constexpr std::size_t kShards = 16;
 
 /// The calling thread's fixed shard slot in [0, kShards).
 [[nodiscard]] std::size_t shard_index() noexcept;
+
+/// Parsed PPATC_METRICS value. Contract: nullptr, "" and "0" disable
+/// collection; "1" enables it with the text dump to stderr at exit; any other
+/// value enables it and names the JSON output path.
+struct MetricsEnv {
+  bool enabled = false;
+  std::string path;  ///< empty = text dump to stderr
+};
+[[nodiscard]] MetricsEnv parse_metrics_env(const char* value);
 
 }  // namespace detail
 
@@ -128,6 +139,13 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;  ///< size = edges.size() + 1 (overflow last)
   std::uint64_t total = 0;
   double sum = 0.0;
+
+  /// Interpolated quantile estimate for q in [0, 1]: the target rank is
+  /// located in its bucket and linearly interpolated between the bucket
+  /// bounds (the first bucket interpolates from min(0, edges[0]); the
+  /// overflow bucket clamps to edges.back()). Returns 0 for an empty
+  /// histogram. Text and JSON reports publish p50/p95/p99 from this.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Point-in-time merge of every registered metric.

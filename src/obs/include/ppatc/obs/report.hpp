@@ -1,0 +1,196 @@
+// ppatc: run manifests and the numeric drift gate (ppatc::obs::report).
+//
+// A RunManifest is the machine-comparable record of one reproduction run:
+// which artifact was produced (bench_fig2c, bench_table2, ...), under what
+// provenance (schema version, git SHA, UTC timestamp, thread count — all
+// injected by the caller: scripts and CI stamp them via environment
+// variables, the library never reads a wall clock), with what model
+// configuration (units-typed inputs rendered with their units), and — the
+// payload — a flat map of named numeric results, each carrying the
+// absolute/relative tolerance inside which a future run counts as "the same
+// number". The final obs metrics snapshot and the per-span-name durations
+// ride along as observability context.
+//
+// Serialization is stable, sorted-key JSON: running the same binary twice on
+// the same inputs produces byte-identical `results`/`config` sections, so a
+// committed golden manifest (bench/golden/) turns every number the paper
+// reports into a regression baseline. `ppatc-report` (tools/report) diffs two
+// manifests and `check` exits non-zero on drift; both are registered as ctest
+// cases so `ctest` re-runs each bench against its golden.
+//
+// What is and is not drift-gated:
+//   compared     schema version, artifact name, `results` (tolerance-aware),
+//                `text_results` (exact), `config` (exact strings).
+//   informational  provenance (SHA/timestamp/threads differ between runs by
+//                construction), metrics and span durations (queue waits and
+//                wall times are not thread-count invariant).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ppatc/common/units.hpp"
+
+namespace ppatc::obs {
+
+/// Bumped when the manifest JSON layout changes incompatibly. `check` refuses
+/// to compare manifests with different schema versions.
+inline constexpr int kManifestSchemaVersion = 1;
+
+/// Default relative tolerance for recorded results: loose enough to absorb
+/// libm/FMA-contraction differences between toolchains, six orders of
+/// magnitude tighter than the ~1% drifts the gate exists to catch.
+inline constexpr double kDefaultRelTol = 1e-7;
+
+/// One named numeric result. A future value v' matches a recorded value v iff
+/// |v' - v| <= max(abs_tol, rel_tol * |v|) (tolerances taken from the golden
+/// side of a comparison).
+struct ManifestResult {
+  double value = 0.0;
+  std::string unit;
+  double abs_tol = 0.0;
+  double rel_tol = kDefaultRelTol;
+  bool has_paper = false;  ///< paper holds the paper's stated value when true
+  double paper = 0.0;
+};
+
+/// Optional per-record tolerance override (C++20 designated initializers at
+/// call sites: {.rel_tol = 1e-4} for solver-tolerance-limited results).
+struct Tolerance {
+  double abs_tol = 0.0;
+  double rel_tol = kDefaultRelTol;
+};
+
+/// Aggregated spans of one name: how many completed, total wall time.
+struct ManifestSpan {
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+};
+
+/// A parsed (or built) manifest. RunManifest produces one; parse_manifest
+/// reads one back from JSON.
+struct Manifest {
+  int schema_version = kManifestSchemaVersion;
+  std::string artifact;
+  std::map<std::string, std::string> provenance;
+  std::map<std::string, std::string> config;
+  std::map<std::string, ManifestResult> results;
+  std::map<std::string, std::string> text_results;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  /// name -> {p50, p95, p99} of each histogram (interpolated estimates).
+  std::map<std::string, std::map<std::string, double>> histograms;
+  std::map<std::string, ManifestSpan> spans;
+};
+
+/// Builder for the manifest of the current run. Typical bench flow:
+///
+///   obs::RunManifest m{"fig2c"};
+///   m.set_provenance("git_sha", sha);            // injected by the caller
+///   m.set_config("grid", "us");
+///   m.record_vs_paper("average M3D/all-Si ratio", 1.309, 1.31, "x");
+///   m.capture_observability();                   // metrics + span rollup
+///   m.write(path);                               // sorted-key JSON
+class RunManifest {
+ public:
+  explicit RunManifest(std::string artifact);
+
+  /// Provenance is caller-injected (git SHA, UTC timestamp, PPATC_THREADS):
+  /// the library itself never calls a wall clock or shells out.
+  void set_provenance(const std::string& key, std::string value);
+  void set_config(const std::string& key, std::string rendered);
+  /// Units-typed configuration inputs, rendered with their unit.
+  void set_config(const std::string& key, double value, const std::string& unit);
+  void set_config(const std::string& key, Duration d);
+  void set_config(const std::string& key, Frequency f);
+  void set_config(const std::string& key, Power p);
+  void set_config(const std::string& key, Voltage v);
+  void set_config(const std::string& key, Carbon c);
+  void set_config(const std::string& key, Energy e);
+  void set_config(const std::string& key, Area a);
+
+  /// Records a named numeric result. Re-recording an existing name throws
+  /// ContractViolation — every key in a manifest names exactly one number.
+  void record(const std::string& name, double value, const std::string& unit,
+              Tolerance tol = {});
+  /// Same, also pinning the paper's stated value next to the measured one.
+  void record_vs_paper(const std::string& name, double value, double paper,
+                       const std::string& unit, Tolerance tol = {});
+  /// Records a named textual verdict ("OK"/"VIOLATED", ...); compared exactly.
+  void record_text(const std::string& name, std::string value);
+
+  /// Folds the current metrics snapshot and span rollup into the manifest.
+  /// Call once, after the benchmarked work.
+  void capture_observability();
+
+  [[nodiscard]] const Manifest& manifest() const noexcept { return m_; }
+
+  /// Stable sorted-key JSON (see manifest_to_json).
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path` (throws ContractViolation on I/O error).
+  void write(const std::string& path) const;
+
+ private:
+  Manifest m_;
+};
+
+/// Serializes any Manifest as stable sorted-key JSON (object keys in
+/// lexicographic order at every level, 17-significant-digit numbers).
+[[nodiscard]] std::string manifest_to_json(const Manifest& m);
+
+/// Parses manifest JSON. Throws ContractViolation on malformed JSON or a
+/// document that is not a manifest object.
+[[nodiscard]] Manifest parse_manifest(const std::string& json);
+
+/// Reads and parses a manifest file. Throws ContractViolation on I/O error.
+[[nodiscard]] Manifest read_manifest(const std::string& path);
+
+/// One per-key numeric comparison in a manifest diff.
+struct KeyDrift {
+  std::string key;
+  double run_value = 0.0;
+  double golden_value = 0.0;
+  double abs_delta = 0.0;
+  double rel_delta = 0.0;  ///< abs_delta / |golden_value| (0 when golden is 0)
+  double allowed = 0.0;    ///< max(abs_tol, rel_tol * |golden|) of the golden
+  bool within = true;
+};
+
+/// Result of diffing a run manifest against a golden one.
+struct DiffReport {
+  int run_schema = 0;
+  int golden_schema = 0;
+  bool schema_match = true;
+  bool artifact_match = true;
+  std::string run_artifact;
+  std::string golden_artifact;
+  std::vector<KeyDrift> numeric;          ///< keys present in both manifests
+  std::vector<std::string> added;         ///< in run, missing from golden
+  std::vector<std::string> removed;       ///< in golden, missing from run
+  std::vector<std::string> mismatched;    ///< text/config/unit exact mismatches
+  std::vector<std::string> provenance_notes;  ///< informational, never drift
+
+  /// True iff nothing drifted: schemas and artifact match, no added/removed
+  /// keys, every numeric key within tolerance, no text/config mismatch.
+  [[nodiscard]] bool clean() const;
+  /// Names of everything that makes clean() false, sorted.
+  [[nodiscard]] std::vector<std::string> offending_keys() const;
+};
+
+/// Tolerance-aware comparison of `run` against `golden` (tolerances are read
+/// from the golden side).
+[[nodiscard]] DiffReport diff_manifests(const Manifest& run, const Manifest& golden);
+
+/// Human-readable diff report. `verbose` also lists the in-tolerance keys.
+[[nodiscard]] std::string format_diff(const DiffReport& d, bool verbose = false);
+
+/// Machine-readable diff report (sorted-key JSON).
+[[nodiscard]] std::string diff_to_json(const DiffReport& d);
+
+/// Path requested via BENCH_MANIFEST_OUT (empty and "0" mean "no manifest"),
+/// or nullptr. The one blessed getenv site of the report layer.
+[[nodiscard]] const char* manifest_out_path() noexcept;
+
+}  // namespace ppatc::obs

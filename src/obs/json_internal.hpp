@@ -1,0 +1,41 @@
+// ppatc::obs internal: shared JSON string escaping for the exporters
+// (metrics, trace, report). Not a public header — lives next to the .cpp
+// files on purpose.
+//
+// Escapes the two structural characters, the named control escapes, and every
+// remaining control byte as \u00XX, so any metric/span/result name — including
+// ones containing quotes, backslashes, or embedded control characters — still
+// exports as valid JSON.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace ppatc::obs::detail {
+
+inline void append_json_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace ppatc::obs::detail

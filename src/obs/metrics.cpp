@@ -5,7 +5,9 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <string_view>
 
+#include "json_internal.hpp"
 #include "ppatc/common/contract.hpp"
 
 namespace ppatc::obs {
@@ -18,6 +20,16 @@ std::size_t shard_index() noexcept {
   static std::atomic<std::size_t> next{0};
   thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed) % kShards;
   return slot;
+}
+
+MetricsEnv parse_metrics_env(const char* value) {
+  MetricsEnv env;
+  if (value == nullptr) return env;
+  const std::string_view v{value};
+  if (v.empty() || v == "0") return env;  // explicit off, not "a file named 0"
+  env.enabled = true;
+  if (v != "1") env.path = v;
+  return env;
 }
 
 }  // namespace detail
@@ -129,6 +141,27 @@ Histogram& histogram(std::string_view name, std::vector<double> edges) {
   return *it->second;
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  PPATC_EXPECT(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (total == 0) return 0.0;
+  // Rank of the target sample (1-based, rounded up), then a walk to the
+  // bucket containing it and linear interpolation inside that bucket.
+  const double target = std::max(1.0, q * static_cast<double>(total));
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (b == edges.size()) return edges.back();  // overflow: clamp to last edge
+    const double hi = edges[b];
+    const double lo = b == 0 ? std::min(0.0, edges[0]) : edges[b - 1];
+    return lo + (hi - lo) * ((target - cumulative) / in_bucket);
+  }
+  return edges.back();
+}
+
 std::uint64_t MetricsSnapshot::counter_or(const std::string& name, std::uint64_t fallback) const {
   const auto it = counters.find(name);
   return it == counters.end() ? fallback : it->second;
@@ -167,7 +200,9 @@ std::string metrics_to_text() {
   for (const auto& [name, v] : s.counters) os << "counter   " << name << " = " << v << "\n";
   for (const auto& [name, v] : s.gauges) os << "gauge     " << name << " = " << v << "\n";
   for (const auto& [name, h] : s.histograms) {
-    os << "histogram " << name << " total=" << h.total << " sum=" << h.sum << " |";
+    os << "histogram " << name << " total=" << h.total << " sum=" << h.sum
+       << " p50=" << h.quantile(0.50) << " p95=" << h.quantile(0.95)
+       << " p99=" << h.quantile(0.99) << " |";
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
       if (b < h.edges.size()) {
         os << " le" << h.edges[b] << "=" << h.counts[b];
@@ -180,24 +215,6 @@ std::string metrics_to_text() {
   return os.str();
 }
 
-namespace {
-
-void append_json_string(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default: os << c;
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
-
 std::string metrics_to_json() {
   const MetricsSnapshot s = metrics_snapshot();
   std::ostringstream os;
@@ -207,7 +224,7 @@ std::string metrics_to_json() {
   for (const auto& [name, v] : s.counters) {
     if (!first) os << ",";
     first = false;
-    append_json_string(os, name);
+    detail::append_json_escaped(os, name);
     os << ":" << v;
   }
   os << "},\"gauges\":{";
@@ -215,7 +232,7 @@ std::string metrics_to_json() {
   for (const auto& [name, v] : s.gauges) {
     if (!first) os << ",";
     first = false;
-    append_json_string(os, name);
+    detail::append_json_escaped(os, name);
     os << ":" << v;
   }
   os << "},\"histograms\":{";
@@ -223,12 +240,14 @@ std::string metrics_to_json() {
   for (const auto& [name, h] : s.histograms) {
     if (!first) os << ",";
     first = false;
-    append_json_string(os, name);
+    detail::append_json_escaped(os, name);
     os << ":{\"edges\":[";
     for (std::size_t i = 0; i < h.edges.size(); ++i) os << (i ? "," : "") << h.edges[i];
     os << "],\"counts\":[";
     for (std::size_t i = 0; i < h.counts.size(); ++i) os << (i ? "," : "") << h.counts[i];
-    os << "],\"total\":" << h.total << ",\"sum\":" << h.sum << "}";
+    os << "],\"quantiles\":{\"p50\":" << h.quantile(0.50) << ",\"p95\":" << h.quantile(0.95)
+       << ",\"p99\":" << h.quantile(0.99) << "},\"total\":" << h.total << ",\"sum\":" << h.sum
+       << "}";
   }
   os << "}}";
   return os.str();

@@ -1,0 +1,697 @@
+#include "ppatc/obs/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "json_internal.hpp"
+#include "ppatc/common/contract.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
+
+namespace ppatc::obs {
+
+// ---------------------------------------------------------------------------
+// RunManifest (builder).
+
+RunManifest::RunManifest(std::string artifact) {
+  PPATC_EXPECT(!artifact.empty(), "manifest artifact name must be non-empty");
+  m_.artifact = std::move(artifact);
+  m_.schema_version = kManifestSchemaVersion;
+}
+
+void RunManifest::set_provenance(const std::string& key, std::string value) {
+  m_.provenance[key] = std::move(value);
+}
+
+void RunManifest::set_config(const std::string& key, std::string rendered) {
+  m_.config[key] = std::move(rendered);
+}
+
+namespace {
+
+std::string render_quantity(double value, const std::string& unit) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  if (!unit.empty()) os << ' ' << unit;
+  return os.str();
+}
+
+}  // namespace
+
+void RunManifest::set_config(const std::string& key, double value, const std::string& unit) {
+  set_config(key, render_quantity(value, unit));
+}
+void RunManifest::set_config(const std::string& key, Duration d) {
+  set_config(key, units::in_seconds(d), "s");
+}
+void RunManifest::set_config(const std::string& key, Frequency f) {
+  set_config(key, units::in_hertz(f), "Hz");
+}
+void RunManifest::set_config(const std::string& key, Power p) {
+  set_config(key, units::in_watts(p), "W");
+}
+void RunManifest::set_config(const std::string& key, Voltage v) {
+  set_config(key, units::in_volts(v), "V");
+}
+void RunManifest::set_config(const std::string& key, Carbon c) {
+  set_config(key, units::in_grams_co2e(c), "gCO2e");
+}
+void RunManifest::set_config(const std::string& key, Energy e) {
+  set_config(key, units::in_joules(e), "J");
+}
+void RunManifest::set_config(const std::string& key, Area a) {
+  set_config(key, units::in_square_centimetres(a), "cm^2");
+}
+
+void RunManifest::record(const std::string& name, double value, const std::string& unit,
+                         Tolerance tol) {
+  PPATC_EXPECT(!name.empty(), "manifest result name must be non-empty");
+  PPATC_EXPECT(m_.results.find(name) == m_.results.end(),
+               "manifest result recorded twice: " + name);
+  PPATC_EXPECT(std::isfinite(value), "manifest result must be finite: " + name);
+  PPATC_EXPECT(tol.abs_tol >= 0.0 && tol.rel_tol >= 0.0,
+               "manifest tolerances must be non-negative: " + name);
+  ManifestResult r;
+  r.value = value;
+  r.unit = unit;
+  r.abs_tol = tol.abs_tol;
+  r.rel_tol = tol.rel_tol;
+  m_.results.emplace(name, std::move(r));
+}
+
+void RunManifest::record_vs_paper(const std::string& name, double value, double paper,
+                                  const std::string& unit, Tolerance tol) {
+  record(name, value, unit, tol);
+  ManifestResult& r = m_.results.at(name);
+  r.has_paper = true;
+  r.paper = paper;
+}
+
+void RunManifest::record_text(const std::string& name, std::string value) {
+  PPATC_EXPECT(!name.empty(), "manifest text-result name must be non-empty");
+  PPATC_EXPECT(m_.text_results.find(name) == m_.text_results.end(),
+               "manifest text result recorded twice: " + name);
+  m_.text_results.emplace(name, std::move(value));
+}
+
+void RunManifest::capture_observability() {
+  const MetricsSnapshot s = metrics_snapshot();
+  m_.counters.clear();
+  m_.gauges.clear();
+  m_.histograms.clear();
+  m_.spans.clear();
+  for (const auto& [name, v] : s.counters) m_.counters[name] = v;
+  for (const auto& [name, v] : s.gauges) m_.gauges[name] = v;
+  for (const auto& [name, h] : s.histograms) {
+    m_.histograms[name] = {{"p50", h.quantile(0.50)},
+                           {"p95", h.quantile(0.95)},
+                           {"p99", h.quantile(0.99)}};
+  }
+  for (const SpanRecord& r : trace_snapshot()) {
+    ManifestSpan& agg = m_.spans[r.name];
+    agg.count += 1;
+    agg.total_ms += static_cast<double>(r.dur_ns) / 1e6;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization. std::map iteration gives lexicographic key order at every
+// level, and the top-level sections are emitted in a fixed alphabetical
+// order, so equal manifests serialize byte-identically.
+
+namespace {
+
+void append_number(std::ostringstream& os, double v) { os << v; }
+
+void append_string_map(std::ostringstream& os, const std::map<std::string, std::string>& m) {
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ',';
+    first = false;
+    detail::append_json_escaped(os, k);
+    os << ':';
+    detail::append_json_escaped(os, v);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string manifest_to_json(const Manifest& m) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"artifact\":";
+  detail::append_json_escaped(os, m.artifact);
+
+  os << ",\"config\":";
+  append_string_map(os, m.config);
+
+  os << ",\"metrics\":{\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : m.counters) {
+    if (!first) os << ',';
+    first = false;
+    detail::append_json_escaped(os, k);
+    os << ':' << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : m.gauges) {
+    if (!first) os << ',';
+    first = false;
+    detail::append_json_escaped(os, k);
+    os << ':';
+    append_number(os, v);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, qs] : m.histograms) {
+    if (!first) os << ',';
+    first = false;
+    detail::append_json_escaped(os, k);
+    os << ":{";
+    bool qfirst = true;
+    for (const auto& [q, v] : qs) {
+      if (!qfirst) os << ',';
+      qfirst = false;
+      detail::append_json_escaped(os, q);
+      os << ':';
+      append_number(os, v);
+    }
+    os << '}';
+  }
+  os << "}}";
+
+  os << ",\"provenance\":";
+  append_string_map(os, m.provenance);
+
+  os << ",\"results\":{";
+  first = true;
+  for (const auto& [k, r] : m.results) {
+    if (!first) os << ',';
+    first = false;
+    os << '\n';
+    detail::append_json_escaped(os, k);
+    os << ":{\"abs_tol\":";
+    append_number(os, r.abs_tol);
+    if (r.has_paper) {
+      os << ",\"paper\":";
+      append_number(os, r.paper);
+    }
+    os << ",\"rel_tol\":";
+    append_number(os, r.rel_tol);
+    os << ",\"unit\":";
+    detail::append_json_escaped(os, r.unit);
+    os << ",\"value\":";
+    append_number(os, r.value);
+    os << '}';
+  }
+  os << "}";
+
+  os << ",\"schema_version\":" << m.schema_version;
+
+  os << ",\"spans\":{";
+  first = true;
+  for (const auto& [k, s] : m.spans) {
+    if (!first) os << ',';
+    first = false;
+    detail::append_json_escaped(os, k);
+    os << ":{\"count\":" << s.count << ",\"total_ms\":";
+    append_number(os, s.total_ms);
+    os << '}';
+  }
+  os << '}';
+
+  os << ",\"text_results\":";
+  append_string_map(os, m.text_results);
+  os << "}";
+  return os.str();
+}
+
+std::string RunManifest::to_json() const { return manifest_to_json(m_); }
+
+void RunManifest::write(const std::string& path) const {
+  std::ofstream out{path};
+  PPATC_EXPECT(out.good(), "cannot open manifest output file: " + path);
+  out << to_json() << "\n";
+  out.close();
+  PPATC_ENSURE(out.good(), "failed writing manifest output file: " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: a minimal recursive-descent JSON reader producing a small DOM,
+// then extraction into Manifest. No external dependency by design — the
+// manifests this layer reads are the ones it writes.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  static JsonValue parse(const std::string& text) {
+    JsonParser p{text};
+    p.skip_ws();
+    JsonValue v = p.value();
+    p.skip_ws();
+    PPATC_EXPECT(p.pos_ == text.size(), "trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_{text} {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ContractViolation("manifest JSON parse error at byte " + std::to_string(pos_) + ": " +
+                            what);
+  }
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : text_[pos_]; }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) ++pos_;
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = c == 't';
+      literal(c == 't' ? "true" : "false");
+      return v;
+    }
+    if (c == 'n') {
+      literal("null");
+      return {};
+    }
+    return number();
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!consume(*p)) fail(std::string{"expected literal "} + word);
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (!eof() && peek() != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof()) fail("truncated \\u escape");
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // The writer only emits \u00XX for control bytes; decode the
+          // low byte and pass anything else through as '?' rather than
+          // implementing full UTF-16 surrogate handling.
+          out.push_back(code <= 0xff ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (consume('.')) {
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(text_.c_str() + start, nullptr);
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), value());
+      skip_ws();
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double as_number(const JsonValue* v, const std::string& where) {
+  PPATC_EXPECT(v != nullptr && v->kind == JsonValue::Kind::kNumber,
+               "manifest field is not a number: " + where);
+  return v->number;
+}
+
+std::string as_string(const JsonValue* v, const std::string& where) {
+  PPATC_EXPECT(v != nullptr && v->kind == JsonValue::Kind::kString,
+               "manifest field is not a string: " + where);
+  return v->string;
+}
+
+std::map<std::string, std::string> as_string_map(const JsonValue* v, const std::string& where) {
+  std::map<std::string, std::string> out;
+  if (v == nullptr) return out;
+  PPATC_EXPECT(v->kind == JsonValue::Kind::kObject, "manifest field is not an object: " + where);
+  for (const auto& [k, e] : v->object) out[k] = as_string(&e, where + "." + k);
+  return out;
+}
+
+}  // namespace
+
+Manifest parse_manifest(const std::string& json) {
+  const JsonValue root = JsonParser::parse(json);
+  PPATC_EXPECT(root.kind == JsonValue::Kind::kObject, "manifest document is not a JSON object");
+  Manifest m;
+  m.schema_version =
+      static_cast<int>(as_number(root.find("schema_version"), "schema_version"));
+  m.artifact = as_string(root.find("artifact"), "artifact");
+  m.provenance = as_string_map(root.find("provenance"), "provenance");
+  m.config = as_string_map(root.find("config"), "config");
+  m.text_results = as_string_map(root.find("text_results"), "text_results");
+
+  if (const JsonValue* results = root.find("results")) {
+    PPATC_EXPECT(results->kind == JsonValue::Kind::kObject, "manifest results is not an object");
+    for (const auto& [name, e] : results->object) {
+      PPATC_EXPECT(e.kind == JsonValue::Kind::kObject,
+                   "manifest result is not an object: " + name);
+      ManifestResult r;
+      r.value = as_number(e.find("value"), name + ".value");
+      r.unit = as_string(e.find("unit"), name + ".unit");
+      r.abs_tol = as_number(e.find("abs_tol"), name + ".abs_tol");
+      r.rel_tol = as_number(e.find("rel_tol"), name + ".rel_tol");
+      if (const JsonValue* paper = e.find("paper")) {
+        r.has_paper = true;
+        r.paper = as_number(paper, name + ".paper");
+      }
+      m.results.emplace(name, std::move(r));
+    }
+  }
+
+  if (const JsonValue* metrics = root.find("metrics")) {
+    if (const JsonValue* counters = metrics->find("counters")) {
+      for (const auto& [k, e] : counters->object) {
+        m.counters[k] = static_cast<std::uint64_t>(as_number(&e, "counters." + k));
+      }
+    }
+    if (const JsonValue* gauges = metrics->find("gauges")) {
+      for (const auto& [k, e] : gauges->object) m.gauges[k] = as_number(&e, "gauges." + k);
+    }
+    if (const JsonValue* hists = metrics->find("histograms")) {
+      for (const auto& [k, e] : hists->object) {
+        std::map<std::string, double> qs;
+        for (const auto& [q, qv] : e.object) qs[q] = as_number(&qv, k + "." + q);
+        m.histograms[k] = std::move(qs);
+      }
+    }
+  }
+
+  if (const JsonValue* spans = root.find("spans")) {
+    for (const auto& [k, e] : spans->object) {
+      ManifestSpan s;
+      s.count = static_cast<std::uint64_t>(as_number(e.find("count"), k + ".count"));
+      s.total_ms = as_number(e.find("total_ms"), k + ".total_ms");
+      m.spans.emplace(k, s);
+    }
+  }
+  return m;
+}
+
+Manifest read_manifest(const std::string& path) {
+  std::ifstream in{path};
+  PPATC_EXPECT(in.good(), "cannot open manifest file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_manifest(buf.str());
+}
+
+// ---------------------------------------------------------------------------
+// Diff / check.
+
+bool DiffReport::clean() const {
+  if (!schema_match || !artifact_match) return false;
+  if (!added.empty() || !removed.empty() || !mismatched.empty()) return false;
+  return std::all_of(numeric.begin(), numeric.end(),
+                     [](const KeyDrift& d) { return d.within; });
+}
+
+std::vector<std::string> DiffReport::offending_keys() const {
+  std::vector<std::string> out;
+  if (!schema_match) out.push_back("schema_version");
+  if (!artifact_match) out.push_back("artifact");
+  for (const KeyDrift& d : numeric) {
+    if (!d.within) out.push_back(d.key);
+  }
+  out.insert(out.end(), added.begin(), added.end());
+  out.insert(out.end(), removed.begin(), removed.end());
+  out.insert(out.end(), mismatched.begin(), mismatched.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DiffReport diff_manifests(const Manifest& run, const Manifest& golden) {
+  DiffReport d;
+  d.run_schema = run.schema_version;
+  d.golden_schema = golden.schema_version;
+  d.schema_match = run.schema_version == golden.schema_version;
+  d.run_artifact = run.artifact;
+  d.golden_artifact = golden.artifact;
+  d.artifact_match = run.artifact == golden.artifact;
+
+  for (const auto& [key, g] : golden.results) {
+    const auto it = run.results.find(key);
+    if (it == run.results.end()) {
+      d.removed.push_back(key);
+      continue;
+    }
+    const ManifestResult& r = it->second;
+    if (r.unit != g.unit) {
+      d.mismatched.push_back(key + " (unit: run '" + r.unit + "' vs golden '" + g.unit + "')");
+    }
+    KeyDrift k;
+    k.key = key;
+    k.run_value = r.value;
+    k.golden_value = g.value;
+    k.abs_delta = std::fabs(r.value - g.value);
+    k.rel_delta = g.value != 0.0 ? k.abs_delta / std::fabs(g.value) : 0.0;
+    k.allowed = std::max(g.abs_tol, g.rel_tol * std::fabs(g.value));
+    k.within = k.abs_delta <= k.allowed;
+    d.numeric.push_back(std::move(k));
+  }
+  for (const auto& [key, r] : run.results) {
+    (void)r;
+    if (golden.results.find(key) == golden.results.end()) d.added.push_back(key);
+  }
+
+  for (const auto& [key, g] : golden.text_results) {
+    const auto it = run.text_results.find(key);
+    if (it == run.text_results.end()) {
+      d.removed.push_back("text:" + key);
+    } else if (it->second != g) {
+      d.mismatched.push_back("text:" + key + " (run '" + it->second + "' vs golden '" + g + "')");
+    }
+  }
+  for (const auto& [key, r] : run.text_results) {
+    (void)r;
+    if (golden.text_results.find(key) == golden.text_results.end()) d.added.push_back("text:" + key);
+  }
+
+  for (const auto& [key, g] : golden.config) {
+    const auto it = run.config.find(key);
+    if (it == run.config.end()) {
+      d.removed.push_back("config:" + key);
+    } else if (it->second != g) {
+      d.mismatched.push_back("config:" + key + " (run '" + it->second + "' vs golden '" + g +
+                             "')");
+    }
+  }
+  for (const auto& [key, r] : run.config) {
+    (void)r;
+    if (golden.config.find(key) == golden.config.end()) d.added.push_back("config:" + key);
+  }
+
+  // Provenance differs between any two honest runs; report it, never gate it.
+  for (const auto& [key, g] : golden.provenance) {
+    const auto it = run.provenance.find(key);
+    const std::string rv = it == run.provenance.end() ? "<missing>" : it->second;
+    if (rv != g) d.provenance_notes.push_back(key + ": run '" + rv + "' vs golden '" + g + "'");
+  }
+  return d;
+}
+
+std::string format_diff(const DiffReport& d, bool verbose) {
+  std::ostringstream os;
+  os.precision(10);
+  if (!d.schema_match) {
+    os << "SCHEMA MISMATCH: run v" << d.run_schema << " vs golden v" << d.golden_schema << "\n";
+  }
+  if (!d.artifact_match) {
+    os << "ARTIFACT MISMATCH: run '" << d.run_artifact << "' vs golden '" << d.golden_artifact
+       << "'\n";
+  }
+  std::size_t within = 0;
+  for (const KeyDrift& k : d.numeric) {
+    if (k.within) {
+      ++within;
+      if (!verbose) continue;
+    }
+    os << (k.within ? "  ok    " : "  DRIFT ") << k.key << ": " << k.run_value << " vs "
+       << k.golden_value << " (|d|=" << k.abs_delta << ", rel=" << k.rel_delta
+       << ", allowed=" << k.allowed << ")\n";
+  }
+  for (const std::string& k : d.added) os << "  ADDED " << k << " (missing from golden)\n";
+  for (const std::string& k : d.removed) os << "  REMOVED " << k << " (missing from run)\n";
+  for (const std::string& k : d.mismatched) os << "  MISMATCH " << k << "\n";
+  if (verbose) {
+    for (const std::string& n : d.provenance_notes) os << "  note: provenance " << n << "\n";
+  }
+  os << (d.clean() ? "OK" : "DRIFT") << ": " << within << "/" << d.numeric.size()
+     << " numeric keys within tolerance, " << d.added.size() << " added, " << d.removed.size()
+     << " removed, " << d.mismatched.size() << " mismatched\n";
+  return os.str();
+}
+
+std::string diff_to_json(const DiffReport& d) {
+  std::ostringstream os;
+  os.precision(17);
+  const auto string_list = [&os](const std::vector<std::string>& xs) {
+    os << '[';
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i != 0) os << ',';
+      detail::append_json_escaped(os, xs[i]);
+    }
+    os << ']';
+  };
+  os << "{\"added\":";
+  string_list(d.added);
+  os << ",\"artifact_match\":" << (d.artifact_match ? "true" : "false");
+  os << ",\"clean\":" << (d.clean() ? "true" : "false");
+  os << ",\"golden_schema\":" << d.golden_schema;
+  os << ",\"mismatched\":";
+  string_list(d.mismatched);
+  os << ",\"numeric\":[";
+  for (std::size_t i = 0; i < d.numeric.size(); ++i) {
+    const KeyDrift& k = d.numeric[i];
+    if (i != 0) os << ',';
+    os << "\n{\"abs_delta\":" << k.abs_delta << ",\"allowed\":" << k.allowed << ",\"key\":";
+    detail::append_json_escaped(os, k.key);
+    os << ",\"golden_value\":" << k.golden_value << ",\"rel_delta\":" << k.rel_delta
+       << ",\"run_value\":" << k.run_value << ",\"within\":" << (k.within ? "true" : "false")
+       << "}";
+  }
+  os << "\n],\"provenance_notes\":";
+  string_list(d.provenance_notes);
+  os << ",\"removed\":";
+  string_list(d.removed);
+  os << ",\"run_schema\":" << d.run_schema << "}";
+  return os.str();
+}
+
+const char* manifest_out_path() noexcept {
+  // ppatc-lint: allow-context — this is the blessed BENCH_MANIFEST_OUT read
+  // site; tools/lint lists obs/report.cpp in the getenv allowlist.
+  const char* path = std::getenv("BENCH_MANIFEST_OUT");
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  if (path[0] == '0' && path[1] == '\0') return nullptr;
+  return path;
+}
+
+}  // namespace ppatc::obs

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "json_internal.hpp"
 #include "ppatc/common/contract.hpp"
 #include "ppatc/obs/metrics.hpp"
 
@@ -136,24 +137,6 @@ void reset_trace() {
   }
 }
 
-namespace {
-
-void append_json_string(std::ostringstream& os, const std::string& str) {
-  os << '"';
-  for (const char c : str) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default: os << c;
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
-
 std::string trace_to_json() {
   std::vector<SpanRecord> spans = trace_snapshot();
   std::sort(spans.begin(), spans.end(), [](const SpanRecord& a, const SpanRecord& b) {
@@ -167,7 +150,7 @@ std::string trace_to_json() {
     if (!first) os << ",";
     first = false;
     os << "\n{\"name\":";
-    append_json_string(os, r.name);
+    detail::append_json_escaped(os, r.name);
     os << ",\"cat\":\"ppatc\",\"ph\":\"X\",\"ts\":" << static_cast<double>(r.start_ns) / 1000.0
        << ",\"dur\":" << static_cast<double>(r.dur_ns) / 1000.0 << ",\"pid\":1,\"tid\":" << r.tid
        << ",\"args\":{\"id\":" << r.id << ",\"parent\":" << r.parent << "}}";
@@ -204,9 +187,10 @@ struct EnvInit {
         }
       });
     }
-    if (const char* flag = std::getenv("PPATC_METRICS"); flag != nullptr && *flag != '\0') {
+    if (const detail::MetricsEnv env = detail::parse_metrics_env(std::getenv("PPATC_METRICS"));
+        env.enabled) {
       static std::string metrics_path;  // empty = text dump to stderr
-      if (std::string_view{flag} != "1") metrics_path = flag;
+      metrics_path = env.path;
       set_metrics_enabled(true);
       std::atexit([] {
         try {

@@ -138,6 +138,7 @@ TEST(LintText, EnvAllowlistBlessesOnlyConfiguredFiles) {
   const std::string text = "#include <cstdlib>\nbool b = std::getenv(\"PPATC_THREADS\");\n";
   EXPECT_TRUE(lint_one("runtime/parallel.cpp", text).empty());
   EXPECT_TRUE(lint_one("obs/trace.cpp", text).empty());
+  EXPECT_TRUE(lint_one("obs/report.cpp", text).empty());  // BENCH_MANIFEST_OUT read site
   EXPECT_TRUE(has_rule(lint_one("carbon/tcdp.cpp", text), "env-allowlist"));
 }
 

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "json_validator.hpp"
 #include "ppatc/carbon/uncertainty.hpp"
 #include "ppatc/common/contract.hpp"
 #include "ppatc/obs/metrics.hpp"
@@ -24,126 +25,7 @@ namespace ppatc {
 namespace {
 
 using namespace ppatc::units;
-
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON validator (syntax only). Enough to assert
-// the exported traces and metric dumps are well-formed without pulling in a
-// JSON dependency.
-class JsonValidator {
- public:
-  [[nodiscard]] static bool valid(const std::string& text) {
-    JsonValidator v{text};
-    v.skip_ws();
-    if (!v.value()) return false;
-    v.skip_ws();
-    return v.pos_ == text.size();
-  }
-
- private:
-  explicit JsonValidator(const std::string& text) : text_{text} {}
-
-  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
-  [[nodiscard]] char peek() const { return text_[pos_]; }
-  void skip_ws() {
-    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) ++pos_;
-  }
-  bool consume(char c) {
-    if (eof() || peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-  bool literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p) {
-      if (!consume(*p)) return false;
-    }
-    return true;
-  }
-
-  bool string() {
-    if (!consume('"')) return false;
-    while (!eof() && peek() != '"') {
-      if (peek() == '\\') {
-        ++pos_;
-        if (eof()) return false;
-        const char e = peek();
-        if (e == 'u') {
-          ++pos_;
-          for (int i = 0; i < 4; ++i) {
-            if (eof() || std::isxdigit(static_cast<unsigned char>(peek())) == 0) return false;
-            ++pos_;
-          }
-          continue;
-        }
-        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' && e != 'r' &&
-            e != 't') {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return consume('"');
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (!eof() && peek() == '-') ++pos_;
-    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    if (!eof() && peek() == '.') {
-      ++pos_;
-      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    }
-    if (!eof() && (peek() == 'e' || peek() == 'E')) {
-      ++pos_;
-      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
-      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool value() {
-    skip_ws();
-    if (eof()) return false;
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string();
-    if (c == 't') return literal("true");
-    if (c == 'f') return literal("false");
-    if (c == 'n') return literal("null");
-    return number();
-  }
-
-  bool object() {
-    if (!consume('{')) return false;
-    skip_ws();
-    if (consume('}')) return true;
-    for (;;) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (!consume(':')) return false;
-      if (!value()) return false;
-      skip_ws();
-      if (consume('}')) return true;
-      if (!consume(',')) return false;
-    }
-  }
-
-  bool array() {
-    if (!consume('[')) return false;
-    skip_ws();
-    if (consume(']')) return true;
-    for (;;) {
-      if (!value()) return false;
-      skip_ws();
-      if (consume(']')) return true;
-      if (!consume(',')) return false;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using testutil::JsonValidator;
 
 // Fixture: every test starts from a clean, enabled observability state and
 // leaves the process with obs disabled and the pool at its default size, so
@@ -232,6 +114,76 @@ TEST_F(ObsTest, MetricsJsonIsValid) {
   EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
   EXPECT_NE(json.find("\"test.json_gauge\""), std::string::npos);
   EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+}
+
+TEST_F(ObsTest, EmptyMetricsSnapshotExportsValidJson) {
+  // No metric was ever touched: the export must still be a valid document
+  // with all three (empty) sections, not "" or a dangling comma.
+  const std::string json = obs::metrics_to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricNamesWithQuotesAndBackslashesAreEscaped) {
+  obs::counter("test.\"quoted\".name").add(1);
+  obs::gauge("test.back\\slash").set(2.0);
+  const std::string json = obs::metrics_to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos) << json;
+}
+
+TEST_F(ObsTest, ParseMetricsEnvSemantics) {
+  // PPATC_METRICS unset / "" / "0" -> disabled ("0" used to be treated as an
+  // output path named `0`); "1" -> enabled with no report path; anything else
+  // is an output path.
+  EXPECT_FALSE(obs::detail::parse_metrics_env(nullptr).enabled);
+  EXPECT_FALSE(obs::detail::parse_metrics_env("").enabled);
+  EXPECT_FALSE(obs::detail::parse_metrics_env("0").enabled);
+  const obs::detail::MetricsEnv on = obs::detail::parse_metrics_env("1");
+  EXPECT_TRUE(on.enabled);
+  EXPECT_TRUE(on.path.empty());
+  const obs::detail::MetricsEnv file = obs::detail::parse_metrics_env("/tmp/m.json");
+  EXPECT_TRUE(file.enabled);
+  EXPECT_EQ(file.path, "/tmp/m.json");
+}
+
+TEST_F(ObsTest, HistogramQuantilesAreInterpolated) {
+  obs::Histogram& h = obs::histogram("test.quantiles", {10.0, 20.0, 30.0});
+  // 100 samples uniformly on (0, 30]: ~p50 near 15, p95 near 28.5.
+  for (int i = 1; i <= 100; ++i) h.record(0.3 * i);
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  const auto it = snap.histograms.find("test.quantiles");
+  ASSERT_NE(it, snap.histograms.end());
+  const auto& hs = it->second;
+  EXPECT_NEAR(hs.quantile(0.50), 15.0, 1.0);
+  EXPECT_NEAR(hs.quantile(0.95), 28.5, 1.0);
+  // p100 stays inside the histogram's range; overflow clamps to the top edge.
+  EXPECT_LE(hs.quantile(1.0), 30.0);
+  // The quantile estimates ride along in both export formats.
+  const std::string json = obs::metrics_to_json();
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  const std::string text = obs::metrics_to_text();
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+TEST_F(ObsTest, HistogramQuantileOverflowClampsToTopEdge) {
+  obs::Histogram& h = obs::histogram("test.quantile_overflow", {1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.record(100.0);  // everything overflows
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  const auto& hs = snap.histograms.at("test.quantile_overflow");
+  EXPECT_EQ(hs.quantile(0.5), 2.0);
+  EXPECT_EQ(hs.quantile(0.99), 2.0);
+}
+
+TEST_F(ObsTest, EmptyHistogramQuantileIsZero) {
+  (void)obs::histogram("test.quantile_empty", {1.0, 2.0});
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  EXPECT_EQ(snap.histograms.at("test.quantile_empty").quantile(0.5), 0.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -343,6 +295,35 @@ TEST_F(ObsTest, TraceJsonIsValidChromeFormat) {
   std::remove(path.c_str());
   EXPECT_TRUE(JsonValidator::valid(from_disk));
   EXPECT_EQ(from_disk, json + "\n");  // write_trace terminates the file with a newline
+}
+
+TEST_F(ObsTest, EmptyTraceExportsValidJson) {
+  const std::string json = obs::trace_to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ExportWithSpanStillOpenIsValidAndOmitsIt) {
+  const obs::Span open{"still_open"};
+  {
+    const obs::Span closed{"already_closed"};
+  }
+  // Exporting mid-span must not emit a half-written record for the open span.
+  const std::string json = obs::trace_to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"already_closed\""), std::string::npos);
+  EXPECT_EQ(json.find("\"still_open\""), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanNamesWithQuotesAndBackslashesAreEscaped) {
+  {
+    const obs::Span s1{"span \"quoted\""};
+    const obs::Span s2{"span\\back"};
+  }
+  const std::string json = obs::trace_to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("span \\\"quoted\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("span\\\\back"), std::string::npos) << json;
 }
 
 // ---------------------------------------------------------------------------

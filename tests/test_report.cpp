@@ -1,0 +1,300 @@
+// Tests for ppatc::obs::report: manifest building and serialization, the
+// JSON round-trip (including hostile key names), tolerance semantics of the
+// drift gate, perturbation detection with offending-key naming, and the
+// thread-count invariance that makes committed goldens possible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "json_validator.hpp"
+#include "ppatc/carbon/uncertainty.hpp"
+#include "ppatc/common/contract.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/report.hpp"
+#include "ppatc/obs/trace.hpp"
+#include "ppatc/runtime/parallel.hpp"
+
+namespace ppatc {
+namespace {
+
+using namespace ppatc::units;
+using testutil::JsonValidator;
+
+obs::RunManifest small_manifest() {
+  obs::RunManifest m{"unit_test"};
+  m.set_provenance("git_sha", "deadbeef");
+  m.set_provenance("timestamp_utc", "2026-08-07T00:00:00Z");
+  m.set_provenance("threads", "1");
+  m.set_config("grid", "us");
+  m.set_config("lifetime", months(24.0));
+  m.set_config("VDD", volts(0.7));
+  m.record("plain", 1.5, "x");
+  m.record("tight", 2.0, "pJ", {.abs_tol = 1e-12, .rel_tol = 0.0});
+  m.record("loose", 3.0, "months", {.rel_tol = 1e-4});
+  m.record_vs_paper("headline", 1.309, 1.31, "x");
+  m.record_text("verdict", "OK");
+  return m;
+}
+
+TEST(Report, ManifestJsonIsValidAndStable) {
+  const obs::RunManifest m = small_manifest();
+  const std::string json = m.to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  // Stable: serializing twice gives byte-identical output.
+  EXPECT_EQ(json, small_manifest().to_json());
+  // Sections appear in fixed alphabetical order.
+  EXPECT_LT(json.find("\"artifact\""), json.find("\"config\""));
+  EXPECT_LT(json.find("\"config\""), json.find("\"provenance\""));
+  EXPECT_LT(json.find("\"provenance\""), json.find("\"results\""));
+  EXPECT_LT(json.find("\"results\""), json.find("\"schema_version\""));
+}
+
+TEST(Report, JsonRoundTripPreservesEverything) {
+  const obs::RunManifest built = small_manifest();
+  const obs::Manifest m = obs::parse_manifest(built.to_json());
+  EXPECT_EQ(m.schema_version, obs::kManifestSchemaVersion);
+  EXPECT_EQ(m.artifact, "unit_test");
+  EXPECT_EQ(m.provenance.at("git_sha"), "deadbeef");
+  EXPECT_EQ(m.config.at("grid"), "us");
+  // Units-typed config is rendered in the base unit with its symbol.
+  EXPECT_EQ(m.config.at("VDD"), "0.69999999999999996 V");
+  EXPECT_NE(m.config.at("lifetime").find(" s"), std::string::npos);
+  ASSERT_EQ(m.results.size(), 4u);
+  EXPECT_EQ(m.results.at("plain").value, 1.5);
+  EXPECT_EQ(m.results.at("plain").unit, "x");
+  EXPECT_EQ(m.results.at("plain").rel_tol, obs::kDefaultRelTol);
+  EXPECT_EQ(m.results.at("tight").abs_tol, 1e-12);
+  EXPECT_EQ(m.results.at("tight").rel_tol, 0.0);
+  EXPECT_EQ(m.results.at("loose").rel_tol, 1e-4);
+  EXPECT_TRUE(m.results.at("headline").has_paper);
+  EXPECT_EQ(m.results.at("headline").paper, 1.31);
+  EXPECT_FALSE(m.results.at("plain").has_paper);
+  EXPECT_EQ(m.text_results.at("verdict"), "OK");
+  // And the round trip is a fixed point: parse(serialize(parse(x))) == x.
+  EXPECT_EQ(obs::manifest_to_json(m), built.to_json());
+}
+
+TEST(Report, HostileKeyNamesSurviveTheRoundTrip) {
+  obs::RunManifest m{"weird \"artifact\"\\name"};
+  m.record("key with \"quotes\"", 1.0, "x");
+  m.record("back\\slash\tand\ttabs", 2.0, "x");
+  m.record_text("newline\nkey", "value\nwith\nnewlines");
+  const std::string json = m.to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  const obs::Manifest parsed = obs::parse_manifest(json);
+  EXPECT_EQ(parsed.artifact, "weird \"artifact\"\\name");
+  EXPECT_EQ(parsed.results.at("key with \"quotes\"").value, 1.0);
+  EXPECT_EQ(parsed.results.at("back\\slash\tand\ttabs").value, 2.0);
+  EXPECT_EQ(parsed.text_results.at("newline\nkey"), "value\nwith\nnewlines");
+}
+
+TEST(Report, RecordContractViolations) {
+  obs::RunManifest m{"contracts"};
+  m.record("once", 1.0, "x");
+  EXPECT_THROW(m.record("once", 2.0, "x"), ContractViolation);  // duplicate key
+  EXPECT_THROW(m.record("", 1.0, "x"), ContractViolation);      // empty name
+  EXPECT_THROW(m.record("nan", std::nan(""), "x"), ContractViolation);
+  EXPECT_THROW(m.record("neg_tol", 1.0, "x", {.abs_tol = -1.0}), ContractViolation);
+  m.record_text("t", "v");
+  EXPECT_THROW(m.record_text("t", "other"), ContractViolation);
+}
+
+TEST(Report, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)obs::parse_manifest(""), ContractViolation);
+  EXPECT_THROW((void)obs::parse_manifest("{"), ContractViolation);
+  EXPECT_THROW((void)obs::parse_manifest("[1,2,3]"), ContractViolation);
+  EXPECT_THROW((void)obs::parse_manifest("{\"results\":{\"k\":{\"value\":}}}"),
+               ContractViolation);
+  EXPECT_THROW((void)obs::read_manifest("/nonexistent/path/manifest.json"), ContractViolation);
+}
+
+TEST(Report, CleanDiffOnIdenticalManifests) {
+  const obs::Manifest m = obs::parse_manifest(small_manifest().to_json());
+  const obs::DiffReport d = obs::diff_manifests(m, m);
+  EXPECT_TRUE(d.clean());
+  EXPECT_TRUE(d.offending_keys().empty());
+  EXPECT_EQ(d.numeric.size(), 4u);
+  for (const auto& k : d.numeric) EXPECT_TRUE(k.within) << k.key;
+  EXPECT_TRUE(JsonValidator::valid(obs::diff_to_json(d)));
+  EXPECT_NE(obs::format_diff(d).find("OK"), std::string::npos);
+}
+
+TEST(Report, ToleranceSemantics) {
+  // A run value matches iff |run - golden| <= max(abs_tol, rel_tol * |golden|),
+  // with the tolerances read from the *golden* side.
+  obs::RunManifest golden_b{"tol"};
+  golden_b.record("r", 100.0, "x", {.abs_tol = 0.5, .rel_tol = 1e-3});
+  const obs::Manifest golden = obs::parse_manifest(golden_b.to_json());
+
+  auto run_with = [](double v, obs::Tolerance tol) {
+    obs::RunManifest m{"tol"};
+    m.record("r", v, "x", tol);
+    return obs::parse_manifest(m.to_json());
+  };
+  // allowed = max(0.5, 1e-3 * 100) = 0.5.
+  EXPECT_TRUE(obs::diff_manifests(run_with(100.49, {}), golden).clean());
+  EXPECT_FALSE(obs::diff_manifests(run_with(100.51, {}), golden).clean());
+  // The run side's (tighter) tolerance does not matter.
+  EXPECT_TRUE(
+      obs::diff_manifests(run_with(100.49, {.abs_tol = 0.0, .rel_tol = 0.0}), golden).clean());
+  const obs::DiffReport d = obs::diff_manifests(run_with(100.51, {}), golden);
+  ASSERT_EQ(d.numeric.size(), 1u);
+  EXPECT_EQ(d.numeric[0].allowed, 0.5);
+  EXPECT_NEAR(d.numeric[0].abs_delta, 0.51, 1e-9);
+  EXPECT_FALSE(d.numeric[0].within);
+  ASSERT_EQ(d.offending_keys().size(), 1u);
+  EXPECT_EQ(d.offending_keys()[0], "r");
+}
+
+TEST(Report, PerturbationIsDetectedAndNamed) {
+  const obs::Manifest golden = obs::parse_manifest(small_manifest().to_json());
+  obs::Manifest run = golden;
+  run.results["plain"].value *= 1.001;  // far outside the 1e-7 default rel_tol
+  const obs::DiffReport d = obs::diff_manifests(run, golden);
+  EXPECT_FALSE(d.clean());
+  const auto keys = d.offending_keys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "plain");
+  EXPECT_NE(obs::format_diff(d).find("DRIFT"), std::string::npos);
+  EXPECT_NE(obs::format_diff(d).find("plain"), std::string::npos);
+}
+
+TEST(Report, AddedRemovedAndMismatchedKeys) {
+  const obs::Manifest golden = obs::parse_manifest(small_manifest().to_json());
+  obs::Manifest run = golden;
+  run.results.erase("loose");
+  run.results["extra"] = {.value = 9.0, .unit = "x"};
+  run.text_results["verdict"] = "VIOLATED";
+  run.config["grid"] = "france";
+  const obs::DiffReport d = obs::diff_manifests(run, golden);
+  EXPECT_FALSE(d.clean());
+  ASSERT_EQ(d.added.size(), 1u);
+  EXPECT_EQ(d.added[0], "extra");
+  ASSERT_EQ(d.removed.size(), 1u);
+  EXPECT_EQ(d.removed[0], "loose");
+  EXPECT_EQ(d.mismatched.size(), 2u);  // text:verdict and config:grid
+  const auto keys = d.offending_keys();
+  EXPECT_EQ(keys.size(), 4u);
+}
+
+TEST(Report, UnitChangeIsAMismatch) {
+  const obs::Manifest golden = obs::parse_manifest(small_manifest().to_json());
+  obs::Manifest run = golden;
+  run.results["plain"].unit = "pJ";
+  const obs::DiffReport d = obs::diff_manifests(run, golden);
+  EXPECT_FALSE(d.clean());
+  EXPECT_FALSE(d.mismatched.empty());
+}
+
+TEST(Report, SchemaAndArtifactMismatchFailTheGate) {
+  const obs::Manifest golden = obs::parse_manifest(small_manifest().to_json());
+  obs::Manifest run = golden;
+  run.schema_version = obs::kManifestSchemaVersion + 1;
+  EXPECT_FALSE(obs::diff_manifests(run, golden).clean());
+  run = golden;
+  run.artifact = "someone_else";
+  EXPECT_FALSE(obs::diff_manifests(run, golden).clean());
+}
+
+TEST(Report, ProvenanceDifferencesAreInformationalOnly) {
+  const obs::Manifest golden = obs::parse_manifest(small_manifest().to_json());
+  obs::Manifest run = golden;
+  run.provenance["git_sha"] = "cafef00d";
+  run.provenance["threads"] = "4";
+  const obs::DiffReport d = obs::diff_manifests(run, golden);
+  EXPECT_TRUE(d.clean());
+  EXPECT_FALSE(d.provenance_notes.empty());
+}
+
+TEST(Report, CaptureObservabilityFoldsMetricsAndSpans) {
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(true);
+  obs::reset_metrics();
+  obs::reset_trace();
+  obs::counter("report.test_counter").add(3);
+  obs::gauge("report.test_gauge").set(2.5);
+  obs::histogram("report.test_hist", {1.0, 10.0}).record(5.0);
+  {
+    const obs::Span s{"report.test_span"};
+  }
+  obs::RunManifest m{"obs_fold"};
+  m.capture_observability();
+  const obs::Manifest parsed = obs::parse_manifest(m.to_json());
+  EXPECT_EQ(parsed.counters.at("report.test_counter"), 3u);
+  EXPECT_EQ(parsed.gauges.at("report.test_gauge"), 2.5);
+  // One sample in bucket (1, 10]: the interpolated p50 lands on the bucket's
+  // upper edge.
+  EXPECT_EQ(parsed.histograms.at("report.test_hist").at("p50"), 10.0);
+  ASSERT_EQ(parsed.spans.count("report.test_span"), 1u);
+  EXPECT_EQ(parsed.spans.at("report.test_span").count, 1u);
+  EXPECT_GE(parsed.spans.at("report.test_span").total_ms, 0.0);
+  obs::set_metrics_enabled(false);
+  obs::set_tracing_enabled(false);
+}
+
+// The property the committed goldens rely on: a manifest of evaluation
+// results is bit-identical no matter the thread count (PR 1's determinism
+// guarantee surfaced at the report layer). Only `results` and `config` need
+// to match — observability sections carry wall times and are informational.
+TEST(Report, ResultsAreThreadCountInvariant) {
+  auto manifest_at = [](std::size_t threads) {
+    runtime::set_thread_count(threads);
+    carbon::UncertainProfile cand;
+    cand.embodied_per_good_die_g = carbon::Interval::factor(3.63, 1.2);
+    cand.operational_power_w = carbon::Interval::point(8.46e-3);
+    cand.execution_time = seconds(0.040);
+    carbon::UncertainProfile base;
+    base.embodied_per_good_die_g = carbon::Interval::factor(3.11, 1.2);
+    base.operational_power_w = carbon::Interval::point(9.71e-3);
+    base.execution_time = seconds(0.040);
+    carbon::UncertainScenario scen;
+    scen.ci_use_g_per_kwh = carbon::Interval::factor(380.0, 3.0);
+    scen.lifetime_months = carbon::Interval::plus_minus(24.0, 6.0);
+    const auto mc = carbon::monte_carlo_tcdp_ratio(cand, base, scen, 20000, 20251204);
+    obs::RunManifest m{"invariance"};
+    m.set_provenance("threads", std::to_string(threads));
+    m.record("mean", mc.mean, "x");
+    m.record("p05", mc.p05, "x");
+    m.record("p50", mc.p50, "x");
+    m.record("p95", mc.p95, "x");
+    m.record("P(win)", mc.probability_candidate_wins, "frac");
+    runtime::set_thread_count(0);
+    return obs::parse_manifest(m.to_json());
+  };
+  const obs::Manifest at1 = manifest_at(1);
+  const obs::Manifest at4 = manifest_at(4);
+  const obs::DiffReport d = obs::diff_manifests(at4, at1);
+  EXPECT_TRUE(d.clean()) << obs::format_diff(d);
+  // Stronger than within-tolerance: the serialized results are byte-equal.
+  EXPECT_EQ(obs::manifest_to_json(at1).substr(obs::manifest_to_json(at1).find("\"results\"")),
+            obs::manifest_to_json(at4).substr(obs::manifest_to_json(at4).find("\"results\"")));
+}
+
+TEST(Report, ManifestOutPathSemantics) {
+  ::unsetenv("BENCH_MANIFEST_OUT");
+  EXPECT_EQ(obs::manifest_out_path(), nullptr);
+  ::setenv("BENCH_MANIFEST_OUT", "", 1);
+  EXPECT_EQ(obs::manifest_out_path(), nullptr);
+  ::setenv("BENCH_MANIFEST_OUT", "0", 1);
+  EXPECT_EQ(obs::manifest_out_path(), nullptr);
+  ::setenv("BENCH_MANIFEST_OUT", "/tmp/manifest.json", 1);
+  ASSERT_NE(obs::manifest_out_path(), nullptr);
+  EXPECT_STREQ(obs::manifest_out_path(), "/tmp/manifest.json");
+  ::unsetenv("BENCH_MANIFEST_OUT");
+}
+
+TEST(Report, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "ppatc_report_roundtrip.json";
+  const obs::RunManifest m = small_manifest();
+  m.write(path);
+  const obs::Manifest back = obs::read_manifest(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(obs::manifest_to_json(back), m.to_json());
+  EXPECT_THROW(m.write("/nonexistent/dir/m.json"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppatc

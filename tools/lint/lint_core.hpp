@@ -60,10 +60,11 @@ struct Report {
 /// Tuning knobs; the defaults encode the ppatc policy.
 struct Config {
   /// Files (matched by relative-path suffix) where getenv is permitted. The
-  /// three blessed call sites live in these two files: the thread-count
-  /// override (PPATC_THREADS) and the tracing/metrics switches (PPATC_TRACE,
-  /// PPATC_METRICS).
-  std::vector<std::string> env_allowlist{"runtime/parallel.cpp", "obs/trace.cpp"};
+  /// blessed call sites live in these three files: the thread-count override
+  /// (PPATC_THREADS), the tracing/metrics switches (PPATC_TRACE,
+  /// PPATC_METRICS), and the run-manifest output path (BENCH_MANIFEST_OUT).
+  std::vector<std::string> env_allowlist{"runtime/parallel.cpp", "obs/trace.cpp",
+                                         "obs/report.cpp"};
 };
 
 /// Lints every .hpp/.cpp under `root`, skipping build*/.git/header_tus

@@ -1,0 +1,98 @@
+// ppatc-report: compare run manifests (ppatc::obs::report JSON) against each
+// other or against committed goldens.
+//
+//   ppatc-report diff [--json] [--verbose] <a.json> <b.json>
+//       Prints the per-key drift between two manifests (b is the reference
+//       side whose tolerances apply). Always exits 0 unless a file is
+//       unreadable — diff is for humans and scripts that want the report.
+//
+//   ppatc-report check [--json] <run.json> <golden.json>
+//       Same comparison, but exits non-zero when the run drifted from the
+//       golden, naming every offending key. This is the CI gate.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ppatc/common/contract.hpp"
+#include "ppatc/obs/report.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ppatc-report diff  [--json] [--verbose] <a.json> <b.json>\n"
+               "       ppatc-report check [--json] <run.json> <golden.json>\n");
+  return 2;
+}
+
+struct Args {
+  bool json = false;
+  bool verbose = false;
+  std::string a;
+  std::string b;
+  bool ok = false;
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  std::string positional[2];
+  int npos = 0;
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      args.json = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      args.verbose = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "ppatc-report: unknown option '%s'\n", argv[i]);
+      return args;
+    } else if (npos < 2) {
+      positional[npos++] = argv[i];
+    } else {
+      std::fprintf(stderr, "ppatc-report: too many arguments\n");
+      return args;
+    }
+  }
+  if (npos != 2) return args;
+  args.a = positional[0];
+  args.b = positional[1];
+  args.ok = true;
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd != "diff" && cmd != "check") return usage();
+  const Args args = parse_args(argc, argv, 2);
+  if (!args.ok) return usage();
+
+  namespace obs = ppatc::obs;
+  obs::Manifest run;
+  obs::Manifest golden;
+  try {
+    run = obs::read_manifest(args.a);
+    golden = obs::read_manifest(args.b);
+  } catch (const ppatc::ContractViolation& e) {
+    std::fprintf(stderr, "ppatc-report: %s\n", e.what());
+    return 2;
+  }
+
+  const obs::DiffReport d = obs::diff_manifests(run, golden);
+  if (args.json) {
+    std::fputs(obs::diff_to_json(d).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fputs(obs::format_diff(d, args.verbose).c_str(), stdout);
+  }
+
+  if (cmd == "diff") return 0;
+  if (d.clean()) {
+    if (!args.json) std::printf("check: PASS (%s vs %s)\n", args.a.c_str(), args.b.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "check: FAIL — run drifted from golden; offending keys:\n");
+  for (const auto& k : d.offending_keys()) std::fprintf(stderr, "  %s\n", k.c_str());
+  return 1;
+}
