@@ -272,6 +272,7 @@ class JsonParser {
   static JsonValue parse(const std::string& text) {
     JsonParser p{text};
     p.skip_ws();
+    // ppatc-lint: allow(units-escape) — JsonParser::value() parses a JSON value; not a Quantity
     JsonValue v = p.value();
     p.skip_ws();
     PPATC_EXPECT(p.pos_ == text.size(), "trailing content after JSON document");

@@ -1,0 +1,9 @@
+// Fixture: public header of module alpha — the target of the layering
+// fixtures. Clean on its own; the violations live in module beta.
+#pragma once
+
+namespace ppatc::alpha {
+
+inline int alpha_token() { return 7; }
+
+}  // namespace ppatc::alpha

@@ -1,0 +1,11 @@
+// Fixture: layering violations — module beta has no declared edge to alpha
+// (see this tree's tools/lint/layering.toml), so both the public include and
+// the relative reach into alpha's internals must fire.
+#include "ppatc/alpha/api.hpp"
+#include "../alpha/include/ppatc/alpha/api.hpp"
+
+namespace ppatc::beta {
+
+inline int beta_token() { return ppatc::alpha::alpha_token(); }
+
+}  // namespace ppatc::beta

@@ -1,0 +1,21 @@
+// Fixture: lifetime violations — views and references escaping their scope.
+#include <string>
+#include <string_view>
+
+namespace ppatc::demo {
+
+std::string_view dangling_view() {
+  std::string buffer = "transient";
+  return buffer;  // view of a local that dies at end of scope
+}
+
+const std::string& dangling_ref() {
+  std::string local = "scoped";
+  return local;  // reference to a dead local
+}
+
+std::string_view temp_view() {
+  return std::string{"temp"};  // view over a temporary
+}
+
+}  // namespace ppatc::demo

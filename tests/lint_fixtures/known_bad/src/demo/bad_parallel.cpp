@@ -1,0 +1,27 @@
+// Fixture: parallel-safety violations — shared writes and synchronization
+// inside lambdas handed to the deterministic parallel runtime.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace ppatc::demo {
+
+void bad_accumulate(std::vector<double>& out) {
+  double total = 0.0;
+  std::size_t hits = 0;
+  parallel_for(out.size(), [&](std::size_t i) {
+    total += static_cast<double>(i);  // shared write through a ref capture
+    ++hits;                           // shared increment
+    out[i] = total;                   // the indexed slot itself is fine
+  });
+}
+
+void bad_locked(std::vector<double>& out) {
+  std::mutex m;
+  parallel_for(out.size(), [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock{m};  // serializing hides the race
+    out[i] = 1.0;
+  });
+}
+
+}  // namespace ppatc::demo

@@ -1,0 +1,26 @@
+// Fixture: units-escape violations — raw doubles unwrapped from strong types
+// that mix dimensions, mix units, or re-enter the unit system wrongly.
+namespace ppatc::demo {
+
+double mixes_dimensions(Power p, Duration d) {
+  double watts_now = units::in_watts(p);
+  double secs = units::in_seconds(d);
+  return watts_now + secs;  // Power + Duration in raw double arithmetic
+}
+
+double mixes_units(Duration a, Duration b) {
+  double s = units::in_seconds(a);
+  double h = units::in_hours(b);
+  return s - h;  // same dimension, different units
+}
+
+Energy wrong_factory(Duration d) {
+  double secs = units::in_seconds(d);
+  return units::joules(secs);  // a Duration fed to the Energy factory
+}
+
+double raw_value(Energy e) {
+  return e.value();  // raw unwrap bypasses the named in_*() conversions
+}
+
+}  // namespace ppatc::demo

@@ -1,0 +1,9 @@
+// Fixture: public header of module alpha; module beta consumes it along a
+// declared layering edge.
+#pragma once
+
+namespace ppatc::alpha {
+
+inline int alpha_token() { return 7; }
+
+}  // namespace ppatc::alpha

@@ -1,0 +1,9 @@
+// Fixture: a cross-module include along a declared layering edge
+// (beta -> alpha in this tree's tools/lint/layering.toml) is clean.
+#include "ppatc/alpha/api.hpp"
+
+namespace ppatc::beta {
+
+inline int beta_token() { return ppatc::alpha::alpha_token(); }
+
+}  // namespace ppatc::beta

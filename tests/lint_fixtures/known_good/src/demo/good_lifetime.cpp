@@ -1,0 +1,26 @@
+// Fixture: view/reference returns whose referents outlive the call — the
+// shapes the lifetime rule must accept.
+#include <string>
+#include <string_view>
+
+namespace ppatc::demo {
+
+class Named {
+ public:
+  const std::string& label() const { return label_; }  // member: caller-owned
+  std::string_view view() const { return label_; }     // view of a member
+
+ private:
+  std::string label_;
+};
+
+std::string_view first_word(std::string_view text) {
+  return text.substr(0, text.find(' '));  // derived from the parameter
+}
+
+const std::string& fallback_label() {
+  static const std::string kFallback = "unnamed";
+  return kFallback;  // static storage outlives every caller
+}
+
+}  // namespace ppatc::demo

@@ -1,0 +1,29 @@
+// Fixture: chunk-pure parallel bodies — the blessed patterns the
+// parallel-safety rule must accept. Writes go only to locals and to
+// index-addressed slots of pre-sized buffers.
+#include <cstddef>
+#include <vector>
+
+namespace ppatc::demo {
+
+void fill_squares(std::vector<double>& out) {
+  parallel_for(out.size(), [&](std::size_t i) {
+    double v = static_cast<double>(i);
+    out[i] = v * v;  // index-addressed slot: the blessed output pattern
+  });
+}
+
+double chunked_sum(const std::vector<double>& values) {
+  std::vector<double> partials;
+  partials.resize(4);
+  parallel_for_chunks(values.size(), 16, [&](ChunkRange chunk) {
+    double acc = 0.0;
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) acc += values[i];
+    partials[chunk.index] = acc;  // chunk-indexed slot, merged after the join
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+}  // namespace ppatc::demo

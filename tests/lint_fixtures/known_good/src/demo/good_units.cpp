@@ -1,0 +1,21 @@
+// Fixture: unwrapped quantities used consistently — the negative space of
+// the units-escape rule.
+namespace ppatc::demo {
+
+double consistent_sum(Duration a, Duration b) {
+  double s1 = units::in_seconds(a);
+  double s2 = units::in_seconds(b);
+  return s1 + s2;  // same dimension, same unit: fine
+}
+
+Duration round_trip(Duration d) {
+  double secs = units::in_seconds(d);
+  return units::seconds(secs);  // matching accessor/factory pair
+}
+
+double scaled(Power p, double factor) {
+  double w = units::in_watts(p);
+  return w * factor;  // scaling by a dimensionless factor is fine
+}
+
+}  // namespace ppatc::demo

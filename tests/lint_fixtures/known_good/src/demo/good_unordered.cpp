@@ -1,0 +1,25 @@
+// Fixture: the unordered-iter escapes — single-element containers and folds
+// sorted immediately after the loop have no observable iteration order.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ppatc::demo {
+
+double single_element_is_ordered() {
+  std::unordered_map<std::string, double> defaults{{"alpha", 1.0}};
+  double total = 0.0;
+  for (const auto& [key, v] : defaults) total += v;  // one element: one order
+  return total;
+}
+
+std::vector<std::string> sorted_fold(const std::unordered_set<std::string>& names) {
+  std::vector<std::string> out;
+  for (const std::string& name : names) out.push_back(name);
+  std::sort(out.begin(), out.end());  // canonicalizes the visit order
+  return out;
+}
+
+}  // namespace ppatc::demo

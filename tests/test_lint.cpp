@@ -12,10 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "json_validator.hpp"
 #include "lint_core.hpp"
+#include "ppatc/runtime/parallel.hpp"
 
 namespace lint = ppatc::lint;
 
@@ -47,7 +50,7 @@ TEST(LintFixtures, KnownGoodIsCleanWithOneCountedSuppression) {
   const auto by_rule = report.count_by_rule(/*suppressed=*/true);
   ASSERT_TRUE(by_rule.contains("unit-typed-api"));
   EXPECT_EQ(by_rule.at("unit-typed-api"), 1u);
-  EXPECT_EQ(report.files_scanned, 2u);
+  EXPECT_EQ(report.files_scanned, 8u);
 }
 
 TEST(LintFixtures, KnownBadFiresEveryRule) {
@@ -55,11 +58,11 @@ TEST(LintFixtures, KnownBadFiresEveryRule) {
   EXPECT_FALSE(report.clean());
 
   const auto by_rule = report.count_by_rule(/*suppressed=*/false);
-  ASSERT_TRUE(by_rule.contains("unit-typed-api")) << lint::format_report(report);
-  ASSERT_TRUE(by_rule.contains("determinism")) << lint::format_report(report);
-  ASSERT_TRUE(by_rule.contains("unordered-iter")) << lint::format_report(report);
-  ASSERT_TRUE(by_rule.contains("env-allowlist")) << lint::format_report(report);
-  ASSERT_TRUE(by_rule.contains("pragma-once")) << lint::format_report(report);
+  for (const char* rule : {"unit-typed-api", "determinism", "unordered-iter", "env-allowlist",
+                           "pragma-once", "layering", "parallel-safety", "units-escape",
+                           "lifetime"}) {
+    ASSERT_TRUE(by_rule.contains(rule)) << rule << "\n" << lint::format_report(report);
+  }
 
   // bad_api.hpp: the energy_j field and the area_mm2 parameter.
   EXPECT_EQ(by_rule.at("unit-typed-api"), 2u);
@@ -68,7 +71,31 @@ TEST(LintFixtures, KnownBadFiresEveryRule) {
   EXPECT_EQ(by_rule.at("unordered-iter"), 1u);
   EXPECT_EQ(by_rule.at("env-allowlist"), 1u);
   EXPECT_EQ(by_rule.at("pragma-once"), 1u);
+  // bad_cross.cpp: the public include and the relative reach into alpha.
+  EXPECT_EQ(by_rule.at("layering"), 2u);
+  // bad_parallel.cpp: shared +=, shared ++, lock_guard + mutex on one line.
+  EXPECT_EQ(by_rule.at("parallel-safety"), 4u);
+  // bad_units.cpp: dimension mix, unit mix, wrong factory, raw .value().
+  EXPECT_EQ(by_rule.at("units-escape"), 4u);
+  // bad_lifetime.cpp: view of a local, reference to a local, view of a temp.
+  EXPECT_EQ(by_rule.at("lifetime"), 3u);
   EXPECT_EQ(report.suppression_count(), 0u);
+}
+
+TEST(LintFixtures, SeededViolationsNameFileAndLine) {
+  const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_bad");
+  const auto find = [&](const std::string& rule, const std::string& file) {
+    return std::find_if(report.findings.begin(), report.findings.end(),
+                        [&](const lint::Finding& f) { return f.rule == rule && f.file == file; });
+  };
+  // The seeded layering breach: beta includes alpha on line 4.
+  const auto layering = find("layering", "beta/bad_cross.cpp");
+  ASSERT_NE(layering, report.findings.end()) << lint::format_report(report);
+  EXPECT_EQ(layering->line, 4);
+  // The seeded shared write inside parallel_for: `total +=` on line 13.
+  const auto shared = find("parallel-safety", "demo/bad_parallel.cpp");
+  ASSERT_NE(shared, report.findings.end()) << lint::format_report(report);
+  EXPECT_EQ(shared->line, 13);
 }
 
 TEST(LintFixtures, FindingsCarryFileAndLine) {
@@ -142,10 +169,216 @@ TEST(LintText, EnvAllowlistBlessesOnlyConfiguredFiles) {
   EXPECT_TRUE(has_rule(lint_one("carbon/tcdp.cpp", text), "env-allowlist"));
 }
 
+// ---- layering ---------------------------------------------------------------
+
+TEST(LintLayering, ParsesAndValidatesTheDeclaredGraph) {
+  const lint::LayeringConfig config = lint::parse_layering(
+      "[layers]\n"
+      "common = []\n"
+      "device = [\"common\"]\n"
+      "core = [\"common\", \"device\"]  # trailing comment\n");
+  EXPECT_EQ(config.allowed.size(), 3u);
+  EXPECT_TRUE(config.allowed.at("core").contains("device"));
+}
+
+TEST(LintLayering, RejectsMalformedAndUnsoundGraphs) {
+  EXPECT_THROW((void)lint::parse_layering("core\n"), std::runtime_error);
+  // Dependency on an undeclared module.
+  EXPECT_THROW((void)lint::parse_layering("core = [\"ghost\"]\n"), std::runtime_error);
+  // Self-dependency.
+  EXPECT_THROW((void)lint::parse_layering("core = [\"core\"]\n"), std::runtime_error);
+  // Cycle.
+  EXPECT_THROW((void)lint::parse_layering("a = [\"b\"]\nb = [\"a\"]\n"), std::runtime_error);
+  // Unquoted dependency.
+  EXPECT_THROW((void)lint::parse_layering("a = [b]\nb = []\n"), std::runtime_error);
+}
+
+TEST(LintLayering, FlagsUndeclaredEdgesOnly) {
+  lint::Config config;
+  config.layering = lint::parse_layering("a = []\nb = [\"a\"]\nc = []\n");
+  const std::string include_a = "#include \"ppatc/a/api.hpp\"\nint x = 0;\n";
+  std::vector<lint::Finding> out;
+  lint::lint_text("b/user.cpp", include_a, config, out);
+  EXPECT_TRUE(out.empty());  // declared edge b -> a
+  lint::lint_text("c/user.cpp", include_a, config, out);
+  ASSERT_EQ(out.size(), 1u);  // c has no edge to a
+  EXPECT_EQ(out[0].rule, "layering");
+  EXPECT_EQ(out[0].line, 1);
+  // Files outside any declared module are out of scope.
+  out.clear();
+  lint::lint_text("zz/user.cpp", include_a, config, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---- baseline ---------------------------------------------------------------
+
+TEST(LintBaseline, ParsesEntriesAndRequiresRationales) {
+  const lint::Baseline baseline = lint::parse_baseline(
+      "# comment\n"
+      "\n"
+      "determinism carbon/tcdp.cpp:12 -- legacy seed path, tracked in ROADMAP\n");
+  ASSERT_EQ(baseline.entries.size(), 1u);
+  EXPECT_EQ(baseline.entries[0].rule, "determinism");
+  EXPECT_EQ(baseline.entries[0].file, "carbon/tcdp.cpp");
+  EXPECT_EQ(baseline.entries[0].line, 12);
+  EXPECT_EQ(baseline.entries[0].rationale, "legacy seed path, tracked in ROADMAP");
+
+  EXPECT_THROW((void)lint::parse_baseline("determinism a.cpp:1\n"), std::runtime_error);
+  EXPECT_THROW((void)lint::parse_baseline("determinism a.cpp:1 -- \n"), std::runtime_error);
+  EXPECT_THROW((void)lint::parse_baseline("no-such-rule a.cpp:1 -- why\n"), std::runtime_error);
+  EXPECT_THROW((void)lint::parse_baseline("determinism a.cpp -- why\n"), std::runtime_error);
+}
+
+TEST(LintBaseline, MarksMatchesAndReportsStaleEntries) {
+  lint::Report report;
+  report.findings.push_back({"determinism", "demo/x.cpp", 3, "msg", false, false});
+  report.findings.push_back({"lifetime", "demo/y.cpp", 7, "msg", false, false});
+  const lint::Baseline baseline = lint::parse_baseline(
+      "determinism demo/x.cpp:3 -- parked while the seed plumbing lands\n"
+      "lifetime demo/gone.cpp:1 -- stale: the file was deleted\n");
+  const std::vector<lint::BaselineEntry> stale = lint::apply_baseline(report, baseline);
+  EXPECT_TRUE(report.findings[0].baselined);
+  EXPECT_FALSE(report.findings[1].baselined);
+  EXPECT_EQ(report.violation_count(), 1u);
+  EXPECT_EQ(report.baselined_count(), 1u);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].file, "demo/gone.cpp");
+  // Round-trip through the serializer.
+  const std::string text = lint::format_baseline(baseline.entries);
+  const lint::Baseline reparsed = lint::parse_baseline(text);
+  EXPECT_EQ(reparsed.entries.size(), baseline.entries.size());
+}
+
+// ---- SARIF ------------------------------------------------------------------
+
+TEST(LintSarif, ReportRoundTripsThroughTheJsonValidator) {
+  lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_bad");
+  ASSERT_FALSE(report.findings.empty());
+  // Mark one finding baselined so both suppression kinds are exercised.
+  report.findings.front().baselined = true;
+  const std::string sarif = lint::to_sarif(report, "src/");
+  EXPECT_TRUE(ppatc::testutil::JsonValidator::valid(sarif)) << sarif;
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"ppatc-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"parallel-safety\""), std::string::npos);
+  EXPECT_NE(sarif.find("src/demo/bad_parallel.cpp"), std::string::npos);
+  EXPECT_NE(sarif.find("\"kind\": \"external\""), std::string::npos);
+  // Every implemented rule ships its reportingDescriptor.
+  for (const std::string& rule : lint::all_rules()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + rule + "\""), std::string::npos) << rule;
+  }
+}
+
+TEST(LintSarif, EscapesMessagesSafely) {
+  lint::Report report;
+  report.findings.push_back(
+      {"determinism", "demo/we\"ird.cpp", 1, "quote \" backslash \\ newline \n tab \t", false,
+       false});
+  const std::string sarif = lint::to_sarif(report, "src/");
+  EXPECT_TRUE(ppatc::testutil::JsonValidator::valid(sarif)) << sarif;
+}
+
+// ---- scope-aware rules: unit tests ------------------------------------------
+
+TEST(LintParallelSafety, FlagsSharedStateButNotChunkLocals) {
+  const auto bad = lint_one("demo/x.cpp",
+                            "void f(std::vector<double>& out) {\n"
+                            "  double total = 0.0;\n"
+                            "  parallel_for(out.size(), [&](std::size_t i) {\n"
+                            "    total += 1.0;\n"
+                            "    out[i] = total;\n"
+                            "  });\n"
+                            "}\n");
+  ASSERT_TRUE(has_rule(bad, "parallel-safety"));
+  // The indexed write out[i] itself must not be flagged: only `total`.
+  EXPECT_EQ(std::count_if(bad.begin(), bad.end(),
+                          [](const lint::Finding& f) { return f.rule == "parallel-safety"; }),
+            1);
+
+  const auto good = lint_one("demo/x.cpp",
+                             "void f(std::vector<double>& out) {\n"
+                             "  parallel_for(out.size(), [&](std::size_t i) {\n"
+                             "    double local = 1.0;\n"
+                             "    local += 2.0;\n"
+                             "    out[i] = local;\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_FALSE(has_rule(good, "parallel-safety"));
+}
+
+TEST(LintParallelSafety, IgnoresTheRuntimesOwnDefinitions) {
+  // A declaration/definition of parallel_for is not a call site.
+  const auto findings = lint_one("runtime/include/ppatc/runtime/parallel.hpp",
+                                 "#pragma once\n"
+                                 "template <typename Body>\n"
+                                 "void parallel_for(std::size_t n, Body body, std::size_t g);\n");
+  EXPECT_FALSE(has_rule(findings, "parallel-safety"));
+}
+
+TEST(LintUnitsEscape, TracksUnwrapsAcrossScopes) {
+  const auto mixed = lint_one("demo/x.cpp",
+                              "double f(Power p, Duration d) {\n"
+                              "  double w = units::in_watts(p);\n"
+                              "  double s = units::in_seconds(d);\n"
+                              "  return w + s;\n"
+                              "}\n");
+  ASSERT_TRUE(has_rule(mixed, "units-escape"));
+
+  // Reassignment clears the tag: after `w = s_like;` w is untracked.
+  const auto reassigned = lint_one("demo/x.cpp",
+                                   "double f(Power p, double s_like) {\n"
+                                   "  double w = units::in_watts(p);\n"
+                                   "  w = s_like;\n"
+                                   "  double s = units::in_seconds(seconds(s_like));\n"
+                                   "  return w + s;\n"
+                                   "}\n");
+  EXPECT_FALSE(has_rule(reassigned, "units-escape"));
+
+  // Scope exit clears the tag.
+  const auto scoped = lint_one("demo/x.cpp",
+                               "double f(Power p, Duration d) {\n"
+                               "  { double w = units::in_watts(p); (void)w; }\n"
+                               "  double w = units::in_seconds(d);\n"
+                               "  double s = units::in_seconds(d);\n"
+                               "  return w + s;\n"
+                               "}\n");
+  EXPECT_FALSE(has_rule(scoped, "units-escape"));
+}
+
+TEST(LintLifetime, FlagsEscapingViewsButNotStableReferents) {
+  const auto bad = lint_one("demo/x.cpp",
+                            "std::string_view f() {\n"
+                            "  std::string s = make();\n"
+                            "  return s;\n"
+                            "}\n");
+  EXPECT_TRUE(has_rule(bad, "lifetime"));
+
+  const auto member = lint_one("demo/x.cpp",
+                               "const std::string& Widget::name() const { return name_; }\n");
+  EXPECT_FALSE(has_rule(member, "lifetime"));
+
+  const auto stat = lint_one("demo/x.cpp",
+                             "const std::string& fallback() {\n"
+                             "  static const std::string kDefault = make();\n"
+                             "  return kDefault;\n"
+                             "}\n");
+  EXPECT_FALSE(has_rule(stat, "lifetime"));
+}
+
 // ---- the real tree ----------------------------------------------------------
 
 TEST(LintRepo, RealTreeLintsClean) {
   const lint::Report report = lint::run_lint(PPATC_REPO_ROOT);
   EXPECT_TRUE(report.clean()) << lint::format_report(report);
   EXPECT_GT(report.files_scanned, 50u);  // sanity: the scan actually found src/
+}
+
+TEST(LintRepo, ReportIsByteStableAcrossThreadCounts) {
+  const std::size_t before = ppatc::runtime::thread_count();
+  ppatc::runtime::set_thread_count(1);
+  const std::string serial = lint::format_report(lint::run_lint(PPATC_REPO_ROOT));
+  ppatc::runtime::set_thread_count(4);
+  const std::string parallel = lint::format_report(lint::run_lint(PPATC_REPO_ROOT));
+  ppatc::runtime::set_thread_count(before);
+  EXPECT_EQ(serial, parallel);
 }

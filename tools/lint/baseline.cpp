@@ -1,0 +1,105 @@
+// Baseline workflow: pre-existing findings parked in a committed file so a
+// new rule can land strict without a flag day. Format, one entry per line:
+//     <rule> <file>:<line> -- <rationale>
+// The rationale is mandatory — a parked finding without a written reason is
+// indistinguishable from a forgotten one. Matching is exact on
+// (rule, file, line); entries that stop matching are reported as stale so
+// the baseline can only shrink.
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "lint_core.hpp"
+
+namespace ppatc::lint {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("baseline:" + std::to_string(line) + ": " + what);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline baseline;
+  std::istringstream is{text};
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t sep = line.find(" -- ");
+    if (sep == std::string::npos) {
+      fail(lineno, "expected `<rule> <file>:<line> -- <rationale>`");
+    }
+    const std::string rationale = trim(line.substr(sep + 4));
+    if (rationale.empty()) {
+      fail(lineno, "baseline entries must carry a rationale after ` -- `");
+    }
+    std::istringstream head{line.substr(0, sep)};
+    BaselineEntry entry;
+    std::string site;
+    if (!(head >> entry.rule >> site)) {
+      fail(lineno, "expected `<rule> <file>:<line>` before ` -- `");
+    }
+    std::string extra;
+    if (head >> extra) fail(lineno, "unexpected token '" + extra + "' before ` -- `");
+    const std::size_t colon = site.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= site.size()) {
+      fail(lineno, "site '" + site + "' must be <file>:<line>");
+    }
+    entry.file = site.substr(0, colon);
+    try {
+      entry.line = std::stoi(site.substr(colon + 1));
+    } catch (const std::exception&) {
+      fail(lineno, "bad line number in '" + site + "'");
+    }
+    if (entry.line <= 0) fail(lineno, "line numbers are 1-based in '" + site + "'");
+    const bool known = std::any_of(all_rules().begin(), all_rules().end(),
+                                   [&](const std::string& r) { return r == entry.rule; });
+    if (!known) fail(lineno, "unknown rule '" + entry.rule + "'");
+    entry.rationale = rationale;
+    baseline.entries.push_back(std::move(entry));
+  }
+  return baseline;
+}
+
+std::vector<BaselineEntry> apply_baseline(Report& report, const Baseline& baseline) {
+  std::vector<BaselineEntry> stale;
+  for (const BaselineEntry& entry : baseline.entries) {
+    bool matched = false;
+    for (Finding& f : report.findings) {
+      if (f.rule == entry.rule && f.file == entry.file && f.line == entry.line &&
+          !f.suppressed) {
+        f.baselined = true;
+        matched = true;
+      }
+    }
+    if (!matched) stale.push_back(entry);
+  }
+  return stale;
+}
+
+std::string format_baseline(const std::vector<BaselineEntry>& entries) {
+  std::ostringstream os;
+  os << "# ppatc-lint baseline: parked findings, one `<rule> <file>:<line> -- <rationale>`\n"
+     << "# per line. Entries must carry a rationale; stale entries fail the lint so this\n"
+     << "# file can only shrink.\n";
+  for (const BaselineEntry& entry : entries) {
+    os << entry.rule << ' ' << entry.file << ':' << entry.line << " -- "
+       << (entry.rationale.empty() ? "TODO: add rationale" : entry.rationale) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ppatc::lint

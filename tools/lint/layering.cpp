@@ -1,0 +1,168 @@
+// Module-layering rule: the include graph over src/<module>/ must stay
+// inside the DAG declared in tools/lint/layering.toml. Each offending
+// #include is one finding, so a violation names its exact file:line.
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "rules_internal.hpp"
+
+namespace ppatc::lint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("layering.toml:" + std::to_string(line) + ": " + what);
+}
+
+// Depth-first cycle check over the declared graph.
+void check_acyclic(const LayeringConfig& config) {
+  enum class Mark { kUnvisited, kInProgress, kDone };
+  std::map<std::string, Mark> marks;
+  for (const auto& [mod, deps] : config.allowed) marks[mod] = Mark::kUnvisited;
+
+  // Iterative DFS; `second` is the next dependency to explore.
+  for (const auto& [start, start_deps] : config.allowed) {
+    if (marks[start] != Mark::kUnvisited) continue;
+    std::vector<std::pair<std::string, std::set<std::string>::const_iterator>> stack;
+    marks[start] = Mark::kInProgress;
+    stack.emplace_back(start, config.allowed.at(start).begin());
+    while (!stack.empty()) {
+      auto& [mod, it] = stack.back();
+      const std::set<std::string>& deps = config.allowed.at(mod);
+      if (it == deps.end()) {
+        marks[mod] = Mark::kDone;
+        stack.pop_back();
+        continue;
+      }
+      const std::string dep = *it++;
+      if (marks[dep] == Mark::kInProgress) {
+        throw std::runtime_error("layering.toml: declared layering has a cycle through '" + dep +
+                                 "' — the module graph must be a DAG");
+      }
+      if (marks[dep] == Mark::kUnvisited) {
+        marks[dep] = Mark::kInProgress;
+        stack.emplace_back(dep, config.allowed.at(dep).begin());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LayeringConfig parse_layering(const std::string& text) {
+  LayeringConfig config;
+  std::istringstream is{text};
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') continue;  // section header
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) fail(lineno, "expected `module = [\"dep\", ...]`");
+    const std::string module = trim(line.substr(0, eq));
+    if (module.empty() ||
+        !std::all_of(module.begin(), module.end(), [](char c) { return is_ident_char(c); })) {
+      fail(lineno, "bad module name '" + module + "'");
+    }
+    if (config.allowed.contains(module)) fail(lineno, "module '" + module + "' declared twice");
+    std::string rhs = trim(line.substr(eq + 1));
+    if (rhs.size() < 2 || rhs.front() != '[' || rhs.back() != ']') {
+      fail(lineno, "expected a [\"dep\", ...] list for '" + module + "'");
+    }
+    std::set<std::string> deps;
+    std::string inner = rhs.substr(1, rhs.size() - 2);
+    std::replace(inner.begin(), inner.end(), ',', ' ');
+    std::istringstream items{inner};
+    std::string item;
+    while (items >> item) {
+      if (item.size() < 2 || item.front() != '"' || item.back() != '"') {
+        fail(lineno, "dependencies must be quoted strings");
+      }
+      const std::string dep = item.substr(1, item.size() - 2);
+      if (dep == module) fail(lineno, "module '" + module + "' depends on itself");
+      deps.insert(dep);
+    }
+    config.allowed.emplace(module, std::move(deps));
+  }
+  for (const auto& [module, deps] : config.allowed) {
+    for (const std::string& dep : deps) {
+      if (!config.allowed.contains(dep)) {
+        throw std::runtime_error("layering.toml: module '" + module +
+                                 "' depends on undeclared module '" + dep + "'");
+      }
+    }
+  }
+  check_acyclic(config);
+  return config;
+}
+
+namespace detail {
+
+void rule_layering(const std::string& rel, const std::vector<Include>& includes,
+                   const LayeringConfig& config, std::vector<Finding>& out) {
+  const std::size_t slash = rel.find('/');
+  if (slash == std::string::npos) return;  // not under a module directory
+  const std::string module = rel.substr(0, slash);
+  const auto self = config.allowed.find(module);
+  if (self == config.allowed.end()) return;  // undeclared module: out of scope
+
+  for (const Include& inc : includes) {
+    if (inc.angled) continue;  // system headers are not module edges
+    // Public cross-module include: "ppatc/<m>/...".
+    if (inc.target.starts_with("ppatc/")) {
+      const std::size_t m_end = inc.target.find('/', 6);
+      if (m_end == std::string::npos) continue;
+      const std::string target = inc.target.substr(6, m_end - 6);
+      if (target == module) continue;
+      if (!config.allowed.contains(target)) continue;  // not a declared module
+      if (!self->second.contains(target)) {
+        std::string allowed_list;
+        for (const std::string& d : self->second) {
+          if (!allowed_list.empty()) allowed_list += ", ";
+          allowed_list += d;
+        }
+        out.push_back({"layering", rel, inc.line,
+                       "module '" + module + "' must not include \"" + inc.target +
+                           "\": layering.toml allows only {" +
+                           (allowed_list.empty() ? "no dependencies" : allowed_list) + "}",
+                       false, false});
+      }
+      continue;
+    }
+    // Relative include that escapes the module: reaching another module's
+    // internals bypasses its public include/ surface — always a violation,
+    // even along a declared edge.
+    if (inc.target.find("../") != std::string::npos) {
+      std::string path = inc.target;
+      std::size_t up = 0;
+      while (path.starts_with("../")) {
+        path = path.substr(3);
+        ++up;
+      }
+      const std::size_t seg_end = path.find('/');
+      const std::string first = seg_end == std::string::npos ? "" : path.substr(0, seg_end);
+      if (up > 0 && config.allowed.contains(first) && first != module) {
+        out.push_back({"layering", rel, inc.line,
+                       "relative include \"" + inc.target + "\" reaches into module '" + first +
+                           "' internals; depend on its public ppatc/" + first + "/ headers instead",
+                       false, false});
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace ppatc::lint

@@ -1,0 +1,159 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace ppatc::lint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+FileText split_and_strip(const std::string& contents) {
+  FileText out;
+  std::string line;
+  std::istringstream is{contents};
+  bool in_block_comment = false;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string code = line;
+    bool in_string = false;
+    bool in_char = false;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const char c = code[i];
+      const char next = i + 1 < code.size() ? code[i + 1] : '\0';
+      if (in_block_comment) {
+        if (c == '*' && next == '/') {
+          code[i] = ' ';
+          code[i + 1] = ' ';
+          ++i;
+          in_block_comment = false;
+        } else {
+          code[i] = ' ';
+        }
+      } else if (in_string || in_char) {
+        const char quote = in_string ? '"' : '\'';
+        if (c == '\\') {
+          code[i] = ' ';
+          if (i + 1 < code.size()) code[++i] = ' ';
+        } else if (c == quote) {
+          in_string = in_char = false;
+        } else {
+          code[i] = ' ';
+        }
+      } else if (c == '/' && next == '/') {
+        for (std::size_t j = i; j < code.size(); ++j) code[j] = ' ';
+        break;
+      } else if (c == '/' && next == '*') {
+        code[i] = ' ';
+        code[i + 1] = ' ';
+        ++i;
+        in_block_comment = true;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '\'' && (i == 0 || !is_ident_char(code[i - 1]))) {
+        // Identifier-adjacent apostrophes are digit separators (1'000'000).
+        in_char = true;
+      }
+    }
+    out.raw.push_back(line);
+    out.code.push_back(code);
+  }
+  return out;
+}
+
+namespace {
+
+// Longest-match-first multi-character punctuators. Everything else is a
+// single-character punct token.
+constexpr std::array<const char*, 24> kPuncts3{
+    "<<=", ">>=", "->*", "...", "::", "->", "==", "!=", "<=", ">=", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=", "^=", "&&", "||", "++", "--", "<<", ">>",
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const FileText& text) {
+  std::vector<Token> tokens;
+  for (std::size_t li = 0; li < text.code.size(); ++li) {
+    const std::string& line = text.code[li];
+    const int lineno = static_cast<int>(li + 1);
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i < line.size() && line[i] == '#') continue;  // preprocessor directive
+    while (i < line.size()) {
+      const char c = line[i];
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        std::size_t j = i + 1;
+        while (j < line.size() && is_ident_char(line[j])) ++j;
+        tokens.push_back({TokKind::kIdent, line.substr(i, j - i), lineno});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && i + 1 < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[i + 1])) != 0)) {
+        std::size_t j = i + 1;
+        while (j < line.size() &&
+               (is_ident_char(line[j]) || line[j] == '.' ||
+                ((line[j] == '+' || line[j] == '-') &&
+                 (line[j - 1] == 'e' || line[j - 1] == 'E' || line[j - 1] == 'p' ||
+                  line[j - 1] == 'P')))) {
+          ++j;
+        }
+        tokens.push_back({TokKind::kNumber, line.substr(i, j - i), lineno});
+        i = j;
+        continue;
+      }
+      bool matched = false;
+      for (const char* p : kPuncts3) {
+        const std::size_t n = std::char_traits<char>::length(p);
+        if (line.compare(i, n, p) == 0) {
+          tokens.push_back({TokKind::kPunct, p, lineno});
+          i += n;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        tokens.push_back({TokKind::kPunct, std::string(1, c), lineno});
+        ++i;
+      }
+    }
+  }
+  return tokens;
+}
+
+std::vector<Include> extract_includes(const std::vector<std::string>& raw) {
+  static const std::regex re{R"(^\s*#\s*include\s*([<"])([^">]+)[">])"};
+  std::vector<Include> out;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw[i], m, re)) continue;
+    out.push_back({m[2].str(), m[1].str() == "<", static_cast<int>(i + 1)});
+  }
+  return out;
+}
+
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open_index) {
+  if (open_index >= tokens.size()) return tokens.size();
+  const std::string& open = tokens[open_index].text;
+  const char close = open == "(" ? ')' : open == "[" ? ']' : '}';
+  int depth = 0;
+  for (std::size_t i = open_index; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t.size() != 1) continue;
+    if (t[0] == open[0]) ++depth;
+    if (t[0] == close && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+}  // namespace ppatc::lint

@@ -1,0 +1,66 @@
+// ppatc-lint lexer: the shared front end for every analyzer rule.
+//
+// Produces, from one file's contents:
+//   * raw lines (for suppression comments and #include extraction),
+//   * "code" lines with comments / string / char literals blanked out
+//     (columns preserved, so offsets line up with the raw text),
+//   * a flat token stream (identifiers, numbers, punctuators) with 1-based
+//     line numbers — enough structure for brace/scope tracking, lambda
+//     parsing, and the per-file symbol tables the scope-aware rules build,
+//   * the list of #include directives (taken from the raw lines, before
+//     string stripping erases the include path).
+//
+// This is deliberately not a C++ parser: preprocessor conditionals are not
+// evaluated and templates are not instantiated. The rules that consume the
+// stream are written to be conservative under that approximation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ppatc::lint {
+
+bool is_ident_char(char c);
+
+/// Raw + comment/string-stripped views of a file, line by line.
+struct FileText {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+/// Splits into lines and blanks comments, string and character literals
+/// (replaced by spaces so columns line up). Tracks /* */ across lines. Raw
+/// string literals are handled approximately (treated like plain strings).
+FileText split_and_strip(const std::string& contents);
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+/// One lexical token. `text` is the exact source spelling; multi-character
+/// punctuators (::, ->, +=, <<=, ...) come through as single tokens.
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based
+};
+
+/// Tokenizes the stripped code lines. Preprocessor directive lines (first
+/// non-blank character '#') are skipped entirely — their content is exposed
+/// through `Include` records instead.
+std::vector<Token> tokenize(const FileText& text);
+
+/// One #include directive.
+struct Include {
+  std::string target;  ///< path between the delimiters, verbatim
+  bool angled = false; ///< <...> (system) vs "..." (project)
+  int line = 0;        ///< 1-based
+};
+
+/// Extracts #include directives from the raw lines.
+std::vector<Include> extract_includes(const std::vector<std::string>& raw);
+
+/// Index of the matching close token for `open_index` (tokens[open_index]
+/// must be one of ( [ { ). Returns tokens.size() when unbalanced.
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open_index);
+
+}  // namespace ppatc::lint

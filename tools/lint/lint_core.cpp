@@ -1,82 +1,20 @@
+// Driver + the line-oriented rule generation (unit-typed-api, determinism,
+// unordered-iter, env-allowlist, pragma-once). The scope-aware rules live in
+// rules_scope.cpp / layering.cpp; the lexer they all share is lexer.cpp.
 #include "lint_core.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
 #include <regex>
 #include <sstream>
 
+#include "lexer.hpp"
+#include "ppatc/runtime/parallel.hpp"
+#include "rules_internal.hpp"
+
 namespace ppatc::lint {
 
 namespace {
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// ---- comment / string stripping ---------------------------------------------
-
-// Splits a file into raw lines and "code" lines with comments, string and
-// character literals blanked out (replaced by spaces, so columns line up).
-// Tracks /* */ across lines. Raw string literals are handled approximately
-// (treated like plain strings), which is fine for policy scanning.
-struct FileText {
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-};
-
-FileText split_and_strip(const std::string& contents) {
-  FileText out;
-  std::string line;
-  std::istringstream is{contents};
-  bool in_block_comment = false;
-  while (std::getline(is, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    std::string code = line;
-    bool in_string = false;
-    bool in_char = false;
-    for (std::size_t i = 0; i < code.size(); ++i) {
-      const char c = code[i];
-      const char next = i + 1 < code.size() ? code[i + 1] : '\0';
-      if (in_block_comment) {
-        if (c == '*' && next == '/') {
-          code[i] = ' ';
-          code[i + 1] = ' ';
-          ++i;
-          in_block_comment = false;
-        } else {
-          code[i] = ' ';
-        }
-      } else if (in_string || in_char) {
-        const char quote = in_string ? '"' : '\'';
-        if (c == '\\') {
-          code[i] = ' ';
-          if (i + 1 < code.size()) code[++i] = ' ';
-        } else if (c == quote) {
-          in_string = in_char = false;
-        } else {
-          code[i] = ' ';
-        }
-      } else if (c == '/' && next == '/') {
-        for (std::size_t j = i; j < code.size(); ++j) code[j] = ' ';
-        break;
-      } else if (c == '/' && next == '*') {
-        code[i] = ' ';
-        code[i + 1] = ' ';
-        ++i;
-        in_block_comment = true;
-      } else if (c == '"') {
-        in_string = true;
-      } else if (c == '\'' && (i == 0 || !is_ident_char(code[i - 1]))) {
-        // Identifier-adjacent apostrophes are digit separators (1'000'000).
-        in_char = true;
-      }
-    }
-    out.raw.push_back(line);
-    out.code.push_back(code);
-  }
-  return out;
-}
 
 // ---- suppression comments ---------------------------------------------------
 
@@ -96,6 +34,8 @@ std::vector<std::vector<std::string>> allowed_rules_per_line(const std::vector<s
   return out;
 }
 
+// A site is covered by an allow() on its own line or on the line directly
+// above (so declarations that would not fit a trailing comment stay lintable).
 bool is_allowed(const std::vector<std::vector<std::string>>& allowed, std::size_t line_index,
                 const std::string& rule) {
   const auto has = [&](std::size_t i) {
@@ -162,7 +102,7 @@ void rule_unit_typed_api(const std::string& rel, const FileText& text,
       out.push_back({"unit-typed-api", rel, static_cast<int>(i + 1),
                      "'" + name + "' is a raw double carrying a dimension; use " + unit +
                          " (ppatc/common/units.hpp) so the unit is part of the type",
-                     false});
+                     false, false});
     }
   }
 }
@@ -204,7 +144,7 @@ void rule_determinism(const std::string& rel, const FileText& text, std::vector<
           if (j >= line.size() || line[j] != '(') continue;
         }
         out.push_back({"determinism", rel, static_cast<int>(i + 1),
-                       std::string{b.needle} + ": " + b.why, false});
+                       std::string{b.needle} + ": " + b.why, false, false});
       }
     }
     for (const char* seed : kTimeSeeds) {
@@ -217,7 +157,7 @@ void rule_determinism(const std::string& rel, const FileText& text, std::vector<
         out.push_back({"determinism", rel, static_cast<int>(i + 1),
                        std::string{seed} + ": wall-clock seeding is nondeterministic; thread an "
                                            "explicit seed parameter",
-                       false});
+                       false, false});
       }
     }
   }
@@ -225,12 +165,20 @@ void rule_determinism(const std::string& rel, const FileText& text, std::vector<
 
 // ---- rule: unordered-iter ---------------------------------------------------
 
+struct UnorderedDecl {
+  std::string name;
+  int decl_line = 0;        ///< 1-based; 0 when only usages were seen
+  bool single_element = false;  ///< initializer held exactly one element
+};
+
 // Identifiers declared (anywhere in this file) with an unordered container
-// type. Textual and file-local by design: cheap, deterministic, and exact for
-// the project's code style.
-std::vector<std::string> unordered_identifiers(const FileText& text) {
-  std::vector<std::string> names;
-  for (const std::string& line : text.code) {
+// type, plus whether the declaration's brace initializer pins the container
+// to a single element. Textual and file-local by design: cheap,
+// deterministic, and exact for the project's code style.
+std::vector<UnorderedDecl> unordered_identifiers(const FileText& text) {
+  std::vector<UnorderedDecl> decls;
+  for (std::size_t li = 0; li < text.code.size(); ++li) {
+    const std::string& line = text.code[li];
     for (std::size_t pos = line.find("unordered_"); pos != std::string::npos;
          pos = line.find("unordered_", pos + 1)) {
       const std::size_t open = line.find('<', pos);
@@ -246,17 +194,64 @@ std::vector<std::string> unordered_identifiers(const FileText& text) {
       while (j < line.size() && (line[j] == ' ' || line[j] == '&')) ++j;
       std::size_t k = j;
       while (k < line.size() && is_ident_char(line[k])) ++k;
-      if (k > j) names.emplace_back(line.substr(j, k - j));
+      if (k == j) continue;
+      UnorderedDecl d;
+      d.name = line.substr(j, k - j);
+      d.decl_line = static_cast<int>(li + 1);
+      // Single-element escape: an initializer of the form {elem} (no
+      // top-level comma inside the outer braces) means iteration order
+      // cannot matter — there is exactly one element to visit.
+      std::size_t b = k;
+      while (b < line.size() && line[b] == ' ') ++b;
+      if (b < line.size() && line[b] == '{') {
+        int bdepth = 0;
+        bool top_comma = false;
+        bool non_empty = false;
+        for (std::size_t c = b; c < line.size(); ++c) {
+          if (line[c] == '{' || line[c] == '(' || line[c] == '[') ++bdepth;
+          if (line[c] == '}' || line[c] == ')' || line[c] == ']') {
+            if (--bdepth == 0) break;
+          }
+          if (bdepth == 1 && line[c] == ',') top_comma = true;
+          if (bdepth >= 1 && c > b && line[c] != ' ' && line[c] != '}') non_empty = true;
+        }
+        d.single_element = non_empty && !top_comma;
+      }
+      decls.push_back(std::move(d));
     }
   }
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
+  std::sort(decls.begin(), decls.end(),
+            [](const UnorderedDecl& a, const UnorderedDecl& b) { return a.name < b.name; });
+  decls.erase(std::unique(decls.begin(), decls.end(),
+                          [](const UnorderedDecl& a, const UnorderedDecl& b) {
+                            return a.name == b.name;
+                          }),
+              decls.end());
+  return decls;
+}
+
+// True when the identifier is mutated after declaration (insert/emplace/
+// operator[]), which voids the single-element escape.
+bool mutated_later(const FileText& text, const std::string& name, int decl_line) {
+  const std::string needles[] = {name + ".insert", name + ".emplace", name + ".try_emplace",
+                                 name + "["};
+  for (std::size_t li = static_cast<std::size_t>(decl_line); li < text.code.size(); ++li) {
+    for (const std::string& n : needles) {
+      std::size_t pos = text.code[li].find(n);
+      // Require a non-identifier char before, so `my_set.insert` does not
+      // count as a mutation of `set`.
+      while (pos != std::string::npos) {
+        if (pos == 0 || !is_ident_char(text.code[li][pos - 1])) return true;
+        pos = text.code[li].find(n, pos + 1);
+      }
+    }
+  }
+  return false;
 }
 
 void rule_unordered_iteration(const std::string& rel, const FileText& text,
                               std::vector<Finding>& out) {
-  const std::vector<std::string> unordered = unordered_identifiers(text);
+  const std::vector<UnorderedDecl> unordered = unordered_identifiers(text);
   if (unordered.empty()) return;
   static const std::regex re{R"(for\s*\([^;)]*:\s*([A-Za-z_][A-Za-z0-9_.>-]*)\s*\))"};
   for (std::size_t i = 0; i < text.code.size(); ++i) {
@@ -267,13 +262,29 @@ void rule_unordered_iteration(const std::string& rel, const FileText& text,
     // Take the last member-access component: obj.map_ / obj->map_ -> map_.
     const std::size_t dot = target.find_last_of(".>");
     if (dot != std::string::npos) target = target.substr(dot + 1);
-    if (std::binary_search(unordered.begin(), unordered.end(), target)) {
-      out.push_back({"unordered-iter", rel, static_cast<int>(i + 1),
-                     "range-for over unordered container '" + target +
-                         "': iteration order is implementation-defined, so any fold over it is a "
-                         "nondeterminism leak; iterate a sorted view or an ordered container",
-                     false});
+    const auto it = std::lower_bound(
+        unordered.begin(), unordered.end(), target,
+        [](const UnorderedDecl& d, const std::string& t) { return d.name < t; });
+    if (it == unordered.end() || it->name != target) continue;
+    // Escape 1: a single-element container has exactly one visitation order.
+    if (it->single_element && !mutated_later(text, it->name, it->decl_line)) continue;
+    // Escape 2: a fold that is sorted immediately after the loop is order-
+    // insensitive — the sort canonicalizes whatever order the loop produced.
+    bool sorted_after = false;
+    for (std::size_t j = i + 1; j < text.code.size() && j <= i + 6; ++j) {
+      const std::size_t pos = text.code[j].find("sort(");
+      if (pos != std::string::npos &&
+          (pos == 0 || !is_ident_char(text.code[j][pos - 1]))) {  // sort( / std::sort(
+        sorted_after = true;
+        break;
+      }
     }
+    if (sorted_after) continue;
+    out.push_back({"unordered-iter", rel, static_cast<int>(i + 1),
+                   "range-for over unordered container '" + target +
+                       "': iteration order is implementation-defined, so any fold over it is a "
+                       "nondeterminism leak; iterate a sorted view or an ordered container",
+                   false, false});
   }
 }
 
@@ -296,7 +307,7 @@ void rule_env_allowlist(const std::string& rel, const FileText& text, const Conf
       out.push_back({"env-allowlist", rel, static_cast<int>(i + 1),
                      "getenv outside the blessed runtime/obs configuration sites; model code must "
                      "not read the environment",
-                     false});
+                     false, false});
     }
   }
 }
@@ -312,10 +323,18 @@ void rule_pragma_once(const std::string& rel, const FileText& text, std::vector<
     if (trimmed == "#pragmaonce") return;
   }
   out.push_back({"pragma-once", rel, 1,
-                 "public header is missing #pragma once (include-guard policy)", false});
+                 "public header is missing #pragma once (include-guard policy)", false, false});
 }
 
 }  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> rules{
+      "determinism",  "env-allowlist",   "layering", "lifetime",       "parallel-safety",
+      "pragma-once",  "unit-typed-api",  "unordered-iter", "units-escape",
+  };
+  return rules;
+}
 
 // ---- driver -----------------------------------------------------------------
 
@@ -326,14 +345,30 @@ void lint_text(const std::string& rel, const std::string& contents, const Config
   const bool is_header = rel.ends_with(".hpp") || rel.ends_with(".h");
   const bool is_public_header = is_header && rel.find("include/") != std::string::npos;
 
+  const auto enabled = [&](const char* rule) {
+    return config.rules.empty() ||
+           std::find(config.rules.begin(), config.rules.end(), rule) != config.rules.end();
+  };
+
   std::vector<Finding> found;
   if (is_public_header) {
-    rule_unit_typed_api(rel, text, found);
-    rule_pragma_once(rel, text, found);
+    if (enabled("unit-typed-api")) rule_unit_typed_api(rel, text, found);
+    if (enabled("pragma-once")) rule_pragma_once(rel, text, found);
   }
-  rule_determinism(rel, text, found);
-  rule_unordered_iteration(rel, text, found);
-  rule_env_allowlist(rel, text, config, found);
+  if (enabled("determinism")) rule_determinism(rel, text, found);
+  if (enabled("unordered-iter")) rule_unordered_iteration(rel, text, found);
+  if (enabled("env-allowlist")) rule_env_allowlist(rel, text, config, found);
+
+  if (enabled("layering") && !config.layering.empty()) {
+    const std::vector<Include> includes = extract_includes(text.raw);
+    detail::rule_layering(rel, includes, config.layering, found);
+  }
+  if (enabled("parallel-safety") || enabled("units-escape")) {
+    const std::vector<Token> tokens = tokenize(text);
+    if (enabled("parallel-safety")) detail::rule_parallel_safety(rel, tokens, found);
+    if (enabled("units-escape")) detail::rule_units_escape(rel, tokens, found);
+  }
+  if (enabled("lifetime")) detail::rule_lifetime(rel, text, found);
 
   for (Finding& f : found) {
     f.suppressed = f.line > 0 && is_allowed(allowed, static_cast<std::size_t>(f.line - 1), f.rule);
@@ -345,6 +380,17 @@ Report run_lint(const std::filesystem::path& root, const Config& config) {
   namespace fs = std::filesystem;
   fs::path scan_root = root;
   if (fs::is_directory(root / "src")) scan_root = root / "src";
+
+  Config effective = config;
+  if (effective.layering.empty()) {
+    const fs::path layering_path = root / "tools" / "lint" / "layering.toml";
+    if (fs::is_regular_file(layering_path)) {
+      std::ifstream in{layering_path, std::ios::binary};
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      effective.layering = parse_layering(buf.str());
+    }
+  }
 
   std::vector<fs::path> files;
   const auto skip_dir = [](const std::string& name) {
@@ -361,30 +407,50 @@ Report run_lint(const std::filesystem::path& root, const Config& config) {
   }
   std::sort(files.begin(), files.end());
 
+  // File-parallel on the project's own deterministic runtime (dogfooding):
+  // each file lints into its own pre-sized slot, and slots are merged in
+  // sorted file order, so the report is byte-stable at any thread count.
+  std::vector<std::vector<Finding>> per_file(files.size());
+  runtime::parallel_for(
+      files.size(),
+      [&](std::size_t i) {
+        std::ifstream in{files[i], std::ios::binary};
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string rel = fs::relative(files[i], scan_root).generic_string();
+        lint_text(rel, buf.str(), effective, per_file[i]);
+      },
+      /*grain=*/4);
+
   Report report;
-  for (const fs::path& file : files) {
-    std::ifstream in{file, std::ios::binary};
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::string rel = fs::relative(file, scan_root).generic_string();
-    lint_text(rel, buf.str(), config, report.findings);
-    ++report.files_scanned;
+  report.files_scanned = files.size();
+  for (std::vector<Finding>& findings : per_file) {
+    for (Finding& f : findings) report.findings.push_back(std::move(f));
   }
   return report;
 }
 
 std::size_t Report::violation_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(findings.begin(), findings.end(), [](const Finding& f) { return !f.suppressed; }));
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(),
+      [](const Finding& f) { return !f.suppressed && !f.baselined; }));
 }
 
 std::size_t Report::suppression_count() const {
-  return findings.size() - violation_count();
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const Finding& f) { return f.suppressed; }));
+}
+
+std::size_t Report::baselined_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(),
+      [](const Finding& f) { return f.baselined && !f.suppressed; }));
 }
 
 std::map<std::string, std::size_t> Report::count_by_rule(bool suppressed) const {
   std::map<std::string, std::size_t> counts;
   for (const Finding& f : findings) {
+    if (f.baselined && !f.suppressed) continue;
     if (f.suppressed == suppressed) ++counts[f.rule];
   }
   return counts;
@@ -394,7 +460,7 @@ std::string format_report(const Report& report) {
   std::ostringstream os;
   os << "ppatc-lint: scanned " << report.files_scanned << " files, "
      << report.violation_count() << " violations, " << report.suppression_count()
-     << " suppressed\n";
+     << " suppressed, " << report.baselined_count() << " baselined\n";
   const auto violations = report.count_by_rule(false);
   const auto suppressed = report.count_by_rule(true);
   for (const auto& [rule, count] : violations) {
@@ -404,13 +470,17 @@ std::string format_report(const Report& report) {
     os << "  " << rule << ": " << count << " suppressed\n";
   }
   for (const Finding& f : report.findings) {
-    if (f.suppressed) continue;
+    if (f.suppressed || f.baselined) continue;
     os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
   }
   for (const Finding& f : report.findings) {
     if (!f.suppressed) continue;
     os << f.file << ":" << f.line << ": [" << f.rule << "] suppressed via allow(" << f.rule
        << ")\n";
+  }
+  for (const Finding& f : report.findings) {
+    if (!f.baselined || f.suppressed) continue;
+    os << f.file << ":" << f.line << ": [" << f.rule << "] baselined\n";
   }
   return os.str();
 }

@@ -1,8 +1,10 @@
 // ppatc-lint: project-policy static analyzer.
 //
 // Walks a source tree and enforces, as machine-checked policy, the invariants
-// the ppatc codebase otherwise upholds only by convention:
+// the ppatc codebase otherwise upholds only by convention. Nine rules, in two
+// generations:
 //
+// Line-oriented (PR 3):
 //   unit-typed-api    public headers must not declare raw double parameters /
 //                     aggregate fields whose names imply a physical dimension
 //                     (width_um, energy_j, lifetime_s, ...) when a
@@ -13,24 +15,47 @@
 //                     must be bit-reproducible for a fixed seed.
 //   unordered-iter    no range-for over std::unordered_{map,set} instances —
 //                     iteration order is implementation-defined, so any
-//                     accumulation over it is a nondeterminism leak.
+//                     accumulation over it is a nondeterminism leak. Escapes:
+//                     single-element containers and folds that are sorted
+//                     immediately after the loop.
 //   env-allowlist     std::getenv only in the blessed runtime/observability
 //                     configuration sites; model code must not read the
 //                     environment.
 //   pragma-once       every public header carries #pragma once.
 //
-// A fifth leg — header self-containment — is enforced at build time by
+// Scope-aware (PR 5, built on the lexer.hpp token stream):
+//   layering          the include graph over src/<module>/ must stay inside
+//                     the DAG declared in tools/lint/layering.toml; relative
+//                     includes that reach another module's internals are
+//                     always violations.
+//   parallel-safety   lambdas passed to parallel_for / parallel_for_chunks /
+//                     parallel_reduce / parallel_invoke must be chunk-pure:
+//                     no writes to by-reference captures that are not
+//                     index-addressed output slots, no mutexes or other
+//                     blocking synchronization, no thread-identity APIs.
+//   units-escape      locals initialized from in_*() unwraps carry a
+//                     (dimension, unit) tag; +/-/comparisons that mix tags
+//                     and named-conversion calls fed the wrong tag are
+//                     flagged, as is any raw .value() unwrap.
+//   lifetime          functions returning string_view / span / a reference
+//                     must not return a body-local or a temporary.
+//
+// A tenth leg — header self-containment — is enforced at build time by
 // compiling one generated TU per public header (see tools/lint/CMakeLists).
 //
 // Every rule is individually suppressible at a site with
 //     // ppatc-lint: allow(<rule>[, <rule>...])
 // on the offending line or the line directly above it. Suppressions are
-// counted and listed in the report so they stay visible.
+// counted per rule and listed in the report so they stay visible. Findings
+// that predate a rule can instead be parked in a committed baseline file
+// (see Baseline below); baselined findings do not fail the lint but are
+// carried into the SARIF output with an external suppression.
 #pragma once
 
 #include <cstddef>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -43,6 +68,7 @@ struct Finding {
   int line = 0;      ///< 1-based
   std::string message;
   bool suppressed = false;  ///< an allow() comment covers this site
+  bool baselined = false;   ///< a baseline entry covers this site
 };
 
 /// Result of linting a tree.
@@ -50,12 +76,30 @@ struct Report {
   std::vector<Finding> findings;
   std::size_t files_scanned = 0;
 
+  /// Findings neither suppressed in-source nor baselined: these fail the lint.
   [[nodiscard]] std::size_t violation_count() const;
   [[nodiscard]] std::size_t suppression_count() const;
-  /// Per-rule counts of (un)suppressed findings.
+  [[nodiscard]] std::size_t baselined_count() const;
+  /// Per-rule counts of unsuppressed / suppressed findings (baselined counts
+  /// as neither).
   [[nodiscard]] std::map<std::string, std::size_t> count_by_rule(bool suppressed) const;
   [[nodiscard]] bool clean() const { return violation_count() == 0; }
 };
+
+/// The declared module-layering DAG: module name -> modules whose public
+/// headers it may include. Parsed from tools/lint/layering.toml.
+struct LayeringConfig {
+  std::map<std::string, std::set<std::string>> allowed;
+
+  [[nodiscard]] bool empty() const { return allowed.empty(); }
+};
+
+/// Parses the layering.toml text. Grammar (one declaration per line):
+///     [layers]                      # section header, ignored
+///     module = ["dep", "dep2"]      # module may include those modules
+/// Throws std::runtime_error on malformed lines, dependencies on undeclared
+/// modules, self-dependencies, or cycles in the declared graph.
+[[nodiscard]] LayeringConfig parse_layering(const std::string& text);
 
 /// Tuning knobs; the defaults encode the ppatc policy.
 struct Config {
@@ -65,22 +109,72 @@ struct Config {
   /// PPATC_METRICS), and the run-manifest output path (BENCH_MANIFEST_OUT).
   std::vector<std::string> env_allowlist{"runtime/parallel.cpp", "obs/trace.cpp",
                                          "obs/report.cpp"};
+
+  /// Declared module layering. Empty disables the layering rule. run_lint
+  /// auto-loads <root>/tools/lint/layering.toml when this is empty.
+  LayeringConfig layering;
+
+  /// When non-empty, only these rules run (the CLI's --rules filter).
+  std::vector<std::string> rules;
 };
+
+/// Names of all rules the analyzer implements, sorted.
+[[nodiscard]] const std::vector<std::string>& all_rules();
 
 /// Lints every .hpp/.cpp under `root`, skipping build*/.git/header_tus
 /// directories. If `root` has a `src/` child, only that subtree is scanned
 /// (so passing a repo root lints exactly the library sources). Paths in the
-/// report are relative to the scanned directory. File order is sorted, so
-/// reports are byte-stable.
+/// report are relative to the scanned directory. Files are linted in
+/// parallel on ppatc::runtime::parallel_for; findings are merged in sorted
+/// file order, so reports are byte-stable at any thread count.
 [[nodiscard]] Report run_lint(const std::filesystem::path& root, const Config& config = {});
 
 /// Lints a single file's contents (exposed for the fixture tests).
 /// `rel` is the path used in findings and for the env allowlist /
-/// public-header ("include/" in path) checks.
+/// public-header ("include/" in path) checks; its first path component is
+/// the module name for the layering rule.
 void lint_text(const std::string& rel, const std::string& contents, const Config& config,
                std::vector<Finding>& out);
 
 /// Human-readable report (per-rule totals, then one line per finding).
 [[nodiscard]] std::string format_report(const Report& report);
+
+// ---- baseline ---------------------------------------------------------------
+
+/// One parked pre-existing finding. Matching is exact on (rule, file, line).
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string rationale;  ///< required: why this finding is allowed to stand
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Parses a baseline file. Each non-comment line must read
+///     <rule> <file>:<line> -- <rationale>
+/// Throws std::runtime_error on malformed lines or entries with an empty
+/// rationale (the policy: every parked finding carries a written reason).
+[[nodiscard]] Baseline parse_baseline(const std::string& text);
+
+/// Marks findings covered by the baseline (`baselined = true`). Returns the
+/// entries that matched nothing — stale entries a caller should fail on so
+/// the baseline can only shrink.
+[[nodiscard]] std::vector<BaselineEntry> apply_baseline(Report& report,
+                                                        const Baseline& baseline);
+
+/// Serializes entries in the parse_baseline format (for --write-baseline).
+[[nodiscard]] std::string format_baseline(const std::vector<BaselineEntry>& entries);
+
+// ---- SARIF ------------------------------------------------------------------
+
+/// Renders the report as a SARIF 2.1.0 log (one run, one result per finding).
+/// `uri_prefix` is prepended to each finding's file to make repo-relative
+/// URIs ("src/" when the scan root was the src/ subtree). In-source
+/// suppressions and baselined findings carry SARIF suppression objects, so
+/// code-scanning shows them as suppressed rather than open.
+[[nodiscard]] std::string to_sarif(const Report& report, const std::string& uri_prefix);
 
 }  // namespace ppatc::lint

@@ -1,37 +1,173 @@
 // ppatc-lint driver: lints the project tree and exits nonzero on any
-// unsuppressed violation. Registered as the `lint.ppatc_lint` ctest.
+// violation that is neither suppressed in-source nor parked in the baseline.
+// Registered as the `lint.ppatc_lint` and `lint.layering` ctests.
 //
-// Usage: ppatc_lint [--root <dir>] [--quiet]
-//   --root   repository root (or any tree); if <dir>/src exists, exactly that
-//            subtree is scanned. Default: current directory.
-//   --quiet  print only the summary line, not per-finding details.
+// Usage: ppatc_lint [--root <dir>] [--quiet] [--rules r1,r2]
+//                   [--baseline <file>] [--write-baseline <file>]
+//                   [--sarif <file>] [--threads <n>]
+//   --root            repository root (or any tree); if <dir>/src exists,
+//                     exactly that subtree is scanned. Default: cwd.
+//   --quiet           print only the summary line, not per-finding details.
+//   --rules           comma-separated rule filter; default runs all nine.
+//   --baseline        committed baseline of parked findings; stale entries
+//                     (matching nothing) are themselves a failure.
+//   --write-baseline  write the current violations as a baseline and exit 0
+//                     (the escape hatch for landing a new rule on a dirty
+//                     tree; each entry still needs a hand-written rationale).
+//   --sarif           also write the report as SARIF 2.1.0 for code-scanning.
+//   --threads         worker threads for the file-parallel scan (the
+//                     analyzer dogfoods ppatc::runtime::parallel_for);
+//                     default: PPATC_THREADS / hardware concurrency.
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <exception>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "lint_core.hpp"
+#include "ppatc/runtime/parallel.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is{csv};
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int usage() {
+  std::cerr << "usage: ppatc_lint [--root <dir>] [--quiet] [--rules r1,r2]\n"
+               "                  [--baseline <file>] [--write-baseline <file>]\n"
+               "                  [--sarif <file>] [--threads <n>]\n";
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string rules_csv;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string sarif_path;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
-      root = argv[++i];
+    const auto take_value = [&](std::string& into) {
+      if (i + 1 >= argc) return false;
+      into = argv[++i];
+      return true;
+    };
+    if (std::strcmp(argv[i], "--root") == 0) {
+      if (!take_value(root)) return usage();
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--rules") == 0) {
+      if (!take_value(rules_csv)) return usage();
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      if (!take_value(baseline_path)) return usage();
+    } else if (std::strcmp(argv[i], "--write-baseline") == 0) {
+      if (!take_value(write_baseline_path)) return usage();
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      if (!take_value(sarif_path)) return usage();
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      std::string n;
+      if (!take_value(n)) return usage();
+      try {
+        ppatc::runtime::set_thread_count(static_cast<std::size_t>(std::stoul(n)));
+      } catch (const std::exception&) {
+        return usage();
+      }
     } else {
-      std::cerr << "usage: ppatc_lint [--root <dir>] [--quiet]\n";
+      return usage();
+    }
+  }
+
+  ppatc::lint::Config config;
+  config.rules = split_csv(rules_csv);
+  for (const std::string& rule : config.rules) {
+    const auto& all = ppatc::lint::all_rules();
+    if (std::find(all.begin(), all.end(), rule) == all.end()) {
+      std::cerr << "ppatc-lint: unknown rule '" << rule << "'\n";
       return 2;
     }
   }
 
-  const ppatc::lint::Report report = ppatc::lint::run_lint(root);
+  const auto t0 = std::chrono::steady_clock::now();
+  ppatc::lint::Report report;
+  try {
+    report = ppatc::lint::run_lint(root, config);
+  } catch (const std::exception& e) {
+    std::cerr << "ppatc-lint: " << e.what() << "\n";
+    return 2;
+  }
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+  if (!write_baseline_path.empty()) {
+    std::vector<ppatc::lint::BaselineEntry> entries;
+    for (const ppatc::lint::Finding& f : report.findings) {
+      if (!f.suppressed) entries.push_back({f.rule, f.file, f.line, ""});
+    }
+    std::ofstream os{write_baseline_path};
+    os << ppatc::lint::format_baseline(entries);
+    if (!os) {
+      std::cerr << "ppatc-lint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    std::cout << "ppatc-lint: wrote " << entries.size() << " baseline entries to "
+              << write_baseline_path << " (fill in the rationales)\n";
+    return 0;
+  }
+
+  std::vector<ppatc::lint::BaselineEntry> stale;
+  if (!baseline_path.empty()) {
+    std::ifstream is{baseline_path};
+    if (!is) {
+      std::cerr << "ppatc-lint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << is.rdbuf();
+    try {
+      const ppatc::lint::Baseline baseline = ppatc::lint::parse_baseline(buf.str());
+      stale = ppatc::lint::apply_baseline(report, baseline);
+    } catch (const std::exception& e) {
+      std::cerr << "ppatc-lint: " << baseline_path << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream os{sarif_path};
+    os << ppatc::lint::to_sarif(report, "src/");
+    if (!os) {
+      std::cerr << "ppatc-lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+  }
+
   if (quiet) {
     std::cout << "ppatc-lint: " << report.files_scanned << " files, "
               << report.violation_count() << " violations, " << report.suppression_count()
-              << " suppressed\n";
+              << " suppressed, " << report.baselined_count() << " baselined\n";
   } else {
     std::cout << ppatc::lint::format_report(report);
   }
-  return report.clean() ? 0 : 1;
+  std::cout << "ppatc-lint: scanned " << report.files_scanned << " files in " << elapsed_ms
+            << " ms on " << ppatc::runtime::thread_count() << " threads\n";
+
+  for (const ppatc::lint::BaselineEntry& entry : stale) {
+    std::cerr << "ppatc-lint: stale baseline entry (matched nothing): " << entry.rule << " "
+              << entry.file << ":" << entry.line << " — remove it\n";
+  }
+  return (report.clean() && stale.empty()) ? 0 : 1;
 }

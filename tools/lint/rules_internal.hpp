@@ -1,0 +1,25 @@
+// Internal rule entry points shared between the analyzer's translation units.
+// Everything here consumes the lexer.hpp representations; lint_core.cpp owns
+// dispatch and suppression handling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint_core.hpp"
+
+namespace ppatc::lint::detail {
+
+void rule_layering(const std::string& rel, const std::vector<Include>& includes,
+                   const LayeringConfig& config, std::vector<Finding>& out);
+
+void rule_parallel_safety(const std::string& rel, const std::vector<Token>& tokens,
+                          std::vector<Finding>& out);
+
+void rule_units_escape(const std::string& rel, const std::vector<Token>& tokens,
+                       std::vector<Finding>& out);
+
+void rule_lifetime(const std::string& rel, const FileText& text, std::vector<Finding>& out);
+
+}  // namespace ppatc::lint::detail

@@ -1,0 +1,691 @@
+// Scope-aware rule families: parallel-safety, units-escape, lifetime.
+//
+// All three consume the lexer.hpp token stream and build small per-site
+// symbol tables (lambda captures/params/locals, scoped unwrap tags, function
+// body locals). They are conservative by construction: a site is flagged
+// only when the tokens pin down the violating shape, so the approximation of
+// not running a real C++ front end costs recall, never precision on the
+// project's code style.
+#include <algorithm>
+#include <array>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+
+#include "rules_internal.hpp"
+
+namespace ppatc::lint::detail {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_assign_op(const std::string& t) {
+  static const std::set<std::string> kOps{"=",  "+=", "-=",  "*=",  "/=", "%=",
+                                          "&=", "|=", "^=", "<<=", ">>=", "++", "--"};
+  return kOps.contains(t);
+}
+
+bool is_member_access(const std::string& t) { return t == "." || t == "->"; }
+
+// Keywords that can precede an identifier without making it a declaration.
+bool is_decl_blocking_keyword(const std::string& t) {
+  static const std::set<std::string> kKw{"return", "delete", "new",    "else",   "case",
+                                         "goto",   "break",  "continue", "co_return",
+                                         "throw",  "sizeof", "using",  "typedef", "namespace",
+                                         "if",     "while",  "do",     "switch", "operator"};
+  return kKw.contains(t);
+}
+
+void push_unique(std::vector<Finding>& out, Finding f) {
+  const bool dup = std::any_of(out.begin(), out.end(), [&](const Finding& g) {
+    return g.rule == f.rule && g.file == f.file && g.line == f.line && g.message == f.message;
+  });
+  if (!dup) out.push_back(std::move(f));
+}
+
+// ---- parallel-safety --------------------------------------------------------
+//
+// The runtime's determinism contract: a body handed to parallel_for /
+// parallel_for_chunks / parallel_reduce / parallel_invoke must be chunk-pure.
+// It may read anything, but it may write only (a) its own locals and
+// parameters and (b) index-addressed slots (out[i], partials[r.index]) of
+// pre-sized buffers — never a bare by-reference capture, and never under a
+// mutex (serialization hides the nondeterministic interleaving instead of
+// removing it).
+
+struct LambdaInfo {
+  bool default_ref = false;     ///< [&]
+  bool default_copy = false;    ///< [=]
+  bool captures_this = false;   ///< [this] / [*this]
+  std::set<std::string> ref_captures;
+  std::set<std::string> value_captures;
+  std::set<std::string> params;
+  std::size_t body_begin = 0;  ///< index of '{'
+  std::size_t body_end = 0;    ///< index of matching '}'
+  bool valid = false;
+};
+
+// Parses a lambda whose '[' is at `intro`. Returns info with valid=false if
+// the shape does not pan out (e.g. it was a subscript after all).
+LambdaInfo parse_lambda(const Tokens& toks, std::size_t intro) {
+  LambdaInfo info;
+  const std::size_t cap_end = match_forward(toks, intro);
+  if (cap_end >= toks.size()) return info;
+  // Captures: entries split on top-level commas.
+  std::size_t entry = intro + 1;
+  while (entry < cap_end) {
+    std::size_t e = entry;
+    int depth = 0;
+    while (e < cap_end) {
+      const std::string& t = toks[e].text;
+      if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+      if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+      if (t == "," && depth == 0) break;
+      ++e;
+    }
+    if (e > entry) {
+      const std::string& first = toks[entry].text;
+      if (first == "&" && e == entry + 1) {
+        info.default_ref = true;
+      } else if (first == "=" && e == entry + 1) {
+        info.default_copy = true;
+      } else if (first == "this" || (first == "*" && toks[entry + 1].text == "this")) {
+        info.captures_this = true;
+      } else if (first == "&" && toks[entry + 1].kind == TokKind::kIdent) {
+        info.ref_captures.insert(toks[entry + 1].text);
+      } else if (toks[entry].kind == TokKind::kIdent) {
+        info.value_captures.insert(first);
+      }
+    }
+    entry = e + 1;
+  }
+  // Optional parameter list.
+  std::size_t i = cap_end + 1;
+  if (i < toks.size() && toks[i].text == "(") {
+    const std::size_t par_end = match_forward(toks, i);
+    if (par_end >= toks.size()) return info;
+    std::size_t p = i + 1;
+    while (p < par_end) {
+      std::size_t e = p;
+      int depth = 0;
+      std::size_t eq = 0;  // first top-level '=' (default argument)
+      while (e < par_end) {
+        const std::string& t = toks[e].text;
+        if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+        if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+        if (t == "," && depth == 0) break;
+        if (t == "=" && depth == 0 && eq == 0) eq = e;
+        ++e;
+      }
+      const std::size_t limit = eq != 0 ? eq : e;
+      for (std::size_t k = limit; k > p;) {
+        --k;
+        if (toks[k].kind == TokKind::kIdent) {
+          info.params.insert(toks[k].text);
+          break;
+        }
+      }
+      p = e + 1;
+    }
+    i = par_end + 1;
+  }
+  // Skip specifiers (mutable, noexcept, -> T) up to the body.
+  while (i < toks.size() && toks[i].text != "{") {
+    if (toks[i].text == ";" || toks[i].text == ")") return info;  // not a lambda body
+    ++i;
+  }
+  if (i >= toks.size()) return info;
+  info.body_begin = i;
+  info.body_end = match_forward(toks, i);
+  info.valid = info.body_end < toks.size();
+  return info;
+}
+
+// Collects identifiers declared inside [begin, end): `Type name =/;/{`,
+// structured bindings, and nested-lambda parameters.
+std::set<std::string> collect_locals(const Tokens& toks, std::size_t begin, std::size_t end) {
+  std::set<std::string> locals;
+  for (std::size_t k = begin; k < end; ++k) {
+    if (toks[k].kind != TokKind::kIdent) {
+      // Structured binding: auto [a, b] = / auto& [a, b] =
+      if (toks[k].text == "[" && k >= 1 &&
+          (toks[k - 1].text == "auto" || ((toks[k - 1].text == "&" || toks[k - 1].text == "&&") &&
+                                          k >= 2 && toks[k - 2].text == "auto"))) {
+        const std::size_t close = match_forward(toks, k);
+        for (std::size_t j = k + 1; j < close && j < end; ++j) {
+          if (toks[j].kind == TokKind::kIdent) locals.insert(toks[j].text);
+        }
+      }
+      // Nested lambda: its parameters scope over part of this body.
+      if (toks[k].text == "[" && k >= 1 &&
+          (toks[k - 1].text == "(" || toks[k - 1].text == "," || toks[k - 1].text == "=" ||
+           toks[k - 1].text == "return")) {
+        const LambdaInfo nested = parse_lambda(toks, k);
+        if (nested.valid) {
+          for (const std::string& p : nested.params) locals.insert(p);
+        }
+      }
+      continue;
+    }
+    if (k + 1 >= end || k == begin) continue;
+    const std::string& next = toks[k + 1].text;
+    if (next != "=" && next != ";" && next != "{") continue;
+    const Token& prev = toks[k - 1];
+    const bool prev_declish =
+        (prev.kind == TokKind::kIdent && !is_decl_blocking_keyword(prev.text)) ||
+        prev.text == "&" || prev.text == "*" || prev.text == ">" || prev.text == "&&";
+    if (prev_declish) locals.insert(toks[k].text);
+  }
+  return locals;
+}
+
+// Walks the member-access chain ending at token index `k` (an identifier)
+// back to its base identifier; `from_call_or_index` reports whether the
+// chain passes through a call/subscript result (pts[i].x, f(x).y).
+std::size_t chain_base(const Tokens& toks, std::size_t k, bool& from_call_or_index) {
+  from_call_or_index = false;
+  while (k >= 2 && is_member_access(toks[k - 1].text)) {
+    const std::string& before = toks[k - 2].text;
+    if (before == ")" || before == "]") {
+      from_call_or_index = true;
+      return k;
+    }
+    if (toks[k - 2].kind != TokKind::kIdent) return k;
+    k -= 2;
+  }
+  return k;
+}
+
+const std::set<std::string>& sync_primitives() {
+  static const std::set<std::string> kSync{
+      "mutex",        "shared_mutex",      "recursive_mutex",        "timed_mutex",
+      "lock_guard",   "unique_lock",       "scoped_lock",            "shared_lock",
+      "condition_variable", "condition_variable_any", "call_once",  "once_flag",
+      "atomic",       "atomic_ref",        "atomic_flag",            "semaphore",
+      "counting_semaphore", "binary_semaphore", "barrier",          "latch"};
+  return kSync;
+}
+
+const std::set<std::string>& thread_identity_apis() {
+  static const std::set<std::string> kApis{"this_thread", "hardware_concurrency", "get_id",
+                                           "sleep_for",   "sleep_until"};
+  return kApis;
+}
+
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> kMut{"push_back", "emplace_back", "pop_back", "insert",
+                                          "emplace",   "try_emplace",  "erase",    "clear",
+                                          "resize",    "assign",       "append"};
+  return kMut;
+}
+
+void check_lambda_body(const std::string& rel, const Tokens& toks, const LambdaInfo& lam,
+                       std::vector<Finding>& out) {
+  const std::set<std::string> locals =
+      collect_locals(toks, lam.body_begin + 1, lam.body_end);
+  const auto is_chunk_local = [&](const std::string& name) {
+    return locals.contains(name) || lam.params.contains(name) ||
+           lam.value_captures.contains(name);
+  };
+  for (std::size_t k = lam.body_begin + 1; k < lam.body_end; ++k) {
+    const Token& tok = toks[k];
+    if (tok.kind != TokKind::kIdent) {
+      // Prefix ++/-- on a bare identifier.
+      if ((tok.text == "++" || tok.text == "--") && k + 1 < lam.body_end &&
+          toks[k + 1].kind == TokKind::kIdent && !is_member_access(toks[k - 1].text) &&
+          (k + 2 >= lam.body_end || (toks[k + 2].text != "." && toks[k + 2].text != "->" &&
+                                     toks[k + 2].text != "["))) {
+        const std::string& name = toks[k + 1].text;
+        if (!is_chunk_local(name)) {
+          push_unique(out, {"parallel-safety", rel, toks[k + 1].line,
+                            "increment of shared '" + name +
+                                "' inside a parallel region; the determinism contract requires "
+                                "chunk-pure bodies that write only locals and index-addressed "
+                                "output slots",
+                            false, false});
+        }
+      }
+      continue;
+    }
+    // Synchronization primitives and thread-identity APIs.
+    if (sync_primitives().contains(tok.text)) {
+      push_unique(out, {"parallel-safety", rel, tok.line,
+                        "synchronization primitive '" + tok.text +
+                            "' inside a parallel region: serializing a shared write hides the "
+                            "nondeterministic interleaving instead of removing it; accumulate "
+                            "per-chunk partials and combine them in chunk order",
+                        false, false});
+      continue;
+    }
+    if (thread_identity_apis().contains(tok.text)) {
+      push_unique(out, {"parallel-safety", rel, tok.line,
+                        "thread-identity/scheduling API '" + tok.text +
+                            "' inside a parallel region makes results depend on which worker "
+                            "runs the chunk",
+                        false, false});
+      continue;
+    }
+    if (k + 1 >= lam.body_end) continue;
+    const std::string& next = toks[k + 1].text;
+    // Mutating container method on a shared object: shared.push_back(...).
+    if (is_member_access(next) && k + 3 < lam.body_end &&
+        mutating_methods().contains(toks[k + 2].text) && toks[k + 3].text == "(" &&
+        !is_member_access(toks[k - 1].text)) {
+      if (!is_chunk_local(tok.text)) {
+        push_unique(out, {"parallel-safety", rel, tok.line,
+                          "mutating call '" + tok.text + "." + toks[k + 2].text +
+                              "(...)' on a shared object inside a parallel region; append-style "
+                              "mutation is order-dependent — write to a pre-sized, "
+                              "index-addressed slot instead",
+                          false, false});
+      }
+      continue;
+    }
+    // Assignment whose target is a bare identifier or a member chain rooted
+    // at one. Subscripted targets (out[i] = ...) never reach here: '=' then
+    // follows ']', not an identifier.
+    if (!is_assign_op(next)) continue;
+    bool via_call_or_index = false;
+    const std::size_t base = chain_base(toks, k, via_call_or_index);
+    if (via_call_or_index) continue;  // pts[i].x = ... — indexed slot, fine
+    if (base != k && toks[base].kind != TokKind::kIdent) continue;
+    if (base == k && is_member_access(toks[k - 1].text)) continue;  // f(x).y = handled above
+    const std::string& name = toks[base].text;
+    if (is_chunk_local(name)) continue;
+    if (toks[base].kind != TokKind::kIdent) continue;
+    push_unique(out, {"parallel-safety", rel, tok.line,
+                      "write to shared '" + name +
+                          "' inside a parallel region is not a chunk-local output slot; the "
+                          "determinism contract requires chunk-pure bodies (write locals or "
+                          "index-addressed pre-sized buffers only)",
+                      false, false});
+  }
+}
+
+}  // namespace
+
+void rule_parallel_safety(const std::string& rel, const Tokens& toks,
+                          std::vector<Finding>& out) {
+  static const std::set<std::string> kEntryPoints{"parallel_for", "parallel_for_chunks",
+                                                  "parallel_reduce", "parallel_invoke"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !kEntryPoints.contains(toks[i].text)) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // A definition/declaration has a type token directly before the name
+    // (`void parallel_for_chunks(...)`); a call site is preceded by `::`,
+    // an operator, or a statement boundary.
+    if (i > 0 && (toks[i - 1].kind == TokKind::kIdent || toks[i - 1].text == ">" ||
+                  toks[i - 1].text == "&" || toks[i - 1].text == "*")) {
+      continue;
+    }
+    const std::size_t args_end = match_forward(toks, i + 1);
+    if (args_end >= toks.size()) continue;
+    for (std::size_t j = i + 2; j < args_end; ++j) {
+      if (toks[j].text != "[") continue;
+      if (!(toks[j - 1].text == "(" || toks[j - 1].text == ",")) continue;
+      const LambdaInfo lam = parse_lambda(toks, j);
+      if (!lam.valid) continue;
+      check_lambda_body(rel, toks, lam, out);
+      j = lam.body_end;  // nested parallel_* calls are matched by the outer loop
+    }
+  }
+}
+
+// ---- units-escape -----------------------------------------------------------
+//
+// Dataflow over unwrapped quantities. A local initialized from a pure
+// `[units::]in_<unit>(...)` call carries a (dimension, unit) tag for the
+// rest of its scope. Tags make three bug shapes visible that the type system
+// can no longer see after the unwrap:
+//   * a + b / a - b / comparisons where the tags disagree,
+//   * a tagged value handed to a units factory of another dimension or unit,
+//   * any raw .value() unwrap (the project's Quantity exposes conversions
+//     only through named in_*() accessors; .value() is foreign code smell).
+
+namespace {
+
+struct UnwrapInfo {
+  const char* dim;   ///< Quantity alias name (Energy, Duration, ...)
+  const char* unit;  ///< unit word (joules, seconds, ...)
+};
+
+const std::map<std::string, UnwrapInfo>& factory_table() {
+  static const std::map<std::string, UnwrapInfo> kTable{
+      {"joules", {"Energy", "joules"}},
+      {"kilowatt_hours", {"Energy", "kilowatt_hours"}},
+      {"watt_hours", {"Energy", "watt_hours"}},
+      {"picojoules", {"Energy", "picojoules"}},
+      {"femtojoules", {"Energy", "femtojoules"}},
+      {"watts", {"Power", "watts"}},
+      {"milliwatts", {"Power", "milliwatts"}},
+      {"microwatts", {"Power", "microwatts"}},
+      {"nanowatts", {"Power", "nanowatts"}},
+      {"seconds", {"Duration", "seconds"}},
+      {"nanoseconds", {"Duration", "nanoseconds"}},
+      {"picoseconds", {"Duration", "picoseconds"}},
+      {"microseconds", {"Duration", "microseconds"}},
+      {"milliseconds", {"Duration", "milliseconds"}},
+      {"hours", {"Duration", "hours"}},
+      {"days", {"Duration", "days"}},
+      {"months", {"Duration", "months"}},
+      {"square_centimetres", {"Area", "square_centimetres"}},
+      {"square_millimetres", {"Area", "square_millimetres"}},
+      {"square_micrometres", {"Area", "square_micrometres"}},
+      {"metres", {"Length", "metres"}},
+      {"millimetres", {"Length", "millimetres"}},
+      {"micrometres", {"Length", "micrometres"}},
+      {"nanometres", {"Length", "nanometres"}},
+      {"grams_co2e", {"Carbon", "grams_co2e"}},
+      {"kilograms_co2e", {"Carbon", "kilograms_co2e"}},
+      {"gco2e_seconds", {"CarbonDelay", "gco2e_seconds"}},
+      {"grams_per_kilowatt_hour", {"CarbonIntensity", "grams_per_kilowatt_hour"}},
+      {"grams_per_square_centimetre", {"CarbonPerArea", "grams_per_square_centimetre"}},
+      {"kilograms_per_square_centimetre", {"CarbonPerArea", "kilograms_per_square_centimetre"}},
+      {"joules_per_square_centimetre", {"EnergyPerArea", "joules_per_square_centimetre"}},
+      {"kilowatt_hours_per_square_centimetre",
+       {"EnergyPerArea", "kilowatt_hours_per_square_centimetre"}},
+      {"volts", {"Voltage", "volts"}},
+      {"amperes", {"Current", "amperes"}},
+      {"microamperes", {"Current", "microamperes"}},
+      {"nanoamperes", {"Current", "nanoamperes"}},
+      {"farads", {"Capacitance", "farads"}},
+      {"femtofarads", {"Capacitance", "femtofarads"}},
+      {"attofarads", {"Capacitance", "attofarads"}},
+      {"coulombs", {"Charge", "coulombs"}},
+      {"hertz", {"Frequency", "hertz"}},
+      {"megahertz", {"Frequency", "megahertz"}},
+      {"gigahertz", {"Frequency", "gigahertz"}},
+      {"grams", {"Mass", "grams"}},
+      {"picograms", {"Mass", "picograms"}},
+      {"kelvin", {"Temperature", "kelvin"}},
+      {"celsius", {"Temperature", "celsius"}},
+  };
+  return kTable;
+}
+
+// in_<unit>() accessors share the factory vocabulary.
+const UnwrapInfo* unwrap_for(const std::string& fn) {
+  if (!fn.starts_with("in_")) return nullptr;
+  const auto it = factory_table().find(fn.substr(3));
+  return it == factory_table().end() ? nullptr : &it->second;
+}
+
+const UnwrapInfo* factory_for(const std::string& fn) {
+  const auto it = factory_table().find(fn);
+  return it == factory_table().end() ? nullptr : &it->second;
+}
+
+struct TaggedLocal {
+  UnwrapInfo info;
+  int depth = 0;  ///< brace depth at declaration; dropped when scope closes
+};
+
+bool is_comparison(const std::string& t) {
+  return t == "<" || t == ">" || t == "<=" || t == ">=" || t == "==" || t == "!=";
+}
+
+// True when tokens[k] names a bare tagged local usable as an operand: no
+// member access before it, no call/member/subscript after it.
+bool bare_operand(const Tokens& toks, std::size_t k) {
+  if (toks[k].kind != TokKind::kIdent) return false;
+  if (k > 0 && (is_member_access(toks[k - 1].text) || toks[k - 1].text == "::")) return false;
+  if (k + 1 < toks.size()) {
+    const std::string& n = toks[k + 1].text;
+    if (n == "(" || n == "[" || n == "." || n == "->" || n == "::") return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void rule_units_escape(const std::string& rel, const Tokens& toks, std::vector<Finding>& out) {
+  std::map<std::string, TaggedLocal> tagged;
+  int depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "{") {
+      ++depth;
+      continue;
+    }
+    if (t == "}") {
+      --depth;
+      for (auto it = tagged.begin(); it != tagged.end();) {
+        it = it->second.depth > depth ? tagged.erase(it) : std::next(it);
+      }
+      continue;
+    }
+    // Raw .value() unwrap.
+    if (toks[i].kind == TokKind::kIdent && t == "value" && i >= 1 &&
+        is_member_access(toks[i - 1].text) && i + 2 < toks.size() && toks[i + 1].text == "(" &&
+        toks[i + 2].text == ")") {
+      push_unique(out, {"units-escape", rel, toks[i].line,
+                        "raw .value() unwrap escapes the unit type system; convert through a "
+                        "named in_*() accessor so the unit is visible at the call site (or "
+                        "suppress with a rationale if this is not a ppatc Quantity)",
+                        false, false});
+      continue;
+    }
+    if (toks[i].kind != TokKind::kIdent) continue;
+    // Declaration of a tagged local: double|auto name = [units::]in_u(...) ;
+    if ((t == "double" || t == "float" || t == "auto") && i + 2 < toks.size() &&
+        toks[i + 1].kind == TokKind::kIdent && toks[i + 2].text == "=") {
+      std::size_t r = i + 3;
+      if (r + 1 < toks.size() && toks[r].text == "units" && toks[r + 1].text == "::") r += 2;
+      if (r + 1 < toks.size() && toks[r].kind == TokKind::kIdent && toks[r + 1].text == "(") {
+        const UnwrapInfo* info = unwrap_for(toks[r].text);
+        if (info != nullptr) {
+          const std::size_t close = match_forward(toks, r + 1);
+          // Pure unwrap: the call is the whole initializer. Anything scaled
+          // or combined afterwards no longer carries the unit.
+          if (close + 1 < toks.size() && toks[close + 1].text == ";") {
+            tagged[toks[i + 1].text] = {*info, depth};
+            i = close;
+            continue;
+          }
+        }
+      }
+      // Plain re-declaration shadows any outer tag.
+      tagged.erase(toks[i + 1].text);
+      continue;
+    }
+    // Plain reassignment invalidates a tag (the RHS may be anything).
+    if (i + 1 < toks.size() && toks[i + 1].text == "=" && bare_operand(toks, i)) {
+      const auto it = tagged.find(t);
+      if (it != tagged.end() &&
+          !(i > 0 && (toks[i - 1].kind == TokKind::kIdent || toks[i - 1].text == "&"))) {
+        tagged.erase(it);
+        continue;
+      }
+    }
+    // Mixing: a (+|-|comparison) b with disagreeing tags.
+    if (i + 2 < toks.size() && bare_operand(toks, i)) {
+      const std::string& op = toks[i + 1].text;
+      if ((op == "+" || op == "-" || is_comparison(op)) && bare_operand(toks, i + 2)) {
+        const auto a = tagged.find(t);
+        const auto b = tagged.find(toks[i + 2].text);
+        if (a != tagged.end() && b != tagged.end()) {
+          const UnwrapInfo& ia = a->second.info;
+          const UnwrapInfo& ib = b->second.info;
+          if (std::string{ia.dim} != ib.dim) {
+            push_unique(out, {"units-escape", rel, toks[i].line,
+                              "'" + a->first + "' (" + ia.dim + ", unwrapped via in_" + ia.unit +
+                                  ") and '" + b->first + "' (" + std::string{ib.dim} +
+                                  ", via in_" + ib.unit + ") mix different dimensions in raw " +
+                                  "double arithmetic",
+                              false, false});
+          } else if (std::string{ia.unit} != ib.unit) {
+            push_unique(out, {"units-escape", rel, toks[i].line,
+                              "'" + a->first + "' (in_" + ia.unit + ") and '" + b->first +
+                                  "' (in_" + ib.unit +
+                                  ") carry the same dimension in different units; convert both "
+                                  "through the same in_*() accessor before combining",
+                              false, false});
+          }
+        }
+      }
+    }
+    // Factory misuse: [units::]factory(tagged) with a disagreeing tag.
+    const bool qualified = i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "units";
+    if ((qualified || (i == 0 || (!is_member_access(toks[i - 1].text) &&
+                                  toks[i - 1].text != "::"))) &&
+        i + 3 < toks.size() && toks[i + 1].text == "(" && bare_operand(toks, i + 2) &&
+        toks[i + 3].text == ")") {
+      const UnwrapInfo* fac = factory_for(t);
+      if (fac != nullptr) {
+        const auto arg = tagged.find(toks[i + 2].text);
+        if (arg != tagged.end()) {
+          const UnwrapInfo& ia = arg->second.info;
+          if (std::string{ia.dim} != fac->dim) {
+            push_unique(out, {"units-escape", rel, toks[i].line,
+                              "'" + arg->first + "' was unwrapped as " + ia.dim + " (in_" +
+                                  ia.unit + ") but is passed to units::" + t +
+                                  "() which constructs " + fac->dim,
+                              false, false});
+          } else if (std::string{ia.unit} != fac->unit) {
+            push_unique(out, {"units-escape", rel, toks[i].line,
+                              "'" + arg->first + "' holds in_" + ia.unit + " but units::" + t +
+                                  "() re-wraps it as " + fac->unit +
+                                  "; round-trip through matching accessor/factory pairs",
+                              false, false});
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- lifetime ---------------------------------------------------------------
+//
+// Functions whose return type is a view (string_view, span) or a reference
+// must not return a body-local or a temporary: the referent dies when the
+// function returns. Statics are exempt (they outlive the call), as are
+// parameters and members (the caller owns those lifetimes).
+
+namespace {
+
+enum class ReturnKind { kView, kReference };
+
+struct FunctionSite {
+  ReturnKind kind;
+  std::size_t body_first_line;  ///< 0-based index of the line after '{'
+  std::size_t body_last_line;   ///< 0-based, inclusive
+};
+
+// Matches single-line function signatures up to the opening parenthesis.
+const std::regex& signature_re() {
+  static const std::regex re{
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:(?:static|inline|constexpr|friend|virtual)\s+)*)"
+      R"(((?:std::)?string_view|std::span<[^;=]*>|(?:const\s+)?[A-Za-z_][\w:]*(?:<[^;=]*>)?\s*&)\s+)"
+      R"(([A-Za-z_]\w*)\s*\()"};
+  return re;
+}
+
+}  // namespace
+
+void rule_lifetime(const std::string& rel, const FileText& text, std::vector<Finding>& out) {
+  for (std::size_t li = 0; li < text.code.size(); ++li) {
+    std::smatch m;
+    if (!std::regex_search(text.code[li], m, signature_re())) continue;
+    const std::string ret = m[1].str();
+    const bool is_ref = ret.back() == '&';
+    const ReturnKind kind = is_ref ? ReturnKind::kReference : ReturnKind::kView;
+    if (m[2].str() == "operator") continue;
+    // Walk from the parameter '(' to the body '{' (a ';' first means this is
+    // only a declaration). Bounded lookahead keeps pathological files cheap.
+    std::size_t pos = static_cast<std::size_t>(m.position(0)) + m.length(0) - 1;
+    int paren = 0;
+    bool found_body = false;
+    std::size_t body_line = li;
+    std::size_t scan_line = li;
+    std::size_t scan_pos = pos;
+    for (; scan_line < text.code.size() && scan_line <= li + 6 && !found_body; ++scan_line) {
+      const std::string& line = text.code[scan_line];
+      for (std::size_t c = scan_line == li ? scan_pos : 0; c < line.size(); ++c) {
+        if (line[c] == '(') ++paren;
+        if (line[c] == ')') --paren;
+        if (paren == 0) {
+          if (line[c] == ';') {
+            found_body = false;
+            scan_line = text.code.size();
+            break;
+          }
+          if (line[c] == '{') {
+            found_body = true;
+            body_line = scan_line;
+            break;
+          }
+          if (line[c] == '=') break;  // deleted/defaulted or assignment: skip
+        }
+      }
+    }
+    if (!found_body) continue;
+    // Body extent by brace counting from the opening line.
+    int depth = 0;
+    std::size_t end_line = body_line;
+    for (std::size_t bl = body_line; bl < text.code.size(); ++bl) {
+      for (char c : text.code[bl]) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      if (depth <= 0) {
+        end_line = bl;
+        break;
+      }
+      end_line = bl;
+    }
+    // Returned expressions.
+    static const std::regex return_ident_re{R"(\breturn\s+([A-Za-z_]\w*)\s*;)"};
+    static const std::regex return_temp_re{
+        R"(\breturn\s+(?:std::)?(string|vector<[^;]*>|ostringstream)\s*[({])"};
+    for (std::size_t bl = body_line; bl <= end_line; ++bl) {
+      const std::string& line = text.code[bl];
+      std::smatch rm;
+      if (kind == ReturnKind::kView && std::regex_search(line, rm, return_temp_re)) {
+        out.push_back({"lifetime", rel, static_cast<int>(bl + 1),
+                       "returns a view over a temporary std::" + rm[1].str() +
+                           "; the buffer is destroyed before the caller can look at it",
+                       false, false});
+        continue;
+      }
+      if (!std::regex_search(line, rm, return_ident_re)) continue;
+      const std::string name = rm[1].str();
+      if (name == "nullptr" || name == "true" || name == "false" || name == "this") continue;
+      // Is `name` declared as a body-local owning object? Require a
+      // `Type name =/;/{/(` declaration inside the body that is neither
+      // static nor a reference/pointer alias.
+      const std::regex decl_re{R"((?:^|[(;{]\s*|\s)(?:const\s+)?)"
+                               R"(([A-Za-z_][\w:]*(?:<[^;]*>)?)\s+()" +
+                               name + R"()\s*[=({;])"};
+      for (std::size_t dl = body_line; dl < bl; ++dl) {
+        const std::string& decl_line = text.code[dl];
+        std::smatch dm;
+        if (!std::regex_search(decl_line, dm, decl_re)) continue;
+        const std::string type = dm[1].str();
+        // static / thread_local locals have static(-like) storage duration
+        // and outlive the call.
+        if (type == "return" || decl_line.find("static") != std::string::npos ||
+            decl_line.find("thread_local") != std::string::npos) {
+          continue;
+        }
+        // Reference/pointer locals alias something that may outlive the body.
+        const std::size_t name_pos = static_cast<std::size_t>(dm.position(2));
+        const std::string before = decl_line.substr(0, name_pos);
+        if (before.find('&') != std::string::npos || before.find('*') != std::string::npos)
+          continue;
+        out.push_back({"lifetime", rel, static_cast<int>(bl + 1),
+                       "returns body-local '" + name + "' (declared line " +
+                           std::to_string(dl + 1) + ") from a function returning a " +
+                           (kind == ReturnKind::kView ? std::string{"view"}
+                                                      : std::string{"reference"}) +
+                           "; the local dies at end of scope",
+                       false, false});
+        break;
+      }
+    }
+    li = end_line;  // resume after this function
+  }
+}
+
+}  // namespace ppatc::lint::detail

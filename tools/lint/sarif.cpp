@@ -1,0 +1,135 @@
+// SARIF 2.1.0 serialization of a lint report, shaped for GitHub
+// code-scanning ingestion: one run, the nine rules as reportingDescriptors,
+// one result per finding. Suppressed findings are emitted with a
+// `suppressions` array (kind "inSource" for allow() comments, "external"
+// for baseline entries) so code-scanning closes rather than re-opens them.
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "lint_core.hpp"
+
+namespace ppatc::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const std::map<std::string, std::string>& rule_descriptions() {
+  static const std::map<std::string, std::string> kDescriptions{
+      {"unit-typed-api",
+       "Public APIs must use ppatc::units strong types, not raw doubles with "
+       "dimension-implying names."},
+      {"determinism",
+       "No wall-clock or nondeterministic-seed sources: every evaluation path must be "
+       "bit-reproducible for a fixed seed."},
+      {"unordered-iter",
+       "No range-for over unordered containers; iteration order is implementation-defined."},
+      {"env-allowlist",
+       "std::getenv is restricted to the blessed runtime/observability configuration sites."},
+      {"pragma-once", "Every public header must carry #pragma once."},
+      {"layering",
+       "The include graph over src/<module>/ must stay inside the DAG declared in "
+       "tools/lint/layering.toml."},
+      {"parallel-safety",
+       "Lambdas passed to the deterministic parallel runtime must be chunk-pure: no shared "
+       "writes, no synchronization primitives, no thread-identity APIs."},
+      {"units-escape",
+       "Raw doubles unwrapped from units must not mix dimensions or re-enter the unit system "
+       "through mismatched conversions."},
+      {"lifetime",
+       "Functions returning string_view/span/references must not return body-locals or "
+       "temporaries."},
+  };
+  return kDescriptions;
+}
+
+}  // namespace
+
+std::string to_sarif(const Report& report, const std::string& uri_prefix) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+        "sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"ppatc-lint\",\n"
+     << "          \"informationUri\": \"https://example.invalid/ppatc\",\n"
+     << "          \"rules\": [\n";
+  bool first = true;
+  for (const std::string& rule : all_rules()) {
+    if (!first) os << ",\n";
+    first = false;
+    const auto it = rule_descriptions().find(rule);
+    const std::string desc = it == rule_descriptions().end() ? rule : it->second;
+    os << "            {\n"
+       << "              \"id\": \"" << json_escape(rule) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \"" << json_escape(desc) << "\" },\n"
+       << "              \"defaultConfiguration\": { \"level\": \"error\" }\n"
+       << "            }";
+  }
+  os << "\n          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  first = true;
+  for (const Finding& f : report.findings) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \"" << json_escape(f.message) << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << json_escape(uri_prefix + f.file) << "\" },\n"
+       << "                \"region\": { \"startLine\": " << (f.line > 0 ? f.line : 1)
+       << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]";
+    if (f.suppressed || f.baselined) {
+      os << ",\n"
+         << "          \"suppressions\": [\n"
+         << "            { \"kind\": \"" << (f.suppressed ? "inSource" : "external")
+         << "\" }\n"
+         << "          ]";
+    }
+    os << "\n        }";
+  }
+  os << "\n      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace ppatc::lint
