@@ -30,13 +30,41 @@ void BM_IssDispatch(benchmark::State& state) {
     bus.load_program(0, p.bytes);
     isa::Cpu cpu{bus};
     cpu.reset(p.entry, isa::kDataBase + isa::kDataSize - 16);
+    const bool timed = obs::metrics_enabled();
+    const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
     const auto r = cpu.run(1'000'000'000);
+    if (timed) {
+      // Published into the run manifest so `ppatc-report perf-compare` can
+      // gate the ISS rate against bench/golden/perf_baseline.json.
+      const double secs = static_cast<double>(obs::monotonic_ns() - t0) * 1e-9;
+      static obs::Gauge& rate = obs::gauge("isa.insn_per_sec");
+      if (secs > 0.0) rate.set(static_cast<double>(r.instructions) / secs);
+    }
     benchmark::DoNotOptimize(r.cycles);
     state.counters["insn/s"] = benchmark::Counter(static_cast<double>(r.instructions),
                                                   benchmark::Counter::kIsIterationInvariantRate);
   }
 }
 BENCHMARK(BM_IssDispatch)->Unit(benchmark::kMillisecond);
+
+// The retired switch interpreter, kept runnable as the before/after baseline
+// for the threaded-code engine (and as a sanity check that the speedup is
+// attributable to dispatch, not workload drift).
+void BM_IssDispatchSwitch(benchmark::State& state) {
+  const auto w = workloads::crc32(1);
+  const isa::Program p = isa::assemble(w.assembly);
+  for (auto _ : state) {
+    isa::Bus bus;
+    bus.load_program(0, p.bytes);
+    isa::Cpu cpu{bus, isa::CycleModel{}, isa::Cpu::Dispatch::kSwitch};
+    cpu.reset(p.entry, isa::kDataBase + isa::kDataSize - 16);
+    const auto r = cpu.run(1'000'000'000);
+    benchmark::DoNotOptimize(r.cycles);
+    state.counters["insn/s"] = benchmark::Counter(static_cast<double>(r.instructions),
+                                                  benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_IssDispatchSwitch)->Unit(benchmark::kMillisecond);
 
 void BM_Assemble(benchmark::State& state) {
   const auto w = workloads::matmult_int(1);
@@ -60,6 +88,22 @@ void BM_SpiceTransientRc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpiceTransientRc)->Unit(benchmark::kMillisecond);
+
+// Same deck through the dense LU oracle: the before/after baseline for the
+// sparse replayed solver.
+void BM_SpiceTransientRcDense(benchmark::State& state) {
+  spice::Circuit c;
+  c.add_vsource("vin", "in", "0",
+                spice::Stimulus::pwl({{seconds(0.0), volts(0.0)}, {seconds(1e-9), volts(1.0)}}));
+  c.add_resistor("in", "out", 1000.0);
+  c.add_capacitor("out", "0", femtofarads(10.0));
+  const spice::Simulator sim{c, {.solver = spice::LinearSolverKind::kDense}};
+  for (auto _ : state) {
+    const auto tr = sim.transient(nanoseconds(100.0), picoseconds(10.0));
+    benchmark::DoNotOptimize(tr->sample_count());
+  }
+}
+BENCHMARK(BM_SpiceTransientRcDense)->Unit(benchmark::kMillisecond);
 
 void BM_CellCharacterization(benchmark::State& state) {
   for (auto _ : state) {

@@ -7,12 +7,19 @@
 #                        against bench/golden/ with ppatc-report)
 #
 # Usage:
-#   bench/run_perf.sh [extra google-benchmark args...]
+#   bench/run_perf.sh [--compare <baseline.json>] [extra google-benchmark args...]
 # or via CMake:
 #   cmake --build build --target run_perf
 #
+# --compare <baseline.json> gates the fresh bench_perf manifest against the
+# given baseline (normally bench/golden/perf_baseline.json) with
+# `ppatc-report perf-compare`: any latency p50/p95 or throughput gauge that
+# moved >15% in the bad direction fails the run (exit 1). Improvements pass.
+#
 # Environment:
 #   BENCH_BIN          path to the bench_perf binary (default: build/bench/bench_perf)
+#   REPORT_BIN         path to ppatc-report (default: next to BENCH_BIN at
+#                      ../tools/report/ppatc-report; only needed by --compare)
 #   BENCH_OUT_DIR      output directory (default: bench/perf_<UTC stamp>)
 #   BENCH_METRICS_OUT  ppatc::obs metrics sidecar (default: perf.metrics.json
 #                      in BENCH_OUT_DIR; set to empty to disable)
@@ -20,6 +27,20 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 bin="${BENCH_BIN:-${repo_root}/build/bench/bench_perf}"
+
+compare_baseline=""
+if [[ "${1-}" == "--compare" ]]; then
+  if [[ $# -lt 2 ]]; then
+    echo "error: --compare needs a baseline manifest path" >&2
+    exit 2
+  fi
+  compare_baseline="$2"
+  shift 2
+  if [[ ! -r "${compare_baseline}" ]]; then
+    echo "error: baseline manifest not readable: ${compare_baseline}" >&2
+    exit 2
+  fi
+fi
 
 if [[ ! -x "${bin}" ]]; then
   echo "error: bench_perf not found at ${bin} — build it first:" >&2
@@ -72,3 +93,16 @@ for b in fig2c fig2d table1 fig4 table2 fig5 fig6a fig6b ablation extensions; do
   fi
 done
 echo "wrote $(ls "${out_dir}" | wc -l) files to ${out_dir}/"
+
+# Perf gate: direction-aware comparison of the fresh manifest against the
+# requested baseline. Runs last so the snapshot is complete either way.
+if [[ -n "${compare_baseline}" ]]; then
+  report_bin="${REPORT_BIN:-$(dirname "$(dirname "${bin}")")/tools/report/ppatc-report}"
+  if [[ ! -x "${report_bin}" ]]; then
+    echo "error: ppatc-report not found at ${report_bin} — build it first:" >&2
+    echo "  cmake --build build -j --target ppatc_report" >&2
+    exit 1
+  fi
+  echo "perf gate: ${out_dir}/bench_perf.json vs ${compare_baseline}"
+  "${report_bin}" perf-compare "${out_dir}/bench_perf.json" "${compare_baseline}"
+fi

@@ -83,8 +83,28 @@ class VirtualSourceFet {
   [[nodiscard]] double thermal_voltage() const;
 
  private:
+  /// Bias-independent quantities of drain_current_per_um, precomputed once at
+  /// construction. Every field is the exact double the per-call expression
+  /// used to produce (same operations, same association order), so hoisting
+  /// them cannot change any computed current — drain_current_per_um runs in
+  /// the SPICE Newton inner loop (7 evaluations per FET per iteration for the
+  /// value and its central-difference partials), where the repeated unit
+  /// conversions and parameter products were measurable overhead.
+  struct Derived {
+    double vt_therm = 0.0;      ///< thermal_voltage()
+    double phi_t_n = 0.0;       ///< ideality() * vt_therm
+    double dibl_v = 0.0;        ///< dibl_mv_per_v * 1e-3
+    double alpha_vt = 0.0;      ///< alpha * vt_therm
+    double half_alpha_vt = 0.0; ///< alpha_vt / 2.0
+    double cinv = 0.0;          ///< cinv_ff_per_um2 * 1e-15 * 1e8 (F/cm^2)
+    double cphi = 0.0;          ///< cinv * phi_t_n
+    double vdsat_strong = 0.0;  ///< vx0 * Leff[cm] / mobility
+    double inv_beta = 0.0;      ///< 1.0 / beta
+  };
+
   VsParams params_;
   double width_um_;
+  Derived d_;
 };
 
 }  // namespace ppatc::device

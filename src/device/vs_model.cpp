@@ -21,6 +21,21 @@ VirtualSourceFet::VirtualSourceFet(VsParams params, Length width)
   PPATC_EXPECT(params_.vx0_cm_per_s > 0.0 && params_.mobility_cm2_per_vs > 0.0,
                "transport parameters must be positive");
   PPATC_EXPECT(units::in_nanometres(params_.gate_length) > 0.0, "gate length must be positive");
+
+  // Bias-independent hoists for drain_current_per_um. Each expression is the
+  // per-call one verbatim so the cached double is bit-identical to what the
+  // inner loop used to recompute.
+  d_.vt_therm = thermal_voltage();
+  d_.phi_t_n = ideality() * d_.vt_therm;
+  d_.dibl_v = params_.dibl_mv_per_v * 1e-3;
+  d_.alpha_vt = params_.alpha * d_.vt_therm;
+  d_.half_alpha_vt = d_.alpha_vt / 2.0;
+  d_.cinv = params_.cinv_ff_per_um2 * 1e-15 * 1e8;  // F/cm^2
+  d_.cphi = d_.cinv * d_.phi_t_n;
+  d_.vdsat_strong =
+      params_.vx0_cm_per_s * (units::in_nanometres(params_.gate_length) * 1e-7) /
+      params_.mobility_cm2_per_vs;
+  d_.inv_beta = 1.0 / params_.beta;
 }
 
 double VirtualSourceFet::thermal_voltage() const {
@@ -42,29 +57,26 @@ double VirtualSourceFet::drain_current_per_um(double vgs, double vds) const {
     swapped = true;
   }
 
-  const double vt_therm = thermal_voltage();
-  const double n = ideality();
-  const double phi_t_n = n * vt_therm;
+  const double vt_therm = d_.vt_therm;
+  const double phi_t_n = d_.phi_t_n;
 
   // DIBL-corrected threshold.
-  const double vt_eff = params_.vt_volts - params_.dibl_mv_per_v * 1e-3 * vds;
+  const double vt_eff = params_.vt_volts - d_.dibl_v * vds;
 
   // Inversion-transition function Ff: ~1 in sub-threshold, ~0 in strong inv.
-  const double alpha_vt = params_.alpha * vt_therm;
-  const double ff = 1.0 / (1.0 + std::exp(std::clamp((vgs - (vt_eff - alpha_vt / 2.0)) / alpha_vt, -60.0, 60.0)));
+  const double alpha_vt = d_.alpha_vt;
+  const double ff =
+      1.0 / (1.0 + std::exp(std::clamp((vgs - (vt_eff - d_.half_alpha_vt)) / alpha_vt, -60.0, 60.0)));
 
-  // Virtual-source charge (F/um^2 * V -> C/um^2). Cinv given in fF/um^2.
-  const double cinv = params_.cinv_ff_per_um2 * 1e-15 * 1e8;  // F/cm^2
-  const double eta = std::clamp((vgs - (vt_eff - params_.alpha * vt_therm * ff)) / phi_t_n, -60.0, 60.0);
-  const double q_ix0 = cinv * phi_t_n * std::log1p(std::exp(eta));  // C/cm^2
+  // Virtual-source charge (F/um^2 * V -> C/um^2).
+  const double eta = std::clamp((vgs - (vt_eff - alpha_vt * ff)) / phi_t_n, -60.0, 60.0);
+  const double q_ix0 = d_.cphi * std::log1p(std::exp(eta));  // C/cm^2
 
   // Saturation voltage: drift-limited in strong inversion, thermal-limited in
   // sub-threshold; Ff blends the two.
-  const double leff_cm = units::in_nanometres(params_.gate_length) * 1e-7;
-  const double vdsat_strong = params_.vx0_cm_per_s * leff_cm / params_.mobility_cm2_per_vs;
-  const double vdsat = vdsat_strong * (1.0 - ff) + vt_therm * ff;
+  const double vdsat = d_.vdsat_strong * (1.0 - ff) + vt_therm * ff;
   const double x = vds / std::max(vdsat, 1e-9);
-  const double fsat = x / std::pow(1.0 + std::pow(x, params_.beta), 1.0 / params_.beta);
+  const double fsat = x / std::pow(1.0 + std::pow(x, params_.beta), d_.inv_beta);
 
   // Current per width: Q * v. Convert to A/um (1 cm = 1e4 um).
   double id = q_ix0 * params_.vx0_cm_per_s * fsat / 1e4;  // A/um
@@ -73,8 +85,8 @@ double VirtualSourceFet::drain_current_per_um(double vgs, double vds) const {
   // Vgs_int = Vgs - Id*Rs (Rs is in ohm.um, Id in A/um, so Id*Rs is volts).
   if (params_.rs_ohm_um > 0.0 && id > 0.0) {
     const double vgs_int = vgs - id * params_.rs_ohm_um;
-    const double eta2 = std::clamp((vgs_int - (vt_eff - params_.alpha * vt_therm * ff)) / phi_t_n, -60.0, 60.0);
-    const double q2 = cinv * phi_t_n * std::log1p(std::exp(eta2));
+    const double eta2 = std::clamp((vgs_int - (vt_eff - alpha_vt * ff)) / phi_t_n, -60.0, 60.0);
+    const double q2 = d_.cphi * std::log1p(std::exp(eta2));
     id = q2 * params_.vx0_cm_per_s * fsat / 1e4;
   }
 

@@ -3,6 +3,8 @@
 #include <bit>
 #include <sstream>
 
+#include "ppatc/obs/metrics.hpp"
+
 namespace ppatc::isa {
 
 namespace {
@@ -11,9 +13,458 @@ std::string hex(std::uint32_t v) {
   os << "0x" << std::hex << v;
   return os.str();
 }
+
+obs::Counter& block_hits_counter() {
+  static obs::Counter& c = obs::counter("isa.decoded_block_hits");
+  return c;
+}
+obs::Counter& blocks_decoded_counter() {
+  static obs::Counter& c = obs::counter("isa.decoded_blocks");
+  return c;
+}
+
+// Straight-line span length cap; keeps a pathological branch-free program
+// from decoding the whole image into one block.
+constexpr std::size_t kMaxBlockInsns = 64;
 }  // namespace
 
-Cpu::Cpu(Bus& bus, CycleModel cycles) : bus_{bus}, cyc_{cycles} {}
+// One static handler per pre-decoded instruction variant. Every body is the
+// corresponding execute16/execute32 case with the field extraction moved to
+// decode time; the sequence of register writes, bus accesses, flag updates,
+// and cycle charges is preserved exactly so both engines stay bit-identical.
+struct CpuOps {
+  using I = Cpu::DecodedInsn;
+
+  // Trap: re-fetch and run the switch path so BusFault/UndefinedInstruction
+  // reproduce the interpreter's exact messages and fetch accounting. Decoded
+  // with halfwords = 0, so the generic loop neither advances PC nor replays
+  // fetch statistics — both happen here, for real.
+  static void op_trap(Cpu& cpu, const I&) {
+    const std::uint16_t insn = cpu.bus_.fetch16(cpu.pc_);
+    if ((insn & 0xF800u) >= 0xE800u) {
+      const std::uint16_t lo = cpu.bus_.fetch16(cpu.pc_ + 2);
+      cpu.execute32(insn, lo);
+      if (!cpu.branched_) cpu.pc_ += 4;
+    } else {
+      cpu.execute16(insn);
+      if (!cpu.branched_) cpu.pc_ += 2;
+    }
+    cpu.branched_ = true;  // PC fully handled here; skip the generic advance
+  }
+
+  // ---- shifts, immediate form (a=Rd, b=Rm, imm=imm5) ----
+  static void op_lsl_imm(Cpu& cpu, const I& d) {
+    const unsigned imm5 = d.imm;
+    const std::uint32_t v = cpu.regs_[d.b];
+    const std::uint32_t r = imm5 == 0 ? v : v << imm5;
+    if (imm5 != 0) cpu.c_ = ((v >> (32 - imm5)) & 1u) != 0;
+    cpu.set_nz(r);
+    cpu.regs_[d.a] = r;
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_lsr_imm(Cpu& cpu, const I& d) {
+    const unsigned sh = d.imm == 0 ? 32 : d.imm;
+    const std::uint32_t v = cpu.regs_[d.b];
+    cpu.c_ = ((sh <= 32) && ((v >> (sh - 1)) & 1u)) != 0;
+    const std::uint32_t r = sh == 32 ? 0 : v >> sh;
+    cpu.set_nz(r);
+    cpu.regs_[d.a] = r;
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_asr_imm(Cpu& cpu, const I& d) {
+    const unsigned sh = d.imm == 0 ? 32 : d.imm;
+    const auto sv = static_cast<std::int32_t>(cpu.regs_[d.b]);
+    cpu.c_ = ((sv >> (sh - 1)) & 1) != 0;
+    const auto r = static_cast<std::uint32_t>(sh >= 32 ? (sv >> 31) : (sv >> sh));
+    cpu.set_nz(r);
+    cpu.regs_[d.a] = r;
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+
+  // ---- ADD/SUB 3-register / 3-bit-immediate (a=Rd, b=Rn, c=Rm or imm=imm3) ----
+  static void op_add_reg3(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.add_with_carry(cpu.regs_[d.b], cpu.regs_[d.c], false, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_sub_reg3(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.add_with_carry(cpu.regs_[d.b], ~cpu.regs_[d.c], true, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_add_imm3(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.add_with_carry(cpu.regs_[d.b], d.imm, false, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_sub_imm3(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.add_with_carry(cpu.regs_[d.b], ~d.imm, true, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+
+  // ---- MOV/CMP/ADD/SUB immediate 8 (a=Rd, imm=imm8) ----
+  static void op_mov_imm8(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = d.imm;
+    cpu.set_nz(d.imm);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_cmp_imm8(Cpu& cpu, const I& d) {
+    cpu.add_with_carry(cpu.regs_[d.a], ~d.imm, true, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_add_imm8(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.add_with_carry(cpu.regs_[d.a], d.imm, false, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_sub_imm8(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.add_with_carry(cpu.regs_[d.a], ~d.imm, true, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+
+  // ---- data-processing register (a=Rd, b=Rm) ----
+  static void op_and(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    rd &= cpu.regs_[d.b];
+    cpu.set_nz(rd);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_eor(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    rd ^= cpu.regs_[d.b];
+    cpu.set_nz(rd);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_lsl_reg(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    const unsigned sh = cpu.regs_[d.b] & 0xFFu;
+    if (sh != 0) {
+      cpu.c_ = sh <= 32 && ((sh == 32 ? rd & 1u : (rd >> (32 - sh)) & 1u) != 0);
+      rd = sh >= 32 ? 0 : rd << sh;
+    }
+    cpu.set_nz(rd);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_lsr_reg(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    const unsigned sh = cpu.regs_[d.b] & 0xFFu;
+    if (sh != 0) {
+      cpu.c_ = sh <= 32 && (((sh == 32 ? rd >> 31 : rd >> (sh - 1)) & 1u) != 0);
+      rd = sh >= 32 ? 0 : rd >> sh;
+    }
+    cpu.set_nz(rd);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_asr_reg(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    const unsigned sh = cpu.regs_[d.b] & 0xFFu;
+    if (sh != 0) {
+      const auto sv = static_cast<std::int32_t>(rd);
+      const unsigned eff = sh >= 32 ? 31 : sh - 1;
+      cpu.c_ = ((sv >> eff) & 1) != 0;
+      rd = static_cast<std::uint32_t>(sh >= 32 ? sv >> 31 : sv >> sh);
+    }
+    cpu.set_nz(rd);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_adc(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    rd = cpu.add_with_carry(rd, cpu.regs_[d.b], cpu.c_, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_sbc(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    rd = cpu.add_with_carry(rd, ~cpu.regs_[d.b], cpu.c_, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_ror(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    const unsigned sh = cpu.regs_[d.b] & 0xFFu;
+    if (sh != 0) {
+      const unsigned r = sh & 31u;
+      if (r != 0) rd = (rd >> r) | (rd << (32 - r));
+      cpu.c_ = (rd >> 31) != 0;
+    }
+    cpu.set_nz(rd);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_tst(Cpu& cpu, const I& d) {
+    cpu.set_nz(cpu.regs_[d.a] & cpu.regs_[d.b]);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_rsb(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.add_with_carry(0, ~cpu.regs_[d.b], true, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_cmp_reg(Cpu& cpu, const I& d) {
+    cpu.add_with_carry(cpu.regs_[d.a], ~cpu.regs_[d.b], true, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_cmn(Cpu& cpu, const I& d) {
+    cpu.add_with_carry(cpu.regs_[d.a], cpu.regs_[d.b], false, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_orr(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    rd |= cpu.regs_[d.b];
+    cpu.set_nz(rd);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_mul(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    rd *= cpu.regs_[d.b];
+    cpu.set_nz(rd);
+    cpu.cycles_ += cpu.cyc_.mul;
+  }
+  static void op_bic(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    rd &= ~cpu.regs_[d.b];
+    cpu.set_nz(rd);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_mvn(Cpu& cpu, const I& d) {
+    std::uint32_t& rd = cpu.regs_[d.a];
+    rd = ~cpu.regs_[d.b];
+    cpu.set_nz(rd);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+
+  // ---- hi-register ops and BX/BLX (a=Rd 0-15, b=Rm 0-15, c=BLX link bit) ----
+  static void op_add_hi(Cpu& cpu, const I& d) {
+    const std::uint32_t vm = cpu.read_reg_pc_adjusted(d.b);
+    const std::uint32_t r = cpu.read_reg_pc_adjusted(d.a) + vm;
+    cpu.write_reg_branch_aware(d.a, r);
+    cpu.cycles_ += cpu.branched_ ? cpu.cyc_.branch_taken : cpu.cyc_.alu;
+  }
+  static void op_cmp_hi(Cpu& cpu, const I& d) {
+    const std::uint32_t vm = cpu.read_reg_pc_adjusted(d.b);
+    cpu.add_with_carry(cpu.read_reg_pc_adjusted(d.a), ~vm, true, true);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_mov_hi(Cpu& cpu, const I& d) {
+    cpu.write_reg_branch_aware(d.a, cpu.read_reg_pc_adjusted(d.b));
+    cpu.cycles_ += cpu.branched_ ? cpu.cyc_.branch_taken : cpu.cyc_.alu;
+  }
+  static void op_bx(Cpu& cpu, const I& d) {
+    // Read Rm before writing LR: BLX LR must use the pre-link value.
+    const std::uint32_t vm = cpu.read_reg_pc_adjusted(d.b);
+    if (d.c != 0) cpu.regs_[14] = (cpu.pc_ + 2) | 1u;  // BLX
+    cpu.branch_to(vm);
+    cpu.cycles_ += cpu.cyc_.bx;
+  }
+
+  // ---- loads/stores ----
+  static void op_ldr_lit(Cpu& cpu, const I& d) {  // imm = absolute literal address
+    cpu.regs_[d.a] = cpu.bus_.read32(d.imm);
+    cpu.cycles_ += cpu.cyc_.load;
+  }
+  static void op_str_reg(Cpu& cpu, const I& d) {
+    cpu.bus_.write32(cpu.regs_[d.b] + cpu.regs_[d.c], cpu.regs_[d.a]);
+    cpu.cycles_ += cpu.cyc_.store;
+  }
+  static void op_strh_reg(Cpu& cpu, const I& d) {
+    cpu.bus_.write16(cpu.regs_[d.b] + cpu.regs_[d.c], static_cast<std::uint16_t>(cpu.regs_[d.a]));
+    cpu.cycles_ += cpu.cyc_.store;
+  }
+  static void op_strb_reg(Cpu& cpu, const I& d) {
+    cpu.bus_.write8(cpu.regs_[d.b] + cpu.regs_[d.c], static_cast<std::uint8_t>(cpu.regs_[d.a]));
+    cpu.cycles_ += cpu.cyc_.store;
+  }
+  static void op_ldrsb_reg(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+        static_cast<std::int8_t>(cpu.bus_.read8(cpu.regs_[d.b] + cpu.regs_[d.c]))));
+    cpu.cycles_ += cpu.cyc_.load;
+  }
+  static void op_ldr_reg(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.bus_.read32(cpu.regs_[d.b] + cpu.regs_[d.c]);
+    cpu.cycles_ += cpu.cyc_.load;
+  }
+  static void op_ldrh_reg(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.bus_.read16(cpu.regs_[d.b] + cpu.regs_[d.c]);
+    cpu.cycles_ += cpu.cyc_.load;
+  }
+  static void op_ldrb_reg(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.bus_.read8(cpu.regs_[d.b] + cpu.regs_[d.c]);
+    cpu.cycles_ += cpu.cyc_.load;
+  }
+  static void op_ldrsh_reg(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+        static_cast<std::int16_t>(cpu.bus_.read16(cpu.regs_[d.b] + cpu.regs_[d.c]))));
+    cpu.cycles_ += cpu.cyc_.load;
+  }
+  static void op_str_imm(Cpu& cpu, const I& d) {  // imm pre-scaled (imm5*4)
+    cpu.bus_.write32(cpu.regs_[d.b] + d.imm, cpu.regs_[d.a]);
+    cpu.cycles_ += cpu.cyc_.store;
+  }
+  static void op_ldr_imm(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.bus_.read32(cpu.regs_[d.b] + d.imm);
+    cpu.cycles_ += cpu.cyc_.load;
+  }
+  static void op_strb_imm(Cpu& cpu, const I& d) {
+    cpu.bus_.write8(cpu.regs_[d.b] + d.imm, static_cast<std::uint8_t>(cpu.regs_[d.a]));
+    cpu.cycles_ += cpu.cyc_.store;
+  }
+  static void op_ldrb_imm(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.bus_.read8(cpu.regs_[d.b] + d.imm);
+    cpu.cycles_ += cpu.cyc_.load;
+  }
+  static void op_strh_imm(Cpu& cpu, const I& d) {  // imm pre-scaled (imm5*2)
+    cpu.bus_.write16(cpu.regs_[d.b] + d.imm, static_cast<std::uint16_t>(cpu.regs_[d.a]));
+    cpu.cycles_ += cpu.cyc_.store;
+  }
+  static void op_ldrh_imm(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.bus_.read16(cpu.regs_[d.b] + d.imm);
+    cpu.cycles_ += cpu.cyc_.load;
+  }
+  static void op_str_sp(Cpu& cpu, const I& d) {  // imm pre-scaled (imm8*4)
+    cpu.bus_.write32(cpu.regs_[13] + d.imm, cpu.regs_[d.a]);
+    cpu.cycles_ += cpu.cyc_.store;
+  }
+  static void op_ldr_sp(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.bus_.read32(cpu.regs_[13] + d.imm);
+    cpu.cycles_ += cpu.cyc_.load;
+  }
+
+  // ---- address generation / SP arithmetic ----
+  static void op_adr(Cpu& cpu, const I& d) {  // imm = absolute address
+    cpu.regs_[d.a] = d.imm;
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_add_sp_imm(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.regs_[13] + d.imm;
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_sp_adj(Cpu& cpu, const I& d) {  // imm = imm7*4, c = subtract bit
+    if (d.c != 0) {
+      cpu.regs_[13] -= d.imm;
+    } else {
+      cpu.regs_[13] += d.imm;
+    }
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+
+  // ---- PUSH/POP (raw = insn with register list, b = count, c = R bit) ----
+  static void op_push(Cpu& cpu, const I& d) {
+    const std::uint32_t list = d.raw & 0xFFu;
+    std::uint32_t addr = cpu.regs_[13] - 4u * d.b;
+    cpu.regs_[13] = addr;
+    for (int r = 0; r < 8; ++r) {
+      if ((list >> r) & 1u) {
+        cpu.bus_.write32(addr, cpu.regs_[static_cast<std::size_t>(r)]);
+        addr += 4;
+      }
+    }
+    if (d.c != 0) cpu.bus_.write32(addr, cpu.regs_[14]);  // push LR
+    cpu.cycles_ += cpu.cyc_.ldm_base + d.b;
+  }
+  static void op_pop(Cpu& cpu, const I& d) {
+    const std::uint32_t list = d.raw & 0xFFu;
+    std::uint32_t addr = cpu.regs_[13];
+    for (int r = 0; r < 8; ++r) {
+      if ((list >> r) & 1u) {
+        cpu.regs_[static_cast<std::size_t>(r)] = cpu.bus_.read32(addr);
+        addr += 4;
+      }
+    }
+    bool to_pc = false;
+    if (d.c != 0) {
+      cpu.branch_to(cpu.bus_.read32(addr));
+      addr += 4;
+      to_pc = true;
+    }
+    cpu.regs_[13] = addr;
+    cpu.cycles_ += cpu.cyc_.ldm_base + d.b + (to_pc ? cpu.cyc_.pop_pc_extra : 0);
+  }
+
+  // ---- extend / byte-reverse (a=Rd, b=Rm) ----
+  static void op_sxth(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(static_cast<std::int16_t>(cpu.regs_[d.b])));
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_sxtb(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(static_cast<std::int8_t>(cpu.regs_[d.b])));
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_uxth(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.regs_[d.b] & 0xFFFFu;
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_uxtb(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = cpu.regs_[d.b] & 0xFFu;
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_rev(Cpu& cpu, const I& d) {
+    cpu.regs_[d.a] = __builtin_bswap32(cpu.regs_[d.b]);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_rev16(Cpu& cpu, const I& d) {
+    const std::uint32_t v = cpu.regs_[d.b];
+    cpu.regs_[d.a] = ((v & 0x00FF'00FFu) << 8) | ((v & 0xFF00'FF00u) >> 8);
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_revsh(Cpu& cpu, const I& d) {
+    const auto h =
+        static_cast<std::uint16_t>(__builtin_bswap16(static_cast<std::uint16_t>(cpu.regs_[d.b])));
+    cpu.regs_[d.a] =
+        static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int16_t>(h)));
+    cpu.cycles_ += cpu.cyc_.alu;
+  }
+  static void op_nop(Cpu& cpu, const I&) { cpu.cycles_ += cpu.cyc_.alu; }
+
+  // ---- STM/LDM (a=Rn, raw = insn with list, b = count) ----
+  static void op_stm(Cpu& cpu, const I& d) {
+    const std::uint32_t list = d.raw & 0xFFu;
+    std::uint32_t addr = cpu.regs_[d.a];
+    for (int r = 0; r < 8; ++r) {
+      if (((list >> r) & 1u) == 0) continue;
+      cpu.bus_.write32(addr, cpu.regs_[static_cast<std::size_t>(r)]);
+      addr += 4;
+    }
+    cpu.regs_[d.a] = addr;  // STMIA always writes back on M0
+    cpu.cycles_ += cpu.cyc_.ldm_base + d.b;
+  }
+  static void op_ldm(Cpu& cpu, const I& d) {
+    const std::uint32_t list = d.raw & 0xFFu;
+    std::uint32_t addr = cpu.regs_[d.a];
+    for (int r = 0; r < 8; ++r) {
+      if (((list >> r) & 1u) == 0) continue;
+      cpu.regs_[static_cast<std::size_t>(r)] = cpu.bus_.read32(addr);
+      addr += 4;
+    }
+    if (((list >> d.a) & 1u) == 0) cpu.regs_[d.a] = addr;  // writeback unless Rn loaded
+    cpu.cycles_ += cpu.cyc_.ldm_base + d.b;
+  }
+
+  // ---- branches and SVC (imm = absolute target, c = condition) ----
+  static void op_svc(Cpu& cpu, const I&) {
+    // SVC: the ISS maps SVC #0 to "halt with r0 as exit code".
+    cpu.bus_.write32(kMmioExit, cpu.regs_[0]);
+    cpu.cycles_ += cpu.cyc_.branch_taken;
+  }
+  static void op_b_cond(Cpu& cpu, const I& d) {
+    if (cpu.condition_passed(d.c)) {
+      cpu.branch_to(d.imm);
+      cpu.cycles_ += cpu.cyc_.branch_taken;
+    } else {
+      cpu.cycles_ += cpu.cyc_.branch_not_taken;
+    }
+  }
+  static void op_b(Cpu& cpu, const I& d) {
+    cpu.branch_to(d.imm);
+    cpu.cycles_ += cpu.cyc_.branch_taken;
+  }
+  static void op_bl(Cpu& cpu, const I& d) {  // imm = target, imm2 = link value
+    cpu.regs_[14] = d.imm2;
+    cpu.branch_to(d.imm);
+    cpu.cycles_ += cpu.cyc_.bl;
+  }
+};
+
+Cpu::Cpu(Bus& bus, CycleModel cycles, Dispatch dispatch)
+    : bus_{bus}, cyc_{cycles}, dispatch_{dispatch} {
+  DecodedInsn trap;
+  trap.fn = &CpuOps::op_trap;
+  trap.halfwords = 0;
+  out_of_range_block_.insns.push_back(trap);
+}
 
 void Cpu::reset(std::uint32_t pc, std::uint32_t sp) {
   PPATC_EXPECT(pc % 2 == 0, "PC must be halfword aligned");
@@ -115,6 +566,11 @@ bool Cpu::step() {
 }
 
 Cpu::RunResult Cpu::run(std::uint64_t max_instructions) {
+  return dispatch_ == Dispatch::kSwitch ? run_switch(max_instructions)
+                                        : run_threaded(max_instructions);
+}
+
+Cpu::RunResult Cpu::run_switch(std::uint64_t max_instructions) {
   RunResult r;
   const std::uint64_t start_insn = instructions_;
   const std::uint64_t start_cyc = cycles_;
@@ -125,6 +581,345 @@ Cpu::RunResult Cpu::run(std::uint64_t max_instructions) {
   r.cycles = cycles_ - start_cyc;
   r.halted = bus_.halted();
   return r;
+}
+
+Cpu::RunResult Cpu::run_threaded(std::uint64_t max_instructions) {
+  RunResult r;
+  const std::uint64_t start_insn = instructions_;
+  const std::uint64_t start_cyc = cycles_;
+  const std::uint64_t start_hits = block_hits_;
+  const std::uint64_t start_decoded = blocks_decoded_;
+  while (!bus_.halted() && instructions_ - start_insn < max_instructions) {
+    const Block& blk = block_at(pc_);
+    const DecodedInsn* ins = blk.insns.data();
+    const DecodedInsn* const last = ins + (blk.insns.size() - 1);
+    // Only the block-ending instruction can write PC, trap, or be a taken
+    // branch (decode_block ends a block at anything PC-capable), so the
+    // branch bookkeeping runs once per block, not once per instruction. The
+    // single reset here keeps `branched_` false for mid-block handlers that
+    // read it (hi-register ADD/MOV/CMP cycle costs). Loads/stores can still
+    // fault (the exception leaves PC at the faulting instruction, which has
+    // not been counted) and a store can halt the bus via MMIO, so the halt
+    // and budget checks stay per-instruction.
+    branched_ = false;
+    bool stopped = false;
+    for (; ins != last; ++ins) {
+      bus_.note_fetches(ins->halfwords);
+      ins->fn(*this, *ins);
+      pc_ += static_cast<std::uint32_t>(ins->halfwords) * 2u;
+      ++instructions_;
+      if (bus_.halted() || instructions_ - start_insn >= max_instructions) {
+        stopped = true;
+        break;
+      }
+    }
+    if (stopped) continue;  // the outer condition re-checks halt/budget
+    // Block ender: same per-instruction sequence as step(). Traps decode with
+    // halfwords = 0 and replay their real fetches themselves.
+    bus_.note_fetches(ins->halfwords);
+    ins->fn(*this, *ins);
+    if (!branched_) pc_ += static_cast<std::uint32_t>(ins->halfwords) * 2u;
+    ++instructions_;
+  }
+  block_hits_counter().add(block_hits_ - start_hits);
+  blocks_decoded_counter().add(blocks_decoded_ - start_decoded);
+  r.instructions = instructions_ - start_insn;
+  r.cycles = cycles_ - start_cyc;
+  r.halted = bus_.halted();
+  return r;
+}
+
+const Cpu::Block& Cpu::block_at(std::uint32_t pc) {
+  if (block_map_.empty() || cache_epoch_ != bus_.program_epoch()) flush_block_cache();
+  // Out-of-range PC: a single trap whose real fetch16 raises the BusFault.
+  if (pc > kProgramSize - 2) return out_of_range_block_;
+  const auto idx = static_cast<std::size_t>(pc >> 1);
+  const std::int32_t cached = block_map_[idx];
+  if (cached >= 0) {
+    ++block_hits_;
+    return blocks_[static_cast<std::size_t>(cached)];
+  }
+  Block blk;
+  decode_block(pc, blk);
+  ++blocks_decoded_;
+  block_map_[idx] = static_cast<std::int32_t>(blocks_.size());
+  blocks_.push_back(std::move(blk));
+  return blocks_.back();
+}
+
+void Cpu::flush_block_cache() {
+  block_map_.assign(kProgramSize / 2, -1);
+  blocks_.clear();
+  cache_epoch_ = bus_.program_epoch();
+}
+
+void Cpu::decode_block(std::uint32_t pc, Block& out) const {
+  out.insns.reserve(8);
+  std::uint32_t p = pc;
+  bool ends = false;
+  while (!ends && out.insns.size() < kMaxBlockInsns) {
+    const DecodedInsn d = decode_one(p, ends);
+    out.insns.push_back(d);
+    p += static_cast<std::uint32_t>(d.halfwords) * 2u;
+  }
+}
+
+Cpu::DecodedInsn Cpu::decode_one(std::uint32_t pc, bool& ends_block) const {
+  DecodedInsn d;
+  ends_block = false;
+  // Anything the decoder can't commit to (undefined encodings, fetches that
+  // would fault) becomes a trap and necessarily ends the block.
+  const auto trap = [&]() {
+    DecodedInsn t;
+    t.fn = &CpuOps::op_trap;
+    t.halfwords = 0;
+    ends_block = true;
+    return t;
+  };
+  if (pc > kProgramSize - 2) return trap();
+  const std::uint16_t insn = bus_.peek16(pc);
+  d.raw = insn;
+  d.halfwords = 1;
+  const auto rd0 = static_cast<std::uint8_t>(insn & 7u);
+  const auto rn3 = static_cast<std::uint8_t>((insn >> 3) & 7u);
+  const auto rm6 = static_cast<std::uint8_t>((insn >> 6) & 7u);
+  const auto rd8 = static_cast<std::uint8_t>((insn >> 8) & 7u);
+
+  if ((insn & 0xF800u) >= 0xE800u) {
+    // 32-bit encoding (BL and system instructions).
+    if (pc > kProgramSize - 4) return trap();
+    const std::uint16_t lo = bus_.peek16(pc + 2);
+    d.halfwords = 2;
+    if ((insn & 0xF800u) == 0xF000u && (lo & 0xD000u) == 0xD000u) {
+      const std::uint32_t s = (insn >> 10) & 1u;
+      const std::uint32_t imm10 = insn & 0x3FFu;
+      const std::uint32_t j1 = (lo >> 13) & 1u;
+      const std::uint32_t j2 = (lo >> 11) & 1u;
+      const std::uint32_t imm11 = lo & 0x7FFu;
+      const std::uint32_t i1 = (~(j1 ^ s)) & 1u;
+      const std::uint32_t i2 = (~(j2 ^ s)) & 1u;
+      std::uint32_t imm = (s << 24) | (i1 << 23) | (i2 << 22) | (imm10 << 12) | (imm11 << 1);
+      if (s != 0) imm |= 0xFE00'0000u;  // sign extend from bit 24
+      d.imm = pc + 4 + imm;
+      d.imm2 = (pc + 4) | 1u;  // return address with Thumb bit
+      d.fn = &CpuOps::op_bl;
+      ends_block = true;
+      return d;
+    }
+    if ((insn & 0xFFF0u) == 0xF3B0u || (insn & 0xFFE0u) == 0xF3E0u ||
+        (insn & 0xFFE0u) == 0xF380u) {
+      d.fn = &CpuOps::op_nop;  // DSB/DMB/ISB and MSR/MRS
+      return d;
+    }
+    return trap();
+  }
+
+  switch (insn >> 12) {
+    case 0x0:
+    case 0x1: {
+      const unsigned op = (insn >> 11) & 3u;
+      if (op != 3) {
+        d.a = rd0;
+        d.b = rn3;
+        d.imm = (insn >> 6) & 31u;
+        d.fn = op == 0 ? &CpuOps::op_lsl_imm
+                       : op == 1 ? &CpuOps::op_lsr_imm : &CpuOps::op_asr_imm;
+      } else {
+        const bool imm_form = ((insn >> 10) & 1u) != 0;
+        const bool subtract = ((insn >> 9) & 1u) != 0;
+        d.a = rd0;
+        d.b = rn3;
+        if (imm_form) {
+          d.imm = rm6;
+          d.fn = subtract ? &CpuOps::op_sub_imm3 : &CpuOps::op_add_imm3;
+        } else {
+          d.c = rm6;
+          d.fn = subtract ? &CpuOps::op_sub_reg3 : &CpuOps::op_add_reg3;
+        }
+      }
+      return d;
+    }
+    case 0x2:
+    case 0x3: {
+      static constexpr Handler kImm8[4] = {&CpuOps::op_mov_imm8, &CpuOps::op_cmp_imm8,
+                                           &CpuOps::op_add_imm8, &CpuOps::op_sub_imm8};
+      d.a = rd8;
+      d.imm = insn & 0xFFu;
+      d.fn = kImm8[(insn >> 11) & 3u];
+      return d;
+    }
+    case 0x4: {
+      if ((insn & 0xFC00u) == 0x4000u) {
+        static constexpr Handler kDp[16] = {
+            &CpuOps::op_and,     &CpuOps::op_eor, &CpuOps::op_lsl_reg, &CpuOps::op_lsr_reg,
+            &CpuOps::op_asr_reg, &CpuOps::op_adc, &CpuOps::op_sbc,     &CpuOps::op_ror,
+            &CpuOps::op_tst,     &CpuOps::op_rsb, &CpuOps::op_cmp_reg, &CpuOps::op_cmn,
+            &CpuOps::op_orr,     &CpuOps::op_mul, &CpuOps::op_bic,     &CpuOps::op_mvn};
+        d.a = rd0;
+        d.b = rn3;
+        d.fn = kDp[(insn >> 6) & 0xFu];
+        return d;
+      }
+      if ((insn & 0xFC00u) == 0x4400u) {
+        const unsigned op = (insn >> 8) & 3u;
+        d.b = static_cast<std::uint8_t>((insn >> 3) & 0xFu);           // Rm
+        d.a = static_cast<std::uint8_t>((insn & 7u) | ((insn >> 4) & 8u));  // Rd
+        switch (op) {
+          case 0:
+            d.fn = &CpuOps::op_add_hi;
+            ends_block = d.a == 15;  // ADD pc, ... branches
+            break;
+          case 1:
+            d.fn = &CpuOps::op_cmp_hi;
+            break;
+          case 2:
+            d.fn = &CpuOps::op_mov_hi;
+            ends_block = d.a == 15;  // MOV pc, ... branches
+            break;
+          default:
+            d.fn = &CpuOps::op_bx;
+            d.c = static_cast<std::uint8_t>((insn >> 7) & 1u);
+            ends_block = true;
+            break;
+        }
+        return d;
+      }
+      // LDR literal: address is PC-relative, resolved now.
+      d.a = rd8;
+      d.imm = ((pc + 4) & ~3u) + (insn & 0xFFu) * 4;
+      d.fn = &CpuOps::op_ldr_lit;
+      return d;
+    }
+    case 0x5: {
+      static constexpr Handler kLs[8] = {
+          &CpuOps::op_str_reg,   &CpuOps::op_strh_reg, &CpuOps::op_strb_reg,
+          &CpuOps::op_ldrsb_reg, &CpuOps::op_ldr_reg,  &CpuOps::op_ldrh_reg,
+          &CpuOps::op_ldrb_reg,  &CpuOps::op_ldrsh_reg};
+      d.a = rd0;
+      d.b = rn3;
+      d.c = rm6;
+      d.fn = kLs[(insn >> 9) & 7u];
+      return d;
+    }
+    case 0x6: {
+      d.a = rd0;
+      d.b = rn3;
+      d.imm = ((insn >> 6) & 31u) * 4;
+      d.fn = ((insn >> 11) & 1u) != 0 ? &CpuOps::op_ldr_imm : &CpuOps::op_str_imm;
+      return d;
+    }
+    case 0x7: {
+      d.a = rd0;
+      d.b = rn3;
+      d.imm = (insn >> 6) & 31u;
+      d.fn = ((insn >> 11) & 1u) != 0 ? &CpuOps::op_ldrb_imm : &CpuOps::op_strb_imm;
+      return d;
+    }
+    case 0x8: {
+      d.a = rd0;
+      d.b = rn3;
+      d.imm = ((insn >> 6) & 31u) * 2;
+      d.fn = ((insn >> 11) & 1u) != 0 ? &CpuOps::op_ldrh_imm : &CpuOps::op_strh_imm;
+      return d;
+    }
+    case 0x9: {
+      d.a = rd8;
+      d.imm = (insn & 0xFFu) * 4;
+      d.fn = ((insn >> 11) & 1u) != 0 ? &CpuOps::op_ldr_sp : &CpuOps::op_str_sp;
+      return d;
+    }
+    case 0xA: {
+      d.a = rd8;
+      if (((insn >> 11) & 1u) != 0) {
+        d.imm = (insn & 0xFFu) * 4;
+        d.fn = &CpuOps::op_add_sp_imm;
+      } else {
+        d.imm = ((pc + 4) & ~3u) + (insn & 0xFFu) * 4;  // ADR, resolved now
+        d.fn = &CpuOps::op_adr;
+      }
+      return d;
+    }
+    case 0xB: {
+      if ((insn & 0xFF00u) == 0xB000u) {
+        d.imm = (insn & 0x7Fu) * 4;
+        d.c = static_cast<std::uint8_t>((insn >> 7) & 1u);
+        d.fn = &CpuOps::op_sp_adj;
+        return d;
+      }
+      if ((insn & 0xF600u) == 0xB400u) {
+        const bool load = ((insn >> 11) & 1u) != 0;
+        const bool r_bit = ((insn >> 8) & 1u) != 0;
+        const std::uint32_t list = insn & 0xFFu;
+        const unsigned count = static_cast<unsigned>(std::popcount(list)) + (r_bit ? 1u : 0u);
+        if (count == 0) return trap();  // empty list: UndefinedInstruction
+        d.b = static_cast<std::uint8_t>(count);
+        d.c = r_bit ? 1 : 0;
+        d.fn = load ? &CpuOps::op_pop : &CpuOps::op_push;
+        if (load && r_bit) ends_block = true;  // POP {..., pc} branches
+        return d;
+      }
+      if ((insn & 0xFF00u) == 0xB200u) {
+        static constexpr Handler kExt[4] = {&CpuOps::op_sxth, &CpuOps::op_sxtb, &CpuOps::op_uxth,
+                                            &CpuOps::op_uxtb};
+        d.a = rd0;
+        d.b = rn3;
+        d.fn = kExt[(insn >> 6) & 3u];
+        return d;
+      }
+      if ((insn & 0xFF00u) == 0xBA00u) {
+        const unsigned op = (insn >> 6) & 3u;
+        if (op == 2) return trap();  // REV variant 2 undefined
+        d.a = rd0;
+        d.b = rn3;
+        d.fn = op == 0 ? &CpuOps::op_rev : op == 1 ? &CpuOps::op_rev16 : &CpuOps::op_revsh;
+        return d;
+      }
+      if ((insn & 0xFF00u) == 0xBF00u) {
+        d.fn = &CpuOps::op_nop;  // hints
+        return d;
+      }
+      if ((insn & 0xFF00u) == 0xBE00u) return trap();  // BKPT
+      if ((insn & 0xFFE8u) == 0xB660u) {
+        d.fn = &CpuOps::op_nop;  // CPS
+        return d;
+      }
+      return trap();
+    }
+    case 0xC: {
+      const std::uint32_t list = insn & 0xFFu;
+      const unsigned count = static_cast<unsigned>(std::popcount(list));
+      if (count == 0) return trap();  // empty list: UndefinedInstruction
+      d.a = rd8;
+      d.b = static_cast<std::uint8_t>(count);
+      d.fn = ((insn >> 11) & 1u) != 0 ? &CpuOps::op_ldm : &CpuOps::op_stm;
+      return d;
+    }
+    case 0xD: {
+      const unsigned cond = (insn >> 8) & 0xFu;
+      if (cond == 0xF) {
+        d.fn = &CpuOps::op_svc;  // halts the bus; the run loop stops after it
+        ends_block = true;
+        return d;
+      }
+      if (cond == 0xE) return trap();  // UDF
+      const auto off = static_cast<std::int32_t>(static_cast<std::int8_t>(insn & 0xFFu)) * 2;
+      d.c = static_cast<std::uint8_t>(cond);
+      d.imm = static_cast<std::uint32_t>(static_cast<std::int64_t>(pc) + 4 + off);
+      d.fn = &CpuOps::op_b_cond;
+      ends_block = true;
+      return d;
+    }
+    case 0xE: {
+      std::int32_t off = static_cast<std::int32_t>(insn & 0x7FFu);
+      if (off & 0x400) off -= 0x800;
+      d.imm = static_cast<std::uint32_t>(static_cast<std::int64_t>(pc) + 4 + off * 2);
+      d.fn = &CpuOps::op_b;
+      ends_block = true;
+      return d;
+    }
+    default:
+      return trap();
+  }
 }
 
 void Cpu::execute32(std::uint16_t hi, std::uint16_t lo) {

@@ -6,12 +6,21 @@
 // This replaces the paper's Synopsys-VCS RTL simulation for the purpose of
 // counting execution cycles and eDRAM accesses per workload: the ISS executes
 // the same program semantics and reports the same statistics.
+//
+// `run()` dispatches through a threaded-code engine by default: straight-line
+// spans are decoded once into handler-pointer instruction records, cached as
+// basic blocks keyed by start PC, and re-executed without touching the
+// nested decode switches again. The original switch interpreter remains
+// available (Dispatch::kSwitch, and always via `step()`) as the differential
+// oracle — both engines produce identical architectural state, cycle counts,
+// and AccessStats, which test_isa_dispatch.cpp asserts per workload.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "ppatc/isa/memory.hpp"
 
@@ -38,15 +47,25 @@ class UndefinedInstruction : public std::runtime_error {
   explicit UndefinedInstruction(const std::string& what) : std::runtime_error(what) {}
 };
 
+struct CpuOps;
+
 class Cpu {
  public:
-  explicit Cpu(Bus& bus, CycleModel cycles = {});
+  /// Execution engine used by `run()`.
+  enum class Dispatch {
+    kThreaded,  ///< pre-decoded handler table + basic-block cache (default)
+    kSwitch,    ///< original nested-switch interpreter — the differential oracle
+  };
+
+  explicit Cpu(Bus& bus, CycleModel cycles = {}, Dispatch dispatch = Dispatch::kThreaded);
 
   /// Sets PC (halfword-aligned) and SP, clears registers/flags/counters.
+  /// Cached decoded blocks survive (the program has not changed).
   void reset(std::uint32_t pc, std::uint32_t sp);
 
-  /// Executes one instruction. Returns false once the bus has halted (MMIO
-  /// exit) — the halting write itself still executes.
+  /// Executes one instruction via the switch interpreter. Returns false once
+  /// the bus has halted (MMIO exit) — the halting write itself still
+  /// executes.
   bool step();
 
   struct RunResult {
@@ -55,7 +74,8 @@ class Cpu {
     bool halted = false;  ///< true if the program exited via MMIO
   };
 
-  /// Runs until MMIO halt or the instruction budget is exhausted.
+  /// Runs until MMIO halt or the instruction budget is exhausted, using the
+  /// configured dispatch engine.
   RunResult run(std::uint64_t max_instructions);
 
   [[nodiscard]] std::uint32_t reg(int index) const;
@@ -74,6 +94,31 @@ class Cpu {
   [[nodiscard]] Bus& bus() { return bus_; }
 
  private:
+  friend struct CpuOps;
+
+  struct DecodedInsn;
+  using Handler = void (*)(Cpu&, const DecodedInsn&);
+
+  /// One pre-decoded instruction: the handler plus every field it needs,
+  /// extracted at decode time. PC-relative quantities (branch targets, LDR
+  /// literal addresses, BL link values) are pre-resolved to absolute values —
+  /// valid because a block is only ever entered at its start PC.
+  struct DecodedInsn {
+    Handler fn = nullptr;
+    std::uint32_t imm = 0;             ///< immediate / absolute target or address
+    std::uint32_t imm2 = 0;            ///< secondary immediate (BL link value)
+    std::uint16_t raw = 0;             ///< raw halfword (register lists)
+    std::uint8_t a = 0, b = 0, c = 0;  ///< register / operation fields
+    std::uint8_t halfwords = 0;        ///< fetches replayed at execution (0 = trap)
+  };
+
+  /// Decoded straight-line span: ends at any instruction that can write PC,
+  /// at a trap (an encoding the decoder defers to the switch path, e.g. one
+  /// that raises UndefinedInstruction), or at the length cap.
+  struct Block {
+    std::vector<DecodedInsn> insns;
+  };
+
   // r15 as read by instructions: current instruction address + 4.
   [[nodiscard]] std::uint32_t read_reg_pc_adjusted(int index) const;
   void write_reg_branch_aware(int index, std::uint32_t value);
@@ -82,19 +127,37 @@ class Cpu {
   void execute16(std::uint16_t insn);
   void execute32(std::uint16_t hi, std::uint16_t lo);
 
-  [[nodiscard]] std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b, bool carry_in,
-                                             bool set_flags);
+  // Result discarded by compares (CMP/CMN/TST): only the flags matter there.
+  std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b, bool carry_in, bool set_flags);
   void set_nz(std::uint32_t result);
   [[nodiscard]] bool condition_passed(unsigned cond) const;
 
+  RunResult run_switch(std::uint64_t max_instructions);
+  RunResult run_threaded(std::uint64_t max_instructions);
+  [[nodiscard]] const Block& block_at(std::uint32_t pc);
+  void decode_block(std::uint32_t pc, Block& out) const;
+  [[nodiscard]] DecodedInsn decode_one(std::uint32_t pc, bool& ends_block) const;
+  void flush_block_cache();
+
   Bus& bus_;
   CycleModel cyc_;
+  Dispatch dispatch_;
   std::array<std::uint32_t, 16> regs_{};
   std::uint32_t pc_ = 0;  // address of the current instruction
   bool n_ = false, z_ = false, c_ = false, v_ = false;
   std::uint64_t cycles_ = 0;
   std::uint64_t instructions_ = 0;
   bool branched_ = false;  // set by the current instruction if it wrote PC
+
+  // Decoded-block cache, direct-mapped by pc/2; flushed when the bus program
+  // epoch moves (the bus faults stores to program memory, so `load_program`
+  // is the only invalidation source). Built lazily on the first threaded run.
+  std::vector<std::int32_t> block_map_;  // pc/2 -> index into blocks_, -1 = miss
+  std::vector<Block> blocks_;
+  Block out_of_range_block_;  // single trap: lets fetch16 raise the exact BusFault
+  std::uint32_t cache_epoch_ = 0;
+  std::uint64_t block_hits_ = 0;      // flushed to isa.decoded_block_hits per run
+  std::uint64_t blocks_decoded_ = 0;  // flushed to isa.decoded_blocks per run
 };
 
 }  // namespace ppatc::isa

@@ -61,21 +61,92 @@ class Bus {
   /// Initializes data memory starting at `addr` (data space).
   void load_data(std::uint32_t addr, const std::vector<std::uint8_t>& bytes);
 
-  // Data-side accesses (update statistics).
-  [[nodiscard]] std::uint32_t read32(std::uint32_t addr);
-  [[nodiscard]] std::uint16_t read16(std::uint32_t addr);
-  [[nodiscard]] std::uint8_t read8(std::uint32_t addr);
-  void write32(std::uint32_t addr, std::uint32_t value);
-  void write16(std::uint32_t addr, std::uint16_t value);
-  void write8(std::uint32_t addr, std::uint8_t value);
+  // Data-side accesses (update statistics). The aligned-data-memory case — the
+  // overwhelming majority of an ISS run — is inlined; everything else
+  // (program-memory literals, MMIO, faults) falls through to the out-of-line
+  // slow path, which also owns the fault messages.
+  [[nodiscard]] std::uint32_t read32(std::uint32_t addr) {
+    if (const std::uint32_t off = addr - kDataBase; (addr & 3u) == 0 && off <= kDataSize - 4) {
+      ++stats_.data_reads;
+      ++stats_.data_mem_reads;
+      return load_le32(data_.data() + off);
+    }
+    return read32_slow(addr);
+  }
+  [[nodiscard]] std::uint16_t read16(std::uint32_t addr) {
+    if (const std::uint32_t off = addr - kDataBase; (addr & 1u) == 0 && off <= kDataSize - 2) {
+      ++stats_.data_reads;
+      ++stats_.data_mem_reads;
+      return static_cast<std::uint16_t>(data_[off] | (data_[off + 1] << 8));
+    }
+    return read16_slow(addr);
+  }
+  [[nodiscard]] std::uint8_t read8(std::uint32_t addr) {
+    if (const std::uint32_t off = addr - kDataBase; off < kDataSize) {
+      ++stats_.data_reads;
+      ++stats_.data_mem_reads;
+      return data_[off];
+    }
+    return read8_slow(addr);
+  }
+  void write32(std::uint32_t addr, std::uint32_t value) {
+    if (const std::uint32_t off = addr - kDataBase; (addr & 3u) == 0 && off <= kDataSize - 4) {
+      ++stats_.data_writes;
+      ++stats_.data_mem_writes;
+      store_le32(data_.data() + off, value);
+      return;
+    }
+    write32_slow(addr, value);
+  }
+  void write16(std::uint32_t addr, std::uint16_t value) {
+    if (const std::uint32_t off = addr - kDataBase; (addr & 1u) == 0 && off <= kDataSize - 2) {
+      ++stats_.data_writes;
+      ++stats_.data_mem_writes;
+      data_[off] = static_cast<std::uint8_t>(value);
+      data_[off + 1] = static_cast<std::uint8_t>(value >> 8);
+      return;
+    }
+    write16_slow(addr, value);
+  }
+  void write8(std::uint32_t addr, std::uint8_t value) {
+    if (const std::uint32_t off = addr - kDataBase; off < kDataSize) {
+      ++stats_.data_writes;
+      ++stats_.data_mem_writes;
+      data_[off] = value;
+      return;
+    }
+    write8_slow(addr, value);
+  }
 
   /// Instruction fetch (16-bit halfword, program memory only).
-  [[nodiscard]] std::uint16_t fetch16(std::uint32_t addr);
+  [[nodiscard]] std::uint16_t fetch16(std::uint32_t addr) {
+    if ((addr & 1u) == 0 && addr - kProgramBase <= kProgramSize - 2) {
+      ++stats_.fetches;
+      const std::uint32_t off = addr - kProgramBase;
+      return static_cast<std::uint16_t>(program_[off] | (program_[off + 1] << 8));
+    }
+    return fetch16_slow(addr);
+  }
+
+  /// Replays `n` instruction fetches' worth of statistics. The threaded CPU
+  /// decodes basic blocks through `peek16` (no side effects) and accounts for
+  /// the fetches each decoded instruction WOULD have issued at execution
+  /// time, keeping AccessStats identical to the switch interpreter's.
+  void note_fetches(std::uint64_t n) { stats_.fetches += n; }
+
+  /// Monotonic counter bumped by every `load_program`; cached decoded blocks
+  /// are valid only while the epoch they were built under is current. (The
+  /// bus rejects stores to program memory, so this is the only way code can
+  /// change.)
+  [[nodiscard]] std::uint32_t program_epoch() const { return program_epoch_; }
 
   // Debug access (no statistics, no MMIO side effects).
   [[nodiscard]] std::uint32_t peek32(std::uint32_t addr) const;
   void poke32(std::uint32_t addr, std::uint32_t value);
   [[nodiscard]] std::uint8_t peek8(std::uint32_t addr) const;
+  /// Program-memory halfword without statistics (decode-time instruction
+  /// read). Same bounds/alignment checks as `fetch16`.
+  [[nodiscard]] std::uint16_t peek16(std::uint32_t addr) const;
 
   [[nodiscard]] const AccessStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -93,8 +164,29 @@ class Bus {
   [[nodiscard]] Target decode(std::uint32_t addr, unsigned size) const;
   void mmio_write(std::uint32_t addr, std::uint32_t value);
 
+  static std::uint32_t load_le32(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+  static void store_le32(std::uint8_t* p, std::uint32_t value) {
+    p[0] = static_cast<std::uint8_t>(value);
+    p[1] = static_cast<std::uint8_t>(value >> 8);
+    p[2] = static_cast<std::uint8_t>(value >> 16);
+    p[3] = static_cast<std::uint8_t>(value >> 24);
+  }
+
+  // Non-data-memory accesses: program-memory literal reads, MMIO, faults.
+  [[nodiscard]] std::uint32_t read32_slow(std::uint32_t addr);
+  [[nodiscard]] std::uint16_t read16_slow(std::uint32_t addr);
+  [[nodiscard]] std::uint8_t read8_slow(std::uint32_t addr);
+  void write32_slow(std::uint32_t addr, std::uint32_t value);
+  void write16_slow(std::uint32_t addr, std::uint16_t value);
+  void write8_slow(std::uint32_t addr, std::uint8_t value);
+  [[noreturn]] std::uint16_t fetch16_slow(std::uint32_t addr);
+
   std::array<std::uint8_t, kProgramSize> program_{};
   std::array<std::uint8_t, kDataSize> data_{};
+  std::uint32_t program_epoch_ = 0;
   AccessStats stats_;
   bool halted_ = false;
   std::uint32_t exit_code_ = 0;

@@ -18,6 +18,7 @@ void Bus::load_program(std::uint32_t addr, const std::vector<std::uint8_t>& byte
   PPATC_EXPECT(addr >= kProgramBase && addr - kProgramBase + bytes.size() <= kProgramSize,
                "program image does not fit in program memory");
   std::copy(bytes.begin(), bytes.end(), program_.begin() + (addr - kProgramBase));
+  ++program_epoch_;
 }
 
 void Bus::load_data(std::uint32_t addr, const std::vector<std::uint8_t>& bytes) {
@@ -27,20 +28,24 @@ void Bus::load_data(std::uint32_t addr, const std::vector<std::uint8_t>& bytes) 
 }
 
 Bus::Target Bus::decode(std::uint32_t addr, unsigned size) const {
+  // Region tests use offset arithmetic (addr - base <= region size - access
+  // size, relying on unsigned wrap for addr < base) instead of addr + size
+  // comparisons: near 2^32, addr + size wraps and would misclassify the top
+  // few bytes of the address space as program memory.
   if (addr % size != 0) throw BusFault("misaligned " + std::to_string(size) + "-byte access at " + hex(addr));
-  if (addr >= kProgramBase && addr + size <= kProgramBase + kProgramSize) {
+  if (addr - kProgramBase <= kProgramSize - size) {
     return {Region::kProgram, addr - kProgramBase};
   }
-  if (addr >= kDataBase && addr + size <= kDataBase + kDataSize) {
+  if (addr - kDataBase <= kDataSize - size) {
     return {Region::kData, addr - kDataBase};
   }
-  if (addr >= kMmioBase && addr + size <= kMmioBase + 0x10 && size == 4) {
+  if (addr - kMmioBase <= 0x10 - size && size == 4) {
     return {Region::kMmio, addr - kMmioBase};
   }
   throw BusFault("bus fault: unmapped access at " + hex(addr));
 }
 
-std::uint32_t Bus::read32(std::uint32_t addr) {
+std::uint32_t Bus::read32_slow(std::uint32_t addr) {
   const Target t = decode(addr, 4);
   ++stats_.data_reads;
   const std::uint8_t* p = nullptr;
@@ -53,11 +58,10 @@ std::uint32_t Bus::read32(std::uint32_t addr) {
   } else {
     throw BusFault("MMIO read not supported at " + hex(addr));
   }
-  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+  return load_le32(p);
 }
 
-std::uint16_t Bus::read16(std::uint32_t addr) {
+std::uint16_t Bus::read16_slow(std::uint32_t addr) {
   const Target t = decode(addr, 2);
   ++stats_.data_reads;
   const std::uint8_t* p = nullptr;
@@ -73,7 +77,7 @@ std::uint16_t Bus::read16(std::uint32_t addr) {
   return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
 }
 
-std::uint8_t Bus::read8(std::uint32_t addr) {
+std::uint8_t Bus::read8_slow(std::uint32_t addr) {
   const Target t = decode(addr, 1);
   ++stats_.data_reads;
   if (t.region == Region::kProgram) {
@@ -87,7 +91,7 @@ std::uint8_t Bus::read8(std::uint32_t addr) {
   throw BusFault("MMIO byte access at " + hex(addr));
 }
 
-void Bus::write32(std::uint32_t addr, std::uint32_t value) {
+void Bus::write32_slow(std::uint32_t addr, std::uint32_t value) {
   const Target t = decode(addr, 4);
   ++stats_.data_writes;
   if (t.region == Region::kMmio) {
@@ -96,14 +100,10 @@ void Bus::write32(std::uint32_t addr, std::uint32_t value) {
   }
   if (t.region == Region::kProgram) throw BusFault("write to program memory at " + hex(addr));
   ++stats_.data_mem_writes;
-  std::uint8_t* p = data_.data() + t.offset;
-  p[0] = static_cast<std::uint8_t>(value);
-  p[1] = static_cast<std::uint8_t>(value >> 8);
-  p[2] = static_cast<std::uint8_t>(value >> 16);
-  p[3] = static_cast<std::uint8_t>(value >> 24);
+  store_le32(data_.data() + t.offset, value);
 }
 
-void Bus::write16(std::uint32_t addr, std::uint16_t value) {
+void Bus::write16_slow(std::uint32_t addr, std::uint16_t value) {
   const Target t = decode(addr, 2);
   ++stats_.data_writes;
   if (t.region != Region::kData) throw BusFault("halfword write outside data memory at " + hex(addr));
@@ -112,7 +112,7 @@ void Bus::write16(std::uint32_t addr, std::uint16_t value) {
   data_[t.offset + 1] = static_cast<std::uint8_t>(value >> 8);
 }
 
-void Bus::write8(std::uint32_t addr, std::uint8_t value) {
+void Bus::write8_slow(std::uint32_t addr, std::uint8_t value) {
   const Target t = decode(addr, 1);
   ++stats_.data_writes;
   if (t.region != Region::kData) throw BusFault("byte write outside data memory at " + hex(addr));
@@ -120,12 +120,16 @@ void Bus::write8(std::uint32_t addr, std::uint8_t value) {
   data_[t.offset] = value;
 }
 
-std::uint16_t Bus::fetch16(std::uint32_t addr) {
+std::uint16_t Bus::fetch16_slow(std::uint32_t addr) {
+  if (addr % 2 != 0) throw BusFault("misaligned fetch at " + hex(addr));
+  throw BusFault("fetch outside program memory at " + hex(addr));
+}
+
+std::uint16_t Bus::peek16(std::uint32_t addr) const {
   if (addr % 2 != 0) throw BusFault("misaligned fetch at " + hex(addr));
   if (addr < kProgramBase || addr + 2 > kProgramBase + kProgramSize) {
     throw BusFault("fetch outside program memory at " + hex(addr));
   }
-  ++stats_.fetches;
   const std::uint32_t off = addr - kProgramBase;
   return static_cast<std::uint16_t>(program_[off] | (program_[off + 1] << 8));
 }

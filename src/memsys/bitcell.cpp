@@ -36,6 +36,78 @@ void timed_corner(const char* name, Fn&& fn) {
   }
 }
 
+// ---- corner decks ---------------------------------------------------------
+// Each corner is an independent SPICE deck writing disjoint fields of `out`,
+// so corners can run as separate pool tasks — within one cell and across a
+// batch. Same-shape decks share the interned MNA pattern and pivot program,
+// so only the first solve of each topology pays symbolic analysis.
+
+// Write delay: WWL pulses to VWWL, WBL holds VDD, SN charges from 0.
+void write_corner(const CellSpec& cell, CellCharacteristics& out) {
+  const double vdd = units::in_volts(cell.vdd);
+  spice::Circuit ckt;
+  ckt.add_vsource("vwbl", "wbl", "0", spice::Stimulus::dc(cell.vdd));
+  ckt.add_vsource("vwwl", "wwl", "0",
+                  spice::Stimulus::pwl({{units::picoseconds(0), cell.vhold},
+                                        {units::picoseconds(20), cell.vwwl}}));
+  ckt.add_fet("mw", cell.write_fet, cell.write_width, "wbl", "wwl", "sn");
+  ckt.add_capacitor_ic("sn", "0", cell.storage_cap, units::volts(0.0));
+  // The read FET gate loads SN.
+  const device::VirtualSourceFet read_fet{cell.read_fet, cell.read_width};
+  ckt.add_capacitor("sn", "0", read_fet.gate_capacitance());
+
+  // Pick a horizon long enough for slow (IGZO) writes.
+  const spice::Simulator sim{ckt};
+  const Duration stop = units::nanoseconds(8.0);
+  const auto tr = sim.transient(stop, units::picoseconds(5.0), /*from_ics=*/true);
+  PPATC_ENSURE(tr.has_value(), "write-delay transient failed to converge");
+  const auto sn = tr->node("sn");
+  const Duration t90 = spice::cross_time(sn, 0.9 * vdd, spice::Edge::kRise);
+  PPATC_ENSURE(t90.base() > 0, "storage node never reached 90% of VDD during write");
+  out.write_delay = t90 - units::picoseconds(20);
+  out.write_energy = tr->source_energy("vwbl") + tr->source_energy("vwwl");
+}
+
+// Read delay: SN holds VDD, RBL (pre-charged to VDD) discharges through the
+// read stack once RWL asserts.
+void read_corner(const CellSpec& cell, CellCharacteristics& out) {
+  const double vdd = units::in_volts(cell.vdd);
+  spice::Circuit ckt;
+  ckt.add_vsource("vsn", "sn", "0", spice::Stimulus::dc(cell.vdd));
+  ckt.add_vsource("vrwl", "rwl", "0",
+                  spice::Stimulus::pwl({{units::picoseconds(0), units::volts(0)},
+                                        {units::picoseconds(20), cell.vdd}}));
+  // Read stack: RBL -> read FET (gate = SN) -> mid -> select FET (gate = RWL) -> GND.
+  ckt.add_fet("mr", cell.read_fet, cell.read_width, "rbl", "sn", "mid");
+  ckt.add_fet("ms", cell.select_fet, cell.select_width, "mid", "rwl", "0");
+  ckt.add_capacitor_ic("rbl", "0", cell.rbl_cap, cell.vdd);
+  ckt.add_capacitor("mid", "0", units::attofarads(80.0));
+
+  const spice::Simulator sim{ckt};
+  const auto tr = sim.transient(units::nanoseconds(2.0), units::picoseconds(2.0),
+                                /*from_ics=*/true);
+  PPATC_ENSURE(tr.has_value(), "read-delay transient failed to converge");
+  const auto rbl = tr->node("rbl");
+  const Duration t50 = spice::cross_time(rbl, 0.5 * vdd, spice::Edge::kFall);
+  PPATC_ENSURE(t50.base() > 0, "read bitline never discharged to VDD/2");
+  out.read_delay = t50 - units::picoseconds(20);
+}
+
+// Retention: analytic decay from the DC off-current at the hold bias.
+// SN sits at VDD, WBL at 0 (worst case), WWL at the hold level:
+// Vgs = vhold - 0 relative to the WBL side acting as source.
+void retention_analytic(const CellSpec& cell, Voltage sense_margin, CellCharacteristics& out) {
+  const device::VirtualSourceFet wfet{cell.write_fet, cell.write_width};
+  // Conservative: evaluate leakage at the start of the decay (largest Vds).
+  // SN (at VDD) is the drain, WBL (at 0) the source, WWL at the hold level.
+  const Current leak = abs(wfet.drain_current(cell.vhold, cell.vdd)) + cell.leak_floor;
+  out.hold_leakage = leak;
+  const double amps = units::in_amperes(leak);
+  PPATC_ENSURE(amps > 0, "off-current must be positive");
+  const double dq = units::in_farads(cell.storage_cap) * units::in_volts(sense_margin);
+  out.retention = units::seconds(dq / amps);
+}
+
 }  // namespace
 
 CellSpec m3d_igzo_cnfet_cell() {
@@ -81,89 +153,38 @@ CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
   PPATC_EXPECT(units::in_volts(sense_margin) > 0, "sense margin must be positive");
   const obs::Span span{"memsys.characterize"};
   CellCharacteristics out;
-  const double vdd = units::in_volts(cell.vdd);
 
   // The write-delay and read-delay corners are independent circuits, so the
-  // two SPICE transients run concurrently; each task writes disjoint fields
-  // of `out`.
-  // ---- write delay: WWL pulses to VWWL, WBL holds VDD, SN charges from 0.
-  auto write_corner = [&] {
-    spice::Circuit ckt;
-    ckt.add_vsource("vwbl", "wbl", "0", spice::Stimulus::dc(cell.vdd));
-    ckt.add_vsource("vwwl", "wwl", "0",
-                    spice::Stimulus::pwl({{units::picoseconds(0), cell.vhold},
-                                          {units::picoseconds(20), cell.vwwl}}));
-    ckt.add_fet("mw", cell.write_fet, cell.write_width, "wbl", "wwl", "sn");
-    ckt.add_capacitor_ic("sn", "0", cell.storage_cap, units::volts(0.0));
-    // The read FET gate loads SN.
-    const device::VirtualSourceFet read_fet{cell.read_fet, cell.read_width};
-    ckt.add_capacitor("sn", "0", read_fet.gate_capacitance());
+  // two SPICE transients run concurrently; each writes disjoint fields of
+  // `out`.
+  runtime::parallel_invoke([&] { timed_corner("memsys.write_corner", [&] { write_corner(cell, out); }); },
+                           [&] { timed_corner("memsys.read_corner", [&] { read_corner(cell, out); }); });
 
-    // Pick a horizon long enough for slow (IGZO) writes.
-    const spice::Simulator sim{ckt};
-    const Duration stop = units::nanoseconds(8.0);
-    const auto tr = sim.transient(stop, units::picoseconds(5.0), /*from_ics=*/true);
-    PPATC_ENSURE(tr.has_value(), "write-delay transient failed to converge");
-    const auto sn = tr->node("sn");
-    const Duration t90 = spice::cross_time(sn, 0.9 * vdd, spice::Edge::kRise);
-    PPATC_ENSURE(t90.base() > 0, "storage node never reached 90% of VDD during write");
-    out.write_delay = t90 - units::picoseconds(20);
-    out.write_energy = tr->source_energy("vwbl") + tr->source_energy("vwwl");
-  };
-
-  // ---- read delay: SN holds VDD, RBL (pre-charged to VDD) discharges
-  //      through the read stack once RWL asserts.
-  auto read_corner = [&] {
-    spice::Circuit ckt;
-    ckt.add_vsource("vsn", "sn", "0", spice::Stimulus::dc(cell.vdd));
-    ckt.add_vsource("vrwl", "rwl", "0",
-                    spice::Stimulus::pwl({{units::picoseconds(0), units::volts(0)},
-                                          {units::picoseconds(20), cell.vdd}}));
-    // Read stack: RBL -> read FET (gate = SN) -> mid -> select FET (gate = RWL) -> GND.
-    ckt.add_fet("mr", cell.read_fet, cell.read_width, "rbl", "sn", "mid");
-    ckt.add_fet("ms", cell.select_fet, cell.select_width, "mid", "rwl", "0");
-    ckt.add_capacitor_ic("rbl", "0", cell.rbl_cap, cell.vdd);
-    ckt.add_capacitor("mid", "0", units::attofarads(80.0));
-
-    const spice::Simulator sim{ckt};
-    const auto tr = sim.transient(units::nanoseconds(2.0), units::picoseconds(2.0),
-                                  /*from_ics=*/true);
-    PPATC_ENSURE(tr.has_value(), "read-delay transient failed to converge");
-    const auto rbl = tr->node("rbl");
-    const Duration t50 = spice::cross_time(rbl, 0.5 * vdd, spice::Edge::kFall);
-    PPATC_ENSURE(t50.base() > 0, "read bitline never discharged to VDD/2");
-    out.read_delay = t50 - units::picoseconds(20);
-  };
-
-  runtime::parallel_invoke([&] { timed_corner("memsys.write_corner", write_corner); },
-                           [&] { timed_corner("memsys.read_corner", read_corner); });
-
-  // ---- retention: analytic decay from the DC off-current at the hold bias.
-  //      SN sits at VDD, WBL at 0 (worst case), WWL at the hold level:
-  //      Vgs = vhold - 0 relative to the WBL side acting as source.
-  {
-    const device::VirtualSourceFet wfet{cell.write_fet, cell.write_width};
-    // Conservative: evaluate leakage at the start of the decay (largest Vds).
-    // SN (at VDD) is the drain, WBL (at 0) the source, WWL at the hold level.
-    const Current leak = abs(wfet.drain_current(cell.vhold, cell.vdd)) + cell.leak_floor;
-    out.hold_leakage = leak;
-    const double amps = units::in_amperes(leak);
-    PPATC_ENSURE(amps > 0, "off-current must be positive");
-    const double dq =
-        units::in_farads(cell.storage_cap) * units::in_volts(sense_margin);
-    out.retention = units::seconds(dq / amps);
-  }
-
+  retention_analytic(cell, sense_margin, out);
   return out;
 }
 
 std::vector<CellCharacteristics> characterize_batch(const std::vector<CellSpec>& cells,
                                                     Voltage sense_margin) {
+  PPATC_EXPECT(units::in_volts(sense_margin) > 0, "sense margin must be positive");
   std::vector<CellCharacteristics> out(cells.size());
-  // Cells are fully independent SPICE decks; each slot is written by exactly
-  // one task (nested corner parallelism inside characterize runs inline).
-  runtime::parallel_for(cells.size(),
-                        [&](std::size_t i) { out[i] = characterize(cells[i], sense_margin); });
+  // Flattened to one task per SPICE corner (2 per cell) instead of one per
+  // cell: corners from different cells backfill idle workers while a slow
+  // corner (e.g. the 8 ns IGZO write transient) runs, and the pool sees 2N
+  // units of work instead of N nested pairs. Each task writes disjoint fields
+  // of a distinct slot, so the results match per-cell characterize() exactly.
+  runtime::parallel_for(2 * cells.size(), [&](std::size_t t) {
+    const std::size_t i = t / 2;
+    if (t % 2 == 0) {
+      timed_corner("memsys.write_corner", [&] { write_corner(cells[i], out[i]); });
+    } else {
+      timed_corner("memsys.read_corner", [&] { read_corner(cells[i], out[i]); });
+    }
+  });
+  // Retention is a closed-form evaluation — not worth a pool task.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    retention_analytic(cells[i], sense_margin, out[i]);
+  }
   return out;
 }
 

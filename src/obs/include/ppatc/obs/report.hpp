@@ -183,6 +183,55 @@ struct DiffReport {
 /// from the golden side).
 [[nodiscard]] DiffReport diff_manifests(const Manifest& run, const Manifest& golden);
 
+// ---------------------------------------------------------------------------
+// Performance comparison (the perf-smoke gate).
+//
+// Numeric-drift checking (diff_manifests) asks "is this the same number?";
+// performance checking asks "did this get slower?". The two need different
+// machinery: perf metrics are wall-clock dependent, so equality tolerances
+// make no sense — instead each metric has a direction (throughput: higher is
+// better; latency: lower is better) and only movement in the BAD direction
+// beyond a (wide) tolerance counts as a regression. Improvements never fail.
+
+/// One perf metric compared between a run and a baseline.
+struct PerfDelta {
+  std::string key;  ///< "gauge:<name>", "hist:<name>/p50", or "result:<name>"
+  double run_value = 0.0;
+  double baseline_value = 0.0;
+  double change = 0.0;  ///< (run - baseline) / |baseline| (0 when baseline is 0)
+  bool higher_is_better = false;
+  bool regressed = false;  ///< moved in the bad direction beyond tolerance
+};
+
+/// Result of a perf comparison against a committed baseline.
+struct PerfReport {
+  double tolerance = 0.15;        ///< allowed fractional move in the bad direction
+  std::vector<PerfDelta> deltas;  ///< every metric present in both manifests
+  std::vector<std::string> missing;  ///< in baseline, absent from run (a gate
+                                     ///< that stopped measuring is a failure)
+  /// True iff nothing regressed and no baseline metric went missing.
+  [[nodiscard]] bool pass() const;
+  /// Keys of every regressed delta plus every missing metric, sorted.
+  [[nodiscard]] std::vector<std::string> offending_keys() const;
+};
+
+/// Compares the perf-relevant content of `run` against `baseline`:
+///   gauges       all baseline gauges (e.g. isa.insn_per_sec)
+///   histograms   p50 and p95 of every baseline histogram (latency
+///                distributions, e.g. memsys.corner_solve_us)
+///   results      all baseline numeric results
+/// Direction is inferred per metric: a name ending "_per_sec" or a unit
+/// ending "/s" means throughput (higher is better); everything else is
+/// treated as latency/cost (lower is better). Counters and spans are never
+/// compared — counters are work counts (the drift gate's job) and span wall
+/// times double-count the histograms. Metrics only in `run` are ignored, so
+/// adding instrumentation does not break an old baseline.
+[[nodiscard]] PerfReport perf_compare_manifests(const Manifest& run, const Manifest& baseline,
+                                                double tolerance = 0.15);
+
+/// Human-readable perf comparison table (always lists every metric).
+[[nodiscard]] std::string format_perf_compare(const PerfReport& r);
+
 /// Human-readable diff report. `verbose` also lists the in-tolerance keys.
 [[nodiscard]] std::string format_diff(const DiffReport& d, bool verbose = false);
 

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -647,6 +648,120 @@ std::string format_diff(const DiffReport& d, bool verbose) {
   os << (d.clean() ? "OK" : "DRIFT") << ": " << within << "/" << d.numeric.size()
      << " numeric keys within tolerance, " << d.added.size() << " added, " << d.removed.size()
      << " removed, " << d.mismatched.size() << " mismatched\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Perf comparison.
+
+namespace {
+
+// Direction heuristic shared by every compared metric: rates are named
+// "<x>_per_sec" (gauges) or carry a "/s"-suffixed unit (results); everything
+// else in a perf manifest is a latency or cost where smaller is better.
+bool is_throughput(const std::string& name, const std::string& unit) {
+  const auto ends_with = [](const std::string& s, const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+  };
+  return ends_with(name, "_per_sec") || ends_with(unit, "/s");
+}
+
+PerfDelta make_delta(std::string key, double run, double baseline, bool higher_is_better,
+                     double tolerance) {
+  PerfDelta d;
+  d.key = std::move(key);
+  d.run_value = run;
+  d.baseline_value = baseline;
+  d.change = baseline != 0.0 ? (run - baseline) / std::fabs(baseline) : 0.0;
+  d.higher_is_better = higher_is_better;
+  const double bad_move = higher_is_better ? -d.change : d.change;
+  d.regressed = bad_move > tolerance;
+  return d;
+}
+
+}  // namespace
+
+bool PerfReport::pass() const {
+  if (!missing.empty()) return false;
+  return std::none_of(deltas.begin(), deltas.end(),
+                      [](const PerfDelta& d) { return d.regressed; });
+}
+
+std::vector<std::string> PerfReport::offending_keys() const {
+  std::vector<std::string> out;
+  for (const PerfDelta& d : deltas) {
+    if (d.regressed) out.push_back(d.key);
+  }
+  out.insert(out.end(), missing.begin(), missing.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PerfReport perf_compare_manifests(const Manifest& run, const Manifest& baseline,
+                                  double tolerance) {
+  PerfReport r;
+  r.tolerance = tolerance;
+
+  for (const auto& [name, base] : baseline.gauges) {
+    const auto it = run.gauges.find(name);
+    if (it == run.gauges.end()) {
+      r.missing.push_back("gauge:" + name);
+      continue;
+    }
+    r.deltas.push_back(make_delta("gauge:" + name, it->second, base,
+                                  is_throughput(name, /*unit=*/""), tolerance));
+  }
+
+  for (const auto& [name, base_qs] : baseline.histograms) {
+    const auto it = run.histograms.find(name);
+    for (const char* q : {"p50", "p95"}) {
+      const auto bq = base_qs.find(q);
+      if (bq == base_qs.end()) continue;
+      if (it == run.histograms.end()) {
+        r.missing.push_back("hist:" + name + "/" + q);
+        continue;
+      }
+      const auto rq = it->second.find(q);
+      if (rq == it->second.end()) {
+        r.missing.push_back("hist:" + name + "/" + q);
+        continue;
+      }
+      r.deltas.push_back(make_delta("hist:" + name + "/" + q, rq->second, bq->second,
+                                    /*higher_is_better=*/false, tolerance));
+    }
+  }
+
+  for (const auto& [name, base] : baseline.results) {
+    const auto it = run.results.find(name);
+    if (it == run.results.end()) {
+      r.missing.push_back("result:" + name);
+      continue;
+    }
+    r.deltas.push_back(make_delta("result:" + name, it->second.value, base.value,
+                                  is_throughput(name, base.unit), tolerance));
+  }
+  return r;
+}
+
+std::string format_perf_compare(const PerfReport& r) {
+  std::ostringstream os;
+  os.precision(6);
+  for (const PerfDelta& d : r.deltas) {
+    const char* verdict = d.regressed ? "REGRESSED" : (d.change == 0.0          ? "same"
+                                                       : (d.change > 0.0) == d.higher_is_better
+                                                           ? "improved"
+                                                           : "ok");
+    os << "  " << (d.regressed ? "FAIL " : "ok   ") << d.key << ": " << d.run_value << " vs "
+       << d.baseline_value << " (" << (d.change >= 0.0 ? "+" : "") << d.change * 100.0 << "%, "
+       << (d.higher_is_better ? "higher" : "lower") << " is better) " << verdict << "\n";
+  }
+  for (const std::string& m : r.missing) {
+    os << "  FAIL " << m << ": present in baseline, missing from run\n";
+  }
+  os << (r.pass() ? "PERF OK" : "PERF REGRESSION") << ": " << r.deltas.size()
+     << " metrics compared, tolerance " << r.tolerance * 100.0 << "%, "
+     << r.offending_keys().size() << " offending\n";
   return os.str();
 }
 

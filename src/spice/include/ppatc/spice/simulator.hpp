@@ -3,12 +3,16 @@
 // Solves DC operating points and fixed-step backward-Euler transients with
 // Newton–Raphson linearization of the FET elements. The system unknowns are
 // the non-ground node voltages followed by one branch current per independent
-// voltage source. The Jacobian is assembled densely and factored with
-// partially-pivoted LU — the eDRAM characterization circuits in this repo are
-// tens of nodes, far below the crossover where sparse methods pay off.
+// voltage source. The Jacobian is factored by the sparse CSR solver
+// (ppatc/spice/sparse.hpp) by default: the sparsity pattern and pivot program
+// are built once per topology and replayed across all Newton iterations,
+// transient steps, and continuation solves, bit-identically to the dense
+// partially-pivoted LU oracle that remains available via
+// `SimOptions::solver = LinearSolverKind::kDense`.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -28,12 +32,20 @@ class ConvergenceError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Linear-solver backend for the Newton iterations. Both produce bit-identical
+/// results; the dense path is the oracle the sparse replay is verified against.
+enum class LinearSolverKind {
+  kSparse,  ///< CSR replay with symbolic/pivot reuse across solves (default)
+  kDense,   ///< original dense partially-pivoted LU
+};
+
 struct SimOptions {
   double abstol = 1e-12;       ///< residual current tolerance (A)
   double reltol = 1e-6;        ///< Newton voltage-update tolerance (V)
   int max_newton_iterations = 200;
   double gmin = 1e-12;         ///< conductance to ground on every node (S)
   int gmin_steps = 8;          ///< gmin-stepping ladder length for hard DC points
+  LinearSolverKind solver = LinearSolverKind::kSparse;
 };
 
 /// DC operating point: node voltages + source branch currents.
@@ -67,6 +79,7 @@ class TransientResult {
 class Simulator {
  public:
   explicit Simulator(const Circuit& circuit, SimOptions options = {});
+  ~Simulator();
 
   /// DC operating point at t = 0 stimulus values. Uses gmin stepping when the
   /// plain Newton solve fails. Throws ConvergenceError (with node/iteration
@@ -84,8 +97,18 @@ class Simulator {
                                                          bool from_ics = false) const;
 
  private:
+  // Per-instance solver state (assembled system, workspaces, and the sparse
+  // backend's pivot program), built lazily and reused across dc/transient
+  // calls so symbolic work happens once per Simulator. Because the const
+  // methods share this cache, concurrent calls on ONE instance are not
+  // supported — create a Simulator per thread; solvers for the same topology
+  // still share the process-wide interned pattern and seed program.
+  struct SolverState;
+  [[nodiscard]] SolverState& state() const;
+
   const Circuit& circuit_;
   SimOptions options_;
+  mutable std::unique_ptr<SolverState> state_;
 };
 
 }  // namespace ppatc::spice

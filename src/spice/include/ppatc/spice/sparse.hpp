@@ -1,0 +1,225 @@
+// ppatc: sparse MNA linear solver with symbolic-factorization reuse.
+//
+// The characterization decks assemble the same Jacobian structure thousands
+// of times (Newton iterations x transient steps x continuation solves), so
+// the expensive parts of each solve — discovering the sparsity pattern,
+// choosing pivots, and sweeping O(n^2) mostly-zero entries — are hoisted out
+// of the inner loop:
+//
+//  * `MnaPattern` captures the structural nonzeros of a circuit's Jacobian
+//    once. Topologically identical circuits (the same bit-cell deck at
+//    different corners) intern to one shared instance via
+//    `intern_mna_pattern`.
+//  * The first numeric solve runs the dense partially-pivoted oracle
+//    (`DenseMatrix`, the original backend, kept verbatim) while recording its
+//    pivot choices, then compiles an `EliminationProgram`: flat slot-level
+//    operation lists covering the structural pattern plus the fill generated
+//    by that pivot sequence.
+//  * Subsequent solves replay the program in O(nnz) work per step, verifying
+//    at every step that the recorded pivot is still the partial-pivot winner,
+//    and fall back to re-discovery when the values drift enough to change a
+//    pivot.
+//
+// Replay is bit-identical to the dense oracle: dense elimination applies
+// `a[r][c] -= m * a[k][c]` at every column, but columns outside the
+// structural+fill union hold exactly +0.0 in the pivot row, so those updates
+// are floating-point no-ops; the program performs the surviving updates with
+// the same pivot order and the same ascending-index summation order, hence
+// the same rounding. test_spice_sparse.cpp asserts bitwise equality over
+// every deck topology the reproduction benches use.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ppatc::spice {
+
+/// Dense row-major matrix with partially-pivoted LU solve — the original MNA
+/// backend, kept as the bit-exactness oracle and as the discovery engine for
+/// the sparse replay path. The characterization circuits are O(10..100)
+/// unknowns, so an occasional dense solve is affordable.
+class DenseMatrix {
+ public:
+  explicit DenseMatrix(std::size_t n) : n_{n}, a_(n * n, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return a_[r * n_ + c]; }
+  void clear() { std::fill(a_.begin(), a_.end(), 0.0); }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Solves A x = b in place; returns false if the matrix is singular (b is
+  /// then partially updated). When `pivot_out` is non-null it receives the
+  /// chosen pivot position for every elimination step, in order.
+  bool solve(std::vector<double>& b, std::vector<std::uint32_t>* pivot_out = nullptr);
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;
+};
+
+/// Row-major bitset describing which (row, column) entries of an n x n matrix
+/// may be nonzero, plus CSR row offsets so a set bit maps to its value-array
+/// slot with one popcount-rank scan over the row words.
+struct SlotLayout {
+  std::size_t n = 0;
+  std::size_t words_per_row = 0;
+  std::vector<std::uint64_t> bits;       ///< n * words_per_row, row-major
+  std::vector<std::uint32_t> row_begin;  ///< n + 1 CSR offsets into slot space
+  /// Dense n x n (row, col) -> slot table, filled by index(). Stamping is the
+  /// per-Newton-iteration inner loop, so the popcount-rank scan is paid once
+  /// at index() time instead of on every add(); 4 bytes per matrix entry is
+  /// nothing at MNA sizes.
+  std::vector<std::uint32_t> slot_of;
+
+  [[nodiscard]] bool test(std::size_t row, std::size_t col) const {
+    return ((bits[row * words_per_row + (col >> 6)] >> (col & 63u)) & 1u) != 0;
+  }
+  void set(std::size_t row, std::size_t col) {
+    bits[row * words_per_row + (col >> 6)] |= std::uint64_t{1} << (col & 63u);
+  }
+  /// Slot index of a set (row, col) bit; unspecified if the bit is clear.
+  [[nodiscard]] std::uint32_t slot(std::size_t row, std::size_t col) const {
+    return slot_of[row * n + col];
+  }
+  [[nodiscard]] std::uint32_t nonzeros() const { return row_begin.empty() ? 0u : row_begin[n]; }
+
+  /// (Re)computes row_begin and slot_of from bits.
+  void index();
+};
+
+/// Immutable structural nonzero pattern of an assembled MNA Jacobian. Built
+/// once per circuit topology by a recording assembly pass; interning returns
+/// a canonical shared instance so concurrent corners of the same deck share
+/// one structure — and through it one seed pivot program.
+class MnaPattern {
+ public:
+  class Builder {
+   public:
+    explicit Builder(std::size_t n);
+    void add(std::size_t row, std::size_t col) { layout_.set(row, col); }
+    [[nodiscard]] MnaPattern build() &&;
+
+   private:
+    SlotLayout layout_;
+  };
+
+  [[nodiscard]] std::size_t size() const { return layout_.n; }
+  [[nodiscard]] const SlotLayout& layout() const { return layout_; }
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+  [[nodiscard]] bool same_structure(const MnaPattern& other) const;
+
+ private:
+  MnaPattern() = default;
+
+  SlotLayout layout_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+/// Compiled elimination schedule for one (pattern, pivot sequence) pair: the
+/// union layout (structural nonzeros plus fill) and flat per-step operation
+/// lists replaying the dense algorithm over union slots only. Immutable and
+/// shared between solvers once built.
+struct EliminationProgram {
+  SlotLayout layout;  ///< structural pattern ∪ fill for the recorded pivots
+
+  struct Candidate {
+    std::uint32_t slot;  ///< value slot of (row currently at `pos`, column k)
+    std::uint32_t pos;   ///< pre-swap row position within the step
+  };
+  struct Pair {
+    std::uint32_t dst;  ///< target-row slot receiving dst -= m * src
+    std::uint32_t src;  ///< pivot-row slot
+  };
+  struct Target {
+    std::uint32_t m_slot;  ///< (target row, column k): numerator of m
+    std::uint32_t b_pos;   ///< right-hand-side position of the target row
+    std::uint32_t pair_begin = 0;
+    std::uint32_t pair_end = 0;
+  };
+  struct Step {
+    std::uint32_t pivot_pos;   ///< recorded partial-pivot winner (pre-swap)
+    std::uint32_t pivot_slot;  ///< (pivot row, column k) — the divisor
+    std::uint32_t cand_begin, cand_end;
+    std::uint32_t target_begin, target_end;
+  };
+  struct BackTerm {
+    std::uint32_t slot;  ///< U entry (row at position k, column `col`)
+    std::uint32_t col;
+  };
+  struct BackRow {
+    std::uint32_t diag_slot;
+    std::uint32_t term_begin, term_end;
+  };
+
+  std::vector<Step> steps;  ///< one per column k, ascending
+  std::vector<Candidate> cands;
+  std::vector<Target> targets;
+  std::vector<Pair> pairs;
+  std::vector<BackRow> back;  ///< indexed by position k, applied descending
+  std::vector<BackTerm> back_terms;
+};
+
+/// Interns a pattern: returns the canonical shared instance for this
+/// structure, registering `pattern` if the structure is new. Thread-safe.
+[[nodiscard]] std::shared_ptr<const MnaPattern> intern_mna_pattern(MnaPattern pattern);
+
+/// Last published elimination program for this structure, or null. Seeding a
+/// fresh solver with another corner's program is sound because replay
+/// verifies every pivot before trusting it. Thread-safe.
+[[nodiscard]] std::shared_ptr<const EliminationProgram> cached_elimination_program(
+    const MnaPattern& pattern);
+
+/// Publishes `program` as the seed for this structure unless one is already
+/// published (first writer wins). Thread-safe.
+void seed_elimination_program(const MnaPattern& pattern,
+                              std::shared_ptr<const EliminationProgram> program);
+
+/// Number of distinct structures interned so far (diagnostics and tests).
+[[nodiscard]] std::size_t mna_pattern_cache_size();
+
+/// Sparse LU solver producing bit-identical results to `DenseMatrix::solve`.
+/// Per solve: `begin_assembly()`, `add(...)` stamps (which must hit pattern
+/// positions only), then `factor_solve(b)`. Instances are not thread-safe —
+/// create one per thread; independent solvers over the same topology still
+/// share the interned pattern and the seed program.
+class SparseLuSolver {
+ public:
+  explicit SparseLuSolver(std::shared_ptr<const MnaPattern> pattern);
+
+  void begin_assembly() { std::fill(vals_.begin(), vals_.end(), 0.0); }
+  void add(std::size_t row, std::size_t col, double value) {
+    vals_[active_layout().slot(row, col)] += value;
+  }
+
+  /// Factors and solves in place; returns false on a singular matrix (b is
+  /// then partially updated, exactly as the dense oracle leaves it).
+  [[nodiscard]] bool factor_solve(std::vector<double>& b);
+
+  /// Dense-oracle discovery runs performed by this instance (the first solve
+  /// plus one per pivot drift). Monotone; useful for asserting reuse.
+  [[nodiscard]] std::uint64_t discoveries() const { return discoveries_; }
+
+  [[nodiscard]] const MnaPattern& pattern() const { return *pattern_; }
+
+ private:
+  enum class Replay { kOk, kSingular, kPivotDrift };
+
+  [[nodiscard]] const SlotLayout& active_layout() const {
+    return program_ ? program_->layout : pattern_->layout();
+  }
+  void adopt(std::shared_ptr<const EliminationProgram> program);
+  bool discover(std::vector<double>& b);
+  [[nodiscard]] Replay replay(std::vector<double>& b);
+
+  std::shared_ptr<const MnaPattern> pattern_;
+  std::shared_ptr<const EliminationProgram> program_;
+  std::vector<double> vals_;    ///< stamped values, indexed by active-layout slot
+  std::vector<double> work_;    ///< factorization workspace (copy of vals_)
+  std::vector<double> b_work_;  ///< right-hand-side workspace for replay
+  std::uint64_t discoveries_ = 0;
+};
+
+}  // namespace ppatc::spice

@@ -4,19 +4,24 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "ppatc/common/contract.hpp"
 #include "ppatc/obs/metrics.hpp"
 #include "ppatc/obs/trace.hpp"
+#include "ppatc/spice/sparse.hpp"
 
 namespace ppatc::spice {
 
 namespace {
 
 // Solver metrics: iteration and step counts are deterministic for a fixed
-// circuit + options, so tests assert their exact values (test_obs.cpp).
+// circuit + options, so tests assert their exact values (test_obs.cpp). Each
+// accessor caches the registry lookup in a function-local static so the hot
+// path costs one relaxed increment, not a name lookup.
 obs::Counter& newton_iterations_counter() {
   static obs::Counter& c = obs::counter("spice.newton_iterations");
   return c;
@@ -34,58 +39,6 @@ obs::Counter& transient_steps_counter() {
   return c;
 }
 
-// Dense row-major matrix with partially-pivoted LU solve; the characterization
-// circuits are O(10..100) unknowns, well below the sparse crossover.
-class DenseMatrix {
- public:
-  explicit DenseMatrix(std::size_t n) : n_{n}, a_(n * n, 0.0) {}
-
-  double& at(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
-  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return a_[r * n_ + c]; }
-  void clear() { std::fill(a_.begin(), a_.end(), 0.0); }
-  [[nodiscard]] std::size_t size() const { return n_; }
-
-  /// Solves A x = b in place; returns false if the matrix is singular.
-  bool solve(std::vector<double>& b) {
-    std::vector<std::size_t> perm(n_);
-    for (std::size_t i = 0; i < n_; ++i) perm[i] = i;
-    for (std::size_t k = 0; k < n_; ++k) {
-      // partial pivot
-      std::size_t piv = k;
-      double best = std::abs(at(k, k));
-      for (std::size_t r = k + 1; r < n_; ++r) {
-        if (std::abs(at(r, k)) > best) {
-          best = std::abs(at(r, k));
-          piv = r;
-        }
-      }
-      if (best < 1e-300) return false;
-      if (piv != k) {
-        for (std::size_t c = 0; c < n_; ++c) std::swap(at(k, c), at(piv, c));
-        std::swap(b[k], b[piv]);
-      }
-      const double d = at(k, k);
-      for (std::size_t r = k + 1; r < n_; ++r) {
-        const double m = at(r, k) / d;
-        if (m == 0.0) continue;
-        at(r, k) = 0.0;
-        for (std::size_t c = k + 1; c < n_; ++c) at(r, c) -= m * at(k, c);
-        b[r] -= m * b[k];
-      }
-    }
-    for (std::size_t k = n_; k-- > 0;) {
-      double s = b[k];
-      for (std::size_t c = k + 1; c < n_; ++c) s -= at(k, c) * b[c];
-      b[k] = s / at(k, k);
-    }
-    return true;
-  }
-
- private:
-  std::size_t n_;
-  std::vector<double> a_;
-};
-
 struct AssemblyContext {
   const Circuit* circuit;
   SimOptions options;
@@ -97,14 +50,84 @@ struct AssemblyContext {
   const std::vector<double>* cap_prev = nullptr;  // per-capacitor V(a)-V(b) at t-dt
 };
 
+// Assembly/solve sink: the stamping code is written once against this
+// interface and runs against the dense oracle, the sparse replay solver, or
+// the pattern recorder (which captures stamp positions for symbolic setup).
+class LinearBackend {
+ public:
+  virtual ~LinearBackend() = default;
+  virtual void begin_assembly() = 0;
+  virtual void add(std::size_t r, std::size_t c, double v) = 0;
+  virtual bool factor_solve(std::vector<double>& b) = 0;
+};
+
+class DenseBackend final : public LinearBackend {
+ public:
+  explicit DenseBackend(std::size_t n) : m_{n} {}
+  void begin_assembly() override { m_.clear(); }
+  void add(std::size_t r, std::size_t c, double v) override { m_.at(r, c) += v; }
+  bool factor_solve(std::vector<double>& b) override { return m_.solve(b); }
+
+ private:
+  DenseMatrix m_;
+};
+
+class SparseBackend final : public LinearBackend {
+ public:
+  explicit SparseBackend(std::shared_ptr<const MnaPattern> pattern)
+      : solver_{std::move(pattern)} {}
+  void begin_assembly() override { solver_.begin_assembly(); }
+  void add(std::size_t r, std::size_t c, double v) override { solver_.add(r, c, v); }
+  bool factor_solve(std::vector<double>& b) override { return solver_.factor_solve(b); }
+
+ private:
+  SparseLuSolver solver_;
+};
+
+class PatternRecorder final : public LinearBackend {
+ public:
+  explicit PatternRecorder(MnaPattern::Builder& builder) : builder_{&builder} {}
+  void begin_assembly() override {}
+  void add(std::size_t r, std::size_t c, double) override { builder_->add(r, c); }
+  bool factor_solve(std::vector<double>&) override { return true; }
+
+ private:
+  MnaPattern::Builder* builder_;
+};
+
 // Unknown layout: x[0..N-2] are voltages of nodes 1..N-1; x[N-1..] are source
 // branch currents (current delivered out of the + terminal).
 class System {
  public:
-  explicit System(const Circuit& c)
+  System(const Circuit& c, const SimOptions& options)
       : circuit_{c},
         n_nodes_{c.node_count()},
-        n_unknowns_{(c.node_count() - 1) + c.vsources().size()} {}
+        n_unknowns_{(c.node_count() - 1) + c.vsources().size()} {
+    if (options.solver == LinearSolverKind::kDense) {
+      backend_ = std::make_unique<DenseBackend>(n_unknowns_);
+      return;
+    }
+    // Structural pass: stamp positions depend only on the topology, and the
+    // transient stamps (capacitor companions) are a superset of the DC ones,
+    // so one recording assembly with caps included yields a pattern covering
+    // both solve kinds — DC simply leaves the capacitor slots at +0.0.
+    MnaPattern::Builder builder{n_unknowns_};
+    PatternRecorder recorder{builder};
+    AssemblyContext ctx;
+    ctx.circuit = &c;
+    ctx.options = options;
+    ctx.gmin = options.gmin;
+    ctx.include_caps = true;
+    ctx.dt = 1.0;
+    ctx.time = 0.0;
+    const std::vector<double> cap_zero(c.capacitors().size(), 0.0);
+    ctx.cap_prev = &cap_zero;
+    std::vector<double> x(n_unknowns_, 0.0);
+    std::vector<double> f(n_unknowns_, 0.0);
+    update_source_targets(ctx);
+    assemble(ctx, x, f, recorder);
+    backend_ = std::make_unique<SparseBackend>(intern_mna_pattern(std::move(builder).build()));
+  }
 
   [[nodiscard]] std::size_t unknowns() const { return n_unknowns_; }
   [[nodiscard]] std::size_t voltage_index(NodeId n) const { return n - 1; }
@@ -114,24 +137,24 @@ class System {
     return n == kGroundNode ? 0.0 : x[voltage_index(n)];
   }
 
-  // Assembles residual f(x) and Jacobian J(x).
+  // Assembles residual f(x) and Jacobian J(x) into the backend.
   void assemble(const AssemblyContext& ctx, const std::vector<double>& x, std::vector<double>& f,
-                DenseMatrix& jac) const {
+                LinearBackend& jac) const {
     std::fill(f.begin(), f.end(), 0.0);
-    jac.clear();
+    jac.begin_assembly();
 
     auto stamp_conductance = [&](NodeId a, NodeId b, double g, double extra_current) {
       // current a->b: g*(va-vb) + extra_current
       const double i = g * (volt(x, a) - volt(x, b)) + extra_current;
       if (a != kGroundNode) {
         f[voltage_index(a)] += i;
-        jac.at(voltage_index(a), voltage_index(a)) += g;
-        if (b != kGroundNode) jac.at(voltage_index(a), voltage_index(b)) -= g;
+        jac.add(voltage_index(a), voltage_index(a), g);
+        if (b != kGroundNode) jac.add(voltage_index(a), voltage_index(b), -g);
       }
       if (b != kGroundNode) {
         f[voltage_index(b)] -= i;
-        jac.at(voltage_index(b), voltage_index(b)) += g;
-        if (a != kGroundNode) jac.at(voltage_index(b), voltage_index(a)) -= g;
+        jac.add(voltage_index(b), voltage_index(b), g);
+        if (a != kGroundNode) jac.add(voltage_index(b), voltage_index(a), -g);
       }
     };
 
@@ -151,7 +174,7 @@ class System {
     // gmin from every non-ground node to ground.
     for (NodeId n = 1; n < n_nodes_; ++n) {
       f[voltage_index(n)] += ctx.gmin * volt(x, n);
-      jac.at(voltage_index(n), voltage_index(n)) += ctx.gmin;
+      jac.add(voltage_index(n), voltage_index(n), ctx.gmin);
     }
 
     // FETs: drain current Id flows drain -> source; numerical partials.
@@ -173,15 +196,18 @@ class System {
         if (node == kGroundNode) return;
         const std::size_t r = voltage_index(node);
         f[r] += sign * id;
-        if (fe.drain != kGroundNode) jac.at(r, voltage_index(fe.drain)) += sign * did_dvd;
-        if (fe.gate != kGroundNode) jac.at(r, voltage_index(fe.gate)) += sign * did_dvg;
-        if (fe.source != kGroundNode) jac.at(r, voltage_index(fe.source)) += sign * did_dvs;
+        if (fe.drain != kGroundNode) jac.add(r, voltage_index(fe.drain), sign * did_dvd);
+        if (fe.gate != kGroundNode) jac.add(r, voltage_index(fe.gate), sign * did_dvg);
+        if (fe.source != kGroundNode) jac.add(r, voltage_index(fe.source), sign * did_dvs);
       };
       add_row(fe.drain, +1.0);
       add_row(fe.source, -1.0);
     }
 
-    // Voltage sources: unknown branch current i (delivered out of +).
+    // Voltage sources: unknown branch current i (delivered out of +). The
+    // stimulus targets are per-solve invariants hoisted by
+    // update_source_targets so the PWL lookup runs once per Newton solve,
+    // not once per iteration.
     const auto& sources = circuit_.vsources();
     for (std::size_t s = 0; s < sources.size(); ++s) {
       const auto& src = sources[s];
@@ -189,17 +215,15 @@ class System {
       const double i = x[bi];
       if (src.pos != kGroundNode) {
         f[voltage_index(src.pos)] -= i;  // injected into node
-        jac.at(voltage_index(src.pos), bi) -= 1.0;
+        jac.add(voltage_index(src.pos), bi, -1.0);
       }
       if (src.neg != kGroundNode) {
         f[voltage_index(src.neg)] += i;
-        jac.at(voltage_index(src.neg), bi) += 1.0;
+        jac.add(voltage_index(src.neg), bi, 1.0);
       }
-      const double target =
-          ctx.source_scale * units::in_volts(src.stimulus.at(units::seconds(ctx.time)));
-      f[bi] = volt(x, src.pos) - volt(x, src.neg) - target;
-      if (src.pos != kGroundNode) jac.at(bi, voltage_index(src.pos)) += 1.0;
-      if (src.neg != kGroundNode) jac.at(bi, voltage_index(src.neg)) -= 1.0;
+      f[bi] = volt(x, src.pos) - volt(x, src.neg) - src_targets_[s];
+      if (src.pos != kGroundNode) jac.add(bi, voltage_index(src.pos), 1.0);
+      if (src.neg != kGroundNode) jac.add(bi, voltage_index(src.neg), -1.0);
     }
   }
 
@@ -226,45 +250,45 @@ class System {
 
   /// Newton–Raphson from the given initial guess; returns iterations used or
   /// -1 on divergence (filling last_diag()). x is updated in place.
-  int newton(const AssemblyContext& ctx, std::vector<double>& x) const {
-    std::vector<double> f(n_unknowns_);
-    DenseMatrix jac(n_unknowns_);
+  int newton(const AssemblyContext& ctx, std::vector<double>& x) {
+    update_source_targets(ctx);
+    f_.assign(n_unknowns_, 0.0);
     const std::size_t nv = n_nodes_ - 1;
     newton_solves_counter().increment();
     int result = -1;
     int it = 1;
     diag_ = NewtonDiag{};
     for (; it <= ctx.options.max_newton_iterations; ++it) {
-      assemble(ctx, x, f, jac);
+      assemble(ctx, x, f_, *backend_);
       // Record the worst voltage-row residual before the solve mutates f's
       // copy, so a failure at this iteration reports where the circuit is
       // furthest from KCL.
       diag_.max_residual = 0.0;
       diag_.worst_node = kGroundNode;
       for (std::size_t i = 0; i < nv; ++i) {
-        if (std::abs(f[i]) > diag_.max_residual) {
-          diag_.max_residual = std::abs(f[i]);
+        if (std::abs(f_[i]) > diag_.max_residual) {
+          diag_.max_residual = std::abs(f_[i]);
           diag_.worst_node = i + 1;
         }
       }
-      std::vector<double> dx = f;  // solve J dx = f, then x -= dx
-      if (!jac.solve(dx)) {
+      dx_ = f_;  // solve J dx = f, then x -= dx
+      if (!backend_->factor_solve(dx_)) {
         diag_.reason = "singular Jacobian";
         break;
       }
       // Damp voltage updates to aid FET convergence.
       double vmax = 0.0;
-      for (std::size_t i = 0; i < nv; ++i) vmax = std::max(vmax, std::abs(dx[i]));
+      for (std::size_t i = 0; i < nv; ++i) vmax = std::max(vmax, std::abs(dx_[i]));
       const double damp = vmax > 0.4 ? 0.4 / vmax : 1.0;
-      for (std::size_t i = 0; i < n_unknowns_; ++i) x[i] -= damp * dx[i];
+      for (std::size_t i = 0; i < n_unknowns_; ++i) x[i] -= damp * dx_[i];
       if (!std::all_of(x.begin(), x.end(), [](double v) { return std::isfinite(v); })) {
         diag_.reason = "non-finite solution";
         break;
       }
       double dv = 0.0;
-      for (std::size_t i = 0; i < nv; ++i) dv = std::max(dv, std::abs(dx[i]));
+      for (std::size_t i = 0; i < nv; ++i) dv = std::max(dv, std::abs(dx_[i]));
       double res = 0.0;
-      for (std::size_t i = 0; i < nv; ++i) res = std::max(res, std::abs(f[i]));
+      for (std::size_t i = 0; i < nv; ++i) res = std::max(res, std::abs(f_[i]));
       if (damp == 1.0 && dv < ctx.options.reltol && res < ctx.options.abstol * 1e3) {
         result = it;
         break;
@@ -281,10 +305,26 @@ class System {
   }
 
  private:
+  // Stimulus values are constant within one Newton solve (fixed ctx.time and
+  // source_scale); evaluating them per solve instead of per iteration skips
+  // the PWL segment search in the inner loop without changing any value.
+  void update_source_targets(const AssemblyContext& ctx) {
+    const auto& sources = circuit_.vsources();
+    src_targets_.resize(sources.size());
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      src_targets_[s] =
+          ctx.source_scale * units::in_volts(sources[s].stimulus.at(units::seconds(ctx.time)));
+    }
+  }
+
   const Circuit& circuit_;
   std::size_t n_nodes_;
   std::size_t n_unknowns_;
-  mutable NewtonDiag diag_;
+  std::unique_ptr<LinearBackend> backend_;
+  std::vector<double> f_;            // residual workspace (reused across solves)
+  std::vector<double> dx_;           // Newton update workspace
+  std::vector<double> src_targets_;  // per-solve stimulus values
+  NewtonDiag diag_;
 };
 
 }  // namespace
@@ -330,14 +370,26 @@ Energy TransientResult::source_energy(const std::string& vsource_name) const {
   return units::joules(acc);
 }
 
+struct Simulator::SolverState {
+  System sys;
+  SolverState(const Circuit& circuit, const SimOptions& options) : sys{circuit, options} {}
+};
+
 Simulator::Simulator(const Circuit& circuit, SimOptions options)
     : circuit_{circuit}, options_{options} {
   PPATC_EXPECT(circuit.node_count() >= 2, "circuit needs at least one non-ground node");
 }
 
+Simulator::~Simulator() = default;
+
+Simulator::SolverState& Simulator::state() const {
+  if (!state_) state_ = std::make_unique<SolverState>(circuit_, options_);
+  return *state_;
+}
+
 std::optional<DcResult> Simulator::dc_operating_point() const {
   const obs::Span span{"spice.dc"};
-  System sys{circuit_};
+  System& sys = state().sys;
   std::vector<double> x(sys.unknowns(), 0.0);
 
   AssemblyContext ctx;
@@ -407,7 +459,7 @@ std::optional<TransientResult> Simulator::transient(Duration stop, Duration step
   const auto dc = dc_operating_point();
   if (!dc) return std::nullopt;
 
-  System sys{circuit_};
+  System& sys = state().sys;
   std::vector<double> x(sys.unknowns(), 0.0);
   for (NodeId n = 1; n < circuit_.node_count(); ++n) x[n - 1] = dc->node_volts[n];
   for (std::size_t s = 0; s < circuit_.vsources().size(); ++s) {

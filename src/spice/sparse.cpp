@@ -1,0 +1,434 @@
+#include "ppatc/spice/sparse.hpp"
+
+#include <bit>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "ppatc/common/contract.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
+
+namespace ppatc::spice {
+
+namespace {
+
+obs::Counter& sparse_solves_counter() {
+  static obs::Counter& c = obs::counter("spice.sparse_solves");
+  return c;
+}
+// Every dense-oracle discovery: the first solve on a topology plus each pivot
+// drift. NOT thread-count deterministic — whether a corner finds a seed
+// program in the cache depends on scheduling order.
+obs::Counter& sparse_rebuilds_counter() {
+  static obs::Counter& c = obs::counter("spice.sparse_symbolic_rebuilds");
+  return c;
+}
+obs::Counter& pattern_hits_counter() {
+  static obs::Counter& c = obs::counter("spice.sparse_pattern_cache_hits");
+  return c;
+}
+// Wall-clock of one factor+solve, in microseconds: replayed solves are a few
+// hundred nanoseconds to a few microseconds; discovery solves are dense and
+// land in the tail buckets.
+obs::Histogram& factor_latency_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "spice.sparse_factor_us", {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0});
+  return h;
+}
+
+// ---- pattern + program cache ----------------------------------------------
+
+struct CacheEntry {
+  std::shared_ptr<const MnaPattern> pattern;
+  std::shared_ptr<const EliminationProgram> program;
+};
+
+std::mutex& cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+// Fingerprint-keyed buckets; entries within a bucket are distinguished by a
+// full structure compare. Leaked intentionally: worker threads may consult
+// the cache during static destruction.
+std::unordered_map<std::uint64_t, std::vector<CacheEntry>>& pattern_cache() {
+  static auto* cache = new std::unordered_map<std::uint64_t, std::vector<CacheEntry>>();
+  return *cache;
+}
+
+CacheEntry* find_entry_locked(const MnaPattern& pattern) {
+  auto it = pattern_cache().find(pattern.fingerprint());
+  if (it == pattern_cache().end()) return nullptr;
+  for (auto& entry : it->second) {
+    if (entry.pattern->same_structure(pattern)) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// ---- DenseMatrix -----------------------------------------------------------
+
+bool DenseMatrix::solve(std::vector<double>& b, std::vector<std::uint32_t>* pivot_out) {
+  std::vector<std::size_t> perm(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm[i] = i;
+  for (std::size_t k = 0; k < n_; ++k) {
+    // partial pivot
+    std::size_t piv = k;
+    double best = std::abs(at(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      if (std::abs(at(r, k)) > best) {
+        best = std::abs(at(r, k));
+        piv = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot_out != nullptr) pivot_out->push_back(static_cast<std::uint32_t>(piv));
+    if (piv != k) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(at(k, c), at(piv, c));
+      std::swap(b[k], b[piv]);
+    }
+    const double d = at(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double m = at(r, k) / d;
+      if (m == 0.0) continue;
+      at(r, k) = 0.0;
+      for (std::size_t c = k + 1; c < n_; ++c) at(r, c) -= m * at(k, c);
+      b[r] -= m * b[k];
+    }
+  }
+  for (std::size_t k = n_; k-- > 0;) {
+    double s = b[k];
+    for (std::size_t c = k + 1; c < n_; ++c) s -= at(k, c) * b[c];
+    b[k] = s / at(k, k);
+  }
+  return true;
+}
+
+// ---- SlotLayout ------------------------------------------------------------
+
+void SlotLayout::index() {
+  row_begin.assign(n + 1, 0);
+  slot_of.assign(n * n, 0);
+  std::uint32_t total = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    row_begin[r] = total;
+    const std::uint64_t* row = bits.data() + r * words_per_row;
+    for (std::size_t w = 0; w < words_per_row; ++w) {
+      std::uint64_t word = row[w];
+      while (word != 0) {
+        const auto bit = static_cast<unsigned>(std::countr_zero(word));
+        word &= word - 1;
+        slot_of[r * n + w * 64 + bit] = total++;
+      }
+    }
+  }
+  row_begin[n] = total;
+}
+
+// ---- MnaPattern ------------------------------------------------------------
+
+MnaPattern::Builder::Builder(std::size_t n) {
+  PPATC_EXPECT(n > 0, "MNA pattern needs at least one unknown");
+  layout_.n = n;
+  layout_.words_per_row = (n + 63) / 64;
+  layout_.bits.assign(n * layout_.words_per_row, 0);
+}
+
+MnaPattern MnaPattern::Builder::build() && {
+  layout_.index();
+  MnaPattern p;
+  // FNV-1a over the dimension and the bit rows: cheap, and collisions are
+  // resolved by the full structure compare in the cache anyway.
+  std::uint64_t fp = 14695981039346656037ull;
+  auto mix = [&fp](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fp ^= (v >> (8 * i)) & 0xFFu;
+      fp *= 1099511628211ull;
+    }
+  };
+  mix(layout_.n);
+  for (const std::uint64_t w : layout_.bits) mix(w);
+  p.fingerprint_ = fp;
+  p.layout_ = std::move(layout_);
+  return p;
+}
+
+bool MnaPattern::same_structure(const MnaPattern& other) const {
+  return layout_.n == other.layout_.n && layout_.bits == other.layout_.bits;
+}
+
+// ---- cache -----------------------------------------------------------------
+
+std::shared_ptr<const MnaPattern> intern_mna_pattern(MnaPattern pattern) {
+  const std::lock_guard<std::mutex> lock{cache_mutex()};
+  if (CacheEntry* entry = find_entry_locked(pattern)) {
+    pattern_hits_counter().increment();
+    return entry->pattern;
+  }
+  auto shared = std::make_shared<const MnaPattern>(std::move(pattern));
+  pattern_cache()[shared->fingerprint()].push_back(CacheEntry{shared, nullptr});
+  return shared;
+}
+
+std::shared_ptr<const EliminationProgram> cached_elimination_program(const MnaPattern& pattern) {
+  const std::lock_guard<std::mutex> lock{cache_mutex()};
+  const CacheEntry* entry = find_entry_locked(pattern);
+  return entry != nullptr ? entry->program : nullptr;
+}
+
+void seed_elimination_program(const MnaPattern& pattern,
+                              std::shared_ptr<const EliminationProgram> program) {
+  const std::lock_guard<std::mutex> lock{cache_mutex()};
+  CacheEntry* entry = find_entry_locked(pattern);
+  if (entry != nullptr && entry->program == nullptr) entry->program = std::move(program);
+}
+
+std::size_t mna_pattern_cache_size() {
+  const std::lock_guard<std::mutex> lock{cache_mutex()};
+  std::size_t count = 0;
+  for (const auto& [fp, bucket] : pattern_cache()) count += bucket.size();
+  return count;
+}
+
+// ---- program compilation ---------------------------------------------------
+
+namespace {
+
+// Structural simulation of the dense elimination under a recorded pivot
+// sequence: tracks which (row, col) entries CAN be nonzero (original stamps
+// plus fill), and emits the slot-level schedule. Value-independent: any
+// matrix with this pattern eliminated with these pivots touches a subset of
+// the union computed here, and entries outside it stay exactly +0.0.
+std::shared_ptr<const EliminationProgram> compile_program(
+    const MnaPattern& pattern, const std::vector<std::uint32_t>& pivots) {
+  const SlotLayout& structural = pattern.layout();
+  const std::size_t n = structural.n;
+  const std::size_t wpr = structural.words_per_row;
+
+  auto program = std::make_shared<EliminationProgram>();
+  SlotLayout& layout = program->layout;
+  layout.n = n;
+  layout.words_per_row = wpr;
+  layout.bits = structural.bits;  // grows with fill during the simulation
+
+  auto test = [&](std::size_t row, std::size_t col) {
+    return ((layout.bits[row * wpr + (col >> 6)] >> (col & 63u)) & 1u) != 0;
+  };
+
+  struct TempStep {
+    std::uint32_t pivot_pos = 0;
+    std::uint32_t pivot_row = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> cands;    // (row, pos)
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> targets;  // (row, pos)
+  };
+  std::vector<TempStep> temp(n);
+  std::vector<std::uint32_t> pos2row(n);
+  for (std::size_t i = 0; i < n; ++i) pos2row[i] = static_cast<std::uint32_t>(i);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    TempStep& ts = temp[k];
+    // Pivot candidates: the dense scan reads column k at positions k..n-1
+    // before the swap; only union entries can be nonzero there.
+    for (std::size_t pos = k; pos < n; ++pos) {
+      const std::uint32_t row = pos2row[pos];
+      if (test(row, k)) ts.cands.emplace_back(row, static_cast<std::uint32_t>(pos));
+    }
+    const std::uint32_t piv = pivots[k];
+    ts.pivot_pos = piv;
+    std::swap(pos2row[k], pos2row[piv]);
+    const std::uint32_t pivot_row = pos2row[k];
+    ts.pivot_row = pivot_row;
+    // Targets: rows below the pivot with a (possible) nonzero in column k.
+    // Each acquires the pivot row's structure right of column k as fill.
+    for (std::size_t pos = k + 1; pos < n; ++pos) {
+      const std::uint32_t row = pos2row[pos];
+      if (!test(row, k)) continue;
+      ts.targets.emplace_back(row, static_cast<std::uint32_t>(pos));
+      std::uint64_t* dst = layout.bits.data() + std::size_t{row} * wpr;
+      const std::uint64_t* src = layout.bits.data() + std::size_t{pivot_row} * wpr;
+      const std::size_t w0 = (k + 1) >> 6;
+      dst[w0] |= src[w0] & (~std::uint64_t{0} << ((k + 1) & 63u));
+      for (std::size_t w = w0 + 1; w < wpr; ++w) dst[w] |= src[w];
+    }
+  }
+
+  // The union structure is final; resolve every recorded operation to slots.
+  layout.index();
+  program->steps.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const TempStep& ts = temp[k];
+    EliminationProgram::Step step{};
+    step.pivot_pos = ts.pivot_pos;
+    step.pivot_slot = layout.slot(ts.pivot_row, k);
+    step.cand_begin = static_cast<std::uint32_t>(program->cands.size());
+    for (const auto& [row, pos] : ts.cands) {
+      program->cands.push_back({layout.slot(row, k), pos});
+    }
+    step.cand_end = static_cast<std::uint32_t>(program->cands.size());
+    step.target_begin = static_cast<std::uint32_t>(program->targets.size());
+    for (const auto& [row, pos] : ts.targets) {
+      EliminationProgram::Target target{};
+      target.m_slot = layout.slot(row, k);
+      target.b_pos = pos;
+      target.pair_begin = static_cast<std::uint32_t>(program->pairs.size());
+      // The pivot row's structure is frozen from step k on (it is never a
+      // target again), so the final union bits equal its bits at this step.
+      for (std::size_t c = k + 1; c < n; ++c) {
+        if (!test(ts.pivot_row, c)) continue;
+        program->pairs.push_back({layout.slot(row, c), layout.slot(ts.pivot_row, c)});
+      }
+      target.pair_end = static_cast<std::uint32_t>(program->pairs.size());
+      program->targets.push_back(target);
+    }
+    step.target_end = static_cast<std::uint32_t>(program->targets.size());
+    program->steps.push_back(step);
+  }
+
+  // Back substitution reads U: row at final position k, columns right of k.
+  program->back.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t row = pos2row[k];
+    EliminationProgram::BackRow br{};
+    br.diag_slot = program->steps[k].pivot_slot;
+    br.term_begin = static_cast<std::uint32_t>(program->back_terms.size());
+    for (std::size_t c = k + 1; c < n; ++c) {
+      if (!test(row, c)) continue;
+      program->back_terms.push_back({layout.slot(row, c), static_cast<std::uint32_t>(c)});
+    }
+    br.term_end = static_cast<std::uint32_t>(program->back_terms.size());
+    program->back.push_back(br);
+  }
+
+  return program;
+}
+
+}  // namespace
+
+// ---- SparseLuSolver --------------------------------------------------------
+
+SparseLuSolver::SparseLuSolver(std::shared_ptr<const MnaPattern> pattern)
+    : pattern_{std::move(pattern)} {
+  PPATC_EXPECT(pattern_ != nullptr, "solver needs a pattern");
+  if (auto seed = cached_elimination_program(*pattern_)) {
+    adopt(std::move(seed));
+  } else {
+    vals_.assign(pattern_->layout().nonzeros(), 0.0);
+  }
+}
+
+void SparseLuSolver::adopt(std::shared_ptr<const EliminationProgram> program) {
+  program_ = std::move(program);
+  vals_.assign(program_->layout.nonzeros(), 0.0);
+}
+
+bool SparseLuSolver::factor_solve(std::vector<double>& b) {
+  PPATC_EXPECT(b.size() == pattern_->size(), "right-hand side dimension mismatch");
+  sparse_solves_counter().increment();
+  const bool timed = obs::metrics_enabled();
+  const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
+
+  bool ok = false;
+  bool done = false;
+  if (program_ != nullptr) {
+    b_work_ = b;
+    const Replay r = replay(b_work_);
+    if (r != Replay::kPivotDrift) {
+      b = b_work_;  // on kSingular this is the oracle's partial state
+      ok = (r == Replay::kOk);
+      done = true;
+    }
+  }
+  if (!done) ok = discover(b);
+
+  if (timed) {
+    factor_latency_histogram().record(static_cast<double>(obs::monotonic_ns() - t0) * 1e-3);
+  }
+  return ok;
+}
+
+bool SparseLuSolver::discover(std::vector<double>& b) {
+  ++discoveries_;
+  sparse_rebuilds_counter().increment();
+  // Scatter the current values into the oracle; slots beyond the structural
+  // pattern (stale fill positions of a previous program) hold exactly 0.0.
+  const SlotLayout& layout = active_layout();
+  const std::size_t n = layout.n;
+  DenseMatrix dense(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::uint32_t slot = layout.row_begin[r];
+    const std::uint64_t* row = layout.bits.data() + r * layout.words_per_row;
+    for (std::size_t w = 0; w < layout.words_per_row; ++w) {
+      std::uint64_t word = row[w];
+      while (word != 0) {
+        const auto bit = static_cast<unsigned>(std::countr_zero(word));
+        word &= word - 1;
+        dense.at(r, w * 64 + bit) = vals_[slot++];
+      }
+    }
+  }
+  std::vector<std::uint32_t> pivots;
+  pivots.reserve(n);
+  if (!dense.solve(b, &pivots)) return false;  // keep the old program, if any
+  auto program = compile_program(*pattern_, pivots);
+  seed_elimination_program(*pattern_, program);
+  adopt(std::move(program));
+  return true;
+}
+
+SparseLuSolver::Replay SparseLuSolver::replay(std::vector<double>& b) {
+  const EliminationProgram& p = *program_;
+  const std::size_t n = p.layout.n;
+  work_ = vals_;  // keep vals_ intact for re-discovery on pivot drift
+  double* w = work_.data();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const EliminationProgram::Step& step = p.steps[k];
+    // Re-run the partial-pivot scan over the candidate slots. Entries the
+    // dense scan would also visit but that lie outside the union are exactly
+    // +0.0 and can never win a strict > comparison, so the winner matches.
+    double best = 0.0;
+    std::uint32_t piv = static_cast<std::uint32_t>(k);
+    for (std::uint32_t ci = step.cand_begin; ci != step.cand_end; ++ci) {
+      const EliminationProgram::Candidate& cand = p.cands[ci];
+      const double v = std::abs(w[cand.slot]);
+      if (cand.pos == k) {
+        best = v;  // the dense scan's initial best, |a[k][k]|
+      } else if (v > best) {
+        best = v;
+        piv = cand.pos;
+      }
+    }
+    if (best < 1e-300) return Replay::kSingular;
+    if (piv != step.pivot_pos) return Replay::kPivotDrift;
+    if (piv != k) std::swap(b[k], b[piv]);
+
+    const double d = w[step.pivot_slot];
+    const double bk = b[k];
+    for (std::uint32_t ti = step.target_begin; ti != step.target_end; ++ti) {
+      const EliminationProgram::Target& t = p.targets[ti];
+      const double m = w[t.m_slot] / d;
+      if (m == 0.0) continue;
+      for (std::uint32_t pi = t.pair_begin; pi != t.pair_end; ++pi) {
+        const EliminationProgram::Pair& pr = p.pairs[pi];
+        w[pr.dst] -= m * w[pr.src];
+      }
+      b[t.b_pos] -= m * bk;
+    }
+  }
+
+  for (std::size_t k = n; k-- > 0;) {
+    const EliminationProgram::BackRow& br = p.back[k];
+    double s = b[k];
+    for (std::uint32_t ti = br.term_begin; ti != br.term_end; ++ti) {
+      const EliminationProgram::BackTerm& t = p.back_terms[ti];
+      s -= w[t.slot] * b[t.col];
+    }
+    b[k] = s / w[br.diag_slot];
+  }
+  return Replay::kOk;
+}
+
+}  // namespace ppatc::spice

@@ -1,0 +1,204 @@
+// Differential tests for the threaded-code dispatch engine.
+//
+// The threaded engine (pre-decoded basic blocks + handler table) must be
+// observationally identical to the original switch interpreter: same
+// architectural state after every instruction, same cycle counts, same
+// AccessStats, same faults with the same messages. These tests run the two
+// engines in lockstep and end-to-end over every workload kernel.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ppatc/isa/assembler.hpp"
+#include "ppatc/isa/cpu.hpp"
+#include "ppatc/workloads/workload.hpp"
+
+namespace ppatc::isa {
+namespace {
+
+constexpr std::uint32_t kStackTop = kDataBase + kDataSize - 16;
+
+struct Machine {
+  Bus bus;
+  Cpu cpu;
+  Machine(const std::vector<std::uint8_t>& program, Cpu::Dispatch dispatch)
+      : cpu{bus, CycleModel{}, dispatch} {
+    bus.load_program(0, program);
+    cpu.reset(0, kStackTop);
+  }
+  Machine(const Program& program, Cpu::Dispatch dispatch) : cpu{bus, CycleModel{}, dispatch} {
+    bus.load_program(0, program.bytes);
+    cpu.reset(program.entry, kStackTop);
+  }
+};
+
+void expect_same_cpu_state(const Cpu& a, const Cpu& b, const std::string& context) {
+  for (int r = 0; r < 15; ++r) {
+    EXPECT_EQ(a.reg(r), b.reg(r)) << context << ": r" << r;
+  }
+  EXPECT_EQ(a.pc(), b.pc()) << context;
+  EXPECT_EQ(a.flag_n(), b.flag_n()) << context;
+  EXPECT_EQ(a.flag_z(), b.flag_z()) << context;
+  EXPECT_EQ(a.flag_c(), b.flag_c()) << context;
+  EXPECT_EQ(a.flag_v(), b.flag_v()) << context;
+  EXPECT_EQ(a.cycles(), b.cycles()) << context;
+  EXPECT_EQ(a.instructions(), b.instructions()) << context;
+}
+
+void expect_same_bus_state(const Bus& a, const Bus& b, const std::string& context) {
+  EXPECT_EQ(a.halted(), b.halted()) << context;
+  EXPECT_EQ(a.exit_code(), b.exit_code()) << context;
+  EXPECT_EQ(a.console(), b.console()) << context;
+  EXPECT_EQ(a.word_log(), b.word_log()) << context;
+  EXPECT_EQ(a.stats().fetches, b.stats().fetches) << context;
+  EXPECT_EQ(a.stats().data_reads, b.stats().data_reads) << context;
+  EXPECT_EQ(a.stats().data_writes, b.stats().data_writes) << context;
+  EXPECT_EQ(a.stats().program_reads, b.stats().program_reads) << context;
+  EXPECT_EQ(a.stats().data_mem_reads, b.stats().data_mem_reads) << context;
+  EXPECT_EQ(a.stats().data_mem_writes, b.stats().data_mem_writes) << context;
+  for (std::uint32_t addr = kDataBase; addr < kDataBase + kDataSize; addr += 4) {
+    if (a.peek32(addr) != b.peek32(addr)) {
+      // One targeted EXPECT per mismatch keeps the failure output bounded.
+      EXPECT_EQ(a.peek32(addr), b.peek32(addr)) << context << ": data word at " << addr;
+      return;
+    }
+  }
+}
+
+class DispatchDifferential : public ::testing::TestWithParam<workloads::Workload> {};
+
+// Instruction-by-instruction lockstep: after every retired instruction both
+// engines must agree on the complete architectural state. Capped so the
+// whole suite stays fast; the full-run test below covers the tail.
+TEST_P(DispatchDifferential, LockstepStateMatch) {
+  constexpr std::uint64_t kMaxLockstep = 20'000;
+  const Program program = assemble(GetParam().assembly);
+  Machine sw{program, Cpu::Dispatch::kSwitch};
+  Machine th{program, Cpu::Dispatch::kThreaded};
+  std::uint64_t steps = 0;
+  while (steps < kMaxLockstep && !sw.bus.halted()) {
+    sw.cpu.step();
+    th.cpu.run(1);
+    ++steps;
+    ASSERT_NO_FATAL_FAILURE(
+        expect_same_cpu_state(sw.cpu, th.cpu, "after insn " + std::to_string(steps)));
+    if (sw.cpu.pc() != th.cpu.pc()) break;  // diverged; state diff already reported
+  }
+  EXPECT_EQ(sw.bus.halted(), th.bus.halted());
+  expect_same_bus_state(sw.bus, th.bus, "lockstep end");
+}
+
+// End-to-end: run both engines to completion and require identical results,
+// counters, access statistics, and final data-memory images.
+TEST_P(DispatchDifferential, FullRunMatch) {
+  const workloads::Workload& w = GetParam();
+  const Program program = assemble(w.assembly);
+  Machine sw{program, Cpu::Dispatch::kSwitch};
+  Machine th{program, Cpu::Dispatch::kThreaded};
+  const auto rs = sw.cpu.run(w.instruction_budget);
+  const auto rt = th.cpu.run(w.instruction_budget);
+  EXPECT_EQ(rs.instructions, rt.instructions);
+  EXPECT_EQ(rs.cycles, rt.cycles);
+  EXPECT_EQ(rs.halted, rt.halted);
+  EXPECT_TRUE(rt.halted) << w.name;
+  expect_same_cpu_state(sw.cpu, th.cpu, w.name);
+  expect_same_bus_state(sw.bus, th.bus, w.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallScale, DispatchDifferential,
+                         ::testing::Values(workloads::matmult_int(2), workloads::crc32(2),
+                                           workloads::edn(2), workloads::ud(2),
+                                           workloads::aha_mont(16), workloads::sglib_list(2),
+                                           workloads::statemate(2), workloads::primecount(2),
+                                           workloads::qsort_ints(2), workloads::fib(10)),
+                         [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---- fault parity ----------------------------------------------------------
+
+template <typename Exception>
+std::string message_from(Cpu& cpu, std::uint64_t budget) {
+  try {
+    (void)cpu.run(budget);
+  } catch (const Exception& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(DispatchFaults, UndefinedInstructionMessageMatchesSwitch) {
+  // UDF (0xDE00) after two NOPs, so the threaded engine decodes a real block
+  // first and the trap carries a nonzero PC.
+  const std::vector<std::uint8_t> program = {0x00, 0xBF, 0x00, 0xBF, 0x00, 0xDE};
+  Machine sw{program, Cpu::Dispatch::kSwitch};
+  Machine th{program, Cpu::Dispatch::kThreaded};
+  const std::string ms = message_from<UndefinedInstruction>(sw.cpu, 10);
+  const std::string mt = message_from<UndefinedInstruction>(th.cpu, 10);
+  EXPECT_FALSE(ms.empty());
+  EXPECT_EQ(ms, mt);
+  expect_same_cpu_state(sw.cpu, th.cpu, "after UDF");
+  expect_same_bus_state(sw.bus, th.bus, "after UDF");
+}
+
+TEST(DispatchFaults, RunOffEndOfProgramMemoryMatchesSwitch) {
+  // A lone NOP, then 64 kB of zero halfwords (LSLS r0, r0, #0 — valid), so
+  // both engines execute to the end of program memory and fault on the fetch
+  // at 0x10000. This also exercises the out-of-range block path.
+  const std::vector<std::uint8_t> program = {0x00, 0xBF};
+  Machine sw{program, Cpu::Dispatch::kSwitch};
+  Machine th{program, Cpu::Dispatch::kThreaded};
+  const std::string ms = message_from<BusFault>(sw.cpu, 40'000);
+  const std::string mt = message_from<BusFault>(th.cpu, 40'000);
+  EXPECT_FALSE(ms.empty());
+  EXPECT_EQ(ms, mt);
+  expect_same_cpu_state(sw.cpu, th.cpu, "after bus fault");
+  expect_same_bus_state(sw.bus, th.bus, "after bus fault");
+}
+
+// ---- block-cache invalidation ----------------------------------------------
+
+TEST(DispatchCache, LoadProgramInvalidatesDecodedBlocks) {
+  Bus bus;
+  Cpu cpu{bus};  // threaded is the default dispatch
+  // Program A: counting loop (never halts) — populates the block cache.
+  //   0: ADDS r0, #1
+  //   2: B 0
+  bus.load_program(0, {0x01, 0x30, 0xFD, 0xE7});
+  cpu.reset(0, kStackTop);
+  const auto ra = cpu.run(1000);
+  EXPECT_FALSE(ra.halted);
+  EXPECT_EQ(ra.instructions, 1000u);
+  EXPECT_GT(cpu.reg(0), 0u);
+
+  // Program B at the same addresses: SVC #0 (halt with r0). If the stale
+  // block for PC 0 survived, the old loop would run the budget out instead
+  // of halting on the first instruction.
+  bus.load_program(0, {0x00, 0xDF});
+  cpu.reset(0, kStackTop);
+  const auto rb = cpu.run(1000);
+  EXPECT_TRUE(rb.halted);
+  EXPECT_EQ(rb.instructions, 1u);
+  EXPECT_EQ(bus.exit_code(), 0u);
+}
+
+TEST(DispatchBudget, ThreadedRunHonorsExactInstructionBudget) {
+  Bus bus;
+  Cpu cpu{bus};
+  bus.load_program(0, {0x01, 0x30, 0xFD, 0xE7});  // ADDS r0, #1; B 0
+  cpu.reset(0, kStackTop);
+  for (const std::uint64_t budget : {1u, 2u, 3u, 7u, 64u, 65u, 1000u}) {
+    const std::uint64_t before = cpu.instructions();
+    const auto r = cpu.run(budget);
+    EXPECT_EQ(r.instructions, budget);
+    EXPECT_EQ(cpu.instructions() - before, budget);
+  }
+}
+
+}  // namespace
+}  // namespace ppatc::isa

@@ -286,6 +286,102 @@ TEST(Report, ManifestOutPathSemantics) {
   ::unsetenv("BENCH_MANIFEST_OUT");
 }
 
+// ---- perf comparison (the perf-smoke gate) ---------------------------------
+
+// A baseline manifest shaped like the bench_perf one: a latency histogram,
+// throughput gauges, and a recorded result with a rate unit.
+obs::Manifest perf_baseline() {
+  obs::Manifest m;
+  m.gauges["isa.insn_per_sec"] = 100.0e6;
+  m.gauges["carbon.mc_samples_per_sec"] = 2.0e6;
+  m.histograms["memsys.corner_solve_us"] = {{"p50", 200.0}, {"p95", 800.0}, {"p99", 1500.0}};
+  obs::ManifestResult r;
+  r.value = 50.0;
+  r.unit = "samples/s";
+  m.results.emplace("throughput result", r);
+  return m;
+}
+
+TEST(PerfCompare, IdenticalManifestsPass) {
+  const obs::Manifest b = perf_baseline();
+  const obs::PerfReport p = obs::perf_compare_manifests(b, b);
+  EXPECT_TRUE(p.pass());
+  EXPECT_TRUE(p.missing.empty());
+  // p50 + p95 (never p99) + two gauges + one result.
+  EXPECT_EQ(p.deltas.size(), 5u);
+  for (const auto& d : p.deltas) {
+    EXPECT_FALSE(d.regressed) << d.key;
+    EXPECT_EQ(d.change, 0.0) << d.key;
+  }
+}
+
+TEST(PerfCompare, DirectionIsInferredPerMetric) {
+  const obs::Manifest base = perf_baseline();
+  obs::Manifest run = base;
+  // Throughput halved: regression. Latency halved: improvement.
+  run.gauges["isa.insn_per_sec"] = 50.0e6;
+  run.histograms["memsys.corner_solve_us"]["p50"] = 100.0;
+  const obs::PerfReport p = obs::perf_compare_manifests(run, base);
+  EXPECT_FALSE(p.pass());
+  const auto offending = p.offending_keys();
+  ASSERT_EQ(offending.size(), 1u);
+  EXPECT_EQ(offending[0], "gauge:isa.insn_per_sec");
+  for (const auto& d : p.deltas) {
+    if (d.key == "gauge:isa.insn_per_sec") {
+      EXPECT_TRUE(d.higher_is_better);
+      EXPECT_TRUE(d.regressed);
+    } else if (d.key == "hist:memsys.corner_solve_us/p50") {
+      EXPECT_FALSE(d.higher_is_better);
+      EXPECT_FALSE(d.regressed);  // got faster — improvements never fail
+    }
+  }
+}
+
+TEST(PerfCompare, ResultUnitSuffixMeansThroughput) {
+  const obs::Manifest base = perf_baseline();
+  obs::Manifest run = base;
+  run.results["throughput result"].value = 10.0;  // -80% of a "samples/s" result
+  EXPECT_FALSE(obs::perf_compare_manifests(run, base).pass());
+  run.results["throughput result"].value = 500.0;  // 10x faster
+  EXPECT_TRUE(obs::perf_compare_manifests(run, base).pass());
+}
+
+TEST(PerfCompare, ToleranceBoundsTheBadDirection) {
+  const obs::Manifest base = perf_baseline();
+  obs::Manifest run = base;
+  run.histograms["memsys.corner_solve_us"]["p95"] = 800.0 * 1.14;  // +14% < 15%
+  EXPECT_TRUE(obs::perf_compare_manifests(run, base).pass());
+  run.histograms["memsys.corner_solve_us"]["p95"] = 800.0 * 1.16;  // +16% > 15%
+  EXPECT_FALSE(obs::perf_compare_manifests(run, base).pass());
+  // A wider explicit tolerance re-admits the same run.
+  EXPECT_TRUE(obs::perf_compare_manifests(run, base, 0.25).pass());
+}
+
+TEST(PerfCompare, MissingBaselineMetricFailsExtraRunMetricDoesNot) {
+  const obs::Manifest base = perf_baseline();
+  obs::Manifest run = base;
+  run.gauges.erase("carbon.mc_samples_per_sec");
+  run.gauges["new.instrumentation"] = 42.0;  // only in the run: ignored
+  const obs::PerfReport p = obs::perf_compare_manifests(run, base);
+  EXPECT_FALSE(p.pass());
+  ASSERT_EQ(p.missing.size(), 1u);
+  EXPECT_EQ(p.missing[0], "gauge:carbon.mc_samples_per_sec");
+  for (const auto& d : p.deltas) EXPECT_NE(d.key, "gauge:new.instrumentation");
+}
+
+TEST(PerfCompare, FormatNamesEveryMetricAndTheVerdict) {
+  const obs::Manifest base = perf_baseline();
+  obs::Manifest run = base;
+  run.gauges["isa.insn_per_sec"] = 10.0e6;
+  const obs::PerfReport p = obs::perf_compare_manifests(run, base);
+  const std::string text = obs::format_perf_compare(p);
+  EXPECT_NE(text.find("gauge:isa.insn_per_sec"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("PERF REGRESSION"), std::string::npos);
+  EXPECT_NE(obs::format_perf_compare(obs::perf_compare_manifests(base, base)).find("PERF OK"),
+            std::string::npos);
+}
+
 TEST(Report, WriteAndReadBack) {
   const std::string path = ::testing::TempDir() + "ppatc_report_roundtrip.json";
   const obs::RunManifest m = small_manifest();

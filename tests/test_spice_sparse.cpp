@@ -1,0 +1,278 @@
+// Sparse-vs-dense equivalence for the MNA linear solver.
+//
+// The sparse CSR solver replays the dense partially-pivoted LU over the
+// structural-union pattern, so its results must be bit-identical to the dense
+// oracle — not merely close. These tests run every bench circuit topology
+// (RC ladder, bit-cell write deck, read/sense deck, FET DC decks) under both
+// backends and assert exact equality of every node voltage, source current,
+// and Newton iteration count, plus direct SparseLuSolver unit coverage of
+// pivot-drift rediscovery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ppatc/device/library.hpp"
+#include "ppatc/spice/circuit.hpp"
+#include "ppatc/spice/simulator.hpp"
+#include "ppatc/spice/sparse.hpp"
+
+namespace ppatc::spice {
+namespace {
+
+SimOptions with_solver(LinearSolverKind kind) {
+  SimOptions o;
+  o.solver = kind;
+  return o;
+}
+
+// Runs the DC operating point under both backends and asserts bitwise
+// equality of the full solution and of the Newton path length.
+void expect_dc_bit_identical(const Circuit& ckt) {
+  const Simulator sparse{ckt, with_solver(LinearSolverKind::kSparse)};
+  const Simulator dense{ckt, with_solver(LinearSolverKind::kDense)};
+  const auto s = sparse.dc_operating_point();
+  const auto d = dense.dc_operating_point();
+  ASSERT_TRUE(s.has_value());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(s->newton_iterations, d->newton_iterations);
+  ASSERT_EQ(s->node_volts.size(), d->node_volts.size());
+  for (std::size_t i = 0; i < s->node_volts.size(); ++i) {
+    EXPECT_EQ(s->node_volts[i], d->node_volts[i]) << "node " << i;
+  }
+  ASSERT_EQ(s->source_currents.size(), d->source_currents.size());
+  for (std::size_t i = 0; i < s->source_currents.size(); ++i) {
+    EXPECT_EQ(s->source_currents[i], d->source_currents[i]) << "source " << i;
+  }
+}
+
+// Runs a transient under both backends and asserts bitwise equality of every
+// sample of the listed nodes and sources.
+void expect_transient_bit_identical(const Circuit& ckt, Duration stop, Duration step, bool from_ics,
+                                    const std::vector<std::string>& nodes,
+                                    const std::vector<std::string>& sources) {
+  const Simulator sparse{ckt, with_solver(LinearSolverKind::kSparse)};
+  const Simulator dense{ckt, with_solver(LinearSolverKind::kDense)};
+  const auto s = sparse.transient(stop, step, from_ics);
+  const auto d = dense.transient(stop, step, from_ics);
+  ASSERT_TRUE(s.has_value());
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(s->sample_count(), d->sample_count());
+  for (const auto& name : nodes) {
+    const Waveform ws = s->node(name);
+    const Waveform wd = d->node(name);
+    ASSERT_EQ(ws.value.size(), wd.value.size()) << name;
+    for (std::size_t i = 0; i < ws.value.size(); ++i) {
+      EXPECT_EQ(ws.value[i], wd.value[i]) << name << " sample " << i;
+    }
+  }
+  for (const auto& name : sources) {
+    const Waveform ws = s->source_current(name);
+    const Waveform wd = d->source_current(name);
+    ASSERT_EQ(ws.value.size(), wd.value.size()) << name;
+    for (std::size_t i = 0; i < ws.value.size(); ++i) {
+      EXPECT_EQ(ws.value[i], wd.value[i]) << name << " sample " << i;
+    }
+  }
+}
+
+// ---- bench circuit topologies ---------------------------------------------
+
+// RC ladder: resistive chain with caps to ground, PWL-driven.
+Circuit rc_ladder() {
+  Circuit ckt;
+  ckt.add_vsource("vin", "n0", "0",
+                  Stimulus::pwl({{units::picoseconds(0), units::volts(0)},
+                                 {units::picoseconds(50), units::volts(1.0)}}));
+  for (int i = 0; i < 6; ++i) {
+    const std::string a = "n" + std::to_string(i);
+    const std::string b = "n" + std::to_string(i + 1);
+    ckt.add_resistor(a, b, 1e3);
+    ckt.add_capacitor(b, "0", units::attofarads(500.0));
+  }
+  return ckt;
+}
+
+// Bit-cell write deck (the memsys write corner): IGZO write FET charging the
+// storage node.
+Circuit bitcell_write_deck() {
+  auto fet = device::igzo_fet();
+  fet.vt_volts = 0.42;
+  Circuit ckt;
+  ckt.add_vsource("vwbl", "wbl", "0", Stimulus::dc(units::volts(0.7)));
+  ckt.add_vsource("vwwl", "wwl", "0",
+                  Stimulus::pwl({{units::picoseconds(0), units::volts(-0.8)},
+                                 {units::picoseconds(20), units::volts(1.3)}}));
+  ckt.add_fet("mw", fet, units::micrometres(0.120), "wbl", "wwl", "sn");
+  ckt.add_capacitor_ic("sn", "0", units::attofarads(1000.0), units::volts(0.0));
+  return ckt;
+}
+
+// Bit-cell read/sense deck (the memsys read corner): two-FET read stack
+// discharging a pre-charged bitline.
+Circuit bitcell_read_deck() {
+  const auto nfet = device::cnfet(device::Polarity::kNmos);
+  Circuit ckt;
+  ckt.add_vsource("vsn", "sn", "0", Stimulus::dc(units::volts(0.7)));
+  ckt.add_vsource("vrwl", "rwl", "0",
+                  Stimulus::pwl({{units::picoseconds(0), units::volts(0)},
+                                 {units::picoseconds(20), units::volts(0.7)}}));
+  ckt.add_fet("mr", nfet, units::micrometres(0.2), "rbl", "sn", "mid");
+  ckt.add_fet("ms", nfet, units::micrometres(0.2), "mid", "rwl", "0");
+  ckt.add_capacitor_ic("rbl", "0", units::attofarads(2000.0), units::volts(0.7));
+  ckt.add_capacitor("mid", "0", units::attofarads(80.0));
+  return ckt;
+}
+
+// FET DC deck: resistively loaded silicon inverter-style branch — exercises
+// gmin/source stepping paths on a nonlinear DC solve.
+Circuit fet_dc_deck() {
+  const auto nfet = device::silicon_finfet(device::Polarity::kNmos, device::VtFlavor::kRvt);
+  Circuit ckt;
+  ckt.add_vsource("vdd", "vdd", "0", Stimulus::dc(units::volts(0.7)));
+  ckt.add_vsource("vg", "g", "0", Stimulus::dc(units::volts(0.45)));
+  ckt.add_resistor("vdd", "out", 20e3);
+  ckt.add_fet("mn", nfet, units::micrometres(0.1), "out", "g", "0");
+  return ckt;
+}
+
+TEST(SparseVsDense, RcLadderDcBitIdentical) { expect_dc_bit_identical(rc_ladder()); }
+
+TEST(SparseVsDense, RcLadderTransientBitIdentical) {
+  expect_transient_bit_identical(rc_ladder(), units::nanoseconds(1.0), units::picoseconds(10.0),
+                                 /*from_ics=*/false, {"n1", "n3", "n6"}, {"vin"});
+}
+
+TEST(SparseVsDense, BitcellWriteDeckDcBitIdentical) {
+  expect_dc_bit_identical(bitcell_write_deck());
+}
+
+TEST(SparseVsDense, BitcellWriteDeckTransientBitIdentical) {
+  expect_transient_bit_identical(bitcell_write_deck(), units::nanoseconds(2.0),
+                                 units::picoseconds(5.0),
+                                 /*from_ics=*/true, {"sn"}, {"vwbl", "vwwl"});
+}
+
+TEST(SparseVsDense, BitcellReadDeckTransientBitIdentical) {
+  expect_transient_bit_identical(bitcell_read_deck(), units::nanoseconds(1.0),
+                                 units::picoseconds(2.0),
+                                 /*from_ics=*/true, {"rbl", "mid"}, {"vsn", "vrwl"});
+}
+
+TEST(SparseVsDense, FetDcDeckBitIdentical) { expect_dc_bit_identical(fet_dc_deck()); }
+
+TEST(SparseVsDense, FetDcDeckTransientBitIdentical) {
+  expect_transient_bit_identical(fet_dc_deck(), units::picoseconds(200.0), units::picoseconds(2.0),
+                                 /*from_ics=*/false, {"out"}, {"vdd", "vg"});
+}
+
+// ---- direct SparseLuSolver coverage ---------------------------------------
+
+std::shared_ptr<const MnaPattern> full_pattern(std::size_t n) {
+  MnaPattern::Builder b{n};
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b.add(r, c);
+  }
+  return intern_mna_pattern(std::move(b).build());
+}
+
+void stamp(SparseLuSolver& s, const std::vector<std::vector<double>>& a) {
+  s.begin_assembly();
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    for (std::size_t c = 0; c < a[r].size(); ++c) {
+      if (a[r][c] != 0.0) s.add(r, c, a[r][c]);
+    }
+  }
+}
+
+std::vector<double> dense_solution(const std::vector<std::vector<double>>& a,
+                                   std::vector<double> b) {
+  DenseMatrix m{a.size()};
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    for (std::size_t c = 0; c < a[r].size(); ++c) m.at(r, c) = a[r][c];
+  }
+  EXPECT_TRUE(m.solve(b));
+  return b;
+}
+
+TEST(SparseLuSolver, PivotDriftTriggersRediscoveryAndStaysBitIdentical) {
+  SparseLuSolver solver{full_pattern(2)};
+
+  // First solve: diagonal dominates, pivot order is the identity.
+  const std::vector<std::vector<double>> a1 = {{10.0, 1.0}, {1.0, 0.5}};
+  std::vector<double> b1 = {1.0, 2.0};
+  stamp(solver, a1);
+  ASSERT_TRUE(solver.factor_solve(b1));
+  EXPECT_EQ(solver.discoveries(), 1u);
+  const auto want1 = dense_solution(a1, {1.0, 2.0});
+  EXPECT_EQ(b1[0], want1[0]);
+  EXPECT_EQ(b1[1], want1[1]);
+
+  // Second solve: the off-diagonal now dominates, so partial pivoting must
+  // swap rows — the recorded pivot sequence no longer matches, the replay
+  // detects the drift and falls back to the dense oracle.
+  const std::vector<std::vector<double>> a2 = {{0.1, 1.0}, {1.0, 0.5}};
+  std::vector<double> b2 = {1.0, 2.0};
+  stamp(solver, a2);
+  ASSERT_TRUE(solver.factor_solve(b2));
+  EXPECT_EQ(solver.discoveries(), 2u);
+  const auto want2 = dense_solution(a2, {1.0, 2.0});
+  EXPECT_EQ(b2[0], want2[0]);
+  EXPECT_EQ(b2[1], want2[1]);
+
+  // Third solve with the same pivot order as the second: pure replay.
+  std::vector<double> b3 = {3.0, -1.0};
+  stamp(solver, a2);
+  ASSERT_TRUE(solver.factor_solve(b3));
+  EXPECT_EQ(solver.discoveries(), 2u);
+  const auto want3 = dense_solution(a2, {3.0, -1.0});
+  EXPECT_EQ(b3[0], want3[0]);
+  EXPECT_EQ(b3[1], want3[1]);
+}
+
+TEST(SparseLuSolver, SingularMatrixMatchesDenseFailure) {
+  SparseLuSolver solver{full_pattern(2)};
+  stamp(solver, {{1.0, 2.0}, {2.0, 4.0}});
+  std::vector<double> b = {1.0, 1.0};
+  EXPECT_FALSE(solver.factor_solve(b));
+}
+
+TEST(SparseLuSolver, ReplayedSolvesReuseTheProgramAcrossManyRhs) {
+  SparseLuSolver solver{full_pattern(3)};
+  const std::vector<std::vector<double>> a = {
+      {4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  for (int i = 0; i < 16; ++i) {
+    std::vector<double> b = {1.0 + i, 2.0 - i, 0.5 * i};
+    stamp(solver, a);
+    ASSERT_TRUE(solver.factor_solve(b));
+    const auto want = dense_solution(a, {1.0 + i, 2.0 - i, 0.5 * i});
+    EXPECT_EQ(b[0], want[0]);
+    EXPECT_EQ(b[1], want[1]);
+    EXPECT_EQ(b[2], want[2]);
+  }
+  EXPECT_EQ(solver.discoveries(), 1u);
+}
+
+TEST(SparsePatternCache, SameTopologySharesOneInternedPattern) {
+  // Two structurally identical builders must intern to the same object.
+  MnaPattern::Builder b1{4};
+  MnaPattern::Builder b2{4};
+  for (std::size_t i = 0; i < 4; ++i) {
+    b1.add(i, i);
+    b2.add(i, i);
+    if (i > 0) {
+      b1.add(i, i - 1);
+      b2.add(i, i - 1);
+      b1.add(i - 1, i);
+      b2.add(i - 1, i);
+    }
+  }
+  const auto p1 = intern_mna_pattern(std::move(b1).build());
+  const auto p2 = intern_mna_pattern(std::move(b2).build());
+  EXPECT_EQ(p1.get(), p2.get());
+}
+
+}  // namespace
+}  // namespace ppatc::spice

@@ -9,7 +9,15 @@
 //   ppatc-report check [--json] <run.json> <golden.json>
 //       Same comparison, but exits non-zero when the run drifted from the
 //       golden, naming every offending key. This is the CI gate.
+//
+//   ppatc-report perf-compare [--tolerance <frac>] <run.json> <baseline.json>
+//       Direction-aware performance comparison: gauges, histogram p50/p95,
+//       and numeric results of the baseline are checked against the run, and
+//       any move in the bad direction (slower latency, lower throughput)
+//       beyond the tolerance (default 0.15 = 15%) exits non-zero.
+//       Improvements never fail. This is the perf-smoke gate.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -21,13 +29,16 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ppatc-report diff  [--json] [--verbose] <a.json> <b.json>\n"
-               "       ppatc-report check [--json] <run.json> <golden.json>\n");
+               "       ppatc-report check [--json] <run.json> <golden.json>\n"
+               "       ppatc-report perf-compare [--tolerance <frac>] <run.json> "
+               "<baseline.json>\n");
   return 2;
 }
 
 struct Args {
   bool json = false;
   bool verbose = false;
+  double tolerance = 0.15;
   std::string a;
   std::string b;
   bool ok = false;
@@ -42,6 +53,17 @@ Args parse_args(int argc, char** argv, int first) {
       args.json = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
+    } else if (std::strcmp(argv[i], "--tolerance") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ppatc-report: --tolerance needs a value\n");
+        return args;
+      }
+      char* end = nullptr;
+      args.tolerance = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || args.tolerance < 0.0) {
+        std::fprintf(stderr, "ppatc-report: bad --tolerance '%s'\n", argv[i]);
+        return args;
+      }
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "ppatc-report: unknown option '%s'\n", argv[i]);
       return args;
@@ -64,7 +86,7 @@ Args parse_args(int argc, char** argv, int first) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  if (cmd != "diff" && cmd != "check") return usage();
+  if (cmd != "diff" && cmd != "check" && cmd != "perf-compare") return usage();
   const Args args = parse_args(argc, argv, 2);
   if (!args.ok) return usage();
 
@@ -77,6 +99,18 @@ int main(int argc, char** argv) {
   } catch (const ppatc::ContractViolation& e) {
     std::fprintf(stderr, "ppatc-report: %s\n", e.what());
     return 2;
+  }
+
+  if (cmd == "perf-compare") {
+    const obs::PerfReport p = obs::perf_compare_manifests(run, golden, args.tolerance);
+    std::fputs(obs::format_perf_compare(p).c_str(), stdout);
+    if (p.pass()) {
+      std::printf("perf-compare: PASS (%s vs %s)\n", args.a.c_str(), args.b.c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "perf-compare: FAIL — run regressed from baseline; offending keys:\n");
+    for (const auto& k : p.offending_keys()) std::fprintf(stderr, "  %s\n", k.c_str());
+    return 1;
   }
 
   const obs::DiffReport d = obs::diff_manifests(run, golden);
