@@ -3,6 +3,8 @@
 // isoline extraction, and Monte-Carlo sampling.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "bench_util.hpp"
 #include "ppatc/carbon/embodied.hpp"
 #include "ppatc/carbon/flows.hpp"
@@ -12,6 +14,9 @@
 #include "ppatc/core/optimize.hpp"
 #include "ppatc/isa/assembler.hpp"
 #include "ppatc/memsys/bitcell.hpp"
+#include "ppatc/obs/flight.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
 #include "ppatc/isa/cpu.hpp"
 #include "ppatc/runtime/parallel.hpp"
 #include "ppatc/spice/simulator.hpp"
@@ -25,6 +30,10 @@ using namespace ppatc::units;
 void BM_IssDispatch(benchmark::State& state) {
   const auto w = workloads::crc32(1);
   const isa::Program p = isa::assemble(w.assembly);
+  // Aggregated across every timed iteration: a single run is ~0.3 ms, and a
+  // last-sample gauge at that window is too noisy for the 15% perf gate.
+  std::uint64_t total_ns = 0;
+  std::uint64_t total_insn = 0;
   for (auto _ : state) {
     isa::Bus bus;
     bus.load_program(0, p.bytes);
@@ -36,9 +45,12 @@ void BM_IssDispatch(benchmark::State& state) {
     if (timed) {
       // Published into the run manifest so `ppatc-report perf-compare` can
       // gate the ISS rate against bench/golden/perf_baseline.json.
-      const double secs = static_cast<double>(obs::monotonic_ns() - t0) * 1e-9;
+      total_ns += obs::monotonic_ns() - t0;
+      total_insn += r.instructions;
       static obs::Gauge& rate = obs::gauge("isa.insn_per_sec");
-      if (secs > 0.0) rate.set(static_cast<double>(r.instructions) / secs);
+      if (total_ns > 0) {
+        rate.set(static_cast<double>(total_insn) * 1e9 / static_cast<double>(total_ns));
+      }
     }
     benchmark::DoNotOptimize(r.cycles);
     state.counters["insn/s"] = benchmark::Counter(static_cast<double>(r.instructions),
@@ -161,6 +173,114 @@ void BM_MonteCarlo(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MonteCarlo)->Unit(benchmark::kMillisecond);
+
+// ---- observability overhead -------------------------------------------------
+// The flight recorder is on by default, so its per-event cost is itself a
+// gated perf surface: the gauges below land in the run manifest and
+// bench/golden/perf_baseline.json, and `ppatc-report perf-compare` fails any
+// >15% bad-direction move — events/sec falling or per-event ns rising.
+//
+// Each benchmark pins the obs switches it is measuring (tracing OFF inside
+// the hot loops: the tracer buffers every span and a benchmark would grow
+// that buffer by millions of entries) and restores the ambient state after,
+// so the sidecar/manifest machinery of the surrounding run keeps working.
+
+struct ObsStateGuard {
+  bool metrics = obs::metrics_enabled();
+  bool tracing = obs::tracing_enabled();
+  bool flight = obs::flight_enabled();
+  ~ObsStateGuard() {
+    obs::set_metrics_enabled(metrics);
+    obs::set_tracing_enabled(tracing);
+    obs::set_flight_enabled(flight);
+  }
+};
+
+// Publishes one loop's per-event cost as gauges (skipped when the ambient
+// run has metrics off — nothing would reach the manifest anyway).
+void publish_obs_cost(const ObsStateGuard& ambient, const char* ns_gauge,
+                      const char* rate_gauge, std::uint64_t elapsed_ns,
+                      std::int64_t events) {
+  if (!ambient.metrics || elapsed_ns == 0 || events <= 0) return;
+  obs::gauge(ns_gauge).set(static_cast<double>(elapsed_ns) / static_cast<double>(events));
+  if (rate_gauge != nullptr) {
+    obs::gauge(rate_gauge).set(static_cast<double>(events) /
+                               (static_cast<double>(elapsed_ns) * 1e-9));
+  }
+}
+
+void BM_ObsFlightMark(benchmark::State& state) {
+  const ObsStateGuard ambient;
+  obs::set_metrics_enabled(false);
+  obs::set_tracing_enabled(false);
+  obs::set_flight_enabled(true);
+  std::uint64_t v = 0;
+  const std::uint64_t t0 = obs::monotonic_ns();
+  for (auto _ : state) {
+    obs::flight_mark("bench.flight_mark", v++);
+  }
+  const std::uint64_t t1 = obs::monotonic_ns();
+  obs::reset_flight();
+  obs::set_metrics_enabled(ambient.metrics);
+  publish_obs_cost(ambient, "obs.flight_event_ns", "obs.flight_events_per_sec", t1 - t0,
+                   state.iterations());
+  state.counters["events/s"] =
+      benchmark::Counter(1.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ObsFlightMark)->Unit(benchmark::kNanosecond);
+
+void BM_ObsFlightMarkDisabled(benchmark::State& state) {
+  const ObsStateGuard ambient;
+  obs::set_metrics_enabled(false);
+  obs::set_tracing_enabled(false);
+  obs::set_flight_enabled(false);
+  std::uint64_t v = 0;
+  const std::uint64_t t0 = obs::monotonic_ns();
+  for (auto _ : state) {
+    obs::flight_mark("bench.flight_mark_off", v++);
+  }
+  const std::uint64_t t1 = obs::monotonic_ns();
+  obs::set_metrics_enabled(ambient.metrics);
+  publish_obs_cost(ambient, "obs.flight_disabled_ns", nullptr, t1 - t0, state.iterations());
+  state.counters["events/s"] =
+      benchmark::Counter(1.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ObsFlightMarkDisabled)->Unit(benchmark::kNanosecond);
+
+void BM_ObsSpan(benchmark::State& state) {
+  const ObsStateGuard ambient;
+  obs::set_metrics_enabled(false);
+  obs::set_tracing_enabled(false);  // flight-only span: the on-by-default config
+  obs::set_flight_enabled(true);
+  const std::uint64_t t0 = obs::monotonic_ns();
+  for (auto _ : state) {
+    const obs::Span span{"bench.obs_span"};
+    benchmark::DoNotOptimize(&span);
+  }
+  const std::uint64_t t1 = obs::monotonic_ns();
+  obs::reset_flight();
+  obs::set_metrics_enabled(ambient.metrics);
+  publish_obs_cost(ambient, "obs.span_ns", nullptr, t1 - t0, state.iterations());
+}
+BENCHMARK(BM_ObsSpan)->Unit(benchmark::kNanosecond);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  const ObsStateGuard ambient;
+  // The full default hot path: sharded aggregate + flight ring event.
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(false);
+  obs::set_flight_enabled(true);
+  static obs::Counter& c = obs::counter("bench.obs_counter");
+  const std::uint64_t t0 = obs::monotonic_ns();
+  for (auto _ : state) {
+    c.add(1);
+  }
+  const std::uint64_t t1 = obs::monotonic_ns();
+  obs::reset_flight();
+  obs::set_metrics_enabled(ambient.metrics);
+  publish_obs_cost(ambient, "obs.counter_add_ns", nullptr, t1 - t0, state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd)->Unit(benchmark::kNanosecond);
 
 // ---- threaded variants ------------------------------------------------------
 // Each benchmark takes the ppatc::runtime pool size as its argument, so one

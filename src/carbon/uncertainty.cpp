@@ -5,6 +5,7 @@
 #include <random>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/obs/flight.hpp"
 #include "ppatc/obs/metrics.hpp"
 #include "ppatc/obs/trace.hpp"
 #include "ppatc/runtime/parallel.hpp"
@@ -106,7 +107,11 @@ MonteCarloSummary monte_carlo_tcdp_ratio(const UncertainProfile& candidate,
   std::vector<double> ratios(samples);
   std::vector<Partial> partials(runtime::chunk_count(samples, kChunkSamples));
   runtime::parallel_for_chunks(samples, kChunkSamples, [&](const runtime::ChunkRange& chunk) {
-    std::mt19937_64 rng{runtime::chunk_seed(seed, chunk.index)};
+    const std::uint64_t stream_seed = runtime::chunk_seed(seed, chunk.index);
+    // A crash bundle carrying this seed pins the exact RNG stream that was
+    // being drawn when the process died — the chunk replays standalone.
+    obs::flight_mark("carbon.mc_seed", stream_seed);
+    std::mt19937_64 rng{stream_seed};
     auto draw = [&](Interval iv) {
       if (iv.width() <= 0.0) return iv.lo;
       std::uniform_real_distribution<double> d{iv.lo, iv.hi};

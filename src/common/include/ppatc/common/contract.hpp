@@ -6,6 +6,7 @@
 // them and library users get an actionable message instead of UB.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -18,12 +19,39 @@ class ContractViolation : public std::logic_error {
 };
 
 namespace detail {
+
+/// Called with (kind, full message) just before a ContractViolation is
+/// thrown. Must not throw and must tolerate reentrancy (a contract check
+/// inside the observer fires the observer again).
+using ContractFailureObserver = void (*)(const char* kind, const char* what) noexcept;
+
+inline std::atomic<ContractFailureObserver>& contract_observer_slot() noexcept {
+  static std::atomic<ContractFailureObserver> slot{nullptr};
+  return slot;
+}
+
+}  // namespace detail
+
+/// Installs a process-wide hook observing every contract failure before the
+/// throw. The common layer cannot depend on obs, so this function-pointer
+/// slot is how the flight recorder's diagnostic writer (obs/diag.cpp) gets
+/// told about PPATC_EXPECT / PPATC_ENSURE failures. nullptr uninstalls.
+inline void set_contract_failure_observer(detail::ContractFailureObserver fn) noexcept {
+  detail::contract_observer_slot().store(fn, std::memory_order_release);
+}
+
+namespace detail {
 [[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
                                        int line, const std::string& msg) {
   std::ostringstream os;
   os << kind << " failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw ContractViolation(os.str());
+  const std::string what = os.str();
+  if (const ContractFailureObserver fn =
+          contract_observer_slot().load(std::memory_order_acquire)) {
+    fn(kind, what.c_str());
+  }
+  throw ContractViolation(what);
 }
 }  // namespace detail
 

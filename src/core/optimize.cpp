@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/obs/flight.hpp"
 #include "ppatc/obs/metrics.hpp"
 #include "ppatc/obs/trace.hpp"
 #include "ppatc/runtime/parallel.hpp"
@@ -95,6 +96,13 @@ OptimizationResult optimize(const DesignSpace& space, const workloads::Workload&
   runtime::parallel_for(specs.size(), [&](std::size_t i) {
     DesignPoint& point = result.all_points[i];
     point.spec = specs[i];
+    // Candidate fingerprint: mixes the grid coordinates into one u64 so a
+    // crash bundle identifies the exact design point without string payloads.
+    obs::flight_mark(
+        "core.candidate",
+        runtime::splitmix64((static_cast<std::uint64_t>(specs[i].vt) << 32) ^
+                            (static_cast<std::uint64_t>(units::in_hertz(specs[i].fclk)) << 8) ^
+                            static_cast<std::uint64_t>(i)));
     points_counter.increment();
     try {
       point.evaluation = evaluate_with_outcome(specs[i], workload.name, run, fab_grid);

@@ -2,6 +2,7 @@
 
 #include "ppatc/common/contract.hpp"
 #include "ppatc/device/library.hpp"
+#include "ppatc/obs/flight.hpp"
 #include "ppatc/obs/metrics.hpp"
 #include "ppatc/obs/trace.hpp"
 #include "ppatc/runtime/parallel.hpp"
@@ -27,6 +28,7 @@ obs::Histogram& corner_latency_histogram() {
 // is read once so the disabled path costs a branch, not two clock reads.
 template <typename Fn>
 void timed_corner(const char* name, Fn&& fn) {
+  // ppatc-lint: allow(obs-name-literal) — both callers pass string literals
   const obs::Span span{name};
   const bool timed = obs::metrics_enabled();
   const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
@@ -43,7 +45,12 @@ void timed_corner(const char* name, Fn&& fn) {
 // so only the first solve of each topology pays symbolic analysis.
 
 // Write delay: WWL pulses to VWWL, WBL holds VDD, SN charges from 0.
-void write_corner(const CellSpec& cell, CellCharacteristics& out) {
+void write_corner(const CellSpec& cell, const spice::SimOptions& options,
+                  CellCharacteristics& out) {
+  // Flight-marked up front: a crash bundle names the deck and corner that
+  // were in flight on each worker, not just the batch that submitted them.
+  obs::flight_mark("memsys.deck", std::string_view{cell.name});
+  obs::flight_mark("memsys.corner", std::string_view{"write"});
   const double vdd = units::in_volts(cell.vdd);
   spice::Circuit ckt;
   ckt.add_vsource("vwbl", "wbl", "0", spice::Stimulus::dc(cell.vdd));
@@ -57,7 +64,7 @@ void write_corner(const CellSpec& cell, CellCharacteristics& out) {
   ckt.add_capacitor("sn", "0", read_fet.gate_capacitance());
 
   // Pick a horizon long enough for slow (IGZO) writes.
-  const spice::Simulator sim{ckt};
+  const spice::Simulator sim{ckt, options};
   const Duration stop = units::nanoseconds(8.0);
   const auto tr = sim.transient(stop, units::picoseconds(5.0), /*from_ics=*/true);
   PPATC_ENSURE(tr.has_value(), "write-delay transient failed to converge");
@@ -70,7 +77,10 @@ void write_corner(const CellSpec& cell, CellCharacteristics& out) {
 
 // Read delay: SN holds VDD, RBL (pre-charged to VDD) discharges through the
 // read stack once RWL asserts.
-void read_corner(const CellSpec& cell, CellCharacteristics& out) {
+void read_corner(const CellSpec& cell, const spice::SimOptions& options,
+                 CellCharacteristics& out) {
+  obs::flight_mark("memsys.deck", std::string_view{cell.name});
+  obs::flight_mark("memsys.corner", std::string_view{"read"});
   const double vdd = units::in_volts(cell.vdd);
   spice::Circuit ckt;
   ckt.add_vsource("vsn", "sn", "0", spice::Stimulus::dc(cell.vdd));
@@ -83,7 +93,7 @@ void read_corner(const CellSpec& cell, CellCharacteristics& out) {
   ckt.add_capacitor_ic("rbl", "0", cell.rbl_cap, cell.vdd);
   ckt.add_capacitor("mid", "0", units::attofarads(80.0));
 
-  const spice::Simulator sim{ckt};
+  const spice::Simulator sim{ckt, options};
   const auto tr = sim.transient(units::nanoseconds(2.0), units::picoseconds(2.0),
                                 /*from_ics=*/true);
   PPATC_ENSURE(tr.has_value(), "read-delay transient failed to converge");
@@ -149,7 +159,8 @@ CellSpec all_si_cell() {
   return c;
 }
 
-CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
+CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin,
+                                 const spice::SimOptions& options) {
   PPATC_EXPECT(units::in_volts(sense_margin) > 0, "sense margin must be positive");
   const obs::Span span{"memsys.characterize"};
   CellCharacteristics out;
@@ -157,15 +168,17 @@ CellCharacteristics characterize(const CellSpec& cell, Voltage sense_margin) {
   // The write-delay and read-delay corners are independent circuits, so the
   // two SPICE transients run concurrently; each writes disjoint fields of
   // `out`.
-  runtime::parallel_invoke([&] { timed_corner("memsys.write_corner", [&] { write_corner(cell, out); }); },
-                           [&] { timed_corner("memsys.read_corner", [&] { read_corner(cell, out); }); });
+  runtime::parallel_invoke(
+      [&] { timed_corner("memsys.write_corner", [&] { write_corner(cell, options, out); }); },
+      [&] { timed_corner("memsys.read_corner", [&] { read_corner(cell, options, out); }); });
 
   retention_analytic(cell, sense_margin, out);
   return out;
 }
 
 std::vector<CellCharacteristics> characterize_batch(const std::vector<CellSpec>& cells,
-                                                    Voltage sense_margin) {
+                                                    Voltage sense_margin,
+                                                    const spice::SimOptions& options) {
   PPATC_EXPECT(units::in_volts(sense_margin) > 0, "sense margin must be positive");
   std::vector<CellCharacteristics> out(cells.size());
   // Flattened to one task per SPICE corner (2 per cell) instead of one per
@@ -176,9 +189,9 @@ std::vector<CellCharacteristics> characterize_batch(const std::vector<CellSpec>&
   runtime::parallel_for(2 * cells.size(), [&](std::size_t t) {
     const std::size_t i = t / 2;
     if (t % 2 == 0) {
-      timed_corner("memsys.write_corner", [&] { write_corner(cells[i], out[i]); });
+      timed_corner("memsys.write_corner", [&] { write_corner(cells[i], options, out[i]); });
     } else {
-      timed_corner("memsys.read_corner", [&] { read_corner(cells[i], out[i]); });
+      timed_corner("memsys.read_corner", [&] { read_corner(cells[i], options, out[i]); });
     }
   });
   // Retention is a closed-form evaluation — not worth a pool task.

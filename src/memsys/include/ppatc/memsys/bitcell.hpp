@@ -23,6 +23,7 @@
 
 #include "ppatc/common/units.hpp"
 #include "ppatc/device/vs_model.hpp"
+#include "ppatc/spice/simulator.hpp"
 
 namespace ppatc::memsys {
 
@@ -63,14 +64,19 @@ struct CellCharacteristics {
 /// Characterizes `cell` with SPICE transients + analytic retention.
 /// `sense_margin` is the SN voltage loss that still senses correctly.
 /// The independent write/read corner transients are simulated concurrently
-/// on the ppatc::runtime pool.
+/// on the ppatc::runtime pool. `options` tunes the underlying solver (the
+/// defaults match per-corner Simulator construction; tests inject crippled
+/// iteration limits here to exercise the failure paths).
 [[nodiscard]] CellCharacteristics characterize(const CellSpec& cell,
-                                               Voltage sense_margin = units::volts(0.2));
+                                               Voltage sense_margin = units::volts(0.2),
+                                               const spice::SimOptions& options = {});
 
 /// Characterizes a batch of independent cell designs concurrently (SPICE
 /// corner characterization across design variants). out[i] corresponds to
-/// cells[i]; results are identical for any thread count.
+/// cells[i]; results are identical for any thread count. `options` as in
+/// characterize().
 [[nodiscard]] std::vector<CellCharacteristics> characterize_batch(
-    const std::vector<CellSpec>& cells, Voltage sense_margin = units::volts(0.2));
+    const std::vector<CellSpec>& cells, Voltage sense_margin = units::volts(0.2),
+    const spice::SimOptions& options = {});
 
 }  // namespace ppatc::memsys

@@ -1,0 +1,702 @@
+// ppatc: diagnostic bundles (ppatc::obs, flight.hpp's diag half).
+//
+// The failure funnel. Every abnormal-exit path converges on one of two
+// writers that drain the flight rings into a sorted-key JSON bundle under
+// PPATC_DIAG_DIR:
+//
+//  * notify_failure — the normal-allocation path, reached from
+//    spice::ConvergenceError throw sites, PPATC_EXPECT / PPATC_ENSURE (via
+//    the contract-failure observer slot in common/contract.hpp — common
+//    cannot depend on obs, so the hook is a function pointer), and the
+//    std::set_terminate hook. Besides the bundle it re-drives the
+//    PPATC_TRACE / PPATC_METRICS=<path> exit writers so a partial trace
+//    survives terminations that never reach atexit.
+//  * the fatal-signal handler (SIGSEGV / SIGABRT / SIGBUS) — the
+//    async-signal-safe path. Argument for safety: the handler calls only
+//    openat(2) on a directory descriptor pre-opened at set_diag_dir time,
+//    write(2), close(2) and raise(2) — all async-signal-safe per POSIX —
+//    plus lock-free atomic loads on the constant-initialized flight-ring
+//    registry (flight.cpp) and on two pre-rendered static buffers
+//    (provenance, bundle directory). Number formatting is hand-rolled into
+//    a fixed stack buffer; there is no allocation, no locking, no iostream,
+//    and no static-init guard anywhere on the path. The metrics snapshot
+//    embedded in a signal bundle is the sampler's last pre-serialized JSON
+//    (metrics.cpp keeps retired generations alive), not a fresh merge.
+//
+// Both writers emit the same bundle shape (sorted keys at every level):
+//   {"failure":{...},"flight":{"threads":[...]},"metrics":...,
+//    "provenance":{...},"schema":"ppatc-diag-1"}
+//
+// render_timeline turns a bundle (or a Chrome trace JSON) back into a
+// per-thread timeline with the failure point marked — see `ppatc-report
+// timeline`.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_internal.hpp"
+#include "ppatc/common/contract.hpp"
+#include "ppatc/obs/flight.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
+
+namespace ppatc::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// State. The mutex-guarded half serves the normal path; the constinit half is
+// a lock-free mirror for the signal handler (written before g_diag_enabled is
+// released, read after it is acquired).
+
+struct DiagState {
+  std::mutex mutex;
+  std::string dir;
+  std::string provenance_json;  // pre-rendered JSON object text
+  std::atomic<int> seq{0};
+  bool signal_handlers_installed = false;
+};
+
+DiagState& dstate() {
+  static DiagState* s = new DiagState;  // leaky: failure paths run late
+  return *s;
+}
+
+constexpr std::size_t kProvBufSize = 1024;
+constinit std::atomic<bool> g_diag_enabled{false};
+constinit std::atomic<int> g_diag_dirfd{-1};  // pre-opened for the handler
+constinit char g_prov_buf[kProvBufSize] = {"{}"};
+// Set once a fatal path (terminate / signal) starts writing, so the abort
+// that follows a terminate-bundle does not produce a second bundle.
+constinit std::atomic<bool> g_in_fatal{false};
+std::terminate_handler g_prev_terminate = nullptr;
+
+// ---------------------------------------------------------------------------
+// Provenance: the same caller-injected block manifests carry (bench_util and
+// CI stamp these environment variables; the library never reads a clock).
+
+std::string render_provenance() {
+  std::map<std::string, std::string> prov;
+  // ppatc-lint: allow-context — obs/diag.cpp is in the lint getenv allowlist.
+  if (const char* sha = std::getenv("BENCH_GIT_SHA"); sha != nullptr && *sha != '\0') {
+    prov["git_sha"] = sha;
+  }
+  if (const char* ts = std::getenv("BENCH_TIMESTAMP_UTC"); ts != nullptr && *ts != '\0') {
+    prov["timestamp_utc"] = ts;
+  }
+  if (const char* th = std::getenv("PPATC_THREADS"); th != nullptr && *th != '\0') {
+    prov["threads"] = th;
+  }
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : prov) {
+    if (!first) os << ',';
+    first = false;
+    detail::append_json_escaped(os, k);
+    os << ':';
+    detail::append_json_escaped(os, v);
+  }
+  os << '}';
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// The async-signal-safe writer: fixed buffer, write(2) on overflow, no
+// allocation, no locale, no iostream.
+
+struct RawWriter {
+  explicit RawWriter(int fd_in) noexcept : fd{fd_in} {}
+  int fd;
+  char buf[4096] = {};
+  std::size_t len = 0;
+
+  void flush() noexcept {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd, buf + off, len - off);
+      if (n <= 0) break;  // best effort: nowhere to report an error from here
+      off += static_cast<std::size_t>(n);
+    }
+    len = 0;
+  }
+  void put_raw(const char* s, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (len == sizeof buf) flush();
+      buf[len++] = s[i];
+    }
+  }
+  void put(const char* s) noexcept { put_raw(s, std::strlen(s)); }
+  void put_u64(std::uint64_t v) noexcept {
+    char tmp[20];
+    std::size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put_raw(&tmp[--n], 1);
+  }
+  // Fixed-point with 6 fractional digits; enough for timestamps and marks,
+  // and implementable without snprintf (not async-signal-safe).
+  void put_f64(double v) noexcept {
+    if (!std::isfinite(v)) {
+      put("0");
+      return;
+    }
+    if (v < 0) {
+      put("-");
+      v = -v;
+    }
+    if (v >= 1.8e19) {  // would overflow the integer part
+      put("0");
+      return;
+    }
+    const auto whole = static_cast<std::uint64_t>(v);
+    put_u64(whole);
+    put(".");
+    double frac = v - static_cast<double>(whole);
+    for (int i = 0; i < 6; ++i) {
+      frac *= 10.0;
+      const int digit = static_cast<int>(frac);
+      const char c = static_cast<char>('0' + (digit < 0 ? 0 : digit > 9 ? 9 : digit));
+      put_raw(&c, 1);
+      frac -= digit;
+    }
+  }
+  // JSON string: structural characters escaped, control bytes replaced with
+  // '_' (the \u00XX escape needs hex formatting this path does not carry).
+  void put_escaped(const char* s, std::size_t max_len) noexcept {
+    put("\"");
+    for (std::size_t i = 0; i < max_len && s[i] != '\0'; ++i) {
+      const char c = s[i];
+      if (c == '"' || c == '\\') {
+        put("\\");
+        put_raw(&c, 1);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        put("_");
+      } else {
+        put_raw(&c, 1);
+      }
+    }
+    put("\"");
+  }
+};
+
+const char* signal_name(int sig) noexcept {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+  }
+  return "signal";
+}
+
+// Emits one flight event object into the signal-path bundle. Field subset
+// mirrors the normal path; keys stay sorted (f64 < kind < name < str <
+// ts_ns < u64).
+void raw_emit_event(RawWriter& w, const detail::FlightSlot& slot) noexcept {
+  const std::uint8_t raw_kind = slot.kind.load(std::memory_order_relaxed);
+  const auto kind = raw_kind >= 1 && raw_kind <= 6 ? static_cast<FlightEventKind>(raw_kind)
+                                                   : FlightEventKind::kMarkU64;
+  w.put("{");
+  if (kind == FlightEventKind::kMarkF64) {
+    w.put("\"f64\":");
+    w.put_f64(slot.f64.load(std::memory_order_relaxed));
+    w.put(",");
+  }
+  w.put("\"kind\":");
+  w.put_escaped(flight_kind_name(kind), 16);
+  w.put(",\"name\":");
+  const char* name = slot.name.load(std::memory_order_relaxed);
+  w.put_escaped(name != nullptr ? name : "", 256);
+  if (kind == FlightEventKind::kMarkStr) {
+    std::uint64_t words[detail::kFlightStrBytes / 8];
+    for (std::size_t i = 0; i < detail::kFlightStrBytes / 8; ++i) {
+      words[i] = slot.str[i].load(std::memory_order_relaxed);
+    }
+    char sbuf[detail::kFlightStrBytes + 1] = {};
+    std::memcpy(sbuf, words, detail::kFlightStrBytes);
+    w.put(",\"str\":");
+    w.put_escaped(sbuf, detail::kFlightStrBytes);
+  }
+  w.put(",\"ts_ns\":");
+  w.put_u64(slot.ts_ns.load(std::memory_order_relaxed));
+  if (kind == FlightEventKind::kCounter || kind == FlightEventKind::kMarkU64) {
+    w.put(",\"u64\":");
+    w.put_u64(slot.u64.load(std::memory_order_relaxed));
+  }
+  w.put("}");
+}
+
+// The whole bundle, signal path. Same shape as the normal path.
+void raw_emit_bundle(RawWriter& w, int sig) noexcept {
+  w.put("{\"failure\":{\"kind\":\"signal\",\"signal\":");
+  w.put_u64(static_cast<std::uint64_t>(sig));
+  w.put(",\"what\":");
+  w.put_escaped(signal_name(sig), 16);
+  w.put("},\"flight\":{\"threads\":[");
+  const std::uint32_t n = detail::flight_ring_count();
+  bool first_thread = true;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const detail::FlightRing* ring = detail::flight_ring_at(i);
+    if (ring == nullptr) continue;
+    if (!first_thread) w.put(",");
+    first_thread = false;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t floor = ring->floor.load(std::memory_order_relaxed);
+    std::uint64_t begin = head > detail::kFlightRingSize ? head - detail::kFlightRingSize : 0;
+    if (floor > begin && floor <= head) begin = floor;
+    w.put("\n{\"dropped\":");
+    w.put_u64(head - (floor < head ? floor : head) - (head - begin));
+    w.put(",\"events\":[");
+    for (std::uint64_t idx = begin; idx < head; ++idx) {
+      if (idx != begin) w.put(",");
+      raw_emit_event(w, ring->slots[idx & (detail::kFlightRingSize - 1)]);
+    }
+    w.put("],\"open_spans\":[");
+    const std::uint32_t depth_raw = ring->open_depth.load(std::memory_order_acquire);
+    const std::uint32_t depth =
+        depth_raw < detail::kFlightMaxOpenSpans
+            ? depth_raw
+            : static_cast<std::uint32_t>(detail::kFlightMaxOpenSpans);
+    bool first_span = true;
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      const char* name = ring->open[d].name.load(std::memory_order_relaxed);
+      if (name == nullptr) continue;
+      if (!first_span) w.put(",");
+      first_span = false;
+      w.put("{\"name\":");
+      w.put_escaped(name, 256);
+      w.put(",\"start_ns\":");
+      w.put_u64(ring->open[d].start_ns.load(std::memory_order_relaxed));
+      w.put("}");
+    }
+    w.put("],\"tid\":");
+    w.put_u64(ring->tid);
+    w.put("}");
+  }
+  w.put("\n]},\"metrics\":");
+  if (const char* metrics = detail::cached_metrics_json(); metrics != nullptr) {
+    w.put(metrics);  // pre-serialized JSON object — raw paste
+  } else {
+    w.put("null");
+  }
+  w.put(",\"provenance\":");
+  w.put(g_prov_buf);
+  w.put(",\"schema\":\"ppatc-diag-1\"}\n");
+}
+
+void fatal_signal_handler(int sig) {
+  // One fatal bundle per process: a terminate-path bundle already in flight
+  // means the SIGABRT that follows it should just kill us.
+  if (!g_in_fatal.exchange(true, std::memory_order_acq_rel) &&
+      g_diag_enabled.load(std::memory_order_acquire)) {
+    const int dirfd = g_diag_dirfd.load(std::memory_order_acquire);
+    if (dirfd >= 0) {
+      char name[64] = "ppatc_diag_signal_";
+      std::size_t n = std::strlen(name);
+      std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+      char digits[20];
+      std::size_t d = 0;
+      do {
+        digits[d++] = static_cast<char>('0' + pid % 10);
+        pid /= 10;
+      } while (pid != 0);
+      while (d > 0) name[n++] = digits[--d];
+      name[n++] = '.';
+      name[n++] = 'j';
+      name[n++] = 's';
+      name[n++] = 'o';
+      name[n++] = 'n';
+      name[n] = '\0';
+      const int fd = ::openat(dirfd, name, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        RawWriter w{fd};
+        raw_emit_bundle(w, sig);
+        w.flush();
+        ::close(fd);
+      }
+    }
+  }
+  // SA_RESETHAND restored the default disposition on entry; re-raise so the
+  // process dies with the original signal (and exit status).
+  ::raise(sig);
+}
+
+// ---------------------------------------------------------------------------
+// Normal-allocation bundle writer.
+
+void append_event_json(std::ostringstream& os, const FlightEventRecord& e) {
+  os << '{';
+  if (e.kind == FlightEventKind::kMarkF64) os << "\"f64\":" << e.f64 << ',';
+  os << "\"kind\":";
+  detail::append_json_escaped(os, flight_kind_name(e.kind));
+  os << ",\"name\":";
+  detail::append_json_escaped(os, e.name);
+  if (e.kind == FlightEventKind::kMarkStr) {
+    os << ",\"str\":";
+    detail::append_json_escaped(os, e.str);
+  }
+  os << ",\"ts_ns\":" << e.ts_ns;
+  if (e.kind == FlightEventKind::kCounter || e.kind == FlightEventKind::kMarkU64) {
+    os << ",\"u64\":" << e.u64;
+  }
+  os << '}';
+}
+
+std::string bundle_to_json(std::string_view kind, std::string_view what) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"failure\":{\"kind\":";
+  detail::append_json_escaped(os, kind);
+  os << ",\"tid\":" << flight_thread_id() << ",\"what\":";
+  detail::append_json_escaped(os, what);
+  os << "},\"flight\":{\"threads\":[";
+  const FlightSnapshot snap = flight_snapshot();
+  bool first_thread = true;
+  for (const FlightThreadSnapshot& t : snap.threads) {
+    if (!first_thread) os << ',';
+    first_thread = false;
+    os << "\n{\"dropped\":" << t.dropped << ",\"events\":[";
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      if (i != 0) os << ',';
+      append_event_json(os, t.events[i]);
+    }
+    os << "],\"open_spans\":[";
+    for (std::size_t i = 0; i < t.open_spans.size(); ++i) {
+      if (i != 0) os << ',';
+      os << "{\"name\":";
+      detail::append_json_escaped(os, t.open_spans[i].name);
+      os << ",\"start_ns\":" << t.open_spans[i].start_ns << '}';
+    }
+    os << "],\"tid\":" << t.tid << '}';
+  }
+  os << "\n]},\"metrics\":" << metrics_to_json();
+  os << ",\"provenance\":";
+  {
+    DiagState& s = dstate();
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    os << (s.provenance_json.empty() ? "{}" : s.provenance_json);
+  }
+  os << ",\"schema\":\"ppatc-diag-1\"}";
+  return os.str();
+}
+
+// Re-drives the PPATC_TRACE / PPATC_METRICS=<path> exit writers (trace.cpp's
+// atexit hooks never run on abort/terminate paths). The PPATC_METRICS=1 text
+// dump stays exit-only: re-printing the whole report on every recovered
+// ConvergenceError would bury test logs.
+void flush_partial_exit_outputs() {
+  if (const char* path = std::getenv("PPATC_TRACE"); path != nullptr && *path != '\0') {
+    write_trace(path);
+  }
+  if (const detail::MetricsEnv env = detail::parse_metrics_env(std::getenv("PPATC_METRICS"));
+      env.enabled && !env.path.empty()) {
+    write_metrics_json(env.path);
+  }
+}
+
+void contract_observer(const char* kind, const char* what) noexcept {
+  notify_failure(kind, what);
+}
+
+[[noreturn]] void terminate_hook() {
+  g_in_fatal.store(true, std::memory_order_release);
+  std::string msg = "uncaught exception";
+  if (std::current_exception() != nullptr) {
+    try {
+      throw;  // rethrow to classify
+    } catch (const std::exception& e) {
+      msg = e.what();
+    } catch (...) {
+      msg = "uncaught non-std exception";
+    }
+  }
+  notify_failure("terminate", msg.c_str());
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+void install_signal_handlers_locked(DiagState& s) {
+  if (s.signal_handlers_installed) return;
+  struct sigaction sa = {};
+  sa.sa_handler = &fatal_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESETHAND: default disposition is restored before the handler runs,
+  // so the re-raise at the end delivers the real death (core / exit status).
+  sa.sa_flags = SA_RESETHAND;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+  s.signal_handlers_installed = true;
+}
+
+}  // namespace
+
+bool diag_enabled() noexcept { return g_diag_enabled.load(std::memory_order_acquire); }
+
+void set_diag_dir(const std::string& dir) {
+  DiagState& s = dstate();
+  const std::lock_guard<std::mutex> lock{s.mutex};
+  if (dir.empty()) {
+    g_diag_enabled.store(false, std::memory_order_release);
+    s.dir.clear();
+    const int old = g_diag_dirfd.exchange(-1, std::memory_order_acq_rel);
+    if (old >= 0) ::close(old);
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  PPATC_EXPECT(!ec, "cannot create diagnostic bundle directory: " + dir + " (" + ec.message() +
+                        ")");
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  PPATC_EXPECT(dirfd >= 0, "cannot open diagnostic bundle directory: " + dir);
+  s.dir = dir;
+  s.provenance_json = render_provenance();
+  const std::size_t prov_len = std::min(s.provenance_json.size(), kProvBufSize - 1);
+  std::memcpy(g_prov_buf, s.provenance_json.c_str(), prov_len);
+  g_prov_buf[prov_len] = '\0';
+  const int old = g_diag_dirfd.exchange(dirfd, std::memory_order_acq_rel);
+  if (old >= 0) ::close(old);
+  g_diag_enabled.store(true, std::memory_order_release);
+}
+
+std::string diag_dir() {
+  DiagState& s = dstate();
+  const std::lock_guard<std::mutex> lock{s.mutex};
+  return s.dir;
+}
+
+void install_failure_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    ppatc::set_contract_failure_observer(&contract_observer);
+    g_prev_terminate = std::set_terminate(&terminate_hook);
+  });
+  if (diag_enabled()) {
+    DiagState& s = dstate();
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    install_signal_handlers_locked(s);
+  }
+}
+
+std::string write_diagnostic_bundle(std::string_view kind, std::string_view what) {
+  if (!diag_enabled()) return "";
+  DiagState& s = dstate();
+  const std::string json = bundle_to_json(kind, what);
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    path = s.dir + "/ppatc_diag_" + std::to_string(::getpid()) + "_" +
+           std::to_string(s.seq.fetch_add(1, std::memory_order_relaxed)) + ".json";
+  }
+  std::ofstream out{path};
+  PPATC_EXPECT(out.good(), "cannot open diagnostic bundle file: " + path);
+  out << json << "\n";
+  out.close();
+  PPATC_ENSURE(out.good(), "failed writing diagnostic bundle file: " + path);
+  return path;
+}
+
+void notify_failure(const char* kind, const char* what) noexcept {
+  // A failure while reporting a failure (e.g. the bundle directory vanished,
+  // whose PPATC_EXPECT would re-enter via the contract observer) must not
+  // recurse or throw through this noexcept boundary.
+  thread_local bool in_notify = false;
+  if (in_notify) return;
+  in_notify = true;
+  try {
+    write_diagnostic_bundle(kind != nullptr ? kind : "", what != nullptr ? what : "");
+  } catch (...) {  // NOLINT(bugprone-empty-catch) — best-effort forensics
+  }
+  try {
+    flush_partial_exit_outputs();
+  } catch (...) {  // NOLINT(bugprone-empty-catch) — best-effort forensics
+  }
+  in_notify = false;
+}
+
+// ---------------------------------------------------------------------------
+// Timeline rendering.
+
+namespace {
+
+void append_time_ms(std::ostringstream& os, double ms) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%14.6f ms", ms);
+  os << '[' << buf << "] ";
+}
+
+std::string render_bundle_timeline(const detail::JsonValue& root) {
+  using detail::JsonValue;
+  std::ostringstream os;
+  os.precision(17);
+  os << "== ppatc timeline: diagnostic bundle ==\n";
+
+  std::string fail_kind;
+  std::string fail_what;
+  double fail_tid = -1.0;
+  if (const JsonValue* failure = root.find("failure")) {
+    if (const JsonValue* k = failure->find("kind")) fail_kind = k->string;
+    if (const JsonValue* w = failure->find("what")) fail_what = w->string;
+    if (const JsonValue* t = failure->find("tid")) fail_tid = t->number;
+  }
+  os << "failure: " << (fail_kind.empty() ? "<unknown>" : fail_kind);
+  if (!fail_what.empty()) os << " — " << fail_what;
+  os << "\n";
+  if (const JsonValue* prov = root.find("provenance");
+      prov != nullptr && prov->kind == JsonValue::Kind::kObject && !prov->object.empty()) {
+    os << "provenance:";
+    for (const auto& [k, v] : prov->object) {
+      os << ' ' << k << '=' << (v.kind == JsonValue::Kind::kString ? v.string : "?");
+    }
+    os << "\n";
+  }
+
+  const JsonValue* flight = root.find("flight");
+  const JsonValue* threads = flight != nullptr ? flight->find("threads") : nullptr;
+  PPATC_EXPECT(threads != nullptr && threads->kind == JsonValue::Kind::kArray,
+               "diagnostic bundle has no flight.threads array");
+  for (const JsonValue& t : threads->array) {
+    const double tid = detail::as_number(t.find("tid"), "thread.tid");
+    const double dropped = t.find("dropped") != nullptr ? t.find("dropped")->number : 0.0;
+    os << "\nthread " << static_cast<std::uint64_t>(tid);
+    if (dropped > 0) os << " (dropped " << static_cast<std::uint64_t>(dropped) << ")";
+    os << ":\n";
+    if (const JsonValue* events = t.find("events");
+        events != nullptr && events->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& e : events->array) {
+        const double ts_ns = e.find("ts_ns") != nullptr ? e.find("ts_ns")->number : 0.0;
+        const std::string kind = e.find("kind") != nullptr ? e.find("kind")->string : "?";
+        const std::string name = e.find("name") != nullptr ? e.find("name")->string : "?";
+        os << "  ";
+        append_time_ms(os, ts_ns / 1e6);
+        if (kind == "span_begin") {
+          os << "span+  " << name;
+        } else if (kind == "span_end") {
+          os << "span-  " << name;
+        } else if (kind == "counter") {
+          os << "count  " << name << " += "
+             << static_cast<std::uint64_t>(e.find("u64") != nullptr ? e.find("u64")->number
+                                                                    : 0.0);
+        } else if (kind == "mark_u64") {
+          os << "mark   " << name << " = "
+             << static_cast<std::uint64_t>(e.find("u64") != nullptr ? e.find("u64")->number
+                                                                    : 0.0);
+        } else if (kind == "mark_f64") {
+          os << "mark   " << name << " = "
+             << (e.find("f64") != nullptr ? e.find("f64")->number : 0.0);
+        } else if (kind == "mark_str") {
+          os << "mark   " << name << " = \""
+             << (e.find("str") != nullptr ? e.find("str")->string : "") << '"';
+        } else {
+          os << kind << "  " << name;
+        }
+        os << "\n";
+      }
+    }
+    if (const JsonValue* open = t.find("open_spans");
+        open != nullptr && open->kind == JsonValue::Kind::kArray && !open->array.empty()) {
+      os << "  open at capture:\n";
+      for (const JsonValue& sp : open->array) {
+        const std::string name = sp.find("name") != nullptr ? sp.find("name")->string : "?";
+        const double start = sp.find("start_ns") != nullptr ? sp.find("start_ns")->number : 0.0;
+        os << "    " << name << " (since " << start / 1e6 << " ms)\n";
+      }
+    }
+    if (fail_tid >= 0.0 && tid == fail_tid) {
+      os << "  >>> FAILURE on this thread: " << fail_kind;
+      if (!fail_what.empty()) os << " — " << fail_what;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_trace_timeline(const detail::JsonValue& root) {
+  using detail::JsonValue;
+  const JsonValue* events = root.find("traceEvents");
+  PPATC_EXPECT(events != nullptr && events->kind == JsonValue::Kind::kArray,
+               "trace JSON has no traceEvents array");
+  struct Row {
+    double ts = 0.0;
+    double dur = 0.0;
+    std::string name;
+  };
+  std::map<std::uint64_t, std::vector<Row>> by_tid;
+  for (const JsonValue& e : events->array) {
+    Row row;
+    if (const JsonValue* ts = e.find("ts")) row.ts = ts->number;
+    if (const JsonValue* dur = e.find("dur")) row.dur = dur->number;
+    if (const JsonValue* name = e.find("name")) row.name = name->string;
+    const std::uint64_t tid =
+        e.find("tid") != nullptr ? static_cast<std::uint64_t>(e.find("tid")->number) : 0;
+    by_tid[tid].push_back(std::move(row));
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << "== ppatc timeline: trace ==\n";
+  os << "no failure context (trace export, not a diagnostic bundle)\n";
+  for (auto& [tid, rows] : by_tid) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row& a, const Row& b) { return a.ts < b.ts; });
+    os << "\nthread " << tid << ":\n";
+    for (const Row& r : rows) {
+      os << "  ";
+      append_time_ms(os, r.ts / 1e3);  // trace ts is microseconds
+      os << "span   " << r.name << " (+" << r.dur / 1e3 << " ms)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_timeline(const std::string& json) {
+  const detail::JsonValue root = detail::JsonParser::parse(json);
+  PPATC_EXPECT(root.kind == detail::JsonValue::Kind::kObject,
+               "timeline input is not a JSON object");
+  if (root.find("traceEvents") != nullptr) return render_trace_timeline(root);
+  PPATC_EXPECT(root.find("flight") != nullptr,
+               "timeline input is neither a diagnostic bundle nor a trace");
+  return render_bundle_timeline(root);
+}
+
+namespace {
+
+// Startup wiring: PPATC_DIAG_DIR enables bundling; the terminate hook and
+// contract observer are installed unconditionally so partial trace/metrics
+// flushes (satellite of the bundle writer) work even without a bundle dir.
+struct DiagEnvInit {
+  DiagEnvInit() {
+    if (const char* dir = std::getenv("PPATC_DIAG_DIR"); dir != nullptr && *dir != '\0') {
+      try {
+        set_diag_dir(dir);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ppatc::obs: PPATC_DIAG_DIR setup failed: %s\n", e.what());
+      }
+    }
+    install_failure_handlers();
+  }
+};
+
+const DiagEnvInit g_diag_env_init{};
+
+}  // namespace
+
+}  // namespace ppatc::obs

@@ -1,0 +1,243 @@
+#include "ppatc/obs/flight.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
+
+namespace ppatc::obs {
+
+namespace detail {
+
+std::atomic<bool> g_flight_enabled{true};
+
+namespace {
+
+// Constant-initialized (no static-init guard, no destructor): the signal
+// handler in diag.cpp iterates this with plain atomic loads, so it must be
+// live and lock-free from the first instruction to the last.
+struct FlightRegistry {
+  std::atomic<std::uint32_t> count{0};
+  std::atomic<FlightRing*> rings[kFlightMaxThreads]{};
+};
+
+constinit FlightRegistry g_registry;
+
+FlightRing* register_ring() noexcept {
+  const std::uint32_t idx = g_registry.count.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kFlightMaxThreads) return nullptr;  // past capacity: drop events
+  auto* ring = new FlightRing;  // leaked: must stay readable post-mortem
+  ring->tid = idx;
+  g_registry.rings[idx].store(ring, std::memory_order_release);
+  return ring;
+}
+
+FlightRing* local_ring() noexcept {
+  thread_local FlightRing* ring = register_ring();
+  return ring;
+}
+
+}  // namespace
+
+void flight_record(FlightEventKind kind, const char* name, std::uint64_t u64, double f64,
+                   const char* str, std::size_t str_len) noexcept {
+  FlightRing* ring = local_ring();
+  if (ring == nullptr) return;
+  const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+  FlightSlot& slot = ring->slots[h & (kFlightRingSize - 1)];
+  slot.ts_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.u64.store(u64, std::memory_order_relaxed);
+  slot.f64.store(f64, std::memory_order_relaxed);
+  if (kind == FlightEventKind::kMarkStr) {
+    char buf[kFlightStrBytes] = {};
+    if (str != nullptr) std::memcpy(buf, str, std::min(str_len, kFlightStrBytes));
+    std::uint64_t words[kFlightStrBytes / 8];
+    std::memcpy(words, buf, sizeof words);
+    for (std::size_t i = 0; i < kFlightStrBytes / 8; ++i) {
+      slot.str[i].store(words[i], std::memory_order_relaxed);
+    }
+  }
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+void flight_span_begin(const char* name) noexcept {
+  FlightRing* ring = local_ring();
+  if (ring == nullptr) return;
+  const std::uint32_t d = ring->open_depth.load(std::memory_order_relaxed);
+  if (d < kFlightMaxOpenSpans) {
+    ring->open[d].name.store(name, std::memory_order_relaxed);
+    ring->open[d].start_ns.store(monotonic_ns(), std::memory_order_relaxed);
+    // Depth past capacity is still tracked so end-side pops stay balanced.
+  }
+  ring->open_depth.store(d + 1, std::memory_order_release);
+  flight_record(FlightEventKind::kSpanBegin, name, 0, 0.0, nullptr, 0);
+}
+
+void flight_span_end(const char* name) noexcept {
+  FlightRing* ring = local_ring();
+  if (ring == nullptr) return;
+  flight_record(FlightEventKind::kSpanEnd, name, 0, 0.0, nullptr, 0);
+  const std::uint32_t d = ring->open_depth.load(std::memory_order_relaxed);
+  if (d > 0) ring->open_depth.store(d - 1, std::memory_order_release);
+}
+
+std::uint32_t flight_ring_count() noexcept {
+  return std::min<std::uint32_t>(g_registry.count.load(std::memory_order_acquire),
+                                 kFlightMaxThreads);
+}
+
+const FlightRing* flight_ring_at(std::uint32_t i) noexcept {
+  if (i >= kFlightMaxThreads) return nullptr;
+  return g_registry.rings[i].load(std::memory_order_acquire);
+}
+
+bool parse_flight_env(const char* value) noexcept {
+  if (value == nullptr) return true;
+  return std::string_view{value} != "0";
+}
+
+std::uint32_t parse_interval_env(const char* value) noexcept {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long ms = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0') return 0;  // non-numeric: disabled
+  return static_cast<std::uint32_t>(std::min(ms, 3'600'000UL));
+}
+
+}  // namespace detail
+
+const char* flight_kind_name(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::kSpanBegin: return "span_begin";
+    case FlightEventKind::kSpanEnd: return "span_end";
+    case FlightEventKind::kCounter: return "counter";
+    case FlightEventKind::kMarkU64: return "mark_u64";
+    case FlightEventKind::kMarkF64: return "mark_f64";
+    case FlightEventKind::kMarkStr: return "mark_str";
+  }
+  return "unknown";
+}
+
+void set_flight_enabled(bool on) noexcept {
+  detail::g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+using detail::FlightRing;
+using detail::FlightSlot;
+using detail::kFlightRingSize;
+using detail::kFlightStrBytes;
+
+FlightThreadSnapshot snapshot_ring(const FlightRing& ring) {
+  FlightThreadSnapshot out;
+  out.tid = ring.tid;
+  const std::uint64_t h1 = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t floor = std::min(ring.floor.load(std::memory_order_relaxed), h1);
+  std::uint64_t begin = h1 > kFlightRingSize ? h1 - kFlightRingSize : 0;
+  begin = std::max(begin, floor);
+  std::vector<FlightEventRecord> events;
+  events.reserve(static_cast<std::size_t>(h1 - begin));
+  for (std::uint64_t idx = begin; idx < h1; ++idx) {
+    const FlightSlot& slot = ring.slots[idx & (kFlightRingSize - 1)];
+    FlightEventRecord rec;
+    rec.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    const std::uint8_t raw_kind = slot.kind.load(std::memory_order_relaxed);
+    rec.kind = raw_kind >= 1 && raw_kind <= 6 ? static_cast<FlightEventKind>(raw_kind)
+                                              : FlightEventKind::kMarkU64;
+    const char* name = slot.name.load(std::memory_order_relaxed);
+    rec.name = name != nullptr ? name : "";
+    rec.u64 = slot.u64.load(std::memory_order_relaxed);
+    rec.f64 = slot.f64.load(std::memory_order_relaxed);
+    if (rec.kind == FlightEventKind::kMarkStr) {
+      std::uint64_t words[kFlightStrBytes / 8];
+      for (std::size_t i = 0; i < kFlightStrBytes / 8; ++i) {
+        words[i] = slot.str[i].load(std::memory_order_relaxed);
+      }
+      char buf[kFlightStrBytes];
+      std::memcpy(buf, words, sizeof buf);
+      std::size_t len = 0;
+      while (len < kFlightStrBytes && buf[len] != '\0') ++len;
+      rec.str.assign(buf, len);
+    }
+    events.push_back(std::move(rec));
+  }
+  // Slots the writer wrapped past while we were reading may be torn mixes of
+  // two events: discard everything below the writer's new overwrite horizon.
+  const std::uint64_t h2 = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t safe_begin = h2 > kFlightRingSize ? h2 - kFlightRingSize : 0;
+  if (safe_begin > begin) {
+    const std::size_t torn =
+        static_cast<std::size_t>(std::min(safe_begin - begin, h1 - begin));
+    events.erase(events.begin(), events.begin() + static_cast<std::ptrdiff_t>(torn));
+  }
+  out.dropped = (h1 - floor) - events.size();
+  out.events = std::move(events);
+
+  const std::uint32_t depth = std::min<std::uint32_t>(
+      ring.open_depth.load(std::memory_order_acquire),
+      static_cast<std::uint32_t>(detail::kFlightMaxOpenSpans));
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    const char* name = ring.open[i].name.load(std::memory_order_relaxed);
+    if (name == nullptr) continue;
+    out.open_spans.push_back(
+        FlightOpenSpan{name, ring.open[i].start_ns.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+}  // namespace
+
+FlightSnapshot flight_snapshot() {
+  FlightSnapshot snap;
+  const std::uint32_t n = detail::flight_ring_count();
+  snap.threads.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const FlightRing* ring = detail::flight_ring_at(i);
+    if (ring == nullptr) continue;  // registered but not yet published
+    snap.threads.push_back(snapshot_ring(*ring));
+  }
+  return snap;  // registration order == tid order
+}
+
+std::uint32_t flight_thread_id() noexcept {
+  const FlightRing* ring = detail::local_ring();
+  return ring != nullptr ? ring->tid : UINT32_MAX;
+}
+
+void reset_flight() {
+  const std::uint32_t n = detail::flight_ring_count();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const FlightRing* ring = detail::flight_ring_at(i);
+    if (ring == nullptr) continue;
+    auto* mut = const_cast<FlightRing*>(ring);
+    mut->floor.store(mut->head.load(std::memory_order_acquire), std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// Startup wiring for PPATC_FLIGHT and PPATC_METRICS_INTERVAL (the diag-side
+// switches — PPATC_DIAG_DIR — are wired in diag.cpp). Sampling implies
+// metrics collection: a time series of zeros would be useless.
+struct FlightEnvInit {
+  FlightEnvInit() {
+    set_flight_enabled(detail::parse_flight_env(std::getenv("PPATC_FLIGHT")));
+    if (const std::uint32_t interval_ms =
+            detail::parse_interval_env(std::getenv("PPATC_METRICS_INTERVAL"));
+        interval_ms > 0) {
+      set_metrics_enabled(true);
+      start_metrics_sampler(interval_ms);
+    }
+  }
+};
+
+const FlightEnvInit g_flight_env_init{};
+
+}  // namespace
+
+}  // namespace ppatc::obs

@@ -1,0 +1,225 @@
+// ppatc: flight recorder (ppatc::obs).
+//
+// A per-thread lock-free ring buffer of fixed-size structured events — span
+// begin/end, counter deltas, and marked key/value events (deck names, corner
+// ids, chunk indices, Monte-Carlo seeds) — cheap enough to leave on by
+// default. Where the tracer (trace.hpp) buffers *everything* and serializes
+// at clean exit, the flight recorder keeps only the last kFlightRingSize
+// events per thread, but keeps them readable at the moment of death: the
+// diagnostic-bundle writer (diag.cpp) drains every ring into one JSON bundle
+// when a ConvergenceError, contract violation, uncaught exception, or fatal
+// signal kills the process.
+//
+// Concurrency contract:
+//  * Each ring has exactly one writer — the owning thread. The ring head is
+//    published with a release store after the slot fields are written, so a
+//    reader that acquires the head sees fully-written slots for every index
+//    below it.
+//  * Slot fields are relaxed atomics, not plain members, so a drain that
+//    races a wrapping writer reads *values* (possibly from two different
+//    events — detected and discarded via a head re-read) instead of UB.
+//  * Rings are leaked on thread exit and registered in a fixed-capacity
+//    array of atomic pointers, so the crash path can iterate them without
+//    taking any lock and without malloc — the registry is constant-
+//    initialized and every handler-side read is a relaxed/acquire atomic
+//    load (async-signal-safe for lock-free atomics).
+//
+// Event names must be string literals (or registry-interned strings that
+// live for the process): the ring stores the pointer, not a copy. ppatc-lint
+// enforces literal names at obs call sites (rule obs-name-literal).
+//
+// `PPATC_FLIGHT=0` disables recording; anything else (including unset)
+// leaves it on. Disabled-mode cost is one relaxed atomic-bool branch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppatc::obs {
+
+/// What a ring slot holds. kMarkStr carries a (truncated) inline copy of the
+/// value; every other kind carries the u64/f64 payload.
+enum class FlightEventKind : std::uint8_t {
+  kSpanBegin = 1,
+  kSpanEnd = 2,
+  kCounter = 3,  ///< u64 = delta added to the named counter
+  kMarkU64 = 4,
+  kMarkF64 = 5,
+  kMarkStr = 6,
+};
+
+/// Stable lowercase label ("span_begin", "counter", ...) used in bundles.
+[[nodiscard]] const char* flight_kind_name(FlightEventKind kind) noexcept;
+
+namespace detail {
+
+extern std::atomic<bool> g_flight_enabled;
+
+inline constexpr std::size_t kFlightRingSize = 256;  // power of two
+inline constexpr std::size_t kFlightStrBytes = 24;   // inline string payload
+inline constexpr std::size_t kFlightMaxOpenSpans = 32;
+inline constexpr std::size_t kFlightMaxThreads = 512;
+
+/// One ring slot. All fields are relaxed atomics (see the file comment); the
+/// string payload is packed into 8-byte words so a torn read is still a
+/// defined read.
+struct FlightSlot {
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> u64{0};
+  std::atomic<double> f64{0.0};
+  std::atomic<std::uint64_t> str[kFlightStrBytes / 8]{};
+  std::atomic<std::uint8_t> kind{0};
+};
+
+struct FlightOpenSlot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> start_ns{0};
+};
+
+/// One thread's ring + open-span stack. Single writer (the owning thread);
+/// any thread — including a signal handler — may read.
+struct FlightRing {
+  std::uint32_t tid = 0;                  ///< registration order, 0-based
+  std::atomic<std::uint64_t> head{0};     ///< next write index (monotonic)
+  std::atomic<std::uint64_t> floor{0};    ///< reset_flight() raises to head
+  std::atomic<std::uint32_t> open_depth{0};
+  FlightSlot slots[kFlightRingSize];
+  FlightOpenSlot open[kFlightMaxOpenSpans];
+};
+
+/// Appends one event to the calling thread's ring (allocates the ring on the
+/// thread's first event; threads past kFlightMaxThreads record nothing).
+void flight_record(FlightEventKind kind, const char* name, std::uint64_t u64, double f64,
+                   const char* str, std::size_t str_len) noexcept;
+
+/// Span begin/end hooks used by obs::Span. Callers gate on flight_enabled();
+/// the end hook is unconditional once the begin ran, so the open-span stack
+/// stays balanced even if recording is toggled mid-span.
+void flight_span_begin(const char* name) noexcept;
+void flight_span_end(const char* name) noexcept;
+
+/// Signal-safe registry accessors for the diagnostic writer: no locks, no
+/// allocation, no static-init guard on the handler path.
+[[nodiscard]] std::uint32_t flight_ring_count() noexcept;
+[[nodiscard]] const FlightRing* flight_ring_at(std::uint32_t i) noexcept;
+
+/// Parsed PPATC_FLIGHT. Contract: "0" disables; nullptr, "" and anything
+/// else leave the recorder on (on-by-default).
+[[nodiscard]] bool parse_flight_env(const char* value) noexcept;
+
+/// Parsed PPATC_METRICS_INTERVAL (milliseconds). Contract: nullptr, "",
+/// non-numeric and "0" mean disabled (returns 0); values are clamped to one
+/// hour so a typo cannot park the sampler forever.
+[[nodiscard]] std::uint32_t parse_interval_env(const char* value) noexcept;
+
+}  // namespace detail
+
+/// True when flight recording is on (PPATC_FLIGHT / set_flight_enabled).
+[[nodiscard]] inline bool flight_enabled() noexcept {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+void set_flight_enabled(bool on) noexcept;
+
+/// Marked key/value events. `name` must be a string literal (see file
+/// comment); string values are truncated to detail::kFlightStrBytes.
+inline void flight_mark(const char* name, std::uint64_t value) noexcept {
+  if (flight_enabled()) {
+    detail::flight_record(FlightEventKind::kMarkU64, name, value, 0.0, nullptr, 0);
+  }
+}
+inline void flight_mark(const char* name, double value) noexcept {
+  if (flight_enabled()) {
+    detail::flight_record(FlightEventKind::kMarkF64, name, 0, value, nullptr, 0);
+  }
+}
+inline void flight_mark(const char* name, std::string_view value) noexcept {
+  if (flight_enabled()) {
+    detail::flight_record(FlightEventKind::kMarkStr, name, 0, 0.0, value.data(), value.size());
+  }
+}
+
+/// Counter-delta event (obs::Counter::add routes through this).
+inline void flight_count(const char* name, std::uint64_t delta) noexcept {
+  if (flight_enabled()) {
+    detail::flight_record(FlightEventKind::kCounter, name, delta, 0.0, nullptr, 0);
+  }
+}
+
+/// One drained event. `name`/`str` are copies — safe after the source thread
+/// is gone.
+struct FlightEventRecord {
+  std::uint64_t ts_ns = 0;
+  FlightEventKind kind = FlightEventKind::kMarkU64;
+  std::string name;
+  std::uint64_t u64 = 0;
+  double f64 = 0.0;
+  std::string str;  ///< kMarkStr payload (possibly truncated)
+};
+
+/// A span that was still open when the snapshot was taken.
+struct FlightOpenSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;
+};
+
+struct FlightThreadSnapshot {
+  std::uint32_t tid = 0;
+  std::uint64_t dropped = 0;  ///< events lost to ring wraparound (since reset)
+  std::vector<FlightEventRecord> events;     ///< oldest -> newest
+  std::vector<FlightOpenSpan> open_spans;    ///< outermost -> innermost
+};
+
+struct FlightSnapshot {
+  std::vector<FlightThreadSnapshot> threads;  ///< sorted by tid
+};
+
+/// Drains every registered ring. Quiesced threads drain exactly; threads
+/// actively writing may contribute a few fewer events (slots being
+/// overwritten mid-read are discarded, never returned torn).
+[[nodiscard]] FlightSnapshot flight_snapshot();
+
+/// The calling thread's flight tid (allocates its ring if needed); returns
+/// UINT32_MAX once kFlightMaxThreads rings exist.
+[[nodiscard]] std::uint32_t flight_thread_id() noexcept;
+
+/// Logically clears every ring (raises each floor to its head). Open-span
+/// stacks are left alone — they belong to live RAII spans.
+void reset_flight();
+
+// ---- diagnostic bundles (implemented in diag.cpp) --------------------------
+
+/// True when a diagnostic directory is configured (PPATC_DIAG_DIR or
+/// set_diag_dir).
+[[nodiscard]] bool diag_enabled() noexcept;
+
+/// Sets (and creates) the bundle output directory; "" disables bundling.
+void set_diag_dir(const std::string& dir);
+[[nodiscard]] std::string diag_dir();
+
+/// Installs the std::set_terminate hook, the contract-failure observer, and
+/// — when diag_enabled() — the SIGSEGV/SIGABRT/SIGBUS handlers. Idempotent;
+/// runs automatically at static init when PPATC_DIAG_DIR is set.
+void install_failure_handlers();
+
+/// Writes one bundle now (flight drain + open spans + metrics snapshot +
+/// failure context + provenance). Returns the bundle path, or "" when
+/// diag_enabled() is false.
+std::string write_diagnostic_bundle(std::string_view kind, std::string_view what);
+
+/// The failure funnel: writes a bundle (if enabled) and flushes partial
+/// PPATC_TRACE / PPATC_METRICS=<path> outputs so abnormal exits still ship a
+/// trace. Reentrancy-guarded and noexcept — safe to call from throw sites.
+void notify_failure(const char* kind, const char* what) noexcept;
+
+/// Renders a diagnostic bundle (or a Chrome trace JSON) as a human-readable
+/// per-thread timeline with the failure point marked. Throws
+/// ContractViolation on malformed input.
+[[nodiscard]] std::string render_timeline(const std::string& json);
+
+}  // namespace ppatc::obs

@@ -37,6 +37,8 @@
 #include <string_view>
 #include <vector>
 
+#include "ppatc/obs/flight.hpp"
+
 namespace ppatc::obs {
 
 namespace detail {
@@ -67,10 +69,14 @@ struct MetricsEnv {
 
 void set_metrics_enabled(bool on) noexcept;
 
-/// Monotonic counter: sharded relaxed adds, summed on read.
+/// Monotonic counter: sharded relaxed adds, summed on read. Registered
+/// counters also feed the flight recorder: each add drops a counter-delta
+/// event into the calling thread's ring, even when aggregate collection is
+/// off, so crash bundles show recent counter activity.
 class Counter {
  public:
   void add(std::uint64_t n) noexcept {
+    if (flight_enabled() && flight_name_ != nullptr) flight_count(flight_name_, n);
     if (!metrics_enabled()) return;
     cells_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
   }
@@ -81,10 +87,15 @@ class Counter {
   void reset() noexcept;
 
  private:
+  friend Counter& counter(std::string_view);
+
   struct alignas(64) Cell {
     std::atomic<std::uint64_t> v{0};
   };
   Cell cells_[detail::kShards];
+  // The registry map key's c_str(): node-stable for the process lifetime,
+  // which is what the flight ring's store-the-pointer contract needs.
+  const char* flight_name_ = nullptr;
 };
 
 /// Last-write-wins instantaneous value (rates, pool sizes, ...).
@@ -171,5 +182,39 @@ void reset_metrics();
 
 /// Writes metrics_to_json() to `path` (throws ContractViolation on I/O error).
 void write_metrics_json(const std::string& path);
+
+// ---- time-resolved metrics (PPATC_METRICS_INTERVAL) ------------------------
+
+/// One periodic sample: monotonic capture time plus flat "counter:<name>" /
+/// "gauge:<name>" values (histograms contribute their running totals via the
+/// end-of-run snapshot, not the series).
+struct MetricsSample {
+  double t_ms = 0.0;  ///< monotonic_ns() at capture, in milliseconds
+  std::map<std::string, double> values;
+};
+
+/// Everything sampled so far, in capture order.
+[[nodiscard]] std::vector<MetricsSample> metrics_series();
+
+/// Captures one sample now (the sampler thread calls this on its interval;
+/// tests and benches may call it directly).
+void append_metrics_sample();
+
+void reset_metrics_series();
+
+/// Starts the single background sampler thread (stops any previous one) and
+/// takes an immediate t=0 sample. interval_ms == 0 is a no-op. Not safe to
+/// call concurrently with itself or stop_metrics_sampler.
+void start_metrics_sampler(std::uint32_t interval_ms);
+
+/// Stops and joins the sampler (idempotent; also registered via atexit).
+void stop_metrics_sampler();
+
+namespace detail {
+/// Most recent pre-serialized metrics JSON (refreshed by
+/// append_metrics_sample), for the async-signal-safe bundle path: reading it
+/// is one acquire load, no allocation. nullptr until the first sample.
+[[nodiscard]] const char* cached_metrics_json() noexcept;
+}  // namespace detail
 
 }  // namespace ppatc::obs

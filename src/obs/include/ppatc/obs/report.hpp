@@ -69,6 +69,14 @@ struct ManifestSpan {
   double total_ms = 0.0;
 };
 
+/// One periodic metrics sample (PPATC_METRICS_INTERVAL): capture time on the
+/// monotonic clock plus flat "counter:<name>" / "gauge:<name>" values.
+/// Informational like the end-of-run metrics — never drift-gated.
+struct ManifestSample {
+  double t_ms = 0.0;
+  std::map<std::string, double> values;
+};
+
 /// A parsed (or built) manifest. RunManifest produces one; parse_manifest
 /// reads one back from JSON.
 struct Manifest {
@@ -83,6 +91,10 @@ struct Manifest {
   /// name -> {p50, p95, p99} of each histogram (interpolated estimates).
   std::map<std::string, std::map<std::string, double>> histograms;
   std::map<std::string, ManifestSpan> spans;
+  /// Time-resolved samples (empty unless the sampler ran). Serialized only
+  /// when non-empty so manifests without a series stay byte-identical to
+  /// pre-series goldens.
+  std::vector<ManifestSample> metrics_series;
 };
 
 /// Builder for the manifest of the current run. Typical bench flow:
@@ -121,8 +133,9 @@ class RunManifest {
   /// Records a named textual verdict ("OK"/"VIOLATED", ...); compared exactly.
   void record_text(const std::string& name, std::string value);
 
-  /// Folds the current metrics snapshot and span rollup into the manifest.
-  /// Call once, after the benchmarked work.
+  /// Folds the current metrics snapshot, span rollup, and — when the sampler
+  /// ran — the metrics_series() time series into the manifest. Call once,
+  /// after the benchmarked work.
   void capture_observability();
 
   [[nodiscard]] const Manifest& manifest() const noexcept { return m_; }

@@ -71,6 +71,10 @@ class Span {
   std::uint64_t id_ = 0;
   std::uint64_t parent_ = 0;
   std::uint64_t start_ns_ = 0;
+  // Set iff the flight recorder saw the begin; the destructor then records
+  // the matching end unconditionally so the open-span stack stays balanced
+  // even if recording is toggled while the span is open.
+  bool flight_ = false;
 };
 
 /// Temporarily replaces the calling thread's current span with `parent_id`,

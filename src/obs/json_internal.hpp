@@ -1,16 +1,29 @@
-// ppatc::obs internal: shared JSON string escaping for the exporters
-// (metrics, trace, report). Not a public header — lives next to the .cpp
-// files on purpose.
+// ppatc::obs internal: shared JSON machinery for the exporters and readers
+// (metrics, trace, report, diag). Not a public header — lives next to the
+// .cpp files on purpose.
 //
-// Escapes the two structural characters, the named control escapes, and every
-// remaining control byte as \u00XX, so any metric/span/result name — including
-// ones containing quotes, backslashes, or embedded control characters — still
-// exports as valid JSON.
+// Two halves:
+//  * append_json_escaped — escapes the two structural characters, the named
+//    control escapes, and every remaining control byte as \u00XX, so any
+//    metric/span/result name — including ones containing quotes, backslashes,
+//    or embedded control characters — still exports as valid JSON.
+//  * JsonValue / JsonParser — a minimal recursive-descent JSON reader
+//    producing a small DOM. No external dependency by design: the documents
+//    this layer reads (manifests, diagnostic bundles, traces) are the ones it
+//    writes. Shared by report.cpp (manifests) and diag.cpp (bundle/trace
+//    timelines).
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <ostream>
+#include <string>
 #include <string_view>
+#include <vector>
+
+#include "ppatc/common/contract.hpp"
 
 namespace ppatc::obs::detail {
 
@@ -36,6 +49,211 @@ inline void append_json_escaped(std::ostream& os, std::string_view s) {
     }
   }
   os << '"';
+}
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  static JsonValue parse(const std::string& text) {
+    JsonParser p{text};
+    p.skip_ws();
+    // ppatc-lint: allow(units-escape) — JsonParser::value() parses a JSON value; not a Quantity
+    JsonValue v = p.value();
+    p.skip_ws();
+    PPATC_EXPECT(p.pos_ == text.size(), "trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_{text} {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ContractViolation("JSON parse error at byte " + std::to_string(pos_) + ": " + what);
+  }
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : text_[pos_]; }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) ++pos_;
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = c == 't';
+      literal(c == 't' ? "true" : "false");
+      return v;
+    }
+    if (c == 'n') {
+      literal("null");
+      return {};
+    }
+    return number();
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!consume(*p)) fail(std::string{"expected literal "} + word);
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (!eof() && peek() != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof()) fail("truncated \\u escape");
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // The writers only emit \u00XX for control bytes; decode the
+          // low byte and pass anything else through as '?' rather than
+          // implementing full UTF-16 surrogate handling.
+          out.push_back(code <= 0xff ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (consume('.')) {
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(text_.c_str() + start, nullptr);
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), value());
+      skip_ws();
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline double as_number(const JsonValue* v, const std::string& where) {
+  PPATC_EXPECT(v != nullptr && v->kind == JsonValue::Kind::kNumber,
+               "JSON field is not a number: " + where);
+  return v->number;
+}
+
+inline std::string as_string(const JsonValue* v, const std::string& where) {
+  PPATC_EXPECT(v != nullptr && v->kind == JsonValue::Kind::kString,
+               "JSON field is not a string: " + where);
+  return v->string;
+}
+
+inline std::map<std::string, std::string> as_string_map(const JsonValue* v,
+                                                        const std::string& where) {
+  std::map<std::string, std::string> out;
+  if (v == nullptr) return out;
+  PPATC_EXPECT(v->kind == JsonValue::Kind::kObject, "JSON field is not an object: " + where);
+  for (const auto& [k, e] : v->object) out[k] = as_string(&e, where + "." + k);
+  return out;
 }
 
 }  // namespace ppatc::obs::detail

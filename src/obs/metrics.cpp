@@ -1,14 +1,18 @@
 #include "ppatc/obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string_view>
+#include <thread>
 
 #include "json_internal.hpp"
 #include "ppatc/common/contract.hpp"
+#include "ppatc/obs/trace.hpp"
 
 namespace ppatc::obs {
 
@@ -113,6 +117,9 @@ Counter& counter(std::string_view name) {
   auto it = r.counters.find(name);
   if (it == r.counters.end()) {
     it = r.counters.emplace(std::string{name}, std::unique_ptr<Counter>(new Counter)).first;
+    // Map keys are node-stable and the registry is leaky, so the key's
+    // c_str() satisfies the flight ring's literal-lifetime contract.
+    it->second->flight_name_ = it->first.c_str();
   }
   return *it->second;
 }
@@ -261,6 +268,121 @@ void write_metrics_json(const std::string& path) {
   out << metrics_to_json() << "\n";
   out.close();
   PPATC_ENSURE(out.good(), "failed writing metrics output file: " + path);
+}
+
+// ---- time-resolved metrics -------------------------------------------------
+
+namespace {
+
+// Leaky like the registry: the atexit stop hook and late pool threads may
+// touch this during static destruction.
+struct SeriesState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<MetricsSample> samples;
+  std::thread sampler;
+  bool stop = false;
+};
+
+SeriesState& series_state() {
+  static SeriesState* s = new SeriesState;
+  return *s;
+}
+
+// The signal-path metrics snapshot. The sampler publishes a freshly
+// serialized JSON string with an exchange; retired generations go into a
+// small ring instead of being deleted immediately, so a signal handler that
+// loaded the previous pointer microseconds ago still reads live memory (a
+// handler would have to stall across kRetired whole sampler intervals to see
+// a freed one).
+constinit std::atomic<const std::string*> g_cached_metrics_json{nullptr};
+constexpr std::size_t kRetiredJsonSlots = 4;
+constinit std::atomic<std::uint32_t> g_retired_ix{0};
+const std::string* g_retired_json[kRetiredJsonSlots] = {};
+
+void publish_cached_metrics_json(std::string json) {
+  const auto* fresh = new std::string{std::move(json)};
+  const std::string* old = g_cached_metrics_json.exchange(fresh, std::memory_order_acq_rel);
+  const std::uint32_t ix =
+      g_retired_ix.fetch_add(1, std::memory_order_relaxed) % kRetiredJsonSlots;
+  delete g_retired_json[ix];
+  g_retired_json[ix] = old;
+}
+
+}  // namespace
+
+namespace detail {
+const char* cached_metrics_json() noexcept {
+  const std::string* p = g_cached_metrics_json.load(std::memory_order_acquire);
+  return p != nullptr ? p->c_str() : nullptr;
+}
+}  // namespace detail
+
+std::vector<MetricsSample> metrics_series() {
+  SeriesState& s = series_state();
+  const std::lock_guard<std::mutex> lock{s.mutex};
+  return s.samples;
+}
+
+void append_metrics_sample() {
+  const MetricsSnapshot snap = metrics_snapshot();
+  MetricsSample sample;
+  sample.t_ms = static_cast<double>(monotonic_ns()) / 1e6;
+  for (const auto& [name, v] : snap.counters) {
+    sample.values["counter:" + name] = static_cast<double>(v);
+  }
+  for (const auto& [name, v] : snap.gauges) sample.values["gauge:" + name] = v;
+  SeriesState& s = series_state();
+  {
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    s.samples.push_back(std::move(sample));
+  }
+  publish_cached_metrics_json(metrics_to_json());
+}
+
+void reset_metrics_series() {
+  SeriesState& s = series_state();
+  const std::lock_guard<std::mutex> lock{s.mutex};
+  s.samples.clear();
+}
+
+void start_metrics_sampler(std::uint32_t interval_ms) {
+  if (interval_ms == 0) return;
+  stop_metrics_sampler();
+  SeriesState& s = series_state();
+  {
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    s.stop = false;
+  }
+  append_metrics_sample();  // t=0 point so even short runs get a series
+  s.sampler = std::thread{[interval_ms] {
+    SeriesState& st = series_state();
+    std::unique_lock<std::mutex> lock{st.mutex};
+    while (!st.stop) {
+      if (st.cv.wait_for(lock, std::chrono::milliseconds{interval_ms},
+                         [&st] { return st.stop; })) {
+        break;
+      }
+      lock.unlock();
+      append_metrics_sample();
+      lock.lock();
+    }
+  }};
+  static const bool atexit_registered = [] {
+    std::atexit([] { stop_metrics_sampler(); });
+    return true;
+  }();
+  (void)atexit_registered;
+}
+
+void stop_metrics_sampler() {
+  SeriesState& s = series_state();
+  {
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    s.stop = true;
+  }
+  s.cv.notify_all();
+  if (s.sampler.joinable()) s.sampler.join();
 }
 
 }  // namespace ppatc::obs

@@ -118,6 +118,13 @@ void RunManifest::capture_observability() {
     agg.count += 1;
     agg.total_ms += static_cast<double>(r.dur_ns) / 1e6;
   }
+  m_.metrics_series.clear();
+  for (const MetricsSample& sample : metrics_series()) {
+    ManifestSample out;
+    out.t_ms = sample.t_ms;
+    out.values = sample.values;
+    m_.metrics_series.push_back(std::move(out));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -189,6 +196,31 @@ std::string manifest_to_json(const Manifest& m) {
   }
   os << "}}";
 
+  // Only emitted when a series exists, so series-free manifests stay
+  // byte-identical to pre-series goldens ("metrics_series" sorts between
+  // "metrics" and "provenance").
+  if (!m.metrics_series.empty()) {
+    os << ",\"metrics_series\":[";
+    bool sfirst = true;
+    for (const ManifestSample& sample : m.metrics_series) {
+      if (!sfirst) os << ',';
+      sfirst = false;
+      os << "\n{\"t_ms\":";
+      append_number(os, sample.t_ms);
+      os << ",\"values\":{";
+      bool vfirst = true;
+      for (const auto& [k, v] : sample.values) {
+        if (!vfirst) os << ',';
+        vfirst = false;
+        detail::append_json_escaped(os, k);
+        os << ':';
+        append_number(os, v);
+      }
+      os << "}}";
+    }
+    os << "\n]";
+  }
+
   os << ",\"provenance\":";
   append_string_map(os, m.provenance);
 
@@ -246,216 +278,17 @@ void RunManifest::write(const std::string& path) const {
 }
 
 // ---------------------------------------------------------------------------
-// Parsing: a minimal recursive-descent JSON reader producing a small DOM,
-// then extraction into Manifest. No external dependency by design — the
-// manifests this layer reads are the ones it writes.
+// Parsing: the shared recursive-descent JSON reader (json_internal.hpp)
+// produces a small DOM, then extraction into Manifest. No external dependency
+// by design — the manifests this layer reads are the ones it writes.
 
 namespace {
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    if (kind != Kind::kObject) return nullptr;
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  static JsonValue parse(const std::string& text) {
-    JsonParser p{text};
-    p.skip_ws();
-    // ppatc-lint: allow(units-escape) — JsonParser::value() parses a JSON value; not a Quantity
-    JsonValue v = p.value();
-    p.skip_ws();
-    PPATC_EXPECT(p.pos_ == text.size(), "trailing content after JSON document");
-    return v;
-  }
-
- private:
-  explicit JsonParser(const std::string& text) : text_{text} {}
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw ContractViolation("manifest JSON parse error at byte " + std::to_string(pos_) + ": " +
-                            what);
-  }
-  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
-  [[nodiscard]] char peek() const { return eof() ? '\0' : text_[pos_]; }
-  void skip_ws() {
-    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) ++pos_;
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string{"expected '"} + c + "'");
-    ++pos_;
-  }
-  bool consume(char c) {
-    if (peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kString;
-      v.string = string();
-      return v;
-    }
-    if (c == 't' || c == 'f') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = c == 't';
-      literal(c == 't' ? "true" : "false");
-      return v;
-    }
-    if (c == 'n') {
-      literal("null");
-      return {};
-    }
-    return number();
-  }
-
-  void literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p) {
-      if (!consume(*p)) fail(std::string{"expected literal "} + word);
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (!eof() && peek() != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (eof()) fail("unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            if (eof()) fail("truncated \\u escape");
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              fail("bad \\u escape digit");
-            }
-          }
-          // The writer only emits \u00XX for control bytes; decode the
-          // low byte and pass anything else through as '?' rather than
-          // implementing full UTF-16 surrogate handling.
-          out.push_back(code <= 0xff ? static_cast<char>(code) : '?');
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    if (consume('.')) {
-      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.number = std::strtod(text_.c_str() + start, nullptr);
-    return v;
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    skip_ws();
-    if (consume('}')) return v;
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.object.emplace(std::move(key), value());
-      skip_ws();
-      if (consume('}')) return v;
-      expect(',');
-    }
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    skip_ws();
-    if (consume(']')) return v;
-    for (;;) {
-      v.array.push_back(value());
-      skip_ws();
-      if (consume(']')) return v;
-      expect(',');
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-double as_number(const JsonValue* v, const std::string& where) {
-  PPATC_EXPECT(v != nullptr && v->kind == JsonValue::Kind::kNumber,
-               "manifest field is not a number: " + where);
-  return v->number;
-}
-
-std::string as_string(const JsonValue* v, const std::string& where) {
-  PPATC_EXPECT(v != nullptr && v->kind == JsonValue::Kind::kString,
-               "manifest field is not a string: " + where);
-  return v->string;
-}
-
-std::map<std::string, std::string> as_string_map(const JsonValue* v, const std::string& where) {
-  std::map<std::string, std::string> out;
-  if (v == nullptr) return out;
-  PPATC_EXPECT(v->kind == JsonValue::Kind::kObject, "manifest field is not an object: " + where);
-  for (const auto& [k, e] : v->object) out[k] = as_string(&e, where + "." + k);
-  return out;
-}
+using detail::as_number;
+using detail::as_string;
+using detail::as_string_map;
+using detail::JsonParser;
+using detail::JsonValue;
 
 }  // namespace
 
@@ -512,6 +345,23 @@ Manifest parse_manifest(const std::string& json) {
       s.count = static_cast<std::uint64_t>(as_number(e.find("count"), k + ".count"));
       s.total_ms = as_number(e.find("total_ms"), k + ".total_ms");
       m.spans.emplace(k, s);
+    }
+  }
+
+  if (const JsonValue* series = root.find("metrics_series")) {
+    PPATC_EXPECT(series->kind == JsonValue::Kind::kArray,
+                 "manifest metrics_series is not an array");
+    for (const JsonValue& e : series->array) {
+      ManifestSample sample;
+      sample.t_ms = as_number(e.find("t_ms"), "metrics_series.t_ms");
+      if (const JsonValue* values = e.find("values")) {
+        PPATC_EXPECT(values->kind == JsonValue::Kind::kObject,
+                     "metrics_series sample values is not an object");
+        for (const auto& [k, v] : values->object) {
+          sample.values[k] = as_number(&v, "metrics_series." + k);
+        }
+      }
+      m.metrics_series.push_back(std::move(sample));
     }
   }
   return m;
@@ -615,6 +465,13 @@ DiffReport diff_manifests(const Manifest& run, const Manifest& golden) {
     const auto it = run.provenance.find(key);
     const std::string rv = it == run.provenance.end() ? "<missing>" : it->second;
     if (rv != g) d.provenance_notes.push_back(key + ": run '" + rv + "' vs golden '" + g + "'");
+  }
+  // Time-resolved samples are wall-clock shaped, so like provenance they are
+  // informational only.
+  if (run.metrics_series.size() != golden.metrics_series.size()) {
+    d.provenance_notes.push_back(
+        "metrics_series: run has " + std::to_string(run.metrics_series.size()) +
+        " samples vs golden " + std::to_string(golden.metrics_series.size()));
   }
   return d;
 }

@@ -10,6 +10,7 @@
 
 #include "json_internal.hpp"
 #include "ppatc/common/contract.hpp"
+#include "ppatc/obs/flight.hpp"
 #include "ppatc/obs/metrics.hpp"
 
 namespace ppatc::obs {
@@ -86,6 +87,11 @@ std::uint64_t monotonic_ns() noexcept {
 std::uint64_t current_span_id() noexcept { return t_current_span; }
 
 Span::Span(const char* name) noexcept {
+  if (flight_enabled()) {
+    flight_ = true;
+    name_ = name;
+    detail::flight_span_begin(name);
+  }
   if (!tracing_enabled()) return;
   name_ = name;
   id_ = state().next_id.fetch_add(1, std::memory_order_relaxed);
@@ -95,6 +101,7 @@ Span::Span(const char* name) noexcept {
 }
 
 Span::~Span() {
+  if (flight_) detail::flight_span_end(name_);
   if (id_ == 0) return;
   const std::uint64_t end_ns = monotonic_ns();
   t_current_span = parent_;

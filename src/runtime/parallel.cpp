@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "ppatc/obs/flight.hpp"
 #include "ppatc/obs/metrics.hpp"
 #include "ppatc/obs/trace.hpp"
 
@@ -89,6 +90,9 @@ struct ThreadPool::Impl {
       const std::size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_tasks) break;
       try {
+        // Flight-marked before the task runs: a crash bundle shows each
+        // worker's in-flight chunk, not just the last completed one.
+        obs::flight_mark("runtime.chunk.index", static_cast<std::uint64_t>(i));
         (*task)(i);
         ++executed;
       } catch (...) {
@@ -152,7 +156,10 @@ void ThreadPool::run(std::size_t num_tasks, const std::function<void(std::size_t
   if (num_tasks == 1 || impl_->workers.empty() || t_inside_pool_task) {
     // Serial fallback: same tasks, same order, same thread.
     inline_batches_counter().increment();
-    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      obs::flight_mark("runtime.chunk.index", static_cast<std::uint64_t>(i));
+      task(i);
+    }
     chunks_counter().add(num_tasks);
     return;
   }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ppatc/common/contract.hpp"
+#include "ppatc/obs/flight.hpp"
 #include "ppatc/obs/metrics.hpp"
 #include "ppatc/obs/trace.hpp"
 #include "ppatc/spice/sparse.hpp"
@@ -389,6 +390,7 @@ Simulator::SolverState& Simulator::state() const {
 
 std::optional<DcResult> Simulator::dc_operating_point() const {
   const obs::Span span{"spice.dc"};
+  obs::flight_mark("spice.deck_nodes", static_cast<std::uint64_t>(circuit_.node_count()));
   System& sys = state().sys;
   std::vector<double> x(sys.unknowns(), 0.0);
 
@@ -404,7 +406,16 @@ std::optional<DcResult> Simulator::dc_operating_point() const {
     os << "DC operating point failed to converge (" << strategy
        << "; gmin and source stepping exhausted): " << sys.diag_message()
        << " (limit " << options_.max_newton_iterations << ")";
-    return ConvergenceError{os.str()};
+    const std::string msg = os.str();
+    // Pin the failure context into the flight ring before the bundle drains
+    // it: which node carried the worst residual, and how far Newton got.
+    if (sys.last_diag().worst_node != kGroundNode) {
+      obs::flight_mark("spice.fail_node", circuit_.node_name(sys.last_diag().worst_node));
+    }
+    obs::flight_mark("spice.fail_iterations",
+                     static_cast<std::uint64_t>(std::max(sys.last_diag().iterations, 0)));
+    obs::notify_failure("spice::ConvergenceError", msg.c_str());
+    return ConvergenceError{msg};
   };
 
   int iters = sys.newton(ctx, x);
@@ -536,7 +547,14 @@ std::optional<TransientResult> Simulator::transient(Duration stop, Duration step
         os << "transient Newton failed to converge at t=" << ctx.time << " s (dt=" << ctx.dt
            << " s, step " << k << "/" << steps << ", half-step retry exhausted): "
            << sys.diag_message() << " (limit " << options_.max_newton_iterations << ")";
-        throw ConvergenceError{os.str()};
+        const std::string msg = os.str();
+        if (sys.last_diag().worst_node != kGroundNode) {
+          obs::flight_mark("spice.fail_node", circuit_.node_name(sys.last_diag().worst_node));
+        }
+        obs::flight_mark("spice.fail_iterations",
+                         static_cast<std::uint64_t>(std::max(sys.last_diag().iterations, 0)));
+        obs::notify_failure("spice::ConvergenceError", msg.c_str());
+        throw ConvergenceError{msg};
       }
     }
     for (std::size_t i = 0; i < cap_prev.size(); ++i) {

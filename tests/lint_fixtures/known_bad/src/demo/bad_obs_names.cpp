@@ -1,0 +1,25 @@
+// Fixture: runtime-built names at obs call sites -> obs-name-literal.
+#include <cstdint>
+#include <string>
+
+namespace ppatc::obs {
+struct Counter {
+  void add(std::uint64_t n) noexcept;
+};
+Counter& counter(const std::string& name);
+void flight_mark(const char* name, std::uint64_t value) noexcept;
+struct Span {
+  explicit Span(const char* name) noexcept;
+};
+}  // namespace ppatc::obs
+
+namespace ppatc::demo {
+namespace obs = ppatc::obs;
+
+void record_sample(const std::string& dynamic_name, std::uint64_t v) {
+  obs::counter(dynamic_name).add(v);
+  obs::flight_mark(dynamic_name.c_str(), v);
+  const obs::Span span{dynamic_name.c_str()};
+}
+
+}  // namespace ppatc::demo

@@ -1,0 +1,27 @@
+// Fixture: literal names at obs call sites, including a wrapped call whose
+// literal lands on the next line — all fine under obs-name-literal.
+#include <cstdint>
+
+namespace ppatc::obs {
+struct Counter {
+  void add(std::uint64_t n) noexcept;
+};
+Counter& counter(const char* name);
+void flight_mark(const char* name, std::uint64_t value) noexcept;
+struct Span {
+  explicit Span(const char* name) noexcept;
+};
+}  // namespace ppatc::obs
+
+namespace ppatc::demo {
+namespace obs = ppatc::obs;
+
+void record_sample(std::uint64_t v) {
+  obs::counter("demo.samples").add(v);
+  obs::flight_mark("demo.sample_value", v);
+  const obs::Span span{"demo.record_sample"};
+  obs::flight_mark(
+      "demo.sample_value_wrapped", v);
+}
+
+}  // namespace ppatc::demo

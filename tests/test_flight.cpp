@@ -1,0 +1,401 @@
+// Tests for the flight recorder and diagnostic bundles (ppatc::obs::flight):
+// ring semantics (wraparound, drop accounting, ordering), drain determinism
+// across thread counts, bundle JSON validity and round-trips through the
+// timeline renderer, the failure funnel (injected ConvergenceError inside a
+// 4-thread memsys::characterize_batch names the failing deck/corner and each
+// worker's in-flight chunk), and — fork-based, skipped under sanitizers — the
+// async-signal-safe SIGSEGV bundle path.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_validator.hpp"
+#include "ppatc/common/contract.hpp"
+#include "ppatc/memsys/bitcell.hpp"
+#include "ppatc/obs/flight.hpp"
+#include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/trace.hpp"
+#include "ppatc/runtime/parallel.hpp"
+#include "ppatc/spice/simulator.hpp"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PPATC_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PPATC_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef PPATC_UNDER_SANITIZER
+#define PPATC_UNDER_SANITIZER 0
+#endif
+
+namespace ppatc {
+namespace {
+
+namespace fs = std::filesystem;
+using testutil::JsonValidator;
+
+// Every test starts from an enabled, empty flight state with bundling off,
+// and restores the defaults on exit so test order cannot leak state.
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_flight_enabled(true);
+    obs::reset_flight();
+    obs::set_diag_dir("");
+  }
+  void TearDown() override {
+    obs::set_diag_dir("");
+    obs::reset_flight();
+    obs::set_flight_enabled(true);  // the documented default
+    obs::set_metrics_enabled(false);
+    runtime::set_thread_count(0);
+  }
+
+  // A scratch bundle directory unique to this process, created on demand.
+  static std::string scratch_dir(const char* tag) {
+    return (fs::temp_directory_path() /
+            ("ppatc_flight_" + std::string(tag) + "_" + std::to_string(::getpid())))
+        .string();
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in{path};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  // The calling thread's snapshot (tid 0 is whichever thread registered
+  // first; tests look threads up by tid instead of assuming).
+  static const obs::FlightThreadSnapshot* thread_snap(const obs::FlightSnapshot& snap,
+                                                      std::uint32_t tid) {
+    for (const auto& t : snap.threads) {
+      if (t.tid == tid) return &t;
+    }
+    return nullptr;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Ring semantics.
+
+TEST_F(FlightTest, MarksAreRecordedInOrderWithPayloads) {
+  obs::flight_mark("test.u", std::uint64_t{42});
+  obs::flight_mark("test.f", 2.5);
+  obs::flight_mark("test.s", std::string_view{"hello"});
+  const auto snap = obs::flight_snapshot();
+  const auto* t = thread_snap(snap, obs::flight_thread_id());
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->events.size(), 3u);
+  EXPECT_EQ(t->events[0].name, "test.u");
+  EXPECT_EQ(t->events[0].kind, obs::FlightEventKind::kMarkU64);
+  EXPECT_EQ(t->events[0].u64, 42u);
+  EXPECT_EQ(t->events[1].kind, obs::FlightEventKind::kMarkF64);
+  EXPECT_DOUBLE_EQ(t->events[1].f64, 2.5);
+  EXPECT_EQ(t->events[2].kind, obs::FlightEventKind::kMarkStr);
+  EXPECT_EQ(t->events[2].str, "hello");
+  // Timestamps are monotone within a thread.
+  EXPECT_LE(t->events[0].ts_ns, t->events[1].ts_ns);
+  EXPECT_LE(t->events[1].ts_ns, t->events[2].ts_ns);
+  EXPECT_EQ(t->dropped, 0u);
+}
+
+TEST_F(FlightTest, LongStringPayloadsAreTruncatedNotCorrupted) {
+  const std::string long_name(100, 'x');
+  obs::flight_mark("test.long", std::string_view{long_name});
+  const auto snap = obs::flight_snapshot();
+  const auto* t = thread_snap(snap, obs::flight_thread_id());
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->events.size(), 1u);
+  EXPECT_EQ(t->events[0].str, std::string(obs::detail::kFlightStrBytes, 'x'));
+}
+
+TEST_F(FlightTest, RingWrapsKeepingTheLastNEventsAndCountingDrops) {
+  constexpr std::uint64_t kTotal = 1000;  // well past the 256-slot ring
+  for (std::uint64_t i = 0; i < kTotal; ++i) obs::flight_mark("test.wrap", i);
+  const auto snap = obs::flight_snapshot();
+  const auto* t = thread_snap(snap, obs::flight_thread_id());
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->events.size(), obs::detail::kFlightRingSize);
+  EXPECT_EQ(t->dropped, kTotal - obs::detail::kFlightRingSize);
+  // The survivors are exactly the newest kFlightRingSize, oldest -> newest.
+  for (std::size_t i = 0; i < t->events.size(); ++i) {
+    EXPECT_EQ(t->events[i].u64, kTotal - obs::detail::kFlightRingSize + i);
+  }
+}
+
+TEST_F(FlightTest, DisabledRecorderRecordsNothing) {
+  obs::set_flight_enabled(false);
+  obs::flight_mark("test.off", std::uint64_t{1});
+  obs::flight_count("test.off_count", 1);
+  { const obs::Span span{"test.off_span"}; }
+  obs::set_flight_enabled(true);
+  const auto snap = obs::flight_snapshot();
+  for (const auto& t : snap.threads) EXPECT_TRUE(t.events.empty());
+}
+
+TEST_F(FlightTest, ResetFlightClearsEventsButKeepsDropAccountingAtZero) {
+  obs::flight_mark("test.before", std::uint64_t{1});
+  obs::reset_flight();
+  const auto snap = obs::flight_snapshot();
+  const auto* t = thread_snap(snap, obs::flight_thread_id());
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->events.empty());
+  EXPECT_EQ(t->dropped, 0u);
+}
+
+TEST_F(FlightTest, SpansMaintainTheOpenSpanStack) {
+  const obs::Span outer{"test.outer"};
+  {
+    const obs::Span inner{"test.inner"};
+    const auto snap = obs::flight_snapshot();
+    const auto* t = thread_snap(snap, obs::flight_thread_id());
+    ASSERT_NE(t, nullptr);
+    ASSERT_GE(t->open_spans.size(), 2u);
+    EXPECT_EQ(t->open_spans[t->open_spans.size() - 2].name, "test.outer");
+    EXPECT_EQ(t->open_spans.back().name, "test.inner");
+  }
+  const auto snap = obs::flight_snapshot();
+  const auto* t = thread_snap(snap, obs::flight_thread_id());
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->open_spans.size(), 1u);
+  EXPECT_EQ(t->open_spans.back().name, "test.outer");
+  // begin/end events both landed in the ring.
+  ASSERT_EQ(t->events.size(), 3u);
+  EXPECT_EQ(t->events[0].kind, obs::FlightEventKind::kSpanBegin);
+  EXPECT_EQ(t->events[1].kind, obs::FlightEventKind::kSpanBegin);
+  EXPECT_EQ(t->events[2].kind, obs::FlightEventKind::kSpanEnd);
+  EXPECT_EQ(t->events[2].name, "test.inner");
+}
+
+TEST_F(FlightTest, SpanEndStaysBalancedWhenRecordingTogglesMidSpan) {
+  {
+    const obs::Span span{"test.toggle"};
+    obs::set_flight_enabled(false);
+  }  // destructor must still record the end: begin ran while enabled
+  obs::set_flight_enabled(true);
+  const auto snap = obs::flight_snapshot();
+  const auto* t = thread_snap(snap, obs::flight_thread_id());
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->open_spans.empty());
+}
+
+TEST_F(FlightTest, CountersFeedTheFlightRingEvenWithAggregateMetricsOff) {
+  obs::set_metrics_enabled(false);
+  static obs::Counter& c = obs::counter("flight.test_counter");
+  c.add(7);
+  const auto snap = obs::flight_snapshot();
+  const auto* t = thread_snap(snap, obs::flight_thread_id());
+  ASSERT_NE(t, nullptr);
+  ASSERT_FALSE(t->events.empty());
+  EXPECT_EQ(t->events.back().kind, obs::FlightEventKind::kCounter);
+  EXPECT_EQ(t->events.back().name, "flight.test_counter");
+  EXPECT_EQ(t->events.back().u64, 7u);
+  EXPECT_EQ(c.value(), 0u);  // aggregate collection really was off
+}
+
+// ---------------------------------------------------------------------------
+// Drain determinism across thread counts: the union of runtime.chunk.index
+// marks across all rings is exactly {0..N-1} at any PPATC_THREADS.
+
+void run_chunk_sweep_and_check(std::size_t threads, std::size_t tasks) {
+  runtime::set_thread_count(threads);
+  obs::reset_flight();
+  std::vector<int> out(tasks, 0);
+  runtime::parallel_for(tasks, [&](std::size_t i) { out[i] = 1; });
+  const auto snap = obs::flight_snapshot();
+  std::multiset<std::uint64_t> chunk_marks;
+  for (const auto& t : snap.threads) {
+    for (const auto& e : t.events) {
+      if (e.name == "runtime.chunk.index") chunk_marks.insert(e.u64);
+    }
+    EXPECT_EQ(t.dropped, 0u);
+  }
+  ASSERT_EQ(chunk_marks.size(), tasks) << "threads=" << threads;
+  std::uint64_t expect = 0;
+  for (const std::uint64_t v : chunk_marks) EXPECT_EQ(v, expect++);
+}
+
+TEST_F(FlightTest, ChunkMarksDrainDeterministicallyAtOneThread) {
+  run_chunk_sweep_and_check(1, 64);
+}
+
+TEST_F(FlightTest, ChunkMarksDrainDeterministicallyAtFourThreads) {
+  run_chunk_sweep_and_check(4, 64);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostic bundles (normal-allocation path).
+
+TEST_F(FlightTest, BundleIsValidJsonAndRoundTripsThroughTheTimeline) {
+  const std::string dir = scratch_dir("bundle");
+  obs::set_diag_dir(dir);
+  obs::flight_mark("test.context", std::string_view{"alpha"});
+  const obs::Span span{"test.open_at_death"};
+  const std::string path = obs::write_diagnostic_bundle("test-kind", "what happened");
+  ASSERT_FALSE(path.empty());
+  const std::string json = slurp(path);
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"test-kind\""), std::string::npos);
+  EXPECT_NE(json.find("what happened"), std::string::npos);
+  EXPECT_NE(json.find("test.context"), std::string::npos);
+  EXPECT_NE(json.find("test.open_at_death"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"ppatc-diag-1\""), std::string::npos);
+  // The timeline renderer accepts the bundle and marks the failure.
+  const std::string timeline = obs::render_timeline(json);
+  EXPECT_NE(timeline.find("diagnostic bundle"), std::string::npos);
+  EXPECT_NE(timeline.find("test-kind"), std::string::npos);
+  EXPECT_NE(timeline.find("FAILURE on this thread"), std::string::npos);
+  EXPECT_NE(timeline.find("test.open_at_death"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST_F(FlightTest, WriteBundleReturnsEmptyWhenDisabled) {
+  EXPECT_EQ(obs::write_diagnostic_bundle("k", "w"), "");
+}
+
+TEST_F(FlightTest, ContractViolationsProduceBundlesViaTheObserver) {
+  const std::string dir = scratch_dir("contract");
+  obs::set_diag_dir(dir);
+  obs::install_failure_handlers();
+  EXPECT_THROW(
+      { PPATC_EXPECT(false, "deliberate contract failure for the bundle test"); },
+      ContractViolation);
+  std::vector<std::string> bundles;
+  for (const auto& e : fs::directory_iterator(dir)) bundles.push_back(e.path().string());
+  ASSERT_FALSE(bundles.empty());
+  const std::string json = slurp(bundles.front());
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("precondition"), std::string::npos);
+  EXPECT_NE(json.find("deliberate contract failure"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST_F(FlightTest, TimelineRejectsMalformedInput) {
+  EXPECT_THROW((void)obs::render_timeline("not json"), ContractViolation);
+  EXPECT_THROW((void)obs::render_timeline("{\"neither\":1}"), ContractViolation);
+}
+
+TEST_F(FlightTest, TimelineRendersChromeTraces) {
+  obs::set_tracing_enabled(true);
+  obs::reset_trace();
+  { const obs::Span span{"test.traced_region"}; }
+  const std::string json = obs::trace_to_json();
+  obs::set_tracing_enabled(false);
+  const std::string timeline = obs::render_timeline(json);
+  EXPECT_NE(timeline.find("ppatc timeline: trace"), std::string::npos);
+  EXPECT_NE(timeline.find("test.traced_region"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance scenario: an injected ConvergenceError inside a 4-thread
+// characterize_batch produces a bundle naming the failing deck and corner and
+// each worker's in-flight chunk.
+
+TEST_F(FlightTest, InjectedConvergenceErrorInBatchProducesAForensicBundle) {
+  const std::string dir = scratch_dir("converge");
+  obs::set_diag_dir(dir);
+  runtime::set_thread_count(4);
+  spice::SimOptions crippled;
+  crippled.max_newton_iterations = 1;  // DC cannot converge in one iteration
+  crippled.gmin_steps = 1;
+  const std::vector<memsys::CellSpec> cells{memsys::m3d_igzo_cnfet_cell(), memsys::all_si_cell()};
+  EXPECT_THROW((void)memsys::characterize_batch(cells, units::volts(0.2), crippled),
+               spice::ConvergenceError);
+  std::vector<std::string> bundles;
+  for (const auto& e : fs::directory_iterator(dir)) bundles.push_back(e.path().string());
+  ASSERT_FALSE(bundles.empty());
+  // Every bundle is valid JSON; at least one names the deck, the corner, the
+  // in-flight chunks, and the failure kind.
+  bool found_forensics = false;
+  for (const auto& b : bundles) {
+    const std::string json = slurp(b);
+    EXPECT_TRUE(JsonValidator::valid(json)) << b;
+    if (json.find("memsys.deck") != std::string::npos &&
+        (json.find("m3d-igzo-cnfet-3t") != std::string::npos ||
+         json.find("all-si-3t") != std::string::npos) &&
+        json.find("memsys.corner") != std::string::npos &&
+        json.find("runtime.chunk.index") != std::string::npos &&
+        json.find("spice::ConvergenceError") != std::string::npos) {
+      found_forensics = true;
+      // And the timeline names the deck too.
+      const std::string timeline = obs::render_timeline(json);
+      EXPECT_NE(timeline.find("memsys.deck"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found_forensics);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Fork-based death test: the async-signal-safe SIGSEGV path. Skipped under
+// TSan/ASan — sanitizer runtimes install their own signal machinery and do
+// not survive fork+signal flows.
+
+TEST_F(FlightTest, FatalSignalWritesABundleFromTheHandler) {
+  if (PPATC_UNDER_SANITIZER) GTEST_SKIP() << "signal-death path not run under sanitizers";
+  const std::string dir = scratch_dir("signal");
+  obs::set_diag_dir(dir);
+  obs::install_failure_handlers();  // parent installs; child inherits
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: record some context, then die by signal. _exit codes flag the
+    // "handler did not re-kill us" failure mode.
+    obs::flight_mark("test.child_context", std::uint64_t{123});
+    { const obs::Span span{"test.child_open_span"}; }
+    const obs::Span dying{"test.child_dying_span"};
+    ::raise(SIGSEGV);
+    ::_exit(97);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited normally: " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+  const std::string bundle =
+      dir + "/ppatc_diag_signal_" + std::to_string(static_cast<long>(pid)) + ".json";
+  ASSERT_TRUE(fs::is_regular_file(bundle)) << bundle;
+  const std::string json = slurp(bundle);
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"kind\":\"signal\""), std::string::npos);
+  EXPECT_NE(json.find("SIGSEGV"), std::string::npos);
+  EXPECT_NE(json.find("test.child_context"), std::string::npos);
+  EXPECT_NE(json.find("test.child_dying_span"), std::string::npos);
+  // The signal bundle renders through the same timeline path.
+  const std::string timeline = obs::render_timeline(json);
+  EXPECT_NE(timeline.find("SIGSEGV"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Partial exit outputs: notify_failure re-drives the PPATC_TRACE-style trace
+// writer so failures ship the spans recorded so far (satellite of the bundle
+// writer; the env-driven path is exercised end-to-end in CI).
+
+TEST_F(FlightTest, EnvParsersFollowTheDocumentedContract) {
+  EXPECT_TRUE(obs::detail::parse_flight_env(nullptr));
+  EXPECT_TRUE(obs::detail::parse_flight_env(""));
+  EXPECT_TRUE(obs::detail::parse_flight_env("1"));
+  EXPECT_FALSE(obs::detail::parse_flight_env("0"));
+  EXPECT_EQ(obs::detail::parse_interval_env(nullptr), 0u);
+  EXPECT_EQ(obs::detail::parse_interval_env(""), 0u);
+  EXPECT_EQ(obs::detail::parse_interval_env("0"), 0u);
+  EXPECT_EQ(obs::detail::parse_interval_env("250"), 250u);
+  EXPECT_EQ(obs::detail::parse_interval_env("junk"), 0u);
+  EXPECT_EQ(obs::detail::parse_interval_env("999999999"), 3600000u);  // clamped to an hour
+}
+
+}  // namespace
+}  // namespace ppatc

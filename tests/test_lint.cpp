@@ -50,7 +50,7 @@ TEST(LintFixtures, KnownGoodIsCleanWithOneCountedSuppression) {
   const auto by_rule = report.count_by_rule(/*suppressed=*/true);
   ASSERT_TRUE(by_rule.contains("unit-typed-api"));
   EXPECT_EQ(by_rule.at("unit-typed-api"), 1u);
-  EXPECT_EQ(report.files_scanned, 8u);
+  EXPECT_EQ(report.files_scanned, 9u);
 }
 
 TEST(LintFixtures, KnownBadFiresEveryRule) {
@@ -60,7 +60,7 @@ TEST(LintFixtures, KnownBadFiresEveryRule) {
   const auto by_rule = report.count_by_rule(/*suppressed=*/false);
   for (const char* rule : {"unit-typed-api", "determinism", "unordered-iter", "env-allowlist",
                            "pragma-once", "layering", "parallel-safety", "units-escape",
-                           "lifetime"}) {
+                           "lifetime", "obs-name-literal"}) {
     ASSERT_TRUE(by_rule.contains(rule)) << rule << "\n" << lint::format_report(report);
   }
 
@@ -79,6 +79,8 @@ TEST(LintFixtures, KnownBadFiresEveryRule) {
   EXPECT_EQ(by_rule.at("units-escape"), 4u);
   // bad_lifetime.cpp: view of a local, reference to a local, view of a temp.
   EXPECT_EQ(by_rule.at("lifetime"), 3u);
+  // bad_obs_names.cpp: dynamic counter name, dynamic mark name, dynamic span.
+  EXPECT_EQ(by_rule.at("obs-name-literal"), 3u);
   EXPECT_EQ(report.suppression_count(), 0u);
 }
 
@@ -165,8 +167,36 @@ TEST(LintText, EnvAllowlistBlessesOnlyConfiguredFiles) {
   const std::string text = "#include <cstdlib>\nbool b = std::getenv(\"PPATC_THREADS\");\n";
   EXPECT_TRUE(lint_one("runtime/parallel.cpp", text).empty());
   EXPECT_TRUE(lint_one("obs/trace.cpp", text).empty());
-  EXPECT_TRUE(lint_one("obs/report.cpp", text).empty());  // BENCH_MANIFEST_OUT read site
+  EXPECT_TRUE(lint_one("obs/report.cpp", text).empty());   // BENCH_MANIFEST_OUT read site
+  EXPECT_TRUE(lint_one("obs/flight.cpp", text).empty());   // PPATC_FLIGHT / _METRICS_INTERVAL
+  EXPECT_TRUE(lint_one("obs/diag.cpp", text).empty());     // PPATC_DIAG_DIR + provenance stamps
   EXPECT_TRUE(has_rule(lint_one("carbon/tcdp.cpp", text), "env-allowlist"));
+}
+
+TEST(LintText, ObsNameLiteralFlagsRuntimeBuiltNames) {
+  // Literal names (including a wrapped literal on the next line) pass.
+  EXPECT_TRUE(lint_one("demo/ok.cpp",
+                       "void f(std::uint64_t v) {\n"
+                       "  obs::counter(\"demo.n\").add(v);\n"
+                       "  const obs::Span span{\"demo.f\"};\n"
+                       "  obs::flight_mark(\n"
+                       "      \"demo.v\", v);\n"
+                       "}\n")
+                  .empty());
+  // Runtime-built names at every site shape fire.
+  EXPECT_TRUE(has_rule(lint_one("demo/bad.cpp", "obs::counter(name).add(1);\n"),
+                       "obs-name-literal"));
+  EXPECT_TRUE(has_rule(lint_one("demo/bad.cpp", "obs::flight_count(name, 1);\n"),
+                       "obs-name-literal"));
+  EXPECT_TRUE(has_rule(lint_one("demo/bad.cpp", "const obs::Span span{name};\n"),
+                       "obs-name-literal"));
+  // The obs module forwards caller-validated name pointers by design.
+  EXPECT_TRUE(lint_one("obs/flight.cpp", "obs::flight_mark(name, 1);\n").empty());
+  // Suppressible like every rule.
+  EXPECT_TRUE(has_rule(lint_one("demo/bad.cpp",
+                                "// ppatc-lint: allow(obs-name-literal)\n"
+                                "const obs::Span span{name};\n"),
+                       "obs-name-literal", /*suppressed=*/true));
 }
 
 // ---- layering ---------------------------------------------------------------

@@ -4,10 +4,12 @@
 // thread-count invariance that makes committed goldens possible.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "json_validator.hpp"
 #include "ppatc/carbon/uncertainty.hpp"
@@ -380,6 +382,82 @@ TEST(PerfCompare, FormatNamesEveryMetricAndTheVerdict) {
   EXPECT_NE(text.find("PERF REGRESSION"), std::string::npos);
   EXPECT_NE(obs::format_perf_compare(obs::perf_compare_manifests(base, base)).find("PERF OK"),
             std::string::npos);
+}
+
+// ---- time-resolved metrics in the manifest ---------------------------------
+
+TEST(Report, CaptureObservabilityFoldsTheMetricsSeries) {
+  obs::set_metrics_enabled(true);
+  obs::reset_metrics();
+  obs::reset_metrics_series();
+  obs::counter("series.test_counter").add(1);
+  obs::append_metrics_sample();
+  obs::counter("series.test_counter").add(2);
+  obs::append_metrics_sample();
+  obs::RunManifest m{"series_fold"};
+  m.capture_observability();
+  ASSERT_EQ(m.manifest().metrics_series.size(), 2u);
+  EXPECT_LE(m.manifest().metrics_series[0].t_ms, m.manifest().metrics_series[1].t_ms);
+  EXPECT_EQ(m.manifest().metrics_series[0].values.at("counter:series.test_counter"), 1.0);
+  EXPECT_EQ(m.manifest().metrics_series[1].values.at("counter:series.test_counter"), 3.0);
+  obs::reset_metrics_series();
+  obs::set_metrics_enabled(false);
+}
+
+TEST(Report, MetricsSeriesSurvivesTheJsonRoundTrip) {
+  obs::set_metrics_enabled(true);
+  obs::reset_metrics();
+  obs::reset_metrics_series();
+  obs::counter("series.rt_counter").add(5);
+  obs::gauge("series.rt_gauge").set(1.25);
+  obs::append_metrics_sample();
+  obs::RunManifest m{"series_rt"};
+  m.capture_observability();
+  const std::string json = m.to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"metrics_series\""), std::string::npos);
+  const obs::Manifest parsed = obs::parse_manifest(json);
+  ASSERT_EQ(parsed.metrics_series.size(), 1u);
+  EXPECT_EQ(parsed.metrics_series[0].values.at("counter:series.rt_counter"), 5.0);
+  EXPECT_EQ(parsed.metrics_series[0].values.at("gauge:series.rt_gauge"), 1.25);
+  // Fixed point, same as every other manifest section.
+  EXPECT_EQ(obs::manifest_to_json(parsed), json);
+  obs::reset_metrics_series();
+  obs::set_metrics_enabled(false);
+}
+
+// The property the committed goldens rely on: a manifest built without the
+// sampler serializes with NO metrics_series key at all, so pre-series golden
+// files stay byte-identical.
+TEST(Report, EmptyMetricsSeriesIsOmittedFromJson) {
+  obs::reset_metrics_series();
+  const obs::RunManifest m = small_manifest();
+  EXPECT_EQ(m.to_json().find("metrics_series"), std::string::npos);
+  obs::RunManifest folded{"no_series"};
+  obs::set_metrics_enabled(true);
+  folded.capture_observability();
+  obs::set_metrics_enabled(false);
+  EXPECT_EQ(folded.to_json().find("metrics_series"), std::string::npos);
+}
+
+TEST(Report, SamplerThreadProducesAMonotoneSeries) {
+  obs::set_metrics_enabled(true);
+  obs::reset_metrics();
+  obs::reset_metrics_series();
+  obs::start_metrics_sampler(1);  // 1 ms: several samples land within the wait
+  // Wait (bounded) until the background sampler has captured a few samples on
+  // top of the immediate t=0 one.
+  for (int spin = 0; spin < 2000 && obs::metrics_series().size() < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  obs::stop_metrics_sampler();
+  const auto series = obs::metrics_series();
+  ASSERT_GE(series.size(), 3u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].t_ms, series[i].t_ms);
+  }
+  obs::reset_metrics_series();
+  obs::set_metrics_enabled(false);
 }
 
 TEST(Report, WriteAndReadBack) {

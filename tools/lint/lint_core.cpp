@@ -312,6 +312,62 @@ void rule_env_allowlist(const std::string& rel, const FileText& text, const Conf
   }
 }
 
+// ---- rule: obs-name-literal -------------------------------------------------
+// The flight rings store the name *pointer* and the metrics registry interns
+// names for the process lifetime: a name built at runtime either dangles (ring
+// outlives the string) or explodes the registry cardinality. Metric, span, and
+// flight-event names at obs call sites must therefore be string literals. The
+// obs module itself is exempt — its internals forward caller-validated name
+// pointers by design.
+
+// First non-space character at or after `col`, looking onto the next code
+// line when the rest of the current line is blank (wrapped call sites put the
+// name literal on its own line).
+char first_arg_char(const FileText& text, std::size_t line_index, std::size_t col) {
+  for (std::size_t li = line_index; li < text.code.size() && li < line_index + 2; ++li) {
+    const std::string& line = text.code[li];
+    for (std::size_t j = li == line_index ? col : 0; j < line.size(); ++j) {
+      if (line[j] != ' ' && line[j] != '\t') return line[j];
+    }
+  }
+  return '\0';
+}
+
+void rule_obs_name_literal(const std::string& rel, const FileText& text,
+                           std::vector<Finding>& out) {
+  if (rel.starts_with("obs/")) return;
+  static constexpr const char* kSites[] = {"obs::counter",      "obs::gauge",
+                                           "obs::histogram",    "obs::flight_mark",
+                                           "obs::flight_count", "obs::Span"};
+  for (std::size_t i = 0; i < text.code.size(); ++i) {
+    const std::string& line = text.code[i];
+    for (const char* site : kSites) {
+      const std::string name{site};
+      for (std::size_t pos = line.find(name); pos != std::string::npos;
+           pos = line.find(name, pos + name.size())) {
+        if (pos > 0 && (is_ident_char(line[pos - 1]) || line[pos - 1] == ':')) continue;
+        std::size_t j = pos + name.size();
+        if (j < line.size() && is_ident_char(line[j])) continue;  // longer identifier
+        // Locate the argument-list opener. Calls use '('; Span is a type, so
+        // allow an optional variable name before '{' or '('.
+        const bool is_span = name == "obs::Span";
+        while (j < line.size() && line[j] == ' ') ++j;
+        if (is_span) {
+          while (j < line.size() && is_ident_char(line[j])) ++j;
+          while (j < line.size() && line[j] == ' ') ++j;
+        }
+        if (j >= line.size() || (line[j] != '(' && (!is_span || line[j] != '{'))) continue;
+        if (first_arg_char(text, i, j + 1) == '"') continue;
+        out.push_back({"obs-name-literal", rel, static_cast<int>(i + 1),
+                       "name passed to " + name +
+                           " is not a string literal; obs stores the name pointer (or interns it "
+                           "for the process lifetime), so names must be literals at the call site",
+                       false, false});
+      }
+    }
+  }
+}
+
 // ---- rule: pragma-once ------------------------------------------------------
 
 void rule_pragma_once(const std::string& rel, const FileText& text, std::vector<Finding>& out) {
@@ -330,8 +386,9 @@ void rule_pragma_once(const std::string& rel, const FileText& text, std::vector<
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> rules{
-      "determinism",  "env-allowlist",   "layering", "lifetime",       "parallel-safety",
-      "pragma-once",  "unit-typed-api",  "unordered-iter", "units-escape",
+      "determinism",     "env-allowlist",  "layering",       "lifetime",
+      "obs-name-literal", "parallel-safety", "pragma-once",    "unit-typed-api",
+      "unordered-iter",  "units-escape",
   };
   return rules;
 }
@@ -358,6 +415,7 @@ void lint_text(const std::string& rel, const std::string& contents, const Config
   if (enabled("determinism")) rule_determinism(rel, text, found);
   if (enabled("unordered-iter")) rule_unordered_iteration(rel, text, found);
   if (enabled("env-allowlist")) rule_env_allowlist(rel, text, config, found);
+  if (enabled("obs-name-literal")) rule_obs_name_literal(rel, text, found);
 
   if (enabled("layering") && !config.layering.empty()) {
     const std::vector<Include> includes = extract_includes(text.raw);

@@ -1,7 +1,7 @@
 // ppatc-lint: project-policy static analyzer.
 //
 // Walks a source tree and enforces, as machine-checked policy, the invariants
-// the ppatc codebase otherwise upholds only by convention. Nine rules, in two
+// the ppatc codebase otherwise upholds only by convention. Ten rules, in two
 // generations:
 //
 // Line-oriented (PR 3):
@@ -22,6 +22,13 @@
 //                     configuration sites; model code must not read the
 //                     environment.
 //   pragma-once       every public header carries #pragma once.
+//   obs-name-literal  metric/span/flight-event names at obs call sites
+//                     (obs::counter, obs::gauge, obs::histogram, obs::Span,
+//                     obs::flight_mark, obs::flight_count) must be string
+//                     literals: the flight rings store the name pointer and
+//                     the metrics registry interns names for the process
+//                     lifetime, so runtime-built names dangle or explode
+//                     cardinality. The obs module itself is exempt.
 //
 // Scope-aware (PR 5, built on the lexer.hpp token stream):
 //   layering          the include graph over src/<module>/ must stay inside
@@ -40,7 +47,7 @@
 //   lifetime          functions returning string_view / span / a reference
 //                     must not return a body-local or a temporary.
 //
-// A tenth leg — header self-containment — is enforced at build time by
+// An eleventh leg — header self-containment — is enforced at build time by
 // compiling one generated TU per public header (see tools/lint/CMakeLists).
 //
 // Every rule is individually suppressible at a site with
@@ -104,11 +111,14 @@ struct LayeringConfig {
 /// Tuning knobs; the defaults encode the ppatc policy.
 struct Config {
   /// Files (matched by relative-path suffix) where getenv is permitted. The
-  /// blessed call sites live in these three files: the thread-count override
+  /// blessed call sites live in these five files: the thread-count override
   /// (PPATC_THREADS), the tracing/metrics switches (PPATC_TRACE,
-  /// PPATC_METRICS), and the run-manifest output path (BENCH_MANIFEST_OUT).
+  /// PPATC_METRICS), the run-manifest output path (BENCH_MANIFEST_OUT), the
+  /// flight-recorder switches (PPATC_FLIGHT, PPATC_METRICS_INTERVAL), and the
+  /// diagnostic-bundle configuration (PPATC_DIAG_DIR + the provenance stamps
+  /// BENCH_GIT_SHA / BENCH_TIMESTAMP_UTC).
   std::vector<std::string> env_allowlist{"runtime/parallel.cpp", "obs/trace.cpp",
-                                         "obs/report.cpp"};
+                                         "obs/report.cpp", "obs/flight.cpp", "obs/diag.cpp"};
 
   /// Declared module layering. Empty disables the layering rule. run_lint
   /// auto-loads <root>/tools/lint/layering.toml when this is empty.

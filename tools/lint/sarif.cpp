@@ -62,6 +62,9 @@ const std::map<std::string, std::string>& rule_descriptions() {
       {"lifetime",
        "Functions returning string_view/span/references must not return body-locals or "
        "temporaries."},
+      {"obs-name-literal",
+       "Metric/span/flight-event names at obs call sites must be string literals: obs stores "
+       "the name pointer or interns it for the process lifetime."},
   };
   return kDescriptions;
 }

@@ -16,10 +16,19 @@
 //       any move in the bad direction (slower latency, lower throughput)
 //       beyond the tolerance (default 0.15 = 15%) exits non-zero.
 //       Improvements never fail. This is the perf-smoke gate.
+//
+//   ppatc-report timeline <bundle-or-trace.json>
+//       Renders a diagnostic bundle (PPATC_DIAG_DIR) or a Chrome trace
+//       (PPATC_TRACE) as a human-readable per-thread timeline with the
+//       failure point marked. Exits 2 on unreadable/malformed input.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+
+#include "ppatc/obs/flight.hpp"
 
 #include "ppatc/common/contract.hpp"
 #include "ppatc/obs/report.hpp"
@@ -31,8 +40,26 @@ int usage() {
                "usage: ppatc-report diff  [--json] [--verbose] <a.json> <b.json>\n"
                "       ppatc-report check [--json] <run.json> <golden.json>\n"
                "       ppatc-report perf-compare [--tolerance <frac>] <run.json> "
-               "<baseline.json>\n");
+               "<baseline.json>\n"
+               "       ppatc-report timeline <bundle-or-trace.json>\n");
   return 2;
+}
+
+int run_timeline(const char* path) {
+  std::ifstream in{path};
+  if (!in.good()) {
+    std::fprintf(stderr, "ppatc-report: cannot read %s\n", path);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    std::fputs(ppatc::obs::render_timeline(buf.str()).c_str(), stdout);
+  } catch (const ppatc::ContractViolation& e) {
+    std::fprintf(stderr, "ppatc-report: %s\n", e.what());
+    return 2;
+  }
+  return 0;
 }
 
 struct Args {
@@ -86,6 +113,10 @@ Args parse_args(int argc, char** argv, int first) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "timeline") {
+    if (argc != 3 || argv[2][0] == '-') return usage();
+    return run_timeline(argv[2]);
+  }
   if (cmd != "diff" && cmd != "check" && cmd != "perf-compare") return usage();
   const Args args = parse_args(argc, argv, 2);
   if (!args.ok) return usage();
