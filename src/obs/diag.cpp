@@ -126,6 +126,7 @@ struct RawWriter {
   char buf[4096] = {};
   std::size_t len = 0;
 
+  // ppatc-lint: signal-safe
   void flush() noexcept {
     std::size_t off = 0;
     while (off < len) {
@@ -135,13 +136,16 @@ struct RawWriter {
     }
     len = 0;
   }
+  // ppatc-lint: signal-safe
   void put_raw(const char* s, std::size_t n) noexcept {
     for (std::size_t i = 0; i < n; ++i) {
       if (len == sizeof buf) flush();
       buf[len++] = s[i];
     }
   }
+  // ppatc-lint: signal-safe
   void put(const char* s) noexcept { put_raw(s, std::strlen(s)); }
+  // ppatc-lint: signal-safe
   void put_u64(std::uint64_t v) noexcept {
     char tmp[20];
     std::size_t n = 0;
@@ -153,6 +157,7 @@ struct RawWriter {
   }
   // Fixed-point with 6 fractional digits; enough for timestamps and marks,
   // and implementable without snprintf (not async-signal-safe).
+  // ppatc-lint: signal-safe
   void put_f64(double v) noexcept {
     if (!std::isfinite(v)) {
       put("0");
@@ -180,6 +185,7 @@ struct RawWriter {
   }
   // JSON string: structural characters escaped, control bytes replaced with
   // '_' (the \u00XX escape needs hex formatting this path does not carry).
+  // ppatc-lint: signal-safe
   void put_escaped(const char* s, std::size_t max_len) noexcept {
     put("\"");
     for (std::size_t i = 0; i < max_len && s[i] != '\0'; ++i) {
@@ -197,6 +203,7 @@ struct RawWriter {
   }
 };
 
+// ppatc-lint: signal-safe
 const char* signal_name(int sig) noexcept {
   switch (sig) {
     case SIGSEGV: return "SIGSEGV";
@@ -209,6 +216,7 @@ const char* signal_name(int sig) noexcept {
 // Emits one flight event object into the signal-path bundle. Field subset
 // mirrors the normal path; keys stay sorted (f64 < kind < name < str <
 // ts_ns < u64).
+// ppatc-lint: signal-safe
 void raw_emit_event(RawWriter& w, const detail::FlightSlot& slot) noexcept {
   const std::uint8_t raw_kind = slot.kind.load(std::memory_order_relaxed);
   const auto kind = raw_kind >= 1 && raw_kind <= 6 ? static_cast<FlightEventKind>(raw_kind)
@@ -244,6 +252,7 @@ void raw_emit_event(RawWriter& w, const detail::FlightSlot& slot) noexcept {
 }
 
 // The whole bundle, signal path. Same shape as the normal path.
+// ppatc-lint: signal-safe
 void raw_emit_bundle(RawWriter& w, int sig) noexcept {
   w.put("{\"failure\":{\"kind\":\"signal\",\"signal\":");
   w.put_u64(static_cast<std::uint64_t>(sig));
@@ -415,6 +424,11 @@ void contract_observer(const char* kind, const char* what) noexcept {
   notify_failure(kind, what);
 }
 
+// The terminate path runs on a dying process with exceptions already in
+// flight: it deliberately uses the normal (allocating) bundle writer, since
+// std::terminate is not an async-signal context. The audited signal path is
+// fatal_signal_handler above.
+// ppatc-lint: allow(signal-safety)
 [[noreturn]] void terminate_hook() {
   g_in_fatal.store(true, std::memory_order_release);
   std::string msg = "uncaught exception";
@@ -513,6 +527,10 @@ std::string write_diagnostic_bundle(std::string_view kind, std::string_view what
   return path;
 }
 
+// Failure path: the run is already lost when this executes, so blocking and
+// I/O are the point (persist the bundle), not a realtime violation — even
+// when the failing frame sits under a parallel_for worker.
+// ppatc-lint: allow(realtime)
 void notify_failure(const char* kind, const char* what) noexcept {
   // A failure while reporting a failure (e.g. the bundle directory vanished,
   // whose PPATC_EXPECT would re-enter via the contract observer) must not

@@ -85,11 +85,13 @@ void flight_span_end(const char* name) noexcept {
   if (d > 0) ring->open_depth.store(d - 1, std::memory_order_release);
 }
 
+// ppatc-lint: signal-safe
 std::uint32_t flight_ring_count() noexcept {
   return std::min<std::uint32_t>(g_registry.count.load(std::memory_order_acquire),
                                  kFlightMaxThreads);
 }
 
+// ppatc-lint: signal-safe
 const FlightRing* flight_ring_at(std::uint32_t i) noexcept {
   if (i >= kFlightMaxThreads) return nullptr;
   return g_registry.rings[i].load(std::memory_order_acquire);
@@ -110,6 +112,7 @@ std::uint32_t parse_interval_env(const char* value) noexcept {
 
 }  // namespace detail
 
+// ppatc-lint: signal-safe
 const char* flight_kind_name(FlightEventKind kind) noexcept {
   switch (kind) {
     case FlightEventKind::kSpanBegin: return "span_begin";

@@ -312,6 +312,7 @@ void publish_cached_metrics_json(std::string json) {
 }  // namespace
 
 namespace detail {
+// ppatc-lint: signal-safe
 const char* cached_metrics_json() noexcept {
   const std::string* p = g_cached_metrics_json.load(std::memory_order_acquire);
   return p != nullptr ? p->c_str() : nullptr;

@@ -384,6 +384,9 @@ Simulator::Simulator(const Circuit& circuit, SimOptions options)
 Simulator::~Simulator() = default;
 
 Simulator::SolverState& Simulator::state() const {
+  // One-shot lazy construction, amortized across the whole run (same contract
+  // as a static-local initializer, but per-instance).
+  // ppatc-lint: allow(realtime)
   if (!state_) state_ = std::make_unique<SolverState>(circuit_, options_);
   return *state_;
 }

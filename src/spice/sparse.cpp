@@ -349,6 +349,11 @@ bool SparseLuSolver::factor_solve(std::vector<double>& b) {
   return ok;
 }
 
+// Discovery is the once-per-topology slow path (dense oracle + program
+// compilation + cache interning): it allocates and takes the cache lock by
+// design, and every subsequent solve replays the compiled program without
+// either. Opt the whole subtree out of the realtime cone.
+// ppatc-lint: allow(realtime)
 bool SparseLuSolver::discover(std::vector<double>& b) {
   ++discoveries_;
   sparse_rebuilds_counter().increment();

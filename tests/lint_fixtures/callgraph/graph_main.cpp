@@ -1,0 +1,13 @@
+// Callgraph fixture: a qualified call, a function-pointer call, and a
+// deliberate unresolved external. The pointer call and the external must be
+// recorded as unresolved — conservative fallback, never dropped.
+namespace ppatc::util {
+
+double run_all(double (*fp)(double), double a) {
+  double x = ppatc::util::scale(a);  // qualified: resolves by trailing name
+  double y = fp(a);                  // function-pointer call: unresolved
+  double z = mystery_external(a);    // deliberate unresolved external
+  return x + y + z + combine(1, a);
+}
+
+}  // namespace ppatc::util

@@ -1,0 +1,12 @@
+// Callgraph fixture: two same-named overloads plus a caller that reaches
+// them unqualified. Name-based resolution must link each call site to BOTH
+// overloads (conservative fan-out).
+namespace ppatc::util {
+
+int scale(int v) { return v * 2; }
+
+double scale(double v) { return v * 2.0; }
+
+double combine(int a, double b) { return scale(a) + scale(b); }
+
+}  // namespace ppatc::util

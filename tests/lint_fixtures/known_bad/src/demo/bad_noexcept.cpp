@@ -1,0 +1,27 @@
+// Fixture: noexcept functions whose bodies can reach a throw — directly,
+// transitively through a throwing callee, and via a known-throwing contract
+// macro. Seeds three noexcept-escape findings.
+#include <stdexcept>
+
+namespace ppatc::demo {
+
+int parse_positive(int v) {
+  if (v < 0) throw std::invalid_argument{"negative"};
+  return v;
+}
+
+int direct_throw(int v) noexcept {
+  if (v < 0) throw std::runtime_error{"boom"};  // escape = std::terminate
+  return v;
+}
+
+int transitive_throw(int v) noexcept {
+  return parse_positive(v);  // callee throws, no try/catch between
+}
+
+int contract_checked(int v) noexcept {
+  PPATC_EXPECT(v >= 0, "v must be non-negative");  // contract macros throw
+  return v;
+}
+
+}  // namespace ppatc::demo

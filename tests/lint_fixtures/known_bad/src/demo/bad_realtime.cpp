@@ -1,0 +1,38 @@
+// Fixture: allocation, locking, and I/O reached transitively from a
+// parallel_for lambda body. Seeds four realtime-purity findings (a fifth is
+// the lock_guard inside bad_parallel.cpp's lambda).
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace ppatc::demo {
+
+namespace {
+std::mutex g_m;
+}  // namespace
+
+double alloc_helper(std::size_t n) {
+  void* scratch = std::malloc(n);  // allocates on the hot path
+  std::free(scratch);              // and frees on it
+  return static_cast<double>(n);
+}
+
+double locked_helper(double v) {
+  std::lock_guard<std::mutex> lock{g_m};  // blocks on the hot path
+  return v * 2.0;
+}
+
+double logging_helper(double v) {
+  std::printf("v=%f\n", v);  // I/O on the hot path
+  return v;
+}
+
+void bad_hot_loop(std::vector<double>& out) {
+  parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = alloc_helper(8) + locked_helper(1.0) + logging_helper(2.0);
+  });
+}
+
+}  // namespace ppatc::demo

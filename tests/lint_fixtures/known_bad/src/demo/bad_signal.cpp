@@ -1,0 +1,35 @@
+// Fixture: an async-signal-UNSAFE handler cone — allocation, std::string,
+// snprintf, and a call to an unannotated internal helper, all reachable from
+// a registered sigaction handler. Seeds five signal-safety findings.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ppatc::demo {
+
+namespace {
+
+// Not annotated '// ppatc-lint: signal-safe': calling this from the handler
+// cone is a finding even though the body happens to be harmless.
+void format_status(const char* text) { (void)text; }
+
+void crash_handler(int sig) {
+  std::string msg = "crashed";                 // std::string allocates
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%d", sig);   // snprintf is locale/alloc-unsafe
+  void* scratch = std::malloc(16);             // allocator lock
+  std::free(scratch);                          // allocator lock
+  format_status(buf);                          // unannotated internal helper
+  (void)msg;
+}
+
+}  // namespace
+
+void install_bad_handler() {
+  struct sigaction sa {};
+  sa.sa_handler = &crash_handler;
+  sigaction(SIGSEGV, &sa, nullptr);
+}
+
+}  // namespace ppatc::demo

@@ -1,0 +1,26 @@
+// Fixture: noexcept functions the noexcept-escape rule must accept — a
+// try/catch firewall around a throwing callee, and a pure noexcept chain
+// (a noexcept callee is a barrier: it terminates rather than propagating,
+// and is audited as its own root).
+#include <stdexcept>
+
+namespace ppatc::demo {
+
+int risky_parse(int v) {
+  if (v < 0) throw std::invalid_argument{"negative"};
+  return v;
+}
+
+int guarded(int v) noexcept {
+  try {
+    return risky_parse(v);
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+int pure_add(int a, int b) noexcept { return a + b; }
+
+int pure_chain(int a) noexcept { return pure_add(a, 1); }
+
+}  // namespace ppatc::demo

@@ -1,0 +1,37 @@
+// Fixture: realtime-pure parallel helpers, plus the two blessed escapes —
+// first-call-only lazy init (a static initializer statement prunes the edge,
+// so expensive_setup's new/delete never enter the cone) and a counted
+// allow(realtime) suppression on a deliberate trace.
+#include <cstddef>
+#include <cstdio>
+#include <vector>
+
+namespace ppatc::demo {
+
+double pure_helper(double v) { return v * 0.5; }
+
+double expensive_setup() {
+  double* table = new double[4];  // runs once: reached only via a static init
+  double sum = table[0];
+  delete[] table;
+  return sum;
+}
+
+double cached_scale() {
+  static const double scale = expensive_setup();  // first-call-only: edge pruned
+  return scale;
+}
+
+double traced_helper(double v) {
+  // ppatc-lint: allow(realtime)
+  std::printf("trace %f\n", v);  // counted suppression, not a violation
+  return v;
+}
+
+void good_hot_loop(std::vector<double>& out) {
+  parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = pure_helper(static_cast<double>(i)) * cached_scale() + traced_helper(0.0);
+  });
+}
+
+}  // namespace ppatc::demo

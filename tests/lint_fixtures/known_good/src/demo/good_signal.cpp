@@ -1,0 +1,32 @@
+// Fixture: an async-signal-safe handler cone — the annotated-helper pattern
+// the signal-safety rule must accept with zero findings and zero
+// suppressions. The helper only touches the POSIX allowlist (write/_exit),
+// and its annotation admits it into the cone.
+#include <csignal>
+#include <unistd.h>
+
+namespace ppatc::demo {
+
+namespace {
+
+// ppatc-lint: signal-safe
+void write_token(int fd, const char* text, unsigned len) {
+  ssize_t rc = write(fd, text, len);
+  (void)rc;
+}
+
+void clean_handler(int sig) {
+  (void)sig;
+  write_token(2, "fatal\n", 6);
+  _exit(70);
+}
+
+}  // namespace
+
+void install_clean_handler() {
+  struct sigaction sa {};
+  sa.sa_handler = &clean_handler;
+  sigaction(SIGABRT, &sa, nullptr);
+}
+
+}  // namespace ppatc::demo

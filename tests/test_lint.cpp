@@ -12,13 +12,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "call_graph.hpp"
 #include "json_validator.hpp"
 #include "lint_core.hpp"
+#include "ppatc/obs/metrics.hpp"
 #include "ppatc/runtime/parallel.hpp"
+#include "symbols.hpp"
 
 namespace lint = ppatc::lint;
 
@@ -28,6 +33,13 @@ std::vector<lint::Finding> lint_one(const std::string& rel, const std::string& t
   std::vector<lint::Finding> out;
   lint::lint_text(rel, text, lint::Config{}, out);
   return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 bool has_rule(const std::vector<lint::Finding>& findings, const std::string& rule,
@@ -41,16 +53,19 @@ bool has_rule(const std::vector<lint::Finding>& findings, const std::string& rul
 
 // ---- fixture trees ----------------------------------------------------------
 
-TEST(LintFixtures, KnownGoodIsCleanWithOneCountedSuppression) {
+TEST(LintFixtures, KnownGoodIsCleanWithCountedSuppressions) {
   const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_good");
   EXPECT_TRUE(report.clean()) << lint::format_report(report);
   EXPECT_EQ(report.violation_count(), 0u);
-  // The deliberate allow(unit-typed-api) in good.hpp must be counted, not lost.
-  EXPECT_EQ(report.suppression_count(), 1u);
+  // The deliberate allow(unit-typed-api) in good.hpp and the allow(realtime)
+  // trace in good_realtime.cpp must be counted, not lost.
+  EXPECT_EQ(report.suppression_count(), 2u) << lint::format_report(report);
   const auto by_rule = report.count_by_rule(/*suppressed=*/true);
   ASSERT_TRUE(by_rule.contains("unit-typed-api"));
   EXPECT_EQ(by_rule.at("unit-typed-api"), 1u);
-  EXPECT_EQ(report.files_scanned, 9u);
+  ASSERT_TRUE(by_rule.contains("realtime-purity"));
+  EXPECT_EQ(by_rule.at("realtime-purity"), 1u);
+  EXPECT_EQ(report.files_scanned, 12u);
 }
 
 TEST(LintFixtures, KnownBadFiresEveryRule) {
@@ -60,7 +75,8 @@ TEST(LintFixtures, KnownBadFiresEveryRule) {
   const auto by_rule = report.count_by_rule(/*suppressed=*/false);
   for (const char* rule : {"unit-typed-api", "determinism", "unordered-iter", "env-allowlist",
                            "pragma-once", "layering", "parallel-safety", "units-escape",
-                           "lifetime", "obs-name-literal"}) {
+                           "lifetime", "obs-name-literal", "signal-safety", "noexcept-escape",
+                           "realtime-purity"}) {
     ASSERT_TRUE(by_rule.contains(rule)) << rule << "\n" << lint::format_report(report);
   }
 
@@ -81,6 +97,13 @@ TEST(LintFixtures, KnownBadFiresEveryRule) {
   EXPECT_EQ(by_rule.at("lifetime"), 3u);
   // bad_obs_names.cpp: dynamic counter name, dynamic mark name, dynamic span.
   EXPECT_EQ(by_rule.at("obs-name-literal"), 3u);
+  // bad_signal.cpp: string, snprintf, malloc, free, unannotated helper call.
+  EXPECT_EQ(by_rule.at("signal-safety"), 5u);
+  // bad_noexcept.cpp: direct throw, transitive throw, contract macro.
+  EXPECT_EQ(by_rule.at("noexcept-escape"), 3u);
+  // bad_realtime.cpp: malloc, free, lock_guard, printf reached from the
+  // lambda; plus the lock_guard inside bad_parallel.cpp's lambda.
+  EXPECT_EQ(by_rule.at("realtime-purity"), 5u);
   EXPECT_EQ(report.suppression_count(), 0u);
 }
 
@@ -98,6 +121,18 @@ TEST(LintFixtures, SeededViolationsNameFileAndLine) {
   const auto shared = find("parallel-safety", "demo/bad_parallel.cpp");
   ASSERT_NE(shared, report.findings.end()) << lint::format_report(report);
   EXPECT_EQ(shared->line, 13);
+  // Interprocedural seeds, each named by file:line. The findings tail is
+  // sorted, so the first match per file is the lowest-line seed.
+  const auto signal = find("signal-safety", "demo/bad_signal.cpp");
+  ASSERT_NE(signal, report.findings.end()) << lint::format_report(report);
+  EXPECT_EQ(signal->line, 18);  // std::string in crash_handler
+  EXPECT_GT(signal->col, 0);    // interproc findings carry token columns
+  const auto noexc = find("noexcept-escape", "demo/bad_noexcept.cpp");
+  ASSERT_NE(noexc, report.findings.end()) << lint::format_report(report);
+  EXPECT_EQ(noexc->line, 13);  // direct_throw's definition line
+  const auto realtime = find("realtime-purity", "demo/bad_realtime.cpp");
+  ASSERT_NE(realtime, report.findings.end()) << lint::format_report(report);
+  EXPECT_EQ(realtime->line, 17);  // malloc in alloc_helper
 }
 
 TEST(LintFixtures, FindingsCarryFileAndLine) {
@@ -299,6 +334,22 @@ TEST(LintSarif, ReportRoundTripsThroughTheJsonValidator) {
   }
 }
 
+TEST(LintSarif, OneTokenFindingsCarryColumnRegions) {
+  lint::Report report;
+  lint::Finding f{"signal-safety", "demo/x.cpp", 7, "msg", false, false};
+  f.col = 5;
+  f.end_col = 11;
+  report.findings.push_back(f);
+  // A whole-line finding must stay a startLine-only region.
+  report.findings.push_back({"pragma-once", "demo/y.hpp", 1, "msg", false, false});
+  const std::string sarif = lint::to_sarif(report, "src/");
+  EXPECT_TRUE(ppatc::testutil::JsonValidator::valid(sarif)) << sarif;
+  EXPECT_NE(sarif.find("\"startLine\": 7, \"startColumn\": 5, \"endColumn\": 11"),
+            std::string::npos)
+      << sarif;
+  EXPECT_NE(sarif.find("\"startLine\": 1 }"), std::string::npos) << sarif;
+}
+
 TEST(LintSarif, EscapesMessagesSafely) {
   lint::Report report;
   report.findings.push_back(
@@ -395,12 +446,168 @@ TEST(LintLifetime, FlagsEscapingViewsButNotStableReferents) {
   EXPECT_FALSE(has_rule(stat, "lifetime"));
 }
 
+// ---- the call graph ---------------------------------------------------------
+
+namespace {
+
+std::vector<lint::FileIndex> callgraph_fixture_indexes() {
+  const std::string dir = std::string(PPATC_LINT_FIXTURE_DIR) + "/callgraph/";
+  std::vector<lint::FileIndex> files;
+  files.push_back(lint::index_file("graph_util.cpp", slurp(dir + "graph_util.cpp")));
+  files.push_back(lint::index_file("graph_main.cpp", slurp(dir + "graph_main.cpp")));
+  return files;
+}
+
+}  // namespace
+
+TEST(LintCallGraph, LinksOverloadsConservativelyAndRecordsUnresolved) {
+  const std::vector<lint::FileIndex> files = callgraph_fixture_indexes();
+  const lint::CallGraph graph = lint::build_call_graph(files);
+
+  // scale(int), scale(double), combine, run_all.
+  ASSERT_EQ(graph.nodes.size(), 4u);
+  ASSERT_TRUE(graph.by_name.contains("scale"));
+  EXPECT_EQ(graph.by_name.at("scale").size(), 2u);  // both overloads indexed
+
+  // combine has two scale call sites, each fanned out to BOTH overloads (4);
+  // run_all has one qualified scale site (2 more) and one combine site (1).
+  EXPECT_EQ(graph.edges.size(), 7u);
+
+  // The function-pointer call `fp(a)` and the deliberate external are
+  // recorded as unresolved — the conservative fallback never drops a call.
+  EXPECT_EQ(graph.distinct_unresolved, 2u);
+  std::vector<std::string> names;
+  for (const lint::CallGraph::Unresolved& u : graph.unresolved) names.push_back(u.site->name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "fp"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "mystery_external"), names.end());
+
+  // Qualified names survive indexing: the caller's qualifier is recorded.
+  const lint::FileIndex& main_file = files[1];
+  ASSERT_EQ(main_file.functions.size(), 1u);
+  const auto scale_site =
+      std::find_if(main_file.functions[0].calls.begin(), main_file.functions[0].calls.end(),
+                   [](const lint::CallSite& c) { return c.name == "scale"; });
+  ASSERT_NE(scale_site, main_file.functions[0].calls.end());
+  EXPECT_EQ(scale_site->qualifier, "ppatc::util");
+}
+
+TEST(LintCallGraph, JsonDumpIsValidAndCarriesTheSummary) {
+  const std::vector<lint::FileIndex> files = callgraph_fixture_indexes();
+  const lint::CallGraph graph = lint::build_call_graph(files);
+  const std::string json = lint::call_graph_to_json(graph);
+  EXPECT_TRUE(ppatc::testutil::JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"functions\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"edges\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"unresolved_names\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"mystery_external\""), std::string::npos) << json;
+}
+
+TEST(LintCallGraph, IndexerSeesRootsAnnotationsAndBarriers) {
+  const lint::FileIndex idx = lint::index_file(
+      "demo/x.cpp",
+      "// ppatc-lint: signal-safe\n"
+      "void safe_helper(int fd) { (void)fd; }\n"
+      "void handler(int sig) { safe_helper(sig); }\n"
+      "void guarded() noexcept { try { throw 1; } catch (...) {} }\n"
+      "void install() {\n"
+      "  struct sigaction sa {};\n"
+      "  sa.sa_handler = &handler;\n"
+      "  std::set_terminate(&handler);\n"
+      "}\n");
+  ASSERT_EQ(idx.functions.size(), 4u);
+  EXPECT_TRUE(idx.functions[0].annotated_signal_safe);
+  EXPECT_FALSE(idx.functions[1].annotated_signal_safe);
+  EXPECT_TRUE(idx.functions[2].is_noexcept);
+  EXPECT_TRUE(idx.functions[2].has_try);
+  ASSERT_EQ(idx.signal_roots.size(), 1u);
+  EXPECT_EQ(idx.signal_roots[0], "handler");
+  ASSERT_EQ(idx.terminate_roots.size(), 1u);
+  EXPECT_EQ(idx.terminate_roots[0], "handler");
+}
+
+TEST(LintCallGraph, UnqualifiedCallsResolveThroughEnclosingScopesOnly) {
+  // `write` inside obs::Writer must NOT link to the unrelated report::Manifest
+  // member (unqualified lookup cannot see it) — it degrades to an unresolved
+  // external instead. The member call `m.write(...)` keeps the full fan-out.
+  std::vector<lint::FileIndex> files;
+  files.push_back(lint::index_file("a.cpp",
+                                   "namespace ppatc::report {\n"
+                                   "struct Manifest { void write(int v) { (void)v; } };\n"
+                                   "}\n"));
+  files.push_back(lint::index_file("b.cpp",
+                                   "namespace ppatc::obs {\n"
+                                   "struct Writer {\n"
+                                   "  void flush() { write(1); }\n"
+                                   "  void write(int v) { (void)v; }\n"
+                                   "};\n"
+                                   "void spill(Manifest& m) { m.write(2); }\n"
+                                   "}\n"));
+  const lint::CallGraph graph = lint::build_call_graph(files);
+  ASSERT_EQ(graph.nodes.size(), 4u);
+
+  const std::size_t flush = graph.node_of(&files[1].functions[0]);
+  ASSERT_EQ(graph.out_edges[flush].size(), 1u);  // Writer::write only
+  EXPECT_EQ(graph.nodes[graph.edges[graph.out_edges[flush][0]].callee].def->qname,
+            "ppatc::obs::Writer::write");
+
+  const std::size_t spill = graph.node_of(&files[1].functions[2]);
+  EXPECT_EQ(graph.out_edges[spill].size(), 2u);  // member call: both writes
+
+  // A cross-namespace unqualified call the filter rejects degrades to an
+  // unresolved external — recorded, never dropped.
+  lint::FileIndex lone =
+      lint::index_file("c.cpp", "namespace ppatc::spice { void step() { write(3); } }\n");
+  files.push_back(std::move(lone));
+  const lint::CallGraph regraph = lint::build_call_graph(files);
+  bool recorded = false;
+  for (const lint::CallGraph::Unresolved& u : regraph.unresolved) {
+    recorded = recorded || u.site->name == "write";
+  }
+  EXPECT_TRUE(recorded);
+}
+
 // ---- the real tree ----------------------------------------------------------
 
 TEST(LintRepo, RealTreeLintsClean) {
   const lint::Report report = lint::run_lint(PPATC_REPO_ROOT);
   EXPECT_TRUE(report.clean()) << lint::format_report(report);
   EXPECT_GT(report.files_scanned, 50u);  // sanity: the scan actually found src/
+}
+
+TEST(LintRepo, DiagSignalConeIsProvablyClean) {
+  // The PR-7 crash path: `ppatc-lint --rules signal-safety` must report zero
+  // findings and zero suppressions anywhere in the fatal-signal handler cone.
+  // The only suppressed finding allowed in the whole tree is terminate_hook's
+  // documented opt-out (terminate hooks run on a normal stack).
+  lint::Config config;
+  config.rules = {"signal-safety"};
+  const lint::Report report = lint::run_lint(PPATC_REPO_ROOT, config);
+  EXPECT_EQ(report.violation_count(), 0u) << lint::format_report(report);
+  for (const lint::Finding& f : report.findings) {
+    if (!f.suppressed) continue;
+    EXPECT_EQ(f.file, "obs/diag.cpp") << f.message;
+    EXPECT_NE(f.message.find("terminate"), std::string::npos) << f.message;
+  }
+}
+
+TEST(LintRepo, PublishesCallGraphAndSelfMetrics) {
+  lint::InterprocStats stats;
+  std::string callgraph_json;
+  const lint::Report report =
+      lint::run_lint(PPATC_REPO_ROOT, lint::Config{}, &callgraph_json, &stats);
+  EXPECT_TRUE(report.clean()) << lint::format_report(report);
+  // The real tree is a real program: hundreds of functions, a dense graph,
+  // and plenty of std:: externals recorded rather than dropped.
+  EXPECT_GT(stats.functions_indexed, 200u);
+  EXPECT_GT(stats.call_edges, 500u);
+  EXPECT_GT(stats.unresolved_externals, 50u);
+  EXPECT_TRUE(ppatc::testutil::JsonValidator::valid(callgraph_json));
+  // The self-metrics sidecar path: the gauges land in the obs registry.
+  const std::string metrics = ppatc::obs::metrics_to_json();
+  for (const char* name : {"lint.files_scanned", "lint.functions_indexed", "lint.call_edges",
+                           "lint.unresolved_externals", "lint.findings.signal-safety"}) {
+    EXPECT_NE(metrics.find(name), std::string::npos) << name;
+  }
 }
 
 TEST(LintRepo, ReportIsByteStableAcrossThreadCounts) {

@@ -1,0 +1,127 @@
+#include "call_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ppatc::lint {
+
+std::size_t CallGraph::node_of(const FunctionDef* def) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].def == def) return i;
+  }
+  return nodes.size();
+}
+
+namespace {
+
+// Models C++ unqualified name lookup on scope strings: a definition in scope
+// `target` is visible from a caller in scope `caller` iff `target` is a
+// "::"-boundary prefix of `caller` (global scope "" is visible everywhere).
+// Deliberate approximations: ADL and using-directives are NOT modeled — an
+// unqualified cross-namespace call resolves to nothing and is recorded as an
+// unresolved external instead of fanning out to every same-named definition.
+bool scope_visible(const std::string& target, const std::string& caller) {
+  if (target.empty() || target == caller) return true;
+  return caller.size() > target.size() + 2 &&
+         caller.compare(0, target.size(), target) == 0 &&
+         caller.compare(target.size(), 2, "::") == 0;
+}
+
+}  // namespace
+
+CallGraph build_call_graph(const std::vector<FileIndex>& files) {
+  CallGraph g;
+  for (const FileIndex& file : files) {
+    for (const FunctionDef& fn : file.functions) {
+      g.by_name[fn.name].push_back(g.nodes.size());
+      g.nodes.push_back({&fn, &file});
+    }
+  }
+  g.out_edges.resize(g.nodes.size());
+  std::map<std::string, std::size_t> unresolved_names;
+  for (std::size_t n = 0; n < g.nodes.size(); ++n) {
+    const std::string& caller_scope = g.nodes[n].def->scope;
+    for (const CallSite& call : g.nodes[n].def->calls) {
+      const auto it = g.by_name.find(call.name);
+      std::size_t linked = 0;
+      if (it != g.by_name.end()) {
+        // Member calls (`x.f()`) and qualified calls (`a::b::f()`) keep the
+        // full conservative fan-out: receiver types and namespace aliases are
+        // invisible to the token stream. Unqualified free calls get scope
+        // filtering — that is what real unqualified lookup does, and it kills
+        // name-collision edges like `write(fd, ...)` -> RunManifest::write.
+        for (const std::size_t target : it->second) {
+          if (!call.member && call.qualifier.empty() &&
+              !scope_visible(g.nodes[target].def->scope, caller_scope)) {
+            continue;
+          }
+          g.out_edges[n].push_back(g.edges.size());
+          g.edges.push_back({n, target, &call});
+          ++linked;
+        }
+      }
+      if (linked == 0) {
+        ++unresolved_names[call.name];
+        g.unresolved.push_back({n, &call});
+      }
+    }
+  }
+  g.distinct_unresolved = unresolved_names.size();
+  return g;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string call_graph_to_json(const CallGraph& graph) {
+  std::ostringstream os;
+  os << "{\n  \"functions\": [\n";
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const CallGraph::Node& n = graph.nodes[i];
+    os << "    {\"qname\": \"" << json_escape(n.def->qname) << "\", \"file\": \""
+       << json_escape(n.file->rel) << "\", \"line\": " << n.def->line
+       << ", \"noexcept\": " << (n.def->is_noexcept ? "true" : "false")
+       << ", \"signal_safe\": " << (n.def->annotated_signal_safe ? "true" : "false")
+       << ", \"parallel_lambda\": " << (n.def->is_parallel_lambda ? "true" : "false")
+       << ", \"calls\": " << n.def->calls.size() << "}"
+       << (i + 1 < graph.nodes.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"edges\": [\n";
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    os << "    [" << graph.edges[i].caller << ", " << graph.edges[i].callee << "]"
+       << (i + 1 < graph.edges.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"unresolved\": [\n";
+  // Aggregate by callee name: the per-site list is bulky and the rules only
+  // care about names. std::map keys keep the dump deterministic.
+  std::map<std::string, std::size_t> by_callee;
+  for (const CallGraph::Unresolved& u : graph.unresolved) ++by_callee[u.site->name];
+  std::size_t i = 0;
+  for (const auto& [name, sites] : by_callee) {
+    os << "    {\"name\": \"" << json_escape(name) << "\", \"sites\": " << sites << "}"
+       << (++i < by_callee.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"summary\": {\"functions\": " << graph.nodes.size()
+     << ", \"edges\": " << graph.edges.size()
+     << ", \"unresolved_names\": " << graph.distinct_unresolved << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace ppatc::lint

@@ -1,0 +1,66 @@
+// Whole-repo call graph over the per-file symbol indexes (symbols.hpp).
+//
+// Resolution is name-based and conservative, with one precision refinement.
+// Member calls (`x.f()`) and qualified calls (`a::b::f()`) link to EVERY
+// definition sharing the unqualified name (overloads, virtual overrides and
+// same-named members all become edges — receiver types and namespace aliases
+// are invisible to the token stream, and the transitive rules must never
+// miss a path). Unqualified free calls are filtered by scope visibility:
+// they only link to definitions whose enclosing scope is a "::"-prefix of
+// the caller's scope, which is what C++ unqualified lookup actually does.
+// ADL and using-directives are not modeled; a call those would have found
+// degrades to an unresolved external, not a silent drop. Calls that resolve
+// to nothing — std:: functions, macros, function pointers, externals,
+// scope-filtered collisions — are recorded as unresolved, never dropped;
+// each rule decides what an unresolved callee means (signal-safety checks
+// it against the async-signal-safe allowlist, noexcept-escape against a
+// known-throwing list, realtime-purity ignores it).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "symbols.hpp"
+
+namespace ppatc::lint {
+
+/// The graph. Node, edge, and unresolved records hold pointers into the
+/// FileIndex vector handed to build_call_graph, which must outlive the graph.
+struct CallGraph {
+  struct Node {
+    const FunctionDef* def = nullptr;
+    const FileIndex* file = nullptr;
+  };
+  struct Edge {
+    std::size_t caller = 0;  ///< node index
+    std::size_t callee = 0;  ///< node index
+    const CallSite* site = nullptr;
+  };
+  struct Unresolved {
+    std::size_t caller = 0;
+    const CallSite* site = nullptr;
+  };
+
+  std::vector<Node> nodes;  ///< file order, then definition order: deterministic
+  std::map<std::string, std::vector<std::size_t>> by_name;  ///< unqualified name -> nodes
+  std::vector<Edge> edges;
+  std::vector<std::vector<std::size_t>> out_edges;  ///< node -> indices into edges
+  std::vector<Unresolved> unresolved;
+  std::size_t distinct_unresolved = 0;  ///< distinct unresolved callee names
+
+  [[nodiscard]] std::size_t node_of(const FunctionDef* def) const;
+};
+
+/// Links call sites against same-named definitions (scope-filtered for
+/// unqualified calls, full fan-out otherwise — see the file comment).
+/// `files` must stay alive (and unmoved) for the graph's lifetime.
+[[nodiscard]] CallGraph build_call_graph(const std::vector<FileIndex>& files);
+
+/// JSON dump for --dump-callgraph: functions (qname/file/line/flags), edges
+/// as [caller, callee] index pairs, unresolved externals aggregated by name
+/// with site counts, and a summary block. Deterministic byte-for-byte.
+[[nodiscard]] std::string call_graph_to_json(const CallGraph& graph);
+
+}  // namespace ppatc::lint

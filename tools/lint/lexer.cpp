@@ -93,7 +93,8 @@ std::vector<Token> tokenize(const FileText& text) {
       if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
         std::size_t j = i + 1;
         while (j < line.size() && is_ident_char(line[j])) ++j;
-        tokens.push_back({TokKind::kIdent, line.substr(i, j - i), lineno});
+        tokens.push_back(
+            {TokKind::kIdent, line.substr(i, j - i), lineno, static_cast<int>(i + 1)});
         i = j;
         continue;
       }
@@ -108,7 +109,8 @@ std::vector<Token> tokenize(const FileText& text) {
                   line[j - 1] == 'P')))) {
           ++j;
         }
-        tokens.push_back({TokKind::kNumber, line.substr(i, j - i), lineno});
+        tokens.push_back(
+            {TokKind::kNumber, line.substr(i, j - i), lineno, static_cast<int>(i + 1)});
         i = j;
         continue;
       }
@@ -116,14 +118,14 @@ std::vector<Token> tokenize(const FileText& text) {
       for (const char* p : kPuncts3) {
         const std::size_t n = std::char_traits<char>::length(p);
         if (line.compare(i, n, p) == 0) {
-          tokens.push_back({TokKind::kPunct, p, lineno});
+          tokens.push_back({TokKind::kPunct, p, lineno, static_cast<int>(i + 1)});
           i += n;
           matched = true;
           break;
         }
       }
       if (!matched) {
-        tokens.push_back({TokKind::kPunct, std::string(1, c), lineno});
+        tokens.push_back({TokKind::kPunct, std::string(1, c), lineno, static_cast<int>(i + 1)});
         ++i;
       }
     }
@@ -140,6 +142,36 @@ std::vector<Include> extract_includes(const std::vector<std::string>& raw) {
     out.push_back({m[2].str(), m[1].str() == "<", static_cast<int>(i + 1)});
   }
   return out;
+}
+
+std::vector<std::vector<std::string>> allowed_rules_per_line(
+    const std::vector<std::string>& raw) {
+  static const std::regex re{R"(ppatc-lint:\s*allow\(([A-Za-z0-9_, -]+)\))"};
+  std::vector<std::vector<std::string>> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw[i], m, re)) continue;
+    std::string rules = m[1].str();
+    std::replace(rules.begin(), rules.end(), ',', ' ');
+    std::istringstream is{rules};
+    std::string r;
+    while (is >> r) out[i].push_back(r);
+  }
+  return out;
+}
+
+bool is_rule_allowed(const std::vector<std::vector<std::string>>& allowed,
+                     std::size_t line_index, const std::string& rule) {
+  const auto has = [&](std::size_t i) {
+    for (const std::string& r : allowed[i]) {
+      if (r == rule) return true;
+      // "realtime" is the documented shorthand for the realtime-purity rule.
+      if (rule == "realtime-purity" && r == "realtime") return true;
+    }
+    return false;
+  };
+  if (line_index < allowed.size() && has(line_index)) return true;
+  return line_index > 0 && line_index - 1 < allowed.size() && has(line_index - 1);
 }
 
 std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open_index) {

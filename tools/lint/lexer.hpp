@@ -42,6 +42,7 @@ struct Token {
   TokKind kind;
   std::string text;
   int line = 0;  ///< 1-based
+  int col = 0;   ///< 1-based start column in the stripped line
 };
 
 /// Tokenizes the stripped code lines. Preprocessor directive lines (first
@@ -62,5 +63,18 @@ std::vector<Include> extract_includes(const std::vector<std::string>& raw);
 /// Index of the matching close token for `open_index` (tokens[open_index]
 /// must be one of ( [ { ). Returns tokens.size() when unbalanced.
 std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open_index);
+
+/// Rules allowed on each raw line via "// ppatc-lint: allow(rule-a, rule-b)".
+/// Shared by the per-file driver and the interprocedural rules, which look
+/// suppressions up through the symbol index rather than re-reading the file.
+std::vector<std::vector<std::string>> allowed_rules_per_line(
+    const std::vector<std::string>& raw);
+
+/// A site is covered by an allow() on its own line or on the line directly
+/// above (so declarations that would not fit a trailing comment stay
+/// lintable). `line_index` is 0-based. "realtime" is accepted as an alias
+/// for "realtime-purity" (the annotation syntax the realtime rule documents).
+bool is_rule_allowed(const std::vector<std::vector<std::string>>& allowed,
+                     std::size_t line_index, const std::string& rule);
 
 }  // namespace ppatc::lint

@@ -7,43 +7,21 @@
 #include <fstream>
 #include <regex>
 #include <sstream>
+#include <tuple>
 
+#include "call_graph.hpp"
 #include "lexer.hpp"
+#include "ppatc/obs/metrics.hpp"
 #include "ppatc/runtime/parallel.hpp"
 #include "rules_internal.hpp"
+#include "symbols.hpp"
 
 namespace ppatc::lint {
 
 namespace {
 
-// ---- suppression comments ---------------------------------------------------
-
-// Rules allowed on each line via "// ppatc-lint: allow(rule-a, rule-b)".
-std::vector<std::vector<std::string>> allowed_rules_per_line(const std::vector<std::string>& raw) {
-  static const std::regex re{R"(ppatc-lint:\s*allow\(([A-Za-z0-9_, -]+)\))"};
-  std::vector<std::vector<std::string>> out(raw.size());
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(raw[i], m, re)) continue;
-    std::string rules = m[1].str();
-    std::replace(rules.begin(), rules.end(), ',', ' ');
-    std::istringstream is{rules};
-    std::string r;
-    while (is >> r) out[i].push_back(r);
-  }
-  return out;
-}
-
-// A site is covered by an allow() on its own line or on the line directly
-// above (so declarations that would not fit a trailing comment stay lintable).
-bool is_allowed(const std::vector<std::vector<std::string>>& allowed, std::size_t line_index,
-                const std::string& rule) {
-  const auto has = [&](std::size_t i) {
-    return std::find(allowed[i].begin(), allowed[i].end(), rule) != allowed[i].end();
-  };
-  if (line_index < allowed.size() && has(line_index)) return true;
-  return line_index > 0 && has(line_index - 1);
-}
+// Suppression comments (allowed_rules_per_line / is_rule_allowed) are shared
+// with the interprocedural rules and live in lexer.cpp.
 
 // ---- rule: unit-typed-api ---------------------------------------------------
 
@@ -386,9 +364,10 @@ void rule_pragma_once(const std::string& rel, const FileText& text, std::vector<
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> rules{
-      "determinism",     "env-allowlist",  "layering",       "lifetime",
-      "obs-name-literal", "parallel-safety", "pragma-once",    "unit-typed-api",
-      "unordered-iter",  "units-escape",
+      "determinism",     "env-allowlist",   "layering",        "lifetime",
+      "noexcept-escape", "obs-name-literal", "parallel-safety", "pragma-once",
+      "realtime-purity", "signal-safety",   "unit-typed-api",  "unordered-iter",
+      "units-escape",
   };
   return rules;
 }
@@ -429,12 +408,32 @@ void lint_text(const std::string& rel, const std::string& contents, const Config
   if (enabled("lifetime")) detail::rule_lifetime(rel, text, found);
 
   for (Finding& f : found) {
-    f.suppressed = f.line > 0 && is_allowed(allowed, static_cast<std::size_t>(f.line - 1), f.rule);
+    f.suppressed =
+        f.line > 0 && is_rule_allowed(allowed, static_cast<std::size_t>(f.line - 1), f.rule);
     out.push_back(std::move(f));
   }
 }
 
+namespace {
+
+// Does the configured rule filter include any rule that needs the symbol
+// indexes + call graph? Skipping the second phase keeps `--rules layering`
+// runs as cheap as before PR 8.
+bool interproc_enabled(const Config& config) {
+  if (config.rules.empty()) return true;
+  return std::any_of(config.rules.begin(), config.rules.end(), [](const std::string& r) {
+    return r == "signal-safety" || r == "noexcept-escape" || r == "realtime-purity";
+  });
+}
+
+}  // namespace
+
 Report run_lint(const std::filesystem::path& root, const Config& config) {
+  return run_lint(root, config, nullptr, nullptr);
+}
+
+Report run_lint(const std::filesystem::path& root, const Config& config,
+                std::string* callgraph_json, InterprocStats* stats) {
   namespace fs = std::filesystem;
   fs::path scan_root = root;
   if (fs::is_directory(root / "src")) scan_root = root / "src";
@@ -466,9 +465,12 @@ Report run_lint(const std::filesystem::path& root, const Config& config) {
   std::sort(files.begin(), files.end());
 
   // File-parallel on the project's own deterministic runtime (dogfooding):
-  // each file lints into its own pre-sized slot, and slots are merged in
-  // sorted file order, so the report is byte-stable at any thread count.
+  // each file lints — and, when an interprocedural rule is enabled, indexes —
+  // into its own pre-sized slot, and slots are merged in sorted file order,
+  // so the report is byte-stable at any thread count.
+  const bool want_interproc = callgraph_json != nullptr || interproc_enabled(effective);
   std::vector<std::vector<Finding>> per_file(files.size());
+  std::vector<FileIndex> indexes(want_interproc ? files.size() : 0);
   runtime::parallel_for(
       files.size(),
       [&](std::size_t i) {
@@ -476,7 +478,9 @@ Report run_lint(const std::filesystem::path& root, const Config& config) {
         std::ostringstream buf;
         buf << in.rdbuf();
         const std::string rel = fs::relative(files[i], scan_root).generic_string();
-        lint_text(rel, buf.str(), effective, per_file[i]);
+        const std::string contents = buf.str();
+        lint_text(rel, contents, effective, per_file[i]);
+        if (want_interproc) indexes[i] = index_file(rel, contents);
       },
       /*grain=*/4);
 
@@ -485,6 +489,45 @@ Report run_lint(const std::filesystem::path& root, const Config& config) {
   for (std::vector<Finding>& findings : per_file) {
     for (Finding& f : findings) report.findings.push_back(std::move(f));
   }
+
+  InterprocStats st;
+  if (want_interproc) {
+    const CallGraph graph = build_call_graph(indexes);
+    st.functions_indexed = graph.nodes.size();
+    st.call_edges = graph.edges.size();
+    st.unresolved_externals = graph.distinct_unresolved;
+
+    std::vector<Finding> interproc;
+    detail::run_interproc_rules(indexes, graph, effective, interproc);
+    // BFS emission order depends on cone shape, not file order; sort so the
+    // interprocedural tail of the report is deterministic too.
+    std::sort(interproc.begin(), interproc.end(), [](const Finding& a, const Finding& b) {
+      return std::tie(a.file, a.line, a.col, a.rule, a.message) <
+             std::tie(b.file, b.line, b.col, b.rule, b.message);
+    });
+    for (Finding& f : interproc) report.findings.push_back(std::move(f));
+
+    if (callgraph_json != nullptr) *callgraph_json = call_graph_to_json(graph);
+  }
+
+  // Analyzer self-metrics through the obs registry, so a PPATC_METRICS run
+  // leaves a sidecar describing the analysis itself. Gauges (idempotent set)
+  // rather than counters: tests call run_lint repeatedly in one process. The
+  // linter never scans tools/, so the dynamically built per-rule names cannot
+  // trip obs-name-literal; cardinality is bounded by all_rules().
+  obs::gauge("lint.files_scanned").set(static_cast<double>(files.size()));
+  obs::gauge("lint.functions_indexed").set(static_cast<double>(st.functions_indexed));
+  obs::gauge("lint.call_edges").set(static_cast<double>(st.call_edges));
+  obs::gauge("lint.unresolved_externals").set(static_cast<double>(st.unresolved_externals));
+  for (const std::string& rule : all_rules()) {
+    std::size_t n = 0;
+    for (const Finding& f : report.findings) {
+      if (!f.suppressed && !f.baselined && f.rule == rule) ++n;
+    }
+    obs::gauge("lint.findings." + rule).set(static_cast<double>(n));
+  }
+
+  if (stats != nullptr) *stats = st;
   return report;
 }
 

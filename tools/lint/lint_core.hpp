@@ -1,8 +1,8 @@
 // ppatc-lint: project-policy static analyzer.
 //
 // Walks a source tree and enforces, as machine-checked policy, the invariants
-// the ppatc codebase otherwise upholds only by convention. Ten rules, in two
-// generations:
+// the ppatc codebase otherwise upholds only by convention. Thirteen rules, in
+// three generations:
 //
 // Line-oriented (PR 3):
 //   unit-typed-api    public headers must not declare raw double parameters /
@@ -47,7 +47,27 @@
 //   lifetime          functions returning string_view / span / a reference
 //                     must not return a body-local or a temporary.
 //
-// An eleventh leg — header self-containment — is enforced at build time by
+// Interprocedural (PR 8, built on the whole-repo call graph assembled from
+// the per-file symbol indexes — see symbols.hpp / call_graph.hpp):
+//   signal-safety     every function transitively reachable from a registered
+//                     sigaction/signal handler or std::set_terminate hook may
+//                     only touch the POSIX async-signal-safe allowlist plus
+//                     internal helpers annotated `// ppatc-lint: signal-safe`.
+//                     Allocation, std::string, iostreams, locks, snprintf and
+//                     function-local statics in the cone are all flagged.
+//   noexcept-escape   a `noexcept` function that transitively reaches a
+//                     `throw` (or a known-throwing callee such as
+//                     PPATC_EXPECT / std::sto*) with no intervening try/catch
+//                     and no noexcept barrier on the path.
+//   realtime-purity   functions reachable from parallel_for / parallel_reduce
+//                     lambda bodies, the ISS threaded-dispatch loop, and the
+//                     flight-recorder event paths must not allocate, lock, or
+//                     perform I/O. `// ppatc-lint: allow(realtime)` suppresses
+//                     a site; `static`/`thread_local` initializer statements
+//                     are recognized as first-call-only lazy init and their
+//                     edges pruned.
+//
+// A further leg — header self-containment — is enforced at build time by
 // compiling one generated TU per public header (see tools/lint/CMakeLists).
 //
 // Every rule is individually suppressible at a site with
@@ -76,6 +96,10 @@ struct Finding {
   std::string message;
   bool suppressed = false;  ///< an allow() comment covers this site
   bool baselined = false;   ///< a baseline entry covers this site
+  // Column members sit after the flags so the pre-existing 6-element
+  // aggregate initializers keep compiling unchanged.
+  int col = 0;      ///< 1-based start column; 0 = whole-line finding
+  int end_col = 0;  ///< 1-based exclusive end column (one-token SARIF regions)
 };
 
 /// Result of linting a tree.
@@ -126,6 +150,28 @@ struct Config {
 
   /// When non-empty, only these rules run (the CLI's --rules filter).
   std::vector<std::string> rules;
+
+  /// Named entry points treated as realtime-purity roots in addition to the
+  /// lambdas handed to the parallel runtime: the ISS threaded-dispatch loop
+  /// and the flight-recorder event paths.
+  std::vector<std::string> realtime_roots{"run_threaded",     "flight_record",
+                                          "flight_span_begin", "flight_span_end",
+                                          "flight_mark",       "flight_count"};
+
+  /// Files (matched by relative-path suffix) the realtime rule neither checks
+  /// nor traverses into: the deterministic pool's own scheduling machinery is
+  /// the thing providing the parallelism, and it legitimately locks.
+  std::vector<std::string> realtime_exempt{"runtime/parallel.cpp",
+                                           "ppatc/runtime/parallel.hpp"};
+};
+
+/// Analyzer self-metrics from one run_lint pass: published through the
+/// ppatc::obs metrics registry (lint.* names) so a PPATC_METRICS sidecar
+/// captures them, and returned to the CLI for the human-readable footer.
+struct InterprocStats {
+  std::size_t functions_indexed = 0;
+  std::size_t call_edges = 0;
+  std::size_t unresolved_externals = 0;  ///< distinct unresolved callee names
 };
 
 /// Names of all rules the analyzer implements, sorted.
@@ -137,6 +183,16 @@ struct Config {
 /// report are relative to the scanned directory. Files are linted in
 /// parallel on ppatc::runtime::parallel_for; findings are merged in sorted
 /// file order, so reports are byte-stable at any thread count.
+///
+/// When any interprocedural rule is enabled (or `callgraph_json` is wanted),
+/// the same parallel pass also builds per-file symbol indexes; the call graph
+/// is then linked serially and the transitive rules run over it, appending
+/// their findings in sorted order after the per-file ones — still byte-stable
+/// at any thread count. `callgraph_json`, when non-null, receives the
+/// --dump-callgraph JSON; `stats`, when non-null, receives the self-metrics
+/// (which are also published to the ppatc::obs registry either way).
+[[nodiscard]] Report run_lint(const std::filesystem::path& root, const Config& config,
+                              std::string* callgraph_json, InterprocStats* stats);
 [[nodiscard]] Report run_lint(const std::filesystem::path& root, const Config& config = {});
 
 /// Lints a single file's contents (exposed for the fixture tests).

@@ -5,10 +5,11 @@
 // Usage: ppatc_lint [--root <dir>] [--quiet] [--rules r1,r2]
 //                   [--baseline <file>] [--write-baseline <file>]
 //                   [--sarif <file>] [--threads <n>]
+//                   [--dump-callgraph <file>] [--budget-ms <n>]
 //   --root            repository root (or any tree); if <dir>/src exists,
 //                     exactly that subtree is scanned. Default: cwd.
 //   --quiet           print only the summary line, not per-finding details.
-//   --rules           comma-separated rule filter; default runs all nine.
+//   --rules           comma-separated rule filter; default runs all rules.
 //   --baseline        committed baseline of parked findings; stale entries
 //                     (matching nothing) are themselves a failure.
 //   --write-baseline  write the current violations as a baseline and exit 0
@@ -16,10 +17,17 @@
 //                     tree; each entry still needs a hand-written rationale).
 //   --sarif           also write the report as SARIF 2.1.0 for code-scanning.
 //   --threads         worker threads for the file-parallel scan (the
-//                     analyzer dogfoods ppatc::runtime::parallel_for);
-//                     default: PPATC_THREADS / hardware concurrency.
+//                     analyzer dogfoods ppatc::runtime::parallel_for).
+//                     When unset, the PPATC_THREADS environment variable is
+//                     consulted; failing that, hardware concurrency.
+//   --dump-callgraph  write the whole-repo call graph (functions, edges,
+//                     unresolved externals, summary) as JSON.
+//   --budget-ms       hard wall-time budget: exit nonzero if the analysis
+//                     takes longer, even on a clean tree (CI enforces the
+//                     <2 s @ 4 threads contract with this).
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -46,7 +54,8 @@ std::vector<std::string> split_csv(const std::string& csv) {
 int usage() {
   std::cerr << "usage: ppatc_lint [--root <dir>] [--quiet] [--rules r1,r2]\n"
                "                  [--baseline <file>] [--write-baseline <file>]\n"
-               "                  [--sarif <file>] [--threads <n>]\n";
+               "                  [--sarif <file>] [--threads <n>]\n"
+               "                  [--dump-callgraph <file>] [--budget-ms <n>]\n";
   return 2;
 }
 
@@ -58,7 +67,10 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string write_baseline_path;
   std::string sarif_path;
+  std::string callgraph_path;
+  long budget_ms = 0;
   bool quiet = false;
+  bool threads_given = false;
   for (int i = 1; i < argc; ++i) {
     const auto take_value = [&](std::string& into) {
       if (i + 1 >= argc) return false;
@@ -82,11 +94,34 @@ int main(int argc, char** argv) {
       if (!take_value(n)) return usage();
       try {
         ppatc::runtime::set_thread_count(static_cast<std::size_t>(std::stoul(n)));
+        threads_given = true;
+      } catch (const std::exception&) {
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--dump-callgraph") == 0) {
+      if (!take_value(callgraph_path)) return usage();
+    } else if (std::strcmp(argv[i], "--budget-ms") == 0) {
+      std::string n;
+      if (!take_value(n)) return usage();
+      try {
+        budget_ms = std::stol(n);
       } catch (const std::exception&) {
         return usage();
       }
     } else {
       return usage();
+    }
+  }
+  if (!threads_given) {
+    // --threads unset: fall back to the same PPATC_THREADS override the
+    // runtime honors, so `PPATC_THREADS=4 ppatc_lint` pins the pool even if
+    // something else created it first.
+    if (const char* env = std::getenv("PPATC_THREADS")) {
+      try {
+        ppatc::runtime::set_thread_count(static_cast<std::size_t>(std::stoul(env)));
+      } catch (const std::exception&) {
+        std::cerr << "ppatc-lint: ignoring unparsable PPATC_THREADS='" << env << "'\n";
+      }
     }
   }
 
@@ -102,8 +137,11 @@ int main(int argc, char** argv) {
 
   const auto t0 = std::chrono::steady_clock::now();
   ppatc::lint::Report report;
+  ppatc::lint::InterprocStats stats;
+  std::string callgraph_json;
   try {
-    report = ppatc::lint::run_lint(root, config);
+    report = ppatc::lint::run_lint(root, config,
+                                   callgraph_path.empty() ? nullptr : &callgraph_json, &stats);
   } catch (const std::exception& e) {
     std::cerr << "ppatc-lint: " << e.what() << "\n";
     return 2;
@@ -155,6 +193,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!callgraph_path.empty()) {
+    std::ofstream os{callgraph_path};
+    os << callgraph_json;
+    if (!os) {
+      std::cerr << "ppatc-lint: cannot write " << callgraph_path << "\n";
+      return 2;
+    }
+  }
+
   if (quiet) {
     std::cout << "ppatc-lint: " << report.files_scanned << " files, "
               << report.violation_count() << " violations, " << report.suppression_count()
@@ -164,10 +211,20 @@ int main(int argc, char** argv) {
   }
   std::cout << "ppatc-lint: scanned " << report.files_scanned << " files in " << elapsed_ms
             << " ms on " << ppatc::runtime::thread_count() << " threads\n";
+  if (stats.functions_indexed > 0) {
+    std::cout << "ppatc-lint: indexed " << stats.functions_indexed << " functions, "
+              << stats.call_edges << " call edges, " << stats.unresolved_externals
+              << " unresolved external names\n";
+  }
 
   for (const ppatc::lint::BaselineEntry& entry : stale) {
     std::cerr << "ppatc-lint: stale baseline entry (matched nothing): " << entry.rule << " "
               << entry.file << ":" << entry.line << " — remove it\n";
   }
-  return (report.clean() && stale.empty()) ? 0 : 1;
+  const bool over_budget = budget_ms > 0 && elapsed_ms > budget_ms;
+  if (over_budget) {
+    std::cerr << "ppatc-lint: analysis took " << elapsed_ms << " ms, over the --budget-ms "
+              << budget_ms << " hard budget\n";
+  }
+  return (report.clean() && stale.empty() && !over_budget) ? 0 : 1;
 }

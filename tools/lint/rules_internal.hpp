@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "call_graph.hpp"
 #include "lexer.hpp"
 #include "lint_core.hpp"
 
@@ -21,5 +22,12 @@ void rule_units_escape(const std::string& rel, const std::vector<Token>& tokens,
                        std::vector<Finding>& out);
 
 void rule_lifetime(const std::string& rel, const FileText& text, std::vector<Finding>& out);
+
+/// The three transitive rules (signal-safety, noexcept-escape,
+/// realtime-purity) over the whole-repo call graph. Only rules enabled by
+/// `config.rules` run. Findings are appended unsorted; the caller owns
+/// deterministic ordering.
+void run_interproc_rules(const std::vector<FileIndex>& files, const CallGraph& graph,
+                         const Config& config, std::vector<Finding>& out);
 
 }  // namespace ppatc::lint::detail

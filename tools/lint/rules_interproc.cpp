@@ -1,0 +1,465 @@
+// The three transitive rules over the whole-repo call graph: signal-safety,
+// noexcept-escape, realtime-purity. All three are BFS reachability cones with
+// parent tracking, so every finding can name the path that put the function
+// in the cone ("handler 'x' via a -> b -> c").
+//
+// Conservatism contract (see call_graph.hpp): member and qualified calls
+// link to every definition sharing their name, unqualified calls are
+// scope-filtered the way real name lookup is, unresolved calls are never
+// dropped, and approximation errors must only ever ADD findings, never hide
+// them. All three rules walk the graph's resolved edges — never by_name
+// directly — so the filtering applies uniformly. The
+// escape hatches are explicit and visible: `// ppatc-lint: signal-safe`
+// annotations gate traversal, allow() suppressions are counted findings, and
+// `static`/`thread_local` initializer statements prune realtime edges as
+// first-call-only lazy init.
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "call_graph.hpp"
+#include "lint_core.hpp"
+#include "rules_internal.hpp"
+#include "symbols.hpp"
+
+namespace ppatc::lint::detail {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool contains(const std::set<std::string>& set, const std::string& name) {
+  return set.count(name) != 0;
+}
+
+// ---- token / callee classification ------------------------------------------
+
+// Hazard tokens the signal-safety rule flags inside a handler cone. POSIX
+// async-signal-safety (signal-safety(7)) bans anything that may take the
+// allocator lock, buffer I/O, or block: malloc/new, std::string, iostreams,
+// snprintf (locale-dependent on glibc), locks, getenv, and function-local
+// statics (the guard acquires a lock on first entry).
+const std::set<std::string>& signal_banned() {
+  static const std::set<std::string> kSet{
+      "malloc",     "calloc",      "realloc",      "free",          "strdup",
+      "new",        "delete",      "make_unique",  "make_shared",   "snprintf",
+      "sprintf",    "vsnprintf",   "vsprintf",     "printf",        "fprintf",
+      "vfprintf",   "puts",        "fputs",        "fwrite",        "string",
+      "wstring",    "to_string",   "ostringstream", "istringstream", "stringstream",
+      "ofstream",   "ifstream",    "fstream",      "cout",          "cerr",
+      "clog",       "endl",        "mutex",        "lock_guard",    "unique_lock",
+      "scoped_lock", "shared_lock", "condition_variable",           "call_once",
+      "getenv",     "setenv",      "static",
+  };
+  return kSet;
+}
+
+// Unresolved callees a signal-handler cone may use: the POSIX
+// async-signal-safe list (signal-safety(7)) plus lock-free std primitives
+// (atomics, mem*, bounded string_view/array accessors) that compile to plain
+// loads and stores.
+const std::set<std::string>& signal_allowlist() {
+  static const std::set<std::string> kSet{
+      // process control / signals
+      "abort", "_exit", "_Exit", "raise", "kill", "signal", "sigaction",
+      "sigemptyset", "sigfillset", "sigaddset", "sigdelset", "sigprocmask",
+      "pthread_sigmask",
+      // unbuffered fd I/O
+      "write", "read", "open", "openat", "close", "lseek", "fsync",
+      "fdatasync", "unlink",
+      // identity / clocks
+      "getpid", "gettid", "time", "clock_gettime",
+      // raw memory / C strings (async-signal-safe since POSIX.1-2008)
+      "memcpy", "memmove", "memset", "memcmp", "strlen", "strcmp", "strncmp",
+      "strchr", "strrchr", "strcpy", "strncpy",
+      // lock-free numerics
+      "isfinite", "isnan", "isinf", "signbit", "fabs", "abs", "labs", "llabs",
+      "min", "max",
+      // std::atomic operations
+      "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or", "fetch_xor", "compare_exchange_weak", "compare_exchange_strong",
+      // bounded accessors on pre-built objects (no allocation, no locking)
+      "c_str", "data", "size", "empty", "begin", "end",
+  };
+  return kSet;
+}
+
+// Unresolved callees the noexcept-escape rule treats as throwing: the
+// contract macros (macro bodies are invisible to the token stream, so the
+// call site is the only evidence) and std functions specified to throw.
+const std::set<std::string>& throwing_externals() {
+  static const std::set<std::string> kSet{
+      "PPATC_EXPECT", "PPATC_ENSURE", "contract_fail", "at",
+      "stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod", "stold",
+      "throw_with_nested", "rethrow_exception",
+  };
+  return kSet;
+}
+
+// Realtime-purity ban sets, split so the finding can say which contract the
+// site breaks. A bare `mutex` declaration is deliberately absent: owning a
+// mutex is free, acquiring it (lock_guard / .lock()) is what blocks.
+const std::set<std::string>& realtime_alloc() {
+  static const std::set<std::string> kSet{
+      "malloc", "calloc", "realloc", "free", "strdup", "new", "delete",
+      "make_unique", "make_shared",
+  };
+  return kSet;
+}
+const std::set<std::string>& realtime_lock() {
+  static const std::set<std::string> kSet{
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+      "condition_variable", "call_once",
+  };
+  return kSet;
+}
+const std::set<std::string>& realtime_io() {
+  static const std::set<std::string> kSet{
+      "printf", "fprintf", "vfprintf", "fopen", "fclose", "fwrite", "fread",
+      "fputs", "puts", "fflush", "fscanf", "system", "popen", "cout", "cerr",
+      "clog", "endl", "ofstream", "ifstream", "fstream", "getline",
+  };
+  return kSet;
+}
+
+bool realtime_banned(const std::string& t) {
+  return contains(realtime_alloc(), t) || contains(realtime_lock(), t) ||
+         contains(realtime_io(), t);
+}
+
+const char* realtime_verb(const std::string& t) {
+  if (contains(realtime_alloc(), t)) return "allocates";
+  if (contains(realtime_lock(), t)) return "blocks";
+  return "performs I/O";
+}
+
+// ---- shared cone machinery --------------------------------------------------
+
+// Resolved targets for one call site, straight from the graph's edges — so
+// the scope-visibility filter in build_call_graph applies to every rule.
+// Empty means unresolved; each rule picks its own external policy.
+std::vector<std::size_t> targets_of(const CallGraph& g, std::size_t node,
+                                    const CallSite& call) {
+  std::vector<std::size_t> out;
+  for (const std::size_t e : g.out_edges[node]) {
+    if (g.edges[e].site == &call) out.push_back(g.edges[e].callee);
+  }
+  return out;
+}
+
+std::string path_of(const CallGraph& g, const std::vector<std::size_t>& parent,
+                    std::size_t n) {
+  std::vector<const std::string*> chain;
+  for (std::size_t cur = n; cur != kNone; cur = parent[cur]) {
+    chain.push_back(&g.nodes[cur].def->qname);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += " -> ";
+    out += **it;
+  }
+  return out;
+}
+
+Finding make_finding(const char* rule, const FileIndex& file, int line, int col,
+                     std::size_t token_len, std::string message, bool suppressed) {
+  Finding f;
+  f.rule = rule;
+  f.file = file.rel;
+  f.line = line;
+  f.message = std::move(message);
+  f.suppressed = suppressed;
+  f.col = col;
+  f.end_col = col > 0 ? col + static_cast<int>(token_len) : 0;
+  return f;
+}
+
+bool rule_enabled(const Config& config, const std::string& rule) {
+  if (config.rules.empty()) return true;
+  for (const std::string& r : config.rules) {
+    if (r == rule) return true;
+  }
+  return false;
+}
+
+// ---- signal-safety ----------------------------------------------------------
+
+void rule_signal_safety(const std::vector<FileIndex>& files, const CallGraph& g,
+                        std::vector<Finding>& out) {
+  static const char* kRule = "signal-safety";
+  // Roots, in file order then registration order: deterministic.
+  std::vector<std::pair<std::size_t, const char*>> roots;
+  for (const FileIndex& file : files) {
+    const auto add = [&](const std::vector<std::string>& names, const char* kind) {
+      for (const std::string& name : names) {
+        const auto it = g.by_name.find(name);
+        if (it == g.by_name.end()) continue;
+        for (const std::size_t n : it->second) {
+          if (!g.nodes[n].def->is_parallel_lambda) roots.emplace_back(n, kind);
+        }
+      }
+    };
+    add(file.signal_roots, "signal handler");
+    add(file.terminate_roots, "terminate hook");
+  }
+  if (roots.empty()) return;
+
+  std::vector<char> visited(g.nodes.size(), 0);
+  std::vector<std::size_t> parent(g.nodes.size(), kNone);
+  std::vector<std::size_t> root_of(g.nodes.size(), kNone);
+  std::vector<const char*> kind_of(g.nodes.size(), nullptr);
+  std::vector<std::size_t> queue;
+  for (const auto& [n, kind] : roots) {
+    if (visited[n] != 0) continue;
+    visited[n] = 1;
+    root_of[n] = n;
+    kind_of[n] = kind;
+    queue.push_back(n);
+  }
+
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::size_t n = queue[qi];
+    const FunctionDef& fn = *g.nodes[n].def;
+    const FileIndex& file = *g.nodes[n].file;
+    std::string cone = std::string{kind_of[n]} + " '" + g.nodes[root_of[n]].def->qname + "'";
+    if (root_of[n] != n) cone += " via " + path_of(g, parent, n);
+
+    // A def-line allow() opts the whole subtree out of the cone — emitted as
+    // a counted suppressed finding so the opt-out stays visible.
+    if (file.line_allows(fn.line, kRule)) {
+      out.push_back(make_finding(kRule, file, fn.line, fn.col, fn.name.size(),
+                                 "'" + fn.qname + "' opts out of the signal-safety cone of " +
+                                     cone,
+                                 true));
+      continue;
+    }
+
+    for (const HazardToken& h : fn.hazards) {
+      if (!contains(signal_banned(), h.text)) continue;
+      out.push_back(make_finding(
+          kRule, file, h.line, h.col, h.text.size(),
+          "'" + h.text + "' in '" + fn.qname + "' is not async-signal-safe (cone of " +
+              cone + ")",
+          file.line_allows(h.line, kRule)));
+    }
+
+    for (const CallSite& call : fn.calls) {
+      if (contains(signal_banned(), call.name)) continue;  // flagged as a hazard token
+      const std::vector<std::size_t> targets = targets_of(g, n, call);
+      if (targets.empty()) {
+        if (contains(signal_allowlist(), call.name)) continue;
+        out.push_back(make_finding(
+            kRule, file, call.line, call.col, call.name.size(),
+            "'" + fn.qname + "' calls '" + call.name +
+                "()', which is not on the async-signal-safe allowlist (cone of " + cone + ")",
+            file.line_allows(call.line, kRule)));
+        continue;
+      }
+      for (const std::size_t target : targets) {
+        const FunctionDef& callee = *g.nodes[target].def;
+        if (callee.is_parallel_lambda) continue;
+        if (callee.annotated_signal_safe || visited[target] != 0) {
+          if (visited[target] == 0) {
+            visited[target] = 1;
+            parent[target] = n;
+            root_of[target] = root_of[n];
+            kind_of[target] = kind_of[n];
+            queue.push_back(target);
+          }
+          continue;
+        }
+        out.push_back(make_finding(
+            kRule, file, call.line, call.col, call.name.size(),
+            "'" + fn.qname + "' calls '" + callee.qname + "' (" + g.nodes[target].file->rel +
+                ":" + std::to_string(callee.line) +
+                "), which is not annotated '// ppatc-lint: signal-safe' (cone of " + cone + ")",
+            file.line_allows(call.line, kRule)));
+      }
+    }
+  }
+}
+
+// ---- noexcept-escape --------------------------------------------------------
+
+void rule_noexcept_escape(const CallGraph& g, std::vector<Finding>& out) {
+  static const char* kRule = "noexcept-escape";
+  std::vector<std::uint32_t> stamp(g.nodes.size(), 0);
+  std::uint32_t gen = 0;
+  std::vector<std::size_t> parent(g.nodes.size(), kNone);
+  std::vector<std::size_t> queue;
+
+  for (std::size_t r = 0; r < g.nodes.size(); ++r) {
+    const FunctionDef& root = *g.nodes[r].def;
+    if (!root.is_noexcept || root.is_parallel_lambda) continue;
+    // A try anywhere in the body is treated as covering it: conservative
+    // toward silence here, but a function-granular approximation is the best
+    // a token stream supports, and every real escape we can prove has none.
+    if (root.has_try) continue;
+    const FileIndex& root_file = *g.nodes[r].file;
+
+    ++gen;
+    stamp[r] = gen;
+    parent[r] = kNone;
+    queue.clear();
+    queue.push_back(r);
+    bool reported = false;
+    for (std::size_t qi = 0; qi < queue.size() && !reported; ++qi) {
+      const std::size_t n = queue[qi];
+      const FunctionDef& fn = *g.nodes[n].def;
+      const auto report = [&](const std::string& what) {
+        std::string msg = "noexcept '" + root.qname + "' " + what;
+        if (n != r) msg += " via " + path_of(g, parent, n);
+        msg += "; an escape here is std::terminate";
+        out.push_back(make_finding(kRule, root_file, root.line, root.col, root.name.size(),
+                                   std::move(msg),
+                                   root_file.line_allows(root.line, kRule)));
+        reported = true;
+      };
+      if (!fn.throw_lines.empty()) {
+        report("can reach 'throw' at " + g.nodes[n].file->rel + ":" +
+               std::to_string(fn.throw_lines.front()) + " in '" + fn.qname + "'");
+        break;
+      }
+      for (const CallSite& call : fn.calls) {
+        const std::vector<std::size_t> targets = targets_of(g, n, call);
+        if (targets.empty()) {
+          if (contains(throwing_externals(), call.name)) {
+            report("reaches throwing '" + call.name + "(...)' at " + g.nodes[n].file->rel +
+                   ":" + std::to_string(call.line) + " in '" + fn.qname + "'");
+            break;
+          }
+          continue;
+        }
+        for (const std::size_t target : targets) {
+          const FunctionDef& callee = *g.nodes[target].def;
+          // noexcept callees terminate instead of propagating and are audited
+          // as their own roots; try-holders are barriers.
+          if (callee.is_noexcept || callee.has_try || callee.is_parallel_lambda) continue;
+          if (stamp[target] == gen) continue;
+          stamp[target] = gen;
+          parent[target] = n;
+          queue.push_back(target);
+        }
+      }
+    }
+  }
+}
+
+// ---- realtime-purity --------------------------------------------------------
+
+bool realtime_exempt_file(const Config& config, const std::string& rel) {
+  for (const std::string& suffix : config.realtime_exempt) {
+    if (rel.size() >= suffix.size() &&
+        rel.compare(rel.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_realtime_purity(const std::vector<FileIndex>& files, const CallGraph& g,
+                          const Config& config, std::vector<Finding>& out) {
+  static const char* kRule = "realtime-purity";
+  (void)files;
+  std::vector<std::pair<std::size_t, std::string>> roots;
+  for (std::size_t n = 0; n < g.nodes.size(); ++n) {
+    const FunctionDef& fn = *g.nodes[n].def;
+    if (realtime_exempt_file(config, g.nodes[n].file->rel)) continue;
+    if (fn.is_parallel_lambda) {
+      roots.emplace_back(n, "parallel region '" + fn.qname + "'");
+      continue;
+    }
+    for (const std::string& name : config.realtime_roots) {
+      if (fn.name == name) {
+        roots.emplace_back(n, "realtime entry '" + fn.qname + "'");
+        break;
+      }
+    }
+  }
+  if (roots.empty()) return;
+
+  std::vector<char> visited(g.nodes.size(), 0);
+  std::vector<std::size_t> parent(g.nodes.size(), kNone);
+  std::vector<std::size_t> root_of(g.nodes.size(), kNone);
+  std::vector<const std::string*> label_of(g.nodes.size(), nullptr);
+  std::vector<std::size_t> queue;
+  for (const auto& [n, label] : roots) {
+    if (visited[n] != 0) continue;
+    visited[n] = 1;
+    root_of[n] = n;
+    queue.push_back(n);
+  }
+  // Labels live in `roots`; bind pointers after it stops reallocating.
+  for (const auto& [n, label] : roots) {
+    if (label_of[n] == nullptr) label_of[n] = &label;
+  }
+
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::size_t n = queue[qi];
+    const FunctionDef& fn = *g.nodes[n].def;
+    const FileIndex& file = *g.nodes[n].file;
+    if (realtime_exempt_file(config, file.rel)) continue;
+    std::string cone = *label_of[root_of[n]];
+    if (root_of[n] != n) cone += " via " + path_of(g, parent, n);
+
+    if (file.line_allows(fn.line, kRule)) {
+      out.push_back(make_finding(kRule, file, fn.line, fn.col, fn.name.size(),
+                                 "'" + fn.qname + "' opts out of the realtime cone of " + cone,
+                                 true));
+      continue;
+    }
+
+    for (const HazardToken& h : fn.hazards) {
+      if (!realtime_banned(h.text)) continue;
+      if (h.first_call_only) continue;  // static/thread_local lazy init runs once
+      out.push_back(make_finding(kRule, file, h.line, h.col, h.text.size(),
+                                 std::string{"'"} + h.text + "' " + realtime_verb(h.text) +
+                                     " on a realtime path in '" + fn.qname + "' (cone of " +
+                                     cone + ")",
+                                 file.line_allows(h.line, kRule)));
+    }
+
+    for (const CallSite& call : fn.calls) {
+      if (realtime_banned(call.name)) continue;  // flagged as a hazard token
+      if (call.first_call_only) continue;        // lazy-init escape: edge pruned
+      if (call.member && call.name == "lock") {
+        out.push_back(make_finding(kRule, file, call.line, call.col, call.name.size(),
+                                   "'.lock()' blocks on a realtime path in '" + fn.qname +
+                                       "' (cone of " + cone + ")",
+                                   file.line_allows(call.line, kRule)));
+        continue;
+      }
+      const std::vector<std::size_t> targets = targets_of(g, n, call);
+      if (targets.empty()) continue;  // externals: realtime only audits internals
+      if (file.line_allows(call.line, kRule)) {
+        // allow() on a call line prunes the descent — counted, so the pruned
+        // subtree stays visible in the report.
+        out.push_back(make_finding(kRule, file, call.line, call.col, call.name.size(),
+                                   "descent into '" + call.name +
+                                       "' suppressed on a realtime path in '" + fn.qname +
+                                       "' (cone of " + cone + ")",
+                                   true));
+        continue;
+      }
+      for (const std::size_t target : targets) {
+        if (visited[target] != 0) continue;
+        visited[target] = 1;
+        parent[target] = n;
+        root_of[target] = root_of[n];
+        queue.push_back(target);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_interproc_rules(const std::vector<FileIndex>& files, const CallGraph& graph,
+                         const Config& config, std::vector<Finding>& out) {
+  if (rule_enabled(config, "signal-safety")) rule_signal_safety(files, graph, out);
+  if (rule_enabled(config, "noexcept-escape")) rule_noexcept_escape(graph, out);
+  if (rule_enabled(config, "realtime-purity")) rule_realtime_purity(files, graph, config, out);
+}
+
+}  // namespace ppatc::lint::detail

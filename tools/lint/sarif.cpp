@@ -1,5 +1,5 @@
 // SARIF 2.1.0 serialization of a lint report, shaped for GitHub
-// code-scanning ingestion: one run, the nine rules as reportingDescriptors,
+// code-scanning ingestion: one run, every rule as a reportingDescriptor,
 // one result per finding. Suppressed findings are emitted with a
 // `suppressions` array (kind "inSource" for allow() comments, "external"
 // for baseline entries) so code-scanning closes rather than re-opens them.
@@ -65,6 +65,16 @@ const std::map<std::string, std::string>& rule_descriptions() {
       {"obs-name-literal",
        "Metric/span/flight-event names at obs call sites must be string literals: obs stores "
        "the name pointer or interns it for the process lifetime."},
+      {"signal-safety",
+       "Functions transitively reachable from a registered signal handler or "
+       "std::set_terminate hook may only use the POSIX async-signal-safe allowlist plus "
+       "internals annotated '// ppatc-lint: signal-safe'."},
+      {"noexcept-escape",
+       "A noexcept function must not transitively reach a throw or known-throwing callee "
+       "without an intervening try/catch; an escape is std::terminate."},
+      {"realtime-purity",
+       "Functions reachable from parallel-runtime lambdas, the ISS threaded-dispatch loop, "
+       "and flight-recorder event paths must not allocate, lock, or perform I/O."},
   };
   return kDescriptions;
 }
@@ -114,8 +124,13 @@ std::string to_sarif(const Report& report, const std::string& uri_prefix) {
        << "              \"physicalLocation\": {\n"
        << "                \"artifactLocation\": { \"uri\": \""
        << json_escape(uri_prefix + f.file) << "\" },\n"
-       << "                \"region\": { \"startLine\": " << (f.line > 0 ? f.line : 1)
-       << " }\n"
+       << "                \"region\": { \"startLine\": " << (f.line > 0 ? f.line : 1);
+    // One-token findings carry a proper single-token region so code-scanning
+    // underlines the offending token, not the whole line.
+    if (f.col > 0 && f.end_col > f.col) {
+      os << ", \"startColumn\": " << f.col << ", \"endColumn\": " << f.end_col;
+    }
+    os << " }\n"
        << "              }\n"
        << "            }\n"
        << "          ]";

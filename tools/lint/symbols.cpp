@@ -1,0 +1,487 @@
+// Symbol indexer implementation: one linear walk tracks namespace/class
+// scopes and detects function definitions by their signature shape; a second
+// pass over each body extracts call sites, throws, and try barriers; a final
+// pass finds root registrations (sigaction / signal / set_terminate) and the
+// lambdas handed to the parallel runtime. See symbols.hpp for the
+// approximation contract.
+#include "symbols.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace ppatc::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+template <std::size_t N>
+bool in_set(const std::array<const char*, N>& set, const std::string& t) {
+  return std::any_of(set.begin(), set.end(),
+                     [&](const char* s) { return t == s; });
+}
+
+// Identifiers that look like `name(` but never denote a call or definition.
+bool is_nocall_keyword(const std::string& t) {
+  static const std::array<const char*, 20> kSet{
+      "if",       "while",    "for",      "switch",  "return",   "sizeof",
+      "alignof",  "alignas",  "catch",    "static_assert",       "decltype",
+      "noexcept", "assert",   "defined",  "requires", "typeid",  "constexpr",
+      "offsetof", "co_await", "co_yield",
+  };
+  return in_set(kSet, t);
+}
+
+// Statement keywords that may directly precede a call (`return foo(x)`),
+// unlike type identifiers, which make `Foo bar(args)` a declaration.
+bool is_stmt_keyword(const std::string& t) {
+  static const std::array<const char*, 5> kSet{"return", "else", "do", "case", "co_return"};
+  return in_set(kSet, t);
+}
+
+// Union of the signal-safety and realtime-purity ban lists. Recorded per
+// function at index time (HazardToken); each rule filters down to its own
+// subset, so a stream type flagged by signal-safety is invisible to
+// realtime-purity and vice versa.
+bool is_hazard_ident(const std::string& t) {
+  static const std::array<const char*, 50> kSet{
+      // allocation
+      "malloc", "calloc", "realloc", "free", "strdup", "new", "delete",
+      "make_unique", "make_shared",
+      // formatted / buffered I/O
+      "snprintf", "sprintf", "vsnprintf", "vsprintf", "printf", "fprintf",
+      "vfprintf", "puts", "fputs", "fwrite", "fread", "fopen", "fclose",
+      "fflush", "fscanf", "system", "popen", "getline",
+      // iostreams
+      "cout", "cerr", "clog", "endl", "ostringstream", "istringstream",
+      "stringstream", "ofstream", "ifstream", "fstream",
+      // allocating string types
+      "string", "wstring", "to_string",
+      // locks / synchronization
+      "mutex", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+      "condition_variable", "call_once",
+      // environment
+      "getenv", "setenv",
+      // function-local statics take a guard lock on first entry
+      "static",
+  };
+  return in_set(kSet, t);
+}
+
+// Walks from the ')' closing a candidate parameter list through the tokens a
+// function signature may legally carry — cv/ref qualifiers, noexcept,
+// override/final, a trailing return type, a ctor initializer list — and
+// returns the index of the body '{'. Returns kNpos for everything that is
+// not a definition: declarations (';'), `= default/delete/0`, and expression
+// contexts (`foo(a) + b`, `while (g(x)) {`, ...), which hit a token outside
+// the signature grammar first.
+std::size_t signature_body(const std::vector<Token>& toks, std::size_t close,
+                           bool* is_noexcept) {
+  std::size_t j = close + 1;
+  bool trailing = false;  // after '->': consuming trailing-return-type tokens
+  while (j < toks.size()) {
+    const std::string& t = toks[j].text;
+    if (t == "{") return j;
+    if (t == ";" || t == "=") return kNpos;
+    if (t == ":") {
+      // Ctor initializer list: `: member(args), base{args}... {`. A
+      // ternary's ':' lands here too and falls out through kNpos below.
+      ++j;
+      while (j < toks.size()) {
+        while (j < toks.size() && toks[j].text != "(" && toks[j].text != "{" &&
+               toks[j].text != ";" && toks[j].text != ")") {
+          ++j;
+        }
+        if (j >= toks.size() || toks[j].text == ";" || toks[j].text == ")") return kNpos;
+        const std::size_t g = match_forward(toks, j);
+        if (g >= toks.size()) return kNpos;
+        j = g + 1;
+        if (j < toks.size() && toks[j].text == ",") {
+          ++j;
+          continue;
+        }
+        if (j < toks.size() && toks[j].text == "...") ++j;  // pack expansion
+        return j < toks.size() && toks[j].text == "{" ? j : kNpos;
+      }
+      return kNpos;
+    }
+    if (t == "->") {
+      trailing = true;
+      ++j;
+      continue;
+    }
+    if (trailing) {
+      if (toks[j].kind != TokKind::kPunct || t == "::" || t == "<" || t == ">" ||
+          t == ">>" || t == "*" || t == "&" || t == ",") {
+        ++j;
+        continue;
+      }
+      return kNpos;
+    }
+    if (t == "const" || t == "override" || t == "final" || t == "mutable" || t == "&" ||
+        t == "&&") {
+      ++j;
+      continue;
+    }
+    if (t == "noexcept" || t == "throw") {
+      const bool conditional = j + 1 < toks.size() && toks[j + 1].text == "(";
+      if (t == "noexcept" && !conditional && is_noexcept != nullptr) *is_noexcept = true;
+      ++j;
+      if (conditional) {
+        const std::size_t g = match_forward(toks, j);
+        if (g >= toks.size()) return kNpos;
+        j = g + 1;
+      }
+      continue;
+    }
+    return kNpos;
+  }
+  return kNpos;
+}
+
+// Scans a body token range [open+1, close) for call sites, throw statements,
+// and try barriers. Nested lambda bodies are inside the range, so their
+// calls and throws are attributed to the enclosing function as well — which
+// is exactly the conservative reading the transitive rules want.
+void scan_body(const std::vector<Token>& toks, std::size_t open, std::size_t close,
+               FunctionDef& def) {
+  std::size_t stmt_start = open + 1;
+  // Does the current statement start with `static` / `thread_local` before
+  // position `upto`? Drives the first-call-only lazy-init escape.
+  const auto stmt_has_static = [&](std::size_t upto) {
+    for (std::size_t j = stmt_start; j < upto; ++j) {
+      if (toks[j].text == "static" || toks[j].text == "thread_local") return true;
+    }
+    return false;
+  };
+  for (std::size_t k = open + 1; k < close && k < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == ";" || t.text == "{" || t.text == "}") stmt_start = k + 1;
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "throw") {
+      def.throw_lines.push_back(t.line);
+      continue;
+    }
+    if (t.text == "try") {
+      def.has_try = true;
+      continue;
+    }
+    if (is_hazard_ident(t.text) &&
+        (k + 1 >= toks.size() || (toks[k + 1].text != "*" && toks[k + 1].text != "&"))) {
+      // `std::string* p` / `std::mutex&` declare a pointer or reference to an
+      // existing object — no construction, no hazard.
+      def.hazards.push_back({t.text, t.line, t.col, stmt_has_static(k)});
+      // Fall through: `snprintf(` is both a hazard token and a call site.
+    }
+    if (k + 1 >= toks.size() || toks[k + 1].text != "(") continue;
+    if (is_nocall_keyword(t.text) || t.text == "operator" || t.text == "new" ||
+        t.text == "delete") {
+      continue;
+    }
+    // Walk back a `a::b::name` qualifier chain to find the gating token.
+    std::string qualifier;
+    std::size_t q = k;
+    while (q >= open + 3 && toks[q - 1].text == "::" && toks[q - 2].kind == TokKind::kIdent) {
+      qualifier = toks[q - 2].text + (qualifier.empty() ? "" : "::") + qualifier;
+      q -= 2;
+    }
+    const bool have_prev = q > open;
+    const std::string prev = have_prev ? toks[q - 1].text : std::string{};
+    const TokKind prev_kind = have_prev ? toks[q - 1].kind : TokKind::kPunct;
+    const bool member = prev == "." || prev == "->";
+    if (!member) {
+      // Declaration-shaped: `Foo bar(args)` — the previous token is part of
+      // a type. Statement keywords (`return foo(x)`) still introduce calls.
+      if (prev_kind == TokKind::kIdent && !is_stmt_keyword(prev)) continue;
+      if (prev == ">" || prev == "*" || prev == "&" || prev == "~") continue;
+    }
+    def.calls.push_back({t.text, qualifier, t.line, t.col, member, stmt_has_static(k)});
+  }
+}
+
+// Classifies a non-function '{' from its statement lookback [s, i): a
+// namespace or class/struct/union head contributes a scope name; everything
+// else (control flow, initializers, enum bodies) is a plain brace.
+std::string scope_name_for_open(const std::vector<Token>& toks, std::size_t s, std::size_t i,
+                                bool& named) {
+  bool has_namespace = false;
+  bool has_enum = false;
+  bool has_assign = false;
+  std::size_t ns_kw = kNpos;
+  std::size_t class_kw = kNpos;
+  int angle = 0;
+  for (std::size_t j = s; j < i; ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "<") ++angle;
+    if (t == ">" && angle > 0) --angle;
+    if (t == "namespace") {
+      has_namespace = true;
+      ns_kw = j;
+    } else if (t == "enum") {
+      has_enum = true;
+    } else if (t == "class" || t == "struct" || t == "union") {
+      class_kw = j;  // keep the LAST: `template <class T> struct Foo {`
+    } else if (t == "=" && angle == 0) {
+      has_assign = true;  // `Foo f = {...}`: an initializer, not a scope
+    }
+  }
+  if (has_namespace && ns_kw != kNpos) {
+    std::string name;
+    for (std::size_t j = ns_kw + 1; j < i; ++j) {
+      if (toks[j].kind == TokKind::kIdent) {
+        if (!name.empty()) name += "::";
+        name += toks[j].text;
+      }
+    }
+    named = true;
+    return name;
+  }
+  if (class_kw != kNpos && !has_enum && !has_assign) {
+    for (std::size_t j = class_kw + 1; j < i; ++j) {
+      if (toks[j].kind == TokKind::kIdent && toks[j].text != "final" &&
+          toks[j].text != "alignas") {
+        named = true;
+        return toks[j].text;
+      }
+    }
+    named = true;
+    return {};  // anonymous struct
+  }
+  named = false;
+  return {};
+}
+
+std::string join_qname(const std::vector<std::string>& scope, const std::string& qualifier,
+                       const std::string& name) {
+  std::string out;
+  for (const std::string& s : scope) {
+    if (s.empty()) continue;
+    out += s;
+    out += "::";
+  }
+  if (!qualifier.empty()) {
+    out += qualifier;
+    out += "::";
+  }
+  out += name;
+  return out;
+}
+
+bool is_parallel_entry(const std::string& t) {
+  return t == "parallel_for" || t == "parallel_for_chunks" || t == "parallel_reduce" ||
+         t == "parallel_invoke";
+}
+
+// Extracts the trailing identifier of an `&`-optional, possibly qualified
+// name spanning [first, last): `&obs::detail::handler` -> "handler". Returns
+// "" when the range holds anything else (a lambda, a call, a cast).
+std::string handler_name(const std::vector<Token>& toks, std::size_t first, std::size_t last) {
+  std::string name;
+  for (std::size_t j = first; j < last; ++j) {
+    const std::string& s = toks[j].text;
+    if (s == "&" || s == "::") continue;
+    if (toks[j].kind != TokKind::kIdent) return {};
+    name = s;
+  }
+  return name;
+}
+
+}  // namespace
+
+FileIndex index_file(const std::string& rel, const std::string& contents) {
+  FileIndex idx;
+  idx.rel = rel;
+  const FileText text = split_and_strip(contents);
+  idx.allowed = allowed_rules_per_line(text.raw);
+  const std::vector<Token> toks = tokenize(text);
+
+  // `// ppatc-lint: signal-safe` annotation lines, from the raw text (the
+  // token stream has comments stripped).
+  std::vector<char> safe_line(text.raw.size(), 0);
+  for (std::size_t i = 0; i < text.raw.size(); ++i) {
+    if (text.raw[i].find("ppatc-lint: signal-safe") != std::string::npos) safe_line[i] = 1;
+  }
+  const auto annotated_at = [&](int line) {  // def line or the line directly above
+    const auto has = [&](int l) {
+      return l >= 1 && static_cast<std::size_t>(l) <= safe_line.size() &&
+             safe_line[static_cast<std::size_t>(l) - 1] != 0;
+    };
+    return has(line) || has(line - 1);
+  };
+
+  // ---- pass 1: scope-tracked definition detection ---------------------------
+  struct RawDef {
+    FunctionDef def;
+    std::size_t body_open = 0;
+    std::size_t body_close = 0;
+  };
+  std::vector<RawDef> defs;
+  std::vector<std::string> scope;     // names of enclosing named scopes
+  std::vector<char> brace_named;      // one entry per open '{': pushed a name?
+  std::size_t stmt_start = 0;         // first token of the current statement
+  std::size_t pending_body = kNpos;   // body '{' of the def just detected
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        bool named = false;
+        std::string name;
+        if (i == pending_body) {
+          pending_body = kNpos;  // function body: plain scope
+        } else {
+          name = scope_name_for_open(toks, stmt_start, i, named);
+        }
+        if (named) scope.push_back(name);
+        brace_named.push_back(named ? 1 : 0);
+        stmt_start = i + 1;
+      } else if (t.text == "}") {
+        if (!brace_named.empty()) {
+          if (brace_named.back() != 0 && !scope.empty()) scope.pop_back();
+          brace_named.pop_back();
+        }
+        stmt_start = i + 1;
+      } else if (t.text == ";") {
+        stmt_start = i + 1;
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    if (is_nocall_keyword(t.text) || t.text == "operator" || t.text == "new" ||
+        t.text == "delete") {
+      continue;
+    }
+    // Qualified definition (`void Cpu::run(...)`)? Walk back the chain.
+    std::string qualifier;
+    std::size_t q = i;
+    while (q >= 2 && toks[q - 1].text == "::" && toks[q - 2].kind == TokKind::kIdent) {
+      qualifier = toks[q - 2].text + (qualifier.empty() ? "" : "::") + qualifier;
+      q -= 2;
+    }
+    if (q > 0 &&
+        (toks[q - 1].text == "." || toks[q - 1].text == "->" || toks[q - 1].text == "~")) {
+      continue;  // member access or destructor
+    }
+    const std::size_t close = match_forward(toks, i + 1);
+    if (close >= toks.size()) continue;
+    bool noex = false;
+    const std::size_t body = signature_body(toks, close, &noex);
+    if (body == kNpos) continue;
+    RawDef rd;
+    rd.def.name = t.text;
+    rd.def.qname = join_qname(scope, qualifier, t.text);
+    // Enclosing scope = the qname minus the trailing "::name" (join_qname with
+    // an empty name leaves a trailing "::" to strip).
+    const std::string sc = join_qname(scope, qualifier, {});
+    rd.def.scope = sc.size() >= 2 ? sc.substr(0, sc.size() - 2) : std::string{};
+    rd.def.line = t.line;
+    rd.def.col = t.col;
+    rd.def.is_noexcept = noex;
+    rd.def.annotated_signal_safe = annotated_at(t.line);
+    rd.body_open = body;
+    rd.body_close = match_forward(toks, body);
+    defs.push_back(std::move(rd));
+    pending_body = body;
+  }
+
+  // ---- pass 2: body scans ---------------------------------------------------
+  for (RawDef& rd : defs) scan_body(toks, rd.body_open, rd.body_close, rd.def);
+
+  // ---- pass 3: roots (handler registrations + parallel lambdas) -------------
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (t.kind != TokKind::kIdent) continue;
+    if ((t.text == "sa_handler" || t.text == "sa_sigaction") && k + 1 < toks.size() &&
+        toks[k + 1].text == "=") {
+      std::size_t stop = k + 2;
+      while (stop < toks.size() && toks[stop].text != ";") ++stop;
+      const std::string name = handler_name(toks, k + 2, stop);
+      if (!name.empty() && name != "SIG_DFL" && name != "SIG_IGN") {
+        idx.signal_roots.push_back(name);
+      }
+      continue;
+    }
+    if (k + 1 >= toks.size() || toks[k + 1].text != "(") continue;
+    if (t.text == "signal" || t.text == "set_terminate") {
+      const std::size_t close = match_forward(toks, k + 1);
+      if (close >= toks.size()) continue;
+      // The handler argument: last argument for signal(sig, fn), only
+      // argument for set_terminate(fn). Accept `&fn` / `fn`.
+      std::size_t arg = k + 2;
+      if (t.text == "signal") {
+        int depth = 0;
+        std::size_t comma = kNpos;
+        for (std::size_t j = k + 1; j < close; ++j) {
+          const std::string& s = toks[j].text;
+          if (s == "(" || s == "[" || s == "{") ++depth;
+          if (s == ")" || s == "]" || s == "}") --depth;
+          if (s == "," && depth == 1) comma = j;
+        }
+        if (comma == kNpos) continue;
+        arg = comma + 1;
+      }
+      const std::string name = handler_name(toks, arg, close);
+      if (!name.empty() && name != "SIG_DFL" && name != "SIG_IGN" && name != "nullptr") {
+        (t.text == "signal" ? idx.signal_roots : idx.terminate_roots).push_back(name);
+      }
+      continue;
+    }
+    if (!is_parallel_entry(t.text)) continue;
+    // Skip the runtime's own definitions/declarations of these entry points.
+    if (k > 0 && (toks[k - 1].kind == TokKind::kIdent || toks[k - 1].text == ">" ||
+                  toks[k - 1].text == "&" || toks[k - 1].text == "*")) {
+      continue;
+    }
+    const std::size_t close = match_forward(toks, k + 1);
+    if (close >= toks.size()) continue;
+    int depth = 0;
+    for (std::size_t j = k + 1; j < close; ++j) {
+      const std::string& s = toks[j].text;
+      if (s == "(" || s == "{") ++depth;
+      if (s == ")" || s == "}") --depth;
+      if (s != "[" || depth != 1) continue;
+      const std::string& before = toks[j - 1].text;
+      if (before != "(" && before != ",") continue;  // not an argument-position lambda intro
+      const std::size_t cap_close = match_forward(toks, j);
+      if (cap_close >= toks.size()) break;
+      std::size_t p = cap_close + 1;
+      if (p < toks.size() && toks[p].text == "(") p = match_forward(toks, p) + 1;
+      while (p < toks.size() && toks[p].text != "{" && toks[p].text != ";" &&
+             toks[p].text != ")") {
+        ++p;  // mutable / noexcept / -> return-type
+      }
+      if (p >= toks.size() || toks[p].text != "{") {
+        j = cap_close;
+        continue;
+      }
+      const std::size_t body_close = match_forward(toks, p);
+      FunctionDef lam;
+      lam.name = "<parallel-lambda>";
+      lam.qname = "parallel-lambda@" + rel + ":" + std::to_string(toks[j].line);
+      lam.line = toks[j].line;
+      lam.col = toks[j].col;
+      lam.is_parallel_lambda = true;
+      // Name lookup from a lambda body sees what the enclosing function sees:
+      // inherit the scope of the innermost pass-1 def whose body contains it.
+      std::size_t best_open = 0;
+      for (const RawDef& rd : defs) {
+        if (rd.body_open < j && rd.body_close > body_close && rd.body_open >= best_open) {
+          best_open = rd.body_open;
+          lam.scope = rd.def.scope;
+        }
+      }
+      scan_body(toks, p, body_close, lam);
+      defs.push_back({std::move(lam), p, body_close});
+      j = body_close < close ? body_close : cap_close;
+    }
+  }
+
+  idx.functions.reserve(defs.size());
+  for (RawDef& rd : defs) idx.functions.push_back(std::move(rd.def));
+  return idx;
+}
+
+}  // namespace ppatc::lint

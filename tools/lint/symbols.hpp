@@ -1,0 +1,101 @@
+// Symbol indexer: the per-file front half of the interprocedural analyzer.
+//
+// From one file's token stream (lexer.hpp) it extracts:
+//   * function definitions — namespace/class-qualified display names,
+//     noexcept-ness, `// ppatc-lint: signal-safe` annotations, try/catch
+//     barriers, throw sites, and the body token range,
+//   * call sites inside each body — unqualified callee name, qualifier chain,
+//     member/qualified flags, and whether the call happens inside a
+//     `static`/`thread_local` initializer (the first-call-only lazy-init
+//     escape the realtime rule honors),
+//   * root registrations — handler names assigned to `sa_handler` /
+//     `sa_sigaction` or passed to `signal()` (signal-safety roots) and
+//     callables passed to `std::set_terminate` (terminate roots),
+//   * synthetic function records for lambda bodies handed to parallel_for /
+//     parallel_for_chunks / parallel_reduce / parallel_invoke (the
+//     realtime-purity roots),
+//   * the per-line allow() suppression table, so the interprocedural rules
+//     can honor suppressions without re-reading the file.
+//
+// Like the rest of the analyzer this is a token-stream approximation, not a
+// parse: templates are not instantiated, the preprocessor is not run (macro
+// *bodies* are invisible; macro call sites appear as ordinary calls), and
+// overloads are not resolved — the call graph links a call to every
+// definition sharing its unqualified name. Destructors and operators are not
+// indexed. The consuming rules are written to stay conservative under these
+// approximations: unresolved calls are recorded, never dropped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace ppatc::lint {
+
+/// One call site inside a function body.
+struct CallSite {
+  std::string name;       ///< unqualified callee name (last identifier)
+  std::string qualifier;  ///< "std", "runtime::detail", ... ("" when unqualified)
+  int line = 0;           ///< 1-based
+  int col = 0;            ///< 1-based
+  bool member = false;    ///< obj.name(...) / ptr->name(...)
+  /// The call sits in a `static` / `thread_local` initializer statement: it
+  /// runs once per process (or thread), so the realtime rule's lazy-init
+  /// escape prunes the edge.
+  bool first_call_only = false;
+};
+
+/// One occurrence of a hazard identifier inside a function body: a token
+/// from the union of the signal-safety and realtime-purity ban lists
+/// (allocators, formatted I/O, stream types, std::string, locks, `static`).
+/// Recorded at index time so the transitive rules never need the token
+/// stream; each rule filters the union down to its own ban set.
+struct HazardToken {
+  std::string text;
+  int line = 0;
+  int col = 0;
+  /// The token sits in a `static` / `thread_local` initializer statement
+  /// (the realtime rule's lazy-init escape; the signal rule still flags it).
+  bool first_call_only = false;
+};
+
+/// One function definition (or a synthetic record for a parallel lambda).
+struct FunctionDef {
+  std::string name;   ///< unqualified name ("<parallel-lambda>" when synthetic)
+  std::string qname;  ///< scope-qualified display name
+  /// Enclosing lexical scope ("ppatc::spice::Simulator"; "" at global scope).
+  /// Unqualified calls only resolve to definitions whose scope is a prefix of
+  /// the caller's — the token-stream model of C++ unqualified name lookup.
+  /// Synthetic lambda records inherit the enclosing function's scope.
+  std::string scope;
+  int line = 0;       ///< 1-based definition line
+  int col = 0;        ///< 1-based column of the name token
+  bool is_noexcept = false;          ///< unconditional `noexcept` on the signature
+  bool annotated_signal_safe = false;  ///< `// ppatc-lint: signal-safe` on/above the def line
+  bool has_try = false;              ///< body contains a try block (exception barrier)
+  bool is_parallel_lambda = false;   ///< synthetic record: a parallel-runtime lambda body
+  std::vector<int> throw_lines;      ///< lines of `throw` tokens in the body
+  std::vector<CallSite> calls;       ///< call sites in the body (nested lambdas included)
+  std::vector<HazardToken> hazards;  ///< hazard identifiers in the body
+};
+
+/// Everything the interprocedural rules need from one file.
+struct FileIndex {
+  std::string rel;  ///< path relative to the scan root, '/'-separated
+  std::vector<FunctionDef> functions;
+  std::vector<std::string> signal_roots;     ///< handler names registered via sigaction/signal
+  std::vector<std::string> terminate_roots;  ///< hooks passed to std::set_terminate
+  std::vector<std::vector<std::string>> allowed;  ///< per-line allow() rules (0-based)
+
+  /// allow() lookup for a 1-based source line (same line or line above).
+  [[nodiscard]] bool line_allows(int line, const std::string& rule) const {
+    return line > 0 &&
+           is_rule_allowed(allowed, static_cast<std::size_t>(line - 1), rule);
+  }
+};
+
+/// Indexes one file's contents. `rel` is recorded verbatim.
+[[nodiscard]] FileIndex index_file(const std::string& rel, const std::string& contents);
+
+}  // namespace ppatc::lint
