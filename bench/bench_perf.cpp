@@ -3,6 +3,8 @@
 // isoline extraction, and Monte-Carlo sampling.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 
 #include "bench_util.hpp"
@@ -16,6 +18,7 @@
 #include "ppatc/memsys/bitcell.hpp"
 #include "ppatc/obs/flight.hpp"
 #include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/prof.hpp"
 #include "ppatc/obs/trace.hpp"
 #include "ppatc/isa/cpu.hpp"
 #include "ppatc/runtime/parallel.hpp"
@@ -281,6 +284,74 @@ void BM_ObsCounterAdd(benchmark::State& state) {
   publish_obs_cost(ambient, "obs.counter_add_ns", nullptr, t1 - t0, state.iterations());
 }
 BENCHMARK(BM_ObsCounterAdd)->Unit(benchmark::kNanosecond);
+
+// ---- sampling profiler cost -------------------------------------------------
+// The overhead gate for obs::prof: the same fixed CPU-bound workload is timed
+// with sampling off and on (997 Hz), and the on/off delta plus the handler's
+// self-measured per-sample cost are published as obs.prof_* gauges for the
+// perf-compare baseline (budget: <=2% whole-program overhead).
+
+double prof_workload(std::size_t iters) {
+  double acc = 1.0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    acc += static_cast<double>((i * 2654435761U) & 0xffff) * 1e-9;
+    acc *= 1.0 + 1e-12 * static_cast<double>(i & 0xff);
+  }
+  return acc;
+}
+
+void BM_ProfOverhead(benchmark::State& state) {
+  const ObsStateGuard ambient;
+  // Ambient profiling (PPATC_PROFILE) keeps whatever it sampled so far; the
+  // benchmark's own A/B samples are cleared back out before it resumes.
+  const bool prof_ambient = obs::prof_enabled();
+  obs::stop_profiler();
+  constexpr std::size_t kWork = 1'000'000;
+  std::uint64_t off_ns = 0;
+  std::uint64_t on_ns = 0;
+  for (auto _ : state) {
+    const std::uint64_t t0 = obs::monotonic_ns();
+    benchmark::DoNotOptimize(prof_workload(kWork));
+    const std::uint64_t t1 = obs::monotonic_ns();
+    obs::start_profiler(obs::kProfDefaultHz);
+    const std::uint64_t t2 = obs::monotonic_ns();
+    benchmark::DoNotOptimize(prof_workload(kWork));
+    const std::uint64_t t3 = obs::monotonic_ns();
+    obs::stop_profiler();
+    off_ns += t1 - t0;
+    on_ns += t3 - t2;
+  }
+  const obs::ProfSnapshot snap = obs::prof_snapshot();
+  obs::reset_prof();
+  if (prof_ambient) obs::start_profiler();
+  if (ambient.metrics && off_ns > 0) {
+    obs::gauge("obs.prof_sample_ns").set(snap.sample_ns_avg());
+    const double overhead_pct = 100.0 *
+                                (static_cast<double>(on_ns) - static_cast<double>(off_ns)) /
+                                static_cast<double>(off_ns);
+    // Floored at a noise level: shared-runner jitter makes tiny negative
+    // deltas common, and the perf gate needs a stable positive latency
+    // metric to trend (baseline 2.0 = the overhead budget).
+    obs::gauge("obs.prof_overhead_pct").set(std::max(overhead_pct, 0.25));
+  }
+  state.counters["samples"] =
+      benchmark::Counter(static_cast<double>(snap.samples), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ProfOverhead)->Unit(benchmark::kMillisecond);
+
+void BM_ProfPollDisabled(benchmark::State& state) {
+  const ObsStateGuard ambient;
+  const bool prof_ambient = obs::prof_enabled();
+  obs::stop_profiler();
+  const std::uint64_t t0 = obs::monotonic_ns();
+  for (auto _ : state) {
+    obs::detail::prof_poll_thread();  // disabled-mode cost: one relaxed load
+  }
+  const std::uint64_t t1 = obs::monotonic_ns();
+  if (prof_ambient) obs::start_profiler();
+  publish_obs_cost(ambient, "obs.prof_poll_disabled_ns", nullptr, t1 - t0, state.iterations());
+}
+BENCHMARK(BM_ProfPollDisabled)->Unit(benchmark::kNanosecond);
 
 // ---- threaded variants ------------------------------------------------------
 // Each benchmark takes the ppatc::runtime pool size as its argument, so one

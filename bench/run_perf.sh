@@ -3,6 +3,10 @@
 # (bench/perf_<UTC stamp>/, gitignored) for before/after comparisons:
 #   perf.json            google-benchmark timings
 #   perf.metrics.json    ppatc::obs metrics sidecar
+#   perf.folded          sampling-profiler folded stacks (PPATC_PROFILE;
+#                        render with `ppatc-report flamegraph`), stamped with
+#                        the same git SHA / timestamp provenance as the
+#                        manifests via BENCH_GIT_SHA / BENCH_TIMESTAMP_UTC
 #   bench_<name>.json    one run manifest per figure/table bench (compare
 #                        against bench/golden/ with ppatc-report)
 #
@@ -69,6 +73,10 @@ out="${out_dir}/perf.json"
 metrics_out="${BENCH_METRICS_OUT-${out_dir}/perf.metrics.json}"
 
 echo "writing ${out_dir}/ (git ${sha}${dirty}, ${stamp})"
+# PPATC_PROFILE snapshots a folded CPU profile alongside the perf numbers;
+# the BENCH_* stamps below also land in its header, so the profile carries
+# the same provenance as the manifests.
+PPATC_PROFILE="${PPATC_PROFILE-${out_dir}/perf.folded}" \
 BENCH_METRICS_OUT="${metrics_out}" \
 BENCH_MANIFEST_OUT="${out_dir}/bench_perf.json" \
 BENCH_GIT_SHA="${sha}${dirty}" \

@@ -1,0 +1,185 @@
+// ppatc: in-process sampling profiler (ppatc::obs::prof).
+//
+// A POSIX per-thread CPU-time sampling profiler, always compiled in and ~free
+// when off. Each profiled thread owns a `timer_create(CLOCK_THREAD_CPUTIME_ID)`
+// timer delivering SIGPROF to that thread (SIGEV_THREAD_ID); the signal
+// handler walks the frame-pointer chain out of the interrupted context,
+// tags the sample with the innermost open span from the thread's flight-
+// recorder open-span stack (flight.hpp), and aggregates it into a per-thread
+// fixed-size lock-free hash table — the same leaked-registry / single-writer
+// relaxed-atomic discipline as the flight rings, so readers never lock and
+// the handler never allocates.
+//
+// Async-signal-safety is *proved*, not assumed: every function in the SIGPROF
+// handler cone is annotated `// ppatc-lint: signal-safe` and verified by the
+// interprocedural `signal-safety` lint rule with zero suppressions (the same
+// standard as the diag.cpp crash handlers). Everything unsafe — timer setup,
+// symbolization (dladdr + __cxa_demangle), file I/O — happens outside the
+// handler, at arm time or report time.
+//
+// Output is Brendan-Gregg collapsed-stack ("folded") text keyed by
+// `span;rootFrame;...;leafFrame count`, with `# key value` provenance header
+// lines (rate, totals, BENCH_GIT_SHA / BENCH_TIMESTAMP_UTC when stamped by
+// the caller's environment). `PPATC_PROFILE=<path>` starts the profiler at
+// process start (rate from `PPATC_PROFILE_HZ`, default 997 Hz — prime, so
+// the sampler cannot phase-lock to millisecond-periodic work) and writes the
+// folded profile at exit. `ppatc-report flamegraph` renders folded text as a
+// self/total table and a standalone SVG flamegraph.
+//
+// Sampling uses CPU-time clocks: a sleeping thread consumes no CPU and is
+// never sampled, so idle pool workers cost nothing. Threads join profiling
+// lazily — the pool workers poll a generation counter (detail::
+// prof_poll_thread) at each batch, the calling thread arms synchronously in
+// start_profiler(). Disabled-mode cost is one relaxed atomic load per poll.
+//
+// Non-Linux builds compile to a graceful no-op: the API exists, snapshots
+// are empty, and prof_enabled() stays false.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ppatc::obs {
+
+/// Default sampling rate. Prime so periodic work cannot alias the sampler.
+inline constexpr std::uint32_t kProfDefaultHz = 997;
+
+/// True while the profiler is armed (samples are being taken).
+[[nodiscard]] bool prof_enabled() noexcept;
+
+/// Arms the sampling profiler at `hz` samples per second of *CPU time* per
+/// thread (clamped to [1, 10000]). Installs the SIGPROF handler (idempotent),
+/// arms the calling thread immediately; pool workers arm at their next batch.
+/// Calling again while running re-arms at the new rate. Not safe to race
+/// with itself from two threads (same contract as runtime::set_thread_count).
+void start_profiler(std::uint32_t hz = kProfDefaultHz);
+
+/// Disarms the calling thread immediately and signals every other profiled
+/// thread to disarm at its next poll. Aggregated samples are retained until
+/// reset_prof().
+void stop_profiler() noexcept;
+
+/// One aggregated call stack: symbolized frames (root -> leaf), the innermost
+/// open span at sample time ("no_span" when none), and the sample count.
+struct ProfStack {
+  std::string span;
+  std::vector<std::string> frames;
+  std::uint64_t count = 0;
+};
+
+/// A drained profile: every distinct (span, stack) with its count, plus the
+/// sampler's own accounting (including the measured per-sample handler cost,
+/// the obs.prof_sample_ns perf surface).
+struct ProfSnapshot {
+  std::uint32_t hz = 0;            ///< rate the profiler was last armed at
+  std::uint64_t samples = 0;       ///< samples taken (all threads)
+  std::uint64_t dropped = 0;       ///< lost to a full per-thread table
+  std::uint64_t truncated = 0;     ///< stacks cut at the frame-depth cap
+  std::uint64_t handler_ns = 0;    ///< total ns spent inside the handler
+  std::vector<ProfStack> stacks;   ///< sorted by folded key
+
+  /// Mean handler cost per sample in ns (0 when no samples).
+  [[nodiscard]] double sample_ns_avg() const noexcept {
+    return samples > 0 ? static_cast<double>(handler_ns) / static_cast<double>(samples) : 0.0;
+  }
+};
+
+/// Drains and symbolizes every thread's table. Quiesced threads drain
+/// exactly; a thread actively sampling may contribute a few counts taken
+/// after the drain started. Symbolization (dladdr) happens here, never in
+/// the handler.
+[[nodiscard]] ProfSnapshot prof_snapshot();
+
+/// Clears every per-thread table and the sample accounting. Call only while
+/// sampling is stopped or quiesced (single-writer tables cannot be cleared
+/// out from under their owning thread's live handler).
+void reset_prof() noexcept;
+
+/// Renders a snapshot as folded collapsed-stack text: `# key value` header
+/// lines (ppatc_profile version, hz, samples, dropped, truncated,
+/// sample_ns_avg, plus git_sha / timestamp_utc when BENCH_GIT_SHA /
+/// BENCH_TIMESTAMP_UTC are set — the same provenance stamps the run
+/// manifests carry), then one `span;frame;...;frame count` line per stack,
+/// sorted by key. Deterministic for a fixed snapshot.
+[[nodiscard]] std::string prof_to_folded(const ProfSnapshot& snap);
+
+/// prof_to_folded(prof_snapshot()) to `path`. Throws ContractViolation on
+/// I/O error.
+void write_profile(const std::string& path);
+
+// ---- folded-profile parsing & aggregation (shared with ppatc-report) -------
+
+/// One parsed folded line. frames[0] is the span key, the rest are stack
+/// frames root -> leaf.
+struct FoldedStack {
+  std::vector<std::string> frames;
+  std::uint64_t count = 0;
+};
+
+/// A parsed folded profile: the `# key value` header and the stack lines.
+struct FoldedProfile {
+  std::map<std::string, std::string> header;
+  std::vector<FoldedStack> stacks;
+
+  [[nodiscard]] std::uint64_t total_samples() const noexcept {
+    std::uint64_t n = 0;
+    for (const FoldedStack& s : stacks) n += s.count;
+    return n;
+  }
+};
+
+/// Parses folded text (as produced by prof_to_folded, or any Brendan-Gregg
+/// collapsed file: the count is the text after the LAST space, so frame
+/// names may contain spaces). Throws ContractViolation on a malformed line.
+[[nodiscard]] FoldedProfile parse_folded(const std::string& text);
+
+/// Re-renders a parsed profile as folded text (header sorted by key, stacks
+/// sorted by joined key) — parse/format round-trips to a fixed point.
+[[nodiscard]] std::string format_folded(const FoldedProfile& profile);
+
+/// Per-frame aggregation over a folded profile: `self` counts samples where
+/// the frame is the leaf, `total` counts samples where it appears anywhere
+/// in the stack (deduplicated per stack, so recursion is not double-counted).
+struct FrameStat {
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+[[nodiscard]] std::map<std::string, FrameStat> folded_frame_stats(const FoldedProfile& profile);
+
+/// Sorted hottest-first self/total table (the `ppatc-report flamegraph`
+/// text output). `top` rows (0 = all).
+[[nodiscard]] std::string render_flame_table(const FoldedProfile& profile, std::size_t top);
+
+/// Standalone flamegraph SVG (no external tooling): root at the top,
+/// children sorted by name, width proportional to total count, deterministic
+/// name-hash colors, <title> tooltips.
+[[nodiscard]] std::string render_flame_svg(const FoldedProfile& profile);
+
+/// Hottest spans per thread from a diagnostic bundle or Chrome trace JSON
+/// (the `ppatc-report timeline --top N` output). Span wall-times are
+/// aggregated per (tid, name) and ranked through the same FoldedStack
+/// aggregation as the flamegraph table. Throws ContractViolation on
+/// malformed input.
+[[nodiscard]] std::string render_top_spans(const std::string& json, std::size_t top);
+
+namespace detail {
+
+/// Cheap per-thread arming poll: one relaxed atomic load when nothing
+/// changed; arms/disarms this thread's timer when start/stop_profiler moved
+/// the generation. Called by the runtime pool workers at each batch.
+void prof_poll_thread() noexcept;
+
+/// Total samples currently aggregated across all threads (no symbolization):
+/// the manifest writer uses this to decide whether a profile section exists
+/// at all, so unprofiled runs stay byte-identical to their goldens.
+[[nodiscard]] std::uint64_t prof_total_samples() noexcept;
+
+/// Parsed PPATC_PROFILE_HZ. Contract: nullptr, "", non-numeric and 0 give
+/// kProfDefaultHz; values clamp to [1, 10000].
+[[nodiscard]] std::uint32_t parse_profile_hz_env(const char* value) noexcept;
+
+}  // namespace detail
+
+}  // namespace ppatc::obs

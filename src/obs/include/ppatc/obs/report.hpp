@@ -77,6 +77,14 @@ struct ManifestSample {
   std::map<std::string, double> values;
 };
 
+/// Per-span CPU-time rollup from the sampling profiler (obs/prof.hpp): how
+/// many samples landed inside the span and their CPU-time equivalent
+/// (samples / rate). Informational — never drift-gated.
+struct ManifestProfSpan {
+  std::uint64_t samples = 0;
+  double cpu_ms = 0.0;
+};
+
 /// A parsed (or built) manifest. RunManifest produces one; parse_manifest
 /// reads one back from JSON.
 struct Manifest {
@@ -95,6 +103,10 @@ struct Manifest {
   /// when non-empty so manifests without a series stay byte-identical to
   /// pre-series goldens.
   std::vector<ManifestSample> metrics_series;
+  /// Per-span CPU time from the sampling profiler (empty unless profiling
+  /// was on). Serialized only when non-empty — same byte-identity contract
+  /// as metrics_series, so unprofiled runs match pre-profiler goldens.
+  std::map<std::string, ManifestProfSpan> prof_spans;
 };
 
 /// Builder for the manifest of the current run. Typical bench flow:
@@ -133,9 +145,10 @@ class RunManifest {
   /// Records a named textual verdict ("OK"/"VIOLATED", ...); compared exactly.
   void record_text(const std::string& name, std::string value);
 
-  /// Folds the current metrics snapshot, span rollup, and — when the sampler
-  /// ran — the metrics_series() time series into the manifest. Call once,
-  /// after the benchmarked work.
+  /// Folds the current metrics snapshot, span rollup, and — when the
+  /// respective samplers ran — the metrics_series() time series and the
+  /// profiler's per-span CPU-time rollup into the manifest. Call once, after
+  /// the benchmarked work.
   void capture_observability();
 
   [[nodiscard]] const Manifest& manifest() const noexcept { return m_; }

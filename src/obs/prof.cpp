@@ -1,0 +1,908 @@
+#include "ppatc/obs/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "json_internal.hpp"
+#include "ppatc/common/contract.hpp"
+#include "ppatc/obs/flight.hpp"
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+// glibc < 2.35 spells the SIGEV_THREAD_ID target field via the union only.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+#endif  // defined(__linux__)
+
+namespace ppatc::obs {
+
+namespace {
+
+// The rate the profiler was last armed at; read by the folded writer so a
+// snapshot taken after stop_profiler() still reports its rate.
+constinit std::atomic<std::uint32_t> g_prof_hz{kProfDefaultHz};
+
+// Arming generation: odd = profiling on, even = off. Each thread compares
+// against its thread-local copy (prof_poll_thread) and re-syncs its timer
+// when the generation moved — so start/stop never has to enumerate or
+// interrupt other threads.
+constinit std::atomic<std::uint64_t> g_prof_gen{0};
+
+thread_local std::uint64_t t_prof_seen_gen = 0;
+
+void sanitize_frame(std::string& s) {
+  // ';' separates frames and '\n' separates stacks in the folded format.
+  for (char& c : s) {
+    if (c == ';' || c == '\n' || c == '\r') c = ':';
+  }
+}
+
+std::string folded_key(const ProfStack& s) {
+  std::string key = s.span;
+  for (const std::string& f : s.frames) {
+    key += ';';
+    key += f;
+  }
+  return key;
+}
+
+}  // namespace
+
+#if defined(__linux__)
+
+namespace {
+
+inline constexpr std::uint32_t kProfMaxFrames = 24;    // per-stack depth cap
+inline constexpr std::uint32_t kProfTableSize = 2048;  // power of two
+inline constexpr std::uint32_t kProfMaxProbe = 32;     // linear-probe window
+inline constexpr std::uint32_t kProfMaxThreads = 256;
+
+// One aggregated (span, stack) cell. Single writer — the owning thread's
+// SIGPROF handler — claims a cell by writing every field and then publishing
+// the hash with a release store; any thread may read (acquire the hash,
+// then the fields are valid). All fields are relaxed atomics so a racing
+// drain reads values, never UB.
+struct ProfEntry {
+  std::atomic<std::uint64_t> hash{0};  // 0 = free; published last
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<const char*> span{nullptr};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<std::uintptr_t> pcs[kProfMaxFrames]{};
+};
+
+// Per-thread profiling state, allocated (and leaked — snapshots must outlive
+// the thread) on first arm. Everything the handler touches is captured here
+// at arm time: the stack bounds for the frame-pointer walk and the thread's
+// flight ring for span attribution, so the handler itself performs no
+// discovery, no allocation, and no locking.
+struct ProfThread {
+  std::uint32_t tid = 0;
+  std::uintptr_t stack_lo = 0;
+  std::uintptr_t stack_hi = 0;
+  const detail::FlightRing* flight = nullptr;
+  timer_t timer{};
+  bool timer_valid = false;
+  std::atomic<std::uint64_t> samples{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> truncated{0};
+  std::atomic<std::uint64_t> handler_ns{0};
+  ProfEntry entries[kProfTableSize];
+};
+
+// Constant-initialized like the flight registry: live and lock-free from the
+// first instruction, readable from any thread with plain atomic loads.
+struct ProfRegistry {
+  std::atomic<std::uint32_t> count{0};
+  std::atomic<ProfThread*> threads[kProfMaxThreads]{};
+};
+
+constinit ProfRegistry g_prof_registry;
+
+// The handler's single entry into thread-local state. constinit forces
+// static (initial-exec) TLS, so reading it from the signal handler is a
+// plain register-relative load — no lazy TLS allocation on the signal path.
+constinit thread_local ProfThread* t_prof = nullptr;
+
+// ---- the SIGPROF handler cone ----------------------------------------------
+// Every function below, down to prof_signal_handler, is annotated
+// `// ppatc-lint: signal-safe` and verified by ppatc-lint's interprocedural
+// signal-safety rule with zero suppressions: only POSIX async-signal-safe
+// externals (clock_gettime, atomics) and annotated internal helpers.
+
+// ppatc-lint: signal-safe
+std::uint64_t prof_now_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// Frame-pointer walk out of the interrupted context. Every candidate frame
+// pointer is validated against the stack bounds captured at arm time and
+// must move strictly toward the stack base, so the walk is memory-safe even
+// in frames compiled without frame pointers — it just terminates early.
+// ppatc-lint: signal-safe
+std::uint32_t capture_frames(const ProfThread* t, void* ctx, std::uintptr_t* pcs,
+                             std::uint32_t max) noexcept {
+  std::uint32_t n = 0;
+  std::uintptr_t fp = 0;
+  if (ctx != nullptr && max > 0) {
+    const ucontext_t* uc = static_cast<const ucontext_t*>(ctx);
+#if defined(__x86_64__)
+    pcs[n++] = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+    fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+    pcs[n++] = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+    fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+    fp = reinterpret_cast<std::uintptr_t>(__builtin_frame_address(0));
+#endif
+  }
+  while (n < max) {
+    if (fp < t->stack_lo || fp + 2 * sizeof(std::uintptr_t) > t->stack_hi ||
+        (fp & (sizeof(std::uintptr_t) - 1)) != 0) {
+      break;
+    }
+    const std::uintptr_t* rec = reinterpret_cast<const std::uintptr_t*>(fp);
+    const std::uintptr_t next = rec[0];
+    const std::uintptr_t ret = rec[1];
+    if (ret < 4096) break;
+    pcs[n++] = ret;
+    if (next <= fp) break;
+    fp = next;
+  }
+  return n;
+}
+
+// ppatc-lint: signal-safe
+bool table_insert(ProfThread* t, const char* span, const std::uintptr_t* pcs,
+                  std::uint32_t depth) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = (h ^ static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(span))) *
+      1099511628211ULL;
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    h = (h ^ static_cast<std::uint64_t>(pcs[i])) * 1099511628211ULL;
+  }
+  if (h == 0) h = 1;
+  for (std::uint32_t probe = 0; probe < kProfMaxProbe; ++probe) {
+    ProfEntry& e = t->entries[(h + probe) & (kProfTableSize - 1)];
+    const std::uint64_t eh = e.hash.load(std::memory_order_relaxed);
+    if (eh == h) {
+      e.count.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (eh == 0) {
+      // This thread's handler is the table's only writer (SIGPROF is masked
+      // while it runs), so check-then-claim cannot race another claim.
+      e.span.store(span, std::memory_order_relaxed);
+      e.depth.store(depth, std::memory_order_relaxed);
+      for (std::uint32_t i = 0; i < depth; ++i) {
+        e.pcs[i].store(pcs[i], std::memory_order_relaxed);
+      }
+      e.count.store(1, std::memory_order_relaxed);
+      e.hash.store(h, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;  // probe window exhausted: caller counts the drop
+}
+
+// The SIGPROF leaf: capture the interrupted stack, attribute it to the
+// innermost open span on this thread's flight ring, aggregate in place, and
+// self-account the handler's own cost (the obs.prof_sample_ns surface).
+void prof_signal_handler(int, siginfo_t*, void* ctx) noexcept {
+  ProfThread* t = t_prof;
+  if (t == nullptr) return;
+  const std::uint64_t t0 = prof_now_ns();
+  std::uintptr_t pcs[kProfMaxFrames];
+  const std::uint32_t depth = capture_frames(t, ctx, pcs, kProfMaxFrames);
+  if (depth == kProfMaxFrames) t->truncated.fetch_add(1, std::memory_order_relaxed);
+  const char* span = nullptr;
+  const detail::FlightRing* ring = t->flight;
+  if (ring != nullptr) {
+    const std::uint32_t d = ring->open_depth.load(std::memory_order_relaxed);
+    if (d > 0) {
+      const std::uint32_t cap = static_cast<std::uint32_t>(detail::kFlightMaxOpenSpans);
+      const std::uint32_t top = (d <= cap ? d : cap) - 1;
+      span = ring->open[top].name.load(std::memory_order_relaxed);
+    }
+  }
+  if (!table_insert(t, span, pcs, depth)) t->dropped.fetch_add(1, std::memory_order_relaxed);
+  t->samples.fetch_add(1, std::memory_order_relaxed);
+  t->handler_ns.fetch_add(prof_now_ns() - t0, std::memory_order_relaxed);
+}
+
+// ---- arm / disarm (never on the signal path) --------------------------------
+
+ProfThread* register_prof_thread() noexcept {
+  const std::uint32_t idx = g_prof_registry.count.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kProfMaxThreads) return nullptr;  // past capacity: never sampled
+  auto* t = new ProfThread;  // leaked: snapshots must outlive the thread
+  t->tid = idx;
+  // Stack bounds for the handler's frame-pointer walk, captured once here —
+  // pthread_getattr_np allocates, so it can never run on the signal path.
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* base = nullptr;
+    std::size_t size = 0;
+    if (pthread_attr_getstack(&attr, &base, &size) == 0) {
+      t->stack_lo = reinterpret_cast<std::uintptr_t>(base);
+      t->stack_hi = t->stack_lo + size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+  // This thread's flight ring, for span attribution (allocates the ring on
+  // first use — again arm-time-only).
+  const std::uint32_t ftid = flight_thread_id();
+  if (ftid != UINT32_MAX) t->flight = detail::flight_ring_at(ftid);
+  g_prof_registry.threads[idx].store(t, std::memory_order_release);
+  return t;
+}
+
+ProfThread* local_prof_thread() noexcept {
+  thread_local ProfThread* t = register_prof_thread();
+  return t;
+}
+
+void install_prof_handler() noexcept {
+  static const bool installed = [] {
+    struct sigaction sa {};
+    sa.sa_sigaction = prof_signal_handler;  // the signal-safety rule's root
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    return sigaction(SIGPROF, &sa, nullptr) == 0;
+  }();
+  (void)installed;
+}
+
+void disarm_thread_timer(ProfThread* t) noexcept {
+  t_prof = nullptr;  // a tick already in flight sees null and records nothing
+  if (t != nullptr && t->timer_valid) {
+    timer_delete(t->timer);
+    t->timer_valid = false;
+  }
+}
+
+void arm_thread_timer(ProfThread* t, std::uint32_t hz) noexcept {
+  if (t == nullptr) return;
+  if (!t->timer_valid) {
+    // Created fresh on every arm (and deleted on disarm): POSIX timers do
+    // not survive fork(), so reusing an id across arm cycles would go stale
+    // in forked children (the death-style tests exercise exactly that).
+    struct sigevent sev {};
+    sev.sigev_notify = SIGEV_THREAD_ID;
+    sev.sigev_signo = SIGPROF;
+    sev.sigev_notify_thread_id = static_cast<pid_t>(::syscall(SYS_gettid));
+    if (timer_create(CLOCK_THREAD_CPUTIME_ID, &sev, &t->timer) != 0) return;
+    t->timer_valid = true;
+  }
+  t_prof = t;  // publish to the handler before the first tick can arrive
+  const std::uint64_t period_ns = 1'000'000'000ULL / (hz == 0 ? 1 : hz);
+  struct itimerspec spec {};
+  spec.it_interval.tv_sec = static_cast<time_t>(period_ns / 1'000'000'000ULL);
+  spec.it_interval.tv_nsec = static_cast<long>(period_ns % 1'000'000'000ULL);
+  spec.it_value = spec.it_interval;
+  if (timer_settime(t->timer, 0, &spec, nullptr) != 0) disarm_thread_timer(t);
+}
+
+void sync_thread_timer(std::uint64_t gen) noexcept {
+  t_prof_seen_gen = gen;
+  if ((gen & 1) != 0) {
+    arm_thread_timer(local_prof_thread(), g_prof_hz.load(std::memory_order_relaxed));
+  } else {
+    disarm_thread_timer(t_prof);  // null for threads that never armed
+  }
+}
+
+// ---- symbolization (report time only) ---------------------------------------
+
+std::string symbolize(std::uintptr_t pc, std::map<std::uintptr_t, std::string>& cache) {
+  const auto it = cache.find(pc);
+  if (it != cache.end()) return it->second;
+  std::string name;
+  Dl_info info{};
+  // dladdr resolves against the dynamic symbol table; executables are built
+  // with ENABLE_EXPORTS (-rdynamic) so their own functions appear there.
+  if (dladdr(reinterpret_cast<void*>(pc), &info) != 0) {
+    if (info.dli_sname != nullptr) {
+      int status = -1;
+      char* dem = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+      name = (status == 0 && dem != nullptr) ? dem : info.dli_sname;
+      std::free(dem);
+    } else if (info.dli_fname != nullptr) {
+      // No covering symbol (file-local code): module-relative offset.
+      const char* base = std::strrchr(info.dli_fname, '/');
+      std::ostringstream os;
+      os << (base != nullptr ? base + 1 : info.dli_fname) << "+0x" << std::hex
+         << pc - reinterpret_cast<std::uintptr_t>(info.dli_fbase);
+      name = os.str();
+    }
+  }
+  if (name.empty()) {
+    std::ostringstream os;
+    os << "0x" << std::hex << pc;
+    name = os.str();
+  }
+  sanitize_frame(name);
+  cache.emplace(pc, name);
+  return name;
+}
+
+}  // namespace
+
+bool prof_enabled() noexcept {
+  return (g_prof_gen.load(std::memory_order_relaxed) & 1) != 0;
+}
+
+void start_profiler(std::uint32_t hz) {
+  hz = std::clamp<std::uint32_t>(hz, 1, 10000);
+  g_prof_hz.store(hz, std::memory_order_relaxed);
+  install_prof_handler();
+  const std::uint64_t gen = g_prof_gen.load(std::memory_order_relaxed);
+  g_prof_gen.store((gen & 1) != 0 ? gen + 2 : gen + 1, std::memory_order_release);
+  detail::prof_poll_thread();  // arm the calling thread synchronously
+}
+
+void stop_profiler() noexcept {
+  const std::uint64_t gen = g_prof_gen.load(std::memory_order_relaxed);
+  if ((gen & 1) != 0) g_prof_gen.store(gen + 1, std::memory_order_release);
+  detail::prof_poll_thread();  // disarm the calling thread synchronously
+}
+
+ProfSnapshot prof_snapshot() {
+  ProfSnapshot out;
+  out.hz = g_prof_hz.load(std::memory_order_relaxed);
+  std::map<std::string, ProfStack> merged;
+  std::map<std::uintptr_t, std::string> symcache;
+  const std::uint32_t n = std::min<std::uint32_t>(
+      g_prof_registry.count.load(std::memory_order_acquire), kProfMaxThreads);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ProfThread* t = g_prof_registry.threads[i].load(std::memory_order_acquire);
+    if (t == nullptr) continue;
+    out.samples += t->samples.load(std::memory_order_relaxed);
+    out.dropped += t->dropped.load(std::memory_order_relaxed);
+    out.truncated += t->truncated.load(std::memory_order_relaxed);
+    out.handler_ns += t->handler_ns.load(std::memory_order_relaxed);
+    for (const ProfEntry& e : t->entries) {
+      if (e.hash.load(std::memory_order_acquire) == 0) continue;
+      const std::uint64_t count = e.count.load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      ProfStack s;
+      const char* span = e.span.load(std::memory_order_relaxed);
+      s.span = span != nullptr ? span : "no_span";
+      sanitize_frame(s.span);
+      const std::uint32_t depth =
+          std::min(e.depth.load(std::memory_order_relaxed), kProfMaxFrames);
+      // Captured leaf -> root; folded stacks read root -> leaf.
+      for (std::uint32_t k = depth; k > 0; --k) {
+        s.frames.push_back(symbolize(e.pcs[k - 1].load(std::memory_order_relaxed), symcache));
+      }
+      ProfStack& agg = merged[folded_key(s)];
+      if (agg.count == 0) {
+        agg.span = std::move(s.span);
+        agg.frames = std::move(s.frames);
+      }
+      agg.count += count;
+    }
+  }
+  out.stacks.reserve(merged.size());
+  for (auto& [key, stack] : merged) {
+    (void)key;
+    out.stacks.push_back(std::move(stack));
+  }
+  return out;
+}
+
+void reset_prof() noexcept {
+  const std::uint32_t n = std::min<std::uint32_t>(
+      g_prof_registry.count.load(std::memory_order_acquire), kProfMaxThreads);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ProfThread* t = g_prof_registry.threads[i].load(std::memory_order_acquire);
+    if (t == nullptr) continue;
+    for (ProfEntry& e : t->entries) {
+      e.hash.store(0, std::memory_order_relaxed);
+      e.count.store(0, std::memory_order_relaxed);
+    }
+    t->samples.store(0, std::memory_order_relaxed);
+    t->dropped.store(0, std::memory_order_relaxed);
+    t->truncated.store(0, std::memory_order_relaxed);
+    t->handler_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace detail {
+
+void prof_poll_thread() noexcept {
+  const std::uint64_t gen = g_prof_gen.load(std::memory_order_acquire);
+  if (gen != t_prof_seen_gen) sync_thread_timer(gen);
+}
+
+std::uint64_t prof_total_samples() noexcept {
+  std::uint64_t total = 0;
+  const std::uint32_t n = std::min<std::uint32_t>(
+      g_prof_registry.count.load(std::memory_order_acquire), kProfMaxThreads);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ProfThread* t = g_prof_registry.threads[i].load(std::memory_order_acquire);
+    if (t != nullptr) total += t->samples.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace detail
+
+#else  // !defined(__linux__)
+
+// Graceful no-op: the API exists, nothing ever arms. (POSIX per-thread
+// CPU-clock timers with SIGEV_THREAD_ID are Linux-specific.)
+
+bool prof_enabled() noexcept { return false; }
+void start_profiler(std::uint32_t hz) {
+  g_prof_hz.store(std::clamp<std::uint32_t>(hz, 1, 10000), std::memory_order_relaxed);
+}
+void stop_profiler() noexcept {}
+ProfSnapshot prof_snapshot() {
+  ProfSnapshot out;
+  out.hz = g_prof_hz.load(std::memory_order_relaxed);
+  return out;
+}
+void reset_prof() noexcept {}
+
+namespace detail {
+void prof_poll_thread() noexcept {}
+std::uint64_t prof_total_samples() noexcept { return 0; }
+}  // namespace detail
+
+#endif  // defined(__linux__)
+
+// ---- folded output ----------------------------------------------------------
+
+std::string prof_to_folded(const ProfSnapshot& snap) {
+  std::ostringstream os;
+  os << "# ppatc_profile 1\n";
+  os << "# hz " << snap.hz << '\n';
+  os << "# samples " << snap.samples << '\n';
+  os << "# dropped " << snap.dropped << '\n';
+  os << "# truncated " << snap.truncated << '\n';
+  os << "# sample_ns_avg " << snap.sample_ns_avg() << '\n';
+  // The same caller-injected provenance stamps the run manifests carry
+  // (bench_util / run_perf.sh export them); omitted when unset.
+  if (const char* sha = std::getenv("BENCH_GIT_SHA"); sha != nullptr && *sha != '\0') {
+    os << "# git_sha " << sha << '\n';
+  }
+  if (const char* ts = std::getenv("BENCH_TIMESTAMP_UTC"); ts != nullptr && *ts != '\0') {
+    os << "# timestamp_utc " << ts << '\n';
+  }
+  std::vector<std::string> lines;
+  lines.reserve(snap.stacks.size());
+  for (const ProfStack& s : snap.stacks) {
+    std::string line = folded_key(s);
+    line += ' ';
+    line += std::to_string(s.count);
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const std::string& line : lines) os << line << '\n';
+  return os.str();
+}
+
+void write_profile(const std::string& path) {
+  std::ofstream out{path};
+  PPATC_EXPECT(out.good(), "cannot open profile output file: " + path);
+  out << prof_to_folded(prof_snapshot());
+  out.close();
+  PPATC_ENSURE(out.good(), "failed writing profile output file: " + path);
+}
+
+// ---- folded parsing & aggregation -------------------------------------------
+
+FoldedProfile parse_folded(const std::string& text) {
+  FoldedProfile p;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // `# key value` header line; anything else after '#' is a comment.
+      std::size_t key_begin = 1;
+      while (key_begin < line.size() && line[key_begin] == ' ') ++key_begin;
+      const std::size_t key_end = line.find(' ', key_begin);
+      if (key_end != std::string::npos && key_end > key_begin) {
+        p.header[line.substr(key_begin, key_end - key_begin)] = line.substr(key_end + 1);
+      }
+      continue;
+    }
+    // The count is everything after the LAST space, so frame names (e.g.
+    // demangled signatures) may contain spaces.
+    const std::size_t sep = line.rfind(' ');
+    PPATC_EXPECT(sep != std::string::npos && sep + 1 < line.size(),
+                 "folded line has no sample count: " + line);
+    char* end = nullptr;
+    const std::string count_text = line.substr(sep + 1);
+    const unsigned long long count = std::strtoull(count_text.c_str(), &end, 10);
+    PPATC_EXPECT(end != count_text.c_str() && *end == '\0',
+                 "folded line has a non-numeric count: " + line);
+    FoldedStack stack;
+    stack.count = count;
+    std::size_t fpos = 0;
+    const std::string key = line.substr(0, sep);
+    while (true) {
+      const std::size_t semi = key.find(';', fpos);
+      if (semi == std::string::npos) {
+        stack.frames.push_back(key.substr(fpos));
+        break;
+      }
+      stack.frames.push_back(key.substr(fpos, semi - fpos));
+      fpos = semi + 1;
+    }
+    PPATC_EXPECT(!stack.frames.empty() && !stack.frames[0].empty(),
+                 "folded line has an empty stack key: " + line);
+    p.stacks.push_back(std::move(stack));
+  }
+  return p;
+}
+
+std::string format_folded(const FoldedProfile& profile) {
+  std::ostringstream os;
+  for (const auto& [key, value] : profile.header) os << "# " << key << ' ' << value << '\n';
+  std::vector<std::string> lines;
+  lines.reserve(profile.stacks.size());
+  for (const FoldedStack& s : profile.stacks) {
+    std::string line;
+    for (std::size_t i = 0; i < s.frames.size(); ++i) {
+      if (i > 0) line += ';';
+      line += s.frames[i];
+    }
+    line += ' ';
+    line += std::to_string(s.count);
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const std::string& line : lines) os << line << '\n';
+  return os.str();
+}
+
+std::map<std::string, FrameStat> folded_frame_stats(const FoldedProfile& profile) {
+  std::map<std::string, FrameStat> stats;
+  std::vector<std::string> seen;
+  for (const FoldedStack& s : profile.stacks) {
+    if (s.frames.empty()) continue;
+    stats[s.frames.back()].self += s.count;
+    // Deduplicate per stack so recursive frames are not total-counted twice.
+    seen.assign(s.frames.begin(), s.frames.end());
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    for (const std::string& f : seen) stats[f].total += s.count;
+  }
+  return stats;
+}
+
+namespace {
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole > 0 ? 100.0 * static_cast<double>(part) / static_cast<double>(whole) : 0.0;
+}
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::uint32_t name_hash(const std::string& s) {
+  std::uint32_t h = 2166136261U;
+  for (const char c : s) h = (h ^ static_cast<unsigned char>(c)) * 16777619U;
+  return h;
+}
+
+}  // namespace
+
+std::string render_flame_table(const FoldedProfile& profile, std::size_t top) {
+  const std::uint64_t total = profile.total_samples();
+  std::ostringstream os;
+  os << "profile: " << total << " samples";
+  if (const auto hz = profile.header.find("hz"); hz != profile.header.end()) {
+    os << " @ " << hz->second << " Hz";
+  }
+  if (const auto d = profile.header.find("dropped"); d != profile.header.end()) {
+    os << ", " << d->second << " dropped";
+  }
+  if (const auto avg = profile.header.find("sample_ns_avg"); avg != profile.header.end()) {
+    os << ", handler " << avg->second << " ns/sample";
+  }
+  os << '\n';
+  if (const auto sha = profile.header.find("git_sha"); sha != profile.header.end()) {
+    os << "git " << sha->second;
+    if (const auto ts = profile.header.find("timestamp_utc"); ts != profile.header.end()) {
+      os << " @ " << ts->second;
+    }
+    os << '\n';
+  }
+  os << '\n';
+  const std::map<std::string, FrameStat> stats = folded_frame_stats(profile);
+  std::vector<std::pair<std::string, FrameStat>> rows{stats.begin(), stats.end()};
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.self != b.second.self) return a.second.self > b.second.self;
+    if (a.second.total != b.second.total) return a.second.total > b.second.total;
+    return a.first < b.first;
+  });
+  if (top > 0 && rows.size() > top) rows.resize(top);
+  os << std::setw(8) << "SELF%" << std::setw(8) << "TOTAL%" << std::setw(10) << "SELF"
+     << "  FRAME\n";
+  os << std::fixed << std::setprecision(2);
+  for (const auto& [name, stat] : rows) {
+    os << std::setw(8) << pct(stat.self, total) << std::setw(8) << pct(stat.total, total)
+       << std::setw(10) << stat.self << "  " << name << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+struct FlameNode {
+  std::uint64_t total = 0;
+  std::map<std::string, FlameNode> kids;
+
+  [[nodiscard]] std::size_t depth() const {
+    std::size_t d = 0;
+    for (const auto& [name, kid] : kids) {
+      (void)name;
+      d = std::max(d, kid.depth() + 1);
+    }
+    return d;
+  }
+};
+
+void emit_flame_rects(std::ostringstream& os, const FlameNode& node, const std::string& name,
+                      double x, double width, std::size_t level, std::uint64_t total,
+                      double px_per_sample, double row_h) {
+  if (width < 0.1) return;
+  const double y = 26.0 + static_cast<double>(level) * row_h;
+  const std::uint32_t h = name_hash(name);
+  const unsigned r = 205 + h % 50;
+  const unsigned g = 80 + (h >> 8) % 110;
+  const unsigned b = (h >> 16) % 40;
+  os << "<g><title>" << xml_escape(name) << " (" << node.total << " samples, " << std::fixed
+     << std::setprecision(2) << pct(node.total, total) << "%)</title>\n";
+  os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << width << "\" height=\""
+     << row_h - 1.0 << "\" fill=\"rgb(" << r << ',' << g << ',' << b << ")\" rx=\"1\"/>\n";
+  if (width > 40.0) {
+    const std::size_t max_chars = static_cast<std::size_t>((width - 6.0) / 6.5);
+    std::string label = name;
+    if (label.size() > max_chars) label = label.substr(0, max_chars > 2 ? max_chars - 2 : 0) + "..";
+    os << "<text x=\"" << x + 3.0 << "\" y=\"" << y + row_h - 5.0
+       << "\" font-size=\"11\" font-family=\"monospace\">" << xml_escape(label) << "</text>\n";
+  }
+  os << "</g>\n";
+  double cx = x;
+  for (const auto& [kid_name, kid] : node.kids) {
+    const double kw = static_cast<double>(kid.total) * px_per_sample;
+    emit_flame_rects(os, kid, kid_name, cx, kw, level + 1, total, px_per_sample, row_h);
+    cx += kw;
+  }
+}
+
+}  // namespace
+
+std::string render_flame_svg(const FoldedProfile& profile) {
+  FlameNode root;
+  for (const FoldedStack& s : profile.stacks) {
+    root.total += s.count;
+    FlameNode* node = &root;
+    for (const std::string& f : s.frames) {
+      node = &node->kids[f];
+      node->total += s.count;
+    }
+  }
+  const double width = 1200.0;
+  const double row_h = 16.0;
+  const std::size_t levels = root.depth() + 1;
+  const double height = 26.0 + static_cast<double>(levels) * row_h + 10.0;
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width << "\" height=\""
+     << height << "\" viewBox=\"0 0 " << width << ' ' << height << "\">\n";
+  os << "<text x=\"4\" y=\"16\" font-size=\"13\" font-family=\"monospace\">ppatc profile: "
+     << root.total << " samples";
+  if (const auto hz = profile.header.find("hz"); hz != profile.header.end()) {
+    os << " @ " << xml_escape(hz->second) << " Hz";
+  }
+  if (const auto sha = profile.header.find("git_sha"); sha != profile.header.end()) {
+    os << " (git " << xml_escape(sha->second) << ")";
+  }
+  os << "</text>\n";
+  if (root.total > 0) {
+    const double px_per_sample = width / static_cast<double>(root.total);
+    emit_flame_rects(os, root, "all", 0.0, width, 0, root.total, px_per_sample, row_h);
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+// ---- hottest spans per thread (ppatc-report timeline --top) -----------------
+
+namespace {
+
+using detail::JsonParser;
+using detail::JsonValue;
+
+struct SpanTotal {
+  double wall_us = 0.0;
+  std::uint64_t count = 0;
+};
+
+// tid -> span name -> aggregate. std::map keeps the output order stable.
+using PerThreadTotals = std::map<std::uint64_t, std::map<std::string, SpanTotal>>;
+
+PerThreadTotals totals_from_trace(const JsonValue& events) {
+  PerThreadTotals totals;
+  for (const JsonValue& e : events.array) {
+    const JsonValue* name = e.find("name");
+    const JsonValue* dur = e.find("dur");
+    const JsonValue* tid = e.find("tid");
+    if (name == nullptr || dur == nullptr || tid == nullptr) continue;
+    SpanTotal& t = totals[static_cast<std::uint64_t>(tid->number)][name->string];
+    t.wall_us += dur->number;
+    t.count += 1;
+  }
+  return totals;
+}
+
+PerThreadTotals totals_from_bundle(const JsonValue& threads) {
+  PerThreadTotals totals;
+  for (const JsonValue& th : threads.array) {
+    const std::uint64_t tid =
+        static_cast<std::uint64_t>(detail::as_number(th.find("tid"), "thread.tid"));
+    const JsonValue* events = th.find("events");
+    if (events == nullptr || events->kind != JsonValue::Kind::kArray) continue;
+    std::vector<std::pair<std::string, double>> open;  // (name, begin ts_ns)
+    double last_ts = 0.0;
+    for (const JsonValue& e : events->array) {
+      const JsonValue* kind = e.find("kind");
+      const JsonValue* name = e.find("name");
+      const JsonValue* ts = e.find("ts_ns");
+      if (kind == nullptr || name == nullptr || ts == nullptr) continue;
+      last_ts = std::max(last_ts, ts->number);
+      if (kind->string == "span_begin") {
+        open.emplace_back(name->string, ts->number);
+      } else if (kind->string == "span_end" && !open.empty()) {
+        // Pop the innermost matching begin (the stack is balanced per
+        // thread; a ring that wrapped past a begin just drops that span).
+        std::size_t at = open.size();
+        for (std::size_t i = open.size(); i > 0; --i) {
+          if (open[i - 1].first == name->string) {
+            at = i - 1;
+            break;
+          }
+        }
+        if (at == open.size()) continue;
+        SpanTotal& t = totals[tid][name->string];
+        t.wall_us += (ts->number - open[at].second) / 1e3;
+        t.count += 1;
+        open.erase(open.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+    }
+    // Spans still open at the failure point count up to the last event seen.
+    for (const auto& [name, begin_ns] : open) {
+      SpanTotal& t = totals[tid][name];
+      t.wall_us += (last_ts - begin_ns) / 1e3;
+      t.count += 1;
+    }
+  }
+  return totals;
+}
+
+}  // namespace
+
+std::string render_top_spans(const std::string& json, std::size_t top) {
+  const JsonValue root = JsonParser::parse(json);
+  PPATC_EXPECT(root.kind == JsonValue::Kind::kObject,
+               "top-spans input is not a JSON object");
+  PerThreadTotals totals;
+  if (const JsonValue* events = root.find("traceEvents");
+      events != nullptr && events->kind == JsonValue::Kind::kArray) {
+    totals = totals_from_trace(*events);
+  } else {
+    const JsonValue* flight = root.find("flight");
+    const JsonValue* threads = flight != nullptr ? flight->find("threads") : nullptr;
+    PPATC_EXPECT(threads != nullptr && threads->kind == JsonValue::Kind::kArray,
+                 "top-spans input is neither a Chrome trace nor a diagnostic bundle");
+    totals = totals_from_bundle(*threads);
+  }
+  std::ostringstream os;
+  os << "hottest spans per thread (top " << top << ", by wall time)\n";
+  os << std::fixed << std::setprecision(3);
+  for (const auto& [tid, spans] : totals) {
+    os << "thread " << tid << ":\n";
+    // Rank through the same folded-stack aggregation the flamegraph table
+    // uses: each span becomes a single-frame stack weighted in microseconds.
+    FoldedProfile ranked;
+    for (const auto& [name, agg] : spans) {
+      FoldedStack s;
+      s.frames.push_back(name);
+      s.count = static_cast<std::uint64_t>(agg.wall_us);
+      ranked.stacks.push_back(std::move(s));
+    }
+    const std::map<std::string, FrameStat> stats = folded_frame_stats(ranked);
+    std::vector<std::pair<std::string, FrameStat>> rows{stats.begin(), stats.end()};
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second.total != b.second.total) return a.second.total > b.second.total;
+      return a.first < b.first;
+    });
+    if (top > 0 && rows.size() > top) rows.resize(top);
+    for (const auto& [name, stat] : rows) {
+      const SpanTotal& agg = spans.at(name);
+      os << std::setw(12) << static_cast<double>(stat.total) / 1e3 << " ms  " << name << "  (x"
+         << agg.count << ")\n";
+    }
+  }
+  return os.str();
+}
+
+// ---- environment wiring -----------------------------------------------------
+
+namespace detail {
+
+std::uint32_t parse_profile_hz_env(const char* value) noexcept {
+  if (value == nullptr || *value == '\0') return kProfDefaultHz;
+  char* end = nullptr;
+  const unsigned long hz = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || hz == 0) return kProfDefaultHz;
+  return static_cast<std::uint32_t>(std::min(hz, 10000UL));
+}
+
+}  // namespace detail
+
+namespace {
+
+// Startup wiring for PPATC_PROFILE / PPATC_PROFILE_HZ: start sampling now,
+// write the folded profile at clean exit (same atexit discipline as the
+// PPATC_TRACE exporter in trace.cpp).
+struct ProfEnvInit {
+  ProfEnvInit() {
+    const char* path = std::getenv("PPATC_PROFILE");
+    if (path == nullptr || *path == '\0') return;
+    static std::string profile_path;  // outlives the atexit handler
+    profile_path = path;
+    start_profiler(detail::parse_profile_hz_env(std::getenv("PPATC_PROFILE_HZ")));
+    std::atexit([] {
+      try {
+        stop_profiler();
+        write_profile(profile_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ppatc::obs: profile export failed: %s\n", e.what());
+      }
+    });
+  }
+};
+
+const ProfEnvInit g_prof_env_init{};
+
+}  // namespace
+
+}  // namespace ppatc::obs

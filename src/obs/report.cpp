@@ -11,6 +11,7 @@
 #include "json_internal.hpp"
 #include "ppatc/common/contract.hpp"
 #include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/prof.hpp"
 #include "ppatc/obs/trace.hpp"
 
 namespace ppatc::obs {
@@ -125,6 +126,19 @@ void RunManifest::capture_observability() {
     out.values = sample.values;
     m_.metrics_series.push_back(std::move(out));
   }
+  // Per-span CPU-time rollup from the sampling profiler. The cheap total
+  // gate keeps unprofiled runs from paying for symbolization — and, because
+  // prof_spans stays empty, their JSON stays byte-identical to the goldens.
+  m_.prof_spans.clear();
+  if (detail::prof_total_samples() > 0) {
+    const ProfSnapshot prof = prof_snapshot();
+    const double ms_per_sample = prof.hz > 0 ? 1e3 / static_cast<double>(prof.hz) : 0.0;
+    for (const ProfStack& stack : prof.stacks) {
+      ManifestProfSpan& agg = m_.prof_spans[stack.span];
+      agg.samples += stack.count;
+      agg.cpu_ms += static_cast<double>(stack.count) * ms_per_sample;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +233,23 @@ std::string manifest_to_json(const Manifest& m) {
       os << "}}";
     }
     os << "\n]";
+  }
+
+  // Only emitted when the profiler sampled anything, same byte-identity
+  // contract as metrics_series ("prof_spans" sorts between "metrics_series"
+  // and "provenance").
+  if (!m.prof_spans.empty()) {
+    os << ",\"prof_spans\":{";
+    first = true;
+    for (const auto& [k, p] : m.prof_spans) {
+      if (!first) os << ',';
+      first = false;
+      detail::append_json_escaped(os, k);
+      os << ":{\"cpu_ms\":";
+      append_number(os, p.cpu_ms);
+      os << ",\"samples\":" << p.samples << '}';
+    }
+    os << '}';
   }
 
   os << ",\"provenance\":";
@@ -362,6 +393,17 @@ Manifest parse_manifest(const std::string& json) {
         }
       }
       m.metrics_series.push_back(std::move(sample));
+    }
+  }
+
+  if (const JsonValue* prof = root.find("prof_spans")) {
+    PPATC_EXPECT(prof->kind == JsonValue::Kind::kObject,
+                 "manifest prof_spans is not an object");
+    for (const auto& [k, e] : prof->object) {
+      ManifestProfSpan p;
+      p.samples = static_cast<std::uint64_t>(as_number(e.find("samples"), k + ".samples"));
+      p.cpu_ms = as_number(e.find("cpu_ms"), k + ".cpu_ms");
+      m.prof_spans.emplace(k, p);
     }
   }
   return m;

@@ -10,6 +10,7 @@
 
 #include "ppatc/obs/flight.hpp"
 #include "ppatc/obs/metrics.hpp"
+#include "ppatc/obs/prof.hpp"
 #include "ppatc/obs/trace.hpp"
 
 namespace ppatc::runtime {
@@ -83,6 +84,11 @@ struct ThreadPool::Impl {
   // Claims indices until the batch is exhausted (or cancelled by a thrown
   // exception) and records the first error.
   void drain() {
+    // Profiler arming poll: one relaxed load when nothing changed. Every
+    // thread that executes batches — pool workers and the submitting thread —
+    // passes through here, so start/stop_profiler reaches them all without
+    // interrupting anyone.
+    obs::detail::prof_poll_thread();
     const bool timed = obs::metrics_enabled();
     const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
     std::uint64_t executed = 0;

@@ -1,0 +1,29 @@
+// Fixture: a timer_create(SIGEV_THREAD)-registered callback whose cone is
+// async-signal-UNSAFE — the sigev_notify_function assignment must register
+// the callback as a signal root, and the snprintf inside it seeds exactly
+// one signal-safety finding.
+#include <cstdio>
+#include <ctime>
+#include <signal.h>
+
+namespace ppatc::demo {
+
+namespace {
+
+void timer_tick(union sigval sv) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%p", sv.sival_ptr);  // locale/alloc-unsafe
+  (void)buf;
+}
+
+}  // namespace
+
+void install_bad_timer() {
+  struct sigevent sev {};
+  sev.sigev_notify = SIGEV_THREAD;
+  sev.sigev_notify_function = &timer_tick;
+  timer_t timer{};
+  timer_create(CLOCK_MONOTONIC, &sev, &timer);
+}
+
+}  // namespace ppatc::demo

@@ -1,0 +1,34 @@
+// Fixture: a timer_create(SIGEV_THREAD)-registered callback whose cone stays
+// on the POSIX async-signal-safe allowlist (write only, via an annotated
+// helper) — the sigev_notify_function root must verify with zero findings
+// and zero suppressions.
+#include <ctime>
+#include <signal.h>
+#include <unistd.h>
+
+namespace ppatc::demo {
+
+namespace {
+
+// ppatc-lint: signal-safe
+void write_tick(const char* text, unsigned len) {
+  ssize_t rc = write(2, text, len);
+  (void)rc;
+}
+
+void timer_tick(union sigval sv) {
+  (void)sv;
+  write_tick("tick\n", 5);
+}
+
+}  // namespace
+
+void install_good_timer() {
+  struct sigevent sev {};
+  sev.sigev_notify = SIGEV_THREAD;
+  sev.sigev_notify_function = &timer_tick;
+  timer_t timer{};
+  timer_create(CLOCK_MONOTONIC, &sev, &timer);
+}
+
+}  // namespace ppatc::demo

@@ -65,7 +65,7 @@ TEST(LintFixtures, KnownGoodIsCleanWithCountedSuppressions) {
   EXPECT_EQ(by_rule.at("unit-typed-api"), 1u);
   ASSERT_TRUE(by_rule.contains("realtime-purity"));
   EXPECT_EQ(by_rule.at("realtime-purity"), 1u);
-  EXPECT_EQ(report.files_scanned, 12u);
+  EXPECT_EQ(report.files_scanned, 13u);
 }
 
 TEST(LintFixtures, KnownBadFiresEveryRule) {
@@ -97,8 +97,9 @@ TEST(LintFixtures, KnownBadFiresEveryRule) {
   EXPECT_EQ(by_rule.at("lifetime"), 3u);
   // bad_obs_names.cpp: dynamic counter name, dynamic mark name, dynamic span.
   EXPECT_EQ(by_rule.at("obs-name-literal"), 3u);
-  // bad_signal.cpp: string, snprintf, malloc, free, unannotated helper call.
-  EXPECT_EQ(by_rule.at("signal-safety"), 5u);
+  // bad_signal.cpp: string, snprintf, malloc, free, unannotated helper call;
+  // bad_timer_signal.cpp: snprintf in a sigev_notify_function cone.
+  EXPECT_EQ(by_rule.at("signal-safety"), 6u);
   // bad_noexcept.cpp: direct throw, transitive throw, contract macro.
   EXPECT_EQ(by_rule.at("noexcept-escape"), 3u);
   // bad_realtime.cpp: malloc, free, lock_guard, printf reached from the
@@ -523,6 +524,27 @@ TEST(LintCallGraph, IndexerSeesRootsAnnotationsAndBarriers) {
   EXPECT_EQ(idx.signal_roots[0], "handler");
   ASSERT_EQ(idx.terminate_roots.size(), 1u);
   EXPECT_EQ(idx.terminate_roots[0], "handler");
+}
+
+TEST(LintCallGraph, TimerHandlerRegistrationIsASignalRoot) {
+  // The timer_create / setitimer registration forms: a sa_sigaction
+  // assignment (SIGEV_SIGNAL routing, the obs::prof sampler's shape) and a
+  // sigev_notify_function assignment (SIGEV_THREAD) both root the handler.
+  const lint::FileIndex idx = lint::index_file(
+      "demo/timer.cpp",
+      "void on_prof(int sig, siginfo_t* info, void* ctx) {}\n"
+      "void on_tick(union sigval sv) { (void)sv; }\n"
+      "void install() {\n"
+      "  struct sigaction sa {};\n"
+      "  sa.sa_sigaction = on_prof;\n"
+      "  struct sigevent sev {};\n"
+      "  sev.sigev_notify_function = &on_tick;\n"
+      "  timer_t timer {};\n"
+      "  timer_create(CLOCK_THREAD_CPUTIME_ID, &sev, &timer);\n"
+      "}\n");
+  ASSERT_EQ(idx.signal_roots.size(), 2u);
+  EXPECT_EQ(idx.signal_roots[0], "on_prof");
+  EXPECT_EQ(idx.signal_roots[1], "on_tick");
 }
 
 TEST(LintCallGraph, UnqualifiedCallsResolveThroughEnclosingScopesOnly) {

@@ -1,0 +1,335 @@
+// Tests for the sampling profiler (ppatc::obs::prof): env-parser contract,
+// disabled-mode no-op guarantees, folded-stack parse/format round-trips,
+// per-frame self/total aggregation, the flamegraph table/SVG renderers, the
+// timeline --top span ranking, and — fork-based, skipped under sanitizers —
+// a live 4-thread memsys::characterize_batch profile that attributes samples
+// to memsys spans and drains deterministically.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ppatc/common/contract.hpp"
+#include "ppatc/common/units.hpp"
+#include "ppatc/memsys/bitcell.hpp"
+#include "ppatc/obs/flight.hpp"
+#include "ppatc/obs/prof.hpp"
+#include "ppatc/runtime/parallel.hpp"
+#include "ppatc/spice/simulator.hpp"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PPATC_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PPATC_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef PPATC_UNDER_SANITIZER
+#define PPATC_UNDER_SANITIZER 0
+#endif
+
+namespace ppatc {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Every test starts and ends with the profiler stopped and drained, so test
+// order cannot leak armed timers or aggregated samples between cases.
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::stop_profiler();
+    obs::reset_prof();
+  }
+  void TearDown() override {
+    obs::stop_profiler();
+    obs::reset_prof();
+    runtime::set_thread_count(0);
+  }
+
+  static std::string scratch_path(const char* tag) {
+    return (fs::temp_directory_path() /
+            ("ppatc_prof_" + std::string(tag) + "_" + std::to_string(::getpid()) + ".folded"))
+        .string();
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in{path};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PPATC_PROFILE_HZ parsing follows the documented contract.
+
+TEST_F(ProfTest, EnvParserFollowsTheDocumentedContract) {
+  using obs::detail::parse_profile_hz_env;
+  EXPECT_EQ(parse_profile_hz_env(nullptr), obs::kProfDefaultHz);
+  EXPECT_EQ(parse_profile_hz_env(""), obs::kProfDefaultHz);
+  EXPECT_EQ(parse_profile_hz_env("not-a-number"), obs::kProfDefaultHz);
+  EXPECT_EQ(parse_profile_hz_env("0"), obs::kProfDefaultHz);
+  EXPECT_EQ(parse_profile_hz_env("250"), 250u);
+  EXPECT_EQ(parse_profile_hz_env("1"), 1u);
+  EXPECT_EQ(parse_profile_hz_env("10000"), 10000u);
+  EXPECT_EQ(parse_profile_hz_env("999999"), 10000u);  // clamp, not reject
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode is a provable no-op: nothing armed, nothing aggregated, and
+// the empty snapshot still renders/parses cleanly.
+
+TEST_F(ProfTest, DisabledModeIsANoOp) {
+  EXPECT_FALSE(obs::prof_enabled());
+  obs::detail::prof_poll_thread();  // must be safe (and free) when disarmed
+  EXPECT_EQ(obs::detail::prof_total_samples(), 0u);
+
+  const obs::ProfSnapshot snap = obs::prof_snapshot();
+  EXPECT_EQ(snap.samples, 0u);
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_TRUE(snap.stacks.empty());
+  EXPECT_EQ(snap.sample_ns_avg(), 0.0);
+
+  // The empty folded rendering is still well-formed and parseable.
+  const std::string folded = obs::prof_to_folded(snap);
+  const obs::FoldedProfile parsed = obs::parse_folded(folded);
+  EXPECT_EQ(parsed.total_samples(), 0u);
+  EXPECT_TRUE(parsed.stacks.empty());
+  EXPECT_EQ(parsed.header.at("ppatc_profile"), "1");
+}
+
+// ---------------------------------------------------------------------------
+// Folded text: parsing, formatting, and the fixed-point round-trip.
+
+TEST_F(ProfTest, ParseFoldedSplitsTheCountAtTheLastSpace) {
+  const std::string text =
+      "# hz 997\n"
+      "# samples 7\n"
+      "main.span;frame one with spaces;leaf 4\n"
+      "other;a;b 3\n";
+  const obs::FoldedProfile p = obs::parse_folded(text);
+  EXPECT_EQ(p.header.at("hz"), "997");
+  ASSERT_EQ(p.stacks.size(), 2u);
+  ASSERT_EQ(p.stacks[0].frames.size(), 3u);
+  EXPECT_EQ(p.stacks[0].frames[0], "main.span");
+  EXPECT_EQ(p.stacks[0].frames[1], "frame one with spaces");
+  EXPECT_EQ(p.stacks[0].frames[2], "leaf");
+  EXPECT_EQ(p.stacks[0].count, 4u);
+  EXPECT_EQ(p.stacks[1].count, 3u);
+  EXPECT_EQ(p.total_samples(), 7u);
+}
+
+TEST_F(ProfTest, ParseFoldedRejectsMalformedLines) {
+  EXPECT_THROW((void)obs::parse_folded("stack-without-count\n"), ContractViolation);
+  EXPECT_THROW((void)obs::parse_folded("span;frame notanumber\n"), ContractViolation);
+  EXPECT_THROW((void)obs::parse_folded(" 42\n"), ContractViolation);
+}
+
+TEST_F(ProfTest, FormatFoldedRoundTripsToAFixedPoint) {
+  // Deliberately unsorted input: one format+parse reaches the canonical
+  // ordering, after which format∘parse is the identity.
+  const std::string text =
+      "# z_last 1\n"
+      "# a_first 2\n"
+      "zeta;x 1\n"
+      "alpha;y;z 5\n";
+  const obs::FoldedProfile p1 = obs::parse_folded(text);
+  const std::string once = obs::format_folded(p1);
+  const obs::FoldedProfile p2 = obs::parse_folded(once);
+  const std::string twice = obs::format_folded(p2);
+  EXPECT_EQ(once, twice);
+  // Canonical form is sorted: header by key, stacks by joined key.
+  EXPECT_LT(once.find("# a_first 2"), once.find("# z_last 1"));
+  EXPECT_LT(once.find("alpha;y;z 5"), once.find("zeta;x 1"));
+}
+
+TEST_F(ProfTest, FrameStatsSeparateSelfFromTotalAndDeduplicateRecursion) {
+  const std::string text =
+      "span;outer;inner 10\n"
+      "span;outer 5\n"
+      "span;rec;rec;rec 3\n";
+  const obs::FoldedProfile p = obs::parse_folded(text);
+  const auto stats = obs::folded_frame_stats(p);
+  // `outer` is the leaf of 5 samples, on-stack for 15.
+  EXPECT_EQ(stats.at("outer").self, 5u);
+  EXPECT_EQ(stats.at("outer").total, 15u);
+  EXPECT_EQ(stats.at("inner").self, 10u);
+  EXPECT_EQ(stats.at("inner").total, 10u);
+  // Recursion counts once per stack, not once per occurrence.
+  EXPECT_EQ(stats.at("rec").self, 3u);
+  EXPECT_EQ(stats.at("rec").total, 3u);
+  // The span key participates like a root frame: total == all samples.
+  EXPECT_EQ(stats.at("span").total, 18u);
+  EXPECT_EQ(stats.at("span").self, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Renderers: table, SVG, and the timeline --top ranking.
+
+TEST_F(ProfTest, FlameTableRanksBySelfTime) {
+  const std::string text =
+      "span;hot_leaf 90\n"
+      "span;warm;hot_leaf 5\n"
+      "span;cold 1\n";
+  const obs::FoldedProfile p = obs::parse_folded(text);
+  const std::string table = obs::render_flame_table(p, 2);
+  // Rows sort by self desc: hot_leaf (95), cold (1); `warm` (self 0,
+  // total 5) and the span key (self 0) fall outside --top 2.
+  EXPECT_NE(table.find("hot_leaf"), std::string::npos);
+  EXPECT_NE(table.find("cold"), std::string::npos);
+  EXPECT_EQ(table.find("warm"), std::string::npos);
+  EXPECT_LT(table.find("hot_leaf"), table.find("cold"));
+  // The header line carries the totals.
+  EXPECT_NE(table.find("96 samples"), std::string::npos);
+}
+
+TEST_F(ProfTest, FlameSvgIsSelfContainedAndEscaped) {
+  const std::string text = "sp<an>;fn<T&>;leaf 4\n";
+  const obs::FoldedProfile p = obs::parse_folded(text);
+  const std::string svg = obs::render_flame_svg(p);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Raw angle brackets from symbol names must be escaped, not emitted.
+  EXPECT_EQ(svg.find("fn<T&>"), std::string::npos);
+  EXPECT_NE(svg.find("fn&lt;T&amp;&gt;"), std::string::npos);
+}
+
+TEST_F(ProfTest, RenderTopSpansRanksTraceEventsPerThread) {
+  // A minimal Chrome trace: two spans on tid 1, one on tid 2.
+  const std::string trace = R"({"traceEvents":[
+    {"name":"spice.dc","ph":"X","ts":0,"dur":9000,"pid":1,"tid":1},
+    {"name":"spice.dc","ph":"X","ts":9000,"dur":1000,"pid":1,"tid":1},
+    {"name":"memsys.characterize","ph":"X","ts":0,"dur":500,"pid":1,"tid":2}
+  ]})";
+  const std::string out = obs::render_top_spans(trace, 3);
+  EXPECT_NE(out.find("spice.dc"), std::string::npos);
+  EXPECT_NE(out.find("memsys.characterize"), std::string::npos);
+  EXPECT_THROW((void)obs::render_top_spans("not json", 3), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Live sampling. These need working POSIX per-thread timers; under
+// sanitizers the signal/timer interplay is intercepted, so skip there (the
+// same policy as the flight recorder's SIGSEGV test).
+
+TEST_F(ProfTest, StartStopAggregatesSamplesAndSnapshotsDeterministically) {
+  if (PPATC_UNDER_SANITIZER) {
+    GTEST_SKIP() << "per-thread timers + SIGPROF are not sanitizer-clean";
+  }
+#if !defined(__linux__)
+  GTEST_SKIP() << "sampling profiler is Linux-only (no-op elsewhere)";
+#endif
+  obs::start_profiler(4000);
+  EXPECT_TRUE(obs::prof_enabled());
+  // Burn CPU until at least a few samples land (CPU-time clock: only actual
+  // work advances it). Volatile sink so the loop cannot be optimized away.
+  volatile double sink = 0.0;
+  for (int spin = 0; spin < 4000 && obs::detail::prof_total_samples() < 8; ++spin) {
+    for (int i = 0; i < 20000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  }
+  obs::stop_profiler();
+  EXPECT_FALSE(obs::prof_enabled());
+  ASSERT_GE(obs::detail::prof_total_samples(), 1u) << "no SIGPROF samples landed";
+
+  // Once stopped, the aggregation is quiesced: two drains must agree bit for
+  // bit (the "drains deterministically" contract).
+  const std::string folded1 = obs::prof_to_folded(obs::prof_snapshot());
+  const std::string folded2 = obs::prof_to_folded(obs::prof_snapshot());
+  EXPECT_EQ(folded1, folded2);
+
+  const obs::ProfSnapshot snap = obs::prof_snapshot();
+  EXPECT_EQ(snap.hz, 4000u);
+  EXPECT_GE(snap.samples, 1u);
+  EXPECT_FALSE(snap.stacks.empty());
+  EXPECT_GT(snap.sample_ns_avg(), 0.0);
+
+  obs::reset_prof();
+  EXPECT_EQ(obs::detail::prof_total_samples(), 0u);
+  EXPECT_TRUE(obs::prof_snapshot().stacks.empty());
+}
+
+// The acceptance scenario: a profile written in the middle of a 4-thread
+// characterize_batch parses, attributes at least one sample to a memsys.*
+// span, and carries the caller's provenance stamps. Fork-based so the armed
+// timers, the custom rate, and the BENCH_* env cannot leak into other tests.
+TEST_F(ProfTest, ProfileOfCharacterizeBatchAttributesSamplesToMemsysSpans) {
+  if (PPATC_UNDER_SANITIZER) {
+    GTEST_SKIP() << "fork + per-thread timers are not sanitizer-clean";
+  }
+#if !defined(__linux__)
+  GTEST_SKIP() << "sampling profiler is Linux-only (no-op elsewhere)";
+#endif
+  const std::string path = scratch_path("batch");
+  std::error_code ec;
+  fs::remove(path, ec);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: 4 worker threads, max rate, provenance stamped the way
+    // run_perf.sh does it. The hot inner loops run under nested spice.*
+    // spans; samples attribute to memsys.* only in the deck-building and
+    // waveform post-processing windows, so batches repeat (bounded) until
+    // one lands there.
+    ::setenv("BENCH_GIT_SHA", "cafe0123test", 1);
+    ::setenv("BENCH_TIMESTAMP_UTC", "2026-01-01T00:00:00Z", 1);
+    runtime::set_thread_count(4);
+    obs::start_profiler(10000);
+    const std::vector<memsys::CellSpec> cells{
+        memsys::m3d_igzo_cnfet_cell(), memsys::all_si_cell(),
+        memsys::m3d_igzo_cnfet_cell(), memsys::all_si_cell()};
+    bool memsys_sample = false;
+    for (int round = 0; round < 50 && !memsys_sample; ++round) {
+      (void)memsys::characterize_batch(cells, units::volts(0.2));
+      for (const obs::ProfStack& s : obs::prof_snapshot().stacks) {
+        if (s.span.rfind("memsys.", 0) == 0) {
+          memsys_sample = true;
+          break;
+        }
+      }
+    }
+    // Mid-run in spirit: the profiler is still armed on every pool thread
+    // when the profile is written.
+    obs::write_profile(path);
+    ::_exit(memsys_sample ? 0 : 3);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child died abnormally";
+  ASSERT_EQ(WEXITSTATUS(status), 0) << "no memsys.* sample after bounded retries";
+
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty()) << "child wrote no profile at " << path;
+  const obs::FoldedProfile profile = obs::parse_folded(text);
+  EXPECT_GE(profile.total_samples(), 1u);
+  EXPECT_EQ(profile.header.at("hz"), "10000");
+  EXPECT_EQ(profile.header.at("git_sha"), "cafe0123test");
+  EXPECT_EQ(profile.header.at("timestamp_utc"), "2026-01-01T00:00:00Z");
+
+  // At least one sample landed inside a memsys.* span on some worker.
+  bool memsys_span = false;
+  for (const obs::FoldedStack& s : profile.stacks) {
+    ASSERT_FALSE(s.frames.empty());
+    if (s.frames[0].rfind("memsys.", 0) == 0) memsys_span = true;
+  }
+  EXPECT_TRUE(memsys_span) << "no sample attributed to a memsys.* span in:\n" << text;
+
+  // The profile renders through the same paths ppatc-report uses.
+  EXPECT_FALSE(obs::render_flame_table(profile, 10).empty());
+  EXPECT_NE(obs::render_flame_svg(profile).find("</svg>"), std::string::npos);
+
+  fs::remove(path, ec);
+}
+
+}  // namespace
+}  // namespace ppatc

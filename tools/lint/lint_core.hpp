@@ -135,14 +135,16 @@ struct LayeringConfig {
 /// Tuning knobs; the defaults encode the ppatc policy.
 struct Config {
   /// Files (matched by relative-path suffix) where getenv is permitted. The
-  /// blessed call sites live in these five files: the thread-count override
+  /// blessed call sites live in these six files: the thread-count override
   /// (PPATC_THREADS), the tracing/metrics switches (PPATC_TRACE,
   /// PPATC_METRICS), the run-manifest output path (BENCH_MANIFEST_OUT), the
-  /// flight-recorder switches (PPATC_FLIGHT, PPATC_METRICS_INTERVAL), and the
+  /// flight-recorder switches (PPATC_FLIGHT, PPATC_METRICS_INTERVAL), the
   /// diagnostic-bundle configuration (PPATC_DIAG_DIR + the provenance stamps
-  /// BENCH_GIT_SHA / BENCH_TIMESTAMP_UTC).
+  /// BENCH_GIT_SHA / BENCH_TIMESTAMP_UTC), and the sampling-profiler switches
+  /// (PPATC_PROFILE, PPATC_PROFILE_HZ + the same provenance stamps).
   std::vector<std::string> env_allowlist{"runtime/parallel.cpp", "obs/trace.cpp",
-                                         "obs/report.cpp", "obs/flight.cpp", "obs/diag.cpp"};
+                                         "obs/report.cpp", "obs/flight.cpp", "obs/diag.cpp",
+                                         "obs/prof.cpp"};
 
   /// Declared module layering. Empty disables the layering rule. run_lint
   /// auto-loads <root>/tools/lint/layering.toml when this is empty.

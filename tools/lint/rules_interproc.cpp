@@ -76,6 +76,9 @@ const std::set<std::string>& signal_allowlist() {
       // lock-free numerics
       "isfinite", "isnan", "isinf", "signbit", "fabs", "abs", "labs", "llabs",
       "min", "max",
+      // compiler intrinsic: reads a register, cannot fail or lock (the
+      // profiler's frame-pointer walk seeds from it on exotic targets)
+      "__builtin_frame_address",
       // std::atomic operations
       "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
       "fetch_or", "fetch_xor", "compare_exchange_weak", "compare_exchange_strong",

@@ -1,9 +1,9 @@
 // Symbol indexer implementation: one linear walk tracks namespace/class
 // scopes and detects function definitions by their signature shape; a second
 // pass over each body extracts call sites, throws, and try barriers; a final
-// pass finds root registrations (sigaction / signal / set_terminate) and the
-// lambdas handed to the parallel runtime. See symbols.hpp for the
-// approximation contract.
+// pass finds root registrations (sigaction / signal / set_terminate /
+// timer_create-style sigev_notify_function) and the lambdas handed to the
+// parallel runtime. See symbols.hpp for the approximation contract.
 #include "symbols.hpp"
 
 #include <algorithm>
@@ -394,8 +394,12 @@ FileIndex index_file(const std::string& rel, const std::string& contents) {
   for (std::size_t k = 0; k < toks.size(); ++k) {
     const Token& t = toks[k];
     if (t.kind != TokKind::kIdent) continue;
-    if ((t.text == "sa_handler" || t.text == "sa_sigaction") && k + 1 < toks.size() &&
-        toks[k + 1].text == "=") {
+    // sigev_notify_function covers the SIGEV_THREAD form of timer_create /
+    // setitimer-style registration; the SIGEV_SIGNAL form routes through a
+    // sigaction assignment and is caught by sa_handler / sa_sigaction.
+    if ((t.text == "sa_handler" || t.text == "sa_sigaction" ||
+         t.text == "sigev_notify_function") &&
+        k + 1 < toks.size() && toks[k + 1].text == "=") {
       std::size_t stop = k + 2;
       while (stop < toks.size() && toks[stop].text != ";") ++stop;
       const std::string name = handler_name(toks, k + 2, stop);

@@ -1,5 +1,5 @@
 // ppatc-report: compare run manifests (ppatc::obs::report JSON) against each
-// other or against committed goldens.
+// other or against committed goldens, and render observability artifacts.
 //
 //   ppatc-report diff [--json] [--verbose] <a.json> <b.json>
 //       Prints the per-key drift between two manifests (b is the reference
@@ -17,18 +17,26 @@
 //       beyond the tolerance (default 0.15 = 15%) exits non-zero.
 //       Improvements never fail. This is the perf-smoke gate.
 //
-//   ppatc-report timeline <bundle-or-trace.json>
+//   ppatc-report timeline [--top N] <bundle-or-trace.json>
 //       Renders a diagnostic bundle (PPATC_DIAG_DIR) or a Chrome trace
 //       (PPATC_TRACE) as a human-readable per-thread timeline with the
-//       failure point marked. Exits 2 on unreadable/malformed input.
+//       failure point marked. With --top N, instead summarizes the N hottest
+//       spans per thread by wall time. Exits 2 on unreadable/malformed input.
+//
+//   ppatc-report flamegraph [--top N] [--svg <path>] <profile.folded>
+//       Renders a folded profile (PPATC_PROFILE / obs::write_profile) as a
+//       sorted self/total-time table; --svg additionally writes a standalone
+//       flamegraph SVG. Exits 2 on unreadable/malformed input.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "ppatc/obs/flight.hpp"
+#include "ppatc/obs/prof.hpp"
 
 #include "ppatc/common/contract.hpp"
 #include "ppatc/obs/report.hpp"
@@ -41,20 +49,116 @@ int usage() {
                "       ppatc-report check [--json] <run.json> <golden.json>\n"
                "       ppatc-report perf-compare [--tolerance <frac>] <run.json> "
                "<baseline.json>\n"
-               "       ppatc-report timeline <bundle-or-trace.json>\n");
+               "       ppatc-report timeline [--top N] <bundle-or-trace.json>\n"
+               "       ppatc-report flamegraph [--top N] [--svg <path>] <profile.folded>\n");
   return 2;
 }
 
-int run_timeline(const char* path) {
+bool read_file(const char* path, std::string& out) {
   std::ifstream in{path};
   if (!in.good()) {
     std::fprintf(stderr, "ppatc-report: cannot read %s\n", path);
-    return 2;
+    return false;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+// Parses a trailing `[--top N]` + one positional path. Returns false (after
+// printing the problem) on anything else. `top` keeps its caller default
+// when the flag is absent.
+bool parse_top_and_path(int argc, char** argv, int first, std::size_t& top,
+                        const char*& path) {
+  path = nullptr;
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ppatc-report: --top needs a value\n");
+        return false;
+      }
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "ppatc-report: bad --top '%s'\n", argv[i]);
+        return false;
+      }
+      top = static_cast<std::size_t>(v);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "ppatc-report: unknown option '%s'\n", argv[i]);
+      return false;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "ppatc-report: too many arguments\n");
+      return false;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "ppatc-report: missing input file\n");
+    return false;
+  }
+  return true;
+}
+
+int run_timeline(int argc, char** argv) {
+  std::size_t top = 0;  // 0 = full timeline, N = hottest-span summary
+  const char* path = nullptr;
+  if (!parse_top_and_path(argc, argv, 2, top, path)) return usage();
+  std::string text;
+  if (!read_file(path, text)) return 2;
   try {
-    std::fputs(ppatc::obs::render_timeline(buf.str()).c_str(), stdout);
+    const std::string out = top > 0 ? ppatc::obs::render_top_spans(text, top)
+                                    : ppatc::obs::render_timeline(text);
+    std::fputs(out.c_str(), stdout);
+  } catch (const ppatc::ContractViolation& e) {
+    std::fprintf(stderr, "ppatc-report: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
+int run_flamegraph(int argc, char** argv) {
+  std::size_t top = 30;
+  const char* svg_path = nullptr;
+  const char* path = nullptr;
+  // --svg takes a value, which parse_top_and_path cannot express; strip it
+  // first and hand the rest through.
+  std::vector<char*> rest;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--svg") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ppatc-report: --svg needs a path\n");
+        return usage();
+      }
+      svg_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (!parse_top_and_path(static_cast<int>(rest.size()), rest.data(), 0, top, path)) {
+    return usage();
+  }
+  std::string text;
+  if (!read_file(path, text)) return 2;
+  try {
+    const ppatc::obs::FoldedProfile profile = ppatc::obs::parse_folded(text);
+    std::fputs(ppatc::obs::render_flame_table(profile, top).c_str(), stdout);
+    if (svg_path != nullptr) {
+      std::ofstream out{svg_path};
+      if (!out.good()) {
+        std::fprintf(stderr, "ppatc-report: cannot write %s\n", svg_path);
+        return 2;
+      }
+      out << ppatc::obs::render_flame_svg(profile);
+      out.close();
+      if (!out.good()) {
+        std::fprintf(stderr, "ppatc-report: failed writing %s\n", svg_path);
+        return 2;
+      }
+      std::printf("flamegraph SVG written to %s\n", svg_path);
+    }
   } catch (const ppatc::ContractViolation& e) {
     std::fprintf(stderr, "ppatc-report: %s\n", e.what());
     return 2;
@@ -113,10 +217,8 @@ Args parse_args(int argc, char** argv, int first) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  if (cmd == "timeline") {
-    if (argc != 3 || argv[2][0] == '-') return usage();
-    return run_timeline(argv[2]);
-  }
+  if (cmd == "timeline") return run_timeline(argc, argv);
+  if (cmd == "flamegraph") return run_flamegraph(argc, argv);
   if (cmd != "diff" && cmd != "check" && cmd != "perf-compare") return usage();
   const Args args = parse_args(argc, argv, 2);
   if (!args.ok) return usage();
