@@ -1,0 +1,46 @@
+// Fixture: fp-reduction-order violations — shared floating-point
+// accumulators mutated inside parallel regions, directly and through
+// helpers one and two calls deep. merge_into is deliberately defined before
+// accumulate so its summary needs a second fixpoint iteration.
+#include <cstddef>
+#include <vector>
+
+namespace ppatc::demo {
+
+void merge_into(double& dst, double x) { accumulate(dst, x); }
+
+void accumulate(double& acc, double x) { acc += x; }
+
+double bad_direct_sum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  parallel_for(xs.size(), [&](std::size_t i) {
+    sum += xs[i];  // scheduler-ordered fp merge
+  });
+  return sum;
+}
+
+double bad_direct_product(const std::vector<double>& xs) {
+  double product = 1.0;
+  parallel_for(xs.size(), [&](std::size_t i) {
+    product *= xs[i];  // same hazard through *=
+  });
+  return product;
+}
+
+double bad_helper_sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  parallel_for(xs.size(), [&](std::size_t i) {
+    accumulate(total, xs[i]);  // the helper accumulates on the lambda's behalf
+  });
+  return total;
+}
+
+double bad_two_hop(const std::vector<double>& xs) {
+  double folded = 0.0;
+  parallel_for(xs.size(), [&](std::size_t i) {
+    merge_into(folded, xs[i]);  // two calls deep: merge_into -> accumulate
+  });
+  return folded;
+}
+
+}  // namespace ppatc::demo

@@ -1,0 +1,53 @@
+// Fixture: determinism-taint violations — run-varying values (pointer
+// identity, thread identity, unordered iteration order) flowing into
+// RunManifest::record* sinks and cache-key computations, across function
+// boundaries.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace ppatc::demo {
+
+struct Manifest {
+  void record(const std::string& key, double value);
+  void record_text(const std::string& key, const std::string& value);
+  void record_vs_paper(const std::string& key, double value, double paper);
+};
+
+struct Node {
+  int id;
+};
+
+std::uint64_t fingerprint(const Node* node) {
+  return reinterpret_cast<std::uint64_t>(node);  // pointer-identity source
+}
+
+void log_node(Manifest& m, const Node* node) {
+  m.record("node_key", static_cast<double>(fingerprint(node)));
+}
+
+void log_thread(Manifest& m) {
+  m.record_text("worker", std::to_string(gettid()));
+}
+
+double fold_cache(const std::unordered_map<int, double>& cache) {
+  double acc = 0.0;
+  for (const auto& [key, value] : cache) acc += value;
+  return acc;
+}
+
+void log_cache(Manifest& m, const std::unordered_map<int, double>& cache) {
+  m.record_vs_paper("cache_sum", fold_cache(cache), 1.0);
+}
+
+std::size_t salted_key(const Node* node, std::size_t salt) {
+  // ppatc: cache-key
+  return mix(reinterpret_cast<std::size_t>(node), salt);
+}
+
+void log_bucket(Manifest& m, const Node* node) {
+  const std::size_t bucket = std::hash<const Node*>{}(node);
+  m.record("bucket", static_cast<double>(bucket));
+}
+
+}  // namespace ppatc::demo

@@ -1,0 +1,45 @@
+// Fixture: interproc-units-escape violations — (dimension, unit) tags
+// carried across call/return edges into cross-function mixes, wrong-factory
+// rewraps and callee parameter-expectation mismatches. The brace-local
+// units-escape rule cannot see any of these: every tag crosses a function
+// boundary first.
+
+namespace ppatc::demo {
+
+double unwrap_runtime(const Duration& d) { return in_seconds(d); }
+
+double unwrap_energy(const Energy& e) { return in_joules(e); }
+
+double unwrap_millis(const Duration& d) { return in_milliseconds(d); }
+
+double overhead_joules(double base_j) {
+  const double pad = in_joules(kPadEnergy);
+  return base_j + pad;  // teaches: parameter 0 carries (Energy, joules)
+}
+
+double bad_cross_mix(const Duration& d, const Energy& e) {
+  const double t = unwrap_runtime(d);
+  const double j = unwrap_energy(e);
+  const double busted = t + j;  // Duration + Energy, tags from two callees
+  return busted;
+}
+
+double bad_param_mismatch(const Duration& d) {
+  const double t = unwrap_runtime(d);
+  return overhead_joules(t);  // seconds where the callee folds in joules
+}
+
+double bad_rewrap(const Duration& d) {
+  const double t = unwrap_runtime(d);
+  const auto wrong = units::joules(t);  // seconds re-wrapped as Energy
+  return in_joules(wrong);
+}
+
+double bad_same_dimension(const Duration& a, const Duration& b) {
+  const double s = unwrap_runtime(a);
+  const double ms = unwrap_millis(b);
+  const double skew = s - ms;  // both Duration, but seconds vs milliseconds
+  return skew;
+}
+
+}  // namespace ppatc::demo

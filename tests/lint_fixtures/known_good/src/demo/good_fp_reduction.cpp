@@ -1,0 +1,34 @@
+// Fixture: the chunk-indexed fp discipline — parallel work writes
+// index-addressed slots or chunk-local accumulators and folds serially, so
+// fp-reduction-order stays quiet. The same accumulate helper that is a
+// violation inside a parallel lambda is fine on the serial path.
+#include <cstddef>
+#include <vector>
+
+namespace ppatc::demo {
+
+void accumulate(double& acc, double x) { acc += x; }
+
+double chunked_sum(const std::vector<double>& values) {
+  std::vector<double> partials;
+  partials.resize(4);
+  parallel_for_chunks(values.size(), 16, [&](ChunkRange chunk) {
+    double local = 0.0;  // lambda-local: no shared merge order
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) local += values[i];
+    partials[chunk.index] = local;  // chunk-indexed slot
+  });
+  double total = 0.0;
+  for (double p : partials) accumulate(total, p);  // serial fold: order-fixed
+  return total;
+}
+
+double squared_norm(const std::vector<double>& xs, std::vector<double>& out) {
+  parallel_for(xs.size(), [&](std::size_t i) {
+    out[i] = xs[i] * xs[i];  // index-addressed output
+  });
+  double total = 0.0;
+  for (double p : out) accumulate(total, p);
+  return total;
+}
+
+}  // namespace ppatc::demo

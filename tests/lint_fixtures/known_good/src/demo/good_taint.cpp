@@ -1,0 +1,31 @@
+// Fixture: recorded values derived only from deterministic inputs — no
+// pointer/thread/unordered-order provenance, so determinism-taint stays
+// quiet even though the same sinks appear.
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace ppatc::demo {
+
+struct Manifest {
+  void record(const std::string& key, double value);
+  void record_text(const std::string& key, const std::string& value);
+};
+
+double fold_sorted(const std::map<int, double>& table) {
+  double acc = 0.0;
+  for (const auto& [key, value] : table) acc += value;
+  return acc;
+}
+
+void log_results(Manifest& m, const std::map<int, double>& table) {
+  m.record("table_sum", fold_sorted(table));
+  m.record_text("label", std::string{"fixed"});
+}
+
+std::size_t content_key(const std::map<int, double>& table) {
+  // ppatc: cache-key
+  return mix(table.size(), 17);
+}
+
+}  // namespace ppatc::demo

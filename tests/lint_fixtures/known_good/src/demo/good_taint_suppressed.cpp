@@ -1,0 +1,24 @@
+// Fixture: deliberate determinism-taint suppressions — one allow() on the
+// sink line, one on the enclosing function's definition line. Both forms
+// must be counted as suppressed, not lost and not violations.
+#include <cstdint>
+#include <string>
+
+namespace ppatc::demo {
+
+struct Manifest {
+  void record(const std::string& key, double value);
+};
+
+void log_arena_base(Manifest& m, const int* arena) {
+  const auto base = reinterpret_cast<std::uint64_t>(arena);
+  // ppatc-lint: allow(determinism-taint) -- arena base is logged for debugging only
+  m.record("arena_base", static_cast<double>(base));
+}
+
+// ppatc-lint: allow(determinism-taint) -- diagnostic-only pointer log
+void log_node_addr(Manifest& m, const int* node) {
+  m.record("node_addr", static_cast<double>(reinterpret_cast<std::uint64_t>(node)));
+}
+
+}  // namespace ppatc::demo

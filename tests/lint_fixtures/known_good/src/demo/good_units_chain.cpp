@@ -1,0 +1,32 @@
+// Fixture: unit tags that stay consistent across call/return edges — the
+// interprocedural shapes interproc-units-escape must accept.
+
+namespace ppatc::demo {
+
+double unwrap_runtime(const Duration& d) { return in_seconds(d); }
+
+double unwrap_extra(const Duration& d) { return in_seconds(d); }
+
+double overhead_joules(double base_j) {
+  const double pad = in_joules(kPadEnergy);
+  return base_j + pad;
+}
+
+double total_runtime(const Duration& a, const Duration& b) {
+  const double first = unwrap_runtime(a);
+  const double second = unwrap_extra(b);
+  return first + second;  // same (Duration, seconds) tag on both sides
+}
+
+double padded_energy(const Energy& e) {
+  const double j = in_joules(e);
+  return overhead_joules(j);  // joules where joules is expected
+}
+
+double rewrapped(const Duration& d) {
+  const double t = unwrap_runtime(d);
+  const auto again = units::seconds(t);  // matching factory round-trip
+  return in_seconds(again);
+}
+
+}  // namespace ppatc::demo

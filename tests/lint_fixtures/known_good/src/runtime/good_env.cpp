@@ -1,0 +1,12 @@
+// Fixture: getenv at an allowlisted site — env-allowlist stays quiet
+// because tools/lint/env_allowlist.toml blesses exactly this file.
+#include <cstdlib>
+
+namespace ppatc::demo {
+
+int configured_threads() {
+  if (const char* env = std::getenv("PPATC_THREADS")) return *env - '0';
+  return 0;
+}
+
+}  // namespace ppatc::demo

@@ -57,15 +57,18 @@ TEST(LintFixtures, KnownGoodIsCleanWithCountedSuppressions) {
   const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_good");
   EXPECT_TRUE(report.clean()) << lint::format_report(report);
   EXPECT_EQ(report.violation_count(), 0u);
-  // The deliberate allow(unit-typed-api) in good.hpp and the allow(realtime)
-  // trace in good_realtime.cpp must be counted, not lost.
-  EXPECT_EQ(report.suppression_count(), 2u) << lint::format_report(report);
+  // The deliberate allow(unit-typed-api) in good.hpp, the allow(realtime)
+  // trace in good_realtime.cpp, and the two allow(determinism-taint) forms
+  // (sink line + function-definition line) must be counted, not lost.
+  EXPECT_EQ(report.suppression_count(), 4u) << lint::format_report(report);
   const auto by_rule = report.count_by_rule(/*suppressed=*/true);
   ASSERT_TRUE(by_rule.contains("unit-typed-api"));
   EXPECT_EQ(by_rule.at("unit-typed-api"), 1u);
   ASSERT_TRUE(by_rule.contains("realtime-purity"));
   EXPECT_EQ(by_rule.at("realtime-purity"), 1u);
-  EXPECT_EQ(report.files_scanned, 13u);
+  ASSERT_TRUE(by_rule.contains("determinism-taint"));
+  EXPECT_EQ(by_rule.at("determinism-taint"), 2u);
+  EXPECT_EQ(report.files_scanned, 18u);
 }
 
 TEST(LintFixtures, KnownBadFiresEveryRule) {
@@ -76,7 +79,8 @@ TEST(LintFixtures, KnownBadFiresEveryRule) {
   for (const char* rule : {"unit-typed-api", "determinism", "unordered-iter", "env-allowlist",
                            "pragma-once", "layering", "parallel-safety", "units-escape",
                            "lifetime", "obs-name-literal", "signal-safety", "noexcept-escape",
-                           "realtime-purity"}) {
+                           "realtime-purity", "determinism-taint", "fp-reduction-order",
+                           "interproc-units-escape"}) {
     ASSERT_TRUE(by_rule.contains(rule)) << rule << "\n" << lint::format_report(report);
   }
 
@@ -84,13 +88,16 @@ TEST(LintFixtures, KnownBadFiresEveryRule) {
   EXPECT_EQ(by_rule.at("unit-typed-api"), 2u);
   // bad_determinism.cpp: srand, time-seed, random_device, system_clock, rand.
   EXPECT_EQ(by_rule.at("determinism"), 5u);
-  EXPECT_EQ(by_rule.at("unordered-iter"), 1u);
-  EXPECT_EQ(by_rule.at("env-allowlist"), 1u);
+  // bad_unordered.cpp's fold plus bad_taint.cpp's fold_cache range-for.
+  EXPECT_EQ(by_rule.at("unordered-iter"), 2u);
+  // bad_env.cpp's getenv plus the ghost entry in env_allowlist.toml.
+  EXPECT_EQ(by_rule.at("env-allowlist"), 2u);
   EXPECT_EQ(by_rule.at("pragma-once"), 1u);
   // bad_cross.cpp: the public include and the relative reach into alpha.
   EXPECT_EQ(by_rule.at("layering"), 2u);
-  // bad_parallel.cpp: shared +=, shared ++, lock_guard + mutex on one line.
-  EXPECT_EQ(by_rule.at("parallel-safety"), 4u);
+  // bad_parallel.cpp: shared +=, shared ++, lock_guard + mutex on one line;
+  // bad_fp_reduction.cpp: the direct sum += and product *= shared writes.
+  EXPECT_EQ(by_rule.at("parallel-safety"), 6u);
   // bad_units.cpp: dimension mix, unit mix, wrong factory, raw .value().
   EXPECT_EQ(by_rule.at("units-escape"), 4u);
   // bad_lifetime.cpp: view of a local, reference to a local, view of a temp.
@@ -105,6 +112,15 @@ TEST(LintFixtures, KnownBadFiresEveryRule) {
   // bad_realtime.cpp: malloc, free, lock_guard, printf reached from the
   // lambda; plus the lock_guard inside bad_parallel.cpp's lambda.
   EXPECT_EQ(by_rule.at("realtime-purity"), 5u);
+  // bad_taint.cpp: pointer fingerprint via helper, gettid, unordered fold via
+  // helper, cache-key reinterpret_cast, std::hash of a pointer.
+  EXPECT_EQ(by_rule.at("determinism-taint"), 5u);
+  // bad_fp_reduction.cpp: direct sum +=, direct product *=, the accumulate
+  // helper, the two-hop merge_into chain; plus bad_parallel.cpp's total +=.
+  EXPECT_EQ(by_rule.at("fp-reduction-order"), 5u);
+  // bad_units_chain.cpp: cross-function dimension mix, callee parameter
+  // mismatch, wrong-factory rewrap, same-dimension unit mix.
+  EXPECT_EQ(by_rule.at("interproc-units-escape"), 4u);
   EXPECT_EQ(report.suppression_count(), 0u);
 }
 
@@ -200,13 +216,101 @@ TEST(LintText, UnitTypedApiEscapes) {
 }
 
 TEST(LintText, EnvAllowlistBlessesOnlyConfiguredFiles) {
+  // Config::env_allowlist defaults to empty; run_lint fills it from
+  // tools/lint/env_allowlist.toml. lint_text callers provide it explicitly.
+  EXPECT_TRUE(lint::Config{}.env_allowlist.empty());
+  lint::Config config;
+  const lint::EnvAllowlist allowlist = lint::parse_env_allowlist(
+      "[groups]\n"
+      "runtime = [\"runtime/parallel.cpp\"]\n"
+      "obs = [\"obs/trace.cpp\", \"obs/report.cpp\", \"obs/flight.cpp\", \"obs/diag.cpp\"]\n");
+  for (const lint::EnvAllowlistEntry& e : allowlist.entries) {
+    config.env_allowlist.push_back(e.file);
+  }
   const std::string text = "#include <cstdlib>\nbool b = std::getenv(\"PPATC_THREADS\");\n";
-  EXPECT_TRUE(lint_one("runtime/parallel.cpp", text).empty());
-  EXPECT_TRUE(lint_one("obs/trace.cpp", text).empty());
-  EXPECT_TRUE(lint_one("obs/report.cpp", text).empty());   // BENCH_MANIFEST_OUT read site
-  EXPECT_TRUE(lint_one("obs/flight.cpp", text).empty());   // PPATC_FLIGHT / _METRICS_INTERVAL
-  EXPECT_TRUE(lint_one("obs/diag.cpp", text).empty());     // PPATC_DIAG_DIR + provenance stamps
-  EXPECT_TRUE(has_rule(lint_one("carbon/tcdp.cpp", text), "env-allowlist"));
+  const auto check = [&](const std::string& rel) {
+    std::vector<lint::Finding> out;
+    lint::lint_text(rel, text, config, out);
+    return out;
+  };
+  EXPECT_TRUE(check("runtime/parallel.cpp").empty());
+  EXPECT_TRUE(check("obs/trace.cpp").empty());
+  EXPECT_TRUE(check("obs/report.cpp").empty());   // BENCH_MANIFEST_OUT read site
+  EXPECT_TRUE(check("obs/flight.cpp").empty());   // PPATC_FLIGHT / _METRICS_INTERVAL
+  EXPECT_TRUE(check("obs/diag.cpp").empty());     // PPATC_DIAG_DIR + provenance stamps
+  EXPECT_TRUE(has_rule(check("carbon/tcdp.cpp"), "env-allowlist"));
+  // With the default (empty) allowlist, nothing at all is blessed.
+  EXPECT_TRUE(has_rule(lint_one("runtime/parallel.cpp", text), "env-allowlist"));
+}
+
+TEST(LintEnvAllowlist, ParsesGroupsAndRecordsTomlLines) {
+  const lint::EnvAllowlist allowlist = lint::parse_env_allowlist(
+      "# comment\n"
+      "[groups]\n"
+      "runtime = [\"runtime/parallel.cpp\"]\n"
+      "obs = [\"obs/trace.cpp\", \"obs/report.cpp\"]  # trailing comment\n");
+  ASSERT_EQ(allowlist.entries.size(), 3u);
+  EXPECT_EQ(allowlist.entries[0].file, "runtime/parallel.cpp");
+  EXPECT_EQ(allowlist.entries[0].line, 3);
+  EXPECT_EQ(allowlist.entries[2].file, "obs/report.cpp");
+  EXPECT_EQ(allowlist.entries[2].line, 4);
+}
+
+TEST(LintEnvAllowlist, RejectsMalformedDeclarations) {
+  // No '='.
+  EXPECT_THROW((void)lint::parse_env_allowlist("runtime\n"), std::runtime_error);
+  // Non-identifier group name.
+  EXPECT_THROW((void)lint::parse_env_allowlist("bad name = [\"a.cpp\"]\n"), std::runtime_error);
+  // Duplicate group.
+  EXPECT_THROW((void)lint::parse_env_allowlist("a = [\"x.cpp\"]\na = [\"y.cpp\"]\n"),
+               std::runtime_error);
+  // Unquoted entry.
+  EXPECT_THROW((void)lint::parse_env_allowlist("a = [x.cpp]\n"), std::runtime_error);
+  // Not a C++ source suffix.
+  EXPECT_THROW((void)lint::parse_env_allowlist("a = [\"x.txt\"]\n"), std::runtime_error);
+  // Same file blessed twice across groups.
+  EXPECT_THROW((void)lint::parse_env_allowlist("a = [\"x.cpp\"]\nb = [\"x.cpp\"]\n"),
+               std::runtime_error);
+}
+
+TEST(LintEnvAllowlist, StaleEntryIsItselfAFinding) {
+  // known_bad's env_allowlist.toml blesses demo/ghost_config.cpp, which does
+  // not exist — the allowlist may only shrink, so the entry is a finding
+  // pointing at its own toml line.
+  const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_bad");
+  const auto it = std::find_if(
+      report.findings.begin(), report.findings.end(), [](const lint::Finding& f) {
+        return f.rule == "env-allowlist" && f.file == "tools/lint/env_allowlist.toml";
+      });
+  ASSERT_NE(it, report.findings.end()) << lint::format_report(report);
+  EXPECT_EQ(it->line, 4);
+  EXPECT_NE(it->message.find("stale"), std::string::npos);
+  EXPECT_NE(it->message.find("demo/ghost_config.cpp"), std::string::npos);
+}
+
+TEST(LintExplain, EveryRegisteredRuleIsDocumented) {
+  const std::vector<std::string>& rules = lint::all_rules();
+  EXPECT_EQ(rules.size(), 16u);
+  const std::map<std::string, lint::RuleExplain>& table = lint::rule_explanations();
+  EXPECT_EQ(table.size(), rules.size());
+  for (const std::string& rule : rules) {
+    ASSERT_TRUE(table.contains(rule)) << rule;
+    const lint::RuleExplain& e = table.at(rule);
+    EXPECT_FALSE(e.summary.empty()) << rule;
+    EXPECT_FALSE(e.rationale.empty()) << rule;
+    EXPECT_FALSE(e.example.empty()) << rule;
+    EXPECT_FALSE(e.suppression.empty()) << rule;
+    // Single-rule output leads with the rule name and carries all sections.
+    const std::string text = lint::explain_rule(rule);
+    EXPECT_NE(text.find(rule), std::string::npos) << rule;
+    EXPECT_NE(text.find(e.summary), std::string::npos) << rule;
+  }
+  // 'all' documents every rule in one pass.
+  const std::string everything = lint::explain_rule("all");
+  for (const std::string& rule : rules) {
+    EXPECT_NE(everything.find(rule), std::string::npos) << rule;
+  }
+  EXPECT_THROW((void)lint::explain_rule("no-such-rule"), std::runtime_error);
 }
 
 TEST(LintText, ObsNameLiteralFlagsRuntimeBuiltNames) {
@@ -500,7 +604,11 @@ TEST(LintCallGraph, JsonDumpIsValidAndCarriesTheSummary) {
   EXPECT_NE(json.find("\"functions\": 4"), std::string::npos) << json;
   EXPECT_NE(json.find("\"edges\": 7"), std::string::npos) << json;
   EXPECT_NE(json.find("\"unresolved_names\": 2"), std::string::npos) << json;
+  // Unresolved externals survive the dump — including the function-pointer
+  // call, which no symbol table could ever resolve.
   EXPECT_NE(json.find("\"name\": \"mystery_external\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"fp\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sites\": 1"), std::string::npos) << json;
 }
 
 TEST(LintCallGraph, IndexerSeesRootsAnnotationsAndBarriers) {
@@ -588,6 +696,116 @@ TEST(LintCallGraph, UnqualifiedCallsResolveThroughEnclosingScopesOnly) {
   EXPECT_TRUE(recorded);
 }
 
+// ---- dataflow rules ---------------------------------------------------------
+
+namespace {
+
+const lint::Finding* find_at(const lint::Report& report, const std::string& rule,
+                             const std::string& file, int line) {
+  for (const lint::Finding& f : report.findings) {
+    if (f.rule == rule && f.file == file && f.line == line) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(LintDataflow, TaintFindingsNameTheFullSourceToSinkPath) {
+  const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_bad");
+
+  // Pointer fingerprint: the source is two calls away from the sink, and the
+  // path names every hop plus the source's own file:line.
+  const lint::Finding* ptr = find_at(report, "determinism-taint", "demo/bad_taint.cpp", 26);
+  ASSERT_NE(ptr, nullptr) << lint::format_report(report);
+  EXPECT_NE(ptr->message.find("reinterpret_cast of a pointer to an integer "
+                              "(demo/bad_taint.cpp:22) -> ppatc::demo::fingerprint "
+                              "-> ppatc::demo::log_node -> RunManifest::record"),
+            std::string::npos)
+      << ptr->message;
+  // The structured path chain mirrors the message, source first.
+  ASSERT_FALSE(ptr->related.empty());
+  EXPECT_EQ(ptr->related.front().line, 22);
+  EXPECT_EQ(ptr->related.front().note.rfind("source:", 0), 0u) << ptr->related.front().note;
+
+  // Unordered-iteration order through a helper fold.
+  const lint::Finding* fold = find_at(report, "determinism-taint", "demo/bad_taint.cpp", 40);
+  ASSERT_NE(fold, nullptr) << lint::format_report(report);
+  EXPECT_NE(fold->message.find("iteration order of unordered container 'cache'"),
+            std::string::npos)
+      << fold->message;
+  EXPECT_NE(fold->message.find("ppatc::demo::fold_cache"), std::string::npos) << fold->message;
+
+  // The annotated cache-key sink.
+  const lint::Finding* key = find_at(report, "determinism-taint", "demo/bad_taint.cpp", 45);
+  ASSERT_NE(key, nullptr) << lint::format_report(report);
+  EXPECT_NE(key->message.find("cache-key"), std::string::npos) << key->message;
+}
+
+TEST(LintDataflow, FpHelperAccumulationIsTracedThroughTheCallChain) {
+  const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_bad");
+
+  // One call deep: the helper and its mutation site are both named.
+  const lint::Finding* one = find_at(report, "fp-reduction-order", "demo/bad_fp_reduction.cpp", 33);
+  ASSERT_NE(one, nullptr) << lint::format_report(report);
+  EXPECT_NE(one->message.find("mutated through ppatc::demo::accumulate "
+                              "(demo/bad_fp_reduction.cpp:12)"),
+            std::string::npos)
+      << one->message;
+
+  // Two calls deep — merge_into is defined BEFORE accumulate in the fixture,
+  // so this path only exists because the summary fixpoint re-iterated.
+  const lint::Finding* two = find_at(report, "fp-reduction-order", "demo/bad_fp_reduction.cpp", 41);
+  ASSERT_NE(two, nullptr) << lint::format_report(report);
+  EXPECT_NE(two->message.find("parallel-lambda@demo/bad_fp_reduction.cpp:40 -> "
+                              "ppatc::demo::merge_into -> ppatc::demo::accumulate -> folded +="),
+            std::string::npos)
+      << two->message;
+}
+
+TEST(LintDataflow, UnitTagsSurviveCallAndReturnEdges) {
+  const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_bad");
+
+  // Cross-dimension mix where both tags arrived through callees.
+  const lint::Finding* mix = find_at(report, "interproc-units-escape",
+                                     "demo/bad_units_chain.cpp", 23);
+  ASSERT_NE(mix, nullptr) << lint::format_report(report);
+  EXPECT_NE(mix->message.find("(Duration, in_seconds) from in_seconds at "
+                              "demo/bad_units_chain.cpp:9, through ppatc::demo::unwrap_runtime"),
+            std::string::npos)
+      << mix->message;
+  EXPECT_NE(mix->message.find("(Energy, in_joules)"), std::string::npos) << mix->message;
+
+  // Callee parameter expectation, learned from the callee's own body.
+  const lint::Finding* param = find_at(report, "interproc-units-escape",
+                                       "demo/bad_units_chain.cpp", 29);
+  ASSERT_NE(param, nullptr) << lint::format_report(report);
+  EXPECT_NE(param->message.find("ppatc::demo::overhead_joules expects this parameter to carry "
+                                "(Energy, in_joules) (established by in_joules at "
+                                "demo/bad_units_chain.cpp:16)"),
+            std::string::npos)
+      << param->message;
+
+  // Wrong-factory rewrap and same-dimension unit skew.
+  ASSERT_NE(find_at(report, "interproc-units-escape", "demo/bad_units_chain.cpp", 34), nullptr);
+  const lint::Finding* skew = find_at(report, "interproc-units-escape",
+                                      "demo/bad_units_chain.cpp", 41);
+  ASSERT_NE(skew, nullptr) << lint::format_report(report);
+  EXPECT_NE(skew->message.find("(Duration, in_milliseconds)"), std::string::npos)
+      << skew->message;
+}
+
+TEST(LintSarif, DataflowFindingsCarryRelatedLocationPathChains) {
+  const lint::Report report = lint::run_lint(std::string(PPATC_LINT_FIXTURE_DIR) + "/known_bad");
+  const std::string sarif = lint::to_sarif(report, "src/");
+  EXPECT_TRUE(ppatc::testutil::JsonValidator::valid(sarif));
+  EXPECT_NE(sarif.find("\"relatedLocations\""), std::string::npos);
+  // The pointer-fingerprint chain renders source, via-hop and sink in order.
+  EXPECT_NE(sarif.find("source: reinterpret_cast of a pointer to an integer"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("via ppatc::demo::fingerprint"), std::string::npos);
+  EXPECT_NE(sarif.find("sink: RunManifest::record"), std::string::npos);
+}
+
 // ---- the real tree ----------------------------------------------------------
 
 TEST(LintRepo, RealTreeLintsClean) {
@@ -623,11 +841,17 @@ TEST(LintRepo, PublishesCallGraphAndSelfMetrics) {
   EXPECT_GT(stats.functions_indexed, 200u);
   EXPECT_GT(stats.call_edges, 500u);
   EXPECT_GT(stats.unresolved_externals, 50u);
+  // The dataflow layer summarized real functions and actually iterated.
+  EXPECT_GT(stats.dataflow_summaries, 0u);
+  EXPECT_GE(stats.fixpoint_iterations, 2u);
   EXPECT_TRUE(ppatc::testutil::JsonValidator::valid(callgraph_json));
   // The self-metrics sidecar path: the gauges land in the obs registry.
   const std::string metrics = ppatc::obs::metrics_to_json();
-  for (const char* name : {"lint.files_scanned", "lint.functions_indexed", "lint.call_edges",
-                           "lint.unresolved_externals", "lint.findings.signal-safety"}) {
+  for (const char* name :
+       {"lint.files_scanned", "lint.functions_indexed", "lint.call_edges",
+        "lint.unresolved_externals", "lint.dataflow_summaries", "lint.fixpoint_iterations",
+        "lint.findings.signal-safety", "lint.findings.determinism-taint",
+        "lint.findings.fp-reduction-order", "lint.findings.interproc-units-escape"}) {
     EXPECT_NE(metrics.find(name), std::string::npos) << name;
   }
 }

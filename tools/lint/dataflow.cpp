@@ -1,0 +1,1171 @@
+// The dataflow engine: per-function abstract interpretation over the retained
+// token streams, per-function summaries, and the call-graph fixpoint.
+// See dataflow.hpp for the domain and the overall shape.
+#include "dataflow.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace ppatc::lint {
+
+// ---- units vocabulary -------------------------------------------------------
+
+const std::map<std::string, UnitDim>& units_vocabulary() {
+  static const std::map<std::string, UnitDim> kTable{
+      {"joules", {"Energy", "joules"}},
+      {"kilowatt_hours", {"Energy", "kilowatt_hours"}},
+      {"watt_hours", {"Energy", "watt_hours"}},
+      {"picojoules", {"Energy", "picojoules"}},
+      {"femtojoules", {"Energy", "femtojoules"}},
+      {"watts", {"Power", "watts"}},
+      {"milliwatts", {"Power", "milliwatts"}},
+      {"microwatts", {"Power", "microwatts"}},
+      {"nanowatts", {"Power", "nanowatts"}},
+      {"seconds", {"Duration", "seconds"}},
+      {"nanoseconds", {"Duration", "nanoseconds"}},
+      {"picoseconds", {"Duration", "picoseconds"}},
+      {"microseconds", {"Duration", "microseconds"}},
+      {"milliseconds", {"Duration", "milliseconds"}},
+      {"hours", {"Duration", "hours"}},
+      {"days", {"Duration", "days"}},
+      {"months", {"Duration", "months"}},
+      {"square_centimetres", {"Area", "square_centimetres"}},
+      {"square_millimetres", {"Area", "square_millimetres"}},
+      {"square_micrometres", {"Area", "square_micrometres"}},
+      {"metres", {"Length", "metres"}},
+      {"millimetres", {"Length", "millimetres"}},
+      {"micrometres", {"Length", "micrometres"}},
+      {"nanometres", {"Length", "nanometres"}},
+      {"grams_co2e", {"Carbon", "grams_co2e"}},
+      {"kilograms_co2e", {"Carbon", "kilograms_co2e"}},
+      {"gco2e_seconds", {"CarbonDelay", "gco2e_seconds"}},
+      {"grams_per_kilowatt_hour", {"CarbonIntensity", "grams_per_kilowatt_hour"}},
+      {"grams_per_square_centimetre", {"CarbonPerArea", "grams_per_square_centimetre"}},
+      {"kilograms_per_square_centimetre", {"CarbonPerArea", "kilograms_per_square_centimetre"}},
+      {"joules_per_square_centimetre", {"EnergyPerArea", "joules_per_square_centimetre"}},
+      {"kilowatt_hours_per_square_centimetre",
+       {"EnergyPerArea", "kilowatt_hours_per_square_centimetre"}},
+      {"volts", {"Voltage", "volts"}},
+      {"amperes", {"Current", "amperes"}},
+      {"microamperes", {"Current", "microamperes"}},
+      {"nanoamperes", {"Current", "nanoamperes"}},
+      {"farads", {"Capacitance", "farads"}},
+      {"femtofarads", {"Capacitance", "femtofarads"}},
+      {"attofarads", {"Capacitance", "attofarads"}},
+      {"coulombs", {"Charge", "coulombs"}},
+      {"hertz", {"Frequency", "hertz"}},
+      {"megahertz", {"Frequency", "megahertz"}},
+      {"gigahertz", {"Frequency", "gigahertz"}},
+      {"grams", {"Mass", "grams"}},
+      {"picograms", {"Mass", "picograms"}},
+      {"kelvin", {"Temperature", "kelvin"}},
+      {"celsius", {"Temperature", "celsius"}},
+  };
+  return kTable;
+}
+
+const UnitDim* unwrap_accessor(const std::string& fn) {
+  if (!fn.starts_with("in_")) return nullptr;
+  const auto it = units_vocabulary().find(fn.substr(3));
+  return it == units_vocabulary().end() ? nullptr : &it->second;
+}
+
+const UnitDim* unit_factory(const std::string& fn) {
+  const auto it = units_vocabulary().find(fn);
+  return it == units_vocabulary().end() ? nullptr : &it->second;
+}
+
+// ---- Value lattice operations -----------------------------------------------
+
+const TaintSource* Value::taint_of(TaintKind kind) const {
+  for (const TaintSource& t : taints) {
+    if (t.kind == kind) return &t;
+  }
+  return nullptr;
+}
+
+void Value::add_taint(TaintSource source) {
+  if (taint_of(source.kind) == nullptr) taints.push_back(std::move(source));
+}
+
+void Value::add_param(int index) {
+  const auto it = std::lower_bound(params.begin(), params.end(), index);
+  if (it == params.end() || *it != index) params.insert(it, index);
+}
+
+void Value::join(const Value& other) {
+  for (const TaintSource& t : other.taints) add_taint(t);
+  for (const int p : other.params) add_param(p);
+  fp = fp || other.fp;
+  if (units_conflict) return;
+  if (other.units_conflict) {
+    units = nullptr;
+    units_conflict = true;
+    return;
+  }
+  if (other.units == nullptr) return;
+  if (units == nullptr) {
+    units = other.units;
+    units_cross_function = other.units_cross_function;
+    units_desc = other.units_desc;
+    units_file = other.units_file;
+    units_line = other.units_line;
+    units_via = other.units_via;
+    return;
+  }
+  if (units != other.units) {  // table entries are interned: pointer compare
+    units = nullptr;
+    units_conflict = true;
+  }
+}
+
+bool FunctionSummary::nontrivial() const {
+  return !ret.taints.empty() || !ret.params.empty() || ret.units != nullptr ||
+         !param_sinks.empty() || !fp_accum_params.empty() ||
+         std::any_of(param_units.begin(), param_units.end(),
+                     [](const ParamUnits& p) { return p.units != nullptr; });
+}
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_member_access(const std::string& t) { return t == "." || t == "->"; }
+
+bool is_comparison(const std::string& t) {
+  return t == "<" || t == ">" || t == "<=" || t == ">=" || t == "==" || t == "!=";
+}
+
+bool is_compound_assign(const std::string& t) {
+  return t == "+=" || t == "-=" || t == "*=" || t == "/=";
+}
+
+// Identifier tokens that can precede a declared name as part of its type.
+bool is_typeish(const Token& tok) {
+  static const std::set<std::string> kNotTypes{
+      "return", "delete", "new",      "else",     "case",    "goto",   "break",
+      "continue", "throw", "sizeof",  "using",    "typedef", "namespace", "co_return",
+      "if",     "while",  "do",       "switch",   "operator", "in",     "not"};
+  if (tok.kind == TokKind::kIdent) return !kNotTypes.contains(tok.text);
+  return tok.text == "&" || tok.text == "*" || tok.text == ">" || tok.text == "&&";
+}
+
+bool integer_cast_target(const Tokens& toks, std::size_t begin, std::size_t end) {
+  static const std::set<std::string> kInts{"uintptr_t", "intptr_t", "size_t",  "uint64_t",
+                                           "uint32_t",  "unsigned", "long",    "int",
+                                           "int64_t",   "ptrdiff_t"};
+  for (std::size_t k = begin; k < end; ++k) {
+    if (toks[k].kind == TokKind::kIdent && kInts.contains(toks[k].text)) return true;
+  }
+  return false;
+}
+
+bool thread_identity_call(const std::string& name, const std::string& qualifier) {
+  static const std::set<std::string> kFns{"gettid", "pthread_self", "get_id",
+                                          "hardware_concurrency"};
+  return kFns.contains(name) || qualifier.find("this_thread") != std::string::npos;
+}
+
+/// Member-call sink names on the run manifest (RunManifest::record*).
+bool manifest_sink(const std::string& name) {
+  return name == "record" || name == "record_vs_paper" || name == "record_text";
+}
+
+std::string taint_desc(TaintKind kind, const std::string& detail) {
+  switch (kind) {
+    case TaintKind::kPointerIdentity: return detail;
+    case TaintKind::kThreadIdentity: return detail;
+    case TaintKind::kUnorderedOrder: return detail;
+  }
+  return detail;
+}
+
+/// Deterministic fingerprint of a summary, for fixpoint change detection.
+std::string signature(const FunctionSummary& s) {
+  std::string sig;
+  const auto add = [&sig](const std::string& part) {
+    sig += part;
+    sig += '\x1f';
+  };
+  for (const TaintSource& t : s.ret.taints) {
+    add(std::to_string(static_cast<int>(t.kind)) + t.desc + t.file + std::to_string(t.line));
+    for (const std::string& v : t.via) add(v);
+  }
+  for (const int p : s.ret.params) add(std::to_string(p));
+  if (s.ret.units != nullptr) add(std::string{s.ret.units->dim} + s.ret.units->unit);
+  add(std::to_string(s.ret.units_cross_function));
+  for (const ParamSink& p : s.param_sinks) {
+    add(std::to_string(p.param) + p.sink + p.file + std::to_string(p.line));
+    for (const std::string& v : p.via) add(v);
+  }
+  for (const ParamAccum& p : s.fp_accum_params) {
+    add(std::to_string(p.param) + p.file + std::to_string(p.line));
+    for (const std::string& v : p.via) add(v);
+  }
+  for (const ParamUnits& p : s.param_units) {
+    if (p.units == nullptr && !p.conflict) continue;
+    add(std::to_string(p.conflict) + (p.units != nullptr ? p.units->unit : "") + p.desc);
+  }
+  return sig;
+}
+
+/// Per-file derived facts computed once, outside the fixpoint loop.
+struct FileFacts {
+  /// Identifiers declared with double/float anywhere in the file. Lambdas
+  /// cannot see their enclosing function's symbol table (they are walked as
+  /// separate nodes), so capture fp-ness comes from this file-level scan.
+  std::set<std::string> fp_names;
+  /// Identifiers declared with an unordered_* container type (locals, members,
+  /// parameters and functions returning unordered references all count).
+  std::set<std::string> unordered_names;
+  /// Parallel-lambda body token ranges: the enclosing function's walk skips
+  /// these so each region is analyzed exactly once, by its own node.
+  std::vector<std::pair<std::size_t, std::size_t>> lambda_ranges;
+};
+
+FileFacts collect_file_facts(const FileIndex& file) {
+  FileFacts facts;
+  const Tokens& toks = file.tokens;
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    if (toks[k].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[k].text;
+    if (t == "double" || t == "float") {
+      std::size_t j = k + 1;
+      while (j < toks.size() &&
+             (toks[j].text == "&" || toks[j].text == "*" || toks[j].text == "&&" ||
+              toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent) facts.fp_names.insert(toks[j].text);
+      continue;
+    }
+    if (t.starts_with("unordered_")) {
+      std::size_t j = k + 1;
+      if (j < toks.size() && toks[j].text == "<") {
+        int angle = 0;
+        for (; j < toks.size(); ++j) {
+          if (toks[j].text == "<") ++angle;
+          if (toks[j].text == ">") --angle;
+          if (toks[j].text == ">>") angle -= 2;
+          if (angle <= 0) break;
+        }
+        ++j;
+      }
+      while (j < toks.size() &&
+             (toks[j].text == "&" || toks[j].text == "*" || toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+        facts.unordered_names.insert(toks[j].text);
+      }
+    }
+  }
+  for (const FunctionDef& fn : file.functions) {
+    if (fn.is_parallel_lambda && fn.body_close > fn.body_open) {
+      facts.lambda_ranges.emplace_back(fn.body_open, fn.body_close);
+    }
+  }
+  return facts;
+}
+
+/// One walk of one function body: builds the summary and (in the emission
+/// pass) the events. Everything is value semantics; a walk never mutates
+/// another node's summary.
+class Walker {
+ public:
+  Walker(const CallGraph& graph, const std::vector<FunctionSummary>& summaries,
+         const std::vector<FileFacts>& facts_by_file,
+         const std::map<const FileIndex*, std::size_t>& file_of, std::size_t node,
+         std::vector<DataflowEvent>* events)
+      : graph_{graph},
+        summaries_{summaries},
+        events_{events},
+        node_{node},
+        fn_{graph.nodes[node].def},
+        file_{graph.nodes[node].file},
+        toks_{graph.nodes[node].file->tokens},
+        facts_{facts_by_file[file_of.at(graph.nodes[node].file)]} {
+    for (const std::size_t e : graph.out_edges[node]) {
+      const CallGraph::Edge& edge = graph.edges[e];
+      targets_[{edge.site->line, edge.site->col}].push_back(edge.callee);
+    }
+    sum_.param_units.resize(fn_->params.size());
+    for (std::size_t p = 0; p < fn_->params.size(); ++p) {
+      const ParamInfo& info = fn_->params[p];
+      if (info.name.empty()) continue;
+      VarState st;
+      st.val.add_param(static_cast<int>(p));
+      st.val.fp = info.is_fp;
+      st.depth = 0;
+      vars_.emplace(info.name, std::move(st));
+    }
+  }
+
+  FunctionSummary run() {
+    if (fn_->body_close <= fn_->body_open) return std::move(sum_);
+    walk_range(fn_->body_open + 1, fn_->body_close);
+    sum_.analyzed = true;
+    return std::move(sum_);
+  }
+
+ private:
+  struct VarState {
+    Value val;
+    int depth = 0;
+  };
+  struct EvalResult {
+    Value val;
+    int terms = 0;
+    /// Set when the expression is one bare identifier (argument naming).
+    std::string bare_name;
+  };
+
+  const CallGraph& graph_;
+  const std::vector<FunctionSummary>& summaries_;
+  std::vector<DataflowEvent>* events_;
+  std::size_t node_;
+  const FunctionDef* fn_;
+  const FileIndex* file_;
+  const Tokens& toks_;
+  const FileFacts& facts_;
+  std::map<std::pair<int, int>, std::vector<std::size_t>> targets_;
+  std::map<std::string, VarState> vars_;
+  FunctionSummary sum_;
+  int depth_ = 0;
+
+  /// Joins only the taint component (calls launder units; parameters are
+  /// joined explicitly where a flow is actually known).
+  static void join_taints(Value& dst, const Value& src) {
+    for (const TaintSource& t : src.taints) dst.add_taint(t);
+  }
+
+  void emit(DataflowEvent ev) {
+    if (events_ == nullptr) return;
+    ev.file = file_;
+    ev.fn = fn_;
+    events_->push_back(std::move(ev));
+  }
+
+  [[nodiscard]] bool var_fp(const std::string& name) const {
+    const auto it = vars_.find(name);
+    if (it != vars_.end() && it->second.val.fp) return true;
+    return facts_.fp_names.contains(name);
+  }
+
+  /// Is position i inside a parallel-lambda body that is not this node's own?
+  [[nodiscard]] std::size_t skip_to_after_lambda(std::size_t i) const {
+    for (const auto& [open, close] : facts_.lambda_ranges) {
+      if (open == fn_->body_open) continue;  // our own body
+      if (i == open && open > fn_->body_open && close < fn_->body_close) return close + 1;
+    }
+    return i;
+  }
+
+  /// End of the statement starting at s: index of its top-level ';' (or the
+  /// body close). Balanced (), [] are skipped; a top-level '{' (brace init,
+  /// lambda body) is jumped over wholesale.
+  [[nodiscard]] std::size_t stmt_end(std::size_t s) const {
+    int depth = 0;
+    for (std::size_t k = s; k < fn_->body_close; ++k) {
+      const std::string& t = toks_[k].text;
+      if (t == "(" || t == "[") ++depth;
+      if (t == ")" || t == "]") --depth;
+      if (t == "{" && depth == 0) {
+        const std::size_t close = match_forward(toks_, k);
+        if (close >= toks_.size()) return fn_->body_close;
+        k = close;
+        continue;
+      }
+      if (t == ";" && depth <= 0) return k;
+    }
+    return fn_->body_close;
+  }
+
+  void kill_deeper_vars() {
+    for (auto it = vars_.begin(); it != vars_.end();) {
+      it = it->second.depth > depth_ ? vars_.erase(it) : std::next(it);
+    }
+  }
+
+  void walk_range(std::size_t begin, std::size_t end) {
+    std::size_t i = begin;
+    while (i < end) {
+      const std::size_t skipped = skip_to_after_lambda(i);
+      if (skipped != i) {
+        i = skipped;
+        continue;
+      }
+      const Token& t = toks_[i];
+      if (t.text == "{") {
+        ++depth_;
+        ++i;
+        continue;
+      }
+      if (t.text == "}") {
+        --depth_;
+        kill_deeper_vars();
+        ++i;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent) {
+        const std::string& kw = t.text;
+        if (kw == "for") {
+          i = handle_for(i);
+          continue;
+        }
+        if (kw == "if" || kw == "while" || kw == "switch" || kw == "catch") {
+          std::size_t open = i + 1;
+          while (open < end && toks_[open].text != "(" && toks_[open].text != "{") ++open;
+          if (open < end && toks_[open].text == "(") {
+            const std::size_t close = match_forward(toks_, open);
+            if (close < toks_.size()) {
+              eval(open + 1, close);
+              i = close + 1;
+              continue;
+            }
+          }
+          ++i;
+          continue;
+        }
+        if (kw == "else" || kw == "do" || kw == "try") {
+          ++i;
+          continue;
+        }
+        if (kw == "return" || kw == "co_return") {
+          const std::size_t e = stmt_end(i);
+          if (e > i + 1) {
+            EvalResult r = eval(i + 1, e);
+            if (r.terms != 1) clear_units(r.val);
+            sum_.ret.join(r.val);
+          }
+          i = e + 1;
+          continue;
+        }
+        if (kw == "using" || kw == "typedef" || kw == "struct" || kw == "class" ||
+            kw == "enum" || kw == "union" || kw == "static_assert" || kw == "goto" ||
+            kw == "break" || kw == "continue" || kw == "case" || kw == "default") {
+          i = stmt_end(i) + 1;
+          continue;
+        }
+      }
+      const std::size_t e = stmt_end(i);
+      handle_statement(i, e);
+      i = e + 1;
+    }
+  }
+
+  /// Range-for seeds loop variables from the base sequence (plus an
+  /// unordered-iteration taint when the base is a hash container); a classic
+  /// for just evaluates its header for call effects.
+  std::size_t handle_for(std::size_t i) {
+    std::size_t open = i + 1;
+    if (open >= fn_->body_close || toks_[open].text != "(") return i + 1;
+    const std::size_t close = match_forward(toks_, open);
+    if (close >= toks_.size()) return i + 1;
+    // Find a top-level ':' between the parens (range-for). '::' is a distinct
+    // token, so a bare ':' is unambiguous.
+    std::size_t colon = 0;
+    int d = 0;
+    for (std::size_t k = open + 1; k < close; ++k) {
+      const std::string& t = toks_[k].text;
+      if (t == "(" || t == "[" || t == "{" || t == "<") ++d;
+      if (t == ")" || t == "]" || t == "}" || t == ">") --d;
+      if (t == ":" && d == 0) {
+        colon = k;
+        break;
+      }
+      if (t == ";" && d == 0) break;  // classic for
+    }
+    if (colon == 0) {
+      eval(open + 1, close);
+      return close + 1;
+    }
+    // Loop variable names: structured-binding idents, else the last declared
+    // identifier before the colon.
+    std::vector<std::string> loop_vars;
+    bool fp = false;
+    for (std::size_t k = open + 1; k < colon; ++k) {
+      if (toks_[k].text == "double" || toks_[k].text == "float") fp = true;
+      if (toks_[k].text == "[") {
+        for (std::size_t j = k + 1; j < colon && toks_[j].text != "]"; ++j) {
+          if (toks_[j].kind == TokKind::kIdent) loop_vars.push_back(toks_[j].text);
+        }
+        break;
+      }
+    }
+    if (loop_vars.empty()) {
+      for (std::size_t k = colon; k > open + 1;) {
+        --k;
+        if (toks_[k].kind == TokKind::kIdent) {
+          loop_vars.push_back(toks_[k].text);
+          break;
+        }
+      }
+    }
+    EvalResult base = eval(colon + 1, close);
+    // A hash-ordered base poisons everything drawn from the iteration.
+    std::string unordered_name;
+    for (std::size_t k = colon + 1; k < close; ++k) {
+      if (toks_[k].kind != TokKind::kIdent) continue;
+      if (facts_.unordered_names.contains(toks_[k].text) ||
+          toks_[k].text.starts_with("unordered_")) {
+        unordered_name = toks_[k].text;
+        break;
+      }
+    }
+    Value seed = base.val;
+    clear_units(seed);
+    seed.fp = seed.fp || fp;
+    if (!unordered_name.empty()) {
+      TaintSource src;
+      src.kind = TaintKind::kUnorderedOrder;
+      src.desc = taint_desc(src.kind,
+                            "iteration order of unordered container '" + unordered_name + "'");
+      src.file = file_->rel;
+      src.line = toks_[colon].line;
+      seed.add_taint(std::move(src));
+    }
+    for (const std::string& name : loop_vars) {
+      VarState st;
+      st.val = seed;
+      st.depth = depth_ + 1;  // scoped to the loop body
+      vars_[name] = std::move(st);
+    }
+    return close + 1;
+  }
+
+  static void clear_units(Value& v) {
+    v.units = nullptr;
+    v.units_cross_function = false;
+    v.units_desc.clear();
+    v.units_file.clear();
+    v.units_line = 0;
+    v.units_via.clear();
+  }
+
+  /// Declaration / assignment / compound-assignment / expression statement.
+  void handle_statement(std::size_t s, std::size_t e) {
+    // First top-level assignment operator.
+    std::size_t q = 0;
+    int d = 0;
+    for (std::size_t k = s; k < e; ++k) {
+      const std::string& t = toks_[k].text;
+      if (t == "(" || t == "[") ++d;
+      if (t == ")" || t == "]") --d;
+      if (t == "{" && d == 0) {
+        const std::size_t close = match_forward(toks_, k);
+        if (close >= toks_.size()) break;
+        k = close;
+        continue;
+      }
+      if (d == 0 && (t == "=" || is_compound_assign(t))) {
+        q = k;
+        break;
+      }
+    }
+    if (q == 0) {
+      // Uninitialized declaration: `Type name ;` with no call parens.
+      if (e > s + 1 && toks_[e - 1].kind == TokKind::kIdent && is_typeish(toks_[e - 2])) {
+        bool has_paren = false;
+        bool fp = false;
+        int angle = 0;
+        for (std::size_t k = s; k + 1 < e; ++k) {
+          if (toks_[k].text == "(") has_paren = true;
+          if (toks_[k].text == "<") ++angle;
+          if (toks_[k].text == ">") --angle;
+          if (angle == 0 && (toks_[k].text == "double" || toks_[k].text == "float")) fp = true;
+        }
+        if (!has_paren && e - 1 > s) {
+          VarState st;
+          st.val.fp = fp;
+          st.depth = depth_;
+          vars_[toks_[e - 1].text] = std::move(st);
+          return;
+        }
+      }
+      eval(s, e);
+      return;
+    }
+
+    const std::string& op = toks_[q].text;
+    if (op == "=") {
+      EvalResult rhs = eval(q + 1, e);
+      if (rhs.terms != 1) clear_units(rhs.val);
+      // Declaration: `Type name = rhs` — the name is directly before '=' with
+      // a type-ish token before it.
+      if (q >= s + 2 && toks_[q - 1].kind == TokKind::kIdent && is_typeish(toks_[q - 2])) {
+        bool fp = false;
+        int angle = 0;
+        for (std::size_t k = s; k < q - 1; ++k) {
+          if (toks_[k].text == "<") ++angle;
+          if (toks_[k].text == ">") --angle;
+          if (angle == 0 && (toks_[k].text == "double" || toks_[k].text == "float")) fp = true;
+        }
+        VarState st;
+        st.val = std::move(rhs.val);
+        st.val.fp = st.val.fp || fp;
+        st.depth = depth_;
+        vars_[toks_[q - 1].text] = std::move(st);
+        return;
+      }
+      // Plain assignment to a tracked bare name: kill + gen.
+      if (q == s + 1 && toks_[s].kind == TokKind::kIdent) {
+        const auto it = vars_.find(toks_[s].text);
+        if (it != vars_.end()) {
+          const bool fp = it->second.val.fp;
+          it->second.val = std::move(rhs.val);
+          it->second.val.fp = it->second.val.fp || fp;
+        }
+        return;
+      }
+      // Member / subscript target: RHS effects only.
+      eval(s, q);
+      return;
+    }
+
+    // Compound assignment.
+    EvalResult rhs = eval(q + 1, e);
+    if (toks_[q - 1].text == "]") return;  // out[i] += x — indexed slot, legal
+    if (toks_[q - 1].kind != TokKind::kIdent) return;
+    // Walk a member chain back to its base identifier.
+    std::size_t base = q - 1;
+    while (base >= 2 && is_member_access(toks_[base - 1].text) &&
+           toks_[base - 2].kind == TokKind::kIdent) {
+      base -= 2;
+    }
+    if (base >= 1 && is_member_access(toks_[base - 1].text)) return;  // f().x += — untracked
+    const std::string& name = toks_[base].text;
+    const bool fp = var_fp(name) || rhs.val.fp;
+    const auto it = vars_.find(name);
+    if (fn_->is_parallel_lambda && fp && it == vars_.end()) {
+      // A captured fp accumulator mutated in a parallel region: the merge
+      // order is the scheduler's, not the chunk discipline's.
+      DataflowEvent ev;
+      ev.kind = DataflowEvent::Kind::kFpSharedAccum;
+      ev.line = toks_[base].line;
+      ev.col = toks_[base].col;
+      ev.token_len = name.size();
+      ev.target = name;
+      emit(std::move(ev));
+    }
+    if (!fn_->is_parallel_lambda && it != vars_.end() && fp) {
+      // Accumulating into a by-ref fp parameter: callers inside parallel
+      // regions inherit the hazard through the summary.
+      for (const int p : it->second.val.params) {
+        const std::size_t pi = static_cast<std::size_t>(p);
+        if (pi < fn_->params.size() && fn_->params[pi].by_ref && fn_->params[pi].is_fp) {
+          record_fp_accum(p, file_->rel, toks_[base].line, {});
+        }
+      }
+    }
+    if (it != vars_.end()) it->second.val.join(rhs.val);
+  }
+
+  void record_fp_accum(int param, const std::string& file, int line,
+                       std::vector<std::string> via) {
+    for (const ParamAccum& a : sum_.fp_accum_params) {
+      if (a.param == param) return;  // first wins
+    }
+    sum_.fp_accum_params.push_back({param, file, line, std::move(via)});
+  }
+
+  void record_param_sink(int param, const std::string& sink, const std::string& file, int line,
+                         std::vector<std::string> via) {
+    for (const ParamSink& p : sum_.param_sinks) {
+      if (p.param == param && p.sink == sink) return;
+    }
+    sum_.param_sinks.push_back({param, sink, file, line, std::move(via)});
+  }
+
+  void record_param_units(int param, const UnitDim* units, const std::string& desc,
+                          const std::string& file, int line, std::vector<std::string> via) {
+    const std::size_t pi = static_cast<std::size_t>(param);
+    if (pi >= sum_.param_units.size() || units == nullptr) return;
+    ParamUnits& slot = sum_.param_units[pi];
+    if (slot.conflict) return;
+    if (slot.units == nullptr) {
+      slot.units = units;
+      slot.desc = desc;
+      slot.file = file;
+      slot.line = line;
+      slot.via = std::move(via);
+      return;
+    }
+    if (slot.units != units) {
+      slot.units = nullptr;
+      slot.conflict = true;  // disagreeing uses: make no claim
+    }
+  }
+
+  /// Expression evaluation over [s, e): joins the values of every operand,
+  /// counts top-level terms (a units tag survives only a single-term
+  /// expression), dispatches calls, and runs the units mixing scan.
+  EvalResult eval(std::size_t s, std::size_t e) {
+    EvalResult res;
+    std::size_t ident_count = 0;
+    std::string only_ident;
+    for (std::size_t k = s; k < e; ++k) {
+      const Token& t = toks_[k];
+      if (t.text == "{") {  // brace init / lambda body: skip wholesale
+        const std::size_t close = match_forward(toks_, k);
+        if (close >= toks_.size()) break;
+        k = close;
+        ++res.terms;
+        continue;
+      }
+      if (t.kind == TokKind::kNumber) {
+        ++res.terms;
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) continue;
+      const std::string& name = t.text;
+      // Qualifier segment of a qualified name: not an operand.
+      if (k + 1 < e && toks_[k + 1].text == "::") continue;
+      if (name == "this") {
+        if (k + 1 >= e || (!is_member_access(toks_[k + 1].text))) {
+          TaintSource src;
+          src.kind = TaintKind::kPointerIdentity;
+          src.desc = "address of 'this' used as a value";
+          src.file = file_->rel;
+          src.line = t.line;
+          res.val.add_taint(std::move(src));
+          ++res.terms;
+        }
+        continue;
+      }
+      if (name == "reinterpret_cast" && k + 1 < e && toks_[k + 1].text == "<") {
+        std::size_t close_angle = k + 1;
+        int angle = 0;
+        for (; close_angle < e; ++close_angle) {
+          if (toks_[close_angle].text == "<") ++angle;
+          if (toks_[close_angle].text == ">") --angle;
+          if (toks_[close_angle].text == ">>") angle -= 2;
+          if (angle <= 0 && close_angle > k + 1) break;
+        }
+        const bool to_int = integer_cast_target(toks_, k + 2, close_angle);
+        if (close_angle + 1 < e && toks_[close_angle + 1].text == "(") {
+          const std::size_t arg_close = match_forward(toks_, close_angle + 1);
+          if (arg_close < toks_.size()) {
+            EvalResult arg = eval(close_angle + 2, arg_close);
+            res.val.join(arg.val);
+            if (to_int) {
+              TaintSource src;
+              src.kind = TaintKind::kPointerIdentity;
+              src.desc = "reinterpret_cast of a pointer to an integer";
+              src.file = file_->rel;
+              src.line = t.line;
+              res.val.add_taint(std::move(src));
+            }
+            ++res.terms;
+            k = arg_close;
+            continue;
+          }
+        }
+        k = close_angle;
+        continue;
+      }
+      if ((name == "static_cast" || name == "const_cast" || name == "dynamic_cast") &&
+          k + 1 < e && toks_[k + 1].text == "<") {
+        int angle = 0;
+        for (; k < e; ++k) {
+          if (toks_[k].text == "<") ++angle;
+          if (toks_[k].text == ">") --angle;
+          if (toks_[k].text == ">>") angle -= 2;
+          if (angle <= 0 && toks_[k].text != "static_cast" && toks_[k].text != "const_cast" &&
+              toks_[k].text != "dynamic_cast") {
+            break;
+          }
+        }
+        continue;  // the parenthesized operand evaluates as grouping
+      }
+      if (name == "hash" && k + 1 < e && toks_[k + 1].text == "<") {
+        std::size_t close_angle = k + 1;
+        int angle = 0;
+        bool pointer_arg = false;
+        for (; close_angle < e; ++close_angle) {
+          if (toks_[close_angle].text == "<") ++angle;
+          if (toks_[close_angle].text == ">") --angle;
+          if (toks_[close_angle].text == ">>") angle -= 2;
+          if (toks_[close_angle].text == "*") pointer_arg = true;
+          if (angle <= 0 && close_angle > k + 1) break;
+        }
+        if (pointer_arg) {
+          TaintSource src;
+          src.kind = TaintKind::kPointerIdentity;
+          src.desc = "std::hash of a pointer";
+          src.file = file_->rel;
+          src.line = t.line;
+          res.val.add_taint(std::move(src));
+        }
+        ++res.terms;
+        k = close_angle;
+        continue;
+      }
+      if (k + 1 < e && toks_[k + 1].text == "(") {
+        const bool member = k > s && is_member_access(toks_[k - 1].text);
+        std::size_t after = 0;
+        Value call_val = handle_call(k, member, after);
+        res.val.join(call_val);
+        ++res.terms;
+        if (after > k) {
+          k = after;
+          continue;
+        }
+        continue;
+      }
+      if (k > s && is_member_access(toks_[k - 1].text)) continue;  // member name
+      // Bare identifier operand.
+      ++ident_count;
+      only_ident = name;
+      const auto it = vars_.find(name);
+      if (it != vars_.end()) res.val.join(it->second.val);
+      ++res.terms;
+      mixing_scan(k);
+    }
+    if (ident_count == 1 && res.terms == 1) res.bare_name = only_ident;
+    return res;
+  }
+
+  /// `a <op> b` over two bare tracked identifiers: report cross-function unit
+  /// disagreements and learn parameter unit expectations.
+  void mixing_scan(std::size_t k) {
+    if (k + 2 >= fn_->body_close) return;
+    const std::string& op = toks_[k + 1].text;
+    if (op != "+" && op != "-" && !is_comparison(op)) return;
+    const Token& rhs = toks_[k + 2];
+    if (rhs.kind != TokKind::kIdent) return;
+    if (k + 3 < fn_->body_close) {
+      const std::string& after = toks_[k + 3].text;
+      if (after == "(" || after == "[" || after == "." || after == "->" || after == "::") return;
+    }
+    const auto a = vars_.find(toks_[k].text);
+    const auto b = vars_.find(rhs.text);
+    const Value* va = a != vars_.end() ? &a->second.val : nullptr;
+    const Value* vb = b != vars_.end() ? &b->second.val : nullptr;
+    if (va == nullptr || vb == nullptr) return;
+    if (va->units != nullptr && vb->units != nullptr) {
+      if (va->units != vb->units && (va->units_cross_function || vb->units_cross_function)) {
+        DataflowEvent ev;
+        ev.kind = DataflowEvent::Kind::kUnitsMix;
+        ev.line = toks_[k].line;
+        ev.col = toks_[k].col;
+        ev.token_len = toks_[k].text.size();
+        ev.target = toks_[k].text;
+        ev.other = rhs.text;
+        ev.have = va->units;
+        ev.have_desc = va->units_desc;
+        ev.have_file = va->units_file;
+        ev.have_line = va->units_line;
+        ev.have_via = va->units_via;
+        ev.have_cross = va->units_cross_function;
+        ev.want = vb->units;
+        ev.want_desc = vb->units_desc;
+        emit(std::move(ev));
+      }
+      return;
+    }
+    // One side tagged, the other a pure raw parameter: the parameter is
+    // expected to carry the tagged side's unit.
+    const auto learn = [this](const Value* tagged, const Value* raw) {
+      if (tagged->units == nullptr || raw->units != nullptr || raw->units_conflict) return;
+      if (raw->params.empty() || !raw->taints.empty()) return;
+      for (const int p : raw->params) {
+        record_param_units(p, tagged->units, tagged->units_desc, tagged->units_file,
+                           tagged->units_line, tagged->units_via);
+      }
+    };
+    learn(va, vb);
+    learn(vb, va);
+  }
+
+  /// A call expression: sources, sinks, factories, and summary application.
+  /// `k` is the callee name token; `after` receives the index of the ')'.
+  Value handle_call(std::size_t k, bool member, std::size_t& after) {
+    Value result;
+    const std::string& name = toks_[k].text;
+    // Qualifier chain (tokens `a :: b :: name`).
+    std::string qualifier;
+    for (std::size_t q = k; q >= 2 && toks_[q - 1].text == "::" &&
+                            toks_[q - 2].kind == TokKind::kIdent;) {
+      qualifier = qualifier.empty() ? toks_[q - 2].text : toks_[q - 2].text + "::" + qualifier;
+      q -= 2;
+    }
+    const std::size_t open = k + 1;
+    const std::size_t close = match_forward(toks_, open);
+    after = close < toks_.size() ? close : k;
+    if (close >= toks_.size()) return result;
+
+    // Argument ranges at top-level commas.
+    std::vector<std::pair<std::size_t, std::size_t>> arg_ranges;
+    {
+      std::size_t a = open + 1;
+      int d = 0;
+      for (std::size_t j = open + 1; j <= close; ++j) {
+        const std::string& t = toks_[j].text;
+        if (t == "(" || t == "[" || t == "{") ++d;
+        if (t == ")" || t == "]" || t == "}") --d;
+        if ((t == "," && d == 0) || j == close) {
+          if (j > a) arg_ranges.emplace_back(a, j);
+          a = j + 1;
+        }
+      }
+    }
+    std::vector<EvalResult> args;
+    args.reserve(arg_ranges.size());
+    for (const auto& [as, ae] : arg_ranges) {
+      EvalResult r = eval(as, ae);
+      if (r.terms != 1) clear_units(r.val);
+      args.push_back(std::move(r));
+    }
+
+    // Intrinsic sources.
+    if (const UnitDim* tag = unwrap_accessor(name); tag != nullptr) {
+      for (const EvalResult& a : args) join_taints(result, a.val);
+      result.units = tag;
+      result.units_desc = name;
+      result.units_file = file_->rel;
+      result.units_line = toks_[k].line;
+      return result;
+    }
+    if (thread_identity_call(name, qualifier)) {
+      TaintSource src;
+      src.kind = TaintKind::kThreadIdentity;
+      src.desc = "thread-identity API '" + (qualifier.empty() ? name : qualifier + "::" + name) +
+                 "()'";
+      src.file = file_->rel;
+      src.line = toks_[k].line;
+      result.add_taint(std::move(src));
+      return result;
+    }
+
+    // Sinks: manifest record calls and cache-key-annotated call lines.
+    std::string sink;
+    if (member && manifest_sink(name)) sink = "RunManifest::" + name;
+    if (sink.empty() && file_->cache_key_at(toks_[k].line)) {
+      sink = "cache-key computation ('" + name + "', annotated ppatc: cache-key)";
+    }
+    if (!sink.empty()) {
+      for (std::size_t ai = 0; ai < args.size(); ++ai) {
+        for (const TaintSource& taint : args[ai].val.taints) {
+          DataflowEvent ev;
+          ev.kind = DataflowEvent::Kind::kTaintSink;
+          ev.line = toks_[k].line;
+          ev.col = toks_[k].col;
+          ev.token_len = name.size();
+          ev.taint = taint;
+          ev.sink = sink;
+          ev.target = args[ai].bare_name;
+          emit(std::move(ev));
+        }
+        for (const int p : args[ai].val.params) {
+          record_param_sink(p, sink, file_->rel, toks_[k].line, {});
+        }
+      }
+    }
+
+    // Units factory: wrong-tag re-wrap and parameter expectations.
+    if (const UnitDim* fac = unit_factory(name);
+        fac != nullptr && (qualifier.empty() || qualifier == "units" ||
+                           qualifier.ends_with("::units"))) {
+      for (const EvalResult& a : args) {
+        if (a.val.units != nullptr && a.val.units != fac && a.val.units_cross_function) {
+          DataflowEvent ev;
+          ev.kind = DataflowEvent::Kind::kUnitsFactory;
+          ev.line = toks_[k].line;
+          ev.col = toks_[k].col;
+          ev.token_len = name.size();
+          ev.target = a.bare_name;
+          ev.have = a.val.units;
+          ev.have_desc = a.val.units_desc;
+          ev.have_file = a.val.units_file;
+          ev.have_line = a.val.units_line;
+          ev.have_via = a.val.units_via;
+          ev.have_cross = true;
+          ev.want = fac;
+          ev.want_desc = "units::" + name + "()";
+          emit(std::move(ev));
+        }
+        if (a.val.units == nullptr && !a.val.units_conflict && a.val.taints.empty()) {
+          for (const int p : a.val.params) {
+            record_param_units(p, fac, "units::" + name + "()", file_->rel, toks_[k].line, {});
+          }
+        }
+        join_taints(result, a.val);
+        for (const int p : a.val.params) result.add_param(p);
+      }
+      return result;
+    }
+
+    // Resolved callees: apply their summaries.
+    const auto targets = targets_.find({toks_[k].line, toks_[k].col});
+    if (targets == targets_.end()) {
+      // Unresolved: conservatively pass taints and parameter flows through
+      // (functional casts, std::move, std::to_string...), drop unit tags.
+      for (const EvalResult& a : args) {
+        join_taints(result, a.val);
+        for (const int p : a.val.params) result.add_param(p);
+      }
+      return result;
+    }
+    for (const std::size_t callee : targets->second) {
+      const FunctionSummary& cs = summaries_[callee];
+      if (!cs.analyzed) continue;
+      const std::string& callee_qname = graph_.nodes[callee].def->qname;
+      for (const TaintSource& t : cs.ret.taints) {
+        TaintSource via = t;
+        via.via.insert(via.via.begin(), callee_qname);
+        result.add_taint(std::move(via));
+      }
+      for (const int p : cs.ret.params) {
+        const std::size_t pi = static_cast<std::size_t>(p);
+        if (pi < args.size()) {
+          join_taints(result, args[pi].val);
+          for (const int cp : args[pi].val.params) result.add_param(cp);
+        }
+      }
+      if (cs.ret.units != nullptr && result.units == nullptr && !result.units_conflict) {
+        result.units = cs.ret.units;
+        result.units_cross_function = true;
+        result.units_desc = cs.ret.units_desc;
+        result.units_file = cs.ret.units_file;
+        result.units_line = cs.ret.units_line;
+        result.units_via = cs.ret.units_via;
+        result.units_via.insert(result.units_via.begin(), callee_qname);
+      }
+      for (const ParamSink& ps : cs.param_sinks) {
+        const std::size_t pi = static_cast<std::size_t>(ps.param);
+        if (pi >= args.size()) continue;
+        std::vector<std::string> via{callee_qname};
+        via.insert(via.end(), ps.via.begin(), ps.via.end());
+        for (const TaintSource& taint : args[pi].val.taints) {
+          DataflowEvent ev;
+          ev.kind = DataflowEvent::Kind::kTaintSink;
+          ev.line = toks_[k].line;
+          ev.col = toks_[k].col;
+          ev.token_len = name.size();
+          ev.taint = taint;
+          ev.sink = ps.sink;
+          ev.via = via;
+          ev.target = args[pi].bare_name;
+          ev.helper_file = ps.file;
+          ev.helper_line = ps.line;
+          emit(std::move(ev));
+        }
+        for (const int p : args[pi].val.params) {
+          record_param_sink(p, ps.sink, ps.file, ps.line, via);
+        }
+      }
+      for (const ParamAccum& pa : cs.fp_accum_params) {
+        const std::size_t pi = static_cast<std::size_t>(pa.param);
+        if (pi >= args.size() || args[pi].bare_name.empty()) continue;
+        const std::string& arg_name = args[pi].bare_name;
+        std::vector<std::string> via{callee_qname};
+        via.insert(via.end(), pa.via.begin(), pa.via.end());
+        if (fn_->is_parallel_lambda && var_fp(arg_name) && !vars_.contains(arg_name)) {
+          DataflowEvent ev;
+          ev.kind = DataflowEvent::Kind::kFpHelperAccum;
+          ev.line = toks_[k].line;
+          ev.col = toks_[k].col;
+          ev.token_len = name.size();
+          ev.target = arg_name;
+          ev.helper = callee_qname;
+          ev.helper_file = pa.file;
+          ev.helper_line = pa.line;
+          ev.via = via;
+          emit(std::move(ev));
+        } else if (!fn_->is_parallel_lambda) {
+          const auto it = vars_.find(arg_name);
+          if (it != vars_.end()) {
+            for (const int p : it->second.val.params) {
+              const std::size_t opi = static_cast<std::size_t>(p);
+              if (opi < fn_->params.size() && fn_->params[opi].by_ref &&
+                  fn_->params[opi].is_fp) {
+                record_fp_accum(p, pa.file, pa.line, via);
+              }
+            }
+          }
+        }
+      }
+      for (std::size_t pi = 0; pi < cs.param_units.size() && pi < args.size(); ++pi) {
+        const ParamUnits& pu = cs.param_units[pi];
+        if (pu.units == nullptr || pu.conflict) continue;
+        const Value& av = args[pi].val;
+        if (av.units != nullptr && av.units != pu.units) {
+          DataflowEvent ev;
+          ev.kind = DataflowEvent::Kind::kUnitsParam;
+          ev.line = toks_[k].line;
+          ev.col = toks_[k].col;
+          ev.token_len = name.size();
+          ev.target = args[pi].bare_name;
+          ev.helper = callee_qname;
+          ev.helper_file = pu.file;
+          ev.helper_line = pu.line;
+          ev.have = av.units;
+          ev.have_desc = av.units_desc;
+          ev.have_file = av.units_file;
+          ev.have_line = av.units_line;
+          ev.have_via = av.units_via;
+          ev.have_cross = av.units_cross_function;
+          ev.want = pu.units;
+          ev.want_desc = pu.desc;
+          emit(std::move(ev));
+        } else if (av.units == nullptr && !av.units_conflict && av.taints.empty()) {
+          std::vector<std::string> via{callee_qname};
+          via.insert(via.end(), pu.via.begin(), pu.via.end());
+          for (const int p : av.params) {
+            record_param_units(p, pu.units, pu.desc, pu.file, pu.line, via);
+          }
+        }
+      }
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+DataflowResult compute_dataflow(const std::vector<FileIndex>& files, const CallGraph& graph) {
+  DataflowResult result;
+  result.summaries.resize(graph.nodes.size());
+  if (graph.nodes.empty()) return result;
+
+  std::map<const FileIndex*, std::size_t> file_of;
+  std::vector<FileFacts> facts;
+  facts.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    file_of.emplace(&files[i], i);
+    facts.push_back(collect_file_facts(files[i]));
+  }
+
+  constexpr std::size_t kMaxIterations = 10;
+  std::vector<std::string> sigs(graph.nodes.size());
+  for (std::size_t iter = 1; iter <= kMaxIterations; ++iter) {
+    bool changed = false;
+    for (std::size_t n = 0; n < graph.nodes.size(); ++n) {
+      Walker walker{graph, result.summaries, facts, file_of, n, nullptr};
+      FunctionSummary next = walker.run();
+      std::string sig = signature(next);
+      if (sig != sigs[n]) {
+        changed = true;
+        sigs[n] = std::move(sig);
+      }
+      result.summaries[n] = std::move(next);
+    }
+    result.fixpoint_iterations = iter;
+    if (!changed) break;
+  }
+
+  // Emission pass: the summaries are converged, so events are final and in
+  // deterministic node/token order.
+  for (std::size_t n = 0; n < graph.nodes.size(); ++n) {
+    Walker walker{graph, result.summaries, facts, file_of, n, &result.events};
+    (void)walker.run();
+  }
+  for (const FunctionSummary& s : result.summaries) {
+    if (s.nontrivial()) ++result.summaries_computed;
+  }
+  return result;
+}
+
+}  // namespace ppatc::lint

@@ -1,0 +1,198 @@
+// Intraprocedural def-use/dataflow layer with interprocedural summaries —
+// the analyzer's fourth generation, built on the retained token streams
+// (FileIndex::tokens) and the PR-8 call graph.
+//
+// The abstract domain is a small product lattice per tracked value:
+//   * a taint set — at most one TaintSource per TaintKind (pointer identity,
+//     thread identity, unordered-container iteration order), first source
+//     wins so provenance stays stable across joins,
+//   * the set of caller parameters flowing into the value,
+//   * an optional (dimension, unit) tag born from an in_*() unwrap, with a
+//     cross-function provenance flag; joining disagreeing tags poisons the
+//     tag to "none" (sticky conflict), so a mixed value never claims a unit.
+//
+// Each function body is walked once per fixpoint pass with a brace-scoped
+// symbol table: declarations and plain assignments are kills (the variable's
+// value is replaced by the evaluated right-hand side), compound assignments
+// are joins. The walk produces a FunctionSummary — which taints/tags the
+// return value carries, which parameters flow to the return or into a sink,
+// which reference parameters are floating-point accumulators, and which
+// (dimension, unit) each raw-double parameter is expected to carry. The
+// summaries are propagated to a fixpoint over the call graph (the lattice is
+// finite and joins are first-wins, so a handful of passes converge; a hard
+// iteration cap backstops pathological inputs). A final pass re-walks every
+// body with the converged summaries and records the rule-relevant events in
+// deterministic node order; rules_dataflow.cpp turns events into findings.
+//
+// Like everything in the analyzer this is a token-stream approximation:
+// aliasing is not modeled, array elements are untracked, and a statement the
+// walker cannot classify simply contributes no facts. The three consuming
+// rules are written so the approximation costs recall, not precision.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "call_graph.hpp"
+#include "symbols.hpp"
+
+namespace ppatc::lint {
+
+// ---- units vocabulary -------------------------------------------------------
+// Shared between the brace-local units-escape rule (rules_scope.cpp) and the
+// cross-function one, so both generations agree on what in_*() means.
+
+/// A (dimension, unit) tag: the Quantity alias name and the unit word.
+struct UnitDim {
+  const char* dim;   ///< "Energy", "Duration", ...
+  const char* unit;  ///< "joules", "seconds", ...
+};
+
+/// unit word -> tag, for every units:: factory the project defines.
+[[nodiscard]] const std::map<std::string, UnitDim>& units_vocabulary();
+
+/// Tag produced by an `in_<unit>()` accessor call; nullptr if `fn` is not one.
+[[nodiscard]] const UnitDim* unwrap_accessor(const std::string& fn);
+
+/// Tag consumed by a `units::<unit>()` factory call; nullptr otherwise.
+[[nodiscard]] const UnitDim* unit_factory(const std::string& fn);
+
+// ---- taint lattice ----------------------------------------------------------
+
+enum class TaintKind {
+  kPointerIdentity,  ///< pointer-to-integer cast, std::hash of a pointer, `this`
+  kThreadIdentity,   ///< thread::id / gettid / hardware_concurrency
+  kUnorderedOrder,   ///< iteration order of an unordered container
+};
+
+/// One taint with its provenance: where it was born and which callees it
+/// crossed (qnames, caller-first) to get here.
+struct TaintSource {
+  TaintKind kind = TaintKind::kPointerIdentity;
+  std::string desc;  ///< "reinterpret_cast<uintptr_t>", "gettid()", ...
+  std::string file;  ///< file of the source site
+  int line = 0;      ///< 1-based line of the source site
+  std::vector<std::string> via;  ///< function qnames crossed, nearest-first
+};
+
+/// Abstract value of one tracked variable or expression.
+struct Value {
+  std::vector<TaintSource> taints;  ///< at most one per TaintKind (first wins)
+  std::vector<int> params;          ///< caller parameter indices flowing in, sorted
+  const UnitDim* units = nullptr;   ///< (dimension, unit) tag; nullptr = untagged
+  bool units_cross_function = false;  ///< tag crossed a call or return edge
+  bool units_conflict = false;        ///< joined tags disagreed: poisoned to none
+  std::string units_desc;             ///< "in_seconds", "return of 'f'"
+  std::string units_file;
+  int units_line = 0;
+  std::vector<std::string> units_via;  ///< callees the tag crossed, nearest-first
+  bool fp = false;  ///< declared double/float (fp-reduction-order targets)
+
+  [[nodiscard]] bool tainted() const { return !taints.empty(); }
+  [[nodiscard]] const TaintSource* taint_of(TaintKind kind) const;
+  /// Adds a taint unless one of that kind is already present (first wins).
+  void add_taint(TaintSource source);
+  void add_param(int index);
+  /// Lattice join: taint/param union, units first-wins with sticky conflict.
+  void join(const Value& other);
+};
+
+// ---- per-function summaries -------------------------------------------------
+
+/// A parameter that transitively reaches a determinism sink inside the callee.
+struct ParamSink {
+  int param = 0;
+  std::string sink;  ///< "RunManifest::record" / "cache-key annotation"
+  std::string file;  ///< file of the sink site
+  int line = 0;
+  std::vector<std::string> via;  ///< callees crossed below this function
+};
+
+/// A reference floating-point parameter the callee compound-assigns — the
+/// accumulator shape fp-reduction-order bans inside parallel regions.
+struct ParamAccum {
+  int param = 0;
+  std::string file;  ///< file of the `+=` site
+  int line = 0;
+  std::vector<std::string> via;  ///< callees crossed below this function
+};
+
+/// The (dimension, unit) a raw-double parameter is expected to carry, learned
+/// from how the callee combines it with tagged values or re-wraps it.
+struct ParamUnits {
+  const UnitDim* units = nullptr;
+  bool conflict = false;  ///< disagreeing expectations: no claim made
+  std::string desc;       ///< what established the expectation
+  std::string file;
+  int line = 0;
+  std::vector<std::string> via;
+};
+
+/// Everything callers need to know about one function, computed to fixpoint.
+struct FunctionSummary {
+  Value ret;  ///< returned value: intrinsic taints, param flows, units tag
+  std::vector<ParamSink> param_sinks;
+  std::vector<ParamAccum> fp_accum_params;
+  std::vector<ParamUnits> param_units;  ///< sized to the definition's params
+  bool analyzed = false;
+
+  [[nodiscard]] bool nontrivial() const;
+};
+
+// ---- rule events ------------------------------------------------------------
+
+/// One rule-relevant fact observed during the final emission walk. The engine
+/// detects the shapes; rules_dataflow.cpp owns messages and suppressions.
+struct DataflowEvent {
+  enum class Kind {
+    kTaintSink,      ///< determinism-taint: tainted value reaches a sink
+    kFpSharedAccum,  ///< fp-reduction-order: direct `x +=` on a shared fp value
+    kFpHelperAccum,  ///< fp-reduction-order: helper accumulates into a shared arg
+    kUnitsMix,       ///< interproc-units-escape: +/-/cmp over disagreeing tags
+    kUnitsFactory,   ///< interproc-units-escape: tagged value into wrong factory
+    kUnitsParam,     ///< interproc-units-escape: arg tag != callee expectation
+  };
+  Kind kind = Kind::kTaintSink;
+  const FileIndex* file = nullptr;  ///< file of the event site
+  const FunctionDef* fn = nullptr;  ///< enclosing function (def-line allow())
+  int line = 0;
+  int col = 0;
+  std::size_t token_len = 0;
+
+  TaintSource taint;             ///< kTaintSink: the source that arrived
+  std::string sink;              ///< kTaintSink: sink description
+  std::vector<std::string> via;  ///< callees between this function and the event
+  std::string target;            ///< variable / argument name involved
+  std::string helper;            ///< kFpHelperAccum: qname of the mutating helper
+  std::string helper_file;       ///< kFpHelperAccum / kUnitsParam: remote site file
+  int helper_line = 0;
+
+  const UnitDim* have = nullptr;  ///< units events: the tag that arrived
+  std::string have_desc;          ///< provenance of `have` ("in_seconds", ...)
+  std::string have_file;
+  int have_line = 0;
+  std::vector<std::string> have_via;
+  bool have_cross = false;        ///< `have` crossed a function boundary
+  const UnitDim* want = nullptr;  ///< units events: the tag expected instead
+  std::string want_desc;
+  std::string other;  ///< kUnitsMix: the second operand's name
+};
+
+/// Result of the summary fixpoint plus the final emission walk.
+struct DataflowResult {
+  std::vector<FunctionSummary> summaries;  ///< parallel to graph.nodes
+  std::vector<DataflowEvent> events;       ///< deterministic node/token order
+  std::size_t fixpoint_iterations = 0;     ///< passes until convergence (or cap)
+  std::size_t summaries_computed = 0;      ///< nodes with a nontrivial summary
+};
+
+/// Runs the per-function abstract interpreter over every graph node to a
+/// summary fixpoint, then once more to collect events. Serial and
+/// deterministic: node order is file order then definition order, events
+/// within a node follow token order.
+[[nodiscard]] DataflowResult compute_dataflow(const std::vector<FileIndex>& files,
+                                              const CallGraph& graph);
+
+}  // namespace ppatc::lint

@@ -1,0 +1,214 @@
+// Rule documentation: the --explain table. One entry per registered rule —
+// a test asserts the table covers all_rules() exactly, so adding a rule
+// without documenting it fails CI. SARIF reportingDescriptors reuse the
+// summaries, keeping the CLI and code-scanning descriptions identical.
+#include <sstream>
+#include <stdexcept>
+
+#include "lint_core.hpp"
+
+namespace ppatc::lint {
+
+const std::map<std::string, RuleExplain>& rule_explanations() {
+  static const std::map<std::string, RuleExplain> kTable{
+      {"determinism",
+       {"No wall-clock or nondeterministic-seed source may appear in src/.",
+        "Every evaluation path must be bit-reproducible for a fixed seed: the golden "
+        "manifests diff results across thread counts and machines, so rand(), "
+        "std::random_device, time(NULL), system_clock or gettimeofday anywhere in model "
+        "code silently breaks the reproducibility gate.",
+        "src/core/optimize.cpp:41: banned nondeterminism source 'std::random_device'",
+        "// ppatc-lint: allow(determinism) on the line (or the line above), or a "
+        "baseline entry 'determinism <file>:<line> -- <rationale>'"}},
+      {"determinism-taint",
+       {"Values derived from pointer identity, thread identity or unordered iteration "
+        "order must not reach RunManifest::record* or a `// ppatc: cache-key` site.",
+        "A pointer cast to an integer, std::hash of a pointer, `this`-derived keys, "
+        "thread::id/gettid and unordered-container iteration order all vary run to run; "
+        "if such a value flows — possibly through several calls — into a recorded or "
+        "cache-key result, golden manifests and content-addressed caches go stale "
+        "nondeterministically. The dataflow engine tracks the value across function "
+        "boundaries and the finding names the full source -> sink path.",
+        "src/demo/bad_taint.cpp:12: 'key' derived from reinterpret_cast of a pointer to "
+        "an integer reaches RunManifest::record; Path: reinterpret_cast (...:7) -> "
+        "fingerprint -> log_run -> RunManifest::record",
+        "// ppatc-lint: allow(determinism-taint) on the sink line or the enclosing "
+        "function's definition line, or a baseline entry with a rationale"}},
+      {"env-allowlist",
+       {"std::getenv is permitted only in the files listed in "
+        "tools/lint/env_allowlist.toml.",
+        "Model code must not read the environment: results would depend on invisible "
+        "ambient state. Only the blessed runtime/observability configuration sites "
+        "(thread count, tracing, flight recorder, profiler, manifest paths) may. The "
+        "allowlist is declarative and stale entries — files that no longer exist — are "
+        "themselves findings, so the list can only shrink.",
+        "src/spice/solver.cpp:88: std::getenv outside the environment allowlist",
+        "// ppatc-lint: allow(env-allowlist) on the call line, or add the file to "
+        "tools/lint/env_allowlist.toml with a comment saying which variables and why"}},
+      {"fp-reduction-order",
+       {"Floating-point accumulators inside parallel lambdas must follow the "
+        "chunk-indexed merge discipline.",
+        "Float addition is not associative: `sum += x` on a captured accumulator inside "
+        "a parallel_for/parallel_reduce body makes the final value depend on chunk "
+        "scheduling, so results drift across thread counts. Writing out[i] or "
+        "partials[chunk.index] and folding serially afterwards is order-fixed. The rule "
+        "also follows helpers: a callee that accumulates into a double& parameter on "
+        "the lambda's behalf is the same bug one call deeper.",
+        "src/demo/bad_fp_reduction.cpp:14: floating-point accumulator 'sum' is "
+        "compound-assigned inside a parallel region",
+        "// ppatc-lint: allow(fp-reduction-order) on the accumulation line or the "
+        "lambda's first line, or a baseline entry with a rationale"}},
+      {"interproc-units-escape",
+       {"Raw doubles born from in_*() unwraps keep their (dimension, unit) tag across "
+        "call and return edges; cross-function mismatches are flagged.",
+        "The brace-local units-escape rule stops at the function boundary, but a raw "
+        "double returned from a helper or passed as a parameter is exactly as unit-less "
+        "to the type system. The dataflow summaries carry the tag through returns and "
+        "into callee parameter expectations, so seconds + joules is caught even when "
+        "the two unwraps live in different functions.",
+        "src/demo/bad_units_chain.cpp:21: 'busted' carries (Duration, in_seconds) from "
+        "in_seconds at bad_units_chain.cpp:9, through unwrap_runtime but is combined "
+        "with 'j' carrying (Energy, in_joules)",
+        "// ppatc-lint: allow(interproc-units-escape) on the mixing line or the "
+        "enclosing function's definition line, or a baseline entry with a rationale"}},
+      {"layering",
+       {"The include graph over src/<module>/ must stay inside the DAG declared in "
+        "tools/lint/layering.toml.",
+        "Module boundaries are the project's dependency architecture; an undeclared "
+        "include silently couples layers and eventually makes the physics core depend "
+        "on the observability stack (or worse, cyclically). The declared DAG is "
+        "validated — unknown modules, self-deps and cycles are parse errors.",
+        "src/core/tcdp.cpp:3: include of \"spice/solver.hpp\" violates the declared "
+        "layering (core may not include spice)",
+        "// ppatc-lint: allow(layering) on the include line, or declare the edge in "
+        "tools/lint/layering.toml if the dependency is intended"}},
+      {"lifetime",
+       {"Functions returning string_view, span or a reference must not return a "
+        "body-local or a temporary.",
+        "The referent dies when the function returns; the caller reads freed stack "
+        "memory. Statics, parameters and members outlive the call and stay legal.",
+        "src/obs/report.cpp:52: returns body-local 'name' (declared line 49) from a "
+        "function returning a view; the local dies at end of scope",
+        "// ppatc-lint: allow(lifetime) on the return line, or a baseline entry"}},
+      {"noexcept-escape",
+       {"A noexcept function must not transitively reach a throw with no try/catch or "
+        "noexcept barrier on the path.",
+        "An exception escaping a noexcept frame is std::terminate at runtime — in this "
+        "codebase that means a crashed sweep hours in. The call-graph rule walks the "
+        "whole cone, so the throw may be several calls deep.",
+        "src/iss/core.cpp:120: noexcept function 'step' reaches 'throw' via decode -> "
+        "illegal_opcode",
+        "// ppatc-lint: allow(noexcept-escape) on the function's definition line, or a "
+        "baseline entry with a rationale"}},
+      {"obs-name-literal",
+       {"Metric, span and flight-event names at obs call sites must be string "
+        "literals.",
+        "The flight rings store the name pointer and the metrics registry interns names "
+        "for the process lifetime: a runtime-built name either dangles or explodes "
+        "cardinality. Literals are also greppable, which keeps dashboards honest.",
+        "src/spice/solver.cpp:71: obs::counter name is not a string literal",
+        "// ppatc-lint: allow(obs-name-literal) on the call line (the obs module "
+        "itself is exempt)"}},
+      {"parallel-safety",
+       {"Lambdas handed to the parallel runtime must be chunk-pure: no writes to "
+        "shared state that are not index-addressed output slots.",
+        "The deterministic pool's contract is that chunks commute: writes to bare "
+        "by-reference captures, mutating container calls on shared objects, mutexes "
+        "(serializing hides the nondeterminism, it does not remove it) and "
+        "thread-identity APIs all make results depend on scheduling.",
+        "src/demo/bad_parallel.cpp:9: write to shared 'total' inside a parallel region "
+        "is not a chunk-local output slot",
+        "// ppatc-lint: allow(parallel-safety) on the offending line"}},
+      {"pragma-once",
+       {"Every public header carries #pragma once.",
+        "Include-guard drift is invisible until a double-inclusion breaks a build "
+        "somewhere else; the project standardizes on #pragma once and checks it "
+        "mechanically.",
+        "include/ppatc/core/tcdp.hpp:1: public header missing #pragma once",
+        "// ppatc-lint: allow(pragma-once) on the first line"}},
+      {"realtime-purity",
+       {"Functions reachable from parallel lambda bodies, the ISS dispatch loop and "
+        "the flight-recorder paths must not allocate, lock or perform I/O.",
+        "Those paths run on the measurement-critical inner loops: a malloc or a mutex "
+        "in the cone shows up as timing noise (or a deadlock) under load. "
+        "static/thread_local initializers are recognized as first-call-only lazy init "
+        "and their edges pruned.",
+        "src/iss/core.cpp:88: 'format_trace' allocates (std::string) and is reachable "
+        "from the threaded-dispatch loop via run_threaded -> dispatch",
+        "// ppatc-lint: allow(realtime) on the call or hazard line; the runtime's own "
+        "scheduling machinery is exempt via Config::realtime_exempt"}},
+      {"signal-safety",
+       {"Functions transitively reachable from a registered signal handler may only "
+        "touch the POSIX async-signal-safe allowlist.",
+        "A malloc, std::string, iostream, lock or function-local static inside a "
+        "handler's cone deadlocks or corrupts state when the signal lands mid-library. "
+        "Internal helpers audited by hand are annotated `// ppatc-lint: signal-safe`.",
+        "src/obs/flight.cpp:140: 'flush_ring' reachable from SIGSEGV handler uses "
+        "'snprintf' — not on the async-signal-safe allowlist",
+        "// ppatc-lint: allow(signal-safety) on the site, or annotate the function "
+        "`// ppatc-lint: signal-safe` after auditing it"}},
+      {"unit-typed-api",
+       {"Public headers must not declare raw double parameters or fields whose names "
+        "imply a physical dimension when a ppatc::units strong type exists.",
+        "A `double width_um` crosses the API boundary with its unit in the name only; "
+        "the caller passing millimetres compiles fine and corrupts every downstream "
+        "number. The units strong types make the conversion explicit at the boundary.",
+        "include/ppatc/core/stack.hpp:33: raw double parameter 'energy_j' should be "
+        "units::Energy",
+        "// ppatc-lint: allow(unit-typed-api) on the declaration line"}},
+      {"units-escape",
+       {"Within one scope, raw doubles unwrapped via in_*() keep a (dimension, unit) "
+        "tag; mixes, wrong-factory re-wraps and raw .value() calls are flagged.",
+        "After an unwrap the type system is blind: seconds + joules is just double + "
+        "double. The brace-local tag catches the mix while the provenance is still in "
+        "sight (the interproc-units-escape rule extends this across calls).",
+        "src/carbon/embodied.cpp:61: 'area' (Area, unwrapped via in_square_centimetres) "
+        "and 'power' (Power, via in_watts) mix different dimensions in raw double "
+        "arithmetic",
+        "// ppatc-lint: allow(units-escape) on the mixing line"}},
+      {"unordered-iter",
+       {"No range-for over std::unordered_{map,set} instances.",
+        "Iteration order is implementation-defined: any fold or emission over it is a "
+        "nondeterminism leak. Sort the keys first, or use the project's ordered "
+        "containers; single-element containers and immediately-sorted folds escape.",
+        "src/memsys/cost.cpp:77: range-for over unordered container 'by_channel'",
+        "// ppatc-lint: allow(unordered-iter) on the loop line"}},
+  };
+  return kTable;
+}
+
+namespace {
+
+void append_explanation(std::ostringstream& os, const std::string& rule,
+                        const RuleExplain& ex) {
+  os << rule << "\n";
+  os << std::string(rule.size(), '=') << "\n";
+  os << "  what:        " << ex.summary << "\n";
+  os << "  why:         " << ex.rationale << "\n";
+  os << "  example:     " << ex.example << "\n";
+  os << "  suppression: " << ex.suppression << "\n";
+}
+
+}  // namespace
+
+std::string explain_rule(const std::string& rule) {
+  std::ostringstream os;
+  if (rule == "all") {
+    bool first = true;
+    for (const std::string& name : all_rules()) {
+      if (!first) os << "\n";
+      first = false;
+      append_explanation(os, name, rule_explanations().at(name));
+    }
+    return os.str();
+  }
+  const auto it = rule_explanations().find(rule);
+  if (it == rule_explanations().end()) {
+    throw std::runtime_error{"--explain: unknown rule '" + rule +
+                             "' (use one of the --rules names, or 'all')"};
+  }
+  append_explanation(os, rule, it->second);
+  return os.str();
+}
+
+}  // namespace ppatc::lint

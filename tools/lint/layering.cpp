@@ -58,6 +58,55 @@ void check_acyclic(const LayeringConfig& config) {
 
 }  // namespace
 
+EnvAllowlist parse_env_allowlist(const std::string& text) {
+  EnvAllowlist config;
+  std::set<std::string> groups;
+  std::set<std::string> seen_files;
+  std::istringstream is{text};
+  std::string raw;
+  int lineno = 0;
+  const auto efail = [](int line, const std::string& what) -> void {
+    throw std::runtime_error("env_allowlist.toml:" + std::to_string(line) + ": " + what);
+  };
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') continue;  // section header
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) efail(lineno, "expected `group = [\"file.cpp\", ...]`");
+    const std::string group = trim(line.substr(0, eq));
+    if (group.empty() ||
+        !std::all_of(group.begin(), group.end(), [](char c) { return is_ident_char(c); })) {
+      efail(lineno, "bad group name '" + group + "'");
+    }
+    if (!groups.insert(group).second) efail(lineno, "group '" + group + "' declared twice");
+    std::string rhs = trim(line.substr(eq + 1));
+    if (rhs.size() < 2 || rhs.front() != '[' || rhs.back() != ']') {
+      efail(lineno, "expected a [\"file.cpp\", ...] list for group '" + group + "'");
+    }
+    std::string inner = rhs.substr(1, rhs.size() - 2);
+    std::replace(inner.begin(), inner.end(), ',', ' ');
+    std::istringstream items{inner};
+    std::string item;
+    while (items >> item) {
+      if (item.size() < 2 || item.front() != '"' || item.back() != '"') {
+        efail(lineno, "files must be quoted strings");
+      }
+      const std::string file = item.substr(1, item.size() - 2);
+      if (!file.ends_with(".cpp") && !file.ends_with(".hpp") && !file.ends_with(".h")) {
+        efail(lineno, "entry '" + file + "' is not a .cpp/.hpp/.h source suffix");
+      }
+      if (!seen_files.insert(file).second) {
+        efail(lineno, "entry '" + file + "' listed twice across groups");
+      }
+      config.entries.push_back({file, lineno});
+    }
+  }
+  return config;
+}
+
 LayeringConfig parse_layering(const std::string& text) {
   LayeringConfig config;
   std::istringstream is{text};

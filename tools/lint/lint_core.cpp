@@ -364,9 +364,11 @@ void rule_pragma_once(const std::string& rel, const FileText& text, std::vector<
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> rules{
-      "determinism",     "env-allowlist",   "layering",        "lifetime",
-      "noexcept-escape", "obs-name-literal", "parallel-safety", "pragma-once",
-      "realtime-purity", "signal-safety",   "unit-typed-api",  "unordered-iter",
+      "determinism",       "determinism-taint", "env-allowlist",
+      "fp-reduction-order", "interproc-units-escape", "layering",
+      "lifetime",          "noexcept-escape",   "obs-name-literal",
+      "parallel-safety",   "pragma-once",       "realtime-purity",
+      "signal-safety",     "unit-typed-api",    "unordered-iter",
       "units-escape",
   };
   return rules;
@@ -422,7 +424,9 @@ namespace {
 bool interproc_enabled(const Config& config) {
   if (config.rules.empty()) return true;
   return std::any_of(config.rules.begin(), config.rules.end(), [](const std::string& r) {
-    return r == "signal-safety" || r == "noexcept-escape" || r == "realtime-purity";
+    return r == "signal-safety" || r == "noexcept-escape" || r == "realtime-purity" ||
+           r == "determinism-taint" || r == "fp-reduction-order" ||
+           r == "interproc-units-escape";
   });
 }
 
@@ -446,6 +450,24 @@ Report run_lint(const std::filesystem::path& root, const Config& config,
       std::ostringstream buf;
       buf << in.rdbuf();
       effective.layering = parse_layering(buf.str());
+    }
+  }
+  // The getenv allowlist is declarative: when the caller did not pre-populate
+  // it, load tools/lint/env_allowlist.toml. Toml-loaded entries are also
+  // checked for staleness against the scanned tree below, so the file can
+  // only shrink (an explicit Config allowlist is a test harness and is not
+  // staleness-checked).
+  EnvAllowlist env_toml;
+  if (effective.env_allowlist.empty()) {
+    const fs::path env_path = root / "tools" / "lint" / "env_allowlist.toml";
+    if (fs::is_regular_file(env_path)) {
+      std::ifstream in{env_path, std::ios::binary};
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      env_toml = parse_env_allowlist(buf.str());
+      for (const EnvAllowlistEntry& e : env_toml.entries) {
+        effective.env_allowlist.push_back(e.file);
+      }
     }
   }
 
@@ -490,6 +512,31 @@ Report run_lint(const std::filesystem::path& root, const Config& config,
     for (Finding& f : findings) report.findings.push_back(std::move(f));
   }
 
+  // Stale allowlist entries: a toml entry matching no scanned file blesses
+  // nothing and must be removed (the declarative list can only shrink). Only
+  // checked for the env-allowlist rule and only for toml-loaded entries.
+  const bool env_rule_enabled =
+      effective.rules.empty() ||
+      std::find(effective.rules.begin(), effective.rules.end(), "env-allowlist") !=
+          effective.rules.end();
+  if (env_rule_enabled) {
+    std::vector<std::string> rels;
+    rels.reserve(files.size());
+    for (const fs::path& p : files) rels.push_back(fs::relative(p, scan_root).generic_string());
+    for (const EnvAllowlistEntry& e : env_toml.entries) {
+      const bool matches = std::any_of(rels.begin(), rels.end(), [&](const std::string& rel) {
+        return rel.ends_with(e.file);
+      });
+      if (!matches) {
+        report.findings.push_back(
+            {"env-allowlist", "tools/lint/env_allowlist.toml", e.line,
+             "stale allowlist entry '" + e.file +
+                 "' matches no scanned file; remove it so the blessed-getenv list only shrinks",
+             false, false});
+      }
+    }
+  }
+
   InterprocStats st;
   if (want_interproc) {
     const CallGraph graph = build_call_graph(indexes);
@@ -499,6 +546,8 @@ Report run_lint(const std::filesystem::path& root, const Config& config,
 
     std::vector<Finding> interproc;
     detail::run_interproc_rules(indexes, graph, effective, interproc);
+    detail::run_dataflow_rules(indexes, graph, effective, interproc, &st.dataflow_summaries,
+                               &st.fixpoint_iterations);
     // BFS emission order depends on cone shape, not file order; sort so the
     // interprocedural tail of the report is deterministic too.
     std::sort(interproc.begin(), interproc.end(), [](const Finding& a, const Finding& b) {
@@ -519,6 +568,8 @@ Report run_lint(const std::filesystem::path& root, const Config& config,
   obs::gauge("lint.functions_indexed").set(static_cast<double>(st.functions_indexed));
   obs::gauge("lint.call_edges").set(static_cast<double>(st.call_edges));
   obs::gauge("lint.unresolved_externals").set(static_cast<double>(st.unresolved_externals));
+  obs::gauge("lint.dataflow_summaries").set(static_cast<double>(st.dataflow_summaries));
+  obs::gauge("lint.fixpoint_iterations").set(static_cast<double>(st.fixpoint_iterations));
   for (const std::string& rule : all_rules()) {
     std::size_t n = 0;
     for (const Finding& f : report.findings) {

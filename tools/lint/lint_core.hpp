@@ -1,8 +1,8 @@
 // ppatc-lint: project-policy static analyzer.
 //
 // Walks a source tree and enforces, as machine-checked policy, the invariants
-// the ppatc codebase otherwise upholds only by convention. Thirteen rules, in
-// three generations:
+// the ppatc codebase otherwise upholds only by convention. Sixteen rules, in
+// four generations:
 //
 // Line-oriented (PR 3):
 //   unit-typed-api    public headers must not declare raw double parameters /
@@ -67,6 +67,27 @@
 //                     are recognized as first-call-only lazy init and their
 //                     edges pruned.
 //
+// Dataflow (PR 10, built on the per-function abstract interpreter and the
+// call-graph summary fixpoint — see dataflow.hpp):
+//   determinism-taint    values derived from pointer identity (integer casts
+//                        of pointers, std::hash of a pointer, `this`), thread
+//                        identity (thread::id, gettid, hardware_concurrency)
+//                        or unordered-container iteration order must never
+//                        reach a RunManifest::record* call or a site annotated
+//                        `// ppatc: cache-key`. Findings name the full
+//                        source -> sink path across function boundaries.
+//   fp-reduction-order   floating-point accumulators mutated inside parallel
+//                        lambdas outside the chunk-indexed discipline
+//                        (out[i] / partials[chunk.index] stay legal; `sum +=`
+//                        on a capture is flagged), including helpers that
+//                        accumulate into a double& parameter on the lambda's
+//                        behalf.
+//   interproc-units-escape  raw doubles born from in_*() unwraps keep their
+//                        (dimension, unit) tag across call and return edges;
+//                        cross-function mixes, wrong-factory re-wraps and
+//                        callee parameter-expectation mismatches are flagged
+//                        (the PR-5 units-escape rule stays brace-local).
+//
 // A further leg — header self-containment — is enforced at build time by
 // compiling one generated TU per public header (see tools/lint/CMakeLists).
 //
@@ -100,6 +121,19 @@ struct Finding {
   // aggregate initializers keep compiling unchanged.
   int col = 0;      ///< 1-based start column; 0 = whole-line finding
   int end_col = 0;  ///< 1-based exclusive end column (one-token SARIF regions)
+
+  /// One step of a finding's supporting path (a taint source, an intermediate
+  /// call edge, a remote accumulation site). Rendered as SARIF
+  /// relatedLocations so code-scanning shows the whole chain.
+  struct RelatedLocation {
+    std::string file;  ///< relative path, '/'-separated
+    int line = 0;      ///< 1-based
+    std::string note;  ///< "source: reinterpret_cast...", "via helper()", ...
+  };
+  /// Path-region chain, source first. Stays default-empty for the line and
+  /// scope rules; sits last (with a default) so 6-element aggregate
+  /// initializers still compile warning-free.
+  std::vector<RelatedLocation> related = {};
 };
 
 /// Result of linting a tree.
@@ -132,19 +166,36 @@ struct LayeringConfig {
 /// modules, self-dependencies, or cycles in the declared graph.
 [[nodiscard]] LayeringConfig parse_layering(const std::string& text);
 
+/// The declarative getenv allowlist: files (matched by relative-path suffix)
+/// where std::getenv is permitted, grouped for documentation. Parsed from
+/// tools/lint/env_allowlist.toml.
+struct EnvAllowlistEntry {
+  std::string file;  ///< relative-path suffix, as written in the toml
+  int line = 0;      ///< 1-based toml line (stale-entry findings point here)
+};
+struct EnvAllowlist {
+  std::vector<EnvAllowlistEntry> entries;
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+};
+
+/// Parses the env_allowlist.toml text. Grammar (one declaration per line):
+///     [groups]                       # section header, ignored
+///     group = ["a.cpp", "b/c.cpp"]   # group name is documentation only
+/// Throws std::runtime_error on malformed lines, non-identifier group names,
+/// duplicate groups, entries without a .cpp/.hpp/.h suffix, or duplicate file
+/// entries across groups.
+[[nodiscard]] EnvAllowlist parse_env_allowlist(const std::string& text);
+
 /// Tuning knobs; the defaults encode the ppatc policy.
 struct Config {
-  /// Files (matched by relative-path suffix) where getenv is permitted. The
-  /// blessed call sites live in these six files: the thread-count override
-  /// (PPATC_THREADS), the tracing/metrics switches (PPATC_TRACE,
-  /// PPATC_METRICS), the run-manifest output path (BENCH_MANIFEST_OUT), the
-  /// flight-recorder switches (PPATC_FLIGHT, PPATC_METRICS_INTERVAL), the
-  /// diagnostic-bundle configuration (PPATC_DIAG_DIR + the provenance stamps
-  /// BENCH_GIT_SHA / BENCH_TIMESTAMP_UTC), and the sampling-profiler switches
-  /// (PPATC_PROFILE, PPATC_PROFILE_HZ + the same provenance stamps).
-  std::vector<std::string> env_allowlist{"runtime/parallel.cpp", "obs/trace.cpp",
-                                         "obs/report.cpp", "obs/flight.cpp", "obs/diag.cpp",
-                                         "obs/prof.cpp"};
+  /// Files (matched by relative-path suffix) where getenv is permitted.
+  /// Empty means: run_lint loads <root>/tools/lint/env_allowlist.toml (the
+  /// declarative source of truth — the blessed runtime/observability
+  /// configuration sites live there, grouped and commented) and additionally
+  /// reports any allowlist entry that matches no scanned file, so the list
+  /// can only shrink. Tests may pre-populate this to bypass the toml.
+  std::vector<std::string> env_allowlist;
 
   /// Declared module layering. Empty disables the layering rule. run_lint
   /// auto-loads <root>/tools/lint/layering.toml when this is empty.
@@ -174,10 +225,30 @@ struct InterprocStats {
   std::size_t functions_indexed = 0;
   std::size_t call_edges = 0;
   std::size_t unresolved_externals = 0;  ///< distinct unresolved callee names
+  std::size_t dataflow_summaries = 0;    ///< functions with a nontrivial summary
+  std::size_t fixpoint_iterations = 0;   ///< summary passes until convergence
 };
 
 /// Names of all rules the analyzer implements, sorted.
 [[nodiscard]] const std::vector<std::string>& all_rules();
+
+// ---- rule explanations ------------------------------------------------------
+
+/// Human-facing documentation for one rule, surfaced by `--explain <rule>`
+/// and reused for the SARIF reportingDescriptor short descriptions.
+struct RuleExplain {
+  std::string summary;      ///< one sentence: what the rule enforces
+  std::string rationale;    ///< why the project cares (the bug class)
+  std::string example;      ///< a representative finding message or snippet
+  std::string suppression;  ///< the exact allow()/baseline syntax for the rule
+};
+
+/// Explanation table covering every all_rules() entry.
+[[nodiscard]] const std::map<std::string, RuleExplain>& rule_explanations();
+
+/// Formatted --explain output for one rule name (or "all"). Throws
+/// std::runtime_error for unknown rule names.
+[[nodiscard]] std::string explain_rule(const std::string& rule);
 
 /// Lints every .hpp/.cpp under `root`, skipping build*/.git/header_tus
 /// directories. If `root` has a `src/` child, only that subtree is scanned

@@ -6,6 +6,7 @@
 //                   [--baseline <file>] [--write-baseline <file>]
 //                   [--sarif <file>] [--threads <n>]
 //                   [--dump-callgraph <file>] [--budget-ms <n>]
+//                   [--explain <rule|all>]
 //   --root            repository root (or any tree); if <dir>/src exists,
 //                     exactly that subtree is scanned. Default: cwd.
 //   --quiet           print only the summary line, not per-finding details.
@@ -25,6 +26,9 @@
 //   --budget-ms       hard wall-time budget: exit nonzero if the analysis
 //                     takes longer, even on a clean tree (CI enforces the
 //                     <2 s @ 4 threads contract with this).
+//   --explain         print a rule's rationale, an example finding and the
+//                     suppression syntax, then exit without linting. Pass
+//                     'all' to document every registered rule.
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -55,7 +59,8 @@ int usage() {
   std::cerr << "usage: ppatc_lint [--root <dir>] [--quiet] [--rules r1,r2]\n"
                "                  [--baseline <file>] [--write-baseline <file>]\n"
                "                  [--sarif <file>] [--threads <n>]\n"
-               "                  [--dump-callgraph <file>] [--budget-ms <n>]\n";
+               "                  [--dump-callgraph <file>] [--budget-ms <n>]\n"
+               "                  [--explain <rule|all>]\n";
   return 2;
 }
 
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   std::string write_baseline_path;
   std::string sarif_path;
   std::string callgraph_path;
+  std::string explain;
   long budget_ms = 0;
   bool quiet = false;
   bool threads_given = false;
@@ -100,6 +106,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--dump-callgraph") == 0) {
       if (!take_value(callgraph_path)) return usage();
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      if (!take_value(explain)) return usage();
     } else if (std::strcmp(argv[i], "--budget-ms") == 0) {
       std::string n;
       if (!take_value(n)) return usage();
@@ -111,6 +119,15 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+  if (!explain.empty()) {
+    try {
+      std::cout << ppatc::lint::explain_rule(explain);
+    } catch (const std::exception& e) {
+      std::cerr << "ppatc-lint: " << e.what() << "\n";
+      return 2;
+    }
+    return 0;
   }
   if (!threads_given) {
     // --threads unset: fall back to the same PPATC_THREADS override the
@@ -215,6 +232,11 @@ int main(int argc, char** argv) {
     std::cout << "ppatc-lint: indexed " << stats.functions_indexed << " functions, "
               << stats.call_edges << " call edges, " << stats.unresolved_externals
               << " unresolved external names\n";
+  }
+  if (stats.dataflow_summaries > 0) {
+    std::cout << "ppatc-lint: " << stats.dataflow_summaries
+              << " nontrivial dataflow summaries, fixpoint in " << stats.fixpoint_iterations
+              << " iterations\n";
   }
 
   for (const ppatc::lint::BaselineEntry& entry : stale) {

@@ -1,0 +1,218 @@
+// The three dataflow rules: determinism-taint, fp-reduction-order,
+// interproc-units-escape. The engine (dataflow.cpp) detects the shapes and
+// hands over DataflowEvents; this layer owns rule gating, messages with full
+// source -> sink paths, related-location chains, allow() suppression (per
+// site and on the definition line) and deduplication.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "dataflow.hpp"
+#include "rules_internal.hpp"
+
+namespace ppatc::lint::detail {
+
+namespace {
+
+constexpr const char* kTaintRule = "determinism-taint";
+constexpr const char* kFpRule = "fp-reduction-order";
+constexpr const char* kUnitsRule = "interproc-units-escape";
+
+bool rule_enabled(const Config& config, const std::string& rule) {
+  return config.rules.empty() ||
+         std::find(config.rules.begin(), config.rules.end(), rule) != config.rules.end();
+}
+
+std::string site(const std::string& file, int line) {
+  return file + ":" + std::to_string(line);
+}
+
+std::string tag_str(const UnitDim* units) {
+  if (units == nullptr) return "?";
+  std::string out = "(";
+  out += units->dim;
+  out += ", in_";
+  out += units->unit;
+  out += ")";
+  return out;
+}
+
+/// source -> ... -> sink chain for a taint event: the taint's provenance
+/// (origin-first), the reporting function, the callees toward the sink, the
+/// sink itself.
+std::string taint_path(const DataflowEvent& ev) {
+  std::string path = ev.taint.desc + " (" + site(ev.taint.file, ev.taint.line) + ")";
+  for (auto it = ev.taint.via.rbegin(); it != ev.taint.via.rend(); ++it) {
+    path += " -> " + *it;
+  }
+  path += " -> " + ev.fn->qname;
+  for (const std::string& v : ev.via) path += " -> " + v;
+  path += " -> " + ev.sink;
+  return path;
+}
+
+/// Provenance suffix for a cross-function units tag.
+std::string tag_provenance(const DataflowEvent& ev) {
+  std::string prov = ev.have_desc + " at " + site(ev.have_file, ev.have_line);
+  for (const std::string& v : ev.have_via) prov += ", through " + v;
+  return prov;
+}
+
+Finding make_finding(const std::string& rule, const DataflowEvent& ev, std::string message) {
+  Finding f;
+  f.rule = rule;
+  f.file = ev.file->rel;
+  f.line = ev.line;
+  f.message = std::move(message);
+  f.suppressed = ev.file->line_allows(ev.line, rule) ||
+                 (ev.fn != nullptr && ev.file->line_allows(ev.fn->line, rule));
+  f.col = ev.col;
+  f.end_col = ev.col > 0 ? ev.col + static_cast<int>(ev.token_len) : 0;
+  return f;
+}
+
+void add_related(Finding& f, const std::string& file, int line, std::string note) {
+  if (line <= 0) return;
+  f.related.push_back({file, line, std::move(note)});
+}
+
+Finding taint_finding(const DataflowEvent& ev) {
+  const std::string what =
+      ev.target.empty() ? std::string{"a value"} : "'" + ev.target + "'";
+  Finding f = make_finding(
+      kTaintRule, ev,
+      what + " derived from " + ev.taint.desc + " reaches " + ev.sink +
+          "; recorded/cached results then differ run-to-run. Path: " + taint_path(ev));
+  add_related(f, ev.taint.file, ev.taint.line, "source: " + ev.taint.desc);
+  // Intermediate hops, source-first, so the SARIF chain reads as the path.
+  for (auto it = ev.taint.via.rbegin(); it != ev.taint.via.rend(); ++it) {
+    add_related(f, ev.file->rel, ev.line, "via " + *it);
+  }
+  for (const std::string& v : ev.via) add_related(f, ev.file->rel, ev.line, "via " + v);
+  add_related(f, ev.helper_line > 0 ? ev.helper_file : ev.file->rel,
+              ev.helper_line > 0 ? ev.helper_line : ev.line, "sink: " + ev.sink);
+  return f;
+}
+
+Finding fp_shared_finding(const DataflowEvent& ev) {
+  Finding f = make_finding(
+      kFpRule, ev,
+      "floating-point accumulator '" + ev.target +
+          "' is compound-assigned inside a parallel region; the merge order is then the "
+          "scheduler's, not the chunk-indexed discipline's, and the result drifts across "
+          "thread counts. Accumulate into a chunk-local and write partials[chunk.index] "
+          "(or out[i]) instead");
+  if (ev.fn != nullptr) {
+    add_related(f, ev.file->rel, ev.fn->line, "parallel region entered here");
+  }
+  return f;
+}
+
+Finding fp_helper_finding(const DataflowEvent& ev) {
+  std::string path = ev.fn->qname;
+  for (const std::string& v : ev.via) path += " -> " + v;
+  Finding f = make_finding(
+      kFpRule, ev,
+      "'" + ev.target + "' is a shared floating-point accumulator mutated through " +
+          ev.helper + " (" + site(ev.helper_file, ev.helper_line) +
+          ") inside a parallel region; the interprocedural merge order is the scheduler's. "
+          "Path: " + path + " -> " + ev.target + " +=");
+  add_related(f, ev.helper_file, ev.helper_line,
+              "accumulation site inside " + ev.helper);
+  if (ev.fn != nullptr) {
+    add_related(f, ev.file->rel, ev.fn->line, "parallel region entered here");
+  }
+  return f;
+}
+
+Finding units_mix_finding(const DataflowEvent& ev) {
+  Finding f = make_finding(
+      kUnitsRule, ev,
+      "'" + ev.target + "' carries " + tag_str(ev.have) + " from " + tag_provenance(ev) +
+          " but is combined with '" + ev.other + "' carrying " + tag_str(ev.want) +
+          " (" + ev.want_desc + "); the tags crossed a function boundary, so the local "
+          "units-escape rule cannot see this mix");
+  add_related(f, ev.have_file, ev.have_line, "tag born here: " + ev.have_desc);
+  return f;
+}
+
+Finding units_factory_finding(const DataflowEvent& ev) {
+  const std::string what =
+      ev.target.empty() ? std::string{"a value"} : "'" + ev.target + "'";
+  Finding f = make_finding(
+      kUnitsRule, ev,
+      what + " carries " + tag_str(ev.have) + " from " + tag_provenance(ev) +
+          " but is re-wrapped by " + ev.want_desc + " which constructs " + tag_str(ev.want) +
+          "; round-trip through matching accessor/factory pairs");
+  add_related(f, ev.have_file, ev.have_line, "tag born here: " + ev.have_desc);
+  return f;
+}
+
+Finding units_param_finding(const DataflowEvent& ev) {
+  const std::string what =
+      ev.target.empty() ? std::string{"the argument"} : "'" + ev.target + "'";
+  Finding f = make_finding(
+      kUnitsRule, ev,
+      what + " carries " + tag_str(ev.have) + " from " + tag_provenance(ev) + " but " +
+          ev.helper + " expects this parameter to carry " + tag_str(ev.want) +
+          " (established by " + ev.want_desc + " at " + site(ev.helper_file, ev.helper_line) +
+          ")");
+  add_related(f, ev.have_file, ev.have_line, "argument tag born here: " + ev.have_desc);
+  add_related(f, ev.helper_file, ev.helper_line,
+              "callee expectation established here: " + ev.want_desc);
+  return f;
+}
+
+}  // namespace
+
+void run_dataflow_rules(const std::vector<FileIndex>& files, const CallGraph& graph,
+                        const Config& config, std::vector<Finding>& out,
+                        std::size_t* dataflow_summaries, std::size_t* fixpoint_iterations) {
+  const bool taint = rule_enabled(config, kTaintRule);
+  const bool fp = rule_enabled(config, kFpRule);
+  const bool units = rule_enabled(config, kUnitsRule);
+  if (!taint && !fp && !units) {
+    if (dataflow_summaries != nullptr) *dataflow_summaries = 0;
+    if (fixpoint_iterations != nullptr) *fixpoint_iterations = 0;
+    return;
+  }
+  const DataflowResult result = compute_dataflow(files, graph);
+  if (dataflow_summaries != nullptr) *dataflow_summaries = result.summaries_computed;
+  if (fixpoint_iterations != nullptr) *fixpoint_iterations = result.fixpoint_iterations;
+
+  std::set<std::tuple<std::string, std::string, int, int>> seen;  // rule/file/line/col
+  for (const DataflowEvent& ev : result.events) {
+    Finding f;
+    switch (ev.kind) {
+      case DataflowEvent::Kind::kTaintSink:
+        if (!taint) continue;
+        f = taint_finding(ev);
+        break;
+      case DataflowEvent::Kind::kFpSharedAccum:
+        if (!fp) continue;
+        f = fp_shared_finding(ev);
+        break;
+      case DataflowEvent::Kind::kFpHelperAccum:
+        if (!fp) continue;
+        f = fp_helper_finding(ev);
+        break;
+      case DataflowEvent::Kind::kUnitsMix:
+        if (!units) continue;
+        f = units_mix_finding(ev);
+        break;
+      case DataflowEvent::Kind::kUnitsFactory:
+        if (!units) continue;
+        f = units_factory_finding(ev);
+        break;
+      case DataflowEvent::Kind::kUnitsParam:
+        if (!units) continue;
+        f = units_param_finding(ev);
+        break;
+    }
+    if (!seen.emplace(f.rule, f.file, f.line, f.col).second) continue;  // keep first
+    out.push_back(std::move(f));
+  }
+}
+
+}  // namespace ppatc::lint::detail

@@ -30,4 +30,14 @@ void rule_lifetime(const std::string& rel, const FileText& text, std::vector<Fin
 void run_interproc_rules(const std::vector<FileIndex>& files, const CallGraph& graph,
                          const Config& config, std::vector<Finding>& out);
 
+/// The three dataflow rules (determinism-taint, fp-reduction-order,
+/// interproc-units-escape) over the summary fixpoint. Only rules enabled by
+/// `config.rules` contribute findings; the engine runs once for all three.
+/// The out-params receive the lint.dataflow_summaries /
+/// lint.fixpoint_iterations self-metrics (0 when no dataflow rule is
+/// enabled). Findings are appended unsorted; the caller owns ordering.
+void run_dataflow_rules(const std::vector<FileIndex>& files, const CallGraph& graph,
+                        const Config& config, std::vector<Finding>& out,
+                        std::size_t* dataflow_summaries, std::size_t* fixpoint_iterations);
+
 }  // namespace ppatc::lint::detail

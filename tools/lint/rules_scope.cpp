@@ -13,6 +13,7 @@
 #include <set>
 #include <string>
 
+#include "dataflow.hpp"
 #include "rules_internal.hpp"
 
 namespace ppatc::lint::detail {
@@ -346,76 +347,15 @@ void rule_parallel_safety(const std::string& rel, const Tokens& toks,
 
 namespace {
 
-struct UnwrapInfo {
-  const char* dim;   ///< Quantity alias name (Energy, Duration, ...)
-  const char* unit;  ///< unit word (joules, seconds, ...)
-};
+// The (dimension, unit) vocabulary is shared with the dataflow generation
+// (dataflow.hpp: units_vocabulary / unwrap_accessor / unit_factory), so the
+// brace-local and cross-function rules agree on what in_*() means. The local
+// names stay as thin aliases to keep this rule's code reading as before.
+using UnwrapInfo = UnitDim;
 
-const std::map<std::string, UnwrapInfo>& factory_table() {
-  static const std::map<std::string, UnwrapInfo> kTable{
-      {"joules", {"Energy", "joules"}},
-      {"kilowatt_hours", {"Energy", "kilowatt_hours"}},
-      {"watt_hours", {"Energy", "watt_hours"}},
-      {"picojoules", {"Energy", "picojoules"}},
-      {"femtojoules", {"Energy", "femtojoules"}},
-      {"watts", {"Power", "watts"}},
-      {"milliwatts", {"Power", "milliwatts"}},
-      {"microwatts", {"Power", "microwatts"}},
-      {"nanowatts", {"Power", "nanowatts"}},
-      {"seconds", {"Duration", "seconds"}},
-      {"nanoseconds", {"Duration", "nanoseconds"}},
-      {"picoseconds", {"Duration", "picoseconds"}},
-      {"microseconds", {"Duration", "microseconds"}},
-      {"milliseconds", {"Duration", "milliseconds"}},
-      {"hours", {"Duration", "hours"}},
-      {"days", {"Duration", "days"}},
-      {"months", {"Duration", "months"}},
-      {"square_centimetres", {"Area", "square_centimetres"}},
-      {"square_millimetres", {"Area", "square_millimetres"}},
-      {"square_micrometres", {"Area", "square_micrometres"}},
-      {"metres", {"Length", "metres"}},
-      {"millimetres", {"Length", "millimetres"}},
-      {"micrometres", {"Length", "micrometres"}},
-      {"nanometres", {"Length", "nanometres"}},
-      {"grams_co2e", {"Carbon", "grams_co2e"}},
-      {"kilograms_co2e", {"Carbon", "kilograms_co2e"}},
-      {"gco2e_seconds", {"CarbonDelay", "gco2e_seconds"}},
-      {"grams_per_kilowatt_hour", {"CarbonIntensity", "grams_per_kilowatt_hour"}},
-      {"grams_per_square_centimetre", {"CarbonPerArea", "grams_per_square_centimetre"}},
-      {"kilograms_per_square_centimetre", {"CarbonPerArea", "kilograms_per_square_centimetre"}},
-      {"joules_per_square_centimetre", {"EnergyPerArea", "joules_per_square_centimetre"}},
-      {"kilowatt_hours_per_square_centimetre",
-       {"EnergyPerArea", "kilowatt_hours_per_square_centimetre"}},
-      {"volts", {"Voltage", "volts"}},
-      {"amperes", {"Current", "amperes"}},
-      {"microamperes", {"Current", "microamperes"}},
-      {"nanoamperes", {"Current", "nanoamperes"}},
-      {"farads", {"Capacitance", "farads"}},
-      {"femtofarads", {"Capacitance", "femtofarads"}},
-      {"attofarads", {"Capacitance", "attofarads"}},
-      {"coulombs", {"Charge", "coulombs"}},
-      {"hertz", {"Frequency", "hertz"}},
-      {"megahertz", {"Frequency", "megahertz"}},
-      {"gigahertz", {"Frequency", "gigahertz"}},
-      {"grams", {"Mass", "grams"}},
-      {"picograms", {"Mass", "picograms"}},
-      {"kelvin", {"Temperature", "kelvin"}},
-      {"celsius", {"Temperature", "celsius"}},
-  };
-  return kTable;
-}
+const UnwrapInfo* unwrap_for(const std::string& fn) { return unwrap_accessor(fn); }
 
-// in_<unit>() accessors share the factory vocabulary.
-const UnwrapInfo* unwrap_for(const std::string& fn) {
-  if (!fn.starts_with("in_")) return nullptr;
-  const auto it = factory_table().find(fn.substr(3));
-  return it == factory_table().end() ? nullptr : &it->second;
-}
-
-const UnwrapInfo* factory_for(const std::string& fn) {
-  const auto it = factory_table().find(fn);
-  return it == factory_table().end() ? nullptr : &it->second;
-}
+const UnwrapInfo* factory_for(const std::string& fn) { return unit_factory(fn); }
 
 struct TaggedLocal {
   UnwrapInfo info;

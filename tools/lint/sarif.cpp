@@ -37,48 +37,6 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-const std::map<std::string, std::string>& rule_descriptions() {
-  static const std::map<std::string, std::string> kDescriptions{
-      {"unit-typed-api",
-       "Public APIs must use ppatc::units strong types, not raw doubles with "
-       "dimension-implying names."},
-      {"determinism",
-       "No wall-clock or nondeterministic-seed sources: every evaluation path must be "
-       "bit-reproducible for a fixed seed."},
-      {"unordered-iter",
-       "No range-for over unordered containers; iteration order is implementation-defined."},
-      {"env-allowlist",
-       "std::getenv is restricted to the blessed runtime/observability configuration sites."},
-      {"pragma-once", "Every public header must carry #pragma once."},
-      {"layering",
-       "The include graph over src/<module>/ must stay inside the DAG declared in "
-       "tools/lint/layering.toml."},
-      {"parallel-safety",
-       "Lambdas passed to the deterministic parallel runtime must be chunk-pure: no shared "
-       "writes, no synchronization primitives, no thread-identity APIs."},
-      {"units-escape",
-       "Raw doubles unwrapped from units must not mix dimensions or re-enter the unit system "
-       "through mismatched conversions."},
-      {"lifetime",
-       "Functions returning string_view/span/references must not return body-locals or "
-       "temporaries."},
-      {"obs-name-literal",
-       "Metric/span/flight-event names at obs call sites must be string literals: obs stores "
-       "the name pointer or interns it for the process lifetime."},
-      {"signal-safety",
-       "Functions transitively reachable from a registered signal handler or "
-       "std::set_terminate hook may only use the POSIX async-signal-safe allowlist plus "
-       "internals annotated '// ppatc-lint: signal-safe'."},
-      {"noexcept-escape",
-       "A noexcept function must not transitively reach a throw or known-throwing callee "
-       "without an intervening try/catch; an escape is std::terminate."},
-      {"realtime-purity",
-       "Functions reachable from parallel-runtime lambdas, the ISS threaded-dispatch loop, "
-       "and flight-recorder event paths must not allocate, lock, or perform I/O."},
-  };
-  return kDescriptions;
-}
-
 }  // namespace
 
 std::string to_sarif(const Report& report, const std::string& uri_prefix) {
@@ -99,8 +57,10 @@ std::string to_sarif(const Report& report, const std::string& uri_prefix) {
   for (const std::string& rule : all_rules()) {
     if (!first) os << ",\n";
     first = false;
-    const auto it = rule_descriptions().find(rule);
-    const std::string desc = it == rule_descriptions().end() ? rule : it->second;
+    // Descriptions come from the --explain table (explain.cpp), which a test
+    // pins to cover all_rules() — the CLI and code-scanning stay in sync.
+    const auto it = rule_explanations().find(rule);
+    const std::string desc = it == rule_explanations().end() ? rule : it->second.summary;
     os << "            {\n"
        << "              \"id\": \"" << json_escape(rule) << "\",\n"
        << "              \"shortDescription\": { \"text\": \"" << json_escape(desc) << "\" },\n"
@@ -134,6 +94,27 @@ std::string to_sarif(const Report& report, const std::string& uri_prefix) {
        << "              }\n"
        << "            }\n"
        << "          ]";
+    // Path-region chain (dataflow findings): the taint source, intermediate
+    // call edges and the sink render as relatedLocations, so code-scanning
+    // shows the whole source -> sink path, not just the sink line.
+    if (!f.related.empty()) {
+      os << ",\n          \"relatedLocations\": [\n";
+      bool first_rel = true;
+      for (const Finding::RelatedLocation& rel : f.related) {
+        if (!first_rel) os << ",\n";
+        first_rel = false;
+        os << "            {\n"
+           << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": { \"uri\": \""
+           << json_escape(uri_prefix + rel.file) << "\" },\n"
+           << "                \"region\": { \"startLine\": " << (rel.line > 0 ? rel.line : 1)
+           << " }\n"
+           << "              },\n"
+           << "              \"message\": { \"text\": \"" << json_escape(rel.note) << "\" }\n"
+           << "            }";
+      }
+      os << "\n          ]";
+    }
     if (f.suppressed || f.baselined) {
       os << ",\n"
          << "          \"suppressions\": [\n"

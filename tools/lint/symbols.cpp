@@ -270,6 +270,57 @@ std::string join_qname(const std::vector<std::string>& scope, const std::string&
   return out;
 }
 
+// Parses the parameter list whose '(' sits at `open`: entries split on
+// top-level commas; each entry's name is its last identifier before any
+// default-argument '='. `by_ref` / `is_fp` only look at top-level tokens, so
+// `std::vector<double>& xs` is a reference but not a floating-point
+// parameter — exactly the distinction the fp-reduction-order rule needs.
+std::vector<ParamInfo> parse_params(const std::vector<Token>& toks, std::size_t open) {
+  std::vector<ParamInfo> params;
+  const std::size_t close = match_forward(toks, open);
+  if (close >= toks.size()) return params;
+  std::size_t p = open + 1;
+  while (p < close) {
+    std::size_t e = p;
+    int depth = 0;
+    std::size_t eq = 0;  // first top-level '=' (default argument)
+    while (e < close) {
+      const std::string& t = toks[e].text;
+      if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+      if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+      if (t == "," && depth == 0) break;
+      if (t == "=" && depth == 0 && eq == 0) eq = e;
+      ++e;
+    }
+    const std::size_t limit = eq != 0 ? eq : e;
+    if (limit == p + 1 && toks[p].text == "void") {
+      p = e + 1;
+      continue;  // C-style (void): no parameters
+    }
+    ParamInfo info;
+    int angle = 0;
+    for (std::size_t k = p; k < limit; ++k) {
+      const std::string& t = toks[k].text;
+      if (t == "<") ++angle;
+      if (t == ">" && angle > 0) --angle;
+      if (angle != 0) continue;
+      if (t == "&" || t == "&&") info.by_ref = true;
+      if (t == "double" || t == "float") info.is_fp = true;
+    }
+    for (std::size_t k = limit; k > p;) {
+      --k;
+      if (toks[k].kind == TokKind::kIdent && toks[k].text != "const" &&
+          toks[k].text != "double" && toks[k].text != "float") {
+        info.name = toks[k].text;
+        break;
+      }
+    }
+    if (limit > p) params.push_back(std::move(info));
+    p = e + 1;
+  }
+  return params;
+}
+
 bool is_parallel_entry(const std::string& t) {
   return t == "parallel_for" || t == "parallel_for_chunks" || t == "parallel_reduce" ||
          t == "parallel_invoke";
@@ -296,7 +347,15 @@ FileIndex index_file(const std::string& rel, const std::string& contents) {
   idx.rel = rel;
   const FileText text = split_and_strip(contents);
   idx.allowed = allowed_rules_per_line(text.raw);
-  const std::vector<Token> toks = tokenize(text);
+  std::vector<Token> toks = tokenize(text);
+
+  // `// ppatc: cache-key` annotation lines, from the raw text (the dataflow
+  // determinism-taint rule treats any call under one as a sink).
+  for (std::size_t i = 0; i < text.raw.size(); ++i) {
+    if (text.raw[i].find("ppatc: cache-key") != std::string::npos) {
+      idx.cache_key_lines.push_back(static_cast<int>(i + 1));
+    }
+  }
 
   // `// ppatc-lint: signal-safe` annotation lines, from the raw text (the
   // token stream has comments stripped).
@@ -381,8 +440,11 @@ FileIndex index_file(const std::string& rel, const std::string& contents) {
     rd.def.col = t.col;
     rd.def.is_noexcept = noex;
     rd.def.annotated_signal_safe = annotated_at(t.line);
+    rd.def.params = parse_params(toks, i + 1);
     rd.body_open = body;
     rd.body_close = match_forward(toks, body);
+    rd.def.body_open = rd.body_open;
+    rd.def.body_close = rd.body_close;
     defs.push_back(std::move(rd));
     pending_body = body;
   }
@@ -452,7 +514,11 @@ FileIndex index_file(const std::string& rel, const std::string& contents) {
       const std::size_t cap_close = match_forward(toks, j);
       if (cap_close >= toks.size()) break;
       std::size_t p = cap_close + 1;
-      if (p < toks.size() && toks[p].text == "(") p = match_forward(toks, p) + 1;
+      std::vector<ParamInfo> lam_params;
+      if (p < toks.size() && toks[p].text == "(") {
+        lam_params = parse_params(toks, p);
+        p = match_forward(toks, p) + 1;
+      }
       while (p < toks.size() && toks[p].text != "{" && toks[p].text != ";" &&
              toks[p].text != ")") {
         ++p;  // mutable / noexcept / -> return-type
@@ -468,6 +534,9 @@ FileIndex index_file(const std::string& rel, const std::string& contents) {
       lam.line = toks[j].line;
       lam.col = toks[j].col;
       lam.is_parallel_lambda = true;
+      lam.params = std::move(lam_params);
+      lam.body_open = p;
+      lam.body_close = body_close;
       // Name lookup from a lambda body sees what the enclosing function sees:
       // inherit the scope of the innermost pass-1 def whose body contains it.
       std::size_t best_open = 0;
@@ -485,6 +554,7 @@ FileIndex index_file(const std::string& rel, const std::string& contents) {
 
   idx.functions.reserve(defs.size());
   for (RawDef& rd : defs) idx.functions.push_back(std::move(rd.def));
+  idx.tokens = std::move(toks);
   return idx;
 }
 

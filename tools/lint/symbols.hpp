@@ -60,6 +60,16 @@ struct HazardToken {
   bool first_call_only = false;
 };
 
+/// One declared parameter of an indexed function (or parallel lambda).
+/// Parsed from the signature's token range for the dataflow layer: the name
+/// keys the initial symbol-table entry, `by_ref`+`is_fp` mark candidate
+/// floating-point accumulator parameters (`double& acc`).
+struct ParamInfo {
+  std::string name;     ///< "" for unnamed parameters (position still counts)
+  bool by_ref = false;  ///< declared `&` / `&&` at the top level
+  bool is_fp = false;   ///< declared double / float at the top level
+};
+
 /// One function definition (or a synthetic record for a parallel lambda).
 struct FunctionDef {
   std::string name;   ///< unqualified name ("<parallel-lambda>" when synthetic)
@@ -78,6 +88,12 @@ struct FunctionDef {
   std::vector<int> throw_lines;      ///< lines of `throw` tokens in the body
   std::vector<CallSite> calls;       ///< call sites in the body (nested lambdas included)
   std::vector<HazardToken> hazards;  ///< hazard identifiers in the body
+  std::vector<ParamInfo> params;     ///< declared parameters, in position order
+  /// Body token range into FileIndex::tokens: body_open is the '{', body_close
+  /// the matching '}'. The dataflow layer re-walks this range with a symbol
+  /// table; the cone rules never need it. Both 0 when the body is unknown.
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
 };
 
 /// Everything the interprocedural rules need from one file.
@@ -87,6 +103,22 @@ struct FileIndex {
   std::vector<std::string> signal_roots;     ///< handler names registered via sigaction/signal
   std::vector<std::string> terminate_roots;  ///< hooks passed to std::set_terminate
   std::vector<std::vector<std::string>> allowed;  ///< per-line allow() rules (0-based)
+  /// The full token stream the indexes were built from, retained so the
+  /// dataflow layer can re-walk function bodies (FunctionDef::body_open /
+  /// body_close index into this) without re-reading the file.
+  std::vector<Token> tokens;
+  /// 1-based lines carrying a `// ppatc: cache-key` annotation: any call on
+  /// (or directly below) such a line is a determinism-taint sink.
+  std::vector<int> cache_key_lines;
+
+  /// Is `line` (1-based) annotated `// ppatc: cache-key`, on its own line or
+  /// the line directly above (the same convention allow() uses)?
+  [[nodiscard]] bool cache_key_at(int line) const {
+    for (const int l : cache_key_lines) {
+      if (l == line || l == line - 1) return true;
+    }
+    return false;
+  }
 
   /// allow() lookup for a 1-based source line (same line or line above).
   [[nodiscard]] bool line_allows(int line, const std::string& rule) const {
